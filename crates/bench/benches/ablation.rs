@@ -1,0 +1,74 @@
+//! Ablation: how much does each fast-forward group contribute to JSONSki's
+//! end-to-end performance? Each configuration disables one group (or all
+//! three optional ones) while G2/G3 value-skipping stays on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{Dataset, GenConfig};
+use jsonski::{EngineConfig, JsonSki};
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = GenConfig {
+        target_bytes: 2 * 1024 * 1024,
+        seed: 7,
+    };
+    // One query per group where Table 6 says that group dominates:
+    // WM1 (G1-heavy), WM2 (G4-heavy), NSPL2 (G5-heavy).
+    let cases = [
+        (Dataset::Wm, "WM1_g1heavy", "$.it[*].bmrpr.pr"),
+        (Dataset::Wm, "WM2_g4heavy", "$.it[*].nm"),
+        (Dataset::Nspl, "NSPL2_g5heavy", "$.dt[*][*][2:4]"),
+    ];
+    let variants: [(&str, EngineConfig); 5] = [
+        ("full", EngineConfig::default()),
+        ("no_g1", EngineConfig { g1: false, ..EngineConfig::default() }),
+        ("no_g4", EngineConfig { g4: false, ..EngineConfig::default() }),
+        ("no_g5", EngineConfig { g5: false, ..EngineConfig::default() }),
+        ("g2g3_only", EngineConfig { g1: false, g4: false, g5: false }),
+    ];
+    for (ds, label, query) in cases {
+        let data = ds.generate_large(&cfg);
+        let record = data.bytes();
+        let mut g = c.benchmark_group(format!("ablation_{label}"));
+        g.throughput(Throughput::Bytes(record.len() as u64));
+        g.sample_size(10);
+        for (name, config) in variants {
+            let engine = JsonSki::compile(query).unwrap().with_config(config);
+            g.bench_with_input(BenchmarkId::from_parameter(name), &record, |b, record| {
+                b.iter(|| engine.count(record).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Multi-query extension: both Table 5 queries of a dataset in one shared
+/// pass vs. two independent passes.
+fn bench_multiquery(c: &mut Criterion) {
+    let cfg = GenConfig {
+        target_bytes: 2 * 1024 * 1024,
+        seed: 7,
+    };
+    let data = Dataset::Tt.generate_large(&cfg);
+    let record = data.bytes();
+    let queries = ["$[*].en.urls[*].url", "$[*].text"];
+    let mut g = c.benchmark_group("multiquery_tt");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    let single: Vec<JsonSki> = queries.iter().map(|q| JsonSki::compile(q).unwrap()).collect();
+    g.bench_function("two_passes", |b| {
+        b.iter(|| {
+            single
+                .iter()
+                .map(|q| q.count(record).unwrap())
+                .sum::<usize>()
+        })
+    });
+    let multi = jsonski::MultiQuery::compile(&queries).unwrap();
+    g.bench_function("one_shared_pass", |b| {
+        b.iter(|| multi.counts(record).unwrap().iter().sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_multiquery);
+criterion_main!(benches);

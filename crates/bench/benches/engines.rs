@@ -1,0 +1,53 @@
+//! End-to-end engine comparison on a representative workload (BB1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{Dataset, GenConfig};
+use harness::all_engines;
+use jsonpath::Path;
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = GenConfig {
+        target_bytes: 2 * 1024 * 1024,
+        seed: 42,
+    };
+    let data = Dataset::Bb.generate_large(&cfg);
+    let record = data.bytes();
+    let path: Path = "$.pd[*].cp[1:3].id".parse().unwrap();
+
+    let mut g = c.benchmark_group("engines_bb1_2mib");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    for engine in all_engines(&path) {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &record,
+            |b, record| b.iter(|| engine.count(record).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_selectivity_extremes(c: &mut Criterion) {
+    // GMD2 is ultra-selective (rare attribute): fast-forward shines.
+    let cfg = GenConfig {
+        target_bytes: 2 * 1024 * 1024,
+        seed: 42,
+    };
+    let data = Dataset::Gmd.generate_large(&cfg);
+    let record = data.bytes();
+    let path: Path = "$[*].atm".parse().unwrap();
+    let mut g = c.benchmark_group("engines_gmd2_2mib");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    for engine in all_engines(&path) {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &record,
+            |b, record| b.iter(|| engine.count(record).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_selectivity_extremes);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Ablation benchmarks for the paper's core mechanisms: how much does
+//! bit-parallel fast-forwarding buy over character-at-a-time skipping?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jsonski::cursor::Cursor;
+use jsonski::fastforward::{go_over_obj, go_to_attr_with_opener};
+use jsonski::{FastForwardStats, Group};
+
+/// A large object value with nesting, strings containing braces, and many
+/// attributes — the thing `goOverObj` must skip.
+fn big_object(kib: usize) -> Vec<u8> {
+    let mut v = b"{".to_vec();
+    let mut i = 0;
+    while v.len() < kib * 1024 {
+        v.extend_from_slice(
+            format!(
+                r#""k{i}": {{"s": "brace {{ inside \" str", "n": {i}, "a": [1, 2, {{"d": 3}}]}}, "#
+            )
+            .as_bytes(),
+        );
+        i += 1;
+    }
+    v.extend_from_slice(br#""end": 0}"#);
+    v
+}
+
+/// Character-at-a-time object skip (what a conventional streaming parser
+/// must do): tracks strings, escapes, and depth byte by byte.
+fn scalar_skip_object(input: &[u8]) -> usize {
+    debug_assert_eq!(input[0], b'{');
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    input.len()
+}
+
+fn bench_skip_object(c: &mut Criterion) {
+    let data = big_object(512);
+    let mut g = c.benchmark_group("skip_object");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(20);
+    g.bench_function("bitparallel_counting_pairing", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(&data);
+            let mut st = FastForwardStats::new();
+            go_over_obj(&mut cur, &mut st, Group::G2).unwrap().1
+        })
+    });
+    g.bench_function("character_at_a_time", |b| {
+        b.iter(|| scalar_skip_object(&data))
+    });
+    g.bench_function("full_dom_parse", |b| {
+        b.iter(|| domparser::Dom::parse(&data).unwrap().root().len())
+    });
+    g.finish();
+}
+
+/// An object whose first N attributes are primitives/arrays and whose last
+/// attribute is the object the query wants — the G1 seek workload.
+fn attr_haystack(n: usize) -> Vec<u8> {
+    let mut v = b"{".to_vec();
+    for i in 0..n {
+        match i % 3 {
+            0 => v.extend_from_slice(format!(r#""p{i}": {i}, "#).as_bytes()),
+            1 => v.extend_from_slice(format!(r#""s{i}": "text {i}", "#).as_bytes()),
+            _ => v.extend_from_slice(format!(r#""a{i}": [{i}, {i}], "#).as_bytes()),
+        }
+    }
+    v.extend_from_slice(br#""target": {"x": 1}}"#);
+    v
+}
+
+fn bench_attr_seek(c: &mut Criterion) {
+    let data = attr_haystack(2000);
+    let body = &data[1..]; // inside the object, as object() sees it
+    let mut g = c.benchmark_group("attr_seek");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(20);
+    g.bench_function("g1_colon_intervals", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(body);
+            let mut st = FastForwardStats::new();
+            go_to_attr_with_opener(&mut cur, &mut st, b'{')
+                .unwrap()
+                .expect("target found")
+        })
+    });
+    // Baseline: the JPStream-class engine tokenizes every name/value.
+    let query = jpstream::JpStream::compile("$.target.x").unwrap();
+    g.bench_function("tokenize_every_attribute", |b| {
+        b.iter(|| query.count(&data).unwrap())
+    });
+    // And the full JSONSki engine end to end for the same query.
+    let ski = jsonski::JsonSki::compile("$.target.x").unwrap();
+    g.bench_function("jsonski_end_to_end", |b| b.iter(|| ski.count(&data).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_skip_object, bench_attr_seek);
+criterion_main!(benches);

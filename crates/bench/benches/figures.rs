@@ -1,0 +1,116 @@
+//! Compact Criterion renditions of the paper's timing figures. The full
+//! tables (all twelve queries, larger inputs, match-count validation) are
+//! produced by the `harness` binaries (`fig10` ... `fig14`); these benches
+//! give statistically sampled versions of representative rows so
+//! `cargo bench` touches every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{Dataset, GenConfig};
+use harness::all_engines;
+use harness::engines::PisonEngine;
+use harness::Engine as _;
+use harness::parallel::{count_records_parallel, SegmentedRunner};
+use jsonpath::Path;
+
+const MIB: usize = 1024 * 1024;
+
+fn cfg(bytes: usize) -> GenConfig {
+    GenConfig {
+        target_bytes: bytes,
+        seed: 0x5eed_0001,
+    }
+}
+
+/// Figure 10 (single large record): TT1 and WM2 rows, all five engines plus
+/// the parallel JPStream/Pison configurations.
+fn fig10_rows(c: &mut Criterion) {
+    for (ds, id, query) in [
+        (Dataset::Tt, "TT1", "$[*].en.urls[*].url"),
+        (Dataset::Wm, "WM2", "$.it[*].nm"),
+    ] {
+        let data = ds.generate_large(&cfg(2 * MIB));
+        let record = data.bytes();
+        let path: Path = query.parse().unwrap();
+        let mut g = c.benchmark_group(format!("fig10_{id}"));
+        g.throughput(Throughput::Bytes(record.len() as u64));
+        g.sample_size(10);
+        for engine in all_engines(&path) {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(engine.name()),
+                &record,
+                |b, record| b.iter(|| engine.count(record).unwrap()),
+            );
+        }
+        if let Some(runner) = SegmentedRunner::new(&path) {
+            g.bench_function("JPStream(16)", |b| {
+                b.iter(|| runner.count(record, 16).unwrap())
+            });
+        }
+        let p16 = PisonEngine::parallel(&path, 16);
+        g.bench_function("Pison(16)", |b| b.iter(|| p16.count(record).unwrap()));
+        g.finish();
+    }
+}
+
+/// Figures 11 and 12 (small records, serial and 16 threads): BB1 row.
+fn fig11_fig12_rows(c: &mut Criterion) {
+    let data = Dataset::Bb.generate_small(&cfg(2 * MIB));
+    let path: Path = "$.pd[*].cp[1:3].id".parse().unwrap();
+    for (label, threads) in [("fig11_BB1_serial", 1usize), ("fig12_BB1_16threads", 16)] {
+        let mut g = c.benchmark_group(label);
+        g.throughput(Throughput::Bytes(data.bytes().len() as u64));
+        g.sample_size(10);
+        for engine in all_engines(&path) {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(engine.name()),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        count_records_parallel(
+                            engine.as_ref(),
+                            data.bytes(),
+                            data.records(),
+                            threads,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+/// Figure 14 (input-size scalability, BB1): JSONSki and the DOM baseline at
+/// three sizes; linearity shows as constant throughput.
+fn fig14_scaling(c: &mut Criterion) {
+    let path: Path = "$.pd[*].cp[1:3].id".parse().unwrap();
+    let ski = jsonski::JsonSki::new(path.clone());
+    let mut g = c.benchmark_group("fig14_bb1_scaling");
+    g.sample_size(10);
+    for mib in [1usize, 2, 4] {
+        let data = Dataset::Bb.generate_large(&cfg(mib * MIB));
+        let record = data.bytes().to_vec();
+        g.throughput(Throughput::Bytes(record.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("JSONSki", format!("{mib}MiB")),
+            &record,
+            |b, record| b.iter(|| ski.count(record).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("RapidJSON", format!("{mib}MiB")),
+            &record,
+            |b, record| {
+                b.iter(|| {
+                    domparser::Dom::parse(record)
+                        .unwrap()
+                        .count(&path)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10_rows, fig11_fig12_rows, fig14_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Kernel-level benchmarks: block classification (per-kernel), string
+//! masking, and stage-1 structural index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{Dataset, GenConfig};
+use simdbits::{Classifier, Kernel, PaddedBlocks};
+
+fn sample(bytes: usize) -> Vec<u8> {
+    Dataset::Tt
+        .generate_large(&GenConfig {
+            target_bytes: bytes,
+            seed: 1,
+        })
+        .bytes()
+        .to_vec()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let data = sample(1 << 20);
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+    for &kernel in Kernel::all() {
+        if !kernel.is_supported() {
+            continue;
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut cls = Classifier::with_kernel(kernel);
+                    let mut acc = 0u64;
+                    for (block, _) in PaddedBlocks::new(data) {
+                        let bm = cls.classify(&block);
+                        acc ^= bm.colon ^ bm.comma ^ bm.string_mask;
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_structural_index(c: &mut Criterion) {
+    let data = sample(1 << 20);
+    let mut g = c.benchmark_group("stage1");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+    g.bench_function("structural_index", |b| {
+        b.iter(|| tapeparser::structural_index(&data).len())
+    });
+    g.bench_function("leveled_index_4", |b| {
+        b.iter(|| pison::LeveledIndex::build(&data, 4).index_bytes())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_structural_index);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `kernels` — simdbits classification kernels (scalar/SWAR/SSE2/AVX2),
+//!   string masking, and stage-1 structural indexing throughput.
+//! * `fastforward` — ablations of the paper's core mechanisms: counting-based
+//!   pairing vs. character scanning, colon-interval attribute seeking vs.
+//!   name-by-name tokenization.
+//! * `engines` — end-to-end engine comparison on one workload.
+//! * `figures` — compact Criterion renditions of Figures 10, 11, 12 and 14.

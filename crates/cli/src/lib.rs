@@ -1,0 +1,367 @@
+//! Library half of the `jsonski` command-line tool: argument parsing and
+//! the run loop, separated from `main` so they are unit-testable.
+
+#![deny(missing_docs)]
+
+use std::io::Write;
+
+use jsonski::{JsonSki, MultiQuery};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// The JSONPath expressions to evaluate (one or more).
+    pub queries: Vec<String>,
+    /// Input file, or `None` for stdin.
+    pub file: Option<String>,
+    /// Print only the match count(s).
+    pub count_only: bool,
+    /// Print fast-forward statistics to stderr after the run.
+    pub stats: bool,
+    /// Stop after this many matches (0 = unlimited).
+    pub limit: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: jsonski [OPTIONS] QUERY [QUERY...] [FILE]
+
+Streams JSONPath matches from FILE (or stdin) using bit-parallel
+fast-forwarding. The input may be a single JSON record or a sequence of
+whitespace/newline-separated records (e.g. JSON Lines).
+
+options:
+  -c, --count     print the number of matches instead of the matches
+  -s, --stats     print fast-forward statistics to stderr
+  -n, --limit N   stop after N matches
+  -h, --help      show this help
+
+Multiple QUERY arguments are evaluated together in one streaming pass;
+each match line is then prefixed with its query index.
+
+supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*";
+
+/// Parses argv-style arguments (program name excluded).
+///
+/// # Errors
+///
+/// A human-readable message for unknown flags or missing arguments.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut queries = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut count_only = false;
+    let mut stats = false;
+    let mut limit = 0usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-c" | "--count" => count_only = true,
+            "-s" | "--stats" => stats = true,
+            "-n" | "--limit" => {
+                let v = it.next().ok_or("--limit needs a number")?;
+                limit = v.parse().map_err(|_| format!("bad limit: {v}"))?;
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("unknown option: {flag}\n\n{USAGE}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    // Every leading positional that parses as a path is a query; at most
+    // one trailing non-path positional is the input file.
+    for (i, p) in positional.iter().enumerate() {
+        if p.starts_with('$') {
+            queries.push(p.clone());
+        } else if i == positional.len() - 1 {
+            return if queries.is_empty() {
+                Err(format!("no query given\n\n{USAGE}"))
+            } else {
+                Ok(Options {
+                    queries,
+                    file: Some(p.clone()),
+                    count_only,
+                    stats,
+                    limit,
+                })
+            };
+        } else {
+            return Err(format!("queries must start with `$`: {p}"));
+        }
+    }
+    if queries.is_empty() {
+        return Err(format!("no query given\n\n{USAGE}"));
+    }
+    Ok(Options {
+        queries,
+        file: None,
+        count_only,
+        stats,
+        limit,
+    })
+}
+
+/// Runs the tool over an in-memory input, writing matches to `out`.
+/// Returns the per-query match counts.
+///
+/// # Errors
+///
+/// Query-compilation, streaming, or I/O errors as strings.
+pub fn run(opts: &Options, input: &[u8], out: &mut dyn Write) -> Result<Vec<usize>, String> {
+    let spans = jsonski::split_records(input).map_err(|e| e.to_string())?;
+    let mut counts = vec![0usize; opts.queries.len()];
+    let mut total_stats = jsonski::FastForwardStats::new();
+    let mut emitted = 0usize;
+    let mut io_error: Option<std::io::Error> = None;
+    if opts.queries.len() == 1 {
+        let engine = JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?;
+        for &(s, e) in &spans {
+            if opts.limit > 0 && emitted >= opts.limit {
+                break;
+            }
+            let stats = engine
+                .run(&input[s..e], |m| {
+                    if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
+                        counts[0] += 1;
+                        emitted += 1;
+                        if !opts.count_only {
+                            if let Err(err) =
+                                out.write_all(m).and_then(|()| out.write_all(b"\n"))
+                            {
+                                io_error = Some(err);
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            total_stats += stats;
+        }
+    } else {
+        let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
+        let engine = MultiQuery::compile(&queries).map_err(|e| e.to_string())?;
+        for &(s, e) in &spans {
+            if opts.limit > 0 && emitted >= opts.limit {
+                break;
+            }
+            let stats = engine
+                .run(&input[s..e], |i, m| {
+                    if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
+                        counts[i] += 1;
+                        emitted += 1;
+                        if !opts.count_only {
+                            let line = format!("{i}\t");
+                            if let Err(err) = out
+                                .write_all(line.as_bytes())
+                                .and_then(|()| out.write_all(m))
+                                .and_then(|()| out.write_all(b"\n"))
+                            {
+                                io_error = Some(err);
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            total_stats += stats;
+        }
+    }
+    if let Some(err) = io_error {
+        return Err(err.to_string());
+    }
+    if opts.count_only {
+        for (q, c) in opts.queries.iter().zip(&counts) {
+            writeln!(out, "{c}\t{q}").map_err(|e| e.to_string())?;
+        }
+    }
+    if opts.stats {
+        eprintln!("fast-forward: {total_stats}");
+    }
+    Ok(counts)
+}
+
+/// Runs the tool over a streaming reader with bounded memory (used for
+/// stdin): records are pulled one at a time via
+/// [`jsonski::ChunkedRecords`], so the process never holds the whole stream.
+///
+/// # Errors
+///
+/// Query-compilation, streaming, or I/O errors as strings.
+pub fn run_reader<R: std::io::Read>(
+    opts: &Options,
+    reader: R,
+    out: &mut dyn Write,
+) -> Result<Vec<usize>, String> {
+    let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
+    let engine = MultiQuery::compile(&queries).map_err(|e| e.to_string())?;
+    let single = opts.queries.len() == 1;
+    let mut counts = vec![0usize; opts.queries.len()];
+    let mut total_stats = jsonski::FastForwardStats::new();
+    let mut emitted = 0usize;
+    let mut records = jsonski::ChunkedRecords::new(reader);
+    loop {
+        let record = match records.next_record() {
+            Ok(Some(r)) => r,
+            Ok(None) => break,
+            Err(e) => return Err(e.to_string()),
+        };
+        if opts.limit > 0 && emitted >= opts.limit {
+            break;
+        }
+        let mut io_error: Option<std::io::Error> = None;
+        let stats = engine
+            .run(record, |i, m| {
+                if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
+                    counts[i] += 1;
+                    emitted += 1;
+                    if !opts.count_only {
+                        let r = if single {
+                            out.write_all(m)
+                        } else {
+                            out.write_all(format!("{i}\t").as_bytes())
+                                .and_then(|()| out.write_all(m))
+                        };
+                        if let Err(err) = r.and_then(|()| out.write_all(b"\n")) {
+                            io_error = Some(err);
+                        }
+                    }
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        if let Some(err) = io_error {
+            return Err(err.to_string());
+        }
+        total_stats += stats;
+    }
+    if opts.count_only {
+        for (q, c) in opts.queries.iter().zip(&counts) {
+            writeln!(out, "{c}\t{q}").map_err(|e| e.to_string())?;
+        }
+    }
+    if opts.stats {
+        eprintln!("fast-forward: {total_stats}");
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Options, String> {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_query_and_file() {
+        let o = args(&["$.a.b", "data.json"]).unwrap();
+        assert_eq!(o.queries, vec!["$.a.b"]);
+        assert_eq!(o.file.as_deref(), Some("data.json"));
+        assert!(!o.count_only);
+    }
+
+    #[test]
+    fn parses_flags_and_multiple_queries() {
+        let o = args(&["-c", "$.a", "$[*].b", "-n", "5", "--stats"]).unwrap();
+        assert_eq!(o.queries.len(), 2);
+        assert!(o.count_only && o.stats);
+        assert_eq!(o.limit, 5);
+        assert_eq!(o.file, None);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["--wat"]).is_err());
+        assert!(args(&["notapath"]).unwrap_err().contains("no query"));
+        assert!(args(&["file.json", "$.a"]).is_err()); // file before query
+        assert!(args(&["-n"]).is_err());
+        assert!(args(&["-h"]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn run_single_query_prints_matches() {
+        let o = args(&["$.a"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&o, b"{\"a\": 1}\n{\"a\": \"x\"}\n{\"b\": 2}\n", &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n\"x\"\n");
+    }
+
+    #[test]
+    fn run_count_only() {
+        let o = args(&["-c", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        run(&o, b"{\"a\": 1} {\"a\": 2}", &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "2\t$.a\n");
+    }
+
+    #[test]
+    fn run_multi_query_prefixes_index() {
+        let o = args(&["$.a", "$.b"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&o, br#"{"a": 1, "b": 2}"#, &mut out).unwrap();
+        assert_eq!(counts, vec![1, 1]);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0\t1"));
+        assert!(text.contains("1\t2"));
+    }
+
+    #[test]
+    fn run_respects_limit() {
+        let o = args(&["-n", "2", "$[*]"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&o, b"[1, 2, 3, 4]", &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n2\n");
+    }
+
+    #[test]
+    fn run_reports_malformed_input() {
+        let o = args(&["$.a"]).unwrap();
+        let mut out = Vec::new();
+        assert!(run(&o, br#"{"a": [1, 2"#, &mut out).is_err());
+    }
+}
+
+#[cfg(test)]
+mod reader_tests {
+    use super::*;
+
+    #[test]
+    fn run_reader_matches_run_on_same_input() {
+        let input = b"{\"a\": 1}\n{\"a\": 2}\n{\"b\": {\"a\": 3}}\n";
+        let o = parse_args(["$.a".to_string()]).unwrap();
+        let mut out_mem = Vec::new();
+        let c1 = run(&o, input, &mut out_mem).unwrap();
+        let mut out_stream = Vec::new();
+        let c2 = run_reader(&o, &input[..], &mut out_stream).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(out_mem, out_stream);
+    }
+
+    #[test]
+    fn run_reader_multi_query() {
+        let input = b"{\"a\": 1, \"b\": 2}\n{\"a\": 3}\n";
+        let o = parse_args(["$.a".to_string(), "$.b".to_string()]).unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&o, &input[..], &mut out).unwrap();
+        assert_eq!(counts, vec![2, 1]);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0\t1") && text.contains("1\t2") && text.contains("0\t3"));
+    }
+
+    #[test]
+    fn run_reader_limit_and_count() {
+        let input = b"[1,2,3] [4,5] [6]";
+        let o = parse_args(["-c".into(), "-n".into(), "4".into(), "$[*]".into()]).unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&o, &input[..], &mut out).unwrap();
+        assert_eq!(counts, vec![4]);
+    }
+
+    #[test]
+    fn run_reader_propagates_malformed() {
+        let o = parse_args(["$.a".to_string()]).unwrap();
+        let mut out = Vec::new();
+        assert!(run_reader(&o, &b"{\"a\": [1,"[..], &mut out).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! `jsonski` — stream JSONPath matches from files or stdin.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match jsonski_cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result = match &opts.file {
+        Some(path) => match std::fs::read(path) {
+            Ok(input) => jsonski_cli::run(&opts, &input, &mut out),
+            Err(e) => {
+                eprintln!("jsonski: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        // Stdin is processed record by record with bounded memory.
+        None => jsonski_cli::run_reader(&opts, std::io::stdin().lock(), &mut out),
+    };
+    match result {
+        Ok(counts) => {
+            use std::io::Write;
+            let _ = out.flush();
+            if counts.iter().all(|&c| c == 0) {
+                ExitCode::FAILURE // grep-style: no match -> nonzero
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("jsonski: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

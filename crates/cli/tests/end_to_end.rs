@@ -1,0 +1,81 @@
+//! End-to-end tests driving the actual `jsonski` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_jsonski")
+}
+
+fn run_with_stdin(args: &[&str], stdin: &[u8]) -> (String, String, Option<i32>) {
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child.stdin.as_mut().unwrap().write_all(stdin).unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn stdin_single_query() {
+    let (stdout, _, code) = run_with_stdin(&["$.a"], b"{\"a\": 1}\n{\"a\": 2}\n{\"b\": 3}\n");
+    assert_eq!(stdout, "1\n2\n");
+    assert_eq!(code, Some(0));
+}
+
+#[test]
+fn file_input_and_count() {
+    let dir = std::env::temp_dir().join(format!("jsonski-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.json");
+    std::fs::write(&path, b"{\"pd\": [{\"id\": 1}, {\"id\": 2}]}").unwrap();
+    let (stdout, _, code) = run_with_stdin(
+        &["-c", "$.pd[*].id", path.to_str().unwrap()],
+        b"",
+    );
+    assert_eq!(stdout, "2\t$.pd[*].id\n");
+    assert_eq!(code, Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_match_exits_nonzero() {
+    let (_, _, code) = run_with_stdin(&["$.zzz"], b"{\"a\": 1}\n");
+    assert_eq!(code, Some(1));
+}
+
+#[test]
+fn bad_query_exits_2_with_message() {
+    let (_, stderr, code) = run_with_stdin(&["$..bad"], b"{}");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("descendant"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (_, stderr, code) = run_with_stdin(&["--help"], b"");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage: jsonski"));
+}
+
+#[test]
+fn stats_flag_reports_fast_forward() {
+    let (_, stderr, _) = run_with_stdin(&["-s", "$.a"], b"{\"a\": 1, \"big\": {\"x\": [1,2,3]}}");
+    assert!(stderr.contains("fast-forward"), "{stderr}");
+}
+
+#[test]
+fn multi_query_stdin() {
+    let (stdout, _, code) = run_with_stdin(&["$.a", "$.b"], b"{\"a\": 1, \"b\": 2}\n");
+    assert!(stdout.contains("0\t1"));
+    assert!(stdout.contains("1\t2"));
+    assert_eq!(code, Some(0));
+}

@@ -1,0 +1,460 @@
+//! The streaming cursor: a forward-only position over the input plus the
+//! bit-parallel word cache.
+//!
+//! The cursor embodies the paper's streaming discipline (Section 4.1): the
+//! input is classified one 64-byte word at a time, in order, and only the
+//! *current* word's bitmaps are retained — "an interval bitmap should be
+//! constructed after the prior one has been used and destroyed". Fast-forward
+//! functions advance the position by scanning words forward; no global index
+//! is ever materialized, which is what keeps JSONSki's memory footprint at
+//! the input buffer size (Figure 13).
+
+use simdbits::{bits, BlockBitmaps, Classifier, BLOCK};
+
+use crate::error::StreamError;
+
+/// Forward-only streaming cursor over a JSON byte buffer.
+#[derive(Clone, Debug)]
+pub struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+    cls: Classifier,
+    /// Index of the word whose bitmaps are cached in `cur` (valid only when
+    /// `classified > 0`; words `0..classified` have passed through the
+    /// classifier).
+    cur: BlockBitmaps,
+    classified: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at position 0.
+    pub fn new(input: &'a [u8]) -> Self {
+        Cursor {
+            input,
+            pos: 0,
+            cls: Classifier::new(),
+            cur: BlockBitmaps::default(),
+            classified: 0,
+        }
+    }
+
+    /// The underlying input buffer.
+    #[inline]
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// Current byte position.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the cursor passed the end of the input.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Moves the position forward (or within the current word).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when moving backwards past the current word
+    /// (that would violate the streaming discipline).
+    #[inline]
+    pub fn set_pos(&mut self, pos: usize) {
+        debug_assert!(
+            self.classified == 0 || pos >= (self.classified - 1) * BLOCK,
+            "cursor rewound before the current word: pos {pos}, classified {}",
+            self.classified
+        );
+        self.pos = pos;
+    }
+
+    /// The byte at the current position, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    /// Advances one byte.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Skips JSON whitespace.
+    #[inline]
+    pub fn skip_ws(&mut self) {
+        while let Some(b) = self.input.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips whitespace, then consumes the expected byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unexpected`] / [`StreamError::UnexpectedEof`] when the
+    /// next non-whitespace byte is not `byte`.
+    #[inline]
+    pub fn expect(&mut self, byte: u8, expected: &'static str) -> Result<(), StreamError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(StreamError::Unexpected {
+                expected,
+                found: b,
+                pos: self.pos,
+            }),
+            None => Err(StreamError::UnexpectedEof { expected }),
+        }
+    }
+
+    /// Skips whitespace and peeks, failing with EOF otherwise.
+    #[inline]
+    pub fn peek_token(&mut self, expected: &'static str) -> Result<u8, StreamError> {
+        self.skip_ws();
+        self.peek().ok_or(StreamError::UnexpectedEof { expected })
+    }
+
+    /// Returns the bitmaps for word `idx`, classifying forward as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is before the current word (streaming violation) or
+    /// past the end of the input.
+    #[inline]
+    pub fn word(&mut self, idx: usize) -> BlockBitmaps {
+        assert!(
+            self.classified == 0 || idx + 1 >= self.classified,
+            "word {idx} was already discarded (classified through {})",
+            self.classified
+        );
+        while self.classified <= idx {
+            let start = self.classified * BLOCK;
+            assert!(start < self.input.len(), "word {idx} out of range");
+            if start + BLOCK <= self.input.len() {
+                // Full word: classify in place, no copy.
+                let block: &[u8; BLOCK] = self.input[start..start + BLOCK]
+                    .try_into()
+                    .expect("exact block");
+                self.cur = self.cls.classify(block);
+            } else {
+                self.cur = self.cls.classify_tail(&self.input[start..]);
+            }
+            self.classified += 1;
+        }
+        self.cur
+    }
+
+    /// Number of 64-byte words covering the input.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.input.len().div_ceil(BLOCK)
+    }
+
+    /// Finds the next position `>= from` whose bit is set in the bitmap
+    /// selected by `sel`, scanning words forward. Returns `None` at EOF.
+    #[inline]
+    pub fn next_pos_where(
+        &mut self,
+        from: usize,
+        sel: impl Fn(&BlockBitmaps) -> u64,
+    ) -> Option<usize> {
+        if from >= self.input.len() {
+            return None;
+        }
+        let mut w = from / BLOCK;
+        let mut mask = !bits::mask_below((from % BLOCK) as u32);
+        let words = self.word_count();
+        while w < words {
+            let bm = self.word(w);
+            let hits = sel(&bm) & mask;
+            if hits != 0 {
+                return Some(w * BLOCK + hits.trailing_zeros() as usize);
+            }
+            mask = u64::MAX;
+            w += 1;
+        }
+        None
+    }
+
+    /// Advances to the closing quote of the string opening at `open_pos`
+    /// (which must hold an unescaped `"`), returning the closing quote's
+    /// position. The cursor position is left *at* the closing quote.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnexpectedEof`] if the string never closes.
+    pub fn seek_string_end(&mut self, open_pos: usize) -> Result<usize, StreamError> {
+        debug_assert_eq!(self.input.get(open_pos), Some(&b'"'));
+        let end = self
+            .next_pos_where(open_pos + 1, |b| b.quote)
+            .ok_or(StreamError::UnexpectedEof {
+                expected: "closing `\"`",
+            })?;
+        self.pos = end;
+        Ok(end)
+    }
+
+    /// Reads an attribute name or string: expects `"` at the current
+    /// position (after whitespace) and returns the name's byte range
+    /// (quotes excluded), leaving the cursor after the closing quote.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the next token is not a string or the string never closes.
+    pub fn read_string(&mut self) -> Result<(usize, usize), StreamError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                let open = self.pos;
+                let close = self.seek_string_end(open)?;
+                self.pos = close + 1;
+                Ok((open + 1, close))
+            }
+            Some(b) => Err(StreamError::Unexpected {
+                expected: "string",
+                found: b,
+                pos: self.pos,
+            }),
+            None => Err(StreamError::UnexpectedEof { expected: "string" }),
+        }
+    }
+
+    /// The counting-based pairing search (paper Theorem 4.3, Algorithm 4):
+    /// starting at the current position with `depth` unpaired `open`
+    /// characters, advances to the closer that brings the depth to zero and
+    /// returns its position. The cursor is left *at* that closer.
+    ///
+    /// `open`/`close` must be `b'{'`/`b'}'` or `b'['`/`b']'`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unbalanced`] if the input ends first.
+    pub fn seek_container_end(
+        &mut self,
+        open: u8,
+        close: u8,
+        depth: u32,
+    ) -> Result<usize, StreamError> {
+        debug_assert!(depth > 0);
+        let from = self.pos;
+        if from >= self.input.len() {
+            return Err(StreamError::Unbalanced {
+                pos: self.input.len(),
+            });
+        }
+        let mut w = from / BLOCK;
+        let mut mask = !bits::mask_below((from % BLOCK) as u32);
+        let mut depth = depth;
+        let words = self.word_count();
+        while w < words {
+            let bm = self.word(w);
+            let opens = bm.structural(open) & mask;
+            let closes = bm.structural(close) & mask;
+            if let Some(bit) = find_depth_zero(opens, closes, depth) {
+                self.pos = w * BLOCK + bit as usize;
+                return Ok(self.pos);
+            }
+            depth = depth + opens.count_ones() - closes.count_ones();
+            mask = u64::MAX;
+            w += 1;
+        }
+        Err(StreamError::Unbalanced {
+            pos: self.input.len(),
+        })
+    }
+}
+
+/// Finds the first bit position where the running nesting depth (starting at
+/// `depth`, +1 per `opens` bit, −1 per `closes` bit, in position order)
+/// reaches zero, i.e. the word-local formulation of the paper's
+/// counting-based pairing: iterate the closers of the word; the `k`-th
+/// closer at position `p` ends the container iff
+/// `k == depth + popcount(opens below p)`.
+#[inline]
+pub(crate) fn find_depth_zero(opens: u64, closes: u64, depth: u32) -> Option<u32> {
+    let mut c = closes;
+    let mut k = 0u32; // closers seen so far
+    while c != 0 {
+        let p = c.trailing_zeros();
+        k += 1;
+        let opens_before = (opens & bits::mask_below(p)).count_ones();
+        if k == depth + opens_before {
+            return Some(p);
+        }
+        c &= c - 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_depth_zero_orders_bits() {
+        // word: } {   (close before open), depth 1 -> ends at bit 0
+        let opens = 0b10;
+        let closes = 0b01;
+        assert_eq!(find_depth_zero(opens, closes, 1), Some(0));
+        // word: { } } , depth 1: bit1 close pairs the bit0 open; bit2 ends.
+        let opens = 0b001;
+        let closes = 0b110;
+        assert_eq!(find_depth_zero(opens, closes, 1), Some(2));
+        // depth 2: first close pairs inner, second pairs the outer-of-two.
+        assert_eq!(find_depth_zero(0, 0b11, 2), Some(1));
+        // not found
+        assert_eq!(find_depth_zero(0b1, 0b10, 2), None);
+        assert_eq!(find_depth_zero(0, 0, 1), None);
+    }
+
+    #[test]
+    fn next_pos_where_scans_across_words() {
+        let mut v = vec![b' '; 100];
+        v[80] = b',';
+        let mut cur = Cursor::new(&v);
+        assert_eq!(cur.next_pos_where(0, |b| b.comma), Some(80));
+        assert_eq!(cur.next_pos_where(81, |b| b.comma), None);
+    }
+
+    #[test]
+    fn next_pos_where_respects_from_within_word() {
+        let v = b",    ,   ".to_vec();
+        let mut cur = Cursor::new(&v);
+        assert_eq!(cur.next_pos_where(0, |b| b.comma), Some(0));
+        assert_eq!(cur.next_pos_where(1, |b| b.comma), Some(5));
+        assert_eq!(cur.next_pos_where(6, |b| b.comma), None);
+    }
+
+    #[test]
+    fn next_pos_where_ignores_string_contents() {
+        let v = br#"  "a,b" , "#.to_vec();
+        let mut cur = Cursor::new(&v);
+        assert_eq!(cur.next_pos_where(0, |b| b.comma), Some(8));
+    }
+
+    #[test]
+    fn seek_container_end_simple() {
+        let v = br#"{"a": {"b": 1}, "c": [2, {"d": 3}]}"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        cur.set_pos(1); // just after the outer '{'
+        let end = cur.seek_container_end(b'{', b'}', 1).unwrap();
+        assert_eq!(end, v.len() - 1);
+        assert_eq!(v[end], b'}');
+    }
+
+    #[test]
+    fn seek_container_end_nested_and_strings() {
+        let v = br#"{"a": "}}}", "b": {"x": "{"}}   tail"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        cur.set_pos(1);
+        let end = cur.seek_container_end(b'{', b'}', 1).unwrap();
+        assert_eq!(v[end], b'}');
+        assert_eq!(&v[end + 1..end + 4], b"   ");
+    }
+
+    #[test]
+    fn seek_container_end_across_words() {
+        let mut v = b"{".to_vec();
+        for _ in 0..40 {
+            v.extend_from_slice(br#""key": {"deep": [1, 2, 3]}, "#);
+        }
+        v.extend_from_slice(br#""last": 0}"#);
+        let mut cur = Cursor::new(&v);
+        cur.set_pos(1);
+        let end = cur.seek_container_end(b'{', b'}', 1).unwrap();
+        assert_eq!(end, v.len() - 1);
+    }
+
+    #[test]
+    fn seek_container_end_unbalanced_errors() {
+        let v = br#"{"a": {"b": 1}"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        cur.set_pos(1);
+        assert_eq!(
+            cur.seek_container_end(b'{', b'}', 1),
+            Err(StreamError::Unbalanced { pos: v.len() })
+        );
+    }
+
+    #[test]
+    fn brackets_pair_independently_of_braces() {
+        let v = br#"[{"a": [1, 2]}, {"b": 3}] ,"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        cur.set_pos(1);
+        let end = cur.seek_container_end(b'[', b']', 1).unwrap();
+        assert_eq!(v[end], b']');
+        assert_eq!(end, 24);
+    }
+
+    #[test]
+    fn read_string_returns_span() {
+        let v = br#"   "hello" : 1"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        let (s, e) = cur.read_string().unwrap();
+        assert_eq!(&v[s..e], b"hello");
+        assert_eq!(cur.pos(), e + 1);
+    }
+
+    #[test]
+    fn read_string_with_escaped_quote() {
+        let v = br#""he\"llo" next"#.to_vec();
+        let mut cur = Cursor::new(&v);
+        let (s, e) = cur.read_string().unwrap();
+        assert_eq!(&v[s..e], br#"he\"llo"#);
+    }
+
+    #[test]
+    fn read_string_rejects_non_string() {
+        let v = b"123".to_vec();
+        let mut cur = Cursor::new(&v);
+        assert!(matches!(
+            cur.read_string(),
+            Err(StreamError::Unexpected { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_and_peek_token() {
+        let v = b"  { }".to_vec();
+        let mut cur = Cursor::new(&v);
+        cur.expect(b'{', "`{`").unwrap();
+        assert_eq!(cur.peek_token("token").unwrap(), b'}');
+        cur.expect(b'}', "`}`").unwrap();
+        assert!(cur.expect(b',', "`,`").is_err());
+    }
+
+    #[test]
+    fn string_state_is_continuous_across_fast_words() {
+        // A long string spanning several words; the comma inside it must be
+        // masked even when we query a later word first (forcing sequential
+        // classification underneath).
+        let mut v = b"\"".to_vec();
+        v.extend(std::iter::repeat_n(b'x', 70));
+        v.extend_from_slice(b",\"");
+        v.extend_from_slice(b" , done");
+        let mut cur = Cursor::new(&v);
+        let p = cur.next_pos_where(0, |b| b.comma).unwrap();
+        assert_eq!(v[p], b',');
+        assert_eq!(p, 74); // the comma outside the string
+    }
+
+    #[test]
+    #[should_panic(expected = "discarded")]
+    fn rewinding_words_panics() {
+        let v = vec![b' '; 300];
+        let mut cur = Cursor::new(&v);
+        cur.word(3);
+        cur.word(1);
+    }
+}

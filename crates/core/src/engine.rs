@@ -1,0 +1,869 @@
+//! Recursive-descent streaming with fast-forwarding (paper Algorithms 1–2).
+//!
+//! [`JsonSki`] drives the query automaton with a recursive-descent parser
+//! whose `object()`/`array()` functions invoke the bit-parallel fast-forward
+//! primitives of [`crate::fastforward`]:
+//!
+//! * type-directed attribute search (G1) when the query dictates the type of
+//!   the matching value,
+//! * whole-value skips (G2) for unmatched attributes/elements,
+//! * skip-and-output (G3) for accepted values,
+//! * skip-to-object-end (G4) once a uniquely-named attribute has matched,
+//! * index-range skips (G5) for arrays with `[n]`/`[m:n]` constraints.
+
+use jsonpath::{ContainerKind, ExpectedType, ParsePathError, Path, Runtime, Status, Step};
+
+use crate::cursor::Cursor;
+use crate::error::StreamError;
+use crate::fastforward::{
+    go_over_ary, go_over_obj, go_over_primitive, go_over_primitives_to_opener, go_to_ary_end,
+    go_to_attr_with_opener, go_to_obj_end, Span,
+};
+use crate::stats::{FastForwardStats, Group};
+
+/// Maximum container nesting accepted before [`StreamError::TooDeep`];
+/// bounds the recursion of the recursive-descent design.
+pub const MAX_DEPTH: usize = 1024;
+
+/// A compiled JSONPath query evaluated by streaming with bit-parallel
+/// fast-forwarding.
+///
+/// # Example
+///
+/// ```
+/// use jsonski::JsonSki;
+///
+/// let json = br#"{
+///   "coordinates": [40.74, -73.99],
+///   "user": {"id": 6253282},
+///   "place": {"name": "Manhattan", "bounding_box": {"type": "Polygon"}}
+/// }"#;
+/// let query = JsonSki::compile("$.place.name")?;
+/// let matches = query.matches(json)?;
+/// assert_eq!(matches, vec![&b"\"Manhattan\""[..]]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct JsonSki {
+    path: Path,
+    config: EngineConfig,
+}
+
+/// Ablation switches: disable individual fast-forward groups to measure
+/// their contribution (the per-group ratios of the paper's Table 6 hint at
+/// what each is worth; the `ablation` bench quantifies it in time).
+///
+/// G2/G3 (value skipping and skip-with-output) are the engine's substance
+/// and cannot be disabled — an engine without them *is* the JPStream
+/// baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Enable G1 type-directed attribute seeking.
+    pub g1: bool,
+    /// Enable G4 skip-to-object-end after a unique-name match.
+    pub g4: bool,
+    /// Enable G5 index-range skipping in arrays.
+    pub g5: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            g1: true,
+            g4: true,
+            g5: true,
+        }
+    }
+}
+
+impl JsonSki {
+    /// Wraps an already-parsed path.
+    pub fn new(path: Path) -> Self {
+        JsonSki {
+            path,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Compiles a JSONPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for unsupported or malformed expressions.
+    pub fn compile(query: &str) -> Result<Self, ParsePathError> {
+        Ok(JsonSki {
+            path: query.parse()?,
+            config: EngineConfig::default(),
+        })
+    }
+
+    /// Replaces the ablation configuration (builder-style).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The compiled path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Streams one JSON record, invoking `sink` with the raw bytes of every
+    /// match, and returns the fast-forward statistics for the record.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on malformed input discovered on the examined path or
+    /// by pairing validation within fast-forwarded segments.
+    pub fn run<'a, F>(&self, input: &'a [u8], sink: F) -> Result<FastForwardStats, StreamError>
+    where
+        F: FnMut(&'a [u8]),
+    {
+        let mut eval = Eval {
+            cur: Cursor::new(input),
+            rt: Runtime::new(&self.path),
+            stats: FastForwardStats::new(),
+            sink,
+            depth: 0,
+            config: self.config,
+        };
+        eval.record()?;
+        Ok(eval.stats)
+    }
+
+    /// Streams a whole multi-record stream (e.g. JSON Lines): records are
+    /// discovered with the bit-parallel [`crate::RecordSplitter`] and each
+    /// is evaluated in turn. Returns the accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] from either record splitting or evaluation.
+    ///
+    /// ```
+    /// # use jsonski::JsonSki;
+    /// let stream = b"{\"a\": 1}\n{\"a\": 2}\n{\"b\": 3}\n";
+    /// let q = JsonSki::compile("$.a")?;
+    /// let mut hits = 0;
+    /// q.run_stream(stream, |_| hits += 1)?;
+    /// assert_eq!(hits, 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn run_stream<'a, F>(
+        &self,
+        stream: &'a [u8],
+        mut sink: F,
+    ) -> Result<FastForwardStats, StreamError>
+    where
+        F: FnMut(&'a [u8]),
+    {
+        let mut total = FastForwardStats::new();
+        for span in crate::RecordSplitter::new(stream) {
+            let (s, e) = span?;
+            total += self.run(&stream[s..e], &mut sink)?;
+        }
+        Ok(total)
+    }
+
+    /// Counts the matches in one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamError`] from [`JsonSki::run`].
+    pub fn count(&self, input: &[u8]) -> Result<usize, StreamError> {
+        let mut n = 0usize;
+        self.run(input, |_| n += 1)?;
+        Ok(n)
+    }
+
+    /// Collects the raw byte slices of all matches in one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamError`] from [`JsonSki::run`].
+    pub fn matches<'a>(&self, input: &'a [u8]) -> Result<Vec<&'a [u8]>, StreamError> {
+        let mut out = Vec::new();
+        self.run(input, |m| out.push(m))?;
+        Ok(out)
+    }
+}
+
+struct Eval<'a, 'p, F> {
+    cur: Cursor<'a>,
+    rt: Runtime<'p>,
+    stats: FastForwardStats,
+    sink: F,
+    depth: usize,
+    config: EngineConfig,
+}
+
+impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
+    fn emit(&mut self, span: Span) {
+        (self.sink)(&self.cur.input()[span.0..span.1]);
+    }
+
+    fn record(&mut self) -> Result<(), StreamError> {
+        self.stats.add_total(self.cur.input().len() as u64);
+        self.cur.skip_ws();
+        let Some(t) = self.cur.peek() else {
+            return Ok(()); // blank input: zero records, zero matches
+        };
+        match t {
+            b'{' => {
+                match self.rt.enter_root(ContainerKind::Object) {
+                    Status::Accept => {
+                        let span = go_over_obj(&mut self.cur, &mut self.stats, Group::G3)?;
+                        self.emit(span);
+                    }
+                    Status::Unmatched => {
+                        go_over_obj(&mut self.cur, &mut self.stats, Group::G2)?;
+                    }
+                    Status::Matched => {
+                        self.cur.expect(b'{', "`{`")?;
+                        self.object()?;
+                    }
+                }
+                self.rt.exit();
+            }
+            b'[' => {
+                match self.rt.enter_root(ContainerKind::Array) {
+                    Status::Accept => {
+                        let span = go_over_ary(&mut self.cur, &mut self.stats, Group::G3)?;
+                        self.emit(span);
+                    }
+                    Status::Unmatched => {
+                        go_over_ary(&mut self.cur, &mut self.stats, Group::G2)?;
+                    }
+                    Status::Matched => {
+                        self.cur.expect(b'[', "`[`")?;
+                        self.array()?;
+                    }
+                }
+                self.rt.exit();
+            }
+            _ => {
+                // Primitive root record: matches only the `$` path.
+                if self.rt.path().is_empty() {
+                    let span = go_over_primitive(&mut self.cur, &mut self.stats, Group::G3)?;
+                    self.emit(span);
+                } else {
+                    go_over_primitive(&mut self.cur, &mut self.stats, Group::G2)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Algorithm 2's `object()`; the opening `{` has been consumed and the
+    /// automaton's top frame is this object's.
+    fn object(&mut self) -> Result<(), StreamError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            });
+        }
+        let result = match self.rt.expected_type() {
+            // Nothing in this object can match: drain to the end (a pure
+            // over-skip, accounted as G2).
+            None => self.finish_object(Group::G2),
+            Some(ExpectedType::Object) if self.config.g1 => self.object_typed(b'{'),
+            Some(ExpectedType::Array) if self.config.g1 => self.object_typed(b'['),
+            Some(_) => self.object_generic(),
+        };
+        self.depth -= 1;
+        result
+    }
+
+    /// Typed attribute loop: the query dictates that only attributes whose
+    /// value opens with `open` can match, so G1 seeks them directly.
+    fn object_typed(&mut self, open: u8) -> Result<(), StreamError> {
+        let kind = if open == b'{' {
+            ContainerKind::Object
+        } else {
+            ContainerKind::Array
+        };
+        loop {
+            let Some((ns, ne)) = go_to_attr_with_opener(&mut self.cur, &mut self.stats, open)?
+            else {
+                // No more type-matched attributes; cursor is at `}`.
+                self.cur.expect(b'}', "`}`")?;
+                return Ok(());
+            };
+            let raw_name = &self.cur.input()[ns..ne];
+            let (state, status) = self.rt.value_state_for_key_raw(raw_name);
+            match status {
+                Status::Unmatched => {
+                    // G2: fast-forward over the unmatched container value.
+                    if open == b'{' {
+                        go_over_obj(&mut self.cur, &mut self.stats, Group::G2)?;
+                    } else {
+                        go_over_ary(&mut self.cur, &mut self.stats, Group::G2)?;
+                    }
+                }
+                Status::Accept => {
+                    let span = if open == b'{' {
+                        go_over_obj(&mut self.cur, &mut self.stats, Group::G3)?
+                    } else {
+                        go_over_ary(&mut self.cur, &mut self.stats, Group::G3)?
+                    };
+                    self.emit(span);
+                    if self.g4_applies() {
+                        return self.finish_object(Group::G4);
+                    }
+                }
+                Status::Matched => {
+                    self.cur.expect(open, "container opener")?;
+                    self.rt.enter(kind, state);
+                    let r = if open == b'{' {
+                        self.object()
+                    } else {
+                        self.array()
+                    };
+                    self.rt.exit();
+                    r?;
+                    if self.g4_applies() {
+                        return self.finish_object(Group::G4);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generic attribute loop for the last path level, where the matching
+    /// value's type cannot be inferred.
+    fn object_generic(&mut self) -> Result<(), StreamError> {
+        loop {
+            let t = self.cur.peek_token("attribute or `}`")?;
+            match t {
+                b'}' => {
+                    self.cur.bump();
+                    return Ok(());
+                }
+                b',' => {
+                    self.cur.bump();
+                }
+                b'"' => {
+                    let (ns, ne) = self.cur.read_string()?;
+                    self.cur.expect(b':', "`:`")?;
+                    let raw_name = &self.cur.input()[ns..ne];
+                    let (state, status) = self.rt.value_state_for_key_raw(raw_name);
+                    self.cur.skip_ws();
+                    let vb = self.cur.peek_token("attribute value")?;
+                    match status {
+                        Status::Unmatched => {
+                            self.skip_value(vb, Group::G2)?;
+                        }
+                        Status::Accept => {
+                            let span = self.skip_value(vb, Group::G3)?;
+                            self.emit(span);
+                            if self.g4_applies() {
+                                return self.finish_object(Group::G4);
+                            }
+                        }
+                        Status::Matched => {
+                            // Reachable only through `.*` at the last level
+                            // combined with data that nests deeper than the
+                            // query; descend when the value is a container.
+                            match vb {
+                                b'{' => {
+                                    self.cur.bump();
+                                    self.rt.enter(ContainerKind::Object, state);
+                                    let r = self.object();
+                                    self.rt.exit();
+                                    r?;
+                                }
+                                b'[' => {
+                                    self.cur.bump();
+                                    self.rt.enter(ContainerKind::Array, state);
+                                    let r = self.array();
+                                    self.rt.exit();
+                                    r?;
+                                }
+                                _ => {
+                                    self.skip_value(vb, Group::G2)?;
+                                }
+                            }
+                            if self.g4_applies() {
+                                return self.finish_object(Group::G4);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(StreamError::Unexpected {
+                        expected: "`\"` (attribute name)",
+                        found: other,
+                        pos: self.cur.pos(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2's `array()` analog; the `[` has been consumed.
+    fn array(&mut self) -> Result<(), StreamError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            });
+        }
+        let result = self.array_body();
+        self.depth -= 1;
+        result
+    }
+
+    fn array_body(&mut self) -> Result<(), StreamError> {
+        let Some(expected) = self.rt.expected_type() else {
+            // Incompatible step kind: nothing here matches (G2 drain).
+            return self.finish_array(Group::G2);
+        };
+        let range = self.rt.index_range();
+        loop {
+            let t = self.cur.peek_token("element or `]`")?;
+            if t == b']' {
+                self.cur.bump();
+                return Ok(());
+            }
+            if let Some((lo, hi)) = range.filter(|_| self.config.g5) {
+                let c = self.rt.counter();
+                if c >= hi {
+                    // G5: everything past the range is irrelevant.
+                    return self.finish_array(Group::G5);
+                }
+                if c < lo {
+                    // G5: skip forward to the first in-range element.
+                    if self.skip_elements(lo - c)? {
+                        self.cur.expect(b']', "`]`")?;
+                        return Ok(());
+                    }
+                    continue;
+                }
+            }
+            let (state, status) = self.rt.element_state();
+            match status {
+                Status::Unmatched => {
+                    self.skip_value(t, Group::G2)?;
+                }
+                Status::Accept => {
+                    let span = self.skip_value(t, Group::G3)?;
+                    self.emit(span);
+                }
+                Status::Matched => match (expected, t) {
+                    (ExpectedType::Object, b'{') => {
+                        self.cur.bump();
+                        self.rt.enter(ContainerKind::Object, state);
+                        let r = self.object();
+                        self.rt.exit();
+                        r?;
+                    }
+                    (ExpectedType::Array, b'[') => {
+                        self.cur.bump();
+                        self.rt.enter(ContainerKind::Array, state);
+                        let r = self.array();
+                        self.rt.exit();
+                        r?;
+                    }
+                    (_, b'{') | (_, b'[') => {
+                        // Type-mismatched container element: G1 skip.
+                        self.skip_value(t, Group::G1)?;
+                    }
+                    _ => {
+                        // Primitive elements cannot carry the match deeper:
+                        // batch-skip the whole run (G1), keeping the element
+                        // counter exact via the comma count.
+                        let commas = go_over_primitives_to_opener(
+                            &mut self.cur,
+                            &mut self.stats,
+                            Group::G1,
+                        )?;
+                        for _ in 0..commas {
+                            self.rt.increment();
+                        }
+                        // Cursor is at `{`, `[`, `]` (or a malformed `}`);
+                        // re-enter the loop without delimiter handling.
+                        if self.cur.peek() == Some(b'}') {
+                            return Err(StreamError::Unexpected {
+                                expected: "`]` or element",
+                                found: b'}',
+                                pos: self.cur.pos(),
+                            });
+                        }
+                        continue;
+                    }
+                },
+            }
+            // Element delimiter.
+            let d = self.cur.peek_token("`,` or `]`")?;
+            match d {
+                b',' => {
+                    self.cur.bump();
+                    self.rt.increment();
+                }
+                b']' => {
+                    self.cur.bump();
+                    return Ok(());
+                }
+                other => {
+                    return Err(StreamError::Unexpected {
+                        expected: "`,` or `]`",
+                        found: other,
+                        pos: self.cur.pos(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// G5's `goOverElems(K)`: skips `n` elements (value + delimiter) by
+    /// type-directed fast-forwarding; returns `true` when the array ended
+    /// first (cursor left at `]`).
+    fn skip_elements(&mut self, n: usize) -> Result<bool, StreamError> {
+        for _ in 0..n {
+            let t = self.cur.peek_token("element or `]`")?;
+            if t == b']' {
+                return Ok(true);
+            }
+            self.skip_value(t, Group::G5)?;
+            let d = self.cur.peek_token("`,` or `]`")?;
+            match d {
+                b',' => {
+                    self.cur.bump();
+                    self.rt.increment();
+                }
+                b']' => return Ok(true),
+                other => {
+                    return Err(StreamError::Unexpected {
+                        expected: "`,` or `]`",
+                        found: other,
+                        pos: self.cur.pos(),
+                    })
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Skips one value of any type, returning its span.
+    fn skip_value(&mut self, first_byte: u8, group: Group) -> Result<Span, StreamError> {
+        match first_byte {
+            b'{' => go_over_obj(&mut self.cur, &mut self.stats, group),
+            b'[' => go_over_ary(&mut self.cur, &mut self.stats, group),
+            _ => go_over_primitive(&mut self.cur, &mut self.stats, group),
+        }
+    }
+
+    /// Whether G4 applies after a match at this object's level: only
+    /// uniquely-named child steps preclude further matches.
+    fn g4_applies(&self) -> bool {
+        self.config.g4 && matches!(self.rt.current_step(), Some(Step::Child(_)))
+    }
+
+    fn finish_object(&mut self, group: Group) -> Result<(), StreamError> {
+        go_to_obj_end(&mut self.cur, &mut self.stats, group)?;
+        self.cur.expect(b'}', "`}`")
+    }
+
+    fn finish_array(&mut self, group: Group) -> Result<(), StreamError> {
+        go_to_ary_end(&mut self.cur, &mut self.stats, group)?;
+        self.cur.expect(b']', "`]`")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches_of(query: &str, json: &str) -> Vec<String> {
+        let q = JsonSki::compile(query).unwrap();
+        q.matches(json.as_bytes())
+            .unwrap()
+            .into_iter()
+            .map(|m| String::from_utf8_lossy(m).into_owned())
+            .collect()
+    }
+
+    const TWEET: &str = r#"{
+        "coordinates": [40.74118764, -73.9998279],
+        "user": {"id": 6253282},
+        "place": {
+            "name": "Manhattan",
+            "bounding_box": {"type": "Polygon", "pos": [[-74.026675, 40.683935]]}
+        }
+    }"#;
+
+    #[test]
+    fn paper_running_example() {
+        assert_eq!(matches_of("$.place.name", TWEET), vec!["\"Manhattan\""]);
+    }
+
+    #[test]
+    fn match_object_value() {
+        let got = matches_of("$.user", TWEET);
+        assert_eq!(got, vec![r#"{"id": 6253282}"#]);
+    }
+
+    #[test]
+    fn match_number_in_nested_object() {
+        assert_eq!(matches_of("$.user.id", TWEET), vec!["6253282"]);
+    }
+
+    #[test]
+    fn match_array_value() {
+        assert_eq!(
+            matches_of("$.coordinates", TWEET),
+            vec!["[40.74118764, -73.9998279]"]
+        );
+    }
+
+    #[test]
+    fn array_wildcard_at_root() {
+        let json = r#"[{"text": "a"}, {"text": "b"}, {"nope": 1}]"#;
+        assert_eq!(matches_of("$[*].text", json), vec!["\"a\"", "\"b\""]);
+    }
+
+    #[test]
+    fn array_index() {
+        let json = r#"[10, 20, 30, 40]"#;
+        assert_eq!(matches_of("$[2]", json), vec!["30"]);
+    }
+
+    #[test]
+    fn array_slice_selects_half_open_range() {
+        let json = r#"[10, 20, 30, 40, 50]"#;
+        assert_eq!(matches_of("$[2:4]", json), vec!["30", "40"]);
+    }
+
+    #[test]
+    fn array_slice_of_objects() {
+        let json = r#"{"pd": [{"cp": [{"id": 1}, {"id": 2}, {"id": 3}, {"id": 4}]}]}"#;
+        assert_eq!(matches_of("$.pd[*].cp[1:3].id", json), vec!["2", "3"]);
+    }
+
+    #[test]
+    fn nested_wildcards() {
+        let json = r#"{"dt": [[[1, 2, 3, 4, 5], [6, 7, 8, 9]], [[10, 11, 12, 13]]]}"#;
+        assert_eq!(
+            matches_of("$.dt[*][*][2:4]", json),
+            vec!["3", "4", "8", "9", "12", "13"]
+        );
+    }
+
+    #[test]
+    fn deep_path_with_heterogeneous_siblings() {
+        let json = r#"{
+            "a": [1, 2, {"skip": true}],
+            "b": {"c": {"d": [0, {"e": "found"}]}},
+            "z": "tail"
+        }"#;
+        assert_eq!(matches_of("$.b.c.d[1].e", json), vec!["\"found\""]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        assert!(matches_of("$.nothing.here", TWEET).is_empty());
+        assert!(matches_of("$[*].x", TWEET).is_empty()); // root type mismatch
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert!(matches_of("$.a.b", r#"{}"#).is_empty());
+        assert!(matches_of("$[*].b", r#"[]"#).is_empty());
+        assert!(matches_of("$.a.b", r#"{"a": {}}"#).is_empty());
+    }
+
+    #[test]
+    fn root_path_matches_whole_record() {
+        assert_eq!(matches_of("$", r#"{"a": 1}"#), vec![r#"{"a": 1}"#]);
+        assert_eq!(matches_of("$", "[1, 2]"), vec!["[1, 2]"]);
+        assert_eq!(matches_of("$", "42"), vec!["42"]);
+    }
+
+    #[test]
+    fn object_wildcard() {
+        let json = r#"{"a": 1, "b": "two", "c": [3]}"#;
+        assert_eq!(matches_of("$.*", json), vec!["1", "\"two\"", "[3]"]);
+    }
+
+    #[test]
+    fn strings_with_metacharacters_do_not_confuse() {
+        let json = r#"{"a": "{\"fake\": [1,2]}", "b": {"t": "}}]]"}, "q": {"t": "x"}}"#;
+        assert_eq!(matches_of("$.q.t", json), vec!["\"x\""]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_names_and_values() {
+        let json = r#"{"na\"me": 1, "target": {"v": "a\\\"b"}}"#;
+        assert_eq!(matches_of("$.target.v", json), vec![r#""a\\\"b""#]);
+    }
+
+    #[test]
+    fn type_mismatch_between_query_and_data_is_skipped() {
+        // Query expects `a` to be an object, data has an array.
+        let json = r#"{"a": [1, 2, 3], "b": 0}"#;
+        assert!(matches_of("$.a.b", json).is_empty());
+        // Query expects `a` to be an array, data has an object.
+        assert!(matches_of("$.a[0]", json.replace("[1, 2, 3]", r#"{"x": 1}"#).as_str()).is_empty());
+    }
+
+    #[test]
+    fn count_and_run_agree() {
+        let q = JsonSki::compile("$[*].text").unwrap();
+        let json = br#"[{"text": 1}, {"text": 2}, {"x": 3}]"#;
+        assert_eq!(q.count(json).unwrap(), 2);
+        assert_eq!(q.matches(json).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats_overall_ratio_is_high_for_selective_query() {
+        let q = JsonSki::compile("$.place.name").unwrap();
+        let mut n = 0;
+        let stats = q.run(TWEET.as_bytes(), |_| n += 1).unwrap();
+        assert_eq!(n, 1);
+        assert!(stats.overall_ratio() > 0.5, "{stats}");
+        assert_eq!(stats.total(), TWEET.len() as u64);
+    }
+
+    #[test]
+    fn g5_prefix_skip_counts() {
+        let json = r#"{"a": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}"#;
+        let q = JsonSki::compile("$.a[8]").unwrap();
+        let stats = q.run(json.as_bytes(), |m| assert_eq!(m, b"8")).unwrap();
+        assert!(stats.skipped(Group::G5) > 0, "{stats}");
+    }
+
+    #[test]
+    fn malformed_unbalanced_is_reported() {
+        let q = JsonSki::compile("$.a").unwrap();
+        // Inner object never closes: the G2 skip's pairing detects it.
+        assert!(matches!(
+            q.count(br#"{"b": {"x": 1"#),
+            Err(StreamError::Unbalanced { .. })
+        ));
+        // Outer object never closes: reported as EOF while scanning.
+        assert!(q.count(br#"{"b": {"x": 1}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_missing_colon_is_reported() {
+        let q = JsonSki::compile("$.a").unwrap();
+        assert!(q.count(br#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn too_deep_is_reported() {
+        let mut json = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            json.extend_from_slice(br#"{"a":"#);
+        }
+        json.extend_from_slice(b"1");
+        json.extend(std::iter::repeat_n(b'}', MAX_DEPTH + 2));
+        let q = JsonSki::compile("$.a.a.a").unwrap();
+        // The match path nests deeper than the limit only if the query
+        // descends; `$.a.a.a` descends three levels then outputs, so this
+        // input is accepted. A query that keeps descending must error.
+        assert!(q.count(&json).is_ok());
+        let deep_q = JsonSki::compile("$").unwrap();
+        assert!(deep_q.count(&json).is_ok()); // G3 output never recurses
+    }
+
+    #[test]
+    fn whitespace_heavy_input() {
+        let json = "  {  \"a\"  :  [  1 ,  {  \"b\"  :  \"hit\"  }  ]  }  ";
+        assert_eq!(matches_of("$.a[1].b", json), vec!["\"hit\""]);
+    }
+
+    #[test]
+    fn multiple_matches_in_nested_arrays() {
+        let json = r#"{"it": [{"nm": "a"}, {"nm": "b"}, {"pr": 1}, {"nm": "c"}]}"#;
+        assert_eq!(matches_of("$.it[*].nm", json), vec!["\"a\"", "\"b\"", "\"c\""]);
+    }
+
+    #[test]
+    fn g4_stops_after_unique_name_match() {
+        // After `name` matches, `rest` must be skipped via G4.
+        let json = r#"{"place": {"name": "x", "rest": {"deep": [1,2,3]}}}"#;
+        let q = JsonSki::compile("$.place.name").unwrap();
+        let stats = q.run(json.as_bytes(), |_| {}).unwrap();
+        assert!(stats.skipped(Group::G4) > 0, "{stats}");
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    fn configs() -> Vec<EngineConfig> {
+        let mut out = Vec::new();
+        for g1 in [true, false] {
+            for g4 in [true, false] {
+                for g5 in [true, false] {
+                    out.push(EngineConfig { g1, g4, g5 });
+                }
+            }
+        }
+        out
+    }
+
+    const DOC: &str = r#"{
+        "pd": [
+            {"cp": [{"id": 1}, {"id": 2}, {"id": 3}, {"id": 4}], "x": {"d": 1}},
+            {"cp": [{"id": 5}], "y": [1, 2]},
+            {"cp": [{"id": 6}, {"id": 7}, {"id": 8}]}
+        ],
+        "tail": {"deep": [1, {"z": 2}]}
+    }"#;
+
+    #[test]
+    fn all_configs_agree_on_results() {
+        for query in ["$.pd[*].cp[1:3].id", "$.pd[0].cp[*]", "$.tail.deep[1].z", "$.pd[*].y"] {
+            let reference: Vec<Vec<u8>> = JsonSki::compile(query)
+                .unwrap()
+                .matches(DOC.as_bytes())
+                .unwrap()
+                .into_iter()
+                .map(<[u8]>::to_vec)
+                .collect();
+            for cfg in configs() {
+                let got: Vec<Vec<u8>> = JsonSki::compile(query)
+                    .unwrap()
+                    .with_config(cfg)
+                    .matches(DOC.as_bytes())
+                    .unwrap()
+                    .into_iter()
+                    .map(<[u8]>::to_vec)
+                    .collect();
+                assert_eq!(got, reference, "{query} with {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_groups_record_zero() {
+        let q = JsonSki::compile("$.tail.deep[1].z").unwrap().with_config(EngineConfig {
+            g1: false,
+            g4: false,
+            g5: false,
+        });
+        let stats = q.run(DOC.as_bytes(), |_| {}).unwrap();
+        assert_eq!(stats.skipped(Group::G1), 0);
+        assert_eq!(stats.skipped(Group::G4), 0);
+        assert_eq!(stats.skipped(Group::G5), 0);
+        // The engine still fast-forwards unmatched values (G2).
+        assert!(stats.skipped(Group::G2) > 0);
+    }
+
+    #[test]
+    fn default_config_uses_all_groups_where_applicable() {
+        let q = JsonSki::compile("$.pd[0].cp[1:3].id").unwrap();
+        assert_eq!(q.config(), EngineConfig::default());
+        let stats = q.run(DOC.as_bytes(), |_| {}).unwrap();
+        assert!(stats.skipped(Group::G4) > 0, "{stats}");
+        assert!(stats.skipped(Group::G5) > 0, "{stats}");
+    }
+}

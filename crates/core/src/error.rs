@@ -1,0 +1,94 @@
+//! Streaming errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while streaming a JSON record.
+///
+/// Like the paper's JSONSki, fast-forwarded segments receive only structural
+/// validation (brace/bracket pairing); errors are reported for malformed
+/// syntax on the *examined* path and for pairing violations discovered while
+/// fast-forwarding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// A specific byte was expected at `pos` but `found` was there instead.
+    Unexpected {
+        /// What the parser needed (as a human-readable token description).
+        expected: &'static str,
+        /// The byte actually found.
+        found: u8,
+        /// Byte offset in the input.
+        pos: usize,
+    },
+    /// The input ended while more was required.
+    UnexpectedEof {
+        /// What the parser needed.
+        expected: &'static str,
+    },
+    /// Brace/bracket pairing failed during fast-forwarding.
+    Unbalanced {
+        /// Byte offset where the imbalance was detected (input length when
+        /// the record ended with containers still open).
+        pos: usize,
+    },
+    /// Nesting exceeded the recursion limit (guards the call stack; the
+    /// paper's recursive-descent design has the same implicit limit).
+    TooDeep {
+        /// Byte offset of the opener that exceeded the limit.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Unexpected {
+                expected,
+                found,
+                pos,
+            } => write!(
+                f,
+                "expected {expected} at byte {pos}, found {:?}",
+                *found as char
+            ),
+            StreamError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            StreamError::Unbalanced { pos } => {
+                write!(f, "unbalanced braces or brackets at byte {pos}")
+            }
+            StreamError::TooDeep { pos } => {
+                write!(f, "nesting exceeds recursion limit at byte {pos}")
+            }
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StreamError::Unexpected {
+            expected: "`:`",
+            found: b'x',
+            pos: 7,
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(e.to_string().contains("':'") || e.to_string().contains("`:`"));
+        assert!(StreamError::UnexpectedEof { expected: "value" }
+            .to_string()
+            .contains("end of input"));
+        assert!(StreamError::Unbalanced { pos: 3 }.to_string().contains("3"));
+        assert!(StreamError::TooDeep { pos: 9 }.to_string().contains("9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

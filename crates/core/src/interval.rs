@@ -1,0 +1,167 @@
+//! Structural intervals (paper Definition 4.1 and Algorithm 3).
+//!
+//! A *structural interval* for a metacharacter `α` is the span of characters
+//! between the current streaming position (inclusive) and the next `α`
+//! (exclusive). Within one 64-byte word an interval is just a bitmask, built
+//! with the `b_end - b_start` subtraction trick; this module is a faithful
+//! word-local transcription of Algorithm 3, and is both used by the
+//! fast-forward primitives for primitive-value skipping and exercised by the
+//! test-suite as a cross-check of the cursor-level search routines.
+//!
+//! Intervals that span multiple words are represented by the *absence* of an
+//! end bit (the mask extends to the word boundary); callers iterate to the
+//! next word, as the paper's Figure 8 illustrates.
+
+use simdbits::bits;
+
+/// A word-local structural interval: a contiguous bitmask starting at the
+/// streaming position within the word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    mask: u64,
+    /// Whether the interval's terminating metacharacter lies in this word.
+    closed: bool,
+}
+
+impl Interval {
+    /// The interval's bitmask (1s over the interval's characters).
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Whether the terminating metacharacter was found within this word.
+    /// An *open* interval continues into the next word (Figure 8's
+    /// word-by-word construction).
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Position (bit index) of the terminating metacharacter, i.e. one past
+    /// the interval's last character — `intervalEnd` of Algorithm 3 adapted
+    /// to LSB-first bitmaps.
+    ///
+    /// Returns 64 for an open interval (the interval runs to the word end).
+    #[inline]
+    pub fn end(&self) -> u32 {
+        if !self.closed {
+            64
+        } else if self.mask == 0 {
+            // Empty interval: the metacharacter is at the start position.
+            // Caller tracks the start; by convention we report 0 here.
+            0
+        } else {
+            64 - self.mask.leading_zeros()
+        }
+    }
+}
+
+/// Builds the interval for metacharacter bitmap `bitmap` from bit position
+/// `pos` within the word — Algorithm 3, `buildInterval` (lines 2–9).
+///
+/// `bitmap` must already have in-string pseudo-metacharacters removed
+/// (lines 16–20 of the paper's algorithm; [`simdbits::Classifier`] does
+/// this).
+///
+/// ```
+/// use jsonski::interval::build_interval;
+/// // colons at bits 3 and 9, streaming position 1
+/// let iv = build_interval(0b10_0000_1000, 1);
+/// assert!(iv.is_closed());
+/// assert_eq!(iv.mask(), 0b110); // bits 1,2 — up to but excluding bit 3
+/// assert_eq!(iv.end(), 3);
+/// ```
+#[inline]
+pub fn build_interval(bitmap: u64, pos: u32) -> Interval {
+    let b_start = 1u64 << pos; // mask start position (line 4)
+    let mask_start = b_start ^ b_start.wrapping_sub(1); // bits up to start, inclusive (line 5)
+    let bitmap = bitmap & !mask_start; // reset bits up to start (line 6)
+    let b_end = bits::lowest(bitmap); // mask end position (line 7)
+    Interval {
+        mask: bits::span(b_start, b_end), // line 8
+        closed: b_end != 0,
+    }
+}
+
+/// Builds the interval between the first two metacharacter occurrences in
+/// `bitmap`, consuming the first — Algorithm 3, `nextInterval`
+/// (lines 24–30). Returns `None` when the bitmap has no occurrence left.
+///
+/// ```
+/// use jsonski::interval::next_interval;
+/// let mut bm = 0b0100_0100u64; // metachars at bits 2 and 6
+/// let iv = next_interval(&mut bm).unwrap();
+/// assert_eq!(iv.mask(), 0b0011_1100); // bits 2..=5
+/// assert_eq!(iv.end(), 6);
+/// assert!(next_interval(&mut bm).unwrap().end() == 64); // open-ended
+/// assert!(next_interval(&mut bm).is_none());
+/// ```
+#[inline]
+pub fn next_interval(bitmap: &mut u64) -> Option<Interval> {
+    let b_start = bits::lowest(*bitmap); // rightmost 1 (line 26)
+    if b_start == 0 {
+        return None;
+    }
+    *bitmap = bits::clear_lowest(*bitmap); // remove it (line 27)
+    let b_end = bits::lowest(*bitmap); // rightmost 1 again (line 28)
+    Some(Interval {
+        mask: bits::span(b_start, b_end), // line 29
+        closed: b_end != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_interval_at_zero() {
+        let iv = build_interval(0b1000, 0);
+        assert_eq!(iv.mask(), 0b0111);
+        assert_eq!(iv.end(), 3);
+        assert!(iv.is_closed());
+    }
+
+    #[test]
+    fn build_interval_start_on_metachar_looks_strictly_ahead() {
+        // Algorithm 3 clears bits up to and *including* the start position,
+        // so a metacharacter at `pos` itself does not terminate the
+        // interval — the next one does.
+        let iv = build_interval(0b0101, 0);
+        assert_eq!(iv.mask(), 0b011);
+        assert_eq!(iv.end(), 2);
+        assert!(iv.is_closed());
+    }
+
+    #[test]
+    fn build_interval_open_when_no_metachar() {
+        let iv = build_interval(0, 5);
+        assert!(!iv.is_closed());
+        assert_eq!(iv.mask(), u64::MAX << 5);
+        assert_eq!(iv.end(), 64);
+    }
+
+    #[test]
+    fn build_interval_ignores_bits_below_pos() {
+        let iv = build_interval(0b1_0001, 2);
+        assert!(iv.is_closed());
+        assert_eq!(iv.end(), 4);
+        assert_eq!(iv.mask(), 0b1100); // bits 2..=3
+    }
+
+    #[test]
+    fn next_interval_walks_all_occurrences() {
+        let mut bm = 0b1001_0010u64;
+        let ends: Vec<u32> = std::iter::from_fn(|| next_interval(&mut bm).map(|iv| iv.end()))
+            .collect();
+        assert_eq!(ends, vec![4, 7, 64]);
+    }
+
+    #[test]
+    fn interval_with_only_start_metachar_is_open() {
+        let iv = build_interval(0b1, 0);
+        assert!(!iv.is_closed());
+        assert_eq!(iv.end(), 64);
+    }
+}

@@ -1,0 +1,60 @@
+//! **jsonski** — streaming JSONPath evaluation with bit-parallel
+//! fast-forwarding, a Rust reproduction of *JSONSki: Streaming
+//! Semi-structured Data with Bit-Parallel Fast-Forwarding* (Jiang & Zhao,
+//! ASPLOS 2022).
+//!
+//! The streaming scheme evaluates a path query in a single pass over the
+//! raw JSON bytes, with no parse tree and no structural index. What makes it
+//! fast is *fast-forwarding*: substructures that provably cannot affect the
+//! query result are skipped using bitwise/SIMD primitives instead of being
+//! tokenized:
+//!
+//! | Group | Opportunity | Module |
+//! |-------|-------------|--------|
+//! | G1 | seek the next attribute/element of the type the query demands | [`fastforward`] |
+//! | G2 | skip an unmatched attribute value or element wholesale | [`fastforward`] |
+//! | G3 | skip an accepted value while emitting its bytes | [`fastforward`] |
+//! | G4 | skip to the end of an object once a unique name matched | [`fastforward`] |
+//! | G5 | skip array elements outside an index-range constraint | [`fastforward`] |
+//!
+//! The skips locate object/array ends with the counting-based pairing
+//! strategy (paper Theorem 4.3) over per-64-byte-word metacharacter bitmaps
+//! supplied by the [`simdbits`] crate, and [`interval`] provides the
+//! word-local *structural interval* primitives of the paper's Algorithm 3.
+//!
+//! # Quick start
+//!
+//! ```
+//! use jsonski::JsonSki;
+//!
+//! let json = br#"{"pd": [{"id": 7, "tags": ["a", "b"]}, {"id": 9}]}"#;
+//! let query = JsonSki::compile("$.pd[*].id")?;
+//! assert_eq!(query.matches(json)?, vec![&b"7"[..], &b"9"[..]]);
+//!
+//! // Fast-forward accounting (the paper's Table 6 metric):
+//! let stats = query.run(json, |_| {})?;
+//! assert!(stats.overall_ratio() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cursor;
+mod engine;
+mod error;
+pub mod fastforward;
+pub mod interval;
+mod multi;
+mod reader;
+mod records;
+mod stats;
+
+pub use engine::{EngineConfig, JsonSki, MAX_DEPTH};
+pub use multi::MultiQuery;
+pub use error::StreamError;
+pub use reader::{ChunkedRecords, ReadRecordError, DEFAULT_BUFFER};
+pub use records::{split_records, RecordSplitter};
+pub use stats::{FastForwardStats, Group};
+
+// Re-export the query types so downstream users need only this crate.
+pub use jsonpath::{ExpectedType, ParsePathError, Path, Step};

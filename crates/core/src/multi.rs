@@ -1,0 +1,460 @@
+//! Multi-query streaming: evaluate several JSONPath queries in **one**
+//! pass with shared fast-forwarding.
+//!
+//! JPStream compiles query *sets* into one automaton; JSONSki's paper
+//! evaluates single queries but nothing in its design precludes sharing the
+//! stream. [`MultiQuery`] runs one automaton instance per query over a
+//! single cursor: a value is skipped (bit-parallel, G2) only when *every*
+//! query is unmatched on it, the G4 object-end skip fires only when *every*
+//! query has exhausted its possibilities at the current level, and accepted
+//! values are emitted per query. The per-value work is O(#queries) state
+//! updates; the stream is still classified exactly once.
+
+use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status, Step};
+
+use crate::cursor::Cursor;
+use crate::engine::MAX_DEPTH;
+use crate::error::StreamError;
+use crate::fastforward::{
+    go_over_ary, go_over_obj, go_over_primitive, go_to_ary_end, go_to_obj_end, Span,
+};
+use crate::stats::{FastForwardStats, Group};
+
+/// A set of compiled queries evaluated together in one streaming pass.
+///
+/// # Example
+///
+/// ```
+/// use jsonski::MultiQuery;
+///
+/// let json = br#"{"user": {"id": 7}, "place": {"name": "Manhattan"}}"#;
+/// let mq = MultiQuery::compile(&["$.place.name", "$.user.id"])?;
+/// let counts = mq.counts(json)?;
+/// assert_eq!(counts, vec![1, 1]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiQuery {
+    paths: Vec<Path>,
+}
+
+impl MultiQuery {
+    /// Wraps already-parsed paths.
+    pub fn new(paths: Vec<Path>) -> Self {
+        MultiQuery { paths }
+    }
+
+    /// Compiles a set of JSONPath expressions.
+    ///
+    /// # Errors
+    ///
+    /// The first expression that fails to parse.
+    pub fn compile(queries: &[&str]) -> Result<Self, ParsePathError> {
+        Ok(MultiQuery {
+            paths: queries.iter().map(|q| q.parse()).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// The compiled paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Streams one record; `sink(query_index, bytes)` fires per match.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on malformed input discovered on any examined path.
+    pub fn run<'a, F>(&self, input: &'a [u8], sink: F) -> Result<FastForwardStats, StreamError>
+    where
+        F: FnMut(usize, &'a [u8]),
+    {
+        let mut ev = MultiEval {
+            cur: Cursor::new(input),
+            rts: self.paths.iter().map(Runtime::new).collect(),
+            stats: FastForwardStats::new(),
+            sink,
+            depth: 0,
+        };
+        ev.record()?;
+        Ok(ev.stats)
+    }
+
+    /// Per-query match counts for one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamError`] from [`MultiQuery::run`].
+    pub fn counts(&self, input: &[u8]) -> Result<Vec<usize>, StreamError> {
+        let mut counts = vec![0usize; self.paths.len()];
+        self.run(input, |i, _| counts[i] += 1)?;
+        Ok(counts)
+    }
+}
+
+struct MultiEval<'a, 'p, F> {
+    cur: Cursor<'a>,
+    rts: Vec<Runtime<'p>>,
+    stats: FastForwardStats,
+    sink: F,
+    depth: usize,
+}
+
+impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
+    fn emit(&mut self, idx: usize, span: Span) {
+        (self.sink)(idx, &self.cur.input()[span.0..span.1]);
+    }
+
+    fn record(&mut self) -> Result<(), StreamError> {
+        self.stats.add_total(self.cur.input().len() as u64);
+        self.cur.skip_ws();
+        let Some(t) = self.cur.peek() else {
+            return Ok(());
+        };
+        let kind = match t {
+            b'{' => ContainerKind::Object,
+            b'[' => ContainerKind::Array,
+            _ => {
+                // Primitive root: only `$` queries match.
+                let accepts: Vec<usize> = (0..self.rts.len())
+                    .filter(|&i| self.rts[i].path().is_empty())
+                    .collect();
+                let group = if accepts.is_empty() { Group::G2 } else { Group::G3 };
+                let span = go_over_primitive(&mut self.cur, &mut self.stats, group)?;
+                for i in accepts {
+                    self.emit(i, span);
+                }
+                return Ok(());
+            }
+        };
+        let statuses: Vec<Status> = self
+            .rts
+            .iter_mut()
+            .map(|rt| rt.enter_root(kind))
+            .collect();
+        let any_matched = statuses.contains(&Status::Matched);
+        let start = self.cur.pos();
+        if any_matched {
+            self.cur.bump(); // consume the opener
+            match kind {
+                ContainerKind::Object => self.object()?,
+                ContainerKind::Array => self.array()?,
+            }
+        } else {
+            let any_accept = statuses.contains(&Status::Accept);
+            let group = if any_accept { Group::G3 } else { Group::G2 };
+            match kind {
+                ContainerKind::Object => go_over_obj(&mut self.cur, &mut self.stats, group)?,
+                ContainerKind::Array => go_over_ary(&mut self.cur, &mut self.stats, group)?,
+            };
+        }
+        let end = self.cur.pos();
+        for (i, &s) in statuses.iter().enumerate() {
+            if s == Status::Accept {
+                self.emit(i, (start, end));
+            }
+        }
+        for rt in &mut self.rts {
+            rt.exit();
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), StreamError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            });
+        }
+        let r = self.object_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_body(&mut self) -> Result<(), StreamError> {
+        // `done[i]`: query `i` cannot match any further attribute of this
+        // object (its frame is dead, its step is an array step, or its
+        // uniquely-named child step already matched here).
+        let mut done: Vec<bool> = self
+            .rts
+            .iter()
+            .map(|rt| match rt.current_step() {
+                Some(s) => !s.is_object_step(),
+                None => true,
+            })
+            .collect();
+        loop {
+            if done.iter().all(|&d| d) {
+                // Multi-query G4: nobody can match below this point.
+                go_to_obj_end(&mut self.cur, &mut self.stats, Group::G4)?;
+                self.cur.expect(b'}', "`}`")?;
+                return Ok(());
+            }
+            let t = self.cur.peek_token("attribute or `}`")?;
+            match t {
+                b'}' => {
+                    self.cur.bump();
+                    return Ok(());
+                }
+                b',' => {
+                    self.cur.bump();
+                }
+                b'"' => {
+                    let (ns, ne) = self.cur.read_string()?;
+                    self.cur.expect(b':', "`:`")?;
+                    let raw = &self.cur.input()[ns..ne];
+                    let decisions: Vec<(State, Status)> = self
+                        .rts
+                        .iter()
+                        .map(|rt| rt.value_state_for_key_raw(raw))
+                        .collect();
+                    self.cur.skip_ws();
+                    let vb = self.cur.peek_token("attribute value")?;
+                    self.handle_value(vb, &decisions)?;
+                    for (i, (_, status)) in decisions.iter().enumerate() {
+                        if *status != Status::Unmatched
+                            && matches!(self.rts[i].current_step(), Some(Step::Child(_)))
+                        {
+                            done[i] = true;
+                        }
+                    }
+                }
+                other => {
+                    return Err(StreamError::Unexpected {
+                        expected: "`\"` (attribute name)",
+                        found: other,
+                        pos: self.cur.pos(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), StreamError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            });
+        }
+        let r = self.array_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_body(&mut self) -> Result<(), StreamError> {
+        // Highest index any query can still select, for the multi-query
+        // variant of G5 (skip the array tail once every range is exhausted).
+        let upper_bounds: Vec<Option<usize>> = self
+            .rts
+            .iter()
+            .map(|rt| match rt.current_step() {
+                Some(s) if s.is_array_step() => s.index_range().map(|(_, hi)| hi),
+                Some(_) | None => Some(0), // cannot match at any index
+            })
+            .collect();
+        let hard_limit: Option<usize> = upper_bounds
+            .iter()
+            .copied()
+            .try_fold(0usize, |acc, ub| ub.map(|h| acc.max(h)));
+        loop {
+            let t = self.cur.peek_token("element or `]`")?;
+            if t == b']' {
+                self.cur.bump();
+                return Ok(());
+            }
+            let counter = self.rts[0].counter();
+            if let Some(limit) = hard_limit {
+                if counter >= limit {
+                    go_to_ary_end(&mut self.cur, &mut self.stats, Group::G5)?;
+                    self.cur.expect(b']', "`]`")?;
+                    return Ok(());
+                }
+            }
+            let decisions: Vec<(State, Status)> =
+                self.rts.iter().map(|rt| rt.element_state()).collect();
+            self.handle_value(t, &decisions)?;
+            let d = self.cur.peek_token("`,` or `]`")?;
+            match d {
+                b',' => {
+                    self.cur.bump();
+                    for rt in &mut self.rts {
+                        rt.increment();
+                    }
+                }
+                b']' => {
+                    self.cur.bump();
+                    return Ok(());
+                }
+                other => {
+                    return Err(StreamError::Unexpected {
+                        expected: "`,` or `]`",
+                        found: other,
+                        pos: self.cur.pos(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Processes one value given every query's decision for it: skips it
+    /// bit-parallel when unanimous, descends when any query progresses, and
+    /// emits it to every accepting query.
+    fn handle_value(
+        &mut self,
+        vb: u8,
+        decisions: &[(State, Status)],
+    ) -> Result<(), StreamError> {
+        let any_matched = decisions.iter().any(|d| d.1 == Status::Matched);
+        let any_accept = decisions.iter().any(|d| d.1 == Status::Accept);
+        let start = self.cur.pos();
+        let span: Span = if any_matched && (vb == b'{' || vb == b'[') {
+            self.cur.bump();
+            let kind = if vb == b'{' {
+                ContainerKind::Object
+            } else {
+                ContainerKind::Array
+            };
+            for (i, rt) in self.rts.iter_mut().enumerate() {
+                rt.enter(kind, decisions[i].0);
+            }
+            let r = if vb == b'{' { self.object() } else { self.array() };
+            for rt in &mut self.rts {
+                rt.exit();
+            }
+            r?;
+            (start, self.cur.pos())
+        } else {
+            let group = if any_accept { Group::G3 } else { Group::G2 };
+            match vb {
+                b'{' => go_over_obj(&mut self.cur, &mut self.stats, group)?,
+                b'[' => go_over_ary(&mut self.cur, &mut self.stats, group)?,
+                _ => go_over_primitive(&mut self.cur, &mut self.stats, group)?,
+            }
+        };
+        for (i, d) in decisions.iter().enumerate() {
+            if d.1 == Status::Accept {
+                self.emit(i, span);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn individual_counts(queries: &[&str], json: &[u8]) -> Vec<usize> {
+        queries
+            .iter()
+            .map(|q| crate::JsonSki::compile(q).unwrap().count(json).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_individual_runs() {
+        let json = br#"{
+            "user": {"id": 7, "name": "ann"},
+            "place": {"name": "NYC", "tags": [1, 2, 3]},
+            "items": [{"x": 1}, {"x": 2}, {"y": 3}]
+        }"#;
+        let queries = [
+            "$.place.name",
+            "$.user.id",
+            "$.items[*].x",
+            "$.items[1:3]",
+            "$.missing.path",
+            "$",
+        ];
+        let mq = MultiQuery::compile(&queries).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), individual_counts(&queries, json));
+    }
+
+    #[test]
+    fn emits_to_the_right_query() {
+        let json = br#"{"a": 1, "b": "two"}"#;
+        let mq = MultiQuery::compile(&["$.b", "$.a"]).unwrap();
+        let mut hits: Vec<(usize, Vec<u8>)> = Vec::new();
+        mq.run(json, |i, m| hits.push((i, m.to_vec()))).unwrap();
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![(0, b"\"two\"".to_vec()), (1, b"1".to_vec())]
+        );
+    }
+
+    #[test]
+    fn shared_prefix_descends_once() {
+        // Both queries descend through `a`; the pass is still single.
+        let json = br#"{"a": {"b": 1, "c": 2}, "z": {"b": 9}}"#;
+        let mq = MultiQuery::compile(&["$.a.b", "$.a.c"]).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn overlapping_accept_and_descend() {
+        // One query accepts `a` itself while the other needs its interior.
+        let json = br#"{"a": {"b": 5}}"#;
+        let mq = MultiQuery::compile(&["$.a", "$.a.b"]).unwrap();
+        let mut got = [Vec::new(), Vec::new()];
+        mq.run(json, |i, m| got[i].push(m.to_vec())).unwrap();
+        assert_eq!(got[0], vec![br#"{"b": 5}"#.to_vec()]);
+        assert_eq!(got[1], vec![b"5".to_vec()]);
+    }
+
+    #[test]
+    fn multi_g5_tail_skip_respects_widest_range(){
+        let json = br#"{"a": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}"#;
+        let mq = MultiQuery::compile(&["$.a[1]", "$.a[3:5]"]).unwrap();
+        let stats = {
+            let mut c = vec![0usize; 2];
+            let s = mq.run(json, |i, _| c[i] += 1).unwrap();
+            assert_eq!(c, vec![1, 2]);
+            s
+        };
+        // Elements 5..9 are beyond every range: skipped as G5.
+        assert!(stats.skipped(Group::G5) > 0, "{stats}");
+    }
+
+    #[test]
+    fn wildcard_query_disables_g5() {
+        let json = br#"[1, 2, 3, 4]"#;
+        let mq = MultiQuery::compile(&["$[0]", "$[*]"]).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), vec![1, 4]);
+    }
+
+    #[test]
+    fn all_unmatched_object_is_drained_bit_parallel() {
+        let json = br#"{"huge": {"x": [1, 2, {"y": 3}]}, "a": 1}"#;
+        let mq = MultiQuery::compile(&["$.a", "$.nope"]).unwrap();
+        let stats = mq.run(json, |_, _| {}).unwrap();
+        assert!(stats.skipped(Group::G2) > 0, "{stats}");
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let mq = MultiQuery::new(vec![]);
+        assert!(mq.counts(br#"{"a": 1}"#).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compile_error_propagates() {
+        assert!(MultiQuery::compile(&["$.ok", "$..bad"]).is_err());
+    }
+
+    #[test]
+    fn paper_query_pairs_in_one_pass() {
+        // The two TT queries of Table 5 evaluated together.
+        let json = br#"[
+            {"text": "t1", "en": {"urls": [{"url": "u1"}]}},
+            {"text": "t2", "en": {"urls": []}},
+            {"text": "t3", "en": {"urls": [{"url": "u2"}, {"url": "u3"}]}}
+        ]"#;
+        let queries = ["$[*].en.urls[*].url", "$[*].text"];
+        let mq = MultiQuery::compile(&queries).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), vec![3, 3]);
+        assert_eq!(mq.counts(json).unwrap(), individual_counts(&queries, json));
+    }
+}

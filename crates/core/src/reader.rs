@@ -1,0 +1,284 @@
+//! Bounded-memory streaming from any [`std::io::Read`] source.
+//!
+//! The paper notes that the streaming engines' "memory consumption is
+//! actually configurable by adjusting the input buffer size". This module
+//! delivers that: [`ChunkedRecords`] pulls bytes from a reader into a
+//! recycled buffer, locates record boundaries incrementally (with the same
+//! bit-parallel counting pairing the engine uses), and hands out one
+//! complete record at a time. Peak memory is `max(buffer_size, largest
+//! record)` — independent of the stream length.
+
+use std::io::Read;
+
+use crate::error::StreamError;
+use crate::records::RecordSplitter;
+
+/// Default initial buffer capacity (64 KiB).
+pub const DEFAULT_BUFFER: usize = 64 * 1024;
+
+/// Error from chunked streaming: I/O or JSON structure.
+#[derive(Debug)]
+pub enum ReadRecordError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A record is structurally malformed (e.g. never closes by stream end).
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for ReadRecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadRecordError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadRecordError::Stream(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadRecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadRecordError::Io(e) => Some(e),
+            ReadRecordError::Stream(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadRecordError {
+    fn from(e: std::io::Error) -> Self {
+        ReadRecordError::Io(e)
+    }
+}
+
+impl From<StreamError> for ReadRecordError {
+    fn from(e: StreamError) -> Self {
+        ReadRecordError::Stream(e)
+    }
+}
+
+/// Pulls complete JSON records out of a reader with bounded memory.
+///
+/// # Example
+///
+/// ```
+/// use jsonski::{ChunkedRecords, JsonSki};
+///
+/// let source: &[u8] = b"{\"a\": 1}\n{\"a\": 2}\n{\"b\": 3}\n";
+/// let query = JsonSki::compile("$.a")?;
+/// let mut hits = 0;
+/// let mut records = ChunkedRecords::with_buffer_size(source, 16); // tiny buffer
+/// while let Some(record) = records.next_record()? {
+///     hits += query.count(record)?;
+/// }
+/// assert_eq!(hits, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ChunkedRecords<R> {
+    source: R,
+    buf: Vec<u8>,
+    /// Bytes `0..filled` of `buf` are valid stream data.
+    filled: usize,
+    /// Bytes `0..consumed` have already been handed out as records.
+    consumed: usize,
+    chunk: usize,
+    eof: bool,
+}
+
+impl<R: Read> ChunkedRecords<R> {
+    /// Streams records from `source` with the default buffer size.
+    pub fn new(source: R) -> Self {
+        Self::with_buffer_size(source, DEFAULT_BUFFER)
+    }
+
+    /// Streams records with a caller-chosen refill granularity. The buffer
+    /// still grows transiently when a single record exceeds it.
+    pub fn with_buffer_size(source: R, chunk: usize) -> Self {
+        ChunkedRecords {
+            source,
+            buf: Vec::new(),
+            filled: 0,
+            consumed: 0,
+            chunk: chunk.max(16),
+            eof: false,
+        }
+    }
+
+    /// Returns the next complete record, or `None` at end of stream.
+    ///
+    /// The returned slice borrows the internal buffer and is valid until the
+    /// next call (a lending iterator, hence no `Iterator` impl).
+    ///
+    /// # Errors
+    ///
+    /// [`ReadRecordError`] on I/O failure or an unterminated final record.
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, ReadRecordError> {
+        loop {
+            // Try to find one complete record in the unconsumed region.
+            if let Some(span) = self.try_parse_one()? {
+                let (s, e) = span;
+                self.consumed = e;
+                return Ok(Some(&self.buf[s..e]));
+            }
+            if self.eof {
+                // No record found and nothing more to read: either clean end
+                // (only whitespace left) or an unterminated record, which
+                // try_parse_one already diagnosed.
+                return Ok(None);
+            }
+            self.refill()?;
+        }
+    }
+
+    /// Attempts to split one record out of `buf[consumed..filled]`.
+    /// `Ok(None)` means "need more data" (or clean end at EOF).
+    fn try_parse_one(&mut self) -> Result<Option<(usize, usize)>, ReadRecordError> {
+        // The splitter runs on the unconsumed tail; spans are offset back
+        // into buffer coordinates.
+        let tail = &self.buf[self.consumed..self.filled];
+        let mut tail_splitter = RecordSplitter::new(tail);
+        match tail_splitter.next() {
+            None => Ok(None), // only whitespace (or empty)
+            Some(Ok((s, e))) => {
+                // A record that touches the end of the buffered data might
+                // continue in the unread part of the stream (e.g. the number
+                // `12` could be a prefix of `123`). Only containers and
+                // strings are self-delimiting; refill and retry otherwise.
+                if e == tail.len() && !self.eof && !matches!(tail[s], b'{' | b'[' | b'"') {
+                    return Ok(None);
+                }
+                Ok(Some((self.consumed + s, self.consumed + e)))
+            }
+            Some(Err(err)) => {
+                if self.eof {
+                    Err(err.into()) // truly unterminated
+                } else {
+                    Ok(None) // record continues past the buffered bytes
+                }
+            }
+        }
+    }
+
+    /// Reads more bytes, first compacting consumed data to the front.
+    fn refill(&mut self) -> Result<(), ReadRecordError> {
+        if self.consumed > 0 {
+            self.buf.copy_within(self.consumed..self.filled, 0);
+            self.filled -= self.consumed;
+            self.consumed = 0;
+        }
+        if self.buf.len() < self.filled + self.chunk {
+            self.buf.resize(self.filled + self.chunk, 0);
+        }
+        let n = self.source.read(&mut self.buf[self.filled..])?;
+        if n == 0 {
+            self.eof = true;
+        }
+        self.filled += n;
+        Ok(())
+    }
+
+    /// Current buffer capacity (for memory accounting in tests/benches).
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_records(input: &[u8], chunk: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut r = ChunkedRecords::with_buffer_size(input, chunk);
+        while let Some(rec) = r.next_record().unwrap() {
+            out.push(rec.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn small_buffer_still_finds_all_records() {
+        let mut input = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..40 {
+            let rec = format!("{{\"i\": {i}, \"pad\": [\"{}\", {i}]}}", "x".repeat(i));
+            expected.push(rec.clone().into_bytes());
+            input.extend_from_slice(rec.as_bytes());
+            input.push(b'\n');
+        }
+        for chunk in [16, 17, 64, 1 << 20] {
+            assert_eq!(collect_records(&input, chunk), expected, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn record_larger_than_buffer_grows_transiently() {
+        let big = format!("{{\"k\": \"{}\"}}", "y".repeat(5000));
+        let input = format!("{big}\n{{\"a\": 1}}\n");
+        let got = collect_records(input.as_bytes(), 32);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], big.as_bytes());
+        assert_eq!(got[1], br#"{"a": 1}"#);
+    }
+
+    #[test]
+    fn trailing_number_is_not_truncated() {
+        // `123` must not be emitted as `12` when the buffer boundary falls
+        // mid-number.
+        let input = b"1 22 333 4444";
+        let got = collect_records(input, 2);
+        assert_eq!(
+            got,
+            vec![b"1".to_vec(), b"22".to_vec(), b"333".to_vec(), b"4444".to_vec()]
+        );
+    }
+
+    #[test]
+    fn strings_spanning_refills() {
+        let s = format!("\"{}\" \"b\"", "a".repeat(100));
+        let got = collect_records(s.as_bytes(), 8);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], b"\"b\"");
+    }
+
+    #[test]
+    fn unterminated_final_record_errors() {
+        let mut r = ChunkedRecords::with_buffer_size(&br#"{"a": 1} {"b": "#[..], 8);
+        assert!(r.next_record().unwrap().is_some());
+        assert!(matches!(
+            r.next_record(),
+            Err(ReadRecordError::Stream(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_blank_streams() {
+        assert!(collect_records(b"", 16).is_empty());
+        assert!(collect_records(b"  \n \t ", 16).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_in_memory_splitter_on_generated_data() {
+        // Differential check against the all-in-memory splitter.
+        let mut input = Vec::new();
+        for i in 0..200 {
+            input.extend_from_slice(
+                format!("{{\"id\": {i}, \"vals\": [{i}, {{\"s\": \"x{{y\"}}]}}\n").as_bytes(),
+            );
+        }
+        let spans = crate::split_records(&input).unwrap();
+        let expected: Vec<Vec<u8>> = spans
+            .iter()
+            .map(|&(s, e)| input[s..e].to_vec())
+            .collect();
+        assert_eq!(collect_records(&input, 37), expected);
+    }
+
+    #[test]
+    fn error_types_are_displayable() {
+        let e = ReadRecordError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        let e = ReadRecordError::Stream(StreamError::Unbalanced { pos: 3 });
+        assert!(e.to_string().contains("3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Bit-parallel record splitting for multi-record streams.
+//!
+//! The paper's second processing scenario is "a sequence of small records"
+//! with "an offset array for starting positions". When the offsets are not
+//! given (e.g. a raw JSON-Lines feed), this module discovers them with the
+//! same counting-based pairing used for fast-forwarding: each top-level
+//! container is skipped bit-parallel to find its end, without tokenizing
+//! record contents at all.
+
+use crate::cursor::Cursor;
+use crate::error::StreamError;
+use crate::fastforward::{go_over_ary, go_over_obj};
+use crate::stats::{FastForwardStats, Group};
+
+/// Iterator over the byte spans of consecutive top-level JSON values in a
+/// whitespace/newline-separated stream.
+///
+/// # Example
+///
+/// ```
+/// use jsonski::RecordSplitter;
+///
+/// let stream = b"{\"a\": 1}\n[2, 3]\n\"four\"\n";
+/// let spans: Result<Vec<_>, _> = RecordSplitter::new(stream).collect();
+/// let spans = spans?;
+/// assert_eq!(spans.len(), 3);
+/// assert_eq!(&stream[spans[1].0..spans[1].1], b"[2, 3]");
+/// # Ok::<(), jsonski::StreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct RecordSplitter<'a> {
+    cursor: Cursor<'a>,
+    stats: FastForwardStats,
+    failed: bool,
+}
+
+impl<'a> RecordSplitter<'a> {
+    /// Creates a splitter over `stream`.
+    pub fn new(stream: &'a [u8]) -> Self {
+        RecordSplitter {
+            cursor: Cursor::new(stream),
+            stats: FastForwardStats::new(),
+            failed: false,
+        }
+    }
+
+    /// The underlying stream.
+    pub fn stream(&self) -> &'a [u8] {
+        self.cursor.input()
+    }
+}
+
+impl Iterator for RecordSplitter<'_> {
+    /// A record's `(start, end)` byte span, or the structural error that
+    /// ended the scan.
+    type Item = Result<(usize, usize), StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        self.cursor.skip_ws();
+        let t = self.cursor.peek()?;
+        let result = match t {
+            b'{' => go_over_obj(&mut self.cursor, &mut self.stats, Group::G2),
+            b'[' => go_over_ary(&mut self.cursor, &mut self.stats, Group::G2),
+            b'"' => {
+                // A top-level string record: ends at its closing quote.
+                let start = self.cursor.pos();
+                self.cursor
+                    .seek_string_end(start)
+                    .map(|end| {
+                        self.cursor.set_pos(end + 1);
+                        (start, end + 1)
+                    })
+            }
+            _ => {
+                // A top-level number/literal record: at the top level the
+                // only delimiter is whitespace (or end of stream); scalars
+                // are short, so a byte scan suffices.
+                let start = self.cursor.pos();
+                let mut end = start;
+                let input = self.cursor.input();
+                while end < input.len()
+                    && !matches!(input[end], b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    end += 1;
+                }
+                self.cursor.set_pos(end);
+                Ok((start, end))
+            }
+        };
+        match result {
+            Ok(span) => Some(Ok(span)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Splits a stream into record spans, failing on the first structural error.
+///
+/// # Errors
+///
+/// [`StreamError::Unbalanced`] (or EOF variants) if a record never closes.
+pub fn split_records(stream: &[u8]) -> Result<Vec<(usize, usize)>, StreamError> {
+    RecordSplitter::new(stream).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_mixed_records() {
+        let stream = br#"{"a": {"b": [1]}}  [1, {"x": "]"}]   42 "s,tr" true"#;
+        let spans = split_records(stream).unwrap();
+        let texts: Vec<&[u8]> = spans.iter().map(|&(s, e)| &stream[s..e]).collect();
+        assert_eq!(
+            texts,
+            vec![
+                &br#"{"a": {"b": [1]}}"#[..],
+                br#"[1, {"x": "]"}]"#,
+                b"42",
+                br#""s,tr""#,
+                b"true",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(split_records(b"").unwrap().is_empty());
+        assert!(split_records(b"  \n\t ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbalanced_record_errors() {
+        let err = split_records(br#"{"a": 1} {"b": "#).unwrap_err();
+        assert!(matches!(err, StreamError::Unbalanced { .. }));
+        // The iterator stops after the error.
+        let mut it = RecordSplitter::new(br#"{"ok": 1} {"bad": "#);
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn spans_never_overlap_and_are_ordered() {
+        let mut stream = Vec::new();
+        for i in 0..50 {
+            stream.extend_from_slice(format!("{{\"i\": {i}, \"p\": [{i}, {i}]}}\n").as_bytes());
+        }
+        let spans = split_records(&stream).unwrap();
+        assert_eq!(spans.len(), 50);
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn stream_accessor() {
+        let s = b"1 2 3";
+        let it = RecordSplitter::new(s);
+        assert_eq!(it.stream(), s);
+    }
+}

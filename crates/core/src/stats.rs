@@ -1,0 +1,173 @@
+//! Fast-forward accounting, reproducing the paper's Table 6 metric.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// The five fast-forward function groups of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Fast-forward *to* a type-specific attribute or element.
+    G1,
+    /// Fast-forward *over* an unmatched attribute value / element.
+    G2,
+    /// Fast-forward over a value while outputting it.
+    G3,
+    /// Fast-forward to the end of the current object.
+    G4,
+    /// Fast-forward over out-of-range array elements.
+    G5,
+}
+
+/// Characters fast-forwarded per function group, plus the stream length.
+///
+/// The *fast-forward ratio* (Section 5.3) is "the ratio between the
+/// characters fast-forwarded and the total data stream length". Nested
+/// fast-forward calls attribute their characters to the **outermost** group
+/// entry point (e.g. an array skipped from within `goToObjAttr` counts as
+/// G1), so the per-group counts partition the skipped characters like the
+/// rows of Table 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    g1: u64,
+    g2: u64,
+    g3: u64,
+    g4: u64,
+    g5: u64,
+    /// Total characters in the processed stream.
+    total: u64,
+}
+
+impl FastForwardStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` characters skipped under `group`.
+    #[inline]
+    pub fn record(&mut self, group: Group, n: u64) {
+        match group {
+            Group::G1 => self.g1 += n,
+            Group::G2 => self.g2 += n,
+            Group::G3 => self.g3 += n,
+            Group::G4 => self.g4 += n,
+            Group::G5 => self.g5 += n,
+        }
+    }
+
+    /// Adds `n` to the total stream length.
+    #[inline]
+    pub fn add_total(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Characters skipped by `group`.
+    pub fn skipped(&self, group: Group) -> u64 {
+        match group {
+            Group::G1 => self.g1,
+            Group::G2 => self.g2,
+            Group::G3 => self.g3,
+            Group::G4 => self.g4,
+            Group::G5 => self.g5,
+        }
+    }
+
+    /// Total stream length in characters.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fast-forward ratio of one group (0.0–1.0); 0 when the total is 0.
+    pub fn ratio(&self, group: Group) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.skipped(group) as f64 / self.total as f64
+        }
+    }
+
+    /// Overall fast-forward ratio across all groups (Table 6's last column).
+    pub fn overall_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.g1 + self.g2 + self.g3 + self.g4 + self.g5) as f64 / self.total as f64
+        }
+    }
+}
+
+impl AddAssign for FastForwardStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.g1 += rhs.g1;
+        self.g2 += rhs.g2;
+        self.g3 += rhs.g3;
+        self.g4 += rhs.g4;
+        self.g5 += rhs.g5;
+        self.total += rhs.total;
+    }
+}
+
+impl fmt::Display for FastForwardStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "G1 {:.2}% | G2 {:.2}% | G3 {:.2}% | G4 {:.2}% | G5 {:.2}% | overall {:.2}%",
+            100.0 * self.ratio(Group::G1),
+            100.0 * self.ratio(Group::G2),
+            100.0 * self.ratio(Group::G3),
+            100.0 * self.ratio(Group::G4),
+            100.0 * self.ratio(Group::G5),
+            100.0 * self.overall_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_partition() {
+        let mut s = FastForwardStats::new();
+        s.add_total(100);
+        s.record(Group::G1, 10);
+        s.record(Group::G2, 20);
+        s.record(Group::G4, 60);
+        assert_eq!(s.ratio(Group::G1), 0.10);
+        assert_eq!(s.ratio(Group::G2), 0.20);
+        assert_eq!(s.ratio(Group::G4), 0.60);
+        assert_eq!(s.ratio(Group::G3), 0.0);
+        assert_eq!(s.overall_ratio(), 0.90);
+        assert_eq!(s.skipped(Group::G5), 0);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FastForwardStats::new();
+        assert_eq!(s.overall_ratio(), 0.0);
+        assert_eq!(s.ratio(Group::G3), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = FastForwardStats::new();
+        a.add_total(50);
+        a.record(Group::G5, 25);
+        let mut b = FastForwardStats::new();
+        b.add_total(50);
+        b.record(Group::G5, 25);
+        a += b;
+        assert_eq!(a.total(), 100);
+        assert_eq!(a.ratio(Group::G5), 0.5);
+    }
+
+    #[test]
+    fn display_mentions_all_groups() {
+        let s = FastForwardStats::new();
+        let text = s.to_string();
+        for g in ["G1", "G2", "G3", "G4", "G5", "overall"] {
+            assert!(text.contains(g), "{text}");
+        }
+    }
+}

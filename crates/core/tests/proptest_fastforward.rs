@@ -1,0 +1,138 @@
+//! Property tests for the fast-forward primitives: the counting-based
+//! pairing strategy must agree with a character-at-a-time model on random
+//! well-formed JSON, wherever the skip starts.
+
+use proptest::prelude::*;
+
+use jsonski::cursor::Cursor;
+use jsonski::fastforward::{go_over_ary, go_over_obj};
+use jsonski::{FastForwardStats, Group};
+
+/// Random JSON value rendered to text (same shape as the root test-suite's
+/// generator, duplicated here to keep the crate self-contained).
+fn json_value(depth: u32) -> BoxedStrategy<String> {
+    let scalar = prop_oneof![
+        Just("null".to_string()),
+        (-999i64..999).prop_map(|n| n.to_string()),
+        prop::collection::vec(
+            prop_oneof![
+                Just("x".to_string()),
+                Just("{".to_string()),
+                Just("]".to_string()),
+                Just("\\\"".to_string()),
+                Just("\\\\".to_string()),
+            ],
+            0..6
+        )
+        .prop_map(|parts| format!("\"{}\"", parts.concat())),
+    ];
+    scalar
+        .prop_recursive(depth, 48, 5, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..5)
+                    .prop_map(|vs| format!("[{}]", vs.join(", "))),
+                prop::collection::btree_map("[a-d]", inner, 0..5).prop_map(|m| {
+                    let fields: Vec<String> =
+                        m.into_iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+                    format!("{{{}}}", fields.join(", "))
+                }),
+            ]
+        })
+        .boxed()
+}
+
+/// Character-at-a-time reference: byte offset just past the container that
+/// starts at `input[0]`.
+fn scalar_container_end(input: &[u8]) -> usize {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    input.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn counting_pairing_matches_scalar_model(doc in json_value(4), suffix in "[ ,x\\]}]*") {
+        // Embed the value in arbitrary trailing context so the skip must
+        // stop exactly at the right closer, not merely at input end.
+        let text = format!("{doc}{suffix}");
+        let bytes = text.as_bytes();
+        let first = bytes[0];
+        if first != b'{' && first != b'[' {
+            return Ok(()); // only containers are skippable this way
+        }
+        let want = scalar_container_end(bytes);
+        let mut cur = Cursor::new(bytes);
+        let mut st = FastForwardStats::new();
+        let got = if first == b'{' {
+            go_over_obj(&mut cur, &mut st, Group::G2)
+        } else {
+            go_over_ary(&mut cur, &mut st, Group::G2)
+        };
+        let (_, end) = got.expect("well-formed container must pair");
+        prop_assert_eq!(end, want, "doc: {}", text);
+        prop_assert_eq!(cur.pos(), want);
+        prop_assert_eq!(st.skipped(Group::G2) as usize, want);
+    }
+
+    #[test]
+    fn skip_is_independent_of_start_offset(doc in json_value(3), pad in 0usize..70) {
+        // Leading whitespace shifts the container across word boundaries;
+        // the skip result must only translate, never change.
+        let padded = format!("{}{doc}", " ".repeat(pad));
+        let bytes = padded.as_bytes();
+        let first = bytes[pad];
+        if first != b'{' && first != b'[' {
+            return Ok(());
+        }
+        let mut cur = Cursor::new(bytes);
+        cur.skip_ws();
+        let mut st = FastForwardStats::new();
+        let got = if first == b'{' {
+            go_over_obj(&mut cur, &mut st, Group::G2)
+        } else {
+            go_over_ary(&mut cur, &mut st, Group::G2)
+        };
+        let (start, end) = got.expect("pairs");
+        prop_assert_eq!(start, pad);
+        prop_assert_eq!(end, pad + doc.len());
+    }
+
+    #[test]
+    fn engine_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Malformed input must produce Err or Ok, never a panic.
+        let q = jsonski::JsonSki::compile("$.a[0].b").unwrap();
+        let _ = q.count(&bytes);
+    }
+
+    #[test]
+    fn engine_never_panics_on_json_like_garbage(s in "[\\{\\}\\[\\],:\"\\\\a1 ]{0,200}") {
+        let q = jsonski::JsonSki::compile("$[*].a").unwrap();
+        let _ = q.count(s.as_bytes());
+    }
+}

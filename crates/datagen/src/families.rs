@@ -1,0 +1,658 @@
+//! The six dataset family generators (paper Table 4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::{ident, sentence, short_url, word};
+use crate::writer::JsonWriter;
+use crate::{Dataset, GenConfig, GeneratedData};
+
+pub(crate) fn generate(ds: Dataset, cfg: &GenConfig, large: bool) -> GeneratedData {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(ds as u64));
+    let mut w = JsonWriter::with_capacity(cfg.target_bytes + cfg.target_bytes / 8);
+    if large {
+        generate_large(ds, cfg, &mut rng, &mut w);
+        let len = w.len();
+        GeneratedData::new(w.into_bytes(), vec![(0, len)])
+    } else {
+        generate_small(ds, cfg, &mut rng, w)
+    }
+}
+
+fn generate_large(ds: Dataset, cfg: &GenConfig, rng: &mut StdRng, w: &mut JsonWriter) {
+    match ds {
+        Dataset::Tt | Dataset::Gmd | Dataset::Wp => {
+            // Array-root datasets.
+            w.begin_array();
+            let mut i = 0usize;
+            while w.len() < cfg.target_bytes {
+                unit(ds, rng, w, i);
+                i += 1;
+            }
+            w.end_array();
+        }
+        Dataset::Bb | Dataset::Wm => {
+            let key = if ds == Dataset::Bb { "pd" } else { "it" };
+            w.begin_object();
+            w.key("version");
+            w.number_int(2);
+            w.key(key);
+            w.begin_array();
+            let mut i = 0usize;
+            while w.len() < cfg.target_bytes {
+                unit(ds, rng, w, i);
+                i += 1;
+            }
+            w.end_array();
+            w.key("total");
+            w.number_int(rng.gen_range(0..1_000_000));
+            w.end_object();
+        }
+        Dataset::Nspl => {
+            w.begin_object();
+            w.key("mt");
+            nspl_metadata(rng, w);
+            w.key("dt");
+            w.begin_array();
+            let mut i = 0usize;
+            while w.len() < cfg.target_bytes {
+                unit(ds, rng, w, i);
+                i += 1;
+            }
+            w.end_array();
+            w.end_object();
+        }
+    }
+}
+
+fn generate_small(
+    ds: Dataset,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    mut w: JsonWriter,
+) -> GeneratedData {
+    let mut records = Vec::new();
+    let mut i = 0usize;
+    while w.len() < cfg.target_bytes {
+        let start = w.len();
+        match ds {
+            Dataset::Tt | Dataset::Gmd | Dataset::Wp => {
+                // Same array envelope so the `$[*]...` queries apply.
+                w.begin_array();
+                unit(ds, rng, &mut w, i);
+                w.end_array();
+            }
+            Dataset::Bb | Dataset::Wm => {
+                let key = if ds == Dataset::Bb { "pd" } else { "it" };
+                w.begin_object();
+                w.key(key);
+                w.begin_array();
+                unit(ds, rng, &mut w, i);
+                w.end_array();
+                w.end_object();
+            }
+            Dataset::Nspl => {
+                // One row group per record; the `mt` metadata block exists
+                // only in the large form (NSPL1 is large-only).
+                w.begin_object();
+                w.key("dt");
+                w.begin_array();
+                unit(ds, rng, &mut w, i);
+                w.end_array();
+                w.end_object();
+            }
+        }
+        let end = w.len();
+        records.push((start, end));
+        w.raw_newline();
+        i += 1;
+    }
+    GeneratedData::new(w.into_bytes(), records)
+}
+
+/// Writes one dataset unit (a tweet, a product, ...). `index` is the unit's
+/// ordinal in the stream (used by WP to guarantee matches inside the
+/// `$[10:21]` window of query WP2).
+fn unit(ds: Dataset, rng: &mut StdRng, w: &mut JsonWriter, index: usize) {
+    match ds {
+        Dataset::Tt => tweet(rng, w),
+        Dataset::Bb => bb_product(rng, w),
+        Dataset::Gmd => gmd_direction(rng, w),
+        Dataset::Nspl => nspl_group(rng, w),
+        Dataset::Wm => wm_item(rng, w),
+        Dataset::Wp => {
+            let force_p150 = (10..21).contains(&index) && index.is_multiple_of(2);
+            wp_entity(rng, w, force_p150);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- TT ------
+
+fn tweet(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("created_at");
+    w.string("Mon Jul 05 12:00:00 +0000 2021");
+    w.key("id");
+    w.number_int(rng.gen_range(1_000_000_000..9_000_000_000));
+    w.key("text");
+    { let n = rng.gen_range(8..24); w.string(&sentence(rng, n)); }
+    w.key("user");
+    {
+        w.begin_object();
+        w.key("id");
+        w.number_int(rng.gen_range(1_000..10_000_000));
+        w.key("name");
+        w.string(&ident(rng));
+        w.key("screen_name");
+        w.string(&ident(rng));
+        w.key("followers_count");
+        w.number_int(rng.gen_range(0..100_000));
+        w.key("friends_count");
+        w.number_int(rng.gen_range(0..5_000));
+        w.key("verified");
+        w.boolean(rng.gen_bool(0.02));
+        w.key("description");
+        w.string(&sentence(rng, 6));
+        w.end_object();
+    }
+    w.key("coordinates");
+    w.begin_array();
+    w.number_float(rng.gen_range(-90.0..90.0));
+    w.number_float(rng.gen_range(-180.0..180.0));
+    w.end_array();
+    w.key("place");
+    {
+        w.begin_object();
+        w.key("name");
+        w.string(word(rng));
+        w.key("country_code");
+        w.string("US");
+        w.key("bounding_box");
+        {
+            w.begin_object();
+            w.key("type");
+            w.string("Polygon");
+            w.key("coordinates");
+            w.begin_array();
+            w.begin_array();
+            for _ in 0..4 {
+                w.begin_array();
+                w.number_float(rng.gen_range(-180.0..180.0));
+                w.number_float(rng.gen_range(-90.0..90.0));
+                w.end_array();
+            }
+            w.end_array();
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.key("en");
+    {
+        w.begin_object();
+        w.key("hashtags");
+        w.begin_array();
+        for _ in 0..rng.gen_range(0..3) {
+            w.begin_object();
+            w.key("text");
+            w.string(word(rng));
+            w.key("indices");
+            w.begin_array();
+            let a = rng.gen_range(0..100);
+            w.number_int(a);
+            w.number_int(a + 8);
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("urls");
+        w.begin_array();
+        // ~59% of tweets carry one URL (paper: 88,881 / 150,135 records).
+        if rng.gen_bool(0.59) {
+            w.begin_object();
+            w.key("url");
+            w.string(&short_url(rng));
+            w.key("expanded_url");
+            w.string(&format!("https://example.com/{}", ident(rng)));
+            w.key("indices");
+            w.begin_array();
+            w.number_int(10);
+            w.number_int(33);
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    // ~20% of tweets embed a retweeted status with its own place chain and
+    // media size metadata, which is what gives the real TT dump its depth
+    // of 11 (Table 4).
+    if rng.gen_bool(0.2) {
+        w.key("retweeted_status");
+        w.begin_object();
+        w.key("id");
+        w.number_int(rng.gen_range(1_000_000_000..9_000_000_000));
+        w.key("place");
+        w.begin_object();
+        w.key("bounding_box");
+        w.begin_object();
+        w.key("coordinates");
+        w.begin_array();
+        w.begin_array();
+        w.begin_array();
+        w.number_float(rng.gen_range(-180.0..180.0));
+        w.number_float(rng.gen_range(-90.0..90.0));
+        w.end_array();
+        w.end_array();
+        w.end_array();
+        w.end_object();
+        w.end_object();
+        w.key("extended_entities");
+        w.begin_object();
+        w.key("media");
+        w.begin_array();
+        w.begin_object();
+        w.key("sizes");
+        w.begin_object();
+        w.key("large");
+        w.begin_object();
+        w.key("wh");
+        w.begin_array();
+        w.number_int(rng.gen_range(100..2000));
+        w.number_int(rng.gen_range(100..2000));
+        w.end_array();
+        w.end_object();
+        w.end_object();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        w.end_object();
+    }
+    w.key("retweet_count");
+    w.number_int(rng.gen_range(0..10_000));
+    w.key("favorited");
+    w.boolean(false);
+    w.end_object();
+}
+
+// ---------------------------------------------------------------- BB ------
+
+fn bb_product(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("sku");
+    w.number_int(rng.gen_range(100_000..10_000_000));
+    w.key("nm");
+    w.string(&sentence(rng, 4));
+    w.key("cp");
+    w.begin_array();
+    // Category path: 1-5 entries, usually >= 3, so `[1:3]` yields ~2
+    // matches per product (paper: 459,332 / 230K records).
+    for _ in 0..rng.gen_range(1..=5) {
+        w.begin_object();
+        w.key("id");
+        w.string(&format!("abcat{}", rng.gen_range(100_000..999_999)));
+        w.key("name");
+        w.string(word(rng));
+        w.end_object();
+    }
+    w.end_array();
+    // Variation characteristics: rare (paper BB2: 8,857 matches / 230K).
+    if rng.gen_bool(0.04) {
+        w.key("vc");
+        w.begin_array();
+        w.begin_object();
+        w.key("cha");
+        w.string(word(rng));
+        w.key("values");
+        w.begin_array();
+        for _ in 0..rng.gen_range(1..4) {
+            w.string(word(rng));
+        }
+        w.end_array();
+        w.end_object();
+        w.end_array();
+    }
+    w.key("price");
+    w.begin_object();
+    w.key("currency");
+    w.string("USD");
+    w.key("amount");
+    w.number_float(rng.gen_range(1.0..2000.0));
+    w.end_object();
+    w.key("onSale");
+    w.boolean(rng.gen_bool(0.3));
+    w.key("desc");
+    { let n = rng.gen_range(10..30); w.string(&sentence(rng, n)); }
+    w.key("related");
+    w.begin_array();
+    for _ in 0..rng.gen_range(0..4) {
+        w.number_int(rng.gen_range(100_000..10_000_000));
+    }
+    w.end_array();
+    w.end_object();
+}
+
+// --------------------------------------------------------------- GMD ------
+
+fn gmd_direction(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("geocoded_waypoints");
+    w.begin_array();
+    for _ in 0..2 {
+        w.begin_object();
+        w.key("geocoder_status");
+        w.string("OK");
+        w.key("place_id");
+        w.string(&ident(rng));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("rt");
+    w.begin_array();
+    for _ in 0..rng.gen_range(1..=2) {
+        w.begin_object();
+        w.key("summary");
+        w.string(&sentence(rng, 3));
+        w.key("lg");
+        w.begin_array();
+        for _ in 0..rng.gen_range(1..=2) {
+            w.begin_object();
+            w.key("distance");
+            gmd_measure(rng, w, "km");
+            w.key("duration");
+            gmd_measure(rng, w, "mins");
+            w.key("st");
+            w.begin_array();
+            for _ in 0..rng.gen_range(12..30) {
+                gmd_step(rng, w);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    // `atm` (paper GMD2): very rare — 270 / 4.44K records ≈ 6%.
+    if rng.gen_bool(0.06) {
+        w.key("atm");
+        w.string(&ident(rng));
+    }
+    w.key("status");
+    w.string("OK");
+    w.end_object();
+}
+
+fn gmd_measure(rng: &mut StdRng, w: &mut JsonWriter, unit_name: &str) {
+    w.begin_object();
+    w.key("tx");
+    w.string(&format!("{} {unit_name}", rng.gen_range(1..300)));
+    w.key("vl");
+    w.number_int(rng.gen_range(10..100_000));
+    w.end_object();
+}
+
+fn gmd_step(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("dt");
+    gmd_measure(rng, w, "mins");
+    w.key("ds");
+    gmd_measure(rng, w, "m");
+    w.key("html_instructions");
+    { let n = rng.gen_range(5..12); w.string(&sentence(rng, n)); }
+    w.key("start_location");
+    w.begin_object();
+    w.key("lat");
+    w.number_float(rng.gen_range(-90.0..90.0));
+    w.key("lng");
+    w.number_float(rng.gen_range(-180.0..180.0));
+    w.end_object();
+    w.key("travel_mode");
+    w.string("DRIVING");
+    w.end_object();
+}
+
+// -------------------------------------------------------------- NSPL ------
+
+pub(crate) fn nspl_metadata(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("vw");
+    w.begin_object();
+    w.key("id");
+    w.string(&ident(rng));
+    w.key("co");
+    w.begin_array();
+    for i in 0..44 {
+        w.begin_object();
+        w.key("id");
+        w.number_int(i);
+        w.key("nm");
+        w.string(&format!("col_{}", word(rng)));
+        w.key("meta");
+        w.begin_object();
+        w.key("codes");
+        w.begin_array();
+        w.number_int(rng.gen_range(0..9));
+        w.end_array();
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+}
+
+/// One NSPL row group: an array of rows, each row an array of ~24 scalars.
+fn nspl_group(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_array();
+    for _ in 0..rng.gen_range(4..10) {
+        w.begin_array();
+        for col in 0..24 {
+            match col % 4 {
+                0 => w.string(&format!(
+                    "{}{} {}XX",
+                    word(rng).to_uppercase().chars().next().unwrap(),
+                    rng.gen_range(1..20),
+                    rng.gen_range(1..9)
+                )),
+                1 => w.number_int(rng.gen_range(0..1_000_000)),
+                2 => w.number_float(rng.gen_range(-5.0..60.0)),
+                _ => {
+                    if rng.gen_bool(0.1) {
+                        w.null()
+                    } else {
+                        w.string(word(rng))
+                    }
+                }
+            }
+        }
+        w.end_array();
+    }
+    w.end_array();
+}
+
+// ---------------------------------------------------------------- WM ------
+
+fn wm_item(rng: &mut StdRng, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("itemId");
+    w.number_int(rng.gen_range(10_000_000..99_999_999));
+    w.key("nm");
+    w.string(&sentence(rng, 5));
+    w.key("msrp");
+    w.number_float(rng.gen_range(1.0..500.0));
+    w.key("salePrice");
+    w.number_float(rng.gen_range(1.0..500.0));
+    // Best-marketplace-reduced-price: rare (paper WM1: 15,892 / 272,499).
+    if rng.gen_bool(0.06) {
+        w.key("bmrpr");
+        w.begin_object();
+        w.key("pr");
+        w.number_float(rng.gen_range(1.0..400.0));
+        w.key("currency");
+        w.string("USD");
+        w.end_object();
+    }
+    w.key("categoryPath");
+    w.string(&format!("{}/{}/{}", word(rng), word(rng), word(rng)));
+    // A small minority of items list features in an array (Table 4: WM has
+    // ~10x fewer arrays than objects).
+    if rng.gen_bool(0.1) {
+        w.key("features");
+        w.begin_array();
+        for _ in 0..rng.gen_range(1..4) {
+            w.string(word(rng));
+        }
+        w.end_array();
+    }
+    w.key("shipping");
+    w.begin_object();
+    w.key("standard");
+    w.boolean(true);
+    w.key("twoDay");
+    w.boolean(rng.gen_bool(0.5));
+    w.end_object();
+    w.key("longDescription");
+    { let n = rng.gen_range(8..20); w.string(&sentence(rng, n)); }
+    w.end_object();
+}
+
+// ---------------------------------------------------------------- WP ------
+
+fn wp_entity(rng: &mut StdRng, w: &mut JsonWriter, force_p150: bool) {
+    w.begin_object();
+    w.key("id");
+    w.string(&format!("Q{}", rng.gen_range(1..100_000_000)));
+    w.key("ty");
+    w.string("item");
+    w.key("lb");
+    w.begin_object();
+    for lang in ["en", "de", "fr"] {
+        w.key(lang);
+        w.begin_object();
+        w.key("lg");
+        w.string(lang);
+        w.key("vl");
+        w.string(&sentence(rng, 3));
+        w.end_object();
+    }
+    w.end_object();
+    w.key("cl");
+    w.begin_object();
+    // Always-present claim groups.
+    for pty in ["P31", "P17"] {
+        w.key(pty);
+        w.begin_array();
+        for _ in 0..rng.gen_range(1..=2) {
+            wp_claim(rng, w, pty);
+        }
+        w.end_array();
+    }
+    // P150 ("contains administrative territorial entity"): ~11% of entities
+    // (paper WP1: 15,603 matches / 137K records).
+    if force_p150 || rng.gen_bool(0.11) {
+        w.key("P150");
+        w.begin_array();
+        for _ in 0..rng.gen_range(1..=3) {
+            wp_claim(rng, w, "P150");
+        }
+        w.end_array();
+    }
+    w.end_object();
+    w.key("sitelinks");
+    w.begin_object();
+    w.key("enwiki");
+    w.begin_object();
+    w.key("site");
+    w.string("enwiki");
+    w.key("title");
+    w.string(&sentence(rng, 2));
+    w.end_object();
+    w.end_object();
+    w.end_object();
+}
+
+fn wp_claim(rng: &mut StdRng, w: &mut JsonWriter, pty: &str) {
+    w.begin_object();
+    w.key("ms");
+    w.begin_object();
+    w.key("pty");
+    w.string(pty);
+    w.key("snaktype");
+    w.string("value");
+    w.key("dv");
+    w.begin_object();
+    w.key("type");
+    w.string("wikibase-entityid");
+    w.key("value");
+    w.begin_object();
+    w.key("entity-type");
+    w.string("item");
+    w.key("numeric-id");
+    w.number_int(rng.gen_range(1..10_000_000));
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    w.key("rk");
+    w.string("normal");
+    // ~30% of claims carry references, the chain that gives the real WP
+    // dump its depth of 12 (Table 4): refs[] -> snaks -> P248[] -> dv ->
+    // value.
+    if rng.gen_bool(0.3) {
+        w.key("refs");
+        w.begin_array();
+        w.begin_object();
+        w.key("snaks");
+        w.begin_object();
+        w.key("P248");
+        w.begin_array();
+        w.begin_object();
+        w.key("dv");
+        w.begin_object();
+        w.key("value");
+        w.begin_object();
+        w.key("numeric-id");
+        w.number_int(rng.gen_range(1..10_000_000));
+        w.end_object();
+        w.end_object();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        w.end_object();
+        w.end_array();
+    }
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> GenConfig {
+        GenConfig {
+            target_bytes: 48 * 1024,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn every_family_generates_nonempty_both_forms() {
+        for ds in Dataset::all() {
+            let l = ds.generate_large(&small_cfg());
+            assert!(l.bytes().len() >= small_cfg().target_bytes, "{}", ds.name());
+            assert_eq!(l.records().len(), 1);
+            let s = ds.generate_small(&small_cfg());
+            assert!(s.records().len() > 1, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn small_records_are_newline_separated() {
+        let s = Dataset::Bb.generate_small(&small_cfg());
+        for win in s.records().windows(2) {
+            let gap = &s.bytes()[win[0].1..win[1].0];
+            assert_eq!(gap, b"\n");
+        }
+    }
+}

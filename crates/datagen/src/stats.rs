@@ -1,0 +1,156 @@
+//! Structural statistics of a JSON stream (the paper's Table 4 columns).
+
+/// Counts of structural features in a data stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StructuralStats {
+    /// Number of objects (`{`).
+    pub objects: u64,
+    /// Number of arrays (`[`).
+    pub arrays: u64,
+    /// Number of object attributes (structural `:`).
+    pub attributes: u64,
+    /// Number of primitive values (string/number/bool/null leaves).
+    pub primitives: u64,
+    /// Maximum nesting depth.
+    pub depth: u32,
+    /// Total bytes scanned.
+    pub bytes: u64,
+}
+
+/// Scans a JSON stream (one record or many, whitespace/newline separated)
+/// and tallies its structural statistics.
+///
+/// The scan is a simple validating-enough pass: strings and escapes are
+/// tracked so metacharacters inside strings are not counted.
+///
+/// ```
+/// let st = datagen::structural_stats(br#"{"a": [1, "x", {"b": null}]}"#);
+/// assert_eq!(st.objects, 2);
+/// assert_eq!(st.arrays, 1);
+/// assert_eq!(st.attributes, 2);
+/// assert_eq!(st.primitives, 3);
+/// assert_eq!(st.depth, 3);
+/// ```
+pub fn structural_stats(input: &[u8]) -> StructuralStats {
+    let mut st = StructuralStats {
+        bytes: input.len() as u64,
+        ..Default::default()
+    };
+    let mut depth = 0u32;
+    let mut in_string = false;
+    let mut prev_was_value_start = false; // inside a primitive token
+    let mut i = 0usize;
+    while i < input.len() {
+        let b = input[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_string = true;
+                // A string is a primitive unless it is an attribute name;
+                // names are followed by ':' — patch retroactively instead:
+                // count now, subtract at the ':' below.
+                st.primitives += 1;
+                prev_was_value_start = false;
+            }
+            b'{' => {
+                st.objects += 1;
+                depth += 1;
+                st.depth = st.depth.max(depth);
+                prev_was_value_start = false;
+            }
+            b'[' => {
+                st.arrays += 1;
+                depth += 1;
+                st.depth = st.depth.max(depth);
+                prev_was_value_start = false;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                prev_was_value_start = false;
+            }
+            b':' => {
+                st.attributes += 1;
+                // The string before this colon was a name, not a primitive.
+                st.primitives = st.primitives.saturating_sub(1);
+                prev_was_value_start = false;
+            }
+            b',' | b' ' | b'\t' | b'\n' | b'\r' => {
+                prev_was_value_start = false;
+            }
+            _ => {
+                // Part of a number / true / false / null token.
+                if !prev_was_value_start {
+                    st.primitives += 1;
+                    prev_was_value_start = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, GenConfig};
+
+    #[test]
+    fn counts_basic_document() {
+        let st = structural_stats(br#"{"a": 1, "b": [true, null, "s"], "c": {"d": 2.5}}"#);
+        assert_eq!(st.objects, 2);
+        assert_eq!(st.arrays, 1);
+        assert_eq!(st.attributes, 4);
+        assert_eq!(st.primitives, 5);
+        assert_eq!(st.depth, 2);
+    }
+
+    #[test]
+    fn string_contents_do_not_count() {
+        let st = structural_stats(br#"{"a": "{[:,]} \" x"}"#);
+        assert_eq!(st.objects, 1);
+        assert_eq!(st.arrays, 0);
+        assert_eq!(st.attributes, 1);
+        assert_eq!(st.primitives, 1);
+    }
+
+    #[test]
+    fn multi_record_stream() {
+        let st = structural_stats(b"{\"a\": 1}\n{\"a\": 2}\n");
+        assert_eq!(st.objects, 2);
+        assert_eq!(st.attributes, 2);
+        assert_eq!(st.primitives, 2);
+        assert_eq!(st.depth, 1);
+    }
+
+    #[test]
+    fn generated_families_have_sane_shapes() {
+        let cfg = GenConfig {
+            target_bytes: 64 * 1024,
+            seed: 5,
+        };
+        for ds in Dataset::all() {
+            let data = ds.generate_large(&cfg);
+            let st = structural_stats(data.bytes());
+            assert!(st.objects > 0, "{}", ds.name());
+            assert!(st.attributes > 0, "{}", ds.name());
+            assert!(st.primitives > st.objects / 2, "{}", ds.name());
+            assert!(st.depth >= 3, "{}: depth {}", ds.name(), st.depth);
+        }
+        // Relative shape checks from Table 4: NSPL is array/primitive heavy,
+        // GMD is object heavy relative to arrays.
+        let nspl = structural_stats(Dataset::Nspl.generate_large(&cfg).bytes());
+        assert!(nspl.primitives > nspl.objects * 20);
+        assert!(nspl.arrays > nspl.objects);
+        let gmd = structural_stats(Dataset::Gmd.generate_large(&cfg).bytes());
+        assert!(gmd.objects > gmd.arrays * 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Random JSON-safe text fragments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const WORDS: &[&str] = &[
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliett",
+    "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
+    "uniform", "victor", "whiskey", "xray", "yankee", "zulu", "amber", "birch", "cedar", "dune",
+];
+
+/// Fragments that exercise string masking: escaped quotes, escaped
+/// backslashes, and metacharacters inside strings.
+const SPICE: &[&str] = &[
+    r#"\"quoted\""#,
+    r"back\\slash",
+    "braces {not real}",
+    "brackets [0, 1]",
+    "colon: comma,",
+    r#"mix \"{[,:]}\" end"#,
+];
+
+/// A random word from a fixed vocabulary.
+pub fn word(rng: &mut StdRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// A JSON-safe sentence of `n` words; roughly 5% of sentences embed a
+/// metacharacter/escape fragment.
+pub fn sentence(rng: &mut StdRng, n: usize) -> String {
+    let mut s = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        if rng.gen_ratio(1, 20) {
+            s.push_str(SPICE[rng.gen_range(0..SPICE.len())]);
+        } else {
+            s.push_str(word(rng));
+        }
+    }
+    s
+}
+
+/// An identifier like `alpha_bravo_17`.
+pub fn ident(rng: &mut StdRng) -> String {
+    format!("{}_{}_{}", word(rng), word(rng), rng.gen_range(0..100))
+}
+
+/// A fake shortened URL.
+pub fn short_url(rng: &mut StdRng) -> String {
+    let tail: String = (0..8)
+        .map(|_| {
+            let c = rng.gen_range(0..36u32);
+            char::from_digit(c % 10, 10)
+                .filter(|_| c < 10)
+                .unwrap_or_else(|| (b'a' + (c.saturating_sub(10)) as u8) as char)
+        })
+        .collect();
+    format!("https://t.example/{tail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn sentences_are_json_safe() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sentence(&mut r, 12);
+            // Raw quotes / backslashes only appear in valid escape pairs.
+            let bytes = s.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        assert!(matches!(bytes.get(i + 1), Some(b'"') | Some(b'\\')), "{s}");
+                        i += 2;
+                    }
+                    b'"' => panic!("unescaped quote in {s}"),
+                    _ => i += 1,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idents_and_urls_have_expected_shape() {
+        let mut r = rng();
+        let id = ident(&mut r);
+        assert!(id.contains('_'));
+        let url = short_url(&mut r);
+        assert!(url.starts_with("https://t.example/"));
+        assert_eq!(url.len(), "https://t.example/".len() + 8);
+    }
+
+    #[test]
+    fn word_is_deterministic_per_seed() {
+        let a = word(&mut rng());
+        let b = word(&mut rng());
+        assert_eq!(a, b);
+    }
+}

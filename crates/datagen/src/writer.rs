@@ -1,0 +1,197 @@
+//! A small push-based JSON writer used by the generators.
+
+/// Builds JSON text into a byte buffer with correct comma placement.
+///
+/// # Example
+///
+/// ```
+/// use datagen::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("a");
+/// w.number_int(1);
+/// w.key("b");
+/// w.begin_array();
+/// w.string("x");
+/// w.string("y");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.as_bytes(), br#"{"a": 1, "b": ["x", "y"]}"#);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JsonWriter {
+    buf: Vec<u8>,
+    /// Whether a comma is needed before the next value at each open level.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        JsonWriter {
+            buf: Vec::with_capacity(cap),
+            need_comma: Vec::new(),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.extend_from_slice(b", ");
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object value.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push(b'{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the current object.
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(b'}');
+    }
+
+    /// Opens an array value.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push(b'[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the current array.
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(b']');
+    }
+
+    /// Writes an attribute key (including the following `: `). The key must
+    /// already be JSON-safe (no raw quotes/backslashes).
+    pub fn key(&mut self, name: &str) {
+        self.pre_value();
+        self.buf.push(b'"');
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.extend_from_slice(b"\": ");
+        // The value that follows must not get a comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Writes a string value; the content must already be JSON-safe
+    /// (escape sequences allowed, raw quotes/backslashes not).
+    pub fn string(&mut self, content: &str) {
+        self.pre_value();
+        self.buf.push(b'"');
+        self.buf.extend_from_slice(content.as_bytes());
+        self.buf.push(b'"');
+    }
+
+    /// Writes an integer value.
+    pub fn number_int(&mut self, n: i64) {
+        self.pre_value();
+        self.buf.extend_from_slice(n.to_string().as_bytes());
+    }
+
+    /// Writes a float value with fixed precision.
+    pub fn number_float(&mut self, x: f64) {
+        self.pre_value();
+        self.buf.extend_from_slice(format!("{x:.6}").as_bytes());
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, b: bool) {
+        self.pre_value();
+        self.buf
+            .extend_from_slice(if b { b"true" } else { b"false" });
+    }
+
+    /// Writes a `null` value.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.extend_from_slice(b"null");
+    }
+
+    /// Writes a raw byte sequence as a value (caller guarantees validity).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.pre_value();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a raw newline separator between top-level records (outside
+    /// any value; comma state is unaffected).
+    pub fn raw_newline(&mut self) {
+        self.buf.push(b'\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_have_correct_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.begin_object();
+        w.key("x");
+        w.null();
+        w.key("y");
+        w.boolean(false);
+        w.end_object();
+        w.number_float(1.5);
+        w.begin_array();
+        w.end_array();
+        w.end_array();
+        assert_eq!(w.as_bytes(), br#"[{"x": null, "y": false}, 1.500000, []]"#);
+    }
+
+    #[test]
+    fn empty_object_and_helpers() {
+        let mut w = JsonWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.begin_object();
+        w.end_object();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.into_bytes(), b"{}");
+    }
+
+    #[test]
+    fn raw_values_participate_in_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.raw(b"1e3");
+        w.raw(b"2e4");
+        w.end_array();
+        assert_eq!(w.as_bytes(), b"[1e3, 2e4]");
+    }
+}

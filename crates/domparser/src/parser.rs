@@ -1,0 +1,311 @@
+//! Character-by-character recursive-descent parser building the tree.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::{Value, ValueKind};
+
+/// Syntax error raised by the DOM parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomError {
+    message: &'static str,
+    /// Byte offset of the error.
+    pub pos: usize,
+}
+
+impl DomError {
+    fn new(message: &'static str, pos: usize) -> Self {
+        DomError { message, pos }
+    }
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.pos)
+    }
+}
+
+impl Error for DomError {}
+
+/// Maximum nesting depth (mirrors the streaming engine's recursion guard).
+const MAX_DEPTH: usize = 1024;
+
+pub(crate) fn parse_root(input: &[u8]) -> Result<Value, DomError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(DomError::new("trailing characters after value", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.input.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), DomError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DomError::new(msg, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, DomError> {
+        if depth > MAX_DEPTH {
+            return Err(DomError::new("nesting too deep", self.pos));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => {
+                let start = self.pos;
+                let s = self.string()?;
+                Ok(Value {
+                    span: (start, self.pos),
+                    kind: ValueKind::String(s),
+                })
+            }
+            Some(b't') => self.literal(b"true", ValueKind::Bool(true)),
+            Some(b'f') => self.literal(b"false", ValueKind::Bool(false)),
+            Some(b'n') => self.literal(b"null", ValueKind::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(DomError::new("unexpected character", self.pos)),
+            None => Err(DomError::new("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, DomError> {
+        let start = self.pos;
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value {
+                span: (start, self.pos),
+                kind: ValueKind::Object(fields),
+            });
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.expect(b':', "expected `:`")?;
+            let value = self.value(depth + 1)?;
+            fields.push((name, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value {
+                        span: (start, self.pos),
+                        kind: ValueKind::Object(fields),
+                    });
+                }
+                _ => return Err(DomError::new("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, DomError> {
+        let start = self.pos;
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value {
+                span: (start, self.pos),
+                kind: ValueKind::Array(items),
+            });
+        }
+        loop {
+            let value = self.value(depth + 1)?;
+            items.push(value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value {
+                        span: (start, self.pos),
+                        kind: ValueKind::Array(items),
+                    });
+                }
+                _ => return Err(DomError::new("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    /// Parses a string token, returning its raw contents (escapes kept).
+    fn string(&mut self) -> Result<String, DomError> {
+        if self.peek() != Some(b'"') {
+            return Err(DomError::new("expected string", self.pos));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return String::from_utf8(raw.to_vec())
+                        .map_err(|_| DomError::new("invalid UTF-8 in string", start));
+                }
+                Some(b'\\') => {
+                    self.pos += 2; // skip the escape pair
+                    if self.pos > self.input.len() {
+                        return Err(DomError::new("unterminated escape", self.pos));
+                    }
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(DomError::new("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, DomError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| DomError::new("invalid number", start))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| DomError::new("invalid number", start))?;
+        Ok(Value {
+            span: (start, self.pos),
+            kind: ValueKind::Number(n),
+        })
+    }
+
+    fn literal(&mut self, word: &'static [u8], kind: ValueKind) -> Result<Value, DomError> {
+        let start = self.pos;
+        if self.input.len() >= start + word.len() && &self.input[start..start + word.len()] == word
+        {
+            self.pos += word.len();
+            Ok(Value {
+                span: (start, self.pos),
+                kind,
+            })
+        } else {
+            Err(DomError::new("invalid literal", start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dom;
+
+    #[test]
+    fn parses_all_value_kinds() {
+        let json = br#"{"s": "str", "n": -1.5e3, "b": true, "f": false, "z": null,
+                        "a": [1, 2], "o": {"k": "v"}}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(
+            dom.root().get("s").unwrap().kind(),
+            &ValueKind::String("str".into())
+        );
+        assert_eq!(
+            dom.root().get("n").unwrap().kind(),
+            &ValueKind::Number(-1500.0)
+        );
+        assert_eq!(dom.root().get("b").unwrap().kind(), &ValueKind::Bool(true));
+        assert_eq!(dom.root().get("f").unwrap().kind(), &ValueKind::Bool(false));
+        assert_eq!(dom.root().get("z").unwrap().kind(), &ValueKind::Null);
+        assert_eq!(dom.root().get("a").unwrap().len(), 2);
+        assert_eq!(dom.root().get("o").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn string_escapes_kept_raw() {
+        let json = br#"{"k": "a\"b\\c"}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(
+            dom.root().get("k").unwrap().kind(),
+            &ValueKind::String(r#"a\"b\\c"#.into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            &br#"{"a": }"#[..],
+            br#"{"a" 1}"#,
+            br#"[1, 2"#,
+            br#"{"a": 1} extra"#,
+            br#"tru"#,
+            br#"{"a": 01x}"#,
+            br#""unclosed"#,
+            b"",
+        ] {
+            assert!(Dom::parse(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn root_primitives() {
+        assert_eq!(
+            *Dom::parse(b"42").unwrap().root().kind(),
+            ValueKind::Number(42.0)
+        );
+        assert_eq!(*Dom::parse(b" null ").unwrap().root().kind(), ValueKind::Null);
+    }
+
+    #[test]
+    fn deep_nesting_guard() {
+        let mut v = Vec::new();
+        v.extend(std::iter::repeat_n(b'[', 3000));
+        v.extend(std::iter::repeat_n(b']', 3000));
+        assert!(Dom::parse(&v).is_err());
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = Dom::parse(br#"{"a": @}"#).unwrap_err();
+        assert_eq!(err.pos, 6);
+        assert!(err.to_string().contains("byte 6"));
+    }
+}

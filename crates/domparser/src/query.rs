@@ -1,0 +1,98 @@
+//! Top-down tree traversal query evaluation (paper Figure 3-(a)).
+
+use jsonpath::Step;
+
+use crate::value::{Value, ValueKind};
+
+/// Recursively collects nodes matching the remaining `steps`, in document
+/// order.
+pub(crate) fn collect_matches<'v>(node: &'v Value, steps: &[Step], out: &mut Vec<&'v Value>) {
+    let Some((step, rest)) = steps.split_first() else {
+        out.push(node);
+        return;
+    };
+    match (step, &node.kind) {
+        (Step::Child(name), ValueKind::Object(fields)) => {
+            for (k, v) in fields {
+                // Keys are stored raw; compare escape-aware like all engines.
+                if jsonpath::names::matches(k.as_bytes(), name) {
+                    collect_matches(v, rest, out);
+                }
+            }
+        }
+        (Step::AnyChild, ValueKind::Object(fields)) => {
+            for (_, v) in fields {
+                collect_matches(v, rest, out);
+            }
+        }
+        (Step::Index(_) | Step::Slice(_, _) | Step::AnyElement, ValueKind::Array(items)) => {
+            for (i, v) in items.iter().enumerate() {
+                if step.selects_index(i) {
+                    collect_matches(v, rest, out);
+                }
+            }
+        }
+        _ => {} // kind mismatch: no matches below this node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Dom;
+    use jsonpath::Path;
+
+    fn texts<'a>(dom: &'a Dom<'a>, q: &str) -> Vec<&'a str> {
+        let path: Path = q.parse().unwrap();
+        dom.query(&path).into_iter().map(|v| dom.text(v)).collect()
+    }
+
+    #[test]
+    fn child_and_wildcard() {
+        let json = br#"{"a": {"x": 1, "y": 2}, "b": {"x": 3}}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$.a.x"), vec!["1"]);
+        assert_eq!(texts(&dom, "$.*.x"), vec!["1", "3"]);
+        assert_eq!(texts(&dom, "$.a.*"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn array_steps() {
+        let json = br#"[10, 20, 30, 40, 50]"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$[0]"), vec!["10"]);
+        assert_eq!(texts(&dom, "$[2:4]"), vec!["30", "40"]);
+        assert_eq!(texts(&dom, "$[*]").len(), 5);
+    }
+
+    #[test]
+    fn paper_style_query() {
+        let json = br#"{"pd": [{"cp": [{"id": 1}, {"id": 2}, {"id": 3}]}, {"cp": [{"id": 4}]}]}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$.pd[*].cp[1:3].id"), vec!["2", "3"]);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_nothing() {
+        let json = br#"{"a": [1, 2]}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert!(texts(&dom, "$.a.b").is_empty());
+        assert!(texts(&dom, "$[0]").is_empty());
+        assert!(texts(&dom, "$.a[0].x").is_empty());
+    }
+
+    #[test]
+    fn root_query_returns_root() {
+        let json = br#"{"a": 1}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$"), vec![r#"{"a": 1}"#]);
+        assert_eq!(dom.count(&"$".parse().unwrap()), 1);
+    }
+
+    #[test]
+    fn duplicate_names_all_match() {
+        // JSON permits duplicates syntactically; the tree keeps both.
+        let json = br#"{"a": 1, "a": 2}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$.a"), vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,155 @@
+//! The in-memory parse tree.
+
+use jsonpath::Path;
+
+use crate::parser::{parse_root, DomError};
+use crate::query::collect_matches;
+
+/// Kinds of JSON values in the parse tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueKind {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number (stored as `f64`, like RapidJSON's default).
+    Number(f64),
+    /// A string, with escape sequences left as-is (raw contents).
+    String(String),
+    /// An ordered array of values.
+    Array(Vec<Value>),
+    /// An object: attribute name–value pairs in document order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A node of the parse tree: its kind plus its byte span in the source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Value {
+    pub(crate) span: (usize, usize),
+    pub(crate) kind: ValueKind,
+}
+
+impl Value {
+    /// The node's kind and children.
+    pub fn kind(&self) -> &ValueKind {
+        &self.kind
+    }
+
+    /// Byte span `[start, end)` of this value in the source document.
+    pub fn span(&self) -> (usize, usize) {
+        self.span
+    }
+
+    /// Looks up an object attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match &self.kind {
+            ValueKind::Object(fields) => {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Indexes into an array.
+    pub fn at(&self, idx: usize) -> Option<&Value> {
+        match &self.kind {
+            ValueKind::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Number of children (array elements or object attributes); 0 for
+    /// primitives.
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            ValueKind::Array(items) => items.len(),
+            ValueKind::Object(fields) => fields.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the node has no children.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A parsed document: the tree plus a borrow of the source bytes.
+#[derive(Clone, Debug)]
+pub struct Dom<'a> {
+    input: &'a [u8],
+    root: Value,
+}
+
+impl<'a> Dom<'a> {
+    /// Parses a complete JSON record into a tree (the preprocessing step).
+    ///
+    /// # Errors
+    ///
+    /// [`DomError`] on any syntax error — unlike the streaming engines,
+    /// the DOM parser validates the entire document.
+    pub fn parse(input: &'a [u8]) -> Result<Self, DomError> {
+        let root = parse_root(input)?;
+        Ok(Dom { input, root })
+    }
+
+    /// The root value.
+    pub fn root(&self) -> &Value {
+        &self.root
+    }
+
+    /// The source bytes.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// Evaluates a JSONPath query by walking the tree, returning matched
+    /// nodes in document order.
+    pub fn query(&self, path: &Path) -> Vec<&Value> {
+        let mut out = Vec::new();
+        collect_matches(&self.root, path.steps(), &mut out);
+        out
+    }
+
+    /// Number of query matches.
+    pub fn count(&self, path: &Path) -> usize {
+        self.query(path).len()
+    }
+
+    /// The raw source text of a node (e.g. for comparing with streaming
+    /// engines' output spans).
+    pub fn text(&self, value: &Value) -> &'a str {
+        std::str::from_utf8(&self.input[value.span.0..value.span.1])
+            .expect("spans always cover valid UTF-8 boundaries of the parsed document")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn navigation_helpers() {
+        let json = br#"{"a": [1, 2, {"b": true}], "c": null}"#;
+        let dom = Dom::parse(json).unwrap();
+        let a = dom.root().get("a").unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        let b = a.at(2).unwrap().get("b").unwrap();
+        assert_eq!(b.kind(), &ValueKind::Bool(true));
+        assert_eq!(dom.root().get("c").unwrap().kind(), &ValueKind::Null);
+        assert!(dom.root().get("zzz").is_none());
+        assert!(a.at(5).is_none());
+        assert_eq!(dom.root().len(), 2);
+    }
+
+    #[test]
+    fn spans_reconstruct_source() {
+        let json = br#"{"a": [1, {"x": "y"}]}"#;
+        let dom = Dom::parse(json).unwrap();
+        let a = dom.root().get("a").unwrap();
+        assert_eq!(dom.text(a), r#"[1, {"x": "y"}]"#);
+        assert_eq!(dom.text(a.at(1).unwrap()), r#"{"x": "y"}"#);
+        assert_eq!(dom.text(dom.root()), std::str::from_utf8(json).unwrap());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10.
+fn main() {
+    harness::scenario::fig10();
+}

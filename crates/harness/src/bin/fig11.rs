@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11.
+fn main() {
+    harness::scenario::fig11();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12.
+fn main() {
+    harness::scenario::fig12();
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 13 (memory footprint), with the counting
+//! allocator installed so per-engine peak heap is observable.
+
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc;
+
+fn main() {
+    harness::scenario::fig13();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14.
+fn main() {
+    harness::scenario::fig14();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4.
+fn main() {
+    harness::scenario::table4();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table6.
+fn main() {
+    harness::scenario::table6();
+}

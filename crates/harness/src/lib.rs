@@ -1,0 +1,58 @@
+//! Experiment harness regenerating every table and figure of the JSONSki
+//! paper's evaluation (Section 5).
+//!
+//! Binaries (run with `--release`; set `REPRO_MB=<n>` to scale the generated
+//! datasets, default 8 MiB each):
+//!
+//! | Binary  | Paper artifact | What it reports |
+//! |---------|----------------|-----------------|
+//! | `table4` | Table 4 | structural statistics of the synthetic datasets |
+//! | `fig10` | Figure 10 | single large record: total time per engine (incl. JPStream(16)/Pison(16) parallel variants) |
+//! | `fig11` | Figure 11 | sequence of small records, one thread |
+//! | `fig12` | Figure 12 | sequence of small records, 16 threads |
+//! | `fig13` | Figure 13 | peak memory footprint per engine |
+//! | `fig14` | Figure 14 | input-size scalability on BB1 |
+//! | `table6` | Table 6 | fast-forward ratio per function group |
+//!
+//! The library half hosts the pieces the binaries share: the [`Engine`]
+//! abstraction over all five systems, the counting allocator for the memory
+//! figure, the thread-pool runner for the small-records scenario, and the
+//! chunk-parallel large-record runner standing in for JPStream's
+//! speculation (see `DESIGN.md` for the substitution note).
+
+#![deny(missing_docs)]
+
+pub mod alloc;
+pub mod engines;
+pub mod parallel;
+pub mod report;
+pub mod scenario;
+
+pub use engines::{all_engines, Engine, EngineKind};
+
+/// Returns the dataset scale in bytes, from `REPRO_MB` (default 8 MiB).
+pub fn target_bytes() -> usize {
+    std::env::var("REPRO_MB")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(8)
+        * 1024
+        * 1024
+}
+
+/// Number of worker threads for the parallel scenarios (the paper uses 16;
+/// override with `REPRO_THREADS`).
+pub fn thread_count() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(16)
+}
+
+/// RNG seed for dataset generation (override with `REPRO_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5eed_0001)
+}

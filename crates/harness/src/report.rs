@@ -1,0 +1,146 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A simple aligned-column table printer.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<w$}", c, w = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let sep: Vec<String> = (0..cols).map(|i| "-".repeat(widths[i])).collect();
+        line(&sep, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration as seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Formats a byte count as MiB.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+/// Runs `f` `reps` times and returns the minimum duration with the last
+/// result (minimum-of-N is the conventional noise filter for wall-clock
+/// micro-measurements).
+pub fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(reps > 0);
+    let mut best: Option<Duration> = None;
+    let mut last = None;
+    for _ in 0..reps {
+        let (d, r) = time(&mut f);
+        best = Some(best.map_or(d, |b| b.min(d)));
+        last = Some(r);
+    }
+    (best.unwrap(), last.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.5000");
+        assert_eq!(mib(1024 * 1024), "1.0");
+        assert_eq!(pct(0.9944), "99.44%");
+    }
+
+    #[test]
+    fn time_min_takes_minimum() {
+        let mut calls = 0;
+        let (d, _) = time_min(3, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 3);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,265 @@
+//! Path AST: steps, type inference, and index constraints.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::parse::{parse_path, ParsePathError};
+
+/// One step of a JSONPath expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Object child access: `.name` or `['name']`.
+    Child(String),
+    /// Object wildcard: `.*` — any attribute value.
+    AnyChild,
+    /// Array index: `[n]`.
+    Index(usize),
+    /// Array half-open index range: `[m:n]` selects elements `m..n`.
+    ///
+    /// The paper's `[2:4]` "requests the third and the fourth array
+    /// elements", i.e. indices 2 and 3.
+    Slice(usize, usize),
+    /// Array wildcard: `[*]` — every element.
+    AnyElement,
+}
+
+impl Step {
+    /// Convenience constructor for [`Step::Child`].
+    ///
+    /// ```
+    /// assert_eq!(jsonski_path::Step::child("a"), jsonski_path::Step::Child("a".into()));
+    /// ```
+    pub fn child(name: impl Into<String>) -> Self {
+        Step::Child(name.into())
+    }
+
+    /// Whether this step selects from an object.
+    pub fn is_object_step(&self) -> bool {
+        matches!(self, Step::Child(_) | Step::AnyChild)
+    }
+
+    /// Whether this step selects from an array.
+    pub fn is_array_step(&self) -> bool {
+        matches!(self, Step::Index(_) | Step::Slice(_, _) | Step::AnyElement)
+    }
+
+    /// The index range this array step selects, as a half-open interval,
+    /// or `None` for non-array steps and the unbounded wildcard.
+    ///
+    /// ```
+    /// use jsonski_path::Step;
+    /// assert_eq!(Step::Index(2).index_range(), Some((2, 3)));
+    /// assert_eq!(Step::Slice(2, 4).index_range(), Some((2, 4)));
+    /// assert_eq!(Step::AnyElement.index_range(), None);
+    /// ```
+    pub fn index_range(&self) -> Option<(usize, usize)> {
+        match *self {
+            Step::Index(n) => Some((n, n + 1)),
+            Step::Slice(m, n) => Some((m, n)),
+            _ => None,
+        }
+    }
+
+    /// Whether an array element at position `idx` satisfies this step's
+    /// index constraint (always true for `[*]`; false for object steps).
+    pub fn selects_index(&self, idx: usize) -> bool {
+        match *self {
+            Step::AnyElement => true,
+            Step::Index(n) => idx == n,
+            Step::Slice(m, n) => (m..n).contains(&idx),
+            Step::Child(_) | Step::AnyChild => false,
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Child(name) => write!(f, ".{name}"),
+            Step::AnyChild => write!(f, ".*"),
+            Step::Index(n) => write!(f, "[{n}]"),
+            Step::Slice(m, n) => write!(f, "[{m}:{n}]"),
+            Step::AnyElement => write!(f, "[*]"),
+        }
+    }
+}
+
+/// The container type a query step implies for the value it selects
+/// (paper Section 3.2: "the data type can be inferred from the query").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExpectedType {
+    /// The value must be a JSON object (the next step is a child access).
+    Object,
+    /// The value must be a JSON array (the next step is an array access).
+    Array,
+    /// The value is at the last level of the path: any type can match.
+    Unknown,
+}
+
+/// A parsed JSONPath expression: `$` followed by a sequence of [`Step`]s.
+///
+/// # Example
+///
+/// ```
+/// use jsonski_path::{Path, Step};
+/// let p: Path = "$.pd[*].cp[1:3].id".parse()?;
+/// assert_eq!(
+///     p.steps(),
+///     &[
+///         Step::child("pd"),
+///         Step::AnyElement,
+///         Step::child("cp"),
+///         Step::Slice(1, 3),
+///         Step::child("id"),
+///     ]
+/// );
+/// # Ok::<(), jsonski_path::ParsePathError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// Builds a path from explicit steps.
+    pub fn new(steps: Vec<Step>) -> Self {
+        Path { steps }
+    }
+
+    /// Parses a JSONPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePathError`] for malformed input, empty ranges, or the
+    /// unsupported descendant operator `..`.
+    pub fn parse(input: &str) -> Result<Self, ParsePathError> {
+        parse_path(input)
+    }
+
+    /// The steps of this path, root-first.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps (the depth of the match below the root).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path is just `$` (matching the whole record).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Infers the type of the value selected by step `k` (0-based), per the
+    /// paper's Section 3.2: the type of step `k`'s value is dictated by step
+    /// `k + 1`; the last step's value type is [`ExpectedType::Unknown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn expected_type(&self, k: usize) -> ExpectedType {
+        assert!(k < self.steps.len(), "step index out of range");
+        match self.steps.get(k + 1) {
+            None => ExpectedType::Unknown,
+            Some(s) if s.is_object_step() => ExpectedType::Object,
+            Some(_) => ExpectedType::Array,
+        }
+    }
+
+    /// The container type the *root* record must have for this path to
+    /// match anything, or `None` when the path is `$` alone.
+    pub fn root_type(&self) -> Option<ExpectedType> {
+        self.steps.first().map(|s| {
+            if s.is_object_step() {
+                ExpectedType::Object
+            } else {
+                ExpectedType::Array
+            }
+        })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$")?;
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips() {
+        for q in [
+            "$.place.name",
+            "$[*].en.urls[*].url",
+            "$.pd[*].cp[1:3].id",
+            "$.dt[*][*][2:4]",
+            "$[10:21].cl.P150[*].ms.pty",
+            "$.a.*",
+            "$",
+        ] {
+            let p: Path = q.parse().unwrap();
+            assert_eq!(p.to_string(), q);
+            let p2: Path = p.to_string().parse().unwrap();
+            assert_eq!(p, p2);
+        }
+    }
+
+    #[test]
+    fn expected_type_inference_matches_paper_example() {
+        // "$.place.name": place is an object (it has attribute `name`).
+        let p: Path = "$.place.name".parse().unwrap();
+        assert_eq!(p.expected_type(0), ExpectedType::Object);
+        assert_eq!(p.expected_type(1), ExpectedType::Unknown);
+
+        // "$.places[2:4].name": places is an array.
+        let p: Path = "$.places[2:4].name".parse().unwrap();
+        assert_eq!(p.expected_type(0), ExpectedType::Array);
+        assert_eq!(p.expected_type(1), ExpectedType::Object);
+        assert_eq!(p.expected_type(2), ExpectedType::Unknown);
+    }
+
+    #[test]
+    fn root_type() {
+        let p: Path = "$[*].text".parse().unwrap();
+        assert_eq!(p.root_type(), Some(ExpectedType::Array));
+        let p: Path = "$.a".parse().unwrap();
+        assert_eq!(p.root_type(), Some(ExpectedType::Object));
+        let p: Path = "$".parse().unwrap();
+        assert_eq!(p.root_type(), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn index_selection_semantics() {
+        assert!(Step::Slice(2, 4).selects_index(2));
+        assert!(Step::Slice(2, 4).selects_index(3));
+        assert!(!Step::Slice(2, 4).selects_index(4));
+        assert!(Step::Index(0).selects_index(0));
+        assert!(!Step::Index(0).selects_index(1));
+        assert!(Step::AnyElement.selects_index(10_000));
+        assert!(!Step::child("x").selects_index(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn expected_type_out_of_range_panics() {
+        let p: Path = "$.a".parse().unwrap();
+        p.expected_type(1);
+    }
+}

@@ -1,0 +1,445 @@
+//! The pushdown query automaton of the paper's Figure 5.
+//!
+//! States track *matching progress*: `Progress(k)` means the enclosing
+//! container matched the first `k` steps of the path. A per-container stack
+//! frame holds the state and — for arrays — the element counter, exactly the
+//! `(state, counter, stack)` configuration of the paper's transition rules:
+//!
+//! * rule **[Key]** — [`Runtime::value_state_for_key`] computes the state the
+//!   attribute's value would have; descending into a container value pushes
+//!   it ([`Runtime::enter`]), mirroring the push of rule `[Key]`;
+//! * rule **[Val]** — [`Runtime::exit`] pops, restoring the outer state;
+//! * rules **[Ary-S]**/**[Ary-E]** — entering/leaving an array frame saves
+//!   and restores the counter alongside the state;
+//! * rule **[Com]** — [`Runtime::increment`] bumps the counter.
+
+use crate::ast::{ExpectedType, Path, Step};
+
+/// Match progress of a container (a state of the query automaton).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum State {
+    /// The container matched the first `k` steps of the path.
+    Progress(usize),
+    /// The container is irrelevant to the query (the UNMATCHED sink state).
+    Unmatched,
+}
+
+/// The matching status of a candidate value, driving Algorithm 2's dispatch
+/// between `goOver*` (skip), `goOver*(out)` (output), and recursion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// No match is possible below this value: fast-forward over it (G2).
+    Unmatched,
+    /// Partial progress: descend into the value.
+    Matched,
+    /// The full path matched: this value is a query result (G3).
+    Accept,
+}
+
+/// Which kind of JSON container a stack frame represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ContainerKind {
+    /// A JSON object (`{ ... }`).
+    Object,
+    /// A JSON array (`[ ... ]`).
+    Array,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    kind: ContainerKind,
+    state: State,
+    counter: usize,
+}
+
+/// A running instance of the query automaton over one JSON record.
+///
+/// # Example
+///
+/// Evaluating `$.place.name` over `{"user": ..., "place": {"name": ...}}`:
+///
+/// ```
+/// use jsonski_path::{ContainerKind, Path, Runtime, Status};
+///
+/// let path: Path = "$.place.name".parse()?;
+/// let mut rt = Runtime::new(&path);
+/// rt.enter_root(ContainerKind::Object);
+/// assert_eq!(rt.value_state_for_key("user").1, Status::Unmatched); // skip
+/// let (st, status) = rt.value_state_for_key("place");
+/// assert_eq!(status, Status::Matched); // descend
+/// rt.enter(ContainerKind::Object, st);
+/// assert_eq!(rt.value_state_for_key("name").1, Status::Accept); // output!
+/// rt.exit();
+/// rt.exit();
+/// assert_eq!(rt.depth(), 0);
+/// # Ok::<(), jsonski_path::ParsePathError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Runtime<'p> {
+    path: &'p Path,
+    stack: Vec<Frame>,
+}
+
+impl<'p> Runtime<'p> {
+    /// Creates an automaton instance for `path`, positioned before the root.
+    pub fn new(path: &'p Path) -> Self {
+        Runtime {
+            path,
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    /// The path being evaluated.
+    pub fn path(&self) -> &'p Path {
+        self.path
+    }
+
+    /// Enters the root record (which matched zero steps by definition).
+    ///
+    /// Returns the status of the root itself: `Accept` when the path is just
+    /// `$`, otherwise `Matched` if the root's kind can satisfy the first
+    /// step, `Unmatched` if it cannot (e.g. `$[*]` over an object record).
+    pub fn enter_root(&mut self, kind: ContainerKind) -> Status {
+        let state = match self.path.steps().first() {
+            None => State::Progress(0), // `$` alone: root is the match
+            Some(s) => {
+                let compatible = match kind {
+                    ContainerKind::Object => s.is_object_step(),
+                    ContainerKind::Array => s.is_array_step(),
+                };
+                if compatible {
+                    State::Progress(0)
+                } else {
+                    State::Unmatched
+                }
+            }
+        };
+        self.stack.push(Frame {
+            kind,
+            state,
+            counter: 0,
+        });
+        if self.path.is_empty() {
+            Status::Accept
+        } else if state == State::Unmatched {
+            Status::Unmatched
+        } else {
+            Status::Matched
+        }
+    }
+
+    /// Rule `[Key]`: computes the `(state, status)` the value of attribute
+    /// `name` would have in the current object frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the current frame is not an object.
+    #[inline]
+    pub fn value_state_for_key(&self, name: &str) -> (State, Status) {
+        self.value_state_for_key_raw(name.as_bytes())
+    }
+
+    /// Rule `[Key]` on a *raw* attribute name (escape sequences intact, as
+    /// sliced straight from the input). Escaped names are unescaped for
+    /// comparison only when they contain a backslash — see
+    /// [`crate::names::matches`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the current frame is not an object.
+    #[inline]
+    pub fn value_state_for_key_raw(&self, raw: &[u8]) -> (State, Status) {
+        let frame = self.top();
+        debug_assert_eq!(frame.kind, ContainerKind::Object);
+        match frame.state {
+            State::Progress(k) if k < self.path.len() => match &self.path.steps()[k] {
+                Step::Child(n) if crate::names::matches(raw, n) => self.advance(k),
+                Step::AnyChild => self.advance(k),
+                _ => (State::Unmatched, Status::Unmatched),
+            },
+            _ => (State::Unmatched, Status::Unmatched),
+        }
+    }
+
+    /// Computes the `(state, status)` of the *current* element of the
+    /// current array frame (per the counter and the step's index constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the current frame is not an array.
+    #[inline]
+    pub fn element_state(&self) -> (State, Status) {
+        let frame = self.top();
+        debug_assert_eq!(frame.kind, ContainerKind::Array);
+        match frame.state {
+            State::Progress(k) if k < self.path.len() => {
+                let step = &self.path.steps()[k];
+                if step.is_array_step() && step.selects_index(frame.counter) {
+                    self.advance(k)
+                } else {
+                    (State::Unmatched, Status::Unmatched)
+                }
+            }
+            _ => (State::Unmatched, Status::Unmatched),
+        }
+    }
+
+    #[inline]
+    fn advance(&self, k: usize) -> (State, Status) {
+        let next = k + 1;
+        let status = if next == self.path.len() {
+            Status::Accept
+        } else {
+            Status::Matched
+        };
+        (State::Progress(next), status)
+    }
+
+    /// Rules `[Key]`-push / `[Ary-S]`: descends into a container value whose
+    /// computed state is `state`.
+    #[inline]
+    pub fn enter(&mut self, kind: ContainerKind, state: State) {
+        self.stack.push(Frame {
+            kind,
+            state,
+            counter: 0,
+        });
+    }
+
+    /// Rules `[Val]` / `[Ary-E]`: leaves the current container, restoring the
+    /// enclosing state and counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (unbalanced enter/exit).
+    #[inline]
+    pub fn exit(&mut self) {
+        self.stack.pop().expect("automaton stack underflow");
+    }
+
+    /// Rule `[Com]`: advances the element counter of the current array frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the current frame is not an array.
+    #[inline]
+    pub fn increment(&mut self) {
+        let frame = self.top_mut();
+        debug_assert_eq!(frame.kind, ContainerKind::Array);
+        frame.counter += 1;
+    }
+
+    /// The element counter of the current array frame.
+    #[inline]
+    pub fn counter(&self) -> usize {
+        self.top().counter
+    }
+
+    /// Current nesting depth (number of frames).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The expected type of a *matching* value in the current container
+    /// (paper Section 3.2 / Algorithm 2 line 3), or `None` when nothing in
+    /// this container can match (its state is UNMATCHED or exhausted, or the
+    /// step kind is incompatible with the container kind).
+    pub fn expected_type(&self) -> Option<ExpectedType> {
+        let frame = self.top();
+        match frame.state {
+            State::Progress(k) if k < self.path.len() => {
+                let step = &self.path.steps()[k];
+                let compatible = match frame.kind {
+                    ContainerKind::Object => step.is_object_step(),
+                    ContainerKind::Array => step.is_array_step(),
+                };
+                compatible.then(|| self.path.expected_type(k))
+            }
+            _ => None,
+        }
+    }
+
+    /// For an array frame: the half-open index range that can still match
+    /// (`None` = wildcard/unbounded; `Some` enables G5 fast-forwarding).
+    pub fn index_range(&self) -> Option<(usize, usize)> {
+        let frame = self.top();
+        match frame.state {
+            State::Progress(k) if k < self.path.len() => self.path.steps()[k].index_range(),
+            _ => None,
+        }
+    }
+
+    /// Whether the current container's state is the UNMATCHED sink.
+    pub fn is_unmatched(&self) -> bool {
+        self.top().state == State::Unmatched
+    }
+
+    /// The path step being matched inside the current container, or `None`
+    /// when the container is unmatched or past the final step.
+    ///
+    /// Used by the engine to decide whether the G4 fast-forward applies:
+    /// after a [`Step::Child`] match no sibling attribute can match (object
+    /// attribute names are unique), whereas a wildcard step keeps matching.
+    pub fn current_step(&self) -> Option<&Step> {
+        match self.top().state {
+            State::Progress(k) => self.path.steps().get(k),
+            State::Unmatched => None,
+        }
+    }
+
+    /// Resets for a new record.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+
+    #[inline]
+    fn top(&self) -> &Frame {
+        self.stack.last().expect("automaton stack is empty")
+    }
+
+    #[inline]
+    fn top_mut(&mut self) -> &mut Frame {
+        self.stack.last_mut().expect("automaton stack is empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(q: &str) -> Path {
+        q.parse().unwrap()
+    }
+
+    #[test]
+    fn tweet_example_from_figure_1() {
+        // $.place.name over the Figure 1 tweet.
+        let p = path("$.place.name");
+        let mut rt = Runtime::new(&p);
+        assert_eq!(rt.enter_root(ContainerKind::Object), Status::Matched);
+        // coordinates: array value, name mismatch -> skip
+        assert_eq!(rt.value_state_for_key("coordinates").1, Status::Unmatched);
+        // user: object, but name mismatch -> skip (G2 case in the paper)
+        assert_eq!(rt.value_state_for_key("user").1, Status::Unmatched);
+        // place: matched, descend
+        let (st, status) = rt.value_state_for_key("place");
+        assert_eq!(status, Status::Matched);
+        rt.enter(ContainerKind::Object, st);
+        assert_eq!(rt.value_state_for_key("name").1, Status::Accept);
+        // After the accept, bounding_box cannot match (G4 in the paper).
+        assert_eq!(
+            rt.value_state_for_key("bounding_box").1,
+            Status::Unmatched
+        );
+        rt.exit();
+        rt.exit();
+        assert_eq!(rt.depth(), 0);
+    }
+
+    #[test]
+    fn array_counter_and_range() {
+        // $.a[2:4]
+        let p = path("$.a[2:4]");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        let (st, _) = rt.value_state_for_key("a");
+        rt.enter(ContainerKind::Array, st);
+        assert_eq!(rt.index_range(), Some((2, 4)));
+        assert_eq!(rt.element_state().1, Status::Unmatched); // idx 0
+        rt.increment();
+        assert_eq!(rt.element_state().1, Status::Unmatched); // idx 1
+        rt.increment();
+        assert_eq!(rt.element_state().1, Status::Accept); // idx 2
+        rt.increment();
+        assert_eq!(rt.element_state().1, Status::Accept); // idx 3
+        rt.increment();
+        assert_eq!(rt.element_state().1, Status::Unmatched); // idx 4
+        rt.exit();
+        rt.exit();
+    }
+
+    #[test]
+    fn root_kind_mismatch_is_unmatched() {
+        let p = path("$[*].text");
+        let mut rt = Runtime::new(&p);
+        assert_eq!(rt.enter_root(ContainerKind::Object), Status::Unmatched);
+        assert!(rt.is_unmatched());
+    }
+
+    #[test]
+    fn root_only_path_accepts_root() {
+        let p = path("$");
+        let mut rt = Runtime::new(&p);
+        assert_eq!(rt.enter_root(ContainerKind::Array), Status::Accept);
+    }
+
+    #[test]
+    fn expected_type_tracks_next_step() {
+        let p = path("$.pd[*].cp[1:3].id");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        assert_eq!(rt.expected_type(), Some(ExpectedType::Array)); // pd is array
+        let (st, _) = rt.value_state_for_key("pd");
+        rt.enter(ContainerKind::Array, st);
+        assert_eq!(rt.expected_type(), Some(ExpectedType::Object)); // elements are objects
+        let (st, _) = rt.element_state();
+        rt.enter(ContainerKind::Object, st);
+        assert_eq!(rt.expected_type(), Some(ExpectedType::Array)); // cp is array
+        let (st, _) = rt.value_state_for_key("cp");
+        rt.enter(ContainerKind::Array, st);
+        assert_eq!(rt.index_range(), Some((1, 3)));
+        assert_eq!(rt.expected_type(), Some(ExpectedType::Object));
+    }
+
+    #[test]
+    fn expected_type_none_in_incompatible_container() {
+        // Query wants an object attribute but we are inside an array.
+        let p = path("$.a.b");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        let (st, _) = rt.value_state_for_key("a");
+        // Suppose the data disagrees and `a` is actually an array:
+        rt.enter(ContainerKind::Array, st);
+        assert_eq!(rt.expected_type(), None);
+        assert_eq!(rt.element_state().1, Status::Unmatched);
+    }
+
+    #[test]
+    fn wildcard_child_matches_any_name() {
+        let p = path("$.*");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        assert_eq!(rt.value_state_for_key("anything").1, Status::Accept);
+        assert_eq!(rt.value_state_for_key("other").1, Status::Accept);
+    }
+
+    #[test]
+    fn unmatched_frame_blocks_descendants() {
+        let p = path("$.a.b");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        let (st, status) = rt.value_state_for_key("zzz");
+        assert_eq!(status, Status::Unmatched);
+        rt.enter(ContainerKind::Object, st);
+        assert_eq!(rt.value_state_for_key("b").1, Status::Unmatched);
+        assert!(rt.is_unmatched());
+    }
+
+    #[test]
+    fn reset_clears_stack() {
+        let p = path("$.a");
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        rt.reset();
+        assert_eq!(rt.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn exit_on_empty_stack_panics() {
+        let p = path("$.a");
+        let mut rt = Runtime::new(&p);
+        rt.exit();
+    }
+}

@@ -1,0 +1,39 @@
+//! JSONPath subset parser and pushdown query automaton.
+//!
+//! This crate implements the query side of the JSONSki reproduction, shared
+//! by *all* engines (JSONSki core and every baseline): a parser for the
+//! JSONPath notation the paper supports — root `$`, child `.name` /
+//! `['name']`, array index `[n]`, index range `[m:n]`, and wildcard `[*]` /
+//! `.*` — plus the pushdown query automaton of the paper's Figure 5 (rules
+//! `[Key]`, `[Val]`, `[Ary-S]`, `[Ary-E]`, `[Com]`) and the attribute/element *type
+//! inference* of Section 3.2 that drives fast-forwarding.
+//!
+//! The descendant operator `..` is intentionally unsupported, matching the
+//! paper's stated limitation ("One missing operator in the current version
+//! is descendant elements"), and parsing it reports a dedicated error.
+//!
+//! # Example
+//!
+//! ```
+//! use jsonski_path::{Path, Step, ExpectedType};
+//!
+//! let path: Path = "$.place.name".parse()?;
+//! assert_eq!(path.steps().len(), 2);
+//! assert_eq!(path.steps()[0], Step::child("place"));
+//! // `place` must be an object because it has an attribute `name`:
+//! assert_eq!(path.expected_type(0), ExpectedType::Object);
+//! // the final step's value could be anything:
+//! assert_eq!(path.expected_type(1), ExpectedType::Unknown);
+//! # Ok::<(), jsonski_path::ParsePathError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod ast;
+mod automaton;
+pub mod names;
+mod parse;
+
+pub use ast::{ExpectedType, Path, Step};
+pub use automaton::{ContainerKind, Runtime, State, Status};
+pub use parse::ParsePathError;

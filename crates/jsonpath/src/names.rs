@@ -1,0 +1,153 @@
+//! Escape-aware attribute-name comparison, shared by every engine.
+//!
+//! Engines read attribute names as *raw* bytes (escape sequences intact,
+//! quotes excluded). A query name is plain text. The common case — no
+//! backslash in the raw bytes — is a straight memcmp; otherwise the raw
+//! name is unescaped per RFC 8259 before comparison. Centralizing this
+//! keeps all five engines bit-for-bit agreed on exotic names.
+
+/// Whether the raw (possibly escaped) name equals the query name.
+///
+/// ```
+/// use jsonski_path::names;
+/// assert!(names::matches(br#"plain"#, "plain"));
+/// assert!(names::matches(br#"a\"b"#, "a\"b"));
+/// assert!(names::matches(br#"tab\there"#, "tab\there"));
+/// assert!(names::matches(br#"\u0041"#, "A"));
+/// assert!(!names::matches(br#"a\\b"#, "a\\\\b"));
+/// ```
+#[inline]
+pub fn matches(raw: &[u8], query: &str) -> bool {
+    if !raw.contains(&b'\\') {
+        return raw == query.as_bytes();
+    }
+    match unescape(raw) {
+        Some(s) => s == query,
+        None => false, // malformed escape can never match
+    }
+}
+
+/// Unescapes the body of a JSON string (quotes excluded); returns `None`
+/// for malformed escapes or invalid UTF-8/surrogates.
+///
+/// ```
+/// use jsonski_path::names;
+/// assert_eq!(names::unescape(br#"a\nb"#).as_deref(), Some("a\nb"));
+/// assert_eq!(names::unescape(br#"\uD83D\uDE00"#).as_deref(), Some("😀"));
+/// assert_eq!(names::unescape(br#"\x"#), None);
+/// ```
+pub fn unescape(raw: &[u8]) -> Option<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        if b != b'\\' {
+            // Copy a run of plain bytes (must be valid UTF-8).
+            let start = i;
+            while i < raw.len() && raw[i] != b'\\' {
+                i += 1;
+            }
+            out.push_str(std::str::from_utf8(&raw[start..i]).ok()?);
+            continue;
+        }
+        i += 1;
+        let esc = *raw.get(i)?;
+        i += 1;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = hex4(raw.get(i..i + 4)?)?;
+                i += 4;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must pair with a following \uXXXX low
+                    // surrogate.
+                    if raw.get(i) != Some(&b'\\') || raw.get(i + 1) != Some(&b'u') {
+                        return None;
+                    }
+                    let lo = hex4(raw.get(i + 2..i + 6)?)?;
+                    i += 6;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return None;
+                    }
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    out.push(char::from_u32(c)?);
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return None; // lone low surrogate
+                } else {
+                    out.push(char::from_u32(hi)?);
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn hex4(digits: &[u8]) -> Option<u32> {
+    let mut v = 0u32;
+    for &d in digits {
+        v = v * 16 + (d as char).to_digit(16)?;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_names_fast_path() {
+        assert!(matches(b"abc", "abc"));
+        assert!(!matches(b"abc", "abd"));
+        assert!(!matches(b"abc", "ab"));
+        assert!(matches(b"", ""));
+    }
+
+    #[test]
+    fn simple_escapes() {
+        assert!(matches(br#"a\"b"#, "a\"b"));
+        assert!(matches(br#"a\\b"#, "a\\b"));
+        assert!(matches(br#"a\/b"#, "a/b"));
+        assert!(matches(br#"\n\t\r\b\f"#, "\n\t\r\u{8}\u{c}"));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert!(matches("é".as_bytes(), "é")); // raw UTF-8, no escapes
+        assert!(matches(br#"\u00e9"#, "é"));
+        assert!(matches(br#"caf\u00e9"#, "café"));
+        assert!(matches(br#"\uD83D\uDE00"#, "😀")); // surrogate pair
+        assert!(matches("😀".as_bytes(), "😀"));
+        assert!(matches(br#"\u0041"#, "A"));
+    }
+
+    #[test]
+    fn malformed_never_matches() {
+        assert!(!matches(br#"a\"#, "a"));
+        assert!(!matches(br#"\q"#, "q"));
+        assert!(!matches(br#"\u12"#, "\u{12}"));
+        assert!(!matches(br#"\uD800"#, "?")); // lone high surrogate
+        assert!(!matches(br#"\uDC00"#, "?")); // lone low surrogate
+        assert_eq!(unescape(br#"\uD800x"#), None);
+    }
+
+    #[test]
+    fn escaped_and_unescaped_forms_are_equal_names() {
+        // The same logical name written two ways must match the same query.
+        let query = "a/b";
+        assert!(matches(b"a/b", query));
+        assert!(matches(br#"a\/b"#, query));
+    }
+
+    #[test]
+    fn non_utf8_raw_bytes_never_match() {
+        assert!(!matches(&[0xFF, 0xFE, b'\\', b'n'], "\u{FFFD}\u{FFFD}\n"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Recursive-descent parser for the supported JSONPath subset.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Path, Step};
+
+/// Error produced when parsing a JSONPath expression fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePathError {
+    kind: ErrorKind,
+    /// Byte offset in the input where the problem was detected.
+    at: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ErrorKind {
+    MissingRoot,
+    Descendant,
+    EmptyName,
+    EmptyBrackets,
+    BadIndex,
+    EmptyRange,
+    UnexpectedChar(char),
+    UnclosedBracket,
+    UnclosedQuote,
+}
+
+impl ParsePathError {
+    fn new(kind: ErrorKind, at: usize) -> Self {
+        ParsePathError { kind, at }
+    }
+
+    /// Byte offset in the query string where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match &self.kind {
+            ErrorKind::MissingRoot => "path must start with `$`",
+            ErrorKind::Descendant => {
+                "descendant operator `..` is not supported (paper Section 5.1)"
+            }
+            ErrorKind::EmptyName => "empty attribute name after `.`",
+            ErrorKind::EmptyBrackets => "empty brackets `[]`",
+            ErrorKind::BadIndex => "array index is not a valid number",
+            ErrorKind::EmptyRange => "index range selects no elements",
+            ErrorKind::UnexpectedChar(c) => {
+                return write!(f, "unexpected character `{c}` at offset {}", self.at)
+            }
+            ErrorKind::UnclosedBracket => "unclosed `[`",
+            ErrorKind::UnclosedQuote => "unclosed quote in bracketed name",
+        };
+        write!(f, "{msg} at offset {}", self.at)
+    }
+}
+
+impl Error for ParsePathError {}
+
+/// Parses a JSONPath string into a [`Path`].
+pub(crate) fn parse_path(input: &str) -> Result<Path, ParsePathError> {
+    let bytes = input.as_bytes();
+    if bytes.first() != Some(&b'$') {
+        return Err(ParsePathError::new(ErrorKind::MissingRoot, 0));
+    }
+    let mut steps = Vec::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    return Err(ParsePathError::new(ErrorKind::Descendant, i));
+                }
+                i += 1;
+                if bytes.get(i) == Some(&b'*') {
+                    steps.push(Step::AnyChild);
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(ParsePathError::new(ErrorKind::EmptyName, start));
+                }
+                steps.push(Step::Child(input[start..i].to_string()));
+            }
+            b'[' => {
+                let open = i;
+                i += 1;
+                let close = match input[i..].find(']') {
+                    Some(off) => i + off,
+                    None => return Err(ParsePathError::new(ErrorKind::UnclosedBracket, open)),
+                };
+                let body = input[i..close].trim();
+                if body.is_empty() {
+                    return Err(ParsePathError::new(ErrorKind::EmptyBrackets, open));
+                }
+                steps.push(parse_bracket_body(body, i)?);
+                i = close + 1;
+            }
+            c => {
+                return Err(ParsePathError::new(
+                    ErrorKind::UnexpectedChar(c as char),
+                    i,
+                ))
+            }
+        }
+    }
+    Ok(Path::new(steps))
+}
+
+fn parse_bracket_body(body: &str, at: usize) -> Result<Step, ParsePathError> {
+    if body == "*" {
+        return Ok(Step::AnyElement);
+    }
+    if let Some(stripped) = body.strip_prefix('\'').or_else(|| body.strip_prefix('"')) {
+        let quote = body.chars().next().expect("non-empty");
+        let inner = stripped
+            .strip_suffix(quote)
+            .ok_or_else(|| ParsePathError::new(ErrorKind::UnclosedQuote, at))?;
+        if inner.is_empty() {
+            return Err(ParsePathError::new(ErrorKind::EmptyName, at));
+        }
+        return Ok(Step::Child(inner.to_string()));
+    }
+    if let Some((lo, hi)) = body.split_once(':') {
+        let lo: usize = lo
+            .trim()
+            .parse()
+            .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))?;
+        let hi: usize = hi
+            .trim()
+            .parse()
+            .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))?;
+        if hi <= lo {
+            return Err(ParsePathError::new(ErrorKind::EmptyRange, at));
+        }
+        return Ok(Step::Slice(lo, hi));
+    }
+    body.parse::<usize>()
+        .map(Step::Index)
+        .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps(q: &str) -> Vec<Step> {
+        parse_path(q).unwrap().steps().to_vec()
+    }
+
+    #[test]
+    fn parses_all_paper_queries() {
+        // Table 5 query structures.
+        let queries = [
+            "$[*].en.urls[*].url",
+            "$[*].text",
+            "$.pd[*].cp[1:3].id",
+            "$.pd[*].vc[*].cha",
+            "$[*].rt[*].lg[*].st[*].dt.tx",
+            "$[*].atm",
+            "$.mt.vw.co[*].nm",
+            "$.dt[*][*][2:4]",
+            "$.it[*].bmrpr.pr",
+            "$.it[*].nm",
+            "$[*].cl.P150[*].ms.pty",
+            "$[10:21].cl.P150[*].ms.pty",
+        ];
+        for q in queries {
+            let p = parse_path(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert!(!p.is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn bracket_child_forms() {
+        assert_eq!(steps("$['name']"), vec![Step::child("name")]);
+        assert_eq!(steps("$[\"name\"]"), vec![Step::child("name")]);
+        assert_eq!(
+            steps("$.a['b'].c"),
+            vec![Step::child("a"), Step::child("b"), Step::child("c")]
+        );
+    }
+
+    #[test]
+    fn index_and_slice() {
+        assert_eq!(steps("$[0]"), vec![Step::Index(0)]);
+        assert_eq!(steps("$[10:21]"), vec![Step::Slice(10, 21)]);
+        assert_eq!(steps("$[ 2 : 4 ]"), vec![Step::Slice(2, 4)]);
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(steps("$[*]"), vec![Step::AnyElement]);
+        assert_eq!(steps("$.*"), vec![Step::AnyChild]);
+    }
+
+    #[test]
+    fn root_only() {
+        assert_eq!(steps("$"), vec![]);
+    }
+
+    #[test]
+    fn rejects_descendant() {
+        let err = parse_path("$..name").unwrap_err();
+        assert!(err.to_string().contains("descendant"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_path("place.name").is_err()); // missing $
+        assert!(parse_path("$.").is_err()); // empty name
+        assert!(parse_path("$[]").is_err()); // empty brackets
+        assert!(parse_path("$[abc]").is_err()); // bad index
+        assert!(parse_path("$[3:3]").is_err()); // empty range
+        assert!(parse_path("$[4:2]").is_err()); // inverted range
+        assert!(parse_path("$[1").is_err()); // unclosed bracket
+        assert!(parse_path("$['x]").is_err()); // unclosed quote
+        assert!(parse_path("$x").is_err()); // junk after root
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        assert_eq!(parse_path("$.a..b").unwrap_err().offset(), 3);
+        assert_eq!(parse_path("$.a[").unwrap_err().offset(), 3);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(parse_path("$[]").unwrap_err());
+    }
+}

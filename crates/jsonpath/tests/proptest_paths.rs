@@ -1,0 +1,98 @@
+//! Property tests for the path parser and automaton.
+
+use jsonski_path::{ContainerKind, Path, Runtime, Status, Step};
+use proptest::prelude::*;
+
+fn step() -> BoxedStrategy<Step> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Step::Child),
+        Just(Step::AnyChild),
+        (0usize..100).prop_map(Step::Index),
+        (0usize..50, 1usize..20).prop_map(|(a, d)| Step::Slice(a, a + d)),
+        Just(Step::AnyElement),
+    ]
+    .boxed()
+}
+
+fn path() -> BoxedStrategy<Path> {
+    prop::collection::vec(step(), 0..8).prop_map(Path::new).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(p in path()) {
+        let text = p.to_string();
+        let reparsed: Path = text.parse().unwrap();
+        prop_assert_eq!(p, reparsed, "text: {}", text);
+    }
+
+    #[test]
+    fn expected_type_is_consistent_with_steps(p in path()) {
+        for k in 0..p.len() {
+            let t = p.expected_type(k);
+            match p.steps().get(k + 1) {
+                None => prop_assert_eq!(t, jsonski_path::ExpectedType::Unknown),
+                Some(s) if s.is_object_step() => {
+                    prop_assert_eq!(t, jsonski_path::ExpectedType::Object)
+                }
+                Some(_) => prop_assert_eq!(t, jsonski_path::ExpectedType::Array),
+            }
+        }
+    }
+
+    #[test]
+    fn index_range_agrees_with_selects_index(s in step(), idx in 0usize..120) {
+        match s.index_range() {
+            Some((lo, hi)) => {
+                prop_assert_eq!(s.selects_index(idx), (lo..hi).contains(&idx));
+            }
+            None => {
+                if s.is_array_step() {
+                    prop_assert!(s.selects_index(idx)); // wildcard
+                } else {
+                    prop_assert!(!s.selects_index(idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_enter_exit_is_balanced(p in path(), depth in 1usize..20) {
+        // Descending through arbitrary container frames and exiting them
+        // always restores the runtime to its pre-descent depth.
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        let before = rt.depth();
+        for i in 0..depth {
+            let kind = if i % 2 == 0 { ContainerKind::Array } else { ContainerKind::Object };
+            rt.enter(kind, jsonski_path::State::Unmatched);
+        }
+        for _ in 0..depth {
+            rt.exit();
+        }
+        prop_assert_eq!(rt.depth(), before);
+        prop_assert!(rt.depth() > 0);
+    }
+
+    #[test]
+    fn accept_only_at_final_step(p in path(), name in "[a-z]{1,4}") {
+        if p.is_empty() {
+            return Ok(());
+        }
+        let mut rt = Runtime::new(&p);
+        rt.enter_root(ContainerKind::Object);
+        if let Some(Step::Child(_) | Step::AnyChild) = p.steps().first() {
+            let (_, status) = rt.value_state_for_key(&name);
+            if status == Status::Accept {
+                prop_assert_eq!(p.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_or_accepts_without_panicking(s in "\\PC{0,40}") {
+        let _ = Path::parse(&s);
+    }
+}

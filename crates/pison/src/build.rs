@@ -1,0 +1,283 @@
+//! Serial leveled-bitmap construction and bit-level accessors.
+
+use jsonpath::Path;
+use simdbits::{bits, classify_stream, Classifier, BLOCK};
+
+use crate::query::collect;
+
+/// The leveled structural index of one record.
+///
+/// `colons[l]` / `commas[l]` are bitmaps (one bit per input byte, LSB-first
+/// within each `u64` word) of the structural `:` / `,` characters at nesting
+/// depth `l + 1` (so level 0 describes the root container's own attributes
+/// or elements).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeveledIndex<'a> {
+    input: &'a [u8],
+    colons: Vec<Vec<u64>>,
+    commas: Vec<Vec<u64>>,
+    levels: usize,
+}
+
+impl<'a> LeveledIndex<'a> {
+    /// Builds the index serially, recording `levels` nesting levels
+    /// (a query of `path.len()` steps needs `path.len()` levels).
+    pub fn build(input: &'a [u8], levels: usize) -> Self {
+        let words = input.len().div_ceil(BLOCK);
+        let mut index = LeveledIndex {
+            input,
+            colons: vec![vec![0u64; words]; levels],
+            commas: vec![vec![0u64; words]; levels],
+            levels,
+        };
+        let mut cls = Classifier::new();
+        let mut depth = 0i64;
+        classify_stream(&mut cls, input, |w, bm| {
+            let mut interesting =
+                bm.lbrace | bm.rbrace | bm.lbracket | bm.rbracket | bm.colon | bm.comma;
+            while interesting != 0 {
+                let bit = interesting.trailing_zeros();
+                let mask = 1u64 << bit;
+                if mask & (bm.lbrace | bm.lbracket) != 0 {
+                    depth += 1;
+                } else if mask & (bm.rbrace | bm.rbracket) != 0 {
+                    depth -= 1;
+                } else if depth >= 1 && (depth as usize) <= levels {
+                    let level = depth as usize - 1;
+                    if mask & bm.colon != 0 {
+                        index.colons[level][w] |= mask;
+                    } else {
+                        index.commas[level][w] |= mask;
+                    }
+                }
+                interesting &= interesting - 1;
+            }
+        });
+        index
+    }
+
+    /// Creates an index from pre-computed bitmaps (used by the parallel
+    /// builder).
+    pub(crate) fn from_parts(
+        input: &'a [u8],
+        colons: Vec<Vec<u64>>,
+        commas: Vec<Vec<u64>>,
+    ) -> Self {
+        let levels = colons.len();
+        LeveledIndex {
+            input,
+            colons,
+            commas,
+            levels,
+        }
+    }
+
+    /// The source bytes.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// Number of indexed levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Approximate heap footprint of the index in bytes (for the memory
+    /// figure).
+    pub fn index_bytes(&self) -> usize {
+        let words: usize = self
+            .colons
+            .iter()
+            .chain(self.commas.iter())
+            .map(|v| v.len())
+            .sum();
+        words * 8
+    }
+
+    /// Iterates the positions of level-`level` colons within `[from, to)`.
+    pub(crate) fn colons_in(
+        &self,
+        level: usize,
+        from: usize,
+        to: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
+        BitRange::new(&self.colons[level], from, to)
+    }
+
+    /// Iterates the positions of level-`level` commas within `[from, to)`.
+    pub(crate) fn commas_in(
+        &self,
+        level: usize,
+        from: usize,
+        to: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
+        BitRange::new(&self.commas[level], from, to)
+    }
+
+    /// First level-`level` comma at or after `from`, below `to` — exposed
+    /// so external runners can partition array elements with the index.
+    pub fn next_comma(&self, level: usize, from: usize, to: usize) -> Option<usize> {
+        self.commas_in(level, from, to).next()
+    }
+
+    /// Evaluates a query against the index, returning raw match slices in
+    /// document order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built with fewer levels than `path.len()`.
+    pub fn query(&self, path: &Path) -> Vec<&'a [u8]> {
+        assert!(
+            path.len() <= self.levels,
+            "index has {} levels but the query needs {}",
+            self.levels,
+            path.len()
+        );
+        let mut out = Vec::new();
+        let span = trim(self.input, 0, self.input.len());
+        if span.0 < span.1 {
+            collect(self, span, 0, path.steps(), &mut out);
+        }
+        out
+    }
+
+    /// Number of matches for `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is shallower than the query (see
+    /// [`LeveledIndex::query`]).
+    pub fn count(&self, path: &Path) -> usize {
+        self.query(path).len()
+    }
+}
+
+/// Iterator over set-bit positions of a word-bitmap within `[from, to)`.
+struct BitRange<'b> {
+    words: &'b [u64],
+    word: usize,
+    current: u64,
+    to: usize,
+}
+
+impl<'b> BitRange<'b> {
+    fn new(words: &'b [u64], from: usize, to: usize) -> Self {
+        let word = from / BLOCK;
+        let current = if word < words.len() {
+            words[word] & !bits::mask_below((from % BLOCK) as u32)
+        } else {
+            0
+        };
+        BitRange {
+            words,
+            word,
+            current,
+            to,
+        }
+    }
+}
+
+impl Iterator for BitRange<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let pos = self.word * BLOCK + self.current.trailing_zeros() as usize;
+                if pos >= self.to {
+                    return None;
+                }
+                self.current &= self.current - 1;
+                return Some(pos);
+            }
+            self.word += 1;
+            if self.word >= self.words.len() || self.word * BLOCK >= self.to {
+                return None;
+            }
+            self.current = self.words[self.word];
+        }
+    }
+}
+
+/// Trims JSON whitespace from both ends of `[from, to)`.
+pub(crate) fn trim(input: &[u8], mut from: usize, mut to: usize) -> (usize, usize) {
+    while from < to && matches!(input[from], b' ' | b'\t' | b'\n' | b'\r') {
+        from += 1;
+    }
+    while to > from && matches!(input[to - 1], b' ' | b'\t' | b'\n' | b'\r') {
+        to -= 1;
+    }
+    (from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_assignment_matches_nesting() {
+        let json = br#"{"a": {"b": 1, "c": [2, 3]}, "d": 4}"#;
+        let idx = LeveledIndex::build(json, 3);
+        // Level 0: colons after "a" (4) and "d" (32); comma at 27.
+        let c0: Vec<usize> = idx.colons_in(0, 0, json.len()).collect();
+        assert_eq!(c0, vec![4, 32]);
+        let m0: Vec<usize> = idx.commas_in(0, 0, json.len()).collect();
+        assert_eq!(m0, vec![27]);
+        // Level 1: colons after "b" and "c"; comma between them.
+        let c1: Vec<usize> = idx.colons_in(1, 0, json.len()).collect();
+        assert_eq!(c1.len(), 2);
+        // Level 2: the comma inside [2, 3].
+        let m2: Vec<usize> = idx.commas_in(2, 0, json.len()).collect();
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn strings_do_not_pollute_levels() {
+        let json = br#"{"a": ":,{}[]", "b": 1}"#;
+        let idx = LeveledIndex::build(json, 1);
+        let colons: Vec<usize> = idx.colons_in(0, 0, json.len()).collect();
+        assert_eq!(colons.len(), 2);
+        let commas: Vec<usize> = idx.commas_in(0, 0, json.len()).collect();
+        assert_eq!(commas.len(), 1);
+    }
+
+    #[test]
+    fn deeper_levels_than_requested_are_dropped() {
+        let json = br#"{"a": {"b": {"c": 1}}}"#;
+        let idx = LeveledIndex::build(json, 1);
+        assert_eq!(idx.levels(), 1);
+        assert_eq!(idx.colons_in(0, 0, json.len()).count(), 1);
+    }
+
+    #[test]
+    fn bit_range_respects_bounds() {
+        let json = br#"[1,2,3,4,5]"#;
+        let idx = LeveledIndex::build(json, 1);
+        let all: Vec<usize> = idx.commas_in(0, 0, json.len()).collect();
+        assert_eq!(all, vec![2, 4, 6, 8]);
+        let mid: Vec<usize> = idx.commas_in(0, 3, 7).collect();
+        assert_eq!(mid, vec![4, 6]);
+        assert_eq!(idx.next_comma(0, 5, json.len()), Some(6));
+        assert_eq!(idx.next_comma(0, 9, json.len()), None);
+    }
+
+    #[test]
+    fn index_bytes_scales_with_levels() {
+        let json = vec![b' '; 1000];
+        let a = LeveledIndex::build(&json, 1).index_bytes();
+        let b = LeveledIndex::build(&json, 4).index_bytes();
+        assert_eq!(b, a * 4);
+    }
+
+    #[test]
+    fn spanning_words() {
+        let mut json = b"[".to_vec();
+        for i in 0..100 {
+            json.extend_from_slice(format!("{i},").as_bytes());
+        }
+        json.pop();
+        json.push(b']');
+        let idx = LeveledIndex::build(&json, 1);
+        assert_eq!(idx.commas_in(0, 0, json.len()).count(), 99);
+    }
+}

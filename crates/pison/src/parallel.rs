@@ -1,0 +1,243 @@
+//! Speculative chunk-parallel index construction (Pison's contribution).
+//!
+//! The input is split into word-aligned chunks, one per thread. Each chunk
+//! is processed under the *speculation* that it starts outside any string
+//! literal with no pending escape, and records its structural colons/commas
+//! with nesting depths **relative** to the chunk start. A sequential
+//! validation pass then (a) re-executes any chunk whose speculated string
+//! state disagrees with its predecessor's actual end state, and (b) rebases
+//! relative depths with a prefix sum of per-chunk depth deltas, before the
+//! per-chunk results are merged into the global leveled bitmaps.
+
+use simdbits::{best_kernel, Blocks, Kernel, StringState, BLOCK};
+
+use crate::build::LeveledIndex;
+
+/// One chunk's speculative processing result.
+struct ChunkResult {
+    /// `(byte position, depth relative to chunk start)` of each colon.
+    colons: Vec<(u32, i32)>,
+    /// Same for commas.
+    commas: Vec<(u32, i32)>,
+    /// Net `openers - closers` across the chunk.
+    depth_delta: i64,
+    /// String state the chunk *assumed* at its start.
+    start_state: StringState,
+    /// String state at the chunk's end (given `start_state`).
+    end_state: StringState,
+}
+
+fn process_chunk(
+    input: &[u8],
+    chunk_start: usize,
+    chunk: &[u8],
+    start_state: StringState,
+    kernel: Kernel,
+) -> ChunkResult {
+    let _ = input;
+    let mut st = start_state;
+    let mut depth = 0i64;
+    let mut colons = Vec::new();
+    let mut commas = Vec::new();
+    let mut handle = |w: usize, raw: simdbits::RawBitmaps| {
+        let (mask, _real_quotes) = st.step(raw.quote, raw.backslash);
+        let keep = !mask;
+        let lbrace = raw.lbrace & keep;
+        let rbrace = raw.rbrace & keep;
+        let lbracket = raw.lbracket & keep;
+        let rbracket = raw.rbracket & keep;
+        let colon = raw.colon & keep;
+        let comma = raw.comma & keep;
+        let mut interesting = lbrace | rbrace | lbracket | rbracket | colon | comma;
+        let base = (chunk_start + w * BLOCK) as u32;
+        while interesting != 0 {
+            let bit = interesting.trailing_zeros();
+            let m = 1u64 << bit;
+            if m & (lbrace | lbracket) != 0 {
+                depth += 1;
+            } else if m & (rbrace | rbracket) != 0 {
+                depth -= 1;
+            } else if m & colon != 0 {
+                colons.push((base + bit, depth as i32));
+            } else {
+                commas.push((base + bit, depth as i32));
+            }
+            interesting &= interesting - 1;
+        }
+    };
+    let mut blocks = Blocks::new(chunk);
+    let mut w = 0usize;
+    for block in blocks.by_ref() {
+        handle(w, kernel.classify(block));
+        w += 1;
+    }
+    let tail = blocks.remainder();
+    if !tail.is_empty() {
+        let mut block = [0u8; BLOCK];
+        block[..tail.len()].copy_from_slice(tail);
+        handle(w, kernel.classify(&block));
+    }
+    // (`handle`'s mutable borrows of st/colons/commas end here.)
+    ChunkResult {
+        colons,
+        commas,
+        depth_delta: depth,
+        start_state,
+        end_state: st,
+    }
+}
+
+/// Builds a [`LeveledIndex`] with `threads` speculative workers.
+///
+/// Functionally identical to [`LeveledIndex::build`]; the unit tests assert
+/// bit-for-bit equality on adversarial inputs (strings and escapes crossing
+/// chunk boundaries force mis-speculation and re-execution).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn build_parallel<'a>(input: &'a [u8], levels: usize, threads: usize) -> LeveledIndex<'a> {
+    assert!(threads > 0, "need at least one thread");
+    let kernel = best_kernel();
+    let words = input.len().div_ceil(BLOCK);
+    // Word-aligned chunk boundaries, one chunk per thread.
+    let words_per_chunk = words.div_ceil(threads).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < input.len() {
+        let end = ((start / BLOCK + words_per_chunk) * BLOCK).min(input.len());
+        ranges.push((start, end));
+        start = end;
+    }
+
+    // Speculative parallel pass: every chunk assumes a clean start state.
+    let mut results: Vec<ChunkResult> = if ranges.len() <= 1 {
+        ranges
+            .iter()
+            .map(|&(s, e)| process_chunk(input, s, &input[s..e], StringState::new(), kernel))
+            .collect()
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(s, e)| {
+                    scope.spawn(move |_| {
+                        process_chunk(input, s, &input[s..e], StringState::new(), kernel)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("worker panicked")
+    };
+
+    // Validation pass: re-execute mis-speculated chunks with the true state.
+    let mut state = StringState::new();
+    for (i, &(s, e)) in ranges.iter().enumerate() {
+        if results[i].start_state != state {
+            results[i] = process_chunk(input, s, &input[s..e], state, kernel);
+        }
+        state = results[i].end_state;
+    }
+
+    // Depth rebasing and merge.
+    let mut colons = vec![vec![0u64; words]; levels];
+    let mut commas = vec![vec![0u64; words]; levels];
+    let mut offset = 0i64;
+    for r in &results {
+        for &(pos, rel) in &r.colons {
+            set_leveled(&mut colons, levels, pos, offset + rel as i64);
+        }
+        for &(pos, rel) in &r.commas {
+            set_leveled(&mut commas, levels, pos, offset + rel as i64);
+        }
+        offset += r.depth_delta;
+    }
+    LeveledIndex::from_parts(input, colons, commas)
+}
+
+fn set_leveled(maps: &mut [Vec<u64>], levels: usize, pos: u32, depth: i64) {
+    if depth >= 1 && depth as usize <= levels {
+        let level = depth as usize - 1;
+        maps[level][pos as usize / BLOCK] |= 1 << (pos as usize % BLOCK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonpath::Path;
+
+    fn assert_equivalent(input: &[u8], levels: usize, threads: usize) {
+        let serial = LeveledIndex::build(input, levels);
+        let parallel = build_parallel(input, levels, threads);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+
+    fn nested_sample(n: usize) -> Vec<u8> {
+        let mut v = b"{\"items\": [".to_vec();
+        for i in 0..n {
+            v.extend_from_slice(
+                format!(
+                    r#"{{"id": {i}, "tags": ["a", "b{{c"], "meta": {{"x": [1, 2, {i}]}}}},"#
+                )
+                .as_bytes(),
+            );
+        }
+        v.pop();
+        v.extend_from_slice(b"]}");
+        v
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_clean_input() {
+        let json = nested_sample(50);
+        for threads in [1, 2, 4, 16] {
+            assert_equivalent(&json, 4, threads);
+        }
+    }
+
+    #[test]
+    fn misspeculation_strings_crossing_chunks() {
+        // A giant string with JSON-looking garbage inside, guaranteed to
+        // cross chunk boundaries and falsify the outside-string speculation.
+        let mut v = b"{\"a\": \"".to_vec();
+        for _ in 0..100 {
+            v.extend_from_slice(br#"{"fake": [1, 2], \"esc\": }"#);
+        }
+        v.extend_from_slice(b"\", \"b\": {\"c\": 1}}");
+        for threads in [2, 3, 8] {
+            assert_equivalent(&v, 2, threads);
+        }
+    }
+
+    #[test]
+    fn escape_runs_crossing_chunks() {
+        let mut v = b"{\"k\": \"".to_vec();
+        // Lots of backslashes so some chunk boundary lands inside a run.
+        for _ in 0..40 {
+            v.extend_from_slice(br#"xx\\\\\\\"yy"#);
+        }
+        v.extend_from_slice(b"\", \"z\": [1, 2]}");
+        for threads in [2, 5, 16] {
+            assert_equivalent(&v, 1, threads);
+        }
+    }
+
+    #[test]
+    fn query_results_agree_with_serial() {
+        let json = nested_sample(200);
+        let path: Path = "$.items[*].meta.x[2]".parse().unwrap();
+        let serial = LeveledIndex::build(&json, path.len());
+        let parallel = build_parallel(&json, path.len(), 8);
+        assert_eq!(serial.query(&path), parallel.query(&path));
+        assert_eq!(serial.count(&path), 200);
+    }
+
+    #[test]
+    fn single_thread_and_tiny_inputs() {
+        assert_equivalent(b"{}", 1, 4);
+        assert_equivalent(b"", 1, 4);
+        assert_equivalent(br#"{"a": 1}"#, 1, 1);
+    }
+}

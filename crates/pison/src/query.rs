@@ -1,0 +1,173 @@
+//! Index-guided query evaluation: jump colon-to-colon across object
+//! attributes and comma-to-comma across array elements (paper Figure 3-(b)).
+
+use jsonpath::Step;
+
+use crate::build::{trim, LeveledIndex};
+
+/// Collects matches of `steps` within the value spanning `span` at nesting
+/// `level` (level = number of containers entered so far).
+pub(crate) fn collect<'a>(
+    index: &LeveledIndex<'a>,
+    span: (usize, usize),
+    level: usize,
+    steps: &[Step],
+    out: &mut Vec<&'a [u8]>,
+) {
+    let input = index.input();
+    let (s, e) = span;
+    let Some((step, rest)) = steps.split_first() else {
+        out.push(&input[s..e]);
+        return;
+    };
+    match (input[s], step) {
+        (b'{', Step::Child(_) | Step::AnyChild) => {
+            // Attribute k's value runs from its colon to the next level-
+            // `level` comma (or the closing brace).
+            let inner_end = e - 1; // position of '}'
+            for colon in index.colons_in(level, s + 1, inner_end) {
+                let value_end = index
+                    .next_comma(level, colon + 1, inner_end)
+                    .unwrap_or(inner_end);
+                let matches = match step {
+                    Step::Child(name) => attr_name_matches(input, colon, name),
+                    _ => true,
+                };
+                if matches {
+                    let vspan = trim(input, colon + 1, value_end);
+                    if vspan.0 < vspan.1 {
+                        collect(index, vspan, level + 1, rest, out);
+                    }
+                }
+            }
+        }
+        (b'[', s2) if s2.is_array_step() => {
+            let inner_end = e - 1; // position of ']'
+            let mut elem_start = s + 1;
+            let mut counter = 0usize;
+            loop {
+                let elem_end = index
+                    .next_comma(level, elem_start, inner_end)
+                    .unwrap_or(inner_end);
+                let espan = trim(input, elem_start, elem_end);
+                if espan.0 < espan.1 {
+                    if step.selects_index(counter) {
+                        collect(index, espan, level + 1, rest, out);
+                    }
+                    counter += 1;
+                }
+                if elem_end == inner_end {
+                    break;
+                }
+                elem_start = elem_end + 1;
+            }
+        }
+        _ => {} // primitive or kind mismatch: nothing can match deeper
+    }
+}
+
+/// Checks whether the attribute name ending just before `colon` equals
+/// `name`: the raw name span is recovered by scanning backwards from the
+/// colon (no tokenization of other attributes — the index already localized
+/// the candidate), then compared escape-aware like every other engine.
+fn attr_name_matches(input: &[u8], colon: usize, name: &str) -> bool {
+    let mut i = colon;
+    while i > 0 && matches!(input[i - 1], b' ' | b'\t' | b'\n' | b'\r') {
+        i -= 1;
+    }
+    if i == 0 || input[i - 1] != b'"' {
+        return false;
+    }
+    let close = i - 1;
+    // Scan back to the opening quote: a quote opens the name iff it is
+    // preceded by an even number of backslashes.
+    let mut j = close;
+    while j > 0 {
+        j -= 1;
+        if input[j] == b'"' {
+            let mut backslashes = 0;
+            while backslashes < j && input[j - 1 - backslashes] == b'\\' {
+                backslashes += 1;
+            }
+            if backslashes % 2 == 0 {
+                return jsonpath::names::matches(&input[j + 1..close], name);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::LeveledIndex;
+    use jsonpath::Path;
+
+    fn q<'a>(json: &'a [u8], query: &str) -> Vec<&'a [u8]> {
+        let path: Path = query.parse().unwrap();
+        LeveledIndex::build(json, path.len().max(1)).query(&path)
+    }
+
+    #[test]
+    fn child_chain() {
+        let json = br#"{"a": {"b": 7}, "c": {"b": 8}}"#;
+        assert_eq!(q(json, "$.a.b"), vec![b"7"]);
+        assert_eq!(q(json, "$.*.b"), vec![&b"7"[..], b"8"]);
+    }
+
+    #[test]
+    fn array_partitioning() {
+        let json = br#"[10, [20, 21], {"x": 30}, 40]"#;
+        assert_eq!(q(json, "$[0]"), vec![&b"10"[..]]);
+        assert_eq!(q(json, "$[1]"), vec![&b"[20, 21]"[..]]);
+        assert_eq!(q(json, "$[2].x"), vec![&b"30"[..]]);
+        assert_eq!(q(json, "$[1:3]").len(), 2);
+        assert_eq!(q(json, "$[*]").len(), 4);
+    }
+
+    #[test]
+    fn paper_query_shape() {
+        let json = br#"{"pd": [{"cp": [{"id": 1}, {"id": 2}, {"id": 3}]}, {"cp": [{"id": 4}]}]}"#;
+        assert_eq!(q(json, "$.pd[*].cp[1:3].id"), vec![&b"2"[..], b"3"]);
+    }
+
+    #[test]
+    fn name_matching_is_exact() {
+        let json = br#"{"ab": 1, "b": 2, "xb": 3}"#;
+        assert_eq!(q(json, "$.b"), vec![b"2"]);
+    }
+
+    #[test]
+    fn name_with_preceding_escape_rejected() {
+        // The name string is `x\"b` — matching `b` against its tail must
+        // fail because the would-be opening quote is escaped.
+        let json = br#"{"x\"b": 1, "b": 2}"#;
+        assert_eq!(q(json, "$.b"), vec![b"2"]);
+    }
+
+    #[test]
+    fn strings_with_metachars_do_not_split_values() {
+        let json = br#"{"a": "x,y", "b": 2}"#;
+        assert_eq!(q(json, "$.a"), vec![&br#""x,y""#[..]]);
+        assert_eq!(q(json, "$.b"), vec![b"2"]);
+    }
+
+    #[test]
+    fn empty_array_has_no_elements() {
+        assert!(q(br#"[ ]"#, "$[*]").is_empty());
+        assert!(q(br#"[]"#, "$[0]").is_empty());
+    }
+
+    #[test]
+    fn root_match() {
+        let json = br#" {"a": 1} "#;
+        assert_eq!(q(json, "$"), vec![&br#"{"a": 1}"#[..]]);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_nothing() {
+        let json = br#"{"a": [1, 2]}"#;
+        assert!(q(json, "$.a.b").is_empty());
+        assert!(q(json, "$[*]").is_empty());
+        assert!(q(json, "$.a[0].z").is_empty());
+    }
+}

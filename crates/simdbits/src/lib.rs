@@ -1,0 +1,44 @@
+//! Bit-parallel JSON block classification primitives.
+//!
+//! This crate is the shared substrate of the JSONSki reproduction: it turns a
+//! JSON byte stream into per-64-byte-block *bitmaps* — one bit per input byte
+//! — for the JSON metacharacters (`{`, `}`, `[`, `]`, `:`, `,`), quotes,
+//! backslashes, and the derived *string mask* (which bytes lie inside string
+//! literals). Every engine that uses bitwise parallelism (the JSONSki core,
+//! the simdjson-class tape parser, the Pison-class leveled index) builds on
+//! these primitives, mirroring how the paper's Algorithm 3 reuses the
+//! metacharacter-bitmap construction of Mison/Pison/simdjson.
+//!
+//! Bit ordering: bit `i` of a bitmap corresponds to byte `i` of the block
+//! (LSB-first), so "the next occurrence" of a character is the lowest set
+//! bit (`trailing_zeros`), matching the mirrored-bitmap convention the paper
+//! mentions in Section 4.1.
+//!
+//! # Example
+//!
+//! ```
+//! use simdbits::{Classifier, BLOCK};
+//!
+//! let json = br#"{"a": "b{racket}", "c": [1, 2]}"#;
+//! let mut cls = Classifier::new();
+//! let mut padded = [0u8; BLOCK];
+//! padded[..json.len()].copy_from_slice(json);
+//! let bm = cls.classify(&padded);
+//! // The `{` inside the string literal is masked out of the structural bitmap:
+//! assert_eq!(bm.lbrace.count_ones(), 1);
+//! assert_eq!(bm.lbrace.trailing_zeros(), 0); // only the leading `{`
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bits;
+mod block;
+mod kernels;
+mod string_mask;
+
+pub use block::{classify_stream, BlockBitmaps, Blocks, Classifier, PaddedBlocks};
+pub use kernels::{best_kernel, Kernel, RawBitmaps};
+pub use string_mask::StringState;
+
+/// Number of bytes classified per step; one bit per byte in each bitmap.
+pub const BLOCK: usize = 64;

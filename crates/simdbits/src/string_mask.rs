@@ -1,0 +1,278 @@
+//! Cross-block string-literal tracking: escaped-character detection via the
+//! odd-length-backslash-run algorithm and the in-string mask via prefix XOR.
+//!
+//! This implements the `buildStringBitmap()` dependency of the paper's
+//! Algorithm 3 (line 17), using the bit-parallel formulation introduced by
+//! Mison/simdjson: a quote is *real* (string-delimiting) iff it is not
+//! preceded by an odd-length run of backslashes, and the in-string mask is
+//! the prefix XOR of the real-quote bitmap, carried across 64-byte blocks.
+
+use crate::bits::prefix_xor;
+
+const EVEN: u64 = 0x5555_5555_5555_5555;
+const ODD: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Carry state for string tracking across consecutive 64-byte blocks.
+///
+/// Feed blocks in order via [`StringState::step`]; the state records whether
+/// the previous block ended inside a string and whether it ended with an
+/// odd-length backslash run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StringState {
+    /// 1 if the previous block ended with an odd-length backslash run.
+    prev_ends_odd_backslash: u64,
+    /// All-ones if the previous block ended inside a string literal.
+    prev_in_string: u64,
+}
+
+impl StringState {
+    /// Fresh state: not inside a string, no pending escape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicit state, for speculative chunk-parallel processing (Pison
+    /// style): a chunk may need to re-execute with the true boundary state
+    /// after validation.
+    pub fn with_state(in_string: bool, pending_escape: bool) -> Self {
+        StringState {
+            prev_ends_odd_backslash: u64::from(pending_escape),
+            prev_in_string: if in_string { u64::MAX } else { 0 },
+        }
+    }
+
+    /// Whether the last processed block ended with an odd-length backslash
+    /// run (the next character is escaped).
+    pub fn pending_escape(&self) -> bool {
+        self.prev_ends_odd_backslash != 0
+    }
+
+    /// Whether the stream is currently inside a string literal (i.e. the last
+    /// processed block ended inside one).
+    pub fn in_string(&self) -> bool {
+        self.prev_in_string != 0
+    }
+
+    /// Processes one block given its raw quote and backslash bitmaps.
+    ///
+    /// Returns `(string_mask, real_quotes)` where `string_mask` has a bit set
+    /// for every byte inside a string literal (opening quote inclusive,
+    /// closing quote exclusive) and `real_quotes` marks unescaped quotes.
+    #[inline]
+    pub fn step(&mut self, quotes: u64, backslashes: u64) -> (u64, u64) {
+        let escaped = self.find_escaped(backslashes);
+        let real_quotes = quotes & !escaped;
+        let in_string = fast_prefix_xor(real_quotes) ^ self.prev_in_string;
+        // Sign-extend the top bit: all-ones if still inside a string.
+        self.prev_in_string = ((in_string as i64) >> 63) as u64;
+        (in_string, real_quotes)
+    }
+
+    /// Bitmap of characters escaped by an odd-length backslash run
+    /// (the character *after* the run), with cross-block carry.
+    ///
+    /// This is the branch-structured algorithm from "Parsing Gigabytes of
+    /// JSON per Second" (Langdale & Lemire), ported bit-for-bit.
+    #[inline]
+    fn find_escaped(&mut self, backslashes: u64) -> u64 {
+        let bs = backslashes;
+        // Start-of-run edges (a backslash not preceded by one), adjusted for
+        // a run continuing from the previous block.
+        let start_edges = bs & !(bs << 1);
+        let even_start_mask = EVEN ^ self.prev_ends_odd_backslash;
+        let even_starts = start_edges & even_start_mask;
+        let odd_starts = start_edges & !even_start_mask;
+        let even_carries = bs.wrapping_add(even_starts);
+        let (odd_carries, ends_odd) = bs.overflowing_add(odd_starts);
+        let odd_carries = odd_carries | self.prev_ends_odd_backslash;
+        self.prev_ends_odd_backslash = u64::from(ends_odd);
+        let even_carry_ends = even_carries & !bs;
+        let odd_carry_ends = odd_carries & !bs;
+        let even_start_odd_end = even_carry_ends & ODD;
+        let odd_start_even_end = odd_carry_ends & EVEN;
+        even_start_odd_end | odd_start_even_end
+    }
+
+    /// Resets to the initial (outside-string) state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Prefix XOR via carry-less multiplication by all-ones (the trick
+/// simdjson uses), with the shift-XOR ladder as the portable fallback.
+/// The equivalence is covered by the kernel property tests (the string
+/// masks of every kernel path must agree with the scalar model).
+#[inline]
+fn fast_prefix_xor(x: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            // SAFETY: feature presence checked at runtime just above.
+            return unsafe { clmul_prefix_xor(x) };
+        }
+    }
+    prefix_xor(x)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq", enable = "sse2")]
+unsafe fn clmul_prefix_xor(x: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let v = _mm_set_epi64x(0, x as i64);
+    let ones = _mm_set1_epi8(-1);
+    let product = _mm_clmulepi64_si128(v, ones, 0);
+    _mm_cvtsi128_si64(product) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::classify_scalar;
+    use crate::BLOCK;
+
+    /// Scalar reference: walk bytes tracking escape/in-string state, return
+    /// per-block string masks.
+    fn reference_masks(input: &[u8]) -> Vec<u64> {
+        let mut masks = Vec::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        for chunk in input.chunks(BLOCK) {
+            let mut mask = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                if in_string {
+                    // Opening quote was already marked; interior bytes are in.
+                    if escaped {
+                        escaped = false;
+                        mask |= 1 << i;
+                        continue;
+                    }
+                    match b {
+                        b'\\' => {
+                            escaped = true;
+                            mask |= 1 << i;
+                        }
+                        b'"' => in_string = false, // closing quote excluded
+                        _ => mask |= 1 << i,
+                    }
+                } else if b == b'"' {
+                    in_string = true;
+                    mask |= 1 << i; // opening quote included
+                }
+            }
+            masks.push(mask);
+        }
+        masks
+    }
+
+    fn bitparallel_masks(input: &[u8]) -> Vec<u64> {
+        let mut st = StringState::new();
+        input
+            .chunks(BLOCK)
+            .map(|chunk| {
+                let mut block = [0u8; 64];
+                block[..chunk.len()].copy_from_slice(chunk);
+                let raw = classify_scalar(&block);
+                let valid = if chunk.len() == BLOCK {
+                    u64::MAX
+                } else {
+                    (1u64 << chunk.len()) - 1
+                };
+                // Padding bytes carry no data; compare valid bits only.
+                st.step(raw.quote, raw.backslash).0 & valid
+            })
+            .collect()
+    }
+
+    #[track_caller]
+    fn check(input: &[u8]) {
+        assert_eq!(
+            bitparallel_masks(input),
+            reference_masks(input),
+            "input: {:?}",
+            String::from_utf8_lossy(input)
+        );
+    }
+
+    #[test]
+    fn simple_string() {
+        check(br#"{"name": "value"}"#);
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside() {
+        check(br#"{"a": "x\"y"}"#);
+    }
+
+    #[test]
+    fn double_backslash_closes() {
+        check(br#"{"a": "x\\", "b": 1}"#);
+    }
+
+    #[test]
+    fn long_backslash_runs() {
+        check(br#"{"a": "\\\\\\\"still in", "b": "\\\\\\" }"#);
+    }
+
+    #[test]
+    fn string_spanning_blocks() {
+        let mut v = b"{\"k\": \"".to_vec();
+        v.extend(std::iter::repeat_n(b'x', 200));
+        v.extend_from_slice(b"\"}");
+        check(&v);
+    }
+
+    #[test]
+    fn backslash_run_spanning_block_boundary() {
+        // Put an odd backslash run straddling the 64-byte boundary.
+        let mut v = vec![b' '; 60];
+        v[0] = b'"';
+        v.extend_from_slice(br#"\\\\\\\"after"#); // 7 backslashes then quote
+        v.extend(std::iter::repeat_n(b' ', 40));
+        check(&v);
+    }
+
+    #[test]
+    fn metachars_inside_strings_masked() {
+        let input = br#"{"a": "{}[]:,\"", "b": [1]}"#;
+        let masks = bitparallel_masks(input);
+        let mut block = [0u8; BLOCK];
+        block[..input.len()].copy_from_slice(input);
+        let raw = classify_scalar(&block);
+        let structural_lbrace = raw.lbrace & !masks[0];
+        assert_eq!(structural_lbrace.count_ones(), 1); // only the outer `{`
+        let structural_colon = raw.colon & !masks[0];
+        assert_eq!(structural_colon.count_ones(), 2); // after "a" and "b"
+    }
+
+    #[test]
+    fn in_string_flag_tracks_state() {
+        let mut st = StringState::new();
+        let mut block = [0u8; BLOCK];
+        block[0] = b'"';
+        let raw = classify_scalar(&block);
+        st.step(raw.quote, raw.backslash);
+        assert!(st.in_string());
+        st.step(raw.quote, raw.backslash); // another lone quote closes it
+        assert!(!st.in_string());
+        st.reset();
+        assert!(!st.in_string());
+    }
+}
+
+#[cfg(test)]
+mod clmul_tests {
+    use super::*;
+
+    #[test]
+    fn fast_prefix_xor_equals_portable() {
+        for &x in &[0u64, 1, u64::MAX, 0xDEAD_BEEF, 1 << 63, 0x5555_5555_5555_5555] {
+            assert_eq!(fast_prefix_xor(x), prefix_xor(x), "{x:#x}");
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            assert_eq!(fast_prefix_xor(x), prefix_xor(x), "{x:#x}");
+        }
+    }
+}

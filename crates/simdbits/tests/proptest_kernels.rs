@@ -1,0 +1,141 @@
+//! Property tests: every SIMD kernel is bit-for-bit equivalent to the
+//! scalar reference, and the string mask matches a byte-at-a-time model on
+//! arbitrary inputs (including pathological backslash runs).
+
+use proptest::prelude::*;
+use simdbits::{bits, Classifier, Kernel, PaddedBlocks, BLOCK};
+
+/// Arbitrary bytes biased towards JSON metacharacters, quotes, and
+/// backslashes so the interesting code paths fire constantly.
+fn spicy_bytes(max_len: usize) -> BoxedStrategy<Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => prop::num::u8::ANY,
+            1 => Just(b'"'),
+            2 => Just(b'\\'),
+            1 => Just(b'{'),
+            1 => Just(b'}'),
+            1 => Just(b'['),
+            1 => Just(b']'),
+            1 => Just(b':'),
+            1 => Just(b','),
+        ],
+        0..max_len,
+    )
+    .boxed()
+}
+
+/// Scalar model of the classifier: tracks in-string/escape state byte by
+/// byte and reports per-block structural bitmaps.
+fn scalar_model(input: &[u8]) -> Vec<[u64; 7]> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for chunk in input.chunks(BLOCK) {
+        // [lbrace, rbrace, lbracket, rbracket, colon, comma, quote]
+        let mut maps = [0u64; 7];
+        for (i, &b) in chunk.iter().enumerate() {
+            let bit = 1u64 << i;
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else {
+                    match b {
+                        b'\\' => escaped = true,
+                        b'"' => {
+                            in_string = false;
+                            maps[6] |= bit;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                // Outside strings a backslash is not valid JSON; the
+                // bit-parallel escape logic still neutralizes a *quote*
+                // after an odd backslash run, but structural characters
+                // are only masked by the string mask, so they stay
+                // structural even when "escaped". Mirror that exactly.
+                let was_escaped = escaped;
+                escaped = false;
+                match b {
+                    b'{' => maps[0] |= bit,
+                    b'}' => maps[1] |= bit,
+                    b'[' => maps[2] |= bit,
+                    b']' => maps[3] |= bit,
+                    b':' => maps[4] |= bit,
+                    b',' => maps[5] |= bit,
+                    b'"' if !was_escaped => {
+                        in_string = true;
+                        maps[6] |= bit;
+                    }
+                    b'"' => {} // escaped quote outside a string: not real
+                    b'\\' if !was_escaped => escaped = true,
+                    _ => {}
+                }
+            }
+        }
+        out.push(maps);
+    }
+    out
+}
+
+fn classified(input: &[u8], kernel: Kernel) -> Vec<[u64; 7]> {
+    let mut cls = Classifier::with_kernel(kernel);
+    PaddedBlocks::new(input)
+        .map(|(block, len)| {
+            let bm = cls.classify(&block);
+            let valid = if len == BLOCK {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
+            [
+                bm.lbrace & valid,
+                bm.rbrace & valid,
+                bm.lbracket & valid,
+                bm.rbracket & valid,
+                bm.colon & valid,
+                bm.comma & valid,
+                bm.quote & valid,
+            ]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_kernels_agree_with_each_other(input in spicy_bytes(300)) {
+        let reference = classified(&input, Kernel::Scalar);
+        for &k in Kernel::all() {
+            if k.is_supported() {
+                prop_assert_eq!(&classified(&input, k), &reference, "kernel {:?}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn bitparallel_matches_scalar_model(input in spicy_bytes(300)) {
+        let got = classified(&input, Kernel::Scalar);
+        let want = scalar_model(&input);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_matches_naive(x in any::<u64>(), k in 1u32..=64) {
+        let naive = (0..64u32).filter(|i| x >> i & 1 == 1).nth(k as usize - 1);
+        prop_assert_eq!(bits::select(x, k), naive);
+    }
+
+    #[test]
+    fn prefix_xor_matches_naive(x in any::<u64>()) {
+        let mut acc = 0u64;
+        let mut want = 0u64;
+        for i in 0..64 {
+            acc ^= (x >> i) & 1;
+            want |= acc << i;
+        }
+        prop_assert_eq!(bits::prefix_xor(x), want);
+    }
+}

@@ -1,0 +1,102 @@
+//! On-tape query evaluation.
+//!
+//! Containers carry `next` links, so irrelevant subtrees are jumped over in
+//! O(1) — but only because stage 2 already paid to discover every span.
+
+use jsonpath::Step;
+
+use crate::stage2::{EntryKind, Tape};
+
+/// Collects matches of `steps` under the value rooted at tape index `idx`.
+pub(crate) fn collect<'a>(tape: &Tape<'a>, idx: usize, steps: &[Step], out: &mut Vec<&'a [u8]>) {
+    let entries = tape.entries();
+    let entry = entries[idx];
+    let Some((step, rest)) = steps.split_first() else {
+        out.push(tape.text(idx));
+        return;
+    };
+    match (entry.kind, step) {
+        (EntryKind::Object, Step::Child(_) | Step::AnyChild) => {
+            let end = entry.next as usize;
+            let mut i = idx + 1;
+            while i < end {
+                debug_assert_eq!(entries[i].kind, EntryKind::Key);
+                let key = tape.text(i);
+                let value = i + 1;
+                let matches = match step {
+                    Step::Child(name) => jsonpath::names::matches(key, name),
+                    _ => true,
+                };
+                if matches {
+                    collect(tape, value, rest, out);
+                }
+                i = entries[value].next as usize;
+            }
+        }
+        (EntryKind::Array, s) if s.is_array_step() => {
+            let end = entry.next as usize;
+            let mut i = idx + 1;
+            let mut counter = 0usize;
+            while i < end {
+                if step.selects_index(counter) {
+                    collect(tape, i, rest, out);
+                }
+                i = entries[i].next as usize;
+                counter += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use jsonpath::Path;
+
+    fn q<'a>(tape: &Tape<'a>, query: &str) -> Vec<&'a [u8]> {
+        let path: Path = query.parse().unwrap();
+        tape.query(&path)
+    }
+
+    #[test]
+    fn child_chain() {
+        let json = br#"{"a": {"b": {"c": 9}}, "z": 0}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$.a.b.c"), vec![b"9"]);
+        assert!(q(&tape, "$.a.b.x").is_empty());
+    }
+
+    #[test]
+    fn wildcard_and_slices() {
+        let json = br#"{"it": [{"nm": "a"}, {"nm": "b"}, {"pr": 1}, {"nm": "c"}]}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$.it[*].nm"), vec![&b"\"a\""[..], b"\"b\"", b"\"c\""]);
+        assert_eq!(q(&tape, "$.it[1:3].nm"), vec![&b"\"b\""[..]]);
+        assert_eq!(q(&tape, "$.it[0].nm"), vec![&b"\"a\""[..]]);
+    }
+
+    #[test]
+    fn key_with_escapes_matches_raw() {
+        let json = br#"{"a": 1}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(tape.count(&"$.a".parse().unwrap()), 1);
+    }
+
+    #[test]
+    fn root_and_empty() {
+        let json = br#"[{"x": 1}]"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$"), vec![&json[..]]);
+        let blank = Tape::build(b" ").unwrap();
+        assert_eq!(blank.count(&"$".parse().unwrap()), 0);
+    }
+
+    #[test]
+    fn kind_mismatch() {
+        let json = br#"{"a": [1, 2]}"#;
+        let tape = Tape::build(json).unwrap();
+        assert!(q(&tape, "$.a.b").is_empty());
+        assert!(q(&tape, "$[0]").is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Stage 1: bit-parallel structural index construction.
+//!
+//! Produces the ordered positions of all structural characters (`{`, `}`,
+//! `[`, `]`, `:`, `,`) and all unescaped quotes — everything stage 2 needs
+//! to build the tape without re-scanning the bytes character by character.
+
+use simdbits::{classify_stream, Classifier, BLOCK};
+
+/// The stage-1 output: structural character positions in ascending order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructuralIndex {
+    /// Positions (byte offsets) of structural characters and quotes.
+    pub positions: Vec<u32>,
+}
+
+impl StructuralIndex {
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the document has no structural characters at all.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Builds the structural index for `input` (one pass, bit-parallel).
+///
+/// ```
+/// let idx = tapeparser::structural_index(br#"{"a": [1, 2]}"#);
+/// // `{`, `"`(open), `"`(close), `:`, `[`, `,`, `]`, `}`
+/// assert_eq!(idx.positions, vec![0, 1, 3, 4, 6, 8, 11, 12]);
+/// ```
+pub fn structural_index(input: &[u8]) -> StructuralIndex {
+    // Typical JSON has roughly one structural character per 4–8 bytes.
+    let mut positions = Vec::with_capacity(input.len() / 4 + 8);
+    let mut cls = Classifier::new();
+    classify_stream(&mut cls, input, |w, bm| {
+        let base = (w * BLOCK) as u32;
+        let mut bits =
+            bm.lbrace | bm.rbrace | bm.lbracket | bm.rbracket | bm.colon | bm.comma | bm.quote;
+        while bits != 0 {
+            positions.push(base + bits.trailing_zeros());
+            bits &= bits - 1;
+        }
+    });
+    StructuralIndex { positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(input: &[u8]) -> Vec<u32> {
+        structural_index(input).positions
+    }
+
+    #[test]
+    fn ignores_structurals_in_strings() {
+        let got = positions(br#"{"a{b}": "x,y"}"#);
+        // `{`, open", close" (after a{b}), `:`, open", close", `}`
+        assert_eq!(got, vec![0, 1, 6, 7, 9, 13, 14]);
+    }
+
+    #[test]
+    fn escaped_quotes_are_not_structural() {
+        let got = positions(br#""a\"b""#);
+        assert_eq!(got, vec![0, 5]);
+    }
+
+    #[test]
+    fn positions_are_sorted_across_blocks() {
+        let mut v = Vec::new();
+        for _ in 0..10 {
+            v.extend_from_slice(br#"{"key": [1, 2, 3]}, "#);
+        }
+        let got = positions(&v);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        // 10 structural chars per repeat: { " " : [ , , ] } plus the
+        // trailing record separator comma.
+        assert_eq!(got.len(), 10 * 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let idx = structural_index(b"");
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Stage 2: tape construction from the structural index.
+//!
+//! The tape is a flat, pre-order encoding of the parse tree: one [`Entry`]
+//! per value (plus one per attribute name), each carrying its byte span and
+//! the tape index just past its subtree (`next`), which is what lets the
+//! query phase jump over irrelevant values — *after* having paid to build
+//! the whole tape, which is precisely the preprocessing cost the paper's
+//! streaming scheme avoids.
+
+use std::error::Error;
+use std::fmt;
+
+use jsonpath::Path;
+
+use crate::query::collect;
+use crate::stage1::structural_index;
+
+/// Tape entry kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// An object; children are (Key, value-subtree) pairs.
+    Object,
+    /// An array; children are value subtrees.
+    Array,
+    /// An attribute name (always directly inside an `Object`).
+    Key,
+    /// A string scalar.
+    String,
+    /// A numeric scalar (span holds the raw text).
+    Number,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+}
+
+/// One tape entry: kind, byte span, and the tape index past its subtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// What this entry encodes.
+    pub kind: EntryKind,
+    /// Byte span `[start, end)` in the source.
+    pub span: (u32, u32),
+    /// Tape index one past this entry's subtree (`self_index + 1` for
+    /// scalars and keys).
+    pub next: u32,
+}
+
+/// Error raised while building the tape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TapeError {
+    message: &'static str,
+    /// Byte offset of the error.
+    pub pos: usize,
+}
+
+impl TapeError {
+    fn new(message: &'static str, pos: usize) -> Self {
+        TapeError { message, pos }
+    }
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.pos)
+    }
+}
+
+impl Error for TapeError {}
+
+/// The fully-built tape for one record.
+#[derive(Clone, Debug)]
+pub struct Tape<'a> {
+    input: &'a [u8],
+    entries: Vec<Entry>,
+}
+
+impl<'a> Tape<'a> {
+    /// Runs both stages: structural index, then tape construction.
+    ///
+    /// # Errors
+    ///
+    /// [`TapeError`] on structurally malformed input.
+    pub fn build(input: &'a [u8]) -> Result<Self, TapeError> {
+        let index = structural_index(input);
+        Self::from_index(input, &index.positions)
+    }
+
+    /// Stage 2 alone, given stage 1's output (exposed so benchmarks can
+    /// time the stages separately).
+    ///
+    /// # Errors
+    ///
+    /// [`TapeError`] on structurally malformed input.
+    pub fn from_index(input: &'a [u8], positions: &[u32]) -> Result<Self, TapeError> {
+        let mut b = Builder {
+            input,
+            positions,
+            i: 0,
+            entries: Vec::with_capacity(positions.len()),
+            depth: 0,
+        };
+        b.skip_leading_ws_value()?;
+        Ok(Tape {
+            input,
+            entries: b.entries,
+        })
+    }
+
+    /// The tape entries in pre-order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The source bytes.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// Evaluates a query over the tape, returning matched raw byte slices
+    /// in document order.
+    pub fn query(&self, path: &Path) -> Vec<&'a [u8]> {
+        let mut out = Vec::new();
+        if !self.entries.is_empty() {
+            collect(self, 0, path.steps(), &mut out);
+        }
+        out
+    }
+
+    /// Number of query matches.
+    pub fn count(&self, path: &Path) -> usize {
+        self.query(path).len()
+    }
+
+    /// The raw text of entry `idx`.
+    pub fn text(&self, idx: usize) -> &'a [u8] {
+        let e = &self.entries[idx];
+        &self.input[e.span.0 as usize..e.span.1 as usize]
+    }
+}
+
+const MAX_DEPTH: usize = 1024;
+
+struct Builder<'a, 'p> {
+    input: &'a [u8],
+    positions: &'p [u32],
+    i: usize, // index into positions
+    entries: Vec<Entry>,
+    depth: usize,
+}
+
+impl Builder<'_, '_> {
+    fn peek_pos(&self) -> Option<u32> {
+        self.positions.get(self.i).copied()
+    }
+
+    fn byte_at(&self, p: u32) -> u8 {
+        self.input[p as usize]
+    }
+
+    fn skip_leading_ws_value(&mut self) -> Result<(), TapeError> {
+        // The root value: either starts at the first structural position or
+        // is a bare scalar.
+        let first_non_ws = self
+            .input
+            .iter()
+            .position(|b| !matches!(b, b' ' | b'\t' | b'\n' | b'\r'));
+        let Some(start) = first_non_ws else {
+            return Ok(()); // blank input: empty tape
+        };
+        self.value(start as u32)?;
+        Ok(())
+    }
+
+    /// Parses the value starting at byte `start`; consumes its structural
+    /// positions and appends its entries. Returns the byte offset just past
+    /// the value.
+    fn value(&mut self, start: u32) -> Result<u32, TapeError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(TapeError::new("nesting too deep", start as usize));
+        }
+        let result = match self.byte_at(start) {
+            b'{' => self.container(start, b'}', EntryKind::Object),
+            b'[' => self.container(start, b']', EntryKind::Array),
+            b'"' => self.string(start, EntryKind::String),
+            _ => self.scalar(start),
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn container(&mut self, start: u32, close: u8, kind: EntryKind) -> Result<u32, TapeError> {
+        // Consume the opener from the positions stream.
+        debug_assert_eq!(self.peek_pos(), Some(start));
+        self.i += 1;
+        let my_entry = self.entries.len();
+        self.entries.push(Entry {
+            kind,
+            span: (start, 0),
+            next: 0,
+        });
+        let is_object = kind == EntryKind::Object;
+        // Empty container: the closer follows the opener with only
+        // whitespace in between (a scalar element would also present the
+        // closer as the next structural position, hence the byte check).
+        if let Some(p) = self.peek_pos() {
+            if self.byte_at(p) == close && self.only_ws_between(start + 1, p) {
+                self.i += 1;
+                return self.close_container(my_entry, p);
+            }
+        }
+        loop {
+            let p = self
+                .peek_pos()
+                .ok_or_else(|| TapeError::new("unterminated container", start as usize))?;
+            let c = self.byte_at(p);
+            if is_object {
+                // Attribute: key string, colon, value.
+                if c != b'"' {
+                    return Err(TapeError::new("expected attribute name", p as usize));
+                }
+                let key_end = self.string_close(p)?;
+                self.entries.push(Entry {
+                    kind: EntryKind::Key,
+                    span: (p + 1, key_end),
+                    next: self.entries.len() as u32 + 1,
+                });
+                let colon = self
+                    .peek_pos()
+                    .ok_or_else(|| TapeError::new("expected `:`", key_end as usize))?;
+                if self.byte_at(colon) != b':' {
+                    return Err(TapeError::new("expected `:`", colon as usize));
+                }
+                self.i += 1;
+                let vstart = self.value_start_after(colon + 1)?;
+                self.value(vstart)?;
+            } else {
+                // Array element: starts after the `[` or the last `,`.
+                let vstart = self.value_start_after(self.prev_consumed_end())?;
+                self.value(vstart)?;
+            }
+            // Delimiter: `,` continues, the closer ends the container.
+            let d = self
+                .peek_pos()
+                .ok_or_else(|| TapeError::new("unterminated container", start as usize))?;
+            match self.byte_at(d) {
+                b',' => {
+                    self.i += 1;
+                }
+                c if c == close => {
+                    self.i += 1;
+                    return self.close_container(my_entry, d);
+                }
+                _ => return Err(TapeError::new("expected `,` or closer", d as usize)),
+            }
+        }
+    }
+
+    /// Whether the bytes in `[from, to)` are all JSON whitespace.
+    fn only_ws_between(&self, from: u32, to: u32) -> bool {
+        self.input[from as usize..to as usize]
+            .iter()
+            .all(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    }
+
+    fn close_container(&mut self, my_entry: usize, close_pos: u32) -> Result<u32, TapeError> {
+        let next = self.entries.len() as u32;
+        let e = &mut self.entries[my_entry];
+        e.span.1 = close_pos + 1;
+        e.next = next;
+        Ok(close_pos + 1)
+    }
+
+    /// Byte offset where scanning for the next value may begin: one past
+    /// the most recently consumed structural position.
+    fn prev_consumed_end(&self) -> u32 {
+        debug_assert!(self.i > 0);
+        self.positions[self.i - 1] + 1
+    }
+
+    /// Finds the first non-whitespace byte at/after `from` (the start of a
+    /// value).
+    fn value_start_after(&self, from: u32) -> Result<u32, TapeError> {
+        let mut j = from as usize;
+        while j < self.input.len() {
+            match self.input[j] {
+                b' ' | b'\t' | b'\n' | b'\r' => j += 1,
+                _ => return Ok(j as u32),
+            }
+        }
+        Err(TapeError::new("expected value", from as usize))
+    }
+
+    /// Consumes the two quote positions of the string opening at `open`,
+    /// returning the closing quote's position.
+    fn string_close(&mut self, open: u32) -> Result<u32, TapeError> {
+        debug_assert_eq!(self.peek_pos(), Some(open));
+        self.i += 1;
+        let close = self
+            .peek_pos()
+            .ok_or_else(|| TapeError::new("unterminated string", open as usize))?;
+        if self.byte_at(close) != b'"' {
+            return Err(TapeError::new("unterminated string", close as usize));
+        }
+        self.i += 1;
+        Ok(close)
+    }
+
+    fn string(&mut self, open: u32, kind: EntryKind) -> Result<u32, TapeError> {
+        let close = self.string_close(open)?;
+        self.entries.push(Entry {
+            kind,
+            span: (open, close + 1),
+            next: self.entries.len() as u32 + 1,
+        });
+        Ok(close + 1)
+    }
+
+    /// A number / `true` / `false` / `null`: runs from `start` to the next
+    /// structural position (exclusive), right-trimmed.
+    fn scalar(&mut self, start: u32) -> Result<u32, TapeError> {
+        let end_limit = self
+            .peek_pos()
+            .map(|p| p as usize)
+            .unwrap_or(self.input.len());
+        if end_limit <= start as usize {
+            return Err(TapeError::new("expected value", start as usize));
+        }
+        let mut end = end_limit;
+        while end > start as usize
+            && matches!(self.input[end - 1], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            end -= 1;
+        }
+        let text = &self.input[start as usize..end];
+        let kind = match text[0] {
+            b't' => EntryKind::True,
+            b'f' => EntryKind::False,
+            b'n' => EntryKind::Null,
+            b'-' | b'0'..=b'9' => EntryKind::Number,
+            _ => return Err(TapeError::new("invalid scalar", start as usize)),
+        };
+        self.entries.push(Entry {
+            kind,
+            span: (start, end as u32),
+            next: self.entries.len() as u32 + 1,
+        });
+        Ok(end as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_preorder_tape() {
+        let json = br#"{"a": [1, "x"], "b": true}"#;
+        let tape = Tape::build(json).unwrap();
+        let kinds: Vec<EntryKind> = tape.entries().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EntryKind::Object,
+                EntryKind::Key,    // a
+                EntryKind::Array,
+                EntryKind::Number, // 1
+                EntryKind::String, // "x"
+                EntryKind::Key,    // b
+                EntryKind::True,
+            ]
+        );
+        // The object's `next` covers the whole tape.
+        assert_eq!(tape.entries()[0].next as usize, tape.entries().len());
+        // The array subtree is entries 2..5.
+        assert_eq!(tape.entries()[2].next, 5);
+    }
+
+    #[test]
+    fn spans_reconstruct_text() {
+        let json = br#"{"a": [1, "x"], "b": true}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(tape.text(2), br#"[1, "x"]"#);
+        assert_eq!(tape.text(3), b"1");
+        assert_eq!(tape.text(4), br#""x""#);
+        assert_eq!(tape.text(6), b"true");
+        assert_eq!(tape.text(0), &json[..]);
+    }
+
+    #[test]
+    fn scalars_between_structurals() {
+        let json = b"[1, 2.5e1, -3, true, false, null]";
+        let tape = Tape::build(json).unwrap();
+        let kinds: Vec<EntryKind> = tape.entries()[1..].iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EntryKind::Number,
+                EntryKind::Number,
+                EntryKind::Number,
+                EntryKind::True,
+                EntryKind::False,
+                EntryKind::Null,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let tape = Tape::build(b"{}").unwrap();
+        assert_eq!(tape.entries().len(), 1);
+        let tape = Tape::build(b"[ ]").unwrap();
+        assert_eq!(tape.entries().len(), 1);
+    }
+
+    #[test]
+    fn bare_scalar_root() {
+        let tape = Tape::build(b"  42 ").unwrap();
+        assert_eq!(tape.entries()[0].kind, EntryKind::Number);
+        assert_eq!(tape.text(0), b"42");
+    }
+
+    #[test]
+    fn blank_input_is_empty_tape() {
+        let tape = Tape::build(b"   ").unwrap();
+        assert!(tape.entries().is_empty());
+    }
+
+    #[test]
+    fn structural_errors_detected() {
+        assert!(Tape::build(br#"{"a": 1"#).is_err());
+        assert!(Tape::build(br#"{"a" 1}"#).is_err());
+        assert!(Tape::build(br#"{1: 2}"#).is_err());
+        assert!(Tape::build(br#"["unclosed]"#).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_guard() {
+        let mut v = Vec::new();
+        v.extend(std::iter::repeat_n(b'[', 3000));
+        v.extend(std::iter::repeat_n(b']', 3000));
+        assert!(Tape::build(&v).is_err());
+    }
+
+    #[test]
+    fn nested_objects_have_correct_next_links() {
+        let json = br#"{"o": {"i": {"x": 1}}, "after": 2}"#;
+        let tape = Tape::build(json).unwrap();
+        // entry 0 Object, 1 Key o, 2 Object, 3 Key i, 4 Object, 5 Key x,
+        // 6 Number, 7 Key after, 8 Number
+        assert_eq!(tape.entries()[2].next, 7);
+        assert_eq!(tape.entries()[4].next, 7);
+        assert_eq!(tape.text(8), b"2");
+    }
+}

@@ -1,0 +1,221 @@
+//! On-demand navigation over a built tape (the simdjson "DOM API" analog).
+//!
+//! [`View`] is a lightweight cursor into a [`Tape`]: child lookups walk the
+//! `next` links so skipping a sibling subtree is O(1), and scalar accessors
+//! parse lazily from the original bytes.
+
+use std::borrow::Cow;
+
+use jsonpath::names;
+
+use crate::stage2::{EntryKind, Tape};
+
+/// A value inside a [`Tape`].
+#[derive(Clone, Copy, Debug)]
+pub struct View<'t, 'a> {
+    tape: &'t Tape<'a>,
+    idx: usize,
+}
+
+impl<'a> Tape<'a> {
+    /// A view of the root value, or `None` for a blank document.
+    pub fn root(&self) -> Option<View<'_, 'a>> {
+        if self.entries().is_empty() {
+            None
+        } else {
+            Some(View { tape: self, idx: 0 })
+        }
+    }
+}
+
+impl<'t, 'a> View<'t, 'a> {
+    /// The value's kind.
+    pub fn kind(&self) -> EntryKind {
+        self.tape.entries()[self.idx].kind
+    }
+
+    /// The raw source text of this value.
+    pub fn text(&self) -> &'a [u8] {
+        self.tape.text(self.idx)
+    }
+
+    /// Looks up an object attribute by (escape-aware) name.
+    pub fn get(&self, name: &str) -> Option<View<'t, 'a>> {
+        let entries = self.tape.entries();
+        if self.kind() != EntryKind::Object {
+            return None;
+        }
+        let end = entries[self.idx].next as usize;
+        let mut i = self.idx + 1;
+        while i < end {
+            debug_assert_eq!(entries[i].kind, EntryKind::Key);
+            let value = i + 1;
+            if names::matches(self.tape.text(i), name) {
+                return Some(View {
+                    tape: self.tape,
+                    idx: value,
+                });
+            }
+            i = entries[value].next as usize;
+        }
+        None
+    }
+
+    /// Indexes into an array, skipping earlier siblings in O(1) each.
+    pub fn at(&self, index: usize) -> Option<View<'t, 'a>> {
+        let entries = self.tape.entries();
+        if self.kind() != EntryKind::Array {
+            return None;
+        }
+        let end = entries[self.idx].next as usize;
+        let mut i = self.idx + 1;
+        let mut n = 0usize;
+        while i < end {
+            if n == index {
+                return Some(View {
+                    tape: self.tape,
+                    idx: i,
+                });
+            }
+            i = entries[i].next as usize;
+            n += 1;
+        }
+        None
+    }
+
+    /// Number of children (array elements or object attributes).
+    pub fn len(&self) -> usize {
+        let entries = self.tape.entries();
+        let end = entries[self.idx].next as usize;
+        match self.kind() {
+            EntryKind::Array => {
+                let mut i = self.idx + 1;
+                let mut n = 0;
+                while i < end {
+                    i = entries[i].next as usize;
+                    n += 1;
+                }
+                n
+            }
+            EntryKind::Object => {
+                let mut i = self.idx + 1;
+                let mut n = 0;
+                while i < end {
+                    i = entries[i + 1].next as usize; // key, then value subtree
+                    n += 1;
+                }
+                n
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether the value has no children (true for all scalars).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// String contents with JSON escapes resolved (borrowed when none).
+    pub fn as_str(&self) -> Option<Cow<'a, str>> {
+        if self.kind() != EntryKind::String {
+            return None;
+        }
+        let raw = self.text();
+        let body = &raw[1..raw.len() - 1]; // strip quotes
+        if body.contains(&b'\\') {
+            names::unescape(body).map(Cow::Owned)
+        } else {
+            std::str::from_utf8(body).ok().map(Cow::Borrowed)
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        if self.kind() != EntryKind::Number {
+            return None;
+        }
+        std::str::from_utf8(self.text()).ok()?.parse().ok()
+    }
+
+    /// Boolean value, if this is `true`/`false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.kind() {
+            EntryKind::True => Some(true),
+            EntryKind::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        self.kind() == EntryKind::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &[u8] = br#"{
+        "nm": "wid\"get",
+        "price": 19.5,
+        "tags": ["a", "b", "c"],
+        "meta": {"active": true, "legacy": false, "notes": null},
+        "empty": {}
+    }"#;
+
+    #[test]
+    fn navigation_and_scalars() {
+        let tape = Tape::build(DOC).unwrap();
+        let root = tape.root().unwrap();
+        assert_eq!(root.kind(), EntryKind::Object);
+        assert_eq!(root.len(), 5);
+        assert!(!root.is_empty());
+
+        assert_eq!(root.get("nm").unwrap().as_str().unwrap(), "wid\"get");
+        assert_eq!(root.get("price").unwrap().as_f64(), Some(19.5));
+        let tags = root.get("tags").unwrap();
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags.at(1).unwrap().as_str().unwrap(), "b");
+        assert!(tags.at(3).is_none());
+
+        let meta = root.get("meta").unwrap();
+        assert_eq!(meta.get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(meta.get("legacy").unwrap().as_bool(), Some(false));
+        assert!(meta.get("notes").unwrap().is_null());
+        assert!(root.get("empty").unwrap().is_empty());
+        assert!(root.get("missing").is_none());
+    }
+
+    #[test]
+    fn kind_mismatches_return_none() {
+        let tape = Tape::build(DOC).unwrap();
+        let root = tape.root().unwrap();
+        assert!(root.at(0).is_none()); // object, not array
+        assert!(root.get("price").unwrap().get("x").is_none());
+        assert!(root.get("price").unwrap().as_str().is_none());
+        assert!(root.get("nm").unwrap().as_f64().is_none());
+        assert!(root.get("nm").unwrap().as_bool().is_none());
+        assert!(!root.get("nm").unwrap().is_null());
+    }
+
+    #[test]
+    fn borrowed_vs_owned_strings() {
+        let tape = Tape::build(br#"["plain", "esc\nape"]"#).unwrap();
+        let root = tape.root().unwrap();
+        assert!(matches!(root.at(0).unwrap().as_str(), Some(Cow::Borrowed("plain"))));
+        assert!(matches!(root.at(1).unwrap().as_str(), Some(Cow::Owned(s)) if s == "esc\nape"));
+    }
+
+    #[test]
+    fn blank_document_has_no_root() {
+        assert!(Tape::build(b"  ").unwrap().root().is_none());
+    }
+
+    #[test]
+    fn text_reconstructs_subtrees() {
+        let tape = Tape::build(DOC).unwrap();
+        let tags = tape.root().unwrap().get("tags").unwrap();
+        assert_eq!(tags.text(), br#"["a", "b", "c"]"#);
+    }
+}

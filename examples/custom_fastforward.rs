@@ -1,0 +1,73 @@
+//! Using the fast-forward functions directly, outside the JSONPath engine.
+//!
+//! The paper notes that "developers may exploit these fast-forward functions
+//! for more opportunities in their own JSON analytics". This example builds
+//! a tiny custom analytic with the raw G1/G2 primitives: count the top-level
+//! records of a huge array and extract only the byte-size of each, without
+//! ever tokenizing record contents.
+//!
+//! Run with: `cargo run --release --example custom_fastforward [mib]`
+
+use std::time::Instant;
+
+use jsonski_repro::datagen::{Dataset, GenConfig};
+use jsonski_repro::jsonski::cursor::Cursor;
+use jsonski_repro::jsonski::fastforward::{go_over_ary, go_over_obj, go_over_primitive};
+use jsonski_repro::jsonski::{FastForwardStats, Group, StreamError};
+
+/// Walks a top-level JSON array, fast-forwarding over every element and
+/// reporting per-element byte sizes — a "record sizer" that never parses
+/// record internals.
+fn size_elements(input: &[u8]) -> Result<(usize, usize, FastForwardStats), StreamError> {
+    let mut cur = Cursor::new(input);
+    let mut stats = FastForwardStats::new();
+    stats.add_total(input.len() as u64);
+    cur.expect(b'[', "`[`")?;
+    let mut count = 0usize;
+    let mut largest = 0usize;
+    loop {
+        let t = cur.peek_token("element or `]`")?;
+        if t == b']' {
+            break;
+        }
+        let (start, end) = match t {
+            b'{' => go_over_obj(&mut cur, &mut stats, Group::G2)?,
+            b'[' => go_over_ary(&mut cur, &mut stats, Group::G2)?,
+            _ => go_over_primitive(&mut cur, &mut stats, Group::G2)?,
+        };
+        count += 1;
+        largest = largest.max(end - start);
+        match cur.peek_token("`,` or `]`")? {
+            b',' => cur.bump(),
+            b']' => break,
+            _ => unreachable!("delimiter"),
+        }
+    }
+    Ok((count, largest, stats))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let data = Dataset::Wp.generate_large(&GenConfig {
+        target_bytes: mib * 1024 * 1024,
+        seed: 99,
+    });
+    let input = data.bytes();
+    let start = Instant::now();
+    let (count, largest, stats) = size_elements(input)?;
+    let elapsed = start.elapsed();
+    println!(
+        "sized {count} records ({largest} B largest) from {:.1} MiB in {:.3}s ({:.2} GB/s)",
+        input.len() as f64 / (1024.0 * 1024.0),
+        elapsed.as_secs_f64(),
+        input.len() as f64 / elapsed.as_secs_f64() / 1e9,
+    );
+    println!(
+        "{:.2}% of the stream was fast-forwarded, never tokenized",
+        100.0 * stats.overall_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Run all five engines (paper Table 2) on one dataset/query pair and
+//! compare wall-clock time — a miniature, single-case Figure 10.
+//!
+//! Run with: `cargo run --release --example engine_shootout [QUERY_ID] [mib]`
+//! where `QUERY_ID` is one of TT1 TT2 BB1 BB2 GMD1 GMD2 NSPL1 NSPL2 WM1 WM2
+//! WP1 WP2 (default BB1).
+
+use std::time::Instant;
+
+use jsonski_repro::datagen::GenConfig;
+use jsonski_repro::harness::engines::all_engines;
+use jsonski_repro::harness::scenario::cases;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "BB1".into());
+    let mib: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let case = cases()
+        .into_iter()
+        .find(|c| c.id == id)
+        .ok_or_else(|| format!("unknown query id {id}; try BB1, TT1, WP2, ..."))?;
+    let cfg = GenConfig {
+        target_bytes: mib * 1024 * 1024,
+        seed: 42,
+    };
+    println!(
+        "dataset {} (~{mib} MiB, single record), query {} = {}",
+        case.dataset.name(),
+        case.id,
+        case.query
+    );
+    let data = case.dataset.generate_large(&cfg);
+    let record = data.bytes();
+
+    let mut baseline = None;
+    for engine in all_engines(&case.path) {
+        let start = Instant::now();
+        let n = engine.count(record).map_err(|e| format!("{}: {e}", engine.name()))?;
+        let elapsed = start.elapsed().as_secs_f64();
+        match baseline {
+            None => baseline = Some((n, elapsed)),
+            Some((n0, _)) => assert_eq!(n, n0, "{} disagrees", engine.name()),
+        }
+        println!(
+            "  {:<10} {:>9.4}s  ({} matches, {:>6.2} GB/s)",
+            engine.name(),
+            elapsed,
+            n,
+            record.len() as f64 / elapsed / 1e9
+        );
+    }
+    Ok(())
+}

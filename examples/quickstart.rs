@@ -1,0 +1,50 @@
+//! Quickstart: evaluate the paper's running example (`$.place.name` over a
+//! geo-referenced tweet, Figure 1) and show the fast-forward accounting.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use jsonski_repro::jsonski::{Group, JsonSki};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tweet = br#"{
+        "coordinates": [40.74118764, -73.9998279],
+        "user": {"id": 6253282},
+        "place": {
+            "name": "Manhattan",
+            "bounding_box": {
+                "type": "Polygon",
+                "pos": [[-74.026675, 40.683935], [-74.026675, 40.877483],
+                        [-73.910408, 40.877483], [-73.910408, 40.683935]]
+            }
+        }
+    }"#;
+
+    let query = JsonSki::compile("$.place.name")?;
+    println!("query: {}", query.path());
+
+    let mut matches = Vec::new();
+    let stats = query.run(tweet, |m| matches.push(String::from_utf8_lossy(m).into_owned()))?;
+
+    println!("matches: {matches:?}");
+    println!();
+    println!("fast-forward accounting (paper Table 6 metric):");
+    for (name, g) in [
+        ("G1 (to type-matched attr/elem)", Group::G1),
+        ("G2 (over unmatched value)     ", Group::G2),
+        ("G3 (over value, with output)  ", Group::G3),
+        ("G4 (to end of object)         ", Group::G4),
+        ("G5 (over out-of-range elems)  ", Group::G5),
+    ] {
+        println!(
+            "  {name}: {:6} chars ({:5.2}%)",
+            stats.skipped(g),
+            100.0 * stats.ratio(g)
+        );
+    }
+    println!(
+        "  overall: {:.2}% of {} bytes never tokenized",
+        100.0 * stats.overall_ratio(),
+        stats.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Streaming analytics over a synthetic Twitter stream: extract every
+//! shared URL and tweet text from a multi-megabyte record sequence, the
+//! workload class that motivates the paper's introduction.
+//!
+//! Run with: `cargo run --release --example twitter_analytics [mib]`
+
+use std::time::Instant;
+
+use jsonski_repro::datagen::{Dataset, GenConfig};
+use jsonski_repro::jsonski::JsonSki;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let cfg = GenConfig {
+        target_bytes: mib * 1024 * 1024,
+        seed: 2022,
+    };
+    println!("generating ~{mib} MiB of tweet records...");
+    let data = Dataset::Tt.generate_small(&cfg);
+    println!(
+        "{} records, {:.1} MiB",
+        data.records().len(),
+        data.bytes().len() as f64 / (1024.0 * 1024.0)
+    );
+
+    // TT1: every URL shared in the stream.
+    let urls = JsonSki::compile("$[*].en.urls[*].url")?;
+    let start = Instant::now();
+    let mut url_count = 0usize;
+    let mut sample = None;
+    for record in data.iter() {
+        urls.run(record, |m| {
+            if sample.is_none() {
+                sample = Some(String::from_utf8_lossy(m).into_owned());
+            }
+            url_count += 1;
+        })?;
+    }
+    let elapsed = start.elapsed();
+    let gbps = data.bytes().len() as f64 / elapsed.as_secs_f64() / 1e9;
+    println!(
+        "TT1 ($[*].en.urls[*].url): {url_count} urls in {:.3}s ({gbps:.2} GB/s); e.g. {}",
+        elapsed.as_secs_f64(),
+        sample.as_deref().unwrap_or("-")
+    );
+
+    // TT2: every tweet text, with aggregate word count as the "analytics".
+    let texts = JsonSki::compile("$[*].text")?;
+    let start = Instant::now();
+    let mut tweets = 0usize;
+    let mut words = 0usize;
+    for record in data.iter() {
+        texts.run(record, |m| {
+            tweets += 1;
+            words += m.split(|&b| b == b' ').count();
+        })?;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "TT2 ($[*].text): {tweets} tweets, {words} words, in {:.3}s ({:.2} GB/s)",
+        elapsed.as_secs_f64(),
+        data.bytes().len() as f64 / elapsed.as_secs_f64() / 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure into results/ (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release --workspace
+mkdir -p results
+for b in table4 fig10 fig11 fig12 fig13 fig14 table6; do
+  echo "== $b =="
+  ./target/release/$b | tee results/$b.txt
+done

@@ -1,0 +1,35 @@
+//! **jsonski-repro** — a Rust reproduction of *JSONSki: Streaming
+//! Semi-structured Data with Bit-Parallel Fast-Forwarding* (Jiang & Zhao,
+//! ASPLOS 2022), as a facade over the workspace crates:
+//!
+//! * [`jsonski`] — the paper's contribution: streaming JSONPath evaluation
+//!   with bit-parallel fast-forwarding (start here; see [`jsonski::JsonSki`]).
+//! * [`jsonpath`] — the shared JSONPath parser and query automaton.
+//! * [`simdbits`] — the bit-parallel block classification substrate.
+//! * [`jpstream`], [`domparser`], [`tapeparser`], [`pison`] — the four
+//!   baseline engines (JPStream / RapidJSON / simdjson / Pison classes).
+//! * [`datagen`] — synthetic datasets shaped to the paper's Table 4.
+//! * [`harness`] — the evaluation harness regenerating every table/figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use jsonski_repro::jsonski::JsonSki;
+//!
+//! let json = br#"{"place": {"name": "Manhattan", "bounding_box": {}}}"#;
+//! let query = JsonSki::compile("$.place.name")?;
+//! assert_eq!(query.matches(json)?, vec![&b"\"Manhattan\""[..]]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use datagen;
+pub use domparser;
+pub use harness;
+pub use jpstream;
+pub use jsonpath;
+pub use jsonski;
+pub use pison;
+pub use simdbits;
+pub use tapeparser;

@@ -1,0 +1,180 @@
+//! Cross-engine agreement: on any well-formed record, all five engines must
+//! report exactly the same matches for any supported query. The DOM parser
+//! (simplest, fully validating) is the reference.
+
+use jsonski_repro::datagen::{Dataset, GenConfig};
+use jsonski_repro::jsonpath::Path;
+
+/// Counts matches with every engine and asserts they agree; returns the
+/// agreed count.
+fn agreed_count(record: &[u8], query: &str) -> usize {
+    let path: Path = query.parse().unwrap();
+    let reference = jsonski_repro::domparser::Dom::parse(record)
+        .unwrap()
+        .count(&path);
+    let ski = jsonski_repro::jsonski::JsonSki::new(path.clone())
+        .count(record)
+        .unwrap();
+    assert_eq!(ski, reference, "JSONSki vs DOM on {query}");
+    let jp = jsonski_repro::jpstream::JpStream::new(path.clone())
+        .count(record)
+        .unwrap();
+    assert_eq!(jp, reference, "JPStream vs DOM on {query}");
+    let tape = jsonski_repro::tapeparser::Tape::build(record)
+        .unwrap()
+        .count(&path);
+    assert_eq!(tape, reference, "tape vs DOM on {query}");
+    let pison = jsonski_repro::pison::LeveledIndex::build(record, path.len().max(1)).count(&path);
+    assert_eq!(pison, reference, "Pison vs DOM on {query}");
+    reference
+}
+
+#[test]
+fn handcrafted_corpus_all_queries() {
+    let records: &[&[u8]] = &[
+        br#"{"a": {"b": [1, 2, 3]}, "c": "x"}"#,
+        br#"[{"a": 1}, {"a": 2}, [3, 4], "five", null, true]"#,
+        br#"{"deep": {"deep": {"deep": {"deep": {"v": 42}}}}}"#,
+        br#"{"strings": ["{", "}", "[", "]", ":", ",", "\"", "\\"], "a": 1}"#,
+        br#"{"empty_obj": {}, "empty_ary": [], "a": {"b": []}}"#,
+        br#"[[[1, 2], [3, 4]], [[5, 6], [7, 8]], [[9]]]"#,
+        br#"{"a": [{"a": [{"a": 7}]}]}"#,
+        b"  42  ",
+        br#"{"mixed": [1, {"x": 2}, [3], "4", null, {"x": 5}]}"#,
+    ];
+    let queries = [
+        "$",
+        "$.a",
+        "$.a.b",
+        "$.a.b[0]",
+        "$.a.b[1:3]",
+        "$[*]",
+        "$[*].a",
+        "$[0]",
+        "$[2:5]",
+        "$[1][0]",
+        "$[*][*][1]",
+        "$.mixed[*].x",
+        "$.deep.deep.deep.deep.v",
+        "$.a[*].a[*].a",
+        "$.*",
+        "$.strings[6]",
+        "$.empty_obj.x",
+        "$.empty_ary[0]",
+    ];
+    for record in records {
+        for query in queries {
+            agreed_count(record, query);
+        }
+    }
+}
+
+#[test]
+fn all_paper_cases_agree_on_generated_data() {
+    let cfg = GenConfig {
+        target_bytes: 128 * 1024,
+        seed: 77,
+    };
+    for ds in Dataset::all() {
+        let large = ds.generate_large(&cfg);
+        for (id, query) in ds.queries() {
+            let n = agreed_count(large.bytes(), query);
+            // Selective queries may legitimately find 0 at tiny scale, but
+            // the headline per-record queries must match something.
+            if matches!(id, "TT2" | "BB1" | "GMD1" | "NSPL2" | "WM2") {
+                assert!(n > 0, "{id} found nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn small_record_forms_agree_per_record() {
+    let cfg = GenConfig {
+        target_bytes: 96 * 1024,
+        seed: 13,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        for (id, query) in ds.queries() {
+            if ds.large_only_queries().contains(&id) {
+                continue;
+            }
+            for record in data.iter().take(10) {
+                agreed_count(record, query);
+            }
+        }
+    }
+}
+
+#[test]
+fn nspl1_matches_column_count() {
+    // The NSPL metadata block has exactly 44 column descriptors, matching
+    // the paper's 44 matches for NSPL1.
+    let cfg = GenConfig {
+        target_bytes: 64 * 1024,
+        seed: 5,
+    };
+    let data = Dataset::Nspl.generate_large(&cfg);
+    assert_eq!(agreed_count(data.bytes(), "$.mt.vw.co[*].nm"), 44);
+}
+
+#[test]
+fn wp2_index_window_has_matches() {
+    let cfg = GenConfig {
+        target_bytes: 512 * 1024,
+        seed: 5,
+    };
+    let data = Dataset::Wp.generate_large(&cfg);
+    let n = agreed_count(data.bytes(), "$[10:21].cl.P150[*].ms.pty");
+    assert!(n > 0, "the forced P150 window must produce WP2 matches");
+}
+
+#[test]
+fn record_splitter_agrees_with_generator_offsets() {
+    let cfg = GenConfig {
+        target_bytes: 64 * 1024,
+        seed: 21,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        let spans = jsonski_repro::jsonski::split_records(data.bytes())
+            .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+        assert_eq!(spans, data.records(), "{}", ds.name());
+    }
+}
+
+#[test]
+fn run_stream_equals_per_record_runs() {
+    let cfg = GenConfig {
+        target_bytes: 64 * 1024,
+        seed: 22,
+    };
+    let data = Dataset::Wm.generate_small(&cfg);
+    let q = jsonski_repro::jsonski::JsonSki::compile("$.it[*].nm").unwrap();
+    let mut stream_hits = 0usize;
+    q.run_stream(data.bytes(), |_| stream_hits += 1).unwrap();
+    let mut per_record = 0usize;
+    for r in data.iter() {
+        per_record += q.count(r).unwrap();
+    }
+    assert_eq!(stream_hits, per_record);
+    assert!(stream_hits > 0);
+}
+
+#[test]
+fn escaped_names_match_consistently_across_engines() {
+    // A logical name written in escaped form must match the plain query
+    // name in every engine. (Duplicate logical names — the same name
+    // spelled two ways in one object — are deliberately NOT tested for
+    // agreement: the paper's G4 fast-forward assumes JSON objects have
+    // unique names, so JSONSki stops after the first match while the DOM
+    // reference reports every duplicate.)
+    let record = br#"{"x": 0, "a\/b": 1, "tab\there": {"x": 3}, "plain": 4}"#;
+    assert_eq!(agreed_count(record, "$['a/b']"), 1);
+    assert_eq!(agreed_count(record, "$.plain"), 1);
+    assert_eq!(agreed_count(record, "$['tab\there'].x"), 1);
+    let unicode = r#"{"café": 7, "z": 0}"#.as_bytes();
+    // `café` via the bracket form (the dot form would also work).
+    assert_eq!(agreed_count(unicode, "$['café']"), 1);
+}
