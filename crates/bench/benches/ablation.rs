@@ -20,10 +20,17 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     let variants: [(&str, EngineConfig); 5] = [
         ("full", EngineConfig::default()),
-        ("no_g1", EngineConfig { g1: false, ..EngineConfig::default() }),
-        ("no_g4", EngineConfig { g4: false, ..EngineConfig::default() }),
-        ("no_g5", EngineConfig { g5: false, ..EngineConfig::default() }),
-        ("g2g3_only", EngineConfig { g1: false, g4: false, g5: false }),
+        ("no_g1", EngineConfig::builder().disable_g1().build()),
+        ("no_g4", EngineConfig::builder().disable_g4().build()),
+        ("no_g5", EngineConfig::builder().disable_g5().build()),
+        (
+            "g2g3_only",
+            EngineConfig::builder()
+                .disable_g1()
+                .disable_g4()
+                .disable_g5()
+                .build(),
+        ),
     ];
     for (ds, label, query) in cases {
         let data = ds.generate_large(&cfg);
@@ -54,7 +61,10 @@ fn bench_multiquery(c: &mut Criterion) {
     let mut g = c.benchmark_group("multiquery_tt");
     g.throughput(Throughput::Bytes(record.len() as u64));
     g.sample_size(10);
-    let single: Vec<JsonSki> = queries.iter().map(|q| JsonSki::compile(q).unwrap()).collect();
+    let single: Vec<JsonSki> = queries
+        .iter()
+        .map(|q| JsonSki::compile(q).unwrap())
+        .collect();
     g.bench_function("two_passes", |b| {
         b.iter(|| {
             single

@@ -115,7 +115,9 @@ fn bench_attr_seek(c: &mut Criterion) {
     });
     // And the full JSONSki engine end to end for the same query.
     let ski = jsonski::JsonSki::compile("$.target.x").unwrap();
-    g.bench_function("jsonski_end_to_end", |b| b.iter(|| ski.count(&data).unwrap()));
+    g.bench_function("jsonski_end_to_end", |b| {
+        b.iter(|| ski.count(&data).unwrap())
+    });
     g.finish();
 }
 

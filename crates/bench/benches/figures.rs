@@ -7,9 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{Dataset, GenConfig};
 use harness::all_engines;
-use harness::engines::PisonEngine;
-use harness::Engine as _;
+use harness::engines::ParallelPisonEngine;
 use harness::parallel::{count_records_parallel, SegmentedRunner};
+use harness::Engine as _;
 use jsonpath::Path;
 
 const MIB: usize = 1024 * 1024;
@@ -46,7 +46,7 @@ fn fig10_rows(c: &mut Criterion) {
                 b.iter(|| runner.count(record, 16).unwrap())
             });
         }
-        let p16 = PisonEngine::parallel(&path, 16);
+        let p16 = ParallelPisonEngine::new(&path, 16);
         g.bench_function("Pison(16)", |b| b.iter(|| p16.count(record).unwrap()));
         g.finish();
     }
@@ -100,13 +100,7 @@ fn fig14_scaling(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("RapidJSON", format!("{mib}MiB")),
             &record,
-            |b, record| {
-                b.iter(|| {
-                    domparser::Dom::parse(record)
-                        .unwrap()
-                        .count(&path)
-                })
-            },
+            |b, record| b.iter(|| domparser::Dom::parse(record).unwrap().count(&path)),
         );
     }
     g.finish();

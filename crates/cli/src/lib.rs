@@ -4,8 +4,9 @@
 #![deny(missing_docs)]
 
 use std::io::Write;
+use std::ops::ControlFlow;
 
-use jsonski::{JsonSki, MultiQuery};
+use jsonski::{ErrorPolicy, JsonSki, MultiQuery, Pipeline};
 
 /// Parsed command-line options.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,6 +21,10 @@ pub struct Options {
     pub stats: bool,
     /// Stop after this many matches (0 = unlimited).
     pub limit: usize,
+    /// Pipeline workers for streamed input (1 = serial).
+    pub jobs: usize,
+    /// Skip records that fail to evaluate instead of aborting.
+    pub skip_malformed: bool,
 }
 
 /// Usage text.
@@ -31,10 +36,15 @@ fast-forwarding. The input may be a single JSON record or a sequence of
 whitespace/newline-separated records (e.g. JSON Lines).
 
 options:
-  -c, --count     print the number of matches instead of the matches
-  -s, --stats     print fast-forward statistics to stderr
-  -n, --limit N   stop after N matches
-  -h, --help      show this help
+  -c, --count        print the number of matches instead of the matches
+  -s, --stats        print fast-forward statistics to stderr
+  -n, --limit N      stop after N matches
+  -j, --jobs N       evaluate stdin records on N parallel pipeline workers
+                     (single query only; output order is still record order)
+      --skip-malformed
+                     skip records that fail to evaluate (reported on stderr)
+                     instead of aborting the whole stream
+  -h, --help         show this help
 
 Multiple QUERY arguments are evaluated together in one streaming pass;
 each match line is then prefixed with its query index.
@@ -47,20 +57,33 @@ supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*";
 ///
 /// A human-readable message for unknown flags or missing arguments.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
-    let mut queries = Vec::new();
     let mut positional: Vec<String> = Vec::new();
-    let mut count_only = false;
-    let mut stats = false;
-    let mut limit = 0usize;
+    let mut opts = Options {
+        queries: Vec::new(),
+        file: None,
+        count_only: false,
+        stats: false,
+        limit: 0,
+        jobs: 1,
+        skip_malformed: false,
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-c" | "--count" => count_only = true,
-            "-s" | "--stats" => stats = true,
+            "-c" | "--count" => opts.count_only = true,
+            "-s" | "--stats" => opts.stats = true,
             "-n" | "--limit" => {
                 let v = it.next().ok_or("--limit needs a number")?;
-                limit = v.parse().map_err(|_| format!("bad limit: {v}"))?;
+                opts.limit = v.parse().map_err(|_| format!("bad limit: {v}"))?;
             }
+            "-j" | "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--skip-malformed" => opts.skip_malformed = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown option: {flag}\n\n{USAGE}"));
@@ -72,33 +95,44 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     // one trailing non-path positional is the input file.
     for (i, p) in positional.iter().enumerate() {
         if p.starts_with('$') {
-            queries.push(p.clone());
+            opts.queries.push(p.clone());
         } else if i == positional.len() - 1 {
-            return if queries.is_empty() {
-                Err(format!("no query given\n\n{USAGE}"))
-            } else {
-                Ok(Options {
-                    queries,
-                    file: Some(p.clone()),
-                    count_only,
-                    stats,
-                    limit,
-                })
-            };
+            opts.file = Some(p.clone());
         } else {
             return Err(format!("queries must start with `$`: {p}"));
         }
     }
-    if queries.is_empty() {
+    if opts.queries.is_empty() {
         return Err(format!("no query given\n\n{USAGE}"));
     }
-    Ok(Options {
-        queries,
-        file: None,
-        count_only,
-        stats,
-        limit,
-    })
+    Ok(opts)
+}
+
+/// What [`run_with_outcome`] did: the per-query match counts and how far
+/// into the input the scan advanced. An early exit (`--limit`) leaves
+/// `consumed` short of the input length — the bytes after it were never
+/// examined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Matches per query, in query order.
+    pub counts: Vec<usize>,
+    /// Number of input bytes examined before the scan ended.
+    pub consumed: usize,
+}
+
+fn write_counts(opts: &Options, counts: &[usize], out: &mut dyn Write) -> Result<(), String> {
+    if opts.count_only {
+        for (q, c) in opts.queries.iter().zip(counts) {
+            writeln!(out, "{c}\t{q}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn report_skipped(skipped: u64) {
+    if skipped > 0 {
+        eprintln!("jsonski: skipped {skipped} malformed record(s)");
+    }
 }
 
 /// Runs the tool over an in-memory input, writing matches to `out`.
@@ -108,79 +142,146 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 ///
 /// Query-compilation, streaming, or I/O errors as strings.
 pub fn run(opts: &Options, input: &[u8], out: &mut dyn Write) -> Result<Vec<usize>, String> {
-    let spans = jsonski::split_records(input).map_err(|e| e.to_string())?;
+    run_with_outcome(opts, input, out).map(|o| o.counts)
+}
+
+/// Like [`run`], also reporting how many input bytes were examined (an
+/// early `--limit` exit stops the scan mid-stream).
+///
+/// # Errors
+///
+/// Query-compilation, streaming, or I/O errors as strings.
+pub fn run_with_outcome(
+    opts: &Options,
+    input: &[u8],
+    out: &mut dyn Write,
+) -> Result<RunOutcome, String> {
     let mut counts = vec![0usize; opts.queries.len()];
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
-    let mut io_error: Option<std::io::Error> = None;
-    if opts.queries.len() == 1 {
-        let engine = JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?;
-        for &(s, e) in &spans {
-            if opts.limit > 0 && emitted >= opts.limit {
-                break;
-            }
-            let stats = engine
-                .run(&input[s..e], |m| {
-                    if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
-                        counts[0] += 1;
-                        emitted += 1;
-                        if !opts.count_only {
-                            if let Err(err) =
-                                out.write_all(m).and_then(|()| out.write_all(b"\n"))
-                            {
-                                io_error = Some(err);
-                            }
-                        }
-                    }
-                })
-                .map_err(|e| e.to_string())?;
-            total_stats += stats;
-        }
+    let mut skipped = 0u64;
+    let mut consumed = 0usize;
+    let single = if opts.queries.len() == 1 {
+        Some(JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?)
     } else {
+        None
+    };
+    let multi = if single.is_none() {
         let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
-        let engine = MultiQuery::compile(&queries).map_err(|e| e.to_string())?;
-        for &(s, e) in &spans {
-            if opts.limit > 0 && emitted >= opts.limit {
-                break;
+        Some(MultiQuery::compile(&queries).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    // Per-record staging: a streaming engine can emit matches before it
+    // diagnoses an error later in the same record, so output and counts are
+    // committed only once the record evaluates cleanly — the same
+    // discard-on-failure rule the parallel pipeline applies.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut rec_counts = vec![0usize; opts.queries.len()];
+    // Records are split lazily: when `--limit` breaks the scan, the records
+    // after the break point are never even boundary-scanned.
+    for span in jsonski::RecordSplitter::new(input) {
+        let (s, e) = span.map_err(|e| e.to_string())?;
+        let record = &input[s..e];
+        buf.clear();
+        rec_counts.iter_mut().for_each(|c| *c = 0);
+        let mut rec_emitted = 0usize;
+        let result = if let Some(engine) = &single {
+            engine.stream(record, |m| {
+                rec_counts[0] += 1;
+                rec_emitted += 1;
+                if !opts.count_only {
+                    buf.extend_from_slice(m);
+                    buf.push(b'\n');
+                }
+                if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+        } else {
+            multi.as_ref().unwrap().stream(record, |i, m| {
+                rec_counts[i] += 1;
+                rec_emitted += 1;
+                if !opts.count_only {
+                    buf.extend_from_slice(format!("{i}\t").as_bytes());
+                    buf.extend_from_slice(m);
+                    buf.push(b'\n');
+                }
+                if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+        };
+        match result {
+            Ok(outcome) => {
+                total_stats += outcome.stats;
+                consumed = s + outcome.consumed;
+                out.write_all(&buf).map_err(|e| e.to_string())?;
+                for (c, d) in counts.iter_mut().zip(&rec_counts) {
+                    *c += d;
+                }
+                emitted += rec_emitted;
+                if outcome.stopped {
+                    break; // --limit reached; the rest of the input is untouched
+                }
             }
-            let stats = engine
-                .run(&input[s..e], |i, m| {
-                    if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
-                        counts[i] += 1;
-                        emitted += 1;
-                        if !opts.count_only {
-                            let line = format!("{i}\t");
-                            if let Err(err) = out
-                                .write_all(line.as_bytes())
-                                .and_then(|()| out.write_all(m))
-                                .and_then(|()| out.write_all(b"\n"))
-                            {
-                                io_error = Some(err);
-                            }
-                        }
-                    }
-                })
-                .map_err(|e| e.to_string())?;
-            total_stats += stats;
+            Err(err) => {
+                if opts.skip_malformed {
+                    skipped += 1;
+                    consumed = e;
+                } else {
+                    return Err(err.to_string());
+                }
+            }
         }
     }
-    if let Some(err) = io_error {
-        return Err(err.to_string());
-    }
-    if opts.count_only {
-        for (q, c) in opts.queries.iter().zip(&counts) {
-            writeln!(out, "{c}\t{q}").map_err(|e| e.to_string())?;
-        }
-    }
+    report_skipped(skipped);
+    write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
     }
-    Ok(counts)
+    Ok(RunOutcome { counts, consumed })
+}
+
+/// [`jsonski::MatchSink`] that prints matches and applies `--limit`.
+struct WriteSink<'a> {
+    out: &'a mut dyn Write,
+    count_only: bool,
+    limit: usize,
+    emitted: usize,
+    io_error: Option<std::io::Error>,
+}
+
+impl jsonski::MatchSink for WriteSink<'_> {
+    fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        self.emitted += 1;
+        if !self.count_only {
+            if let Err(err) = self
+                .out
+                .write_all(bytes)
+                .and_then(|()| self.out.write_all(b"\n"))
+            {
+                self.io_error = Some(err);
+                return ControlFlow::Break(());
+            }
+        }
+        if self.limit > 0 && self.emitted >= self.limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
 }
 
 /// Runs the tool over a streaming reader with bounded memory (used for
 /// stdin): records are pulled one at a time via
-/// [`jsonski::ChunkedRecords`], so the process never holds the whole stream.
+/// [`jsonski::ChunkedRecords`], so the process never holds the whole
+/// stream. With `--jobs N` (single query) the records are fanned out to a
+/// [`jsonski::Pipeline`] worker pool; matches still print in record order.
 ///
 /// # Errors
 ///
@@ -190,54 +291,115 @@ pub fn run_reader<R: std::io::Read>(
     reader: R,
     out: &mut dyn Write,
 ) -> Result<Vec<usize>, String> {
+    if opts.queries.len() == 1 && opts.jobs > 1 {
+        return run_reader_pipeline(opts, reader, out);
+    }
+    if opts.jobs > 1 {
+        eprintln!("jsonski: --jobs applies to single-query runs; running serially");
+    }
     let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
     let engine = MultiQuery::compile(&queries).map_err(|e| e.to_string())?;
     let single = opts.queries.len() == 1;
     let mut counts = vec![0usize; opts.queries.len()];
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
+    let mut skipped = 0u64;
     let mut records = jsonski::ChunkedRecords::new(reader);
+    // Same per-record staging as `run_with_outcome`: nothing from a record
+    // reaches `out` or the counts until the record evaluates cleanly.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut rec_counts = vec![0usize; opts.queries.len()];
     loop {
         let record = match records.next_record() {
             Ok(Some(r)) => r,
             Ok(None) => break,
+            // Record boundaries are unrecoverable, so splitter/read errors
+            // abort even under --skip-malformed (same rule as the pipeline).
             Err(e) => return Err(e.to_string()),
         };
-        if opts.limit > 0 && emitted >= opts.limit {
-            break;
-        }
-        let mut io_error: Option<std::io::Error> = None;
-        let stats = engine
-            .run(record, |i, m| {
-                if (opts.limit == 0 || emitted < opts.limit) && io_error.is_none() {
-                    counts[i] += 1;
-                    emitted += 1;
-                    if !opts.count_only {
-                        let r = if single {
-                            out.write_all(m)
-                        } else {
-                            out.write_all(format!("{i}\t").as_bytes())
-                                .and_then(|()| out.write_all(m))
-                        };
-                        if let Err(err) = r.and_then(|()| out.write_all(b"\n")) {
-                            io_error = Some(err);
-                        }
-                    }
+        buf.clear();
+        rec_counts.iter_mut().for_each(|c| *c = 0);
+        let mut rec_emitted = 0usize;
+        let result = engine.stream(record, |i, m| {
+            rec_counts[i] += 1;
+            rec_emitted += 1;
+            if !opts.count_only {
+                if !single {
+                    buf.extend_from_slice(format!("{i}\t").as_bytes());
                 }
-            })
-            .map_err(|e| e.to_string())?;
-        if let Some(err) = io_error {
-            return Err(err.to_string());
+                buf.extend_from_slice(m);
+                buf.push(b'\n');
+            }
+            if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match result {
+            Ok(outcome) => {
+                total_stats += outcome.stats;
+                out.write_all(&buf).map_err(|e| e.to_string())?;
+                for (c, d) in counts.iter_mut().zip(&rec_counts) {
+                    *c += d;
+                }
+                emitted += rec_emitted;
+                if outcome.stopped {
+                    break;
+                }
+            }
+            Err(err) => {
+                if opts.skip_malformed {
+                    skipped += 1;
+                } else {
+                    return Err(err.to_string());
+                }
+            }
         }
-        total_stats += stats;
     }
-    if opts.count_only {
-        for (q, c) in opts.queries.iter().zip(&counts) {
-            writeln!(out, "{c}\t{q}").map_err(|e| e.to_string())?;
-        }
-    }
+    report_skipped(skipped);
+    write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
+    }
+    Ok(counts)
+}
+
+/// The `--jobs N` path: records fan out to a worker pool; the merge step
+/// feeds this process's stdout in record order.
+fn run_reader_pipeline<R: std::io::Read>(
+    opts: &Options,
+    reader: R,
+    out: &mut dyn Write,
+) -> Result<Vec<usize>, String> {
+    let engine = JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?;
+    let mut source = jsonski::ChunkedRecords::new(reader);
+    let mut sink = WriteSink {
+        out,
+        count_only: opts.count_only,
+        limit: opts.limit,
+        emitted: 0,
+        io_error: None,
+    };
+    let policy = if opts.skip_malformed {
+        ErrorPolicy::SkipMalformed
+    } else {
+        ErrorPolicy::FailFast
+    };
+    let summary = Pipeline::new()
+        .workers(opts.jobs)
+        .error_policy(policy)
+        .run(&engine, &mut source, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let emitted = sink.emitted;
+    if let Some(err) = sink.io_error {
+        return Err(err.to_string());
+    }
+    report_skipped(summary.failed);
+    let counts = vec![emitted];
+    write_counts(opts, &counts, out)?;
+    if opts.stats {
+        eprintln!("fast-forward: statistics are not collected with --jobs > 1");
     }
     Ok(counts)
 }
@@ -256,6 +418,8 @@ mod tests {
         assert_eq!(o.queries, vec!["$.a.b"]);
         assert_eq!(o.file.as_deref(), Some("data.json"));
         assert!(!o.count_only);
+        assert_eq!(o.jobs, 1);
+        assert!(!o.skip_malformed);
     }
 
     #[test]
@@ -265,6 +429,16 @@ mod tests {
         assert!(o.count_only && o.stats);
         assert_eq!(o.limit, 5);
         assert_eq!(o.file, None);
+    }
+
+    #[test]
+    fn parses_jobs_and_skip_malformed() {
+        let o = args(&["-j", "8", "--skip-malformed", "$.a"]).unwrap();
+        assert_eq!(o.jobs, 8);
+        assert!(o.skip_malformed);
+        assert!(args(&["--jobs", "0", "$.a"]).is_err());
+        assert!(args(&["-j", "x", "$.a"]).is_err());
+        assert!(args(&["-j"]).is_err());
     }
 
     #[test]
@@ -315,10 +489,61 @@ mod tests {
     }
 
     #[test]
+    fn limit_stops_scanning_early() {
+        // `--limit 1` must stop the byte scan, not just truncate the output:
+        // the breaking match is in the first record, so everything after it
+        // stays unexamined.
+        let mut input = Vec::new();
+        for i in 0..1000 {
+            input.extend_from_slice(format!("{{\"a\": {i}}}\n").as_bytes());
+        }
+        let o = args(&["-n", "1", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let outcome = run_with_outcome(&o, &input, &mut out).unwrap();
+        assert_eq!(outcome.counts, vec![1]);
+        assert!(
+            outcome.consumed < input.len() / 10,
+            "consumed {} of {} bytes",
+            outcome.consumed,
+            input.len()
+        );
+    }
+
+    #[test]
+    fn skip_malformed_discards_partial_matches() {
+        // `{"a": [3, 30}` streams a match ("3") before the engine reaches
+        // the malformed close: a skipped record must contribute *nothing*
+        // to the output or counts, exactly like the parallel pipeline.
+        let input = b"{\"a\": [1, 2]}\n{\"a\": [3, 30}\n{\"a\": [5, 6]}\n";
+        let o = args(&["--skip-malformed", "$.a[*]"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&o, input, &mut out).unwrap();
+        assert_eq!(counts, vec![4]);
+        assert_eq!(out, b"1\n2\n5\n6\n");
+        let mut out = Vec::new();
+        let counts = run_reader(&o, &input[..], &mut out).unwrap();
+        assert_eq!(counts, vec![4]);
+        assert_eq!(out, b"1\n2\n5\n6\n");
+    }
+
+    #[test]
     fn run_reports_malformed_input() {
         let o = args(&["$.a"]).unwrap();
         let mut out = Vec::new();
         assert!(run(&o, br#"{"a": [1, 2"#, &mut out).is_err());
+    }
+
+    #[test]
+    fn skip_malformed_keeps_going() {
+        let input = b"{\"a\": 1}\n{\"a\" 2}\n{\"a\": 3}\n";
+        let strict = args(&["$.a"]).unwrap();
+        let mut out = Vec::new();
+        assert!(run(&strict, input, &mut out).is_err());
+        let lenient = args(&["--skip-malformed", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&lenient, input, &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n3\n");
     }
 }
 
@@ -363,5 +588,60 @@ mod reader_tests {
         let o = parse_args(["$.a".to_string()]).unwrap();
         let mut out = Vec::new();
         assert!(run_reader(&o, &b"{\"a\": [1,"[..], &mut out).is_err());
+    }
+
+    #[test]
+    fn run_reader_parallel_output_matches_serial() {
+        let mut input = Vec::new();
+        for i in 0..200 {
+            input.extend_from_slice(format!("{{\"a\": [{i}, {i}]}}\n").as_bytes());
+        }
+        let serial = parse_args(["$.a[*]".to_string()]).unwrap();
+        let mut out_serial = Vec::new();
+        let c1 = run_reader(&serial, &input[..], &mut out_serial).unwrap();
+        let parallel = parse_args(["-j".into(), "4".into(), "$.a[*]".into()]).unwrap();
+        let mut out_parallel = Vec::new();
+        let c2 = run_reader(&parallel, &input[..], &mut out_parallel).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(out_serial, out_parallel, "merge must preserve record order");
+    }
+
+    #[test]
+    fn run_reader_parallel_skip_malformed() {
+        let input = b"{\"a\": 1}\n{\"a\" 2}\n{\"a\": 3}\n";
+        let strict = parse_args(["-j".into(), "4".into(), "$.a".into()]).unwrap();
+        let mut out = Vec::new();
+        assert!(run_reader(&strict, &input[..], &mut out).is_err());
+        let lenient = parse_args([
+            "-j".into(),
+            "4".into(),
+            "--skip-malformed".into(),
+            "$.a".into(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&lenient, &input[..], &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n3\n");
+    }
+
+    #[test]
+    fn run_reader_parallel_respects_limit() {
+        let mut input = Vec::new();
+        for i in 0..100 {
+            input.extend_from_slice(format!("{{\"a\": {i}}}\n").as_bytes());
+        }
+        let o = parse_args([
+            "-j".into(),
+            "4".into(),
+            "-n".into(),
+            "3".into(),
+            "$.a".into(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&o, &input[..], &mut out).unwrap();
+        assert_eq!(counts, vec![3]);
+        assert_eq!(out, b"0\n1\n2\n");
     }
 }

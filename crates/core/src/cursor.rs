@@ -196,11 +196,11 @@ impl<'a> Cursor<'a> {
     /// [`StreamError::UnexpectedEof`] if the string never closes.
     pub fn seek_string_end(&mut self, open_pos: usize) -> Result<usize, StreamError> {
         debug_assert_eq!(self.input.get(open_pos), Some(&b'"'));
-        let end = self
-            .next_pos_where(open_pos + 1, |b| b.quote)
-            .ok_or(StreamError::UnexpectedEof {
-                expected: "closing `\"`",
-            })?;
+        let end =
+            self.next_pos_where(open_pos + 1, |b| b.quote)
+                .ok_or(StreamError::UnexpectedEof {
+                    expected: "closing `\"`",
+                })?;
         self.pos = end;
         Ok(end)
     }

@@ -11,6 +11,8 @@
 //! * skip-to-object-end (G4) once a uniquely-named attribute has matched,
 //! * index-range skips (G5) for arrays with `[n]`/`[m:n]` constraints.
 
+use std::ops::ControlFlow;
+
 use jsonpath::{ContainerKind, ExpectedType, ParsePathError, Path, Runtime, Status, Step};
 
 use crate::cursor::Cursor;
@@ -56,6 +58,18 @@ pub struct JsonSki {
 /// G2/G3 (value skipping and skip-with-output) are the engine's substance
 /// and cannot be disabled — an engine without them *is* the JPStream
 /// baseline.
+///
+/// The struct is `#[non_exhaustive]` so future fast-forward groups can be
+/// added without breaking downstream crates; construct it through
+/// [`EngineConfig::builder`]:
+///
+/// ```
+/// use jsonski::EngineConfig;
+///
+/// let cfg = EngineConfig::builder().disable_g4().build();
+/// assert!(cfg.g1 && !cfg.g4 && cfg.g5);
+/// ```
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Enable G1 type-directed attribute seeking.
@@ -73,6 +87,61 @@ impl Default for EngineConfig {
             g4: true,
             g5: true,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder with every group enabled.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`] (ablation switches).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets G1 type-directed attribute seeking.
+    pub fn g1(mut self, enabled: bool) -> Self {
+        self.config.g1 = enabled;
+        self
+    }
+
+    /// Sets G4 skip-to-object-end after a unique-name match.
+    pub fn g4(mut self, enabled: bool) -> Self {
+        self.config.g4 = enabled;
+        self
+    }
+
+    /// Sets G5 index-range skipping in arrays.
+    pub fn g5(mut self, enabled: bool) -> Self {
+        self.config.g5 = enabled;
+        self
+    }
+
+    /// Disables G1 type-directed attribute seeking.
+    pub fn disable_g1(self) -> Self {
+        self.g1(false)
+    }
+
+    /// Disables G4 skip-to-object-end.
+    pub fn disable_g4(self) -> Self {
+        self.g4(false)
+    }
+
+    /// Disables G5 index-range skipping.
+    pub fn disable_g5(self) -> Self {
+        self.g5(false)
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -113,27 +182,77 @@ impl JsonSki {
         &self.path
     }
 
-    /// Streams one JSON record, invoking `sink` with the raw bytes of every
-    /// match, and returns the fast-forward statistics for the record.
+    /// Streams one JSON record through `sink`, the primitive every other
+    /// entry point wraps. The sink receives the raw bytes of each match
+    /// and steers the scan: returning [`ControlFlow::Break`] stops
+    /// evaluation immediately — no further input bytes are examined —
+    /// which is how `--limit`-style early exit avoids scanning the rest
+    /// of a record.
+    ///
+    /// ```
+    /// use std::ops::ControlFlow;
+    /// use jsonski::JsonSki;
+    ///
+    /// let q = JsonSki::compile("$.it[*]")?;
+    /// let json = br#"{"it": [1, 2, 3, 4]}"#;
+    /// let mut first = None;
+    /// let outcome = q.stream(json, |m| {
+    ///     first = Some(m);
+    ///     ControlFlow::Break(())
+    /// })?;
+    /// assert_eq!(first, Some(&b"1"[..]));
+    /// assert!(outcome.stopped);
+    /// assert!(outcome.consumed < json.len());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
     /// [`StreamError`] on malformed input discovered on the examined path or
     /// by pairing validation within fast-forwarded segments.
-    pub fn run<'a, F>(&self, input: &'a [u8], sink: F) -> Result<FastForwardStats, StreamError>
+    pub fn stream<'a, F>(&self, input: &'a [u8], sink: F) -> Result<StreamOutcome, StreamError>
     where
-        F: FnMut(&'a [u8]),
+        F: FnMut(&'a [u8]) -> ControlFlow<()>,
     {
         let mut eval = Eval {
             cur: Cursor::new(input),
             rt: Runtime::new(&self.path),
             stats: FastForwardStats::new(),
             sink,
+            matches: 0,
             depth: 0,
             config: self.config,
         };
-        eval.record()?;
-        Ok(eval.stats)
+        let stopped = match eval.record() {
+            Ok(()) => false,
+            Err(Abort::Stop) => true,
+            Err(Abort::Err(e)) => return Err(e),
+        };
+        Ok(StreamOutcome {
+            stats: eval.stats,
+            matches: eval.matches,
+            stopped,
+            consumed: eval.cur.pos(),
+        })
+    }
+
+    /// Streams one JSON record, invoking `sink` with the raw bytes of every
+    /// match, and returns the fast-forward statistics for the record.
+    /// Thin wrapper over [`JsonSki::stream`] that never stops early.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on malformed input discovered on the examined path or
+    /// by pairing validation within fast-forwarded segments.
+    pub fn run<'a, F>(&self, input: &'a [u8], mut sink: F) -> Result<FastForwardStats, StreamError>
+    where
+        F: FnMut(&'a [u8]),
+    {
+        let outcome = self.stream(input, |m| {
+            sink(m);
+            ControlFlow::Continue(())
+        })?;
+        Ok(outcome.stats)
     }
 
     /// Streams a whole multi-record stream (e.g. JSON Lines): records are
@@ -169,26 +288,61 @@ impl JsonSki {
         Ok(total)
     }
 
-    /// Counts the matches in one record.
+    /// Counts the matches in one record. Thin wrapper over
+    /// [`JsonSki::stream`].
     ///
     /// # Errors
     ///
-    /// Propagates [`StreamError`] from [`JsonSki::run`].
+    /// Propagates [`StreamError`] from [`JsonSki::stream`].
     pub fn count(&self, input: &[u8]) -> Result<usize, StreamError> {
-        let mut n = 0usize;
-        self.run(input, |_| n += 1)?;
-        Ok(n)
+        let outcome = self.stream(input, |_| ControlFlow::Continue(()))?;
+        Ok(outcome.matches)
     }
 
-    /// Collects the raw byte slices of all matches in one record.
+    /// Collects the raw byte slices of all matches in one record. Thin
+    /// wrapper over [`JsonSki::stream`].
     ///
     /// # Errors
     ///
-    /// Propagates [`StreamError`] from [`JsonSki::run`].
+    /// Propagates [`StreamError`] from [`JsonSki::stream`].
     pub fn matches<'a>(&self, input: &'a [u8]) -> Result<Vec<&'a [u8]>, StreamError> {
         let mut out = Vec::new();
-        self.run(input, |m| out.push(m))?;
+        self.stream(input, |m| {
+            out.push(m);
+            ControlFlow::Continue(())
+        })?;
         Ok(out)
+    }
+}
+
+/// What one [`JsonSki::stream`] call did: the fast-forward statistics,
+/// how many matches the sink saw, whether the sink stopped the scan, and
+/// how many input bytes were examined before the scan ended.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// Per-group fast-forward statistics for the scanned prefix.
+    pub stats: FastForwardStats,
+    /// Number of matches delivered to the sink (including the one the
+    /// sink broke on, if any).
+    pub matches: usize,
+    /// `true` when the sink returned [`ControlFlow::Break`].
+    pub stopped: bool,
+    /// Cursor position when the scan ended: `input.len()` minus trailing
+    /// unscanned bytes. Strictly less than the input length when a break
+    /// saved work.
+    pub consumed: usize,
+}
+
+/// Propagates either a hard parse error or a sink-requested stop up
+/// through the recursive descent.
+enum Abort {
+    Err(StreamError),
+    Stop,
+}
+
+impl From<StreamError> for Abort {
+    fn from(e: StreamError) -> Self {
+        Abort::Err(e)
     }
 }
 
@@ -197,16 +351,21 @@ struct Eval<'a, 'p, F> {
     rt: Runtime<'p>,
     stats: FastForwardStats,
     sink: F,
+    matches: usize,
     depth: usize,
     config: EngineConfig,
 }
 
-impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
-    fn emit(&mut self, span: Span) {
-        (self.sink)(&self.cur.input()[span.0..span.1]);
+impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
+    fn emit(&mut self, span: Span) -> Result<(), Abort> {
+        self.matches += 1;
+        match (self.sink)(&self.cur.input()[span.0..span.1]) {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(()) => Err(Abort::Stop),
+        }
     }
 
-    fn record(&mut self) -> Result<(), StreamError> {
+    fn record(&mut self) -> Result<(), Abort> {
         self.stats.add_total(self.cur.input().len() as u64);
         self.cur.skip_ws();
         let Some(t) = self.cur.peek() else {
@@ -217,7 +376,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                 match self.rt.enter_root(ContainerKind::Object) {
                     Status::Accept => {
                         let span = go_over_obj(&mut self.cur, &mut self.stats, Group::G3)?;
-                        self.emit(span);
+                        self.emit(span)?;
                     }
                     Status::Unmatched => {
                         go_over_obj(&mut self.cur, &mut self.stats, Group::G2)?;
@@ -233,7 +392,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                 match self.rt.enter_root(ContainerKind::Array) {
                     Status::Accept => {
                         let span = go_over_ary(&mut self.cur, &mut self.stats, Group::G3)?;
-                        self.emit(span);
+                        self.emit(span)?;
                     }
                     Status::Unmatched => {
                         go_over_ary(&mut self.cur, &mut self.stats, Group::G2)?;
@@ -249,7 +408,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                 // Primitive root record: matches only the `$` path.
                 if self.rt.path().is_empty() {
                     let span = go_over_primitive(&mut self.cur, &mut self.stats, Group::G3)?;
-                    self.emit(span);
+                    self.emit(span)?;
                 } else {
                     go_over_primitive(&mut self.cur, &mut self.stats, Group::G2)?;
                 }
@@ -260,12 +419,12 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
 
     /// Algorithm 2's `object()`; the opening `{` has been consumed and the
     /// automaton's top frame is this object's.
-    fn object(&mut self) -> Result<(), StreamError> {
+    fn object(&mut self) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(StreamError::TooDeep {
+            return Err(Abort::Err(StreamError::TooDeep {
                 pos: self.cur.pos(),
-            });
+            }));
         }
         let result = match self.rt.expected_type() {
             // Nothing in this object can match: drain to the end (a pure
@@ -281,7 +440,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
 
     /// Typed attribute loop: the query dictates that only attributes whose
     /// value opens with `open` can match, so G1 seeks them directly.
-    fn object_typed(&mut self, open: u8) -> Result<(), StreamError> {
+    fn object_typed(&mut self, open: u8) -> Result<(), Abort> {
         let kind = if open == b'{' {
             ContainerKind::Object
         } else {
@@ -311,7 +470,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                     } else {
                         go_over_ary(&mut self.cur, &mut self.stats, Group::G3)?
                     };
-                    self.emit(span);
+                    self.emit(span)?;
                     if self.g4_applies() {
                         return self.finish_object(Group::G4);
                     }
@@ -336,7 +495,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
 
     /// Generic attribute loop for the last path level, where the matching
     /// value's type cannot be inferred.
-    fn object_generic(&mut self) -> Result<(), StreamError> {
+    fn object_generic(&mut self) -> Result<(), Abort> {
         loop {
             let t = self.cur.peek_token("attribute or `}`")?;
             match t {
@@ -360,7 +519,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                         }
                         Status::Accept => {
                             let span = self.skip_value(vb, Group::G3)?;
-                            self.emit(span);
+                            self.emit(span)?;
                             if self.g4_applies() {
                                 return self.finish_object(Group::G4);
                             }
@@ -395,30 +554,30 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                     }
                 }
                 other => {
-                    return Err(StreamError::Unexpected {
+                    return Err(Abort::Err(StreamError::Unexpected {
                         expected: "`\"` (attribute name)",
                         found: other,
                         pos: self.cur.pos(),
-                    })
+                    }))
                 }
             }
         }
     }
 
     /// Algorithm 2's `array()` analog; the `[` has been consumed.
-    fn array(&mut self) -> Result<(), StreamError> {
+    fn array(&mut self) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(StreamError::TooDeep {
+            return Err(Abort::Err(StreamError::TooDeep {
                 pos: self.cur.pos(),
-            });
+            }));
         }
         let result = self.array_body();
         self.depth -= 1;
         result
     }
 
-    fn array_body(&mut self) -> Result<(), StreamError> {
+    fn array_body(&mut self) -> Result<(), Abort> {
         let Some(expected) = self.rt.expected_type() else {
             // Incompatible step kind: nothing here matches (G2 drain).
             return self.finish_array(Group::G2);
@@ -452,7 +611,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                 }
                 Status::Accept => {
                     let span = self.skip_value(t, Group::G3)?;
-                    self.emit(span);
+                    self.emit(span)?;
                 }
                 Status::Matched => match (expected, t) {
                     (ExpectedType::Object, b'{') => {
@@ -488,11 +647,11 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                         // Cursor is at `{`, `[`, `]` (or a malformed `}`);
                         // re-enter the loop without delimiter handling.
                         if self.cur.peek() == Some(b'}') {
-                            return Err(StreamError::Unexpected {
+                            return Err(Abort::Err(StreamError::Unexpected {
                                 expected: "`]` or element",
                                 found: b'}',
                                 pos: self.cur.pos(),
-                            });
+                            }));
                         }
                         continue;
                     }
@@ -510,11 +669,11 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                     return Ok(());
                 }
                 other => {
-                    return Err(StreamError::Unexpected {
+                    return Err(Abort::Err(StreamError::Unexpected {
                         expected: "`,` or `]`",
                         found: other,
                         pos: self.cur.pos(),
-                    })
+                    }))
                 }
             }
         }
@@ -523,7 +682,7 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
     /// G5's `goOverElems(K)`: skips `n` elements (value + delimiter) by
     /// type-directed fast-forwarding; returns `true` when the array ended
     /// first (cursor left at `]`).
-    fn skip_elements(&mut self, n: usize) -> Result<bool, StreamError> {
+    fn skip_elements(&mut self, n: usize) -> Result<bool, Abort> {
         for _ in 0..n {
             let t = self.cur.peek_token("element or `]`")?;
             if t == b']' {
@@ -538,11 +697,11 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
                 }
                 b']' => return Ok(true),
                 other => {
-                    return Err(StreamError::Unexpected {
+                    return Err(Abort::Err(StreamError::Unexpected {
                         expected: "`,` or `]`",
                         found: other,
                         pos: self.cur.pos(),
-                    })
+                    }))
                 }
             }
         }
@@ -550,12 +709,13 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
     }
 
     /// Skips one value of any type, returning its span.
-    fn skip_value(&mut self, first_byte: u8, group: Group) -> Result<Span, StreamError> {
-        match first_byte {
-            b'{' => go_over_obj(&mut self.cur, &mut self.stats, group),
-            b'[' => go_over_ary(&mut self.cur, &mut self.stats, group),
-            _ => go_over_primitive(&mut self.cur, &mut self.stats, group),
-        }
+    fn skip_value(&mut self, first_byte: u8, group: Group) -> Result<Span, Abort> {
+        let span = match first_byte {
+            b'{' => go_over_obj(&mut self.cur, &mut self.stats, group)?,
+            b'[' => go_over_ary(&mut self.cur, &mut self.stats, group)?,
+            _ => go_over_primitive(&mut self.cur, &mut self.stats, group)?,
+        };
+        Ok(span)
     }
 
     /// Whether G4 applies after a match at this object's level: only
@@ -564,14 +724,14 @@ impl<'a, F: FnMut(&'a [u8])> Eval<'a, '_, F> {
         self.config.g4 && matches!(self.rt.current_step(), Some(Step::Child(_)))
     }
 
-    fn finish_object(&mut self, group: Group) -> Result<(), StreamError> {
+    fn finish_object(&mut self, group: Group) -> Result<(), Abort> {
         go_to_obj_end(&mut self.cur, &mut self.stats, group)?;
-        self.cur.expect(b'}', "`}`")
+        Ok(self.cur.expect(b'}', "`}`")?)
     }
 
-    fn finish_array(&mut self, group: Group) -> Result<(), StreamError> {
+    fn finish_array(&mut self, group: Group) -> Result<(), Abort> {
         go_to_ary_end(&mut self.cur, &mut self.stats, group)?;
-        self.cur.expect(b']', "`]`")
+        Ok(self.cur.expect(b']', "`]`")?)
     }
 }
 
@@ -781,7 +941,10 @@ mod tests {
     #[test]
     fn multiple_matches_in_nested_arrays() {
         let json = r#"{"it": [{"nm": "a"}, {"nm": "b"}, {"pr": 1}, {"nm": "c"}]}"#;
-        assert_eq!(matches_of("$.it[*].nm", json), vec!["\"a\"", "\"b\"", "\"c\""]);
+        assert_eq!(
+            matches_of("$.it[*].nm", json),
+            vec!["\"a\"", "\"b\"", "\"c\""]
+        );
     }
 
     #[test]
@@ -821,7 +984,12 @@ mod ablation_tests {
 
     #[test]
     fn all_configs_agree_on_results() {
-        for query in ["$.pd[*].cp[1:3].id", "$.pd[0].cp[*]", "$.tail.deep[1].z", "$.pd[*].y"] {
+        for query in [
+            "$.pd[*].cp[1:3].id",
+            "$.pd[0].cp[*]",
+            "$.tail.deep[1].z",
+            "$.pd[*].y",
+        ] {
             let reference: Vec<Vec<u8>> = JsonSki::compile(query)
                 .unwrap()
                 .matches(DOC.as_bytes())
@@ -845,11 +1013,13 @@ mod ablation_tests {
 
     #[test]
     fn disabled_groups_record_zero() {
-        let q = JsonSki::compile("$.tail.deep[1].z").unwrap().with_config(EngineConfig {
-            g1: false,
-            g4: false,
-            g5: false,
-        });
+        let q = JsonSki::compile("$.tail.deep[1].z")
+            .unwrap()
+            .with_config(EngineConfig {
+                g1: false,
+                g4: false,
+                g5: false,
+            });
         let stats = q.run(DOC.as_bytes(), |_| {}).unwrap();
         assert_eq!(stats.skipped(Group::G1), 0);
         assert_eq!(stats.skipped(Group::G4), 0);

@@ -1,0 +1,300 @@
+//! The unified sink-based evaluation API shared by every engine.
+//!
+//! The paper evaluates five systems (Table 2) that differ wildly in *how*
+//! they locate matches — streaming with fast-forwarding, detailed streaming,
+//! DOM trees, tapes, leveled bitmap indexes — but they all answer the same
+//! question: *which byte spans of this record match the query?* This module
+//! captures that contract once:
+//!
+//! * [`MatchSink`] — a visitor receiving matches (and per-record errors) with
+//!   [`ControlFlow`]-based early exit: return [`ControlFlow::Break`] from
+//!   [`MatchSink::on_match`] and the engine stops scanning. For streaming
+//!   engines the stop is *real* — bytes after the breaking match are never
+//!   examined (see [`StreamOutcome::consumed`]).
+//! * [`Evaluate`] — one record in, matches out through a sink, with a typed
+//!   [`RecordOutcome`]. Implemented by all five engine crates.
+//! * [`EngineError`] / [`ErrorPolicy`] — typed errors and the skip-or-fail
+//!   decision for multi-record streams (see [`Pipeline`]).
+//!
+//! [`StreamOutcome::consumed`]: crate::StreamOutcome::consumed
+//! [`Pipeline`]: crate::Pipeline
+
+use std::error::Error;
+use std::fmt;
+use std::ops::ControlFlow;
+
+use crate::error::StreamError;
+
+/// Typed error from evaluating or transporting a record.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The record is structurally malformed (streaming engines).
+    Stream(StreamError),
+    /// The record source failed to produce bytes.
+    Io(std::io::Error),
+    /// An engine-specific failure (preprocessing engines report parse
+    /// errors here, tagged with the engine's display name).
+    Engine {
+        /// The reporting engine's display name.
+        engine: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Stream(e) => write!(f, "stream error: {e}"),
+            EngineError::Io(e) => write!(f, "i/o error: {e}"),
+            EngineError::Engine { engine, message } => {
+                write!(f, "{engine}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Stream(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            EngineError::Engine { .. } => None,
+        }
+    }
+}
+
+impl From<StreamError> for EngineError {
+    fn from(e: StreamError) -> Self {
+        EngineError::Stream(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<crate::reader::ReadRecordError> for EngineError {
+    fn from(e: crate::reader::ReadRecordError) -> Self {
+        match e {
+            crate::reader::ReadRecordError::Io(e) => EngineError::Io(e),
+            crate::reader::ReadRecordError::Stream(e) => EngineError::Stream(e),
+        }
+    }
+}
+
+/// What happened to one record.
+#[derive(Debug)]
+pub enum RecordOutcome {
+    /// The record was fully evaluated; `matches` spans were delivered.
+    Complete {
+        /// Number of matches delivered to the sink.
+        matches: usize,
+    },
+    /// The sink returned [`ControlFlow::Break`]; scanning stopped early.
+    /// `matches` *includes* the match the sink broke on.
+    Stopped {
+        /// Number of matches delivered, including the breaking one.
+        matches: usize,
+    },
+    /// The record could not be evaluated.
+    Failed(EngineError),
+}
+
+impl RecordOutcome {
+    /// Matches delivered before the outcome, `0` for failures.
+    pub fn matches(&self) -> usize {
+        match self {
+            RecordOutcome::Complete { matches } | RecordOutcome::Stopped { matches } => *matches,
+            RecordOutcome::Failed(_) => 0,
+        }
+    }
+
+    /// Whether the record failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RecordOutcome::Failed(_))
+    }
+}
+
+/// What to do when a record in a multi-record stream fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// Abort the whole run on the first failed record (in record order).
+    #[default]
+    FailFast,
+    /// Report the failure to [`MatchSink::on_record_error`] and continue
+    /// with the next record.
+    SkipMalformed,
+}
+
+/// Visitor receiving matches as they are found.
+///
+/// `record_idx` is the zero-based ordinal of the record within the stream
+/// (always `0` for single-record evaluation). Returning
+/// [`ControlFlow::Break`] stops the scan — for a single record the engine
+/// stops examining bytes; for a [`Pipeline`] the whole stream stops.
+///
+/// [`Pipeline`]: crate::Pipeline
+pub trait MatchSink {
+    /// Called for each match, with the match's raw bytes.
+    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()>;
+
+    /// Called when a record fails under [`ErrorPolicy::SkipMalformed`]
+    /// (under [`ErrorPolicy::FailFast`] the error aborts the run instead).
+    /// Returning [`ControlFlow::Break`] stops the stream. The default
+    /// implementation continues.
+    fn on_record_error(&mut self, record_idx: u64, error: &EngineError) -> ControlFlow<()> {
+        let _ = (record_idx, error);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Adapts a closure `FnMut(record_idx, bytes) -> ControlFlow<()>` into a
+/// [`MatchSink`] (record errors use the default continue behaviour).
+pub struct FnSink<F>(F);
+
+impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> FnSink<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        FnSink(f)
+    }
+}
+
+impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> MatchSink for FnSink<F> {
+    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        (self.0)(record_idx, bytes)
+    }
+}
+
+/// A sink that counts matches and never stops.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Matches seen so far.
+    pub matches: usize,
+}
+
+impl MatchSink for CountSink {
+    fn on_match(&mut self, _record_idx: u64, _bytes: &[u8]) -> ControlFlow<()> {
+        self.matches += 1;
+        ControlFlow::Continue(())
+    }
+}
+
+/// One record in, matches out: the contract shared by all five engines.
+///
+/// Implementations are `Sync` so one engine value can serve all workers of a
+/// [`Pipeline`]. For the preprocessing engines (DOM, tape, leveled index)
+/// [`Evaluate::evaluate`] includes the preprocessing work, as in the paper's
+/// measurements.
+///
+/// [`Pipeline`]: crate::Pipeline
+pub trait Evaluate: Sync {
+    /// The engine's display name (matching the paper's, e.g. `"JSONSki"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one record, delivering match spans to `sink`.
+    ///
+    /// Never panics on malformed input: failures are returned as
+    /// [`RecordOutcome::Failed`].
+    fn evaluate(&self, record: &[u8], record_idx: u64, sink: &mut dyn MatchSink) -> RecordOutcome;
+
+    /// Counts matches in one record (provided on top of
+    /// [`Evaluate::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// The [`EngineError`] of a failed record.
+    fn count(&self, record: &[u8]) -> Result<usize, EngineError> {
+        let mut sink = CountSink::default();
+        match self.evaluate(record, 0, &mut sink) {
+            RecordOutcome::Complete { matches } | RecordOutcome::Stopped { matches } => Ok(matches),
+            RecordOutcome::Failed(e) => Err(e),
+        }
+    }
+}
+
+impl Evaluate for crate::JsonSki {
+    fn name(&self) -> &'static str {
+        "JSONSki"
+    }
+
+    fn evaluate(&self, record: &[u8], record_idx: u64, sink: &mut dyn MatchSink) -> RecordOutcome {
+        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+            Ok(outcome) if outcome.stopped => RecordOutcome::Stopped {
+                matches: outcome.matches,
+            },
+            Ok(outcome) => RecordOutcome::Complete {
+                matches: outcome.matches,
+            },
+            Err(e) => RecordOutcome::Failed(EngineError::Stream(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JsonSki;
+
+    #[test]
+    fn jsonski_implements_evaluate() {
+        let engine = JsonSki::compile("$.a").unwrap();
+        assert_eq!(Evaluate::name(&engine), "JSONSki");
+        assert_eq!(Evaluate::count(&engine, br#"{"a": 1}"#).unwrap(), 1);
+        assert_eq!(Evaluate::count(&engine, br#"{"b": 1}"#).unwrap(), 0);
+    }
+
+    #[test]
+    fn evaluate_reports_stopped_with_breaking_match_counted() {
+        let engine = JsonSki::compile("$[*]").unwrap();
+        let mut seen = 0usize;
+        let mut sink = FnSink::new(|_, _m: &[u8]| {
+            seen += 1;
+            if seen == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        let outcome = engine.evaluate(b"[1, 2, 3, 4]", 0, &mut sink);
+        match outcome {
+            RecordOutcome::Stopped { matches } => assert_eq!(matches, 2),
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_reports_failures_typed() {
+        let engine = JsonSki::compile("$.a").unwrap();
+        let mut sink = CountSink::default();
+        let outcome = engine.evaluate(br#"{"a": [1, 2"#, 0, &mut sink);
+        match outcome {
+            RecordOutcome::Failed(EngineError::Stream(_)) => {}
+            other => panic!("expected Failed(Stream), got {other:?}"),
+        }
+        assert_eq!(outcome.matches(), 0);
+        assert!(outcome.is_failed());
+    }
+
+    #[test]
+    fn engine_error_display_and_source() {
+        let e = EngineError::Stream(StreamError::Unbalanced { pos: 3 });
+        assert!(e.to_string().contains("3"));
+        assert!(Error::source(&e).is_some());
+        let e = EngineError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        let e = EngineError::Engine {
+            engine: "Pison",
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("Pison"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_policy_default_is_fail_fast() {
+        assert_eq!(ErrorPolicy::default(), ErrorPolicy::FailFast);
+    }
+}

@@ -216,7 +216,10 @@ pub fn go_to_attr_with_opener(
             // before the colon) from the raw buffer — only matched-type
             // attributes pay for name extraction.
             let span = extract_name_before(cur.input(), colon)?;
-            stats.record(Group::G1, (span.0.saturating_sub(1)).saturating_sub(entry) as u64);
+            stats.record(
+                Group::G1,
+                (span.0.saturating_sub(1)).saturating_sub(entry) as u64,
+            );
             return Ok(Some(span));
         }
         // Wrong type: skip the value wholesale and continue.

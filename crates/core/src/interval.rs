@@ -153,8 +153,8 @@ mod tests {
     #[test]
     fn next_interval_walks_all_occurrences() {
         let mut bm = 0b1001_0010u64;
-        let ends: Vec<u32> = std::iter::from_fn(|| next_interval(&mut bm).map(|iv| iv.end()))
-            .collect();
+        let ends: Vec<u32> =
+            std::iter::from_fn(|| next_interval(&mut bm).map(|iv| iv.end())).collect();
         assert_eq!(ends, vec![4, 7, 64]);
     }
 

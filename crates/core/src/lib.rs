@@ -42,16 +42,22 @@
 pub mod cursor;
 mod engine;
 mod error;
+mod evaluate;
 pub mod fastforward;
 pub mod interval;
 mod multi;
+mod pipeline;
 mod reader;
 mod records;
 mod stats;
 
-pub use engine::{EngineConfig, JsonSki, MAX_DEPTH};
-pub use multi::MultiQuery;
+pub use engine::{EngineConfig, EngineConfigBuilder, JsonSki, StreamOutcome, MAX_DEPTH};
 pub use error::StreamError;
+pub use evaluate::{
+    CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, MatchSink, RecordOutcome,
+};
+pub use multi::MultiQuery;
+pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};
 pub use reader::{ChunkedRecords, ReadRecordError, DEFAULT_BUFFER};
 pub use records::{split_records, RecordSplitter};
 pub use stats::{FastForwardStats, Group};

@@ -10,6 +10,8 @@
 //! values are emitted per query. The per-value work is O(#queries) state
 //! updates; the stream is still classified exactly once.
 
+use std::ops::ControlFlow;
+
 use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status, Step};
 
 use crate::cursor::Cursor;
@@ -51,7 +53,10 @@ impl MultiQuery {
     /// The first expression that fails to parse.
     pub fn compile(queries: &[&str]) -> Result<Self, ParsePathError> {
         Ok(MultiQuery {
-            paths: queries.iter().map(|q| q.parse()).collect::<Result<_, _>>()?,
+            paths: queries
+                .iter()
+                .map(|q| q.parse())
+                .collect::<Result<_, _>>()?,
         })
     }
 
@@ -60,24 +65,61 @@ impl MultiQuery {
         &self.paths
     }
 
-    /// Streams one record; `sink(query_index, bytes)` fires per match.
+    /// Streams one record with early-exit support; `sink(query_index, bytes)`
+    /// fires per match and may return [`ControlFlow::Break`] to stop scanning.
+    ///
+    /// The [`StreamOutcome`] reports combined match counts across all queries,
+    /// whether the sink stopped the scan, and how many input bytes were
+    /// consumed (strictly fewer than `input.len()` when a break saved work).
     ///
     /// # Errors
     ///
     /// [`StreamError`] on malformed input discovered on any examined path.
-    pub fn run<'a, F>(&self, input: &'a [u8], sink: F) -> Result<FastForwardStats, StreamError>
+    ///
+    /// [`StreamOutcome`]: crate::StreamOutcome
+    pub fn stream<'a, F>(
+        &self,
+        input: &'a [u8],
+        sink: F,
+    ) -> Result<crate::StreamOutcome, StreamError>
     where
-        F: FnMut(usize, &'a [u8]),
+        F: FnMut(usize, &'a [u8]) -> ControlFlow<()>,
     {
         let mut ev = MultiEval {
             cur: Cursor::new(input),
             rts: self.paths.iter().map(Runtime::new).collect(),
             stats: FastForwardStats::new(),
             sink,
+            matches: 0,
             depth: 0,
         };
-        ev.record()?;
-        Ok(ev.stats)
+        let stopped = match ev.record() {
+            Ok(()) => false,
+            Err(Abort::Stop) => true,
+            Err(Abort::Err(e)) => return Err(e),
+        };
+        Ok(crate::StreamOutcome {
+            matches: ev.matches,
+            stopped,
+            consumed: ev.cur.pos(),
+            stats: ev.stats,
+        })
+    }
+
+    /// Streams one record; `sink(query_index, bytes)` fires per match.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on malformed input discovered on any examined path.
+    pub fn run<'a, F>(&self, input: &'a [u8], mut sink: F) -> Result<FastForwardStats, StreamError>
+    where
+        F: FnMut(usize, &'a [u8]),
+    {
+        let outcome = self.stream(input, |i, bytes| {
+            sink(i, bytes);
+            ControlFlow::Continue(())
+        })?;
+        Ok(outcome.stats)
     }
 
     /// Per-query match counts for one record.
@@ -92,20 +134,38 @@ impl MultiQuery {
     }
 }
 
+/// Internal control-flow channel: a real stream error, or an early stop
+/// requested by the sink via [`ControlFlow::Break`].
+enum Abort {
+    Err(StreamError),
+    Stop,
+}
+
+impl From<StreamError> for Abort {
+    fn from(e: StreamError) -> Self {
+        Abort::Err(e)
+    }
+}
+
 struct MultiEval<'a, 'p, F> {
     cur: Cursor<'a>,
     rts: Vec<Runtime<'p>>,
     stats: FastForwardStats,
     sink: F,
+    matches: usize,
     depth: usize,
 }
 
-impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
-    fn emit(&mut self, idx: usize, span: Span) {
-        (self.sink)(idx, &self.cur.input()[span.0..span.1]);
+impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
+    fn emit(&mut self, idx: usize, span: Span) -> Result<(), Abort> {
+        self.matches += 1;
+        match (self.sink)(idx, &self.cur.input()[span.0..span.1]) {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(()) => Err(Abort::Stop),
+        }
     }
 
-    fn record(&mut self) -> Result<(), StreamError> {
+    fn record(&mut self) -> Result<(), Abort> {
         self.stats.add_total(self.cur.input().len() as u64);
         self.cur.skip_ws();
         let Some(t) = self.cur.peek() else {
@@ -119,19 +179,19 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
                 let accepts: Vec<usize> = (0..self.rts.len())
                     .filter(|&i| self.rts[i].path().is_empty())
                     .collect();
-                let group = if accepts.is_empty() { Group::G2 } else { Group::G3 };
+                let group = if accepts.is_empty() {
+                    Group::G2
+                } else {
+                    Group::G3
+                };
                 let span = go_over_primitive(&mut self.cur, &mut self.stats, group)?;
                 for i in accepts {
-                    self.emit(i, span);
+                    self.emit(i, span)?;
                 }
                 return Ok(());
             }
         };
-        let statuses: Vec<Status> = self
-            .rts
-            .iter_mut()
-            .map(|rt| rt.enter_root(kind))
-            .collect();
+        let statuses: Vec<Status> = self.rts.iter_mut().map(|rt| rt.enter_root(kind)).collect();
         let any_matched = statuses.contains(&Status::Matched);
         let start = self.cur.pos();
         if any_matched {
@@ -151,7 +211,7 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
         let end = self.cur.pos();
         for (i, &s) in statuses.iter().enumerate() {
             if s == Status::Accept {
-                self.emit(i, (start, end));
+                self.emit(i, (start, end))?;
             }
         }
         for rt in &mut self.rts {
@@ -160,19 +220,19 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
         Ok(())
     }
 
-    fn object(&mut self) -> Result<(), StreamError> {
+    fn object(&mut self) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(StreamError::TooDeep {
+            return Err(Abort::Err(StreamError::TooDeep {
                 pos: self.cur.pos(),
-            });
+            }));
         }
         let r = self.object_body();
         self.depth -= 1;
         r
     }
 
-    fn object_body(&mut self) -> Result<(), StreamError> {
+    fn object_body(&mut self) -> Result<(), Abort> {
         // `done[i]`: query `i` cannot match any further attribute of this
         // object (its frame is dead, its step is an array step, or its
         // uniquely-named child step already matched here).
@@ -221,29 +281,29 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
                     }
                 }
                 other => {
-                    return Err(StreamError::Unexpected {
+                    return Err(Abort::Err(StreamError::Unexpected {
                         expected: "`\"` (attribute name)",
                         found: other,
                         pos: self.cur.pos(),
-                    })
+                    }))
                 }
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), StreamError> {
+    fn array(&mut self) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(StreamError::TooDeep {
+            return Err(Abort::Err(StreamError::TooDeep {
                 pos: self.cur.pos(),
-            });
+            }));
         }
         let r = self.array_body();
         self.depth -= 1;
         r
     }
 
-    fn array_body(&mut self) -> Result<(), StreamError> {
+    fn array_body(&mut self) -> Result<(), Abort> {
         // Highest index any query can still select, for the multi-query
         // variant of G5 (skip the array tail once every range is exhausted).
         let upper_bounds: Vec<Option<usize>> = self
@@ -288,11 +348,11 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
                     return Ok(());
                 }
                 other => {
-                    return Err(StreamError::Unexpected {
+                    return Err(Abort::Err(StreamError::Unexpected {
                         expected: "`,` or `]`",
                         found: other,
                         pos: self.cur.pos(),
-                    })
+                    }))
                 }
             }
         }
@@ -301,11 +361,7 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
     /// Processes one value given every query's decision for it: skips it
     /// bit-parallel when unanimous, descends when any query progresses, and
     /// emits it to every accepting query.
-    fn handle_value(
-        &mut self,
-        vb: u8,
-        decisions: &[(State, Status)],
-    ) -> Result<(), StreamError> {
+    fn handle_value(&mut self, vb: u8, decisions: &[(State, Status)]) -> Result<(), Abort> {
         let any_matched = decisions.iter().any(|d| d.1 == Status::Matched);
         let any_accept = decisions.iter().any(|d| d.1 == Status::Accept);
         let start = self.cur.pos();
@@ -319,7 +375,11 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
             for (i, rt) in self.rts.iter_mut().enumerate() {
                 rt.enter(kind, decisions[i].0);
             }
-            let r = if vb == b'{' { self.object() } else { self.array() };
+            let r = if vb == b'{' {
+                self.object()
+            } else {
+                self.array()
+            };
             for rt in &mut self.rts {
                 rt.exit();
             }
@@ -335,7 +395,7 @@ impl<'a, F: FnMut(usize, &'a [u8])> MultiEval<'a, '_, F> {
         };
         for (i, d) in decisions.iter().enumerate() {
             if d.1 == Status::Accept {
-                self.emit(i, span);
+                self.emit(i, span)?;
             }
         }
         Ok(())
@@ -379,10 +439,7 @@ mod tests {
         let mut hits: Vec<(usize, Vec<u8>)> = Vec::new();
         mq.run(json, |i, m| hits.push((i, m.to_vec()))).unwrap();
         hits.sort();
-        assert_eq!(
-            hits,
-            vec![(0, b"\"two\"".to_vec()), (1, b"1".to_vec())]
-        );
+        assert_eq!(hits, vec![(0, b"\"two\"".to_vec()), (1, b"1".to_vec())]);
     }
 
     #[test]
@@ -405,7 +462,7 @@ mod tests {
     }
 
     #[test]
-    fn multi_g5_tail_skip_respects_widest_range(){
+    fn multi_g5_tail_skip_respects_widest_range() {
         let json = br#"{"a": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}"#;
         let mq = MultiQuery::compile(&["$.a[1]", "$.a[3:5]"]).unwrap();
         let stats = {

@@ -1,0 +1,591 @@
+//! Parallel record-batch pipeline with backpressure.
+//!
+//! The paper's small-records scenario assigns "each thread ... to process
+//! one small record each time" (Figure 12). [`Pipeline`] generalizes that
+//! runner into a subsystem usable with *any* engine ([`Evaluate`]) and *any*
+//! record source ([`RecordSource`] — in-memory slices via [`SliceRecords`]
+//! or bounded-memory readers via [`ChunkedRecords`]):
+//!
+//! * the caller thread reads records and shards them across a scoped worker
+//!   pool through a **bounded queue** — when workers fall behind, the reader
+//!   blocks instead of buffering the stream, so peak memory is
+//!   `O(workers × queue_depth × record size)` regardless of stream length;
+//! * workers evaluate records concurrently, collecting match spans;
+//! * the caller merges results back **in record order**, so the sink
+//!   observes exactly the sequence a serial loop would deliver, for any
+//!   worker count.
+//!
+//! Early exit ([`ControlFlow::Break`] from the sink) and the
+//! [`ErrorPolicy`] are honoured at the merge point: a break stops the
+//! stream (records already dispatched may be evaluated speculatively, but
+//! their matches are never delivered), and a failed record either aborts
+//! the run ([`ErrorPolicy::FailFast`], in record order) or is reported to
+//! [`MatchSink::on_record_error`] and skipped
+//! ([`ErrorPolicy::SkipMalformed`]).
+//!
+//! With `workers <= 1` the pipeline degenerates to a serial loop that
+//! evaluates records in place — no copies, and a sink break stops the
+//! engine mid-record (true fast-forward early exit).
+//!
+//! [`ChunkedRecords`]: crate::ChunkedRecords
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::ControlFlow;
+use std::sync::{Condvar, Mutex};
+
+use crate::evaluate::{EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome};
+use crate::records::RecordSplitter;
+
+/// A pull-based source of complete JSON records.
+///
+/// The returned slice borrows the source and is valid until the next call
+/// (a lending iterator). Sources are consumed by [`Pipeline::run`] on the
+/// caller thread, so they need not be `Send`.
+pub trait RecordSource {
+    /// Returns the next record's bytes, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the source cannot produce the next record
+    /// (I/O failure, or a record boundary that cannot be located). Source
+    /// errors always abort the pipeline — [`ErrorPolicy`] governs only
+    /// per-record *evaluation* failures.
+    fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError>;
+}
+
+/// [`RecordSource`] over an in-memory stream, using the bit-parallel
+/// [`RecordSplitter`] to discover record boundaries.
+#[derive(Debug)]
+pub struct SliceRecords<'a> {
+    splitter: RecordSplitter<'a>,
+}
+
+impl<'a> SliceRecords<'a> {
+    /// Wraps `stream` (whitespace/newline-separated JSON values).
+    pub fn new(stream: &'a [u8]) -> Self {
+        SliceRecords {
+            splitter: RecordSplitter::new(stream),
+        }
+    }
+}
+
+impl RecordSource for SliceRecords<'_> {
+    fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+        match self.splitter.next() {
+            None => Ok(None),
+            Some(Ok((s, e))) => Ok(Some(&self.splitter.stream()[s..e])),
+            Some(Err(e)) => Err(EngineError::Stream(e)),
+        }
+    }
+}
+
+impl<R: std::io::Read> RecordSource for crate::ChunkedRecords<R> {
+    fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+        crate::ChunkedRecords::next_record(self).map_err(EngineError::from)
+    }
+}
+
+/// Aggregate result of a [`Pipeline::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineSummary {
+    /// Records whose outcome was merged (evaluated or skipped-as-failed).
+    pub records: u64,
+    /// Matches delivered to the sink, across all records.
+    pub matches: usize,
+    /// Records skipped under [`ErrorPolicy::SkipMalformed`].
+    pub failed: u64,
+    /// Whether the sink stopped the stream early.
+    pub stopped: bool,
+}
+
+/// Parallel record-batch runner; see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use jsonski::{CountSink, JsonSki, Pipeline, SliceRecords};
+///
+/// let stream = b"{\"a\": 1}\n{\"b\": 2}\n{\"a\": 3}\n";
+/// let engine = JsonSki::compile("$.a")?;
+/// let mut sink = CountSink::default();
+/// let summary = Pipeline::new()
+///     .workers(4)
+///     .run(&engine, &mut SliceRecords::new(stream), &mut sink)?;
+/// assert_eq!(summary.records, 3);
+/// assert_eq!(sink.matches, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    workers: usize,
+    queue_depth: usize,
+    policy: ErrorPolicy,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with one worker per available core, queue depth 4 and
+    /// [`ErrorPolicy::FailFast`].
+    pub fn new() -> Self {
+        Pipeline {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_depth: 4,
+            policy: ErrorPolicy::default(),
+        }
+    }
+
+    /// Sets the worker count. `0` or `1` selects the serial in-place path.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-worker bound on in-flight records (min 1). Total
+    /// buffered records never exceed `workers × queue_depth`.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the policy for records that fail to evaluate.
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs `engine` over every record of `source`, delivering matches to
+    /// `sink` in record order.
+    ///
+    /// # Errors
+    ///
+    /// Source errors always; evaluation errors under
+    /// [`ErrorPolicy::FailFast`] (the first in record order).
+    pub fn run(
+        &self,
+        engine: &dyn Evaluate,
+        source: &mut dyn RecordSource,
+        sink: &mut dyn MatchSink,
+    ) -> Result<PipelineSummary, EngineError> {
+        if self.workers <= 1 {
+            self.run_serial(engine, source, sink)
+        } else {
+            self.run_parallel(engine, source, sink)
+        }
+    }
+
+    fn run_serial(
+        &self,
+        engine: &dyn Evaluate,
+        source: &mut dyn RecordSource,
+        sink: &mut dyn MatchSink,
+    ) -> Result<PipelineSummary, EngineError> {
+        let mut summary = PipelineSummary::default();
+        let mut idx = 0u64;
+        while let Some(record) = source.next_record()? {
+            summary.records += 1;
+            match engine.evaluate(record, idx, sink) {
+                RecordOutcome::Complete { matches } => summary.matches += matches,
+                RecordOutcome::Stopped { matches } => {
+                    summary.matches += matches;
+                    summary.stopped = true;
+                    break;
+                }
+                RecordOutcome::Failed(e) => match self.policy {
+                    ErrorPolicy::FailFast => return Err(e),
+                    ErrorPolicy::SkipMalformed => {
+                        summary.failed += 1;
+                        if sink.on_record_error(idx, &e).is_break() {
+                            summary.stopped = true;
+                            break;
+                        }
+                    }
+                },
+            }
+            idx += 1;
+        }
+        Ok(summary)
+    }
+
+    fn run_parallel(
+        &self,
+        engine: &dyn Evaluate,
+        source: &mut dyn RecordSource,
+        sink: &mut dyn MatchSink,
+    ) -> Result<PipelineSummary, EngineError> {
+        let capacity = self.workers * self.queue_depth;
+        let shared = Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                results: BTreeMap::new(),
+                in_flight: 0,
+                producer_done: false,
+                stop: false,
+            }),
+            work_ready: Condvar::new(),
+            result_ready: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(engine, shared));
+            }
+            let result = self.produce_and_merge(source, sink, &shared, capacity);
+            // Whatever happened, release the workers before the scope joins.
+            let mut state = shared.state.lock().unwrap();
+            state.producer_done = true;
+            state.stop = state.stop || result.is_err();
+            drop(state);
+            shared.work_ready.notify_all();
+            result
+        })
+    }
+
+    /// The caller thread's half of the parallel pipeline: reads records
+    /// while queue capacity allows (backpressure), merges worker results in
+    /// record order, applies early exit and the error policy at the merge
+    /// point.
+    fn produce_and_merge(
+        &self,
+        source: &mut dyn RecordSource,
+        sink: &mut dyn MatchSink,
+        shared: &Shared,
+        capacity: usize,
+    ) -> Result<PipelineSummary, EngineError> {
+        let mut summary = PipelineSummary::default();
+        let mut next_read = 0u64; // next record ordinal to pull from source
+        let mut next_merge = 0u64; // next record ordinal to deliver
+        let mut source_done = false;
+        loop {
+            // Merge every in-order result that is ready, without holding
+            // the lock across sink callbacks.
+            loop {
+                let res = {
+                    let mut state = shared.state.lock().unwrap();
+                    match state.results.remove(&next_merge) {
+                        Some(res) => {
+                            state.in_flight -= 1;
+                            res
+                        }
+                        None => break,
+                    }
+                };
+                shared.work_ready.notify_all();
+                summary.records += 1;
+                match res {
+                    Ok(matches) => {
+                        summary.matches += matches.len();
+                        for m in &matches {
+                            if sink.on_match(next_merge, m).is_break() {
+                                summary.stopped = true;
+                                self.stop(shared);
+                                return Ok(summary);
+                            }
+                        }
+                    }
+                    Err(e) => match self.policy {
+                        ErrorPolicy::FailFast => {
+                            self.stop(shared);
+                            return Err(e);
+                        }
+                        ErrorPolicy::SkipMalformed => {
+                            summary.failed += 1;
+                            if sink.on_record_error(next_merge, &e).is_break() {
+                                summary.stopped = true;
+                                self.stop(shared);
+                                return Ok(summary);
+                            }
+                        }
+                    },
+                }
+                next_merge += 1;
+            }
+            // Refill the queue up to the in-flight bound (backpressure).
+            while !source_done {
+                {
+                    let state = shared.state.lock().unwrap();
+                    if state.in_flight >= capacity {
+                        break;
+                    }
+                }
+                match source.next_record() {
+                    Ok(Some(record)) => {
+                        let owned = record.to_vec();
+                        let mut state = shared.state.lock().unwrap();
+                        state.queue.push_back((next_read, owned));
+                        state.in_flight += 1;
+                        next_read += 1;
+                        drop(state);
+                        shared.work_ready.notify_one();
+                    }
+                    Ok(None) => source_done = true,
+                    Err(e) => {
+                        self.stop(shared);
+                        return Err(e);
+                    }
+                }
+            }
+            // Done when everything read has been merged.
+            if source_done && next_merge == next_read {
+                return Ok(summary);
+            }
+            // Otherwise wait until the next in-order result lands.
+            let mut state = shared.state.lock().unwrap();
+            while !state.results.contains_key(&next_merge) {
+                state = shared.result_ready.wait(state).unwrap();
+            }
+        }
+    }
+
+    fn stop(&self, shared: &Shared) {
+        let mut state = shared.state.lock().unwrap();
+        state.stop = true;
+        drop(state);
+        shared.work_ready.notify_all();
+    }
+}
+
+/// Per-record worker result: collected match bytes, or the failure.
+type WorkerResult = Result<Vec<Vec<u8>>, EngineError>;
+
+struct State {
+    /// FIFO of records awaiting a worker.
+    queue: VecDeque<(u64, Vec<u8>)>,
+    /// Completed records awaiting in-order merging.
+    results: BTreeMap<u64, WorkerResult>,
+    /// Records read from the source but not yet merged (queued, executing,
+    /// or completed) — bounded by `workers × queue_depth`.
+    in_flight: usize,
+    producer_done: bool,
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when work arrives, capacity frees up, or the run ends.
+    work_ready: Condvar,
+    /// Signalled when a worker deposits a result.
+    result_ready: Condvar,
+}
+
+/// Collects match bytes; never stops the engine (early exit is decided at
+/// the merge point, where record order is known).
+struct Collector(Vec<Vec<u8>>);
+
+impl MatchSink for Collector {
+    fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        self.0.push(bytes.to_vec());
+        ControlFlow::Continue(())
+    }
+}
+
+fn worker_loop(engine: &dyn Evaluate, shared: &Shared) {
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if state.stop {
+            return;
+        }
+        if let Some((idx, record)) = state.queue.pop_front() {
+            drop(state);
+            let mut collector = Collector(Vec::new());
+            let result = match engine.evaluate(&record, idx, &mut collector) {
+                RecordOutcome::Failed(e) => Err(e),
+                _ => Ok(collector.0),
+            };
+            state = shared.state.lock().unwrap();
+            state.results.insert(idx, result);
+            shared.result_ready.notify_all();
+        } else if state.producer_done {
+            return;
+        } else {
+            state = shared.work_ready.wait(state).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{CountSink, FnSink};
+    use crate::JsonSki;
+
+    fn stream_of(n: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.extend_from_slice(format!("{{\"a\": {i}, \"pad\": [{i}, {i}]}}\n").as_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_serial_counts() {
+        let stream = stream_of(100);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 2, 4, 16] {
+            let mut sink = CountSink::default();
+            let summary = Pipeline::new()
+                .workers(workers)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert_eq!(summary.records, 100, "workers={workers}");
+            assert_eq!(sink.matches, 100, "workers={workers}");
+            assert_eq!(summary.matches, 100, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn merge_order_is_record_order_for_any_worker_count() {
+        let stream = stream_of(60);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let mut reference: Vec<(u64, Vec<u8>)> = Vec::new();
+        {
+            let mut sink = FnSink::new(|idx, m: &[u8]| {
+                reference.push((idx, m.to_vec()));
+                ControlFlow::Continue(())
+            });
+            Pipeline::new()
+                .workers(1)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+        }
+        for workers in [4, 16] {
+            let mut got: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut sink = FnSink::new(|idx, m: &[u8]| {
+                got.push((idx, m.to_vec()));
+                ControlFlow::Continue(())
+            });
+            Pipeline::new()
+                .workers(workers)
+                .queue_depth(2)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_the_stream() {
+        let stream = stream_of(50);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let mut seen = 0usize;
+            let mut sink = FnSink::new(|_, _m: &[u8]| {
+                seen += 1;
+                if seen == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            let summary = Pipeline::new()
+                .workers(workers)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert!(summary.stopped, "workers={workers}");
+            assert_eq!(seen, 3, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fail_fast_aborts_in_record_order() {
+        let mut stream = stream_of(10);
+        stream.extend_from_slice(b"{\"a\" 1}\n"); // record 10: missing colon
+        stream.extend_from_slice(&stream_of(5));
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let mut sink = CountSink::default();
+            let err = Pipeline::new()
+                .workers(workers)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Stream(_)), "workers={workers}");
+            assert_eq!(sink.matches, 10, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn skip_malformed_reports_and_continues() {
+        let mut stream = stream_of(10);
+        stream.extend_from_slice(b"{\"a\" 1}\n");
+        stream.extend_from_slice(&stream_of(5));
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            struct Recorder {
+                matches: usize,
+                errors: Vec<u64>,
+            }
+            impl MatchSink for Recorder {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    self.matches += 1;
+                    ControlFlow::Continue(())
+                }
+                fn on_record_error(&mut self, idx: u64, _e: &EngineError) -> ControlFlow<()> {
+                    self.errors.push(idx);
+                    ControlFlow::Continue(())
+                }
+            }
+            let mut sink = Recorder {
+                matches: 0,
+                errors: Vec::new(),
+            };
+            let summary = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert_eq!(sink.matches, 15, "workers={workers}");
+            assert_eq!(sink.errors, vec![10], "workers={workers}");
+            assert_eq!(summary.failed, 1, "workers={workers}");
+            assert_eq!(summary.records, 16, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chunked_reader_source_works_in_parallel() {
+        let stream = stream_of(40);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let mut source = crate::ChunkedRecords::with_buffer_size(&stream[..], 32);
+        let mut sink = CountSink::default();
+        let summary = Pipeline::new()
+            .workers(4)
+            .run(&engine, &mut source, &mut sink)
+            .unwrap();
+        assert_eq!(summary.records, 40);
+        assert_eq!(sink.matches, 40);
+    }
+
+    #[test]
+    fn source_errors_abort_even_when_skipping() {
+        // An unbalanced record breaks the *splitter* — boundaries cannot be
+        // recovered, so even SkipMalformed aborts.
+        let stream = b"{\"a\": 1}\n{\"a\": ";
+        let engine = JsonSki::compile("$.a").unwrap();
+        let err = Pipeline::new()
+            .workers(4)
+            .error_policy(ErrorPolicy::SkipMalformed)
+            .run(
+                &engine,
+                &mut SliceRecords::new(stream),
+                &mut CountSink::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Stream(_)));
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_run() {
+        let engine = JsonSki::compile("$.a").unwrap();
+        let mut sink = CountSink::default();
+        let summary = Pipeline::new()
+            .workers(4)
+            .run(&engine, &mut SliceRecords::new(b"  \n "), &mut sink)
+            .unwrap();
+        assert_eq!(summary, PipelineSummary::default());
+    }
+}

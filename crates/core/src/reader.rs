@@ -228,7 +228,12 @@ mod tests {
         let got = collect_records(input, 2);
         assert_eq!(
             got,
-            vec![b"1".to_vec(), b"22".to_vec(), b"333".to_vec(), b"4444".to_vec()]
+            vec![
+                b"1".to_vec(),
+                b"22".to_vec(),
+                b"333".to_vec(),
+                b"4444".to_vec()
+            ]
         );
     }
 
@@ -244,10 +249,7 @@ mod tests {
     fn unterminated_final_record_errors() {
         let mut r = ChunkedRecords::with_buffer_size(&br#"{"a": 1} {"b": "#[..], 8);
         assert!(r.next_record().unwrap().is_some());
-        assert!(matches!(
-            r.next_record(),
-            Err(ReadRecordError::Stream(_))
-        ));
+        assert!(matches!(r.next_record(), Err(ReadRecordError::Stream(_))));
     }
 
     #[test]
@@ -266,10 +268,7 @@ mod tests {
             );
         }
         let spans = crate::split_records(&input).unwrap();
-        let expected: Vec<Vec<u8>> = spans
-            .iter()
-            .map(|&(s, e)| input[s..e].to_vec())
-            .collect();
+        let expected: Vec<Vec<u8>> = spans.iter().map(|&(s, e)| input[s..e].to_vec()).collect();
         assert_eq!(collect_records(&input, 37), expected);
     }
 

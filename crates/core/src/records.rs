@@ -67,12 +67,10 @@ impl Iterator for RecordSplitter<'_> {
             b'"' => {
                 // A top-level string record: ends at its closing quote.
                 let start = self.cursor.pos();
-                self.cursor
-                    .seek_string_end(start)
-                    .map(|end| {
-                        self.cursor.set_pos(end + 1);
-                        (start, end + 1)
-                    })
+                self.cursor.seek_string_end(start).map(|end| {
+                    self.cursor.set_pos(end + 1);
+                    (start, end + 1)
+                })
             }
             _ => {
                 // A top-level number/literal record: at the top level the
@@ -81,9 +79,7 @@ impl Iterator for RecordSplitter<'_> {
                 let start = self.cursor.pos();
                 let mut end = start;
                 let input = self.cursor.input();
-                while end < input.len()
-                    && !matches!(input[end], b' ' | b'\t' | b'\n' | b'\r')
-                {
+                while end < input.len() && !matches!(input[end], b' ' | b'\t' | b'\n' | b'\r') {
                     end += 1;
                 }
                 self.cursor.set_pos(end);

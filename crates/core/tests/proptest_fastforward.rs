@@ -32,8 +32,10 @@ fn json_value(depth: u32) -> BoxedStrategy<String> {
                 prop::collection::vec(inner.clone(), 0..5)
                     .prop_map(|vs| format!("[{}]", vs.join(", "))),
                 prop::collection::btree_map("[a-d]", inner, 0..5).prop_map(|m| {
-                    let fields: Vec<String> =
-                        m.into_iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+                    let fields: Vec<String> = m
+                        .into_iter()
+                        .map(|(k, v)| format!("\"{k}\": {v}"))
+                        .collect();
                     format!("{{{}}}", fields.join(", "))
                 }),
             ]

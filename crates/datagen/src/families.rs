@@ -136,7 +136,10 @@ fn tweet(rng: &mut StdRng, w: &mut JsonWriter) {
     w.key("id");
     w.number_int(rng.gen_range(1_000_000_000..9_000_000_000));
     w.key("text");
-    { let n = rng.gen_range(8..24); w.string(&sentence(rng, n)); }
+    {
+        let n = rng.gen_range(8..24);
+        w.string(&sentence(rng, n));
+    }
     w.key("user");
     {
         w.begin_object();
@@ -323,7 +326,10 @@ fn bb_product(rng: &mut StdRng, w: &mut JsonWriter) {
     w.key("onSale");
     w.boolean(rng.gen_bool(0.3));
     w.key("desc");
-    { let n = rng.gen_range(10..30); w.string(&sentence(rng, n)); }
+    {
+        let n = rng.gen_range(10..30);
+        w.string(&sentence(rng, n));
+    }
     w.key("related");
     w.begin_array();
     for _ in 0..rng.gen_range(0..4) {
@@ -400,7 +406,10 @@ fn gmd_step(rng: &mut StdRng, w: &mut JsonWriter) {
     w.key("ds");
     gmd_measure(rng, w, "m");
     w.key("html_instructions");
-    { let n = rng.gen_range(5..12); w.string(&sentence(rng, n)); }
+    {
+        let n = rng.gen_range(5..12);
+        w.string(&sentence(rng, n));
+    }
     w.key("start_location");
     w.begin_object();
     w.key("lat");
@@ -514,7 +523,10 @@ fn wm_item(rng: &mut StdRng, w: &mut JsonWriter) {
     w.boolean(rng.gen_bool(0.5));
     w.end_object();
     w.key("longDescription");
-    { let n = rng.gen_range(8..20); w.string(&sentence(rng, n)); }
+    {
+        let n = rng.gen_range(8..20);
+        w.string(&sentence(rng, n));
+    }
     w.end_object();
 }
 

@@ -1,0 +1,105 @@
+//! [`jsonski::Evaluate`] adapter: a query-bound DOM engine.
+
+use std::ops::ControlFlow;
+
+use jsonpath::{ParsePathError, Path};
+
+use crate::Dom;
+
+/// A JSONPath query evaluated by full DOM construction plus tree walking
+/// (the paper's "RapidJSON" baseline), usable wherever
+/// [`jsonski::Evaluate`] is accepted — e.g. in a [`jsonski::Pipeline`].
+///
+/// Each [`evaluate`](jsonski::Evaluate::evaluate) call parses the whole
+/// record first, so the cost includes preprocessing, as in the paper's
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct DomQuery {
+    path: Path,
+}
+
+impl DomQuery {
+    /// Binds the engine to an already-parsed path.
+    pub fn new(path: Path) -> Self {
+        DomQuery { path }
+    }
+
+    /// Compiles a JSONPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed expressions.
+    pub fn compile(query: &str) -> Result<Self, ParsePathError> {
+        Ok(DomQuery {
+            path: query.parse()?,
+        })
+    }
+
+    /// The compiled path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl jsonski::Evaluate for DomQuery {
+    fn name(&self) -> &'static str {
+        "RapidJSON"
+    }
+
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+    ) -> jsonski::RecordOutcome {
+        // Blank records have no values and thus no matches (the streaming
+        // engines' convention); the DOM parser itself rejects empty input.
+        if record.iter().all(u8::is_ascii_whitespace) {
+            return jsonski::RecordOutcome::Complete { matches: 0 };
+        }
+        let dom = match Dom::parse(record) {
+            Ok(dom) => dom,
+            Err(e) => {
+                return jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
+                    engine: "RapidJSON",
+                    message: e.to_string(),
+                })
+            }
+        };
+        let mut matches = 0usize;
+        for node in dom.query(&self.path) {
+            let (s, e) = node.span();
+            matches += 1;
+            if let ControlFlow::Break(()) = sink.on_match(record_idx, &record[s..e]) {
+                return jsonski::RecordOutcome::Stopped { matches };
+            }
+        }
+        jsonski::RecordOutcome::Complete { matches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonski::Evaluate;
+
+    #[test]
+    fn counts_and_failures() {
+        let q = DomQuery::compile("$.a").unwrap();
+        assert_eq!(q.name(), "RapidJSON");
+        assert_eq!(q.count(br#"{"a": 1}"#).unwrap(), 1);
+        assert_eq!(q.count(b"  ").unwrap(), 0);
+        assert!(q.count(br#"{"a" 1}"#).is_err());
+        assert_eq!(q.path().len(), 1);
+    }
+
+    #[test]
+    fn early_exit_reports_stopped() {
+        let q = DomQuery::compile("$[*]").unwrap();
+        let mut sink = jsonski::FnSink::new(|_, _m: &[u8]| std::ops::ControlFlow::Break(()));
+        match q.evaluate(b"[1, 2, 3]", 0, &mut sink) {
+            jsonski::RecordOutcome::Stopped { matches } => assert_eq!(matches, 1),
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+    }
+}

@@ -25,9 +25,11 @@
 
 #![deny(missing_docs)]
 
+mod evaluate;
 mod parser;
 mod query;
 mod value;
 
+pub use evaluate::DomQuery;
 pub use parser::DomError;
 pub use value::{Dom, Value, ValueKind};

@@ -281,7 +281,11 @@ mod tests {
             br#""unclosed"#,
             b"",
         ] {
-            assert!(Dom::parse(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+            assert!(
+                Dom::parse(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
         }
     }
 
@@ -291,7 +295,10 @@ mod tests {
             *Dom::parse(b"42").unwrap().root().kind(),
             ValueKind::Number(42.0)
         );
-        assert_eq!(*Dom::parse(b" null ").unwrap().root().kind(), ValueKind::Null);
+        assert_eq!(
+            *Dom::parse(b" null ").unwrap().root().kind(),
+            ValueKind::Null
+        );
     }
 
     #[test]

@@ -43,9 +43,7 @@ impl Value {
     /// Looks up an object attribute by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
         match &self.kind {
-            ValueKind::Object(fields) => {
-                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
-            }
+            ValueKind::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
             _ => None,
         }
     }

@@ -1,7 +1,17 @@
-//! The [`Engine`] abstraction: one record in, a match count out, for all
-//! five systems under test (paper Table 2).
+//! The engine abstraction for the five systems under test (paper Table 2).
+//!
+//! Since the unified sink-based evaluation API, the abstraction IS
+//! [`jsonski::Evaluate`] (re-exported here as [`Engine`]): every engine
+//! crate implements it natively, errors are the typed
+//! [`jsonski::EngineError`] instead of strings, and `count` is a default
+//! method derived from the sink-based `evaluate`. This module keeps the
+//! [`EngineKind`] enumeration, the [`all_engines`] constructor, and the
+//! harness-only [`ParallelPisonEngine`] configuration (the paper's
+//! "Pison(16)" bar).
 
 use jsonpath::Path;
+
+pub use jsonski::{EngineError, Evaluate as Engine};
 
 /// Identifies one of the five evaluated systems.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -40,175 +50,69 @@ impl EngineKind {
             EngineKind::JsonSki,
         ]
     }
-}
 
-/// A query engine bound to a compiled path: feeds on one record at a time.
-///
-/// For the preprocessing engines (`RapidJSON`, `simdjson`, `Pison`),
-/// [`Engine::count`] includes both the preprocessing and the querying, as in
-/// the paper ("the total execution time ... includes preprocessing and
-/// querying time").
-pub trait Engine: Sync {
-    /// The engine's display name.
-    fn name(&self) -> &'static str;
-
-    /// Processes one record and returns the number of matches.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable message for malformed input.
-    fn count(&self, record: &[u8]) -> Result<usize, String>;
-}
-
-/// JSONSki: streaming with bit-parallel fast-forwarding.
-pub struct JsonSkiEngine {
-    inner: jsonski::JsonSki,
-}
-
-impl JsonSkiEngine {
-    /// Binds the engine to `path`.
-    pub fn new(path: &Path) -> Self {
-        JsonSkiEngine {
-            inner: jsonski::JsonSki::new(path.clone()),
-        }
-    }
-
-    /// Access to the underlying engine (for the Table 6 statistics).
-    pub fn inner(&self) -> &jsonski::JsonSki {
-        &self.inner
-    }
-}
-
-impl Engine for JsonSkiEngine {
-    fn name(&self) -> &'static str {
-        EngineKind::JsonSki.name()
-    }
-
-    fn count(&self, record: &[u8]) -> Result<usize, String> {
-        self.inner.count(record).map_err(|e| e.to_string())
-    }
-}
-
-/// JPStream-class character-at-a-time streaming.
-pub struct JpStreamEngine {
-    inner: jpstream::JpStream,
-}
-
-impl JpStreamEngine {
-    /// Binds the engine to `path`.
-    pub fn new(path: &Path) -> Self {
-        JpStreamEngine {
-            inner: jpstream::JpStream::new(path.clone()),
+    /// Builds this engine bound to `path`.
+    pub fn build(self, path: &Path) -> Box<dyn Engine> {
+        match self {
+            EngineKind::JpStream => Box::new(jpstream::JpStream::new(path.clone())),
+            EngineKind::RapidJsonClass => Box::new(domparser::DomQuery::new(path.clone())),
+            EngineKind::SimdJsonClass => Box::new(tapeparser::TapeQuery::new(path.clone())),
+            EngineKind::PisonClass => Box::new(pison::PisonQuery::new(path.clone())),
+            EngineKind::JsonSki => Box::new(jsonski::JsonSki::new(path.clone())),
         }
     }
 }
 
-impl Engine for JpStreamEngine {
-    fn name(&self) -> &'static str {
-        EngineKind::JpStream.name()
-    }
-
-    fn count(&self, record: &[u8]) -> Result<usize, String> {
-        self.inner.count(record).map_err(|e| e.to_string())
-    }
+/// Builds all five engines (serial configurations) for `path`, in the
+/// paper's presentation order.
+pub fn all_engines(path: &Path) -> Vec<Box<dyn Engine>> {
+    EngineKind::all()
+        .into_iter()
+        .map(|k| k.build(path))
+        .collect()
 }
 
-/// RapidJSON-class DOM parse + tree walk.
-pub struct DomEngine {
-    path: Path,
-}
-
-impl DomEngine {
-    /// Binds the engine to `path`.
-    pub fn new(path: &Path) -> Self {
-        DomEngine { path: path.clone() }
-    }
-}
-
-impl Engine for DomEngine {
-    fn name(&self) -> &'static str {
-        EngineKind::RapidJsonClass.name()
-    }
-
-    fn count(&self, record: &[u8]) -> Result<usize, String> {
-        let dom = domparser::Dom::parse(record).map_err(|e| e.to_string())?;
-        Ok(dom.count(&self.path))
-    }
-}
-
-/// simdjson-class two-stage tape parser.
-pub struct TapeEngine {
-    path: Path,
-}
-
-impl TapeEngine {
-    /// Binds the engine to `path`.
-    pub fn new(path: &Path) -> Self {
-        TapeEngine { path: path.clone() }
-    }
-}
-
-impl Engine for TapeEngine {
-    fn name(&self) -> &'static str {
-        EngineKind::SimdJsonClass.name()
-    }
-
-    fn count(&self, record: &[u8]) -> Result<usize, String> {
-        let tape = tapeparser::Tape::build(record).map_err(|e| e.to_string())?;
-        Ok(tape.count(&self.path))
-    }
-}
-
-/// Pison-class leveled-bitmap index; `threads > 1` uses the speculative
-/// parallel builder (the paper's "Pison(16)").
-pub struct PisonEngine {
+/// Pison with *speculative parallel* index construction — the paper's
+/// "Pison(16)" configuration. Harness-only: like the original Pison it
+/// assumes well-formed input (no validation pass), so its timings stay
+/// comparable; use [`pison::PisonQuery`] for mixed-quality streams.
+pub struct ParallelPisonEngine {
     path: Path,
     threads: usize,
 }
 
-impl PisonEngine {
-    /// Serial index construction.
-    pub fn new(path: &Path) -> Self {
-        PisonEngine {
-            path: path.clone(),
-            threads: 1,
-        }
-    }
-
+impl ParallelPisonEngine {
     /// Speculative parallel index construction with `threads` workers.
-    pub fn parallel(path: &Path, threads: usize) -> Self {
-        PisonEngine {
+    pub fn new(path: &Path, threads: usize) -> Self {
+        ParallelPisonEngine {
             path: path.clone(),
             threads,
         }
     }
 }
 
-impl Engine for PisonEngine {
+impl Engine for ParallelPisonEngine {
     fn name(&self) -> &'static str {
         EngineKind::PisonClass.name()
     }
 
-    fn count(&self, record: &[u8]) -> Result<usize, String> {
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+    ) -> jsonski::RecordOutcome {
         let levels = self.path.len().max(1);
-        let index = if self.threads > 1 {
-            pison::build_parallel(record, levels, self.threads)
-        } else {
-            pison::LeveledIndex::build(record, levels)
-        };
-        Ok(index.count(&self.path))
+        let index = pison::build_parallel(record, levels, self.threads);
+        let mut matches = 0usize;
+        for m in index.query(&self.path) {
+            matches += 1;
+            if sink.on_match(record_idx, m).is_break() {
+                return jsonski::RecordOutcome::Stopped { matches };
+            }
+        }
+        jsonski::RecordOutcome::Complete { matches }
     }
-}
-
-/// Builds all five engines (serial configurations) for `path`.
-pub fn all_engines(path: &Path) -> Vec<Box<dyn Engine>> {
-    vec![
-        Box::new(JpStreamEngine::new(path)),
-        Box::new(DomEngine::new(path)),
-        Box::new(TapeEngine::new(path)),
-        Box::new(PisonEngine::new(path)),
-        Box::new(JsonSkiEngine::new(path)),
-    ]
 }
 
 #[cfg(test)]
@@ -231,7 +135,7 @@ mod tests {
     #[test]
     fn parallel_pison_agrees() {
         let path: Path = "$.pd[*].cp[1:3].id".parse().unwrap();
-        let e = PisonEngine::parallel(&path, 4);
+        let e = ParallelPisonEngine::new(&path, 4);
         assert_eq!(e.count(SAMPLE).unwrap(), 4);
     }
 
@@ -246,17 +150,22 @@ mod tests {
     }
 
     #[test]
-    fn engines_report_errors_on_truncated_input() {
+    fn engines_report_typed_errors_on_truncated_input() {
         let path: Path = "$.a.b".parse().unwrap();
         for e in all_engines(&path) {
-            if e.name() == "Pison" {
-                // The leveled index performs no validation beyond what the
-                // query touches; truncated input yields zero/garbage counts
-                // rather than an error (true to the original tool's design).
-                continue;
-            }
             let res = e.count(br#"{"a": {"b": [1, 2"#);
             assert!(res.is_err(), "{} accepted truncated input", e.name());
+        }
+    }
+
+    #[test]
+    fn engines_report_typed_errors_on_missing_colon() {
+        // `{"a" 1}` is balanced, so even index-based engines must diagnose
+        // it (Pison via its explicit validation pass).
+        let path: Path = "$.a".parse().unwrap();
+        for e in all_engines(&path) {
+            let res = e.count(br#"{"a" 1}"#);
+            assert!(res.is_err(), "{} accepted a missing colon", e.name());
         }
     }
 }

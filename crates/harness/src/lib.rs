@@ -28,7 +28,7 @@ pub mod parallel;
 pub mod report;
 pub mod scenario;
 
-pub use engines::{all_engines, Engine, EngineKind};
+pub use engines::{all_engines, Engine, EngineError, EngineKind, ParallelPisonEngine};
 
 /// Returns the dataset scale in bytes, from `REPRO_MB` (default 8 MiB).
 pub fn target_bytes() -> usize {

@@ -1,7 +1,11 @@
 //! Parallel runners for the two scenarios of Section 5.1.
 //!
 //! * [`count_records_parallel`] — the small-records scenario: "each thread
-//!   is assigned to process one small record each time" (Figure 12).
+//!   is assigned to process one small record each time" (Figure 12). Since
+//!   the unified evaluation API this is a thin wrapper over
+//!   [`jsonski::Pipeline`]: records are sharded across a scoped worker pool
+//!   through a bounded queue and results merge deterministically in record
+//!   order.
 //! * [`SegmentedRunner`] — the single-large-record scenario for engines with
 //!   speculative parallelism (JPStream(16) in Figure 10): the dominant
 //!   top-level array is located, its element boundaries are discovered with
@@ -12,55 +16,60 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use jsonpath::{Path, Step};
+use jsonski::{CountSink, EngineError, Pipeline, RecordSource};
 
 use crate::engines::Engine;
 
+/// [`RecordSource`] over pre-split `(start, end)` spans of one buffer — the
+/// paper's "offset array for starting positions" form of the small-records
+/// scenario.
+pub struct SpanRecords<'a> {
+    bytes: &'a [u8],
+    spans: &'a [(usize, usize)],
+    next: usize,
+}
+
+impl<'a> SpanRecords<'a> {
+    /// Wraps `bytes` and its record `spans`.
+    pub fn new(bytes: &'a [u8], spans: &'a [(usize, usize)]) -> Self {
+        SpanRecords {
+            bytes,
+            spans,
+            next: 0,
+        }
+    }
+}
+
+impl RecordSource for SpanRecords<'_> {
+    fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+        match self.spans.get(self.next) {
+            Some(&(s, e)) => {
+                self.next += 1;
+                Ok(Some(&self.bytes[s..e]))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
 /// Counts matches across `records`, fanning the records out to `threads`
-/// workers (each worker takes the next unprocessed record — the paper's
-/// task-level parallelism for small records).
+/// pipeline workers (the paper's task-level parallelism for small records).
 ///
 /// # Errors
 ///
-/// The first per-record error encountered, if any.
+/// The first per-record [`EngineError`] in record order, if any.
 pub fn count_records_parallel(
     engine: &dyn Engine,
     bytes: &[u8],
     records: &[(usize, usize)],
     threads: usize,
-) -> Result<usize, String> {
-    if threads <= 1 {
-        let mut total = 0;
-        for &(s, e) in records {
-            total += engine.count(&bytes[s..e])?;
-        }
-        return Ok(total);
-    }
-    let next = AtomicUsize::new(0);
-    let result = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move |_| -> Result<usize, String> {
-                    let mut local = 0usize;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= records.len() {
-                            return Ok(local);
-                        }
-                        let (s, e) = records[i];
-                        local += engine.count(&bytes[s..e])?;
-                    }
-                })
-            })
-            .collect();
-        let mut total = 0usize;
-        for h in handles {
-            total += h.join().unwrap()?;
-        }
-        Ok(total)
-    })
-    .expect("worker panicked");
-    result
+) -> Result<usize, EngineError> {
+    let mut source = SpanRecords::new(bytes, records);
+    let mut sink = CountSink::default();
+    Pipeline::new()
+        .workers(threads)
+        .run(engine, &mut source, &mut sink)?;
+    Ok(sink.matches)
 }
 
 /// Which engine evaluates the residual query on each element.
@@ -111,12 +120,12 @@ impl SegmentedRunner {
     ///
     /// # Errors
     ///
-    /// A message on malformed input.
-    pub fn count(&self, record: &[u8], threads: usize) -> Result<usize, String> {
+    /// [`EngineError`] on malformed input.
+    pub fn count(&self, record: &[u8], threads: usize) -> Result<usize, EngineError> {
         // 1. Locate the array with a (serial, cheap) streaming pass over the
         //    prefix path.
         let finder = jsonski::JsonSki::new(self.prefix.clone());
-        let arrays = finder.matches(record).map_err(|e| e.to_string())?;
+        let arrays = finder.matches(record).map_err(EngineError::Stream)?;
         let mut total = 0usize;
         for array in arrays {
             total += self.count_array(array, threads)?;
@@ -124,7 +133,7 @@ impl SegmentedRunner {
         Ok(total)
     }
 
-    fn count_array(&self, array: &[u8], threads: usize) -> Result<usize, String> {
+    fn count_array(&self, array: &[u8], threads: usize) -> Result<usize, EngineError> {
         if array.is_empty() || array[0] != b'[' {
             return Ok(0); // kind mismatch: the query cannot match here
         }
@@ -132,15 +141,20 @@ impl SegmentedRunner {
         let index = pison::build_parallel(array, 1, threads);
         let elements = split_elements(&index, array);
         // 3. Stream the selected elements in parallel with the residual.
-        type Residual = Box<dyn Fn(&[u8]) -> Result<usize, String> + Sync>;
+        type Residual = Box<dyn Fn(&[u8]) -> Result<usize, EngineError> + Sync>;
         let engine: Residual = match self.engine {
             SegmentEngine::JsonSki => {
                 let ski = jsonski::JsonSki::new(self.residual.clone());
-                Box::new(move |rec: &[u8]| ski.count(rec).map_err(|e| e.to_string()))
+                Box::new(move |rec: &[u8]| ski.count(rec).map_err(EngineError::Stream))
             }
             SegmentEngine::JpStream => {
                 let jp = jpstream::JpStream::new(self.residual.clone());
-                Box::new(move |rec: &[u8]| jp.count(rec).map_err(|e| e.to_string()))
+                Box::new(move |rec: &[u8]| {
+                    jp.count(rec).map_err(|e| EngineError::Engine {
+                        engine: "JPStream",
+                        message: e.to_string(),
+                    })
+                })
             }
         };
         let engine = &engine;
@@ -151,12 +165,12 @@ impl SegmentedRunner {
             .map(|(_, &(s, e))| &array[s..e])
             .collect();
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads.max(1))
                 .map(|_| {
                     let next = &next;
                     let selected = &selected;
-                    scope.spawn(move |_| -> Result<usize, String> {
+                    scope.spawn(move || -> Result<usize, EngineError> {
                         let mut local = 0;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -170,11 +184,10 @@ impl SegmentedRunner {
                 .collect();
             let mut total = 0;
             for h in handles {
-                total += h.join().unwrap()?;
+                total += h.join().expect("worker panicked")?;
             }
             Ok(total)
         })
-        .expect("worker panicked")
     }
 }
 
@@ -212,12 +225,15 @@ fn trim(input: &[u8], mut from: usize, mut to: usize) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::JsonSkiEngine;
+
+    fn ski(path: &Path) -> jsonski::JsonSki {
+        jsonski::JsonSki::new(path.clone())
+    }
 
     #[test]
     fn parallel_record_counting_matches_serial() {
         let path: Path = "$.pd[*].id".parse().unwrap();
-        let engine = JsonSkiEngine::new(&path);
+        let engine = ski(&path);
         let mut bytes = Vec::new();
         let mut records = Vec::new();
         for i in 0..100 {
@@ -233,6 +249,16 @@ mod tests {
     }
 
     #[test]
+    fn parallel_record_counting_reports_first_error() {
+        let path: Path = "$.a".parse().unwrap();
+        let engine = ski(&path);
+        let bytes = br#"{"a": 1} {"a" 2} {"a": 3}"#;
+        let records = vec![(0, 8), (9, 16), (17, 25)];
+        let err = count_records_parallel(&engine, bytes, &records, 4).unwrap_err();
+        assert!(matches!(err, EngineError::Stream(_)), "{err}");
+    }
+
+    #[test]
     fn segmented_runner_matches_serial_on_array_root() {
         let path: Path = "$[*].x".parse().unwrap();
         let mut json = b"[".to_vec();
@@ -243,8 +269,7 @@ mod tests {
         json.push(b']');
         let runner = SegmentedRunner::new(&path).unwrap();
         assert_eq!(runner.count(&json, 4).unwrap(), 50);
-        let serial = JsonSkiEngine::new(&path);
-        assert_eq!(serial.count(&json).unwrap(), 50);
+        assert_eq!(ski(&path).count(&json).unwrap(), 50);
     }
 
     #[test]

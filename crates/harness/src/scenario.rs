@@ -5,9 +5,7 @@ use std::time::Duration;
 use datagen::{Dataset, GenConfig};
 use jsonpath::Path;
 
-use crate::engines::{
-    all_engines, DomEngine, JpStreamEngine, JsonSkiEngine, PisonEngine, TapeEngine,
-};
+use crate::engines::{all_engines, ParallelPisonEngine};
 use crate::parallel::{count_records_parallel, SegmentEngine, SegmentedRunner};
 use crate::report::{mib, pct, secs, time, Table};
 use crate::{alloc, engines::Engine, seed, target_bytes, thread_count};
@@ -66,12 +64,30 @@ pub fn table4() {
     banner("Table 4: dataset statistics (synthetic)");
     // Paper values: (#objects, #arrays, #attrs, #prims, #records, depth).
     let paper: &[(&str, &str)] = &[
-        ("TT", "2.39M obj, 2.29M ary, 26.5M attr, 24.3M prim, 150K sub, depth 11"),
-        ("BB", "1.91M obj, 4.88M ary, 40.7M attr, 35.8M prim, 230K sub, depth 7"),
-        ("GMD", "10.3M obj, 43K ary, 29.0M attr, 21.0M prim, 4.44K sub, depth 9"),
-        ("NSPL", "613 obj, 3.50M ary, 1.66K attr, 84.2M prim, 1.74M sub, depth 9"),
-        ("WM", "333K obj, 34K ary, 8.19M attr, 9.92K prim, 275K sub, depth 4"),
-        ("WP", "17.3M obj, 6.53M ary, 53.2M attr, 35.0M prim, 137K sub, depth 12"),
+        (
+            "TT",
+            "2.39M obj, 2.29M ary, 26.5M attr, 24.3M prim, 150K sub, depth 11",
+        ),
+        (
+            "BB",
+            "1.91M obj, 4.88M ary, 40.7M attr, 35.8M prim, 230K sub, depth 7",
+        ),
+        (
+            "GMD",
+            "10.3M obj, 43K ary, 29.0M attr, 21.0M prim, 4.44K sub, depth 9",
+        ),
+        (
+            "NSPL",
+            "613 obj, 3.50M ary, 1.66K attr, 84.2M prim, 1.74M sub, depth 9",
+        ),
+        (
+            "WM",
+            "333K obj, 34K ary, 8.19M attr, 9.92K prim, 275K sub, depth 4",
+        ),
+        (
+            "WP",
+            "17.3M obj, 6.53M ary, 53.2M attr, 35.0M prim, 137K sub, depth 12",
+        ),
     ];
     let mut t = Table::new(&[
         "Data", "MiB", "#objects", "#arrays", "#attr", "#prim", "#sub", "depth",
@@ -99,7 +115,12 @@ pub fn table4() {
     // Table 5 companion: per-query match counts on the synthetic data,
     // validated across all engines by fig10.
     println!("\nTable 5 companion: match counts on the synthetic datasets");
-    let mut t5 = Table::new(&["ID", "Query", "#matches (synthetic)", "#matches (paper, 1GB)"]);
+    let mut t5 = Table::new(&[
+        "ID",
+        "Query",
+        "#matches (synthetic)",
+        "#matches (paper, 1GB)",
+    ]);
     let paper_matches: &[(&str, &str)] = &[
         ("TT1", "88,881"),
         ("TT2", "150,135"),
@@ -116,7 +137,7 @@ pub fn table4() {
     ];
     for case in cases() {
         let data = case.dataset.generate_large(&gen_cfg());
-        let engine = JsonSkiEngine::new(&case.path);
+        let engine = jsonski::JsonSki::new(case.path.clone());
         let n = engine.count(data.bytes()).expect("valid data");
         let paper_n = paper_matches
             .iter()
@@ -139,7 +160,13 @@ pub fn fig10() {
     banner("Figure 10: single large record, total execution time (s)");
     let threads = thread_count();
     let mut t = Table::new(&[
-        "Query", "#matches", "JPStream", "RapidJSON", "simdjson", "Pison", "JSONSki",
+        "Query",
+        "#matches",
+        "JPStream",
+        "RapidJSON",
+        "simdjson",
+        "Pison",
+        "JSONSki",
         &format!("JPStream({threads})"),
         &format!("Pison({threads})"),
         &format!("JSONSki({threads})*"),
@@ -171,13 +198,17 @@ pub fn fig10() {
                 (d, n)
             }
             None => {
-                let e = JpStreamEngine::new(&case.path);
+                let e = jpstream::JpStream::new(case.path.clone());
                 time(|| e.count(record).expect("valid"))
             }
         };
-        assert_eq!(n_jp16, counts[0], "{}: JPStream({threads}) diverges", case.id);
+        assert_eq!(
+            n_jp16, counts[0],
+            "{}: JPStream({threads}) diverges",
+            case.id
+        );
         // Pison(16): speculative parallel index construction.
-        let p16 = PisonEngine::parallel(&case.path, threads);
+        let p16 = ParallelPisonEngine::new(&case.path, threads);
         let (pison16, n_p16) = time(|| p16.count(record).expect("valid"));
         assert_eq!(n_p16, counts[0], "{}: Pison({threads}) diverges", case.id);
         // JSONSki(16): the speculation the paper lists as future work
@@ -187,7 +218,7 @@ pub fn fig10() {
         {
             Some(runner) => time(|| runner.count(record, threads).expect("valid")),
             None => {
-                let e = JsonSkiEngine::new(&case.path);
+                let e = jsonski::JsonSki::new(case.path.clone());
                 time(|| e.count(record).expect("valid"))
             }
         };
@@ -219,7 +250,13 @@ pub fn fig10() {
 /// Shared small-records runner for Figures 11 and 12.
 fn small_records(threads: usize) {
     let mut t = Table::new(&[
-        "Query", "#matches", "JPStream", "RapidJSON", "simdjson", "Pison", "JSONSki",
+        "Query",
+        "#matches",
+        "JPStream",
+        "RapidJSON",
+        "simdjson",
+        "Pison",
+        "JSONSki",
     ]);
     let mut per_engine_totals = [Duration::ZERO; 5];
     for case in cases() {
@@ -265,12 +302,16 @@ pub fn fig11() {
 /// Figure 12: parallel performance on a series of small records.
 pub fn fig12() {
     let threads = thread_count();
-    banner(&format!("Figure 12: small records, {threads} threads, time (s)"));
+    banner(&format!(
+        "Figure 12: small records, {threads} threads, time (s)"
+    ));
     println!(
         "NOTE: this host exposes {} CPU core(s); with a single core the\n\
          thread pool is functionally exercised but wall-clock speedup over\n\
          Figure 11 cannot manifest (paper machine: 16 cores).\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     small_records(threads);
 }
@@ -282,7 +323,13 @@ pub fn fig12() {
 pub fn fig13() {
     banner("Figure 13: peak extra heap over the input buffer (MiB), large record");
     let mut t = Table::new(&[
-        "Query", "input", "JPStream", "RapidJSON", "simdjson", "Pison", "JSONSki",
+        "Query",
+        "input",
+        "JPStream",
+        "RapidJSON",
+        "simdjson",
+        "Pison",
+        "JSONSki",
     ]);
     for case in cases() {
         let data = case.dataset.generate_large(&gen_cfg());
@@ -315,7 +362,12 @@ pub fn fig14() {
     let case = cases().into_iter().find(|c| c.id == "BB1").expect("BB1");
     let base = target_bytes();
     let mut t = Table::new(&[
-        "MiB", "JPStream", "RapidJSON", "simdjson", "Pison", "JSONSki",
+        "MiB",
+        "JPStream",
+        "RapidJSON",
+        "simdjson",
+        "Pison",
+        "JSONSki",
     ]);
     for mult in [1usize, 2, 4, 8] {
         let cfg = GenConfig {
@@ -358,7 +410,14 @@ pub fn table6() {
         ("WP2", "99.99%"),
     ];
     let mut t = Table::new(&[
-        "Query", "G1", "G2", "G3", "G4", "G5", "Overall", "Paper overall",
+        "Query",
+        "G1",
+        "G2",
+        "G3",
+        "G4",
+        "G5",
+        "Overall",
+        "Paper overall",
     ]);
     for case in cases() {
         let data = case.dataset.generate_large(&gen_cfg());
@@ -394,12 +453,14 @@ pub fn verify_engine_agreement(bytes_per_dataset: usize) {
     for case in cases() {
         let data = case.dataset.generate_large(&cfg);
         let record = data.bytes();
-        let reference = DomEngine::new(&case.path).count(record).expect("valid");
+        let reference = domparser::DomQuery::new(case.path.clone())
+            .count(record)
+            .expect("valid");
         for e in [
-            Box::new(JpStreamEngine::new(&case.path)) as Box<dyn Engine>,
-            Box::new(TapeEngine::new(&case.path)),
-            Box::new(PisonEngine::new(&case.path)),
-            Box::new(JsonSkiEngine::new(&case.path)),
+            Box::new(jpstream::JpStream::new(case.path.clone())) as Box<dyn Engine>,
+            Box::new(tapeparser::TapeQuery::new(case.path.clone())),
+            Box::new(pison::PisonQuery::new(case.path.clone())),
+            Box::new(jsonski::JsonSki::new(case.path.clone())),
         ] {
             assert_eq!(
                 e.count(record).expect("valid"),
@@ -439,7 +500,7 @@ mod tests {
                 continue;
             };
             let data = case.dataset.generate_large(&cfg);
-            let serial = JsonSkiEngine::new(&case.path)
+            let serial = jsonski::JsonSki::new(case.path.clone())
                 .count(data.bytes())
                 .expect("valid");
             let parallel = runner.count(data.bytes(), 4).expect("valid");

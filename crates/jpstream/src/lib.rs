@@ -28,6 +28,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::ops::ControlFlow;
 
 use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, Status};
 
@@ -74,12 +75,50 @@ impl JpStream {
     ///
     /// Returns the parse error for malformed expressions.
     pub fn compile(query: &str) -> Result<Self, ParsePathError> {
-        Ok(JpStream { path: query.parse()? })
+        Ok(JpStream {
+            path: query.parse()?,
+        })
     }
 
     /// The compiled path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Streams one record with early-exit support: `sink` receives each
+    /// match's raw bytes and may return [`ControlFlow::Break`] to stop the
+    /// scan immediately.
+    ///
+    /// Unlike JSONSki the detailed scan cannot *skip* anything, but it can
+    /// stop: bytes after the breaking match are never examined (see
+    /// [`JpOutcome::consumed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`JpError`] on any malformed syntax — the detailed scan validates
+    /// everything it touches, which is the entire record up to the stop.
+    pub fn stream<'a, F>(&self, input: &'a [u8], mut sink: F) -> Result<JpOutcome, JpError>
+    where
+        F: FnMut(&'a [u8]) -> ControlFlow<()>,
+    {
+        let mut ev = Eval {
+            input,
+            pos: 0,
+            rt: Runtime::new(&self.path),
+            sink: &mut sink,
+            matches: 0,
+            depth: 0,
+        };
+        let stopped = match ev.record() {
+            Ok(()) => false,
+            Err(Abort::Stop) => true,
+            Err(Abort::Err(e)) => return Err(e),
+        };
+        Ok(JpOutcome {
+            matches: ev.matches,
+            stopped,
+            consumed: ev.pos,
+        })
     }
 
     /// Streams one record, calling `sink` with each match's raw bytes.
@@ -92,14 +131,11 @@ impl JpStream {
     where
         F: FnMut(&'a [u8]),
     {
-        let mut ev = Eval {
-            input,
-            pos: 0,
-            rt: Runtime::new(&self.path),
-            sink: &mut sink,
-            depth: 0,
-        };
-        ev.record()
+        self.stream(input, |m| {
+            sink(m);
+            ControlFlow::Continue(())
+        })?;
+        Ok(())
     }
 
     /// Counts matches in one record.
@@ -125,15 +161,46 @@ impl JpStream {
     }
 }
 
+/// Outcome of one [`JpStream::stream`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct JpOutcome {
+    /// Matches delivered to the sink (including the one broken on).
+    pub matches: usize,
+    /// Whether the sink stopped the scan early.
+    pub stopped: bool,
+    /// Bytes examined; strictly fewer than the input length when an early
+    /// stop saved work.
+    pub consumed: usize,
+}
+
+/// Internal control-flow channel: a real error, or a sink-requested stop.
+enum Abort {
+    Err(JpError),
+    Stop,
+}
+
+fn abort(message: &'static str, pos: usize) -> Abort {
+    Abort::Err(JpError::new(message, pos))
+}
+
 struct Eval<'a, 'p, 's> {
     input: &'a [u8],
     pos: usize,
     rt: Runtime<'p>,
-    sink: &'s mut dyn FnMut(&'a [u8]),
+    sink: &'s mut dyn FnMut(&'a [u8]) -> ControlFlow<()>,
+    matches: usize,
     depth: usize,
 }
 
 impl<'a> Eval<'a, '_, '_> {
+    fn emit(&mut self, start: usize, end: usize) -> Result<(), Abort> {
+        self.matches += 1;
+        match (self.sink)(&self.input[start..end]) {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(()) => Err(Abort::Stop),
+        }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.input.get(self.pos) {
             match b {
@@ -147,17 +214,17 @@ impl<'a> Eval<'a, '_, '_> {
         self.input.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JpError> {
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), Abort> {
         self.skip_ws();
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JpError::new(msg, self.pos))
+            Err(abort(msg, self.pos))
         }
     }
 
-    fn record(&mut self) -> Result<(), JpError> {
+    fn record(&mut self) -> Result<(), Abort> {
         self.skip_ws();
         let Some(t) = self.peek() else {
             return Ok(());
@@ -179,7 +246,7 @@ impl<'a> Eval<'a, '_, '_> {
                 let start = self.pos;
                 self.primitive()?;
                 if self.rt.path().is_empty() {
-                    (self.sink)(&self.input[start..self.pos]);
+                    self.emit(start, self.pos)?;
                 }
             }
         }
@@ -190,10 +257,10 @@ impl<'a> Eval<'a, '_, '_> {
     /// Parses an object in full detail. `emit_whole` marks the object itself
     /// as an accepted output (its span is emitted after traversal — the
     /// detailed scan cannot skip ahead).
-    fn object(&mut self, emit_whole: bool) -> Result<(), JpError> {
+    fn object(&mut self, emit_whole: bool) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(JpError::new("nesting too deep", self.pos));
+            return Err(abort("nesting too deep", self.pos));
         }
         let start = self.pos - 1;
         self.skip_ws();
@@ -215,21 +282,21 @@ impl<'a> Eval<'a, '_, '_> {
                         self.pos += 1;
                         break;
                     }
-                    _ => return Err(JpError::new("expected `,` or `}`", self.pos)),
+                    _ => return Err(abort("expected `,` or `}`", self.pos)),
                 }
             }
         }
         if emit_whole {
-            (self.sink)(&self.input[start..self.pos]);
+            self.emit(start, self.pos)?;
         }
         self.depth -= 1;
         Ok(())
     }
 
-    fn array(&mut self, emit_whole: bool) -> Result<(), JpError> {
+    fn array(&mut self, emit_whole: bool) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(JpError::new("nesting too deep", self.pos));
+            return Err(abort("nesting too deep", self.pos));
         }
         let start = self.pos - 1;
         self.skip_ws();
@@ -249,12 +316,12 @@ impl<'a> Eval<'a, '_, '_> {
                         self.pos += 1;
                         break;
                     }
-                    _ => return Err(JpError::new("expected `,` or `]`", self.pos)),
+                    _ => return Err(abort("expected `,` or `]`", self.pos)),
                 }
             }
         }
         if emit_whole {
-            (self.sink)(&self.input[start..self.pos]);
+            self.emit(start, self.pos)?;
         }
         self.depth -= 1;
         Ok(())
@@ -262,11 +329,7 @@ impl<'a> Eval<'a, '_, '_> {
 
     /// Parses one value, pushing/popping the automaton around containers.
     /// Every value is parsed in full detail regardless of its status.
-    fn value_with(
-        &mut self,
-        state: jsonpath::State,
-        status: Status,
-    ) -> Result<(), JpError> {
+    fn value_with(&mut self, state: jsonpath::State, status: Status) -> Result<(), Abort> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => {
@@ -287,16 +350,16 @@ impl<'a> Eval<'a, '_, '_> {
                 let start = self.pos;
                 self.primitive()?;
                 if status == Status::Accept {
-                    (self.sink)(&self.input[start..self.pos]);
+                    self.emit(start, self.pos)?;
                 }
                 Ok(())
             }
-            None => Err(JpError::new("expected value", self.pos)),
+            None => Err(abort("expected value", self.pos)),
         }
     }
 
     /// Tokenizes a primitive character by character.
-    fn primitive(&mut self) -> Result<(), JpError> {
+    fn primitive(&mut self) -> Result<(), Abort> {
         match self.peek() {
             Some(b'"') => {
                 self.string()?;
@@ -316,25 +379,25 @@ impl<'a> Eval<'a, '_, '_> {
                 }
                 Ok(())
             }
-            _ => Err(JpError::new("expected value", self.pos)),
+            _ => Err(abort("expected value", self.pos)),
         }
     }
 
-    fn literal(&mut self, word: &'static [u8]) -> Result<(), JpError> {
+    fn literal(&mut self, word: &'static [u8]) -> Result<(), Abort> {
         if self.input.len() >= self.pos + word.len()
             && &self.input[self.pos..self.pos + word.len()] == word
         {
             self.pos += word.len();
             Ok(())
         } else {
-            Err(JpError::new("invalid literal", self.pos))
+            Err(abort("invalid literal", self.pos))
         }
     }
 
     /// Tokenizes a string, returning its contents span (quotes excluded).
-    fn string(&mut self) -> Result<(usize, usize), JpError> {
+    fn string(&mut self) -> Result<(usize, usize), Abort> {
         if self.peek() != Some(b'"') {
-            return Err(JpError::new("expected string", self.pos));
+            return Err(abort("expected string", self.pos));
         }
         self.pos += 1;
         let start = self.pos;
@@ -348,12 +411,34 @@ impl<'a> Eval<'a, '_, '_> {
                 Some(b'\\') => {
                     self.pos += 2;
                     if self.pos > self.input.len() {
-                        return Err(JpError::new("unterminated escape", self.pos));
+                        return Err(abort("unterminated escape", self.pos));
                     }
                 }
                 Some(_) => self.pos += 1,
-                None => return Err(JpError::new("unterminated string", self.pos)),
+                None => return Err(abort("unterminated string", self.pos)),
             }
+        }
+    }
+}
+
+impl jsonski::Evaluate for JpStream {
+    fn name(&self) -> &'static str {
+        "JPStream"
+    }
+
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+    ) -> jsonski::RecordOutcome {
+        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+            Ok(o) if o.stopped => jsonski::RecordOutcome::Stopped { matches: o.matches },
+            Ok(o) => jsonski::RecordOutcome::Complete { matches: o.matches },
+            Err(e) => jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
+                engine: "JPStream",
+                message: e.to_string(),
+            }),
         }
     }
 }
@@ -430,5 +515,24 @@ mod tests {
     fn counter_tracks_commas() {
         let json = r#"{"a": [10, 20, 30, 40, 50]}"#;
         assert_eq!(matches_of("$.a[3]", json), vec!["40"]);
+    }
+    #[test]
+    fn stream_early_exit_consumes_fewer_bytes() {
+        let json = br#"[{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}]"#;
+        let q = JpStream::compile("$[*].x").unwrap();
+        let outcome = q
+            .stream(json, |_| std::ops::ControlFlow::Break(()))
+            .unwrap();
+        assert!(outcome.stopped);
+        assert_eq!(outcome.matches, 1);
+        assert!(outcome.consumed < json.len());
+    }
+
+    #[test]
+    fn evaluate_trait_reports_failures() {
+        use jsonski::Evaluate;
+        let q = JpStream::compile("$.a").unwrap();
+        assert_eq!(Evaluate::count(&q, br#"{"a": 7}"#).unwrap(), 1);
+        assert!(Evaluate::count(&q, br#"{"a" 7}"#).is_err());
     }
 }

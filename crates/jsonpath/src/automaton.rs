@@ -328,10 +328,7 @@ mod tests {
         rt.enter(ContainerKind::Object, st);
         assert_eq!(rt.value_state_for_key("name").1, Status::Accept);
         // After the accept, bounding_box cannot match (G4 in the paper).
-        assert_eq!(
-            rt.value_state_for_key("bounding_box").1,
-            Status::Unmatched
-        );
+        assert_eq!(rt.value_state_for_key("bounding_box").1, Status::Unmatched);
         rt.exit();
         rt.exit();
         assert_eq!(rt.depth(), 0);

@@ -103,12 +103,7 @@ pub(crate) fn parse_path(input: &str) -> Result<Path, ParsePathError> {
                 steps.push(parse_bracket_body(body, i)?);
                 i = close + 1;
             }
-            c => {
-                return Err(ParsePathError::new(
-                    ErrorKind::UnexpectedChar(c as char),
-                    i,
-                ))
-            }
+            c => return Err(ParsePathError::new(ErrorKind::UnexpectedChar(c as char), i)),
         }
     }
     Ok(Path::new(steps))

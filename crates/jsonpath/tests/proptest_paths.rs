@@ -15,7 +15,9 @@ fn step() -> BoxedStrategy<Step> {
 }
 
 fn path() -> BoxedStrategy<Path> {
-    prop::collection::vec(step(), 0..8).prop_map(Path::new).boxed()
+    prop::collection::vec(step(), 0..8)
+        .prop_map(Path::new)
+        .boxed()
 }
 
 proptest! {

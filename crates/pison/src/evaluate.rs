@@ -1,0 +1,101 @@
+//! [`jsonski::Evaluate`] adapter: a query-bound leveled-index engine.
+
+use std::ops::ControlFlow;
+
+use jsonpath::{ParsePathError, Path};
+
+use crate::validate::validate;
+use crate::LeveledIndex;
+
+/// A JSONPath query evaluated by leveled-bitmap index construction plus
+/// index-guided traversal (the paper's "Pison" baseline), usable wherever
+/// [`jsonski::Evaluate`] is accepted — e.g. in a [`jsonski::Pipeline`].
+///
+/// Because the raw leveled index assumes well-formed input, each
+/// [`evaluate`](jsonski::Evaluate::evaluate) call first runs an explicit
+/// structural [validation pass](crate::validate) so malformed records are
+/// *reported* instead of yielding garbage — a documented concession for the
+/// unified API (the benchmarks keep using the unvalidated
+/// [`LeveledIndex`] path).
+#[derive(Clone, Debug)]
+pub struct PisonQuery {
+    path: Path,
+}
+
+impl PisonQuery {
+    /// Binds the engine to an already-parsed path.
+    pub fn new(path: Path) -> Self {
+        PisonQuery { path }
+    }
+
+    /// Compiles a JSONPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed expressions.
+    pub fn compile(query: &str) -> Result<Self, ParsePathError> {
+        Ok(PisonQuery {
+            path: query.parse()?,
+        })
+    }
+
+    /// The compiled path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl jsonski::Evaluate for PisonQuery {
+    fn name(&self) -> &'static str {
+        "Pison"
+    }
+
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+    ) -> jsonski::RecordOutcome {
+        if let Err(e) = validate(record) {
+            return jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
+                engine: "Pison",
+                message: e.to_string(),
+            });
+        }
+        let index = LeveledIndex::build(record, self.path.len().max(1));
+        let mut matches = 0usize;
+        for m in index.query(&self.path) {
+            matches += 1;
+            if let ControlFlow::Break(()) = sink.on_match(record_idx, m) {
+                return jsonski::RecordOutcome::Stopped { matches };
+            }
+        }
+        jsonski::RecordOutcome::Complete { matches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonski::Evaluate;
+
+    #[test]
+    fn counts_and_failures() {
+        let q = PisonQuery::compile("$.a").unwrap();
+        assert_eq!(q.name(), "Pison");
+        assert_eq!(q.count(br#"{"a": 1}"#).unwrap(), 1);
+        assert_eq!(q.count(b"  ").unwrap(), 0);
+        assert!(q.count(br#"{"a" 1}"#).is_err());
+        assert_eq!(q.path().len(), 1);
+    }
+
+    #[test]
+    fn early_exit_reports_stopped() {
+        let q = PisonQuery::compile("$[*]").unwrap();
+        let mut sink = jsonski::FnSink::new(|_, _m: &[u8]| std::ops::ControlFlow::Break(()));
+        match q.evaluate(b"[1, 2, 3]", 0, &mut sink) {
+            jsonski::RecordOutcome::Stopped { matches } => assert_eq!(matches, 1),
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+    }
+}

@@ -33,8 +33,11 @@
 #![deny(missing_docs)]
 
 mod build;
+mod evaluate;
 mod parallel;
 mod query;
+pub mod validate;
 
 pub use build::LeveledIndex;
+pub use evaluate::PisonQuery;
 pub use parallel::build_parallel;

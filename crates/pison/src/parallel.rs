@@ -117,18 +117,17 @@ pub fn build_parallel<'a>(input: &'a [u8], levels: usize, threads: usize) -> Lev
             .map(|&(s, e)| process_chunk(input, s, &input[s..e], StringState::new(), kernel))
             .collect()
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|&(s, e)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         process_chunk(input, s, &input[s..e], StringState::new(), kernel)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
-        .expect("worker panicked")
     };
 
     // Validation pass: re-execute mis-speculated chunks with the true state.
@@ -178,10 +177,8 @@ mod tests {
         let mut v = b"{\"items\": [".to_vec();
         for i in 0..n {
             v.extend_from_slice(
-                format!(
-                    r#"{{"id": {i}, "tags": ["a", "b{{c"], "meta": {{"x": [1, 2, {i}]}}}},"#
-                )
-                .as_bytes(),
+                format!(r#"{{"id": {i}, "tags": ["a", "b{{c"], "meta": {{"x": [1, 2, {i}]}}}},"#)
+                    .as_bytes(),
             );
         }
         v.pop();

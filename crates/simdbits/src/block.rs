@@ -167,11 +167,7 @@ impl Classifier {
 /// assert_eq!(commas, 100);
 /// ```
 #[inline]
-pub fn classify_stream(
-    cls: &mut Classifier,
-    input: &[u8],
-    mut f: impl FnMut(usize, BlockBitmaps),
-) {
+pub fn classify_stream(cls: &mut Classifier, input: &[u8], mut f: impl FnMut(usize, BlockBitmaps)) {
     let mut blocks = Blocks::new(input);
     let mut w = 0usize;
     for block in blocks.by_ref() {
@@ -341,14 +337,18 @@ mod tests {
         let json = br#"{"a": "\\\" {fake}", "b": [1, {"c": 2}], "d": "x"}"#;
         let reference: Vec<_> = {
             let mut c = Classifier::with_kernel(Kernel::Scalar);
-            PaddedBlocks::new(json).map(|(b, _)| c.classify(&b)).collect()
+            PaddedBlocks::new(json)
+                .map(|(b, _)| c.classify(&b))
+                .collect()
         };
         for &k in Kernel::all() {
             if !k.is_supported() {
                 continue;
             }
             let mut c = Classifier::with_kernel(k);
-            let got: Vec<_> = PaddedBlocks::new(json).map(|(b, _)| c.classify(&b)).collect();
+            let got: Vec<_> = PaddedBlocks::new(json)
+                .map(|(b, _)| c.classify(&b))
+                .collect();
             assert_eq!(got, reference, "kernel {k:?}");
         }
     }

@@ -266,7 +266,14 @@ mod clmul_tests {
 
     #[test]
     fn fast_prefix_xor_equals_portable() {
-        for &x in &[0u64, 1, u64::MAX, 0xDEAD_BEEF, 1 << 63, 0x5555_5555_5555_5555] {
+        for &x in &[
+            0u64,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF,
+            1 << 63,
+            0x5555_5555_5555_5555,
+        ] {
             assert_eq!(fast_prefix_xor(x), prefix_xor(x), "{x:#x}");
         }
         let mut x = 0x9E37_79B9_7F4A_7C15u64;

@@ -1,0 +1,99 @@
+//! [`jsonski::Evaluate`] adapter: a query-bound tape engine.
+
+use std::ops::ControlFlow;
+
+use jsonpath::{ParsePathError, Path};
+
+use crate::Tape;
+
+/// A JSONPath query evaluated by two-stage tape construction plus on-tape
+/// traversal (the paper's "simdjson" baseline), usable wherever
+/// [`jsonski::Evaluate`] is accepted — e.g. in a [`jsonski::Pipeline`].
+///
+/// Each [`evaluate`](jsonski::Evaluate::evaluate) call builds the whole
+/// tape first, so the cost includes preprocessing, as in the paper's
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct TapeQuery {
+    path: Path,
+}
+
+impl TapeQuery {
+    /// Binds the engine to an already-parsed path.
+    pub fn new(path: Path) -> Self {
+        TapeQuery { path }
+    }
+
+    /// Compiles a JSONPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed expressions.
+    pub fn compile(query: &str) -> Result<Self, ParsePathError> {
+        Ok(TapeQuery {
+            path: query.parse()?,
+        })
+    }
+
+    /// The compiled path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl jsonski::Evaluate for TapeQuery {
+    fn name(&self) -> &'static str {
+        "simdjson"
+    }
+
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+    ) -> jsonski::RecordOutcome {
+        let tape = match Tape::build(record) {
+            Ok(tape) => tape,
+            Err(e) => {
+                return jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
+                    engine: "simdjson",
+                    message: e.to_string(),
+                })
+            }
+        };
+        let mut matches = 0usize;
+        for m in tape.query(&self.path) {
+            matches += 1;
+            if let ControlFlow::Break(()) = sink.on_match(record_idx, m) {
+                return jsonski::RecordOutcome::Stopped { matches };
+            }
+        }
+        jsonski::RecordOutcome::Complete { matches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonski::Evaluate;
+
+    #[test]
+    fn counts_and_failures() {
+        let q = TapeQuery::compile("$.a").unwrap();
+        assert_eq!(q.name(), "simdjson");
+        assert_eq!(q.count(br#"{"a": 1}"#).unwrap(), 1);
+        assert_eq!(q.count(b"  ").unwrap(), 0);
+        assert!(q.count(br#"{"a" 1}"#).is_err());
+        assert_eq!(q.path().len(), 1);
+    }
+
+    #[test]
+    fn early_exit_reports_stopped() {
+        let q = TapeQuery::compile("$[*]").unwrap();
+        let mut sink = jsonski::FnSink::new(|_, _m: &[u8]| std::ops::ControlFlow::Break(()));
+        match q.evaluate(b"[1, 2, 3]", 0, &mut sink) {
+            jsonski::RecordOutcome::Stopped { matches } => assert_eq!(matches, 1),
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+    }
+}

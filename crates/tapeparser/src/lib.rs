@@ -23,11 +23,13 @@
 
 #![deny(missing_docs)]
 
+mod evaluate;
 mod query;
 mod stage1;
 mod stage2;
 mod view;
 
+pub use evaluate::TapeQuery;
 pub use stage1::{structural_index, StructuralIndex};
 pub use stage2::{Entry, EntryKind, Tape, TapeError};
 pub use view::View;

@@ -71,7 +71,10 @@ mod tests {
     fn wildcard_and_slices() {
         let json = br#"{"it": [{"nm": "a"}, {"nm": "b"}, {"pr": 1}, {"nm": "c"}]}"#;
         let tape = Tape::build(json).unwrap();
-        assert_eq!(q(&tape, "$.it[*].nm"), vec![&b"\"a\""[..], b"\"b\"", b"\"c\""]);
+        assert_eq!(
+            q(&tape, "$.it[*].nm"),
+            vec![&b"\"a\""[..], b"\"b\"", b"\"c\""]
+        );
         assert_eq!(q(&tape, "$.it[1:3].nm"), vec![&b"\"b\""[..]]);
         assert_eq!(q(&tape, "$.it[0].nm"), vec![&b"\"a\""[..]]);
     }

@@ -330,9 +330,7 @@ impl Builder<'_, '_> {
             return Err(TapeError::new("expected value", start as usize));
         }
         let mut end = end_limit;
-        while end > start as usize
-            && matches!(self.input[end - 1], b' ' | b'\t' | b'\n' | b'\r')
-        {
+        while end > start as usize && matches!(self.input[end - 1], b' ' | b'\t' | b'\n' | b'\r') {
             end -= 1;
         }
         let text = &self.input[start as usize..end];
@@ -365,7 +363,7 @@ mod tests {
             kinds,
             vec![
                 EntryKind::Object,
-                EntryKind::Key,    // a
+                EntryKind::Key, // a
                 EntryKind::Array,
                 EntryKind::Number, // 1
                 EntryKind::String, // "x"

@@ -203,7 +203,10 @@ mod tests {
     fn borrowed_vs_owned_strings() {
         let tape = Tape::build(br#"["plain", "esc\nape"]"#).unwrap();
         let root = tape.root().unwrap();
-        assert!(matches!(root.at(0).unwrap().as_str(), Some(Cow::Borrowed("plain"))));
+        assert!(matches!(
+            root.at(0).unwrap().as_str(),
+            Some(Cow::Borrowed("plain"))
+        ));
         assert!(matches!(root.at(1).unwrap().as_str(), Some(Cow::Owned(s)) if s == "esc\nape"));
     }
 

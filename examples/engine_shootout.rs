@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut baseline = None;
     for engine in all_engines(&case.path) {
         let start = Instant::now();
-        let n = engine.count(record).map_err(|e| format!("{}: {e}", engine.name()))?;
+        let n = engine
+            .count(record)
+            .map_err(|e| format!("{}: {e}", engine.name()))?;
         let elapsed = start.elapsed().as_secs_f64();
         match baseline {
             None => baseline = Some((n, elapsed)),

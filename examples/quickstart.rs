@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("query: {}", query.path());
 
     let mut matches = Vec::new();
-    let stats = query.run(tweet, |m| matches.push(String::from_utf8_lossy(m).into_owned()))?;
+    let stats = query.run(tweet, |m| {
+        matches.push(String::from_utf8_lossy(m).into_owned())
+    })?;
 
     println!("matches: {matches:?}");
     println!();

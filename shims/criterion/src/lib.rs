@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks in this workspace compile and run with no network access:
+//! this path dependency provides the API subset they use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) backed by a
+//! simple wall-clock timing loop. There is no statistical analysis, HTML
+//! report, or saved baseline — each benchmark prints mean time per
+//! iteration and derived throughput.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        // One warmup pass, then the timed samples.
+        f(&mut bencher, input);
+        bencher.reset();
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        self.report(&id.id, &bencher);
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.reset();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        self.report(&id, &bencher);
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing is buffered).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.iters == 0 {
+            println!("{}/{id}: no iterations", self.name);
+            return;
+        }
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!(" ({:.1} MiB/s)", bytes as f64 / per_iter / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.0} elem/s)", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {:.3} ms/iter{rate}", self.name, per_iter * 1e3);
+    }
+}
+
+/// Times closures on behalf of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one call of `f`, accumulating into this benchmark's total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark executable (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; this runner ignores them.
+            $($group();)+
+        }
+    };
+}

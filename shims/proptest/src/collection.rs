@@ -1,0 +1,71 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Strategy for `Vec`s whose length is drawn from `sizes` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+    assert!(sizes.start < sizes.end, "empty size range");
+    BoxedStrategy::from_fn(move |rng| {
+        let len = rng.usize_in(sizes.start, sizes.end);
+        (0..len).map(|_| element.generate(rng)).collect()
+    })
+}
+
+/// Strategy for `BTreeMap`s with `sizes.start..sizes.end` entries (best
+/// effort: key collisions may make the map smaller, as in real proptest).
+pub fn btree_map<K, V>(
+    keys: K,
+    values: V,
+    sizes: Range<usize>,
+) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    assert!(sizes.start < sizes.end, "empty size range");
+    BoxedStrategy::from_fn(move |rng| {
+        let want = rng.usize_in(sizes.start, sizes.end);
+        let mut map = BTreeMap::new();
+        // Bounded attempts: small key universes may not have `want`
+        // distinct keys at all.
+        for _ in 0..want * 4 {
+            if map.len() >= want {
+                break;
+            }
+            map.insert(keys.generate(rng), values.generate(rng));
+        }
+        map
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_bounds() {
+        let mut rng = TestRng::from_name("vec");
+        let s = super::vec(0u8..10, 2..5);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn btree_map_keys_are_distinct_and_bounded() {
+        let mut rng = TestRng::from_name("map");
+        let s = super::btree_map("[a-d]", 0u32..5, 0..5);
+        for _ in 0..500 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace must resolve and build with no network access, so this
+//! path dependency re-implements the subset of proptest's API the repo's
+//! property tests use: `Strategy` (with `prop_map`, `prop_recursive`,
+//! `boxed`), `BoxedStrategy`, `Just`, ranges, tuples, regex-subset string
+//! strategies, `collection::{vec, btree_map}`, `num::u8::ANY`, `any`,
+//! `prop_oneof!` (weighted and unweighted), `proptest!`, `prop_assert!`,
+//! and `prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Generate-only** — no shrinking. A failing case panics with the
+//!   assertion message and the case number; the run is deterministic (the
+//!   RNG is seeded from the test name), so failures reproduce exactly.
+//! * The regex strategy supports the subset used here: character classes
+//!   (with escapes and ranges), literals, `\PC`, and the `*`, `+`, `?`,
+//!   `{n}`, `{m,n}` quantifiers.
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` etc. work via the
+/// prelude, as in the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface used by the tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies; all arms must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test body, failing the case (not
+/// unwinding) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a regular `#[test]` that runs the body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            // Bind each strategy once; the per-case values shadow these
+            // bindings inside the loop only.
+            $(let $arg = $strat;)+
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::generate_with(&$arg, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property failed at case {case}/{}: {e}", config.cases);
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,27 @@
+//! Numeric "any value" strategies (`prop::num::u8::ANY`, ...).
+
+macro_rules! any_module {
+    ($($mod_name:ident : $t:ty),*) => {$(
+        /// Strategies for this integer type.
+        pub mod $mod_name {
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRng;
+
+            /// Strategy yielding any value of the type.
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+
+            /// Any value, uniformly distributed.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+any_module!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i64: i64);

@@ -1,0 +1,241 @@
+//! Regex-subset string strategies: `"[a-z][a-z0-9_]{0,8}"` and friends.
+//!
+//! A `&'static str` is itself a `Strategy<Value = String>`; the pattern
+//! grammar covers what this workspace's tests use: literal characters,
+//! character classes with escapes and ranges, `\PC` (any printable), and
+//! the `*`, `+`, `?`, `{n}`, `{m,n}` quantifiers.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper repetition bound for the open-ended `*` and `+` quantifiers.
+const UNBOUNDED_MAX: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// One fixed character.
+    Literal(char),
+    /// Inclusive character ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable character.
+    Printable,
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32)
+                            .expect("class range is valid chars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+            Atom::Printable => {
+                // Mostly printable ASCII, occasionally multibyte, to keep
+                // parser fuzz targets honest about UTF-8.
+                if rng.below(10) == 0 {
+                    const EXOTIC: &[char] = &['é', 'λ', '中', '∅', '🦀'];
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from_u32(b' ' as u32 + rng.below(95) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses one `[...]` class body starting after the `[`; returns the atom
+/// and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            assert!(i < chars.len(), "dangling escape in class");
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // Range `a-z` (a `-` not followed by `]` binds the previous char).
+        if pending.is_some() && c == '-' && chars.get(i).is_some_and(|&n| n != ']') {
+            let lo = pending.take().unwrap();
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted class range");
+            ranges.push((lo, hi));
+            continue;
+        }
+        if let Some(prev) = pending.replace(c) {
+            ranges.push((prev, prev));
+        }
+    }
+    if let Some(prev) = pending {
+        ranges.push((prev, prev));
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    assert!(!ranges.is_empty(), "empty character class");
+    (Atom::Class(ranges), i + 1)
+}
+
+/// Parses a quantifier at `i` if present; returns `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, UNBOUNDED_MAX, i + 1),
+        Some('+') => (1, UNBOUNDED_MAX, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier bound"),
+                    hi.parse().expect("bad quantifier bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (atom, next) = parse_class(&chars, i + 1);
+                i = next;
+                atom
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape");
+                if chars[i] == 'P' || chars[i] == 'p' {
+                    // `\PC` / `\pL`-style unicode class: consume the
+                    // category letter and generate printable text.
+                    i += 2;
+                    Atom::Printable
+                } else {
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(self) {
+            let n = if min == max {
+                min
+            } else {
+                rng.usize_in(min, max + 1)
+            };
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn samples(pat: &'static str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::from_name(pat);
+        (0..n).map(|_| pat.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in samples("[a-z][a-z0-9_]{0,8}", 500) {
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(s.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        // The suffix pattern from the fast-forward property tests.
+        for s in samples("[ ,x\\]}]*", 500) {
+            assert!(s.len() <= UNBOUNDED_MAX);
+            assert!(s.chars().all(|c| " ,x]}".contains(c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn json_garbage_pattern() {
+        for s in samples("[\\{\\}\\[\\],:\"\\\\a1 ]{0,200}", 100) {
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| "{}[],:\"\\a1 ".contains(c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        for s in samples("\\PC{0,40}", 300) {
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}
