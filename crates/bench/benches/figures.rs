@@ -106,5 +106,41 @@ fn fig14_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig10_rows, fig11_fig12_rows, fig14_scaling);
+/// Overhead guard for the observability layer: the disabled-registry
+/// `evaluate_metered` path must track plain `evaluate` to within 2% (the
+/// acceptance bound); the live-registry column shows the enabled cost.
+fn metrics_overhead_guard(c: &mut Criterion) {
+    use jsonski::Evaluate as _;
+    let data = Dataset::Tt.generate_large(&cfg(2 * MIB));
+    let record = data.bytes();
+    let path: Path = "$[*].en.urls[*].url".parse().unwrap();
+    let ski = jsonski::JsonSki::new(path);
+    let disabled = jsonski::Metrics::disabled();
+    let live = jsonski::Metrics::new();
+    let mut g = c.benchmark_group("metrics_guard_TT1");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    g.bench_function("plain", |b| b.iter(|| ski.count(record).unwrap()));
+    g.bench_function("metered_disabled", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            ski.evaluate_metered(record, 0, &mut sink, &disabled)
+        })
+    });
+    g.bench_function("metered_live", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            ski.evaluate_metered(record, 0, &mut sink, &live)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig10_rows,
+    fig11_fig12_rows,
+    fig14_scaling,
+    metrics_overhead_guard
+);
 criterion_main!(benches);

@@ -6,7 +6,16 @@
 use std::io::Write;
 use std::ops::ControlFlow;
 
-use jsonski::{ErrorPolicy, JsonSki, MultiQuery, Pipeline};
+use jsonski::{ErrorPolicy, Evaluate, JsonSki, Metrics, MetricsSnapshot, MultiQuery, Pipeline};
+
+/// Output format for the `--metrics` engine-counter report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Human-readable multi-line report.
+    Text,
+    /// Single-line JSON object.
+    Json,
+}
 
 /// Parsed command-line options.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +34,8 @@ pub struct Options {
     pub jobs: usize,
     /// Skip records that fail to evaluate instead of aborting.
     pub skip_malformed: bool,
+    /// Print engine counters to stderr after the run, in this format.
+    pub metrics: Option<MetricsMode>,
 }
 
 /// Usage text.
@@ -44,6 +55,10 @@ options:
       --skip-malformed
                      skip records that fail to evaluate (reported on stderr)
                      instead of aborting the whole stream
+      --metrics FMT  print engine counters (fast-forward ratio, bitmap and
+                     pipeline health) to stderr after the run; FMT is
+                     `text` or `json`. With multiple queries on file input
+                     each query is additionally re-measured on its own.
   -h, --help         show this help
 
 Multiple QUERY arguments are evaluated together in one streaming pass;
@@ -66,6 +81,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         limit: 0,
         jobs: 1,
         skip_malformed: false,
+        metrics: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -84,6 +100,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 }
             }
             "--skip-malformed" => opts.skip_malformed = true,
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a format (text or json)")?;
+                opts.metrics = Some(match v.as_str() {
+                    "text" => MetricsMode::Text,
+                    "json" => MetricsMode::Json,
+                    other => return Err(format!("bad metrics format: {other} (text or json)")),
+                });
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown option: {flag}\n\n{USAGE}"));
@@ -135,6 +159,102 @@ fn report_skipped(skipped: u64) {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--metrics` report: one entry per individually-measured
+/// query (may be empty on streamed multi-query input, where records cannot
+/// be replayed) plus the aggregate counters of the live run.
+fn render_metrics(
+    mode: MetricsMode,
+    per_query: &[(String, MetricsSnapshot)],
+    aggregate: &MetricsSnapshot,
+) -> String {
+    match mode {
+        MetricsMode::Text => {
+            let mut s = String::new();
+            for (q, snap) in per_query {
+                s.push_str(&format!("metrics[{q}]:\n"));
+                for line in snap.to_string().lines() {
+                    s.push_str(&format!("  {line}\n"));
+                }
+            }
+            s.push_str("metrics[aggregate]:\n");
+            for line in aggregate.to_string().lines() {
+                s.push_str(&format!("  {line}\n"));
+            }
+            s
+        }
+        MetricsMode::Json => {
+            let mut s = String::from("{\"queries\":[");
+            for (i, (q, snap)) in per_query.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"query\":\"{}\",\"metrics\":{}}}",
+                    json_escape(q),
+                    snap.to_json()
+                ));
+            }
+            s.push_str(&format!("],\"aggregate\":{}}}", aggregate.to_json()));
+            s
+        }
+    }
+}
+
+fn emit_metrics(
+    mode: MetricsMode,
+    per_query: &[(String, MetricsSnapshot)],
+    aggregate: &MetricsSnapshot,
+) {
+    eprint!("{}", render_metrics(mode, per_query, aggregate));
+    if mode == MetricsMode::Json {
+        eprintln!();
+    }
+}
+
+/// Measures each query in isolation over the in-memory input with a fresh
+/// [`Metrics`] registry, so a multi-query run can still report a
+/// fast-forward ratio *per query* (the live combined pass only yields
+/// aggregate counters).
+fn measure_queries(
+    queries: &[String],
+    input: &[u8],
+    skip_malformed: bool,
+) -> Result<Vec<(String, MetricsSnapshot)>, String> {
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let engine = JsonSki::compile(q).map_err(|e| e.to_string())?;
+        let metrics = Metrics::new();
+        let mut sink = jsonski::CountSink::default();
+        for (idx, span) in jsonski::RecordSplitter::new(input).enumerate() {
+            let (s, e) = span.map_err(|e| e.to_string())?;
+            let outcome = engine.evaluate_metered(&input[s..e], idx as u64, &mut sink, &metrics);
+            if let jsonski::RecordOutcome::Failed(err) = outcome {
+                if !skip_malformed {
+                    return Err(err.to_string());
+                }
+                metrics.record_skipped_record();
+            }
+        }
+        out.push((q.clone(), metrics.snapshot()));
+    }
+    Ok(out)
+}
+
 /// Runs the tool over an in-memory input, writing matches to `out`.
 /// Returns the per-query match counts.
 ///
@@ -161,6 +281,13 @@ pub fn run_with_outcome(
     let mut emitted = 0usize;
     let mut skipped = 0u64;
     let mut consumed = 0usize;
+    // Aggregate counters for the live pass; a disabled registry makes every
+    // `record_stream` call a no-op so runs without `--metrics` pay nothing.
+    let agg = if opts.metrics.is_some() {
+        Metrics::new()
+    } else {
+        Metrics::disabled()
+    };
     let single = if opts.queries.len() == 1 {
         Some(JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?)
     } else {
@@ -186,6 +313,9 @@ pub fn run_with_outcome(
         buf.clear();
         rec_counts.iter_mut().for_each(|c| *c = 0);
         let mut rec_emitted = 0usize;
+        // The stopwatch is a no-op unless the `metrics` feature is on AND
+        // the registry is live, so the timed wrapper costs nothing here.
+        let sw = agg.stopwatch();
         let result = if let Some(engine) = &single {
             engine.stream(record, |m| {
                 rec_counts[0] += 1;
@@ -216,10 +346,14 @@ pub fn run_with_outcome(
                 }
             })
         };
+        let eval_ns = sw.elapsed_ns();
+        agg.add_eval_ns(eval_ns);
         match result {
             Ok(outcome) => {
                 total_stats += outcome.stats;
                 consumed = s + outcome.consumed;
+                agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
+                agg.record_stream(record.len(), &outcome);
                 out.write_all(&buf).map_err(|e| e.to_string())?;
                 for (c, d) in counts.iter_mut().zip(&rec_counts) {
                     *c += d;
@@ -233,6 +367,8 @@ pub fn run_with_outcome(
                 if opts.skip_malformed {
                     skipped += 1;
                     consumed = e;
+                    agg.record_stream_failure(record.len());
+                    agg.record_skipped_record();
                 } else {
                     return Err(err.to_string());
                 }
@@ -243,6 +379,18 @@ pub fn run_with_outcome(
     write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
+    }
+    if let Some(mode) = opts.metrics {
+        // Single query: the live pass *is* the per-query measurement. With
+        // multiple queries the live pass runs them combined, so each query
+        // is re-measured on its own over the full input (`--limit` applies
+        // only to the live pass).
+        let per_query = if single.is_some() {
+            vec![(opts.queries[0].clone(), agg.snapshot())]
+        } else {
+            measure_queries(&opts.queries, input, opts.skip_malformed)?
+        };
+        emit_metrics(mode, &per_query, &agg.snapshot());
     }
     Ok(RunOutcome { counts, consumed })
 }
@@ -304,6 +452,11 @@ pub fn run_reader<R: std::io::Read>(
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
     let mut skipped = 0u64;
+    let agg = if opts.metrics.is_some() {
+        Metrics::new()
+    } else {
+        Metrics::disabled()
+    };
     let mut records = jsonski::ChunkedRecords::new(reader);
     // Same per-record staging as `run_with_outcome`: nothing from a record
     // reaches `out` or the counts until the record evaluates cleanly.
@@ -320,6 +473,7 @@ pub fn run_reader<R: std::io::Read>(
         buf.clear();
         rec_counts.iter_mut().for_each(|c| *c = 0);
         let mut rec_emitted = 0usize;
+        let sw = agg.stopwatch();
         let result = engine.stream(record, |i, m| {
             rec_counts[i] += 1;
             rec_emitted += 1;
@@ -336,9 +490,13 @@ pub fn run_reader<R: std::io::Read>(
                 ControlFlow::Continue(())
             }
         });
+        let eval_ns = sw.elapsed_ns();
+        agg.add_eval_ns(eval_ns);
         match result {
             Ok(outcome) => {
                 total_stats += outcome.stats;
+                agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
+                agg.record_stream(record.len(), &outcome);
                 out.write_all(&buf).map_err(|e| e.to_string())?;
                 for (c, d) in counts.iter_mut().zip(&rec_counts) {
                     *c += d;
@@ -351,6 +509,8 @@ pub fn run_reader<R: std::io::Read>(
             Err(err) => {
                 if opts.skip_malformed {
                     skipped += 1;
+                    agg.record_stream_failure(record.len());
+                    agg.record_skipped_record();
                 } else {
                     return Err(err.to_string());
                 }
@@ -361,6 +521,17 @@ pub fn run_reader<R: std::io::Read>(
     write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
+    }
+    if let Some(mode) = opts.metrics {
+        // Streamed records cannot be replayed for per-query re-measurement,
+        // so multi-query reader runs report aggregate counters only.
+        let snap = agg.snapshot();
+        let per_query = if single {
+            vec![(opts.queries[0].clone(), snap.clone())]
+        } else {
+            Vec::new()
+        };
+        emit_metrics(mode, &per_query, &snap);
     }
     Ok(counts)
 }
@@ -386,9 +557,18 @@ fn run_reader_pipeline<R: std::io::Read>(
     } else {
         ErrorPolicy::FailFast
     };
-    let summary = Pipeline::new()
-        .workers(opts.jobs)
-        .error_policy(policy)
+    // One shared registry serves both `--metrics` and `--stats`: workers
+    // record into it concurrently and the snapshot is read after the join.
+    let registry = if opts.metrics.is_some() || opts.stats {
+        Some(std::sync::Arc::new(Metrics::new()))
+    } else {
+        None
+    };
+    let mut pipeline = Pipeline::new().workers(opts.jobs).error_policy(policy);
+    if let Some(m) = &registry {
+        pipeline = pipeline.metrics(std::sync::Arc::clone(m));
+    }
+    let summary = pipeline
         .run(&engine, &mut source, &mut sink)
         .map_err(|e| e.to_string())?;
     let emitted = sink.emitted;
@@ -398,8 +578,18 @@ fn run_reader_pipeline<R: std::io::Read>(
     report_skipped(summary.failed);
     let counts = vec![emitted];
     write_counts(opts, &counts, out)?;
+    let snap = registry.map(|m| m.snapshot());
     if opts.stats {
-        eprintln!("fast-forward: statistics are not collected with --jobs > 1");
+        // Fast-forward counters are reconstructed from the shared registry;
+        // under FailFast early-exit they cover the records that were
+        // actually evaluated (workers may speculate past a `--limit` break).
+        let stats = snap.as_ref().expect("registry exists when --stats is on");
+        eprintln!("fast-forward: {}", stats.fast_forward_stats());
+    }
+    if let Some(mode) = opts.metrics {
+        let snap = snap.expect("registry exists when --metrics is on");
+        let per_query = vec![(opts.queries[0].clone(), snap.clone())];
+        emit_metrics(mode, &per_query, &snap);
     }
     Ok(counts)
 }
@@ -439,6 +629,80 @@ mod tests {
         assert!(args(&["--jobs", "0", "$.a"]).is_err());
         assert!(args(&["-j", "x", "$.a"]).is_err());
         assert!(args(&["-j"]).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_mode() {
+        let o = args(&["--metrics", "text", "$.a"]).unwrap();
+        assert_eq!(o.metrics, Some(MetricsMode::Text));
+        let o = args(&["--metrics", "json", "$.a"]).unwrap();
+        assert_eq!(o.metrics, Some(MetricsMode::Json));
+        assert!(args(&["$.a"]).unwrap().metrics.is_none());
+        assert!(args(&["--metrics", "xml", "$.a"]).is_err());
+        assert!(args(&["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn metrics_do_not_disturb_output() {
+        let input = b"{\"a\": [1, 2]}\n{\"a\": [3]}\n";
+        for fmt in ["text", "json"] {
+            let o = args(&["--metrics", fmt, "$.a[*]"]).unwrap();
+            let mut out = Vec::new();
+            let counts = run(&o, input, &mut out).unwrap();
+            assert_eq!(counts, vec![3]);
+            assert_eq!(out, b"1\n2\n3\n");
+            // Multi-query triggers the per-query re-measuring pass.
+            let o = args(&["--metrics", fmt, "$.a[*]", "$.a"]).unwrap();
+            let mut out = Vec::new();
+            let counts = run(&o, input, &mut out).unwrap();
+            assert_eq!(counts, vec![3, 2]);
+        }
+    }
+
+    #[test]
+    fn metrics_render_reports_ff_ratio_per_query() {
+        // `$.big[*]` walks the whole array; `$.a` skips over it — so the
+        // per-query fast-forward ratios must come out ordered.
+        let mut doc = String::from("{\"big\": [");
+        for i in 0..32 {
+            doc.push_str(&format!("{i}, "));
+        }
+        doc.push_str("99], \"a\": 1}\n");
+        let input = doc.as_bytes();
+        let per =
+            measure_queries(&["$.big[*]".to_string(), "$.a".to_string()], input, false).unwrap();
+        assert_eq!(per.len(), 2);
+        let json = render_metrics(MetricsMode::Json, &per, &per[0].1);
+        assert!(json.starts_with("{\"queries\":["));
+        assert!(json.contains("\"query\":\"$.big[*]\""));
+        assert!(json.contains("\"query\":\"$.a\""));
+        assert_eq!(json.matches("\"ff_ratio\"").count(), 3, "{json}");
+        assert!(json.contains("\"aggregate\":{"));
+        assert!(
+            per[1].1.overall_ff_ratio() > per[0].1.overall_ff_ratio(),
+            "$.a should fast-forward more than $.big[*]: {} vs {}",
+            per[1].1.overall_ff_ratio(),
+            per[0].1.overall_ff_ratio()
+        );
+        let text = render_metrics(MetricsMode::Text, &per, &per[0].1);
+        assert!(text.contains("metrics[$.big[*]]:"));
+        assert!(text.contains("metrics[aggregate]:"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("$['a\"b\\c']"), "$['a\\\"b\\\\c']");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn measure_queries_respects_skip_malformed() {
+        let input = b"{\"a\": 1}\n{\"a\" 2}\n{\"a\": 3}\n";
+        assert!(measure_queries(&["$.a".to_string()], input, false).is_err());
+        let per = measure_queries(&["$.a".to_string()], input, true).unwrap();
+        assert_eq!(per[0].1.records_skipped, 1);
+        assert_eq!(per[0].1.records_failed, 1);
+        assert_eq!(per[0].1.matches_emitted, 2);
     }
 
     #[test]
@@ -623,6 +887,33 @@ mod reader_tests {
         let counts = run_reader(&lenient, &input[..], &mut out).unwrap();
         assert_eq!(counts, vec![2]);
         assert_eq!(out, b"1\n3\n");
+    }
+
+    #[test]
+    fn metrics_and_stats_work_with_pipeline() {
+        let mut input = Vec::new();
+        for i in 0..50 {
+            input.extend_from_slice(format!("{{\"a\": [{i}, {i}]}}\n").as_bytes());
+        }
+        // --metrics json and --stats both ride on the shared registry now,
+        // including under --jobs > 1; output must be unaffected either way.
+        let plain = parse_args(["-c".into(), "$.a[*]".into()]).unwrap();
+        let mut expect = Vec::new();
+        run_reader(&plain, &input[..], &mut expect).unwrap();
+        for extra in [
+            vec!["--metrics", "json", "-j", "4"],
+            vec!["--metrics", "text", "-j", "1"],
+            vec!["--stats", "-j", "4"],
+        ] {
+            let mut argv: Vec<String> = vec!["-c".into()];
+            argv.extend(extra.iter().map(|s| (*s).to_string()));
+            argv.push("$.a[*]".into());
+            let o = parse_args(argv).unwrap();
+            let mut out = Vec::new();
+            let counts = run_reader(&o, &input[..], &mut out).unwrap();
+            assert_eq!(counts, vec![100]);
+            assert_eq!(out, expect);
+        }
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct Cursor<'a> {
     /// classifier).
     cur: BlockBitmaps,
     classified: usize,
+    /// Word requests answered from the cached current word; maintained
+    /// only when time-resolved instrumentation is compiled in, so the
+    /// default build's hot loop carries no extra work.
+    #[cfg(feature = "metrics")]
+    cache_hits: u64,
+    /// Nanoseconds spent inside the classifier.
+    #[cfg(feature = "metrics")]
+    classify_ns: u64,
 }
 
 impl<'a> Cursor<'a> {
@@ -35,6 +43,45 @@ impl<'a> Cursor<'a> {
             cls: Classifier::new(),
             cur: BlockBitmaps::default(),
             classified: 0,
+            #[cfg(feature = "metrics")]
+            cache_hits: 0,
+            #[cfg(feature = "metrics")]
+            classify_ns: 0,
+        }
+    }
+
+    /// Number of 64-byte words classified so far (bitmap-construction
+    /// effort for this record).
+    #[inline]
+    pub fn words_classified(&self) -> usize {
+        self.classified
+    }
+
+    /// Word requests served by the single-word bitmap cache. Always 0
+    /// without the `metrics` cargo feature.
+    #[inline]
+    pub fn word_cache_hits(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.cache_hits
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+
+    /// Nanoseconds spent classifying words. Always 0 without the
+    /// `metrics` cargo feature.
+    #[inline]
+    pub fn classify_ns(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.classify_ns
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
         }
     }
 
@@ -138,6 +185,12 @@ impl<'a> Cursor<'a> {
             "word {idx} was already discarded (classified through {})",
             self.classified
         );
+        #[cfg(feature = "metrics")]
+        if idx < self.classified {
+            self.cache_hits += 1;
+        }
+        #[cfg(feature = "metrics")]
+        let t0 = (self.classified <= idx).then(std::time::Instant::now);
         while self.classified <= idx {
             let start = self.classified * BLOCK;
             assert!(start < self.input.len(), "word {idx} out of range");
@@ -151,6 +204,10 @@ impl<'a> Cursor<'a> {
                 self.cur = self.cls.classify_tail(&self.input[start..]);
             }
             self.classified += 1;
+        }
+        #[cfg(feature = "metrics")]
+        if let Some(t0) = t0 {
+            self.classify_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
         self.cur
     }

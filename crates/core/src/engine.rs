@@ -233,6 +233,9 @@ impl JsonSki {
             matches: eval.matches,
             stopped,
             consumed: eval.cur.pos(),
+            words_classified: eval.cur.words_classified(),
+            word_cache_hits: eval.cur.word_cache_hits(),
+            classify_ns: eval.cur.classify_ns(),
         })
     }
 
@@ -331,6 +334,15 @@ pub struct StreamOutcome {
     /// unscanned bytes. Strictly less than the input length when a break
     /// saved work.
     pub consumed: usize,
+    /// 64-byte words classified while scanning (bitmap-construction
+    /// effort; feeds [`Metrics::record_bitmap`](crate::Metrics::record_bitmap)).
+    pub words_classified: usize,
+    /// Word requests served by the single-word bitmap cache. Always 0
+    /// without the `metrics` cargo feature.
+    pub word_cache_hits: u64,
+    /// Nanoseconds spent constructing word bitmaps. Always 0 without the
+    /// `metrics` cargo feature.
+    pub classify_ns: u64,
 }
 
 /// Propagates either a hard parse error or a sink-requested stop up

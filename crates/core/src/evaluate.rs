@@ -200,6 +200,33 @@ pub trait Evaluate: Sync {
     /// [`RecordOutcome::Failed`].
     fn evaluate(&self, record: &[u8], record_idx: u64, sink: &mut dyn MatchSink) -> RecordOutcome;
 
+    /// Evaluates one record while recording observability counters into
+    /// `metrics` (the evaluated-side counters only — delivery accounting
+    /// belongs to whoever owns the sink, e.g. the [`Pipeline`] merge).
+    ///
+    /// The default implementation wraps [`Evaluate::evaluate`] with the
+    /// byte-level counters every engine shares — records, bytes, matches
+    /// and total evaluation time — so all five engines report *comparable*
+    /// numbers. Engines override it to add engine-specific detail: JSONSki
+    /// contributes per-group fast-forward bytes and bitmap-word counts,
+    /// the preprocessing engines split structure-building from traversal
+    /// time.
+    ///
+    /// [`Pipeline`]: crate::Pipeline
+    fn evaluate_metered(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn MatchSink,
+        metrics: &crate::Metrics,
+    ) -> RecordOutcome {
+        let sw = metrics.stopwatch();
+        let outcome = self.evaluate(record, record_idx, sink);
+        metrics.record_outcome(record.len(), &outcome);
+        metrics.add_eval_ns(sw.elapsed_ns());
+        outcome
+    }
+
     /// Counts matches in one record (provided on top of
     /// [`Evaluate::evaluate`]).
     ///
@@ -229,6 +256,52 @@ impl Evaluate for crate::JsonSki {
                 matches: outcome.matches,
             },
             Err(e) => RecordOutcome::Failed(EngineError::Stream(e)),
+        }
+    }
+
+    /// JSONSki's override reads the live [`StreamOutcome`] counters:
+    /// per-group fast-forward bytes, bitmap words classified and cache
+    /// hits, and the bitmap-construction vs. traversal time split. Failed
+    /// records contribute nothing to the fast-forward or bitmap counters.
+    ///
+    /// [`StreamOutcome`]: crate::StreamOutcome
+    fn evaluate_metered(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn MatchSink,
+        metrics: &crate::Metrics,
+    ) -> RecordOutcome {
+        if !metrics.is_enabled() {
+            return self.evaluate(record, record_idx, sink);
+        }
+        let sw = metrics.stopwatch();
+        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+            Ok(outcome) => {
+                let eval_ns = sw.elapsed_ns();
+                metrics.record_fast_forward(&outcome.stats);
+                metrics.record_bitmap(outcome.words_classified as u64, outcome.word_cache_hits);
+                metrics.add_eval_ns(eval_ns);
+                metrics.add_build_ns(outcome.classify_ns);
+                metrics.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
+                let ro = if outcome.stopped {
+                    RecordOutcome::Stopped {
+                        matches: outcome.matches,
+                    }
+                } else {
+                    RecordOutcome::Complete {
+                        matches: outcome.matches,
+                    }
+                };
+                metrics.record_outcome(record.len(), &ro);
+                ro
+            }
+            Err(e) => {
+                metrics.add_eval_ns(sw.elapsed_ns());
+                let ro = RecordOutcome::Failed(EngineError::Stream(e));
+                metrics.record_outcome(record.len(), &ro);
+                ro
+            }
         }
     }
 }
@@ -276,6 +349,71 @@ mod tests {
         }
         assert_eq!(outcome.matches(), 0);
         assert!(outcome.is_failed());
+    }
+
+    #[test]
+    fn evaluate_metered_records_live_counters() {
+        let engine = JsonSki::compile("$.a").unwrap();
+        let metrics = crate::Metrics::new();
+        let mut sink = CountSink::default();
+        let json = br#"{"a": 1, "pad": [1, 2, 3, 4]}"#;
+        let outcome = engine.evaluate_metered(json, 0, &mut sink, &metrics);
+        assert_eq!(outcome.matches(), 1);
+        let s = metrics.snapshot();
+        assert_eq!(s.records_evaluated, 1);
+        assert_eq!(s.matches_emitted, 1);
+        assert_eq!(s.bytes_evaluated, json.len() as u64);
+        assert!(s.overall_ff_ratio() > 0.0, "{s}");
+        assert!(s.words_classified > 0);
+        // Delivery accounting belongs to the sink owner, not the engine.
+        assert_eq!(s.records_delivered, 0);
+    }
+
+    #[test]
+    fn failed_record_contributes_zero_to_ff_and_match_counters() {
+        // The failure is only discovered after a partial match (`3` is
+        // emitted before the missing `]`); the counters must still report
+        // zero matches and zero fast-forwarded bytes for the record.
+        let engine = JsonSki::compile("$[*]").unwrap();
+        let metrics = crate::Metrics::new();
+        let mut sink = CountSink::default();
+        let outcome = engine.evaluate_metered(b"[3, 4", 0, &mut sink, &metrics);
+        assert!(outcome.is_failed());
+        let s = metrics.snapshot();
+        assert_eq!(s.matches_emitted, 0);
+        assert_eq!(s.records_failed, 1);
+        assert_eq!(s.bytes_failed, 5);
+        assert_eq!(s.bytes_evaluated, 0);
+        assert_eq!(s.ff_skipped.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn default_evaluate_metered_counts_comparable_bytes() {
+        // Exercise the trait's provided implementation through an engine
+        // with no override.
+        struct Fixed;
+        impl Evaluate for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn evaluate(
+                &self,
+                _record: &[u8],
+                record_idx: u64,
+                sink: &mut dyn MatchSink,
+            ) -> RecordOutcome {
+                let _ = sink.on_match(record_idx, b"x");
+                RecordOutcome::Complete { matches: 1 }
+            }
+        }
+        let metrics = crate::Metrics::new();
+        let mut sink = CountSink::default();
+        Fixed.evaluate_metered(b"0123456789", 0, &mut sink, &metrics);
+        let s = metrics.snapshot();
+        assert_eq!(s.records_evaluated, 1);
+        assert_eq!(s.bytes_evaluated, 10);
+        assert_eq!(s.matches_emitted, 1);
+        assert_eq!(s.words_classified, 0); // engine-specific, not provided
     }
 
     #[test]

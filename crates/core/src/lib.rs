@@ -45,6 +45,7 @@ mod error;
 mod evaluate;
 pub mod fastforward;
 pub mod interval;
+pub mod metrics;
 mod multi;
 mod pipeline;
 mod reader;
@@ -56,6 +57,7 @@ pub use error::StreamError;
 pub use evaluate::{
     CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, MatchSink, RecordOutcome,
 };
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, Stopwatch, MAX_TRACKED_WORKERS};
 pub use multi::MultiQuery;
 pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};
 pub use reader::{ChunkedRecords, ReadRecordError, DEFAULT_BUFFER};

@@ -1,0 +1,930 @@
+//! Engine-wide observability: atomic counters and histograms for the
+//! quantities the paper's evaluation is built on.
+//!
+//! The registry ([`Metrics`]) is zero-dependency and thread-safe: every
+//! counter is a saturating [`AtomicU64`], so one registry can be shared by
+//! all workers of a [`Pipeline`](crate::Pipeline) without locks. It records
+//! three families of measurements:
+//!
+//! * **Fast-forward accounting** — per-record skipped bytes per group
+//!   (G1–G5, the paper's Table 6 / Figure 13 metric) against the bytes
+//!   evaluated, fed by the live engine counters rather than recomputed
+//!   estimates.
+//! * **Bitmap work** — 64-byte words classified, word-cache hits, and (with
+//!   the `metrics` cargo feature) bitmap-construction vs. traversal
+//!   nanoseconds, the split simdjson-style papers use to attribute time.
+//! * **Pipeline health** — queue occupancy, producer backpressure stalls,
+//!   worker idle waits, per-worker records/bytes, and skipped-malformed
+//!   counts.
+//!
+//! # Cost model
+//!
+//! Byte-level counters are always compiled; they cost one relaxed atomic
+//! add per record-level event and nothing at all when no registry is
+//! attached (every instrumented call site takes an `Option`/runtime-checked
+//! registry). Time-resolved instrumentation (clock reads in [`Stopwatch`],
+//! per-word classification timing, cache-hit tracking) is additionally
+//! gated behind the `metrics` cargo feature so the default build's hot
+//! loops contain no clock calls whatsoever.
+//!
+//! # Snapshots
+//!
+//! Reading the registry produces a plain-data [`MetricsSnapshot`]; two
+//! snapshots [`diff`](MetricsSnapshot::diff) into the activity between
+//! them, which is how per-query or per-phase numbers are carved out of a
+//! shared registry. Snapshots render as human text ([`fmt::Display`]) or
+//! dependency-free JSON ([`MetricsSnapshot::to_json`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stats::{FastForwardStats, Group};
+
+/// Number of histogram buckets: bucket `0` holds zero-valued samples,
+/// bucket `i` (1–14) holds samples in `[2^(i-1), 2^i)`, and the last
+/// bucket absorbs everything at or above `2^14` (clamping, not dropping).
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Per-worker counters are kept for the first `MAX_TRACKED_WORKERS`
+/// workers; higher worker ordinals fold into the last slot.
+pub const MAX_TRACKED_WORKERS: usize = 16;
+
+/// Saturating relaxed add: counters stick at `u64::MAX` instead of
+/// wrapping, so long-running registries degrade to "a lot" rather than
+/// to garbage.
+#[inline]
+fn sat_add(counter: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
+}
+
+/// Log2-bucketed histogram of `u64` samples with saturating counts.
+#[derive(Debug, Default)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl AtomicHistogram {
+    /// The bucket index for `value` (clamped into the last bucket).
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    #[inline]
+    fn observe(&self, value: u64) {
+        let _ = self.buckets[Self::bucket_of(value)].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_add(1)),
+        );
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// Point-in-time view of a histogram; plain data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Saturating per-bucket sample counts; see [`HISTOGRAM_BUCKETS`] for
+    /// the bucket boundaries.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total samples across all buckets (saturating).
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// The activity between an `earlier` snapshot and `self`, bucketwise
+    /// (saturating, so a reset registry yields zeros rather than wrapping).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, out) in buckets.iter_mut().enumerate() {
+            *out = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistogramSnapshot { buckets }
+    }
+
+    /// The inclusive lower bound of bucket `i`'s value range.
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let items: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// Monotonic stopwatch handed out by [`Metrics::stopwatch`]. A no-op
+/// (always reads 0 ns) unless the `metrics` cargo feature is enabled *and*
+/// the registry is recording, so disabled builds pay no clock calls.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "metrics")]
+    start: Option<std::time::Instant>,
+}
+
+impl Stopwatch {
+    fn armed(on: bool) -> Self {
+        #[cfg(feature = "metrics")]
+        {
+            Stopwatch {
+                start: on.then(std::time::Instant::now),
+            }
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            let _ = on;
+            Stopwatch {}
+        }
+    }
+
+    /// Nanoseconds since the stopwatch was armed (0 when disarmed).
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.start.map_or(0, |s| {
+                u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+}
+
+/// The engine-wide metrics registry; see the [module docs](self).
+///
+/// Create one with [`Metrics::new`] (recording) or [`Metrics::disabled`]
+/// (every method is a cheap early-out), share it by reference or `Arc`,
+/// and read it with [`Metrics::snapshot`].
+#[derive(Debug)]
+pub struct Metrics {
+    enabled: bool,
+
+    // --- evaluated side (work performed by engines) ---
+    records_evaluated: AtomicU64,
+    records_stopped: AtomicU64,
+    records_failed: AtomicU64,
+    matches_emitted: AtomicU64,
+    bytes_evaluated: AtomicU64,
+    bytes_failed: AtomicU64,
+    ff_skipped: [AtomicU64; 5],
+    words_classified: AtomicU64,
+    word_cache_hits: AtomicU64,
+    eval_ns: AtomicU64,
+    build_ns: AtomicU64,
+    traverse_ns: AtomicU64,
+    record_bytes: AtomicHistogram,
+
+    // --- delivered side (what the caller's sink observed, in order) ---
+    records_delivered: AtomicU64,
+    matches_delivered: AtomicU64,
+    bytes_delivered: AtomicU64,
+    records_skipped: AtomicU64,
+
+    // --- pipeline health ---
+    producer_stalls: AtomicU64,
+    worker_idle_waits: AtomicU64,
+    queue_occupancy: AtomicHistogram,
+    worker_records: [AtomicU64; MAX_TRACKED_WORKERS],
+    worker_bytes: [AtomicU64; MAX_TRACKED_WORKERS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    fn with_enabled(enabled: bool) -> Self {
+        Metrics {
+            enabled,
+            records_evaluated: AtomicU64::new(0),
+            records_stopped: AtomicU64::new(0),
+            records_failed: AtomicU64::new(0),
+            matches_emitted: AtomicU64::new(0),
+            bytes_evaluated: AtomicU64::new(0),
+            bytes_failed: AtomicU64::new(0),
+            ff_skipped: Default::default(),
+            words_classified: AtomicU64::new(0),
+            word_cache_hits: AtomicU64::new(0),
+            eval_ns: AtomicU64::new(0),
+            build_ns: AtomicU64::new(0),
+            traverse_ns: AtomicU64::new(0),
+            record_bytes: AtomicHistogram::default(),
+            records_delivered: AtomicU64::new(0),
+            matches_delivered: AtomicU64::new(0),
+            bytes_delivered: AtomicU64::new(0),
+            records_skipped: AtomicU64::new(0),
+            producer_stalls: AtomicU64::new(0),
+            worker_idle_waits: AtomicU64::new(0),
+            queue_occupancy: AtomicHistogram::default(),
+            worker_records: Default::default(),
+            worker_bytes: Default::default(),
+        }
+    }
+
+    /// A recording registry.
+    pub fn new() -> Self {
+        Metrics::with_enabled(true)
+    }
+
+    /// A registry whose every recording method is a cheap early-out;
+    /// useful as a default argument for instrumented call paths.
+    pub fn disabled() -> Self {
+        Metrics::with_enabled(false)
+    }
+
+    /// Whether the registry records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A stopwatch armed only when this registry records *and* the
+    /// `metrics` cargo feature compiled clock calls in.
+    #[inline]
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::armed(self.enabled)
+    }
+
+    /// Records the evaluated-side counters for one record attempt.
+    pub fn record_outcome(&self, record_len: usize, outcome: &crate::RecordOutcome) {
+        if !self.enabled {
+            return;
+        }
+        let len = record_len as u64;
+        self.record_bytes.observe(len);
+        match outcome {
+            crate::RecordOutcome::Complete { matches } => {
+                sat_add(&self.records_evaluated, 1);
+                sat_add(&self.bytes_evaluated, len);
+                sat_add(&self.matches_emitted, *matches as u64);
+            }
+            crate::RecordOutcome::Stopped { matches } => {
+                sat_add(&self.records_evaluated, 1);
+                sat_add(&self.records_stopped, 1);
+                sat_add(&self.bytes_evaluated, len);
+                sat_add(&self.matches_emitted, *matches as u64);
+            }
+            crate::RecordOutcome::Failed(_) => {
+                sat_add(&self.records_failed, 1);
+                sat_add(&self.bytes_failed, len);
+            }
+        }
+    }
+
+    /// Folds one record's fast-forward statistics into the per-group byte
+    /// counters. Callers only invoke this for records that evaluated
+    /// cleanly, so failed records contribute zero here by construction.
+    pub fn record_fast_forward(&self, stats: &FastForwardStats) {
+        if !self.enabled {
+            return;
+        }
+        for g in Group::ALL {
+            sat_add(&self.ff_skipped[g.index()], stats.skipped(g));
+        }
+    }
+
+    /// Records bitmap work: 64-byte words classified and word-cache hits.
+    pub fn record_bitmap(&self, words_classified: u64, cache_hits: u64) {
+        if !self.enabled {
+            return;
+        }
+        sat_add(&self.words_classified, words_classified);
+        sat_add(&self.word_cache_hits, cache_hits);
+    }
+
+    /// Adds total evaluation wall time (engine entry to outcome).
+    pub fn add_eval_ns(&self, ns: u64) {
+        if self.enabled {
+            sat_add(&self.eval_ns, ns);
+        }
+    }
+
+    /// Adds structure-building time (bitmap construction for the streaming
+    /// engines; tape/DOM/index construction for the preprocessing ones).
+    pub fn add_build_ns(&self, ns: u64) {
+        if self.enabled {
+            sat_add(&self.build_ns, ns);
+        }
+    }
+
+    /// Adds traversal time (evaluation excluding structure building).
+    pub fn add_traverse_ns(&self, ns: u64) {
+        if self.enabled {
+            sat_add(&self.traverse_ns, ns);
+        }
+    }
+
+    /// Records one record whose matches were delivered to the caller's
+    /// sink (serial in-place delivery or the pipeline's in-order merge).
+    pub fn record_delivered(&self, matches: u64, record_bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        sat_add(&self.records_delivered, 1);
+        sat_add(&self.matches_delivered, matches);
+        sat_add(&self.bytes_delivered, record_bytes);
+    }
+
+    /// Records one record skipped under
+    /// [`ErrorPolicy::SkipMalformed`](crate::ErrorPolicy::SkipMalformed).
+    pub fn record_skipped_record(&self) {
+        if self.enabled {
+            sat_add(&self.records_skipped, 1);
+        }
+    }
+
+    /// Records everything a serial streaming pass knows about one clean
+    /// record in one call: evaluated- and delivered-side counters plus
+    /// fast-forward and bitmap work from the [`StreamOutcome`].
+    ///
+    /// [`StreamOutcome`]: crate::StreamOutcome
+    pub fn record_stream(&self, record_len: usize, outcome: &crate::StreamOutcome) {
+        if !self.enabled {
+            return;
+        }
+        let ro = if outcome.stopped {
+            crate::RecordOutcome::Stopped {
+                matches: outcome.matches,
+            }
+        } else {
+            crate::RecordOutcome::Complete {
+                matches: outcome.matches,
+            }
+        };
+        self.record_outcome(record_len, &ro);
+        self.record_fast_forward(&outcome.stats);
+        self.record_bitmap(outcome.words_classified as u64, outcome.word_cache_hits);
+        self.add_build_ns(outcome.classify_ns);
+        self.record_delivered(outcome.matches as u64, record_len as u64);
+    }
+
+    /// Records a failed record seen on a serial streaming pass (evaluated
+    /// side only; the record delivers nothing).
+    pub fn record_stream_failure(&self, record_len: usize) {
+        if !self.enabled {
+            return;
+        }
+        sat_add(&self.records_failed, 1);
+        sat_add(&self.bytes_failed, record_len as u64);
+        self.record_bytes.observe(record_len as u64);
+    }
+
+    /// Samples the work-queue occupancy observed while enqueuing.
+    pub fn record_queue_occupancy(&self, in_flight: u64) {
+        if self.enabled {
+            self.queue_occupancy.observe(in_flight);
+        }
+    }
+
+    /// Records one producer stall: the bounded queue was full, so the
+    /// reader blocked instead of buffering (backpressure engaged).
+    pub fn record_producer_stall(&self) {
+        if self.enabled {
+            sat_add(&self.producer_stalls, 1);
+        }
+    }
+
+    /// Records one worker condvar wait (no queued work available).
+    pub fn record_worker_wait(&self) {
+        if self.enabled {
+            sat_add(&self.worker_idle_waits, 1);
+        }
+    }
+
+    /// Records one record of `record_bytes` handled by worker `worker`
+    /// (ordinals at or above [`MAX_TRACKED_WORKERS`] fold into the last
+    /// slot).
+    pub fn record_worker(&self, worker: usize, record_bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = worker.min(MAX_TRACKED_WORKERS - 1);
+        sat_add(&self.worker_records[slot], 1);
+        sat_add(&self.worker_bytes[slot], record_bytes);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut ff_skipped = [0u64; 5];
+        for (out, c) in ff_skipped.iter_mut().zip(&self.ff_skipped) {
+            *out = ld(c);
+        }
+        let mut worker_records = [0u64; MAX_TRACKED_WORKERS];
+        let mut worker_bytes = [0u64; MAX_TRACKED_WORKERS];
+        for (out, c) in worker_records.iter_mut().zip(&self.worker_records) {
+            *out = ld(c);
+        }
+        for (out, c) in worker_bytes.iter_mut().zip(&self.worker_bytes) {
+            *out = ld(c);
+        }
+        MetricsSnapshot {
+            records_evaluated: ld(&self.records_evaluated),
+            records_stopped: ld(&self.records_stopped),
+            records_failed: ld(&self.records_failed),
+            matches_emitted: ld(&self.matches_emitted),
+            bytes_evaluated: ld(&self.bytes_evaluated),
+            bytes_failed: ld(&self.bytes_failed),
+            ff_skipped,
+            words_classified: ld(&self.words_classified),
+            word_cache_hits: ld(&self.word_cache_hits),
+            eval_ns: ld(&self.eval_ns),
+            build_ns: ld(&self.build_ns),
+            traverse_ns: ld(&self.traverse_ns),
+            record_bytes: self.record_bytes.snapshot(),
+            records_delivered: ld(&self.records_delivered),
+            matches_delivered: ld(&self.matches_delivered),
+            bytes_delivered: ld(&self.bytes_delivered),
+            records_skipped: ld(&self.records_skipped),
+            producer_stalls: ld(&self.producer_stalls),
+            worker_idle_waits: ld(&self.worker_idle_waits),
+            queue_occupancy: self.queue_occupancy.snapshot(),
+            worker_records,
+            worker_bytes,
+        }
+    }
+}
+
+/// Plain-data view of a [`Metrics`] registry at one instant.
+///
+/// All counters are saturating; see the field docs on [`Metrics`]'s
+/// recording methods for their exact semantics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Records that evaluated cleanly (complete or stopped early).
+    pub records_evaluated: u64,
+    /// Cleanly evaluated records whose sink stopped the scan early.
+    pub records_stopped: u64,
+    /// Records whose evaluation failed.
+    pub records_failed: u64,
+    /// Matches emitted by engines while evaluating (work performed, which
+    /// under a speculating pipeline can exceed what was delivered).
+    pub matches_emitted: u64,
+    /// Bytes of cleanly evaluated records.
+    pub bytes_evaluated: u64,
+    /// Bytes of failed records.
+    pub bytes_failed: u64,
+    /// Fast-forwarded bytes per group G1–G5 (indexed by
+    /// [`Group::index`]); failed records contribute zero.
+    pub ff_skipped: [u64; 5],
+    /// 64-byte words run through the bit-parallel classifier.
+    pub words_classified: u64,
+    /// Word requests served by the single-word bitmap cache (0 without
+    /// the `metrics` cargo feature).
+    pub word_cache_hits: u64,
+    /// Total evaluation nanoseconds (0 without the `metrics` feature).
+    pub eval_ns: u64,
+    /// Structure-building nanoseconds: bitmap construction for streaming
+    /// engines, tape/DOM/index building for preprocessing engines (0
+    /// without the `metrics` feature).
+    pub build_ns: u64,
+    /// Traversal nanoseconds, i.e. evaluation excluding structure
+    /// building (0 without the `metrics` feature).
+    pub traverse_ns: u64,
+    /// Histogram of evaluated record sizes in bytes.
+    pub record_bytes: HistogramSnapshot,
+    /// Records whose matches were delivered to the caller's sink.
+    pub records_delivered: u64,
+    /// Matches actually delivered to the caller's sink, in record order.
+    pub matches_delivered: u64,
+    /// Bytes of records whose matches were delivered.
+    pub bytes_delivered: u64,
+    /// Records skipped under `SkipMalformed`.
+    pub records_skipped: u64,
+    /// Producer stalls on the pipeline's bounded queue (backpressure).
+    pub producer_stalls: u64,
+    /// Worker waits for work on the pipeline's queue.
+    pub worker_idle_waits: u64,
+    /// Histogram of in-flight record counts sampled at enqueue time.
+    pub queue_occupancy: HistogramSnapshot,
+    /// Records handled per worker (first [`MAX_TRACKED_WORKERS`] slots).
+    pub worker_records: [u64; MAX_TRACKED_WORKERS],
+    /// Bytes handled per worker (first [`MAX_TRACKED_WORKERS`] slots).
+    pub worker_bytes: [u64; MAX_TRACKED_WORKERS],
+}
+
+impl MetricsSnapshot {
+    /// The activity between an `earlier` snapshot and `self`, fieldwise
+    /// (saturating subtraction throughout).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut ff_skipped = [0u64; 5];
+        for (i, out) in ff_skipped.iter_mut().enumerate() {
+            *out = self.ff_skipped[i].saturating_sub(earlier.ff_skipped[i]);
+        }
+        let mut worker_records = [0u64; MAX_TRACKED_WORKERS];
+        let mut worker_bytes = [0u64; MAX_TRACKED_WORKERS];
+        for (i, out) in worker_records.iter_mut().enumerate() {
+            *out = self.worker_records[i].saturating_sub(earlier.worker_records[i]);
+        }
+        for (i, out) in worker_bytes.iter_mut().enumerate() {
+            *out = self.worker_bytes[i].saturating_sub(earlier.worker_bytes[i]);
+        }
+        MetricsSnapshot {
+            records_evaluated: self
+                .records_evaluated
+                .saturating_sub(earlier.records_evaluated),
+            records_stopped: self.records_stopped.saturating_sub(earlier.records_stopped),
+            records_failed: self.records_failed.saturating_sub(earlier.records_failed),
+            matches_emitted: self.matches_emitted.saturating_sub(earlier.matches_emitted),
+            bytes_evaluated: self.bytes_evaluated.saturating_sub(earlier.bytes_evaluated),
+            bytes_failed: self.bytes_failed.saturating_sub(earlier.bytes_failed),
+            ff_skipped,
+            words_classified: self
+                .words_classified
+                .saturating_sub(earlier.words_classified),
+            word_cache_hits: self.word_cache_hits.saturating_sub(earlier.word_cache_hits),
+            eval_ns: self.eval_ns.saturating_sub(earlier.eval_ns),
+            build_ns: self.build_ns.saturating_sub(earlier.build_ns),
+            traverse_ns: self.traverse_ns.saturating_sub(earlier.traverse_ns),
+            record_bytes: self.record_bytes.diff(&earlier.record_bytes),
+            records_delivered: self
+                .records_delivered
+                .saturating_sub(earlier.records_delivered),
+            matches_delivered: self
+                .matches_delivered
+                .saturating_sub(earlier.matches_delivered),
+            bytes_delivered: self.bytes_delivered.saturating_sub(earlier.bytes_delivered),
+            records_skipped: self.records_skipped.saturating_sub(earlier.records_skipped),
+            producer_stalls: self.producer_stalls.saturating_sub(earlier.producer_stalls),
+            worker_idle_waits: self
+                .worker_idle_waits
+                .saturating_sub(earlier.worker_idle_waits),
+            queue_occupancy: self.queue_occupancy.diff(&earlier.queue_occupancy),
+            worker_records,
+            worker_bytes,
+        }
+    }
+
+    /// Bytes fast-forwarded by `group`.
+    pub fn ff_skipped(&self, group: Group) -> u64 {
+        self.ff_skipped[group.index()]
+    }
+
+    /// The fast-forward ratio of one group against the bytes evaluated
+    /// (0.0 when nothing was evaluated).
+    pub fn ff_ratio(&self, group: Group) -> f64 {
+        if self.bytes_evaluated == 0 {
+            0.0
+        } else {
+            self.ff_skipped(group) as f64 / self.bytes_evaluated as f64
+        }
+    }
+
+    /// The overall fast-forward ratio: all skipped bytes over the bytes
+    /// evaluated (the paper's Section 5.3 metric, from live counters).
+    pub fn overall_ff_ratio(&self) -> f64 {
+        if self.bytes_evaluated == 0 {
+            0.0
+        } else {
+            let skipped: u64 = self.ff_skipped.iter().sum();
+            skipped as f64 / self.bytes_evaluated as f64
+        }
+    }
+
+    /// Reassembles the counters into a [`FastForwardStats`] (total =
+    /// bytes evaluated), for interoperating with the stats-based APIs.
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        let mut s = FastForwardStats::new();
+        for g in Group::ALL {
+            s.record(g, self.ff_skipped(g));
+        }
+        s.add_total(self.bytes_evaluated);
+        s
+    }
+
+    /// Renders the snapshot as a self-contained JSON object, with no
+    /// serialization dependency.
+    pub fn to_json(&self) -> String {
+        let ff: Vec<String> = self.ff_skipped.iter().map(u64::to_string).collect();
+        let wr: Vec<String> = self.worker_records.iter().map(u64::to_string).collect();
+        let wb: Vec<String> = self.worker_bytes.iter().map(u64::to_string).collect();
+        format!(
+            concat!(
+                "{{",
+                "\"records_evaluated\":{},",
+                "\"records_stopped\":{},",
+                "\"records_failed\":{},",
+                "\"matches_emitted\":{},",
+                "\"bytes_evaluated\":{},",
+                "\"bytes_failed\":{},",
+                "\"ff_skipped\":[{}],",
+                "\"ff_ratio\":{:.6},",
+                "\"words_classified\":{},",
+                "\"word_cache_hits\":{},",
+                "\"eval_ns\":{},",
+                "\"build_ns\":{},",
+                "\"traverse_ns\":{},",
+                "\"record_bytes_hist\":{},",
+                "\"records_delivered\":{},",
+                "\"matches_delivered\":{},",
+                "\"bytes_delivered\":{},",
+                "\"records_skipped\":{},",
+                "\"producer_stalls\":{},",
+                "\"worker_idle_waits\":{},",
+                "\"queue_occupancy_hist\":{},",
+                "\"worker_records\":[{}],",
+                "\"worker_bytes\":[{}]",
+                "}}"
+            ),
+            self.records_evaluated,
+            self.records_stopped,
+            self.records_failed,
+            self.matches_emitted,
+            self.bytes_evaluated,
+            self.bytes_failed,
+            ff.join(","),
+            self.overall_ff_ratio(),
+            self.words_classified,
+            self.word_cache_hits,
+            self.eval_ns,
+            self.build_ns,
+            self.traverse_ns,
+            self.record_bytes.to_json(),
+            self.records_delivered,
+            self.matches_delivered,
+            self.bytes_delivered,
+            self.records_skipped,
+            self.producer_stalls,
+            self.worker_idle_waits,
+            self.queue_occupancy.to_json(),
+            wr.join(","),
+            wb.join(","),
+        )
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "records: {} evaluated ({} stopped, {} failed), {} delivered, {} skipped",
+            self.records_evaluated,
+            self.records_stopped,
+            self.records_failed,
+            self.records_delivered,
+            self.records_skipped,
+        )?;
+        writeln!(
+            f,
+            "matches: {} emitted, {} delivered",
+            self.matches_emitted, self.matches_delivered
+        )?;
+        writeln!(
+            f,
+            "bytes:   {} evaluated, {} failed, {} delivered",
+            self.bytes_evaluated, self.bytes_failed, self.bytes_delivered
+        )?;
+        writeln!(
+            f,
+            "fast-forward: G1 {:.2}% | G2 {:.2}% | G3 {:.2}% | G4 {:.2}% | G5 {:.2}% | overall {:.2}%",
+            100.0 * self.ff_ratio(Group::G1),
+            100.0 * self.ff_ratio(Group::G2),
+            100.0 * self.ff_ratio(Group::G3),
+            100.0 * self.ff_ratio(Group::G4),
+            100.0 * self.ff_ratio(Group::G5),
+            100.0 * self.overall_ff_ratio(),
+        )?;
+        writeln!(
+            f,
+            "bitmap:  {} words classified, {} cache hits",
+            self.words_classified, self.word_cache_hits
+        )?;
+        if self.eval_ns > 0 {
+            writeln!(
+                f,
+                "time:    {} ns eval ({} ns build, {} ns traverse)",
+                self.eval_ns, self.build_ns, self.traverse_ns
+            )?;
+        }
+        writeln!(
+            f,
+            "pipeline: {} producer stalls, {} worker waits",
+            self.producer_stalls, self.worker_idle_waits
+        )?;
+        for (i, (&r, &b)) in self
+            .worker_records
+            .iter()
+            .zip(&self.worker_bytes)
+            .enumerate()
+        {
+            if r > 0 {
+                writeln!(f, "worker {i}: {r} records, {b} bytes")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordOutcome;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.record_outcome(100, &RecordOutcome::Complete { matches: 3 });
+        m.record_delivered(3, 100);
+        m.record_skipped_record();
+        m.record_producer_stall();
+        m.record_worker(0, 100);
+        m.record_queue_occupancy(2);
+        m.add_eval_ns(10);
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert_eq!(m.stopwatch().elapsed_ns(), 0);
+    }
+
+    #[test]
+    fn outcome_accounting_separates_failures() {
+        let m = Metrics::new();
+        m.record_outcome(100, &RecordOutcome::Complete { matches: 2 });
+        m.record_outcome(50, &RecordOutcome::Stopped { matches: 1 });
+        m.record_outcome(
+            7,
+            &RecordOutcome::Failed(crate::EngineError::Engine {
+                engine: "t",
+                message: "x".into(),
+            }),
+        );
+        let s = m.snapshot();
+        assert_eq!(s.records_evaluated, 2);
+        assert_eq!(s.records_stopped, 1);
+        assert_eq!(s.records_failed, 1);
+        assert_eq!(s.matches_emitted, 3);
+        assert_eq!(s.bytes_evaluated, 150);
+        assert_eq!(s.bytes_failed, 7);
+        assert_eq!(s.record_bytes.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_diff_arithmetic() {
+        let m = Metrics::new();
+        m.record_outcome(100, &RecordOutcome::Complete { matches: 2 });
+        let mut stats = FastForwardStats::new();
+        stats.record(Group::G2, 40);
+        stats.record(Group::G4, 20);
+        m.record_fast_forward(&stats);
+        let mid = m.snapshot();
+        m.record_outcome(60, &RecordOutcome::Complete { matches: 1 });
+        let mut stats2 = FastForwardStats::new();
+        stats2.record(Group::G2, 30);
+        m.record_fast_forward(&stats2);
+        let end = m.snapshot();
+        let delta = end.diff(&mid);
+        assert_eq!(delta.records_evaluated, 1);
+        assert_eq!(delta.bytes_evaluated, 60);
+        assert_eq!(delta.matches_emitted, 1);
+        assert_eq!(delta.ff_skipped(Group::G2), 30);
+        assert_eq!(delta.ff_skipped(Group::G4), 0);
+        assert!((delta.overall_ff_ratio() - 0.5).abs() < 1e-9);
+        // diff against a *later* snapshot saturates to zero, not wraps.
+        let backwards = mid.diff(&end);
+        assert_eq!(backwards.records_evaluated, 0);
+        assert_eq!(backwards.ff_skipped(Group::G2), 0);
+    }
+
+    #[test]
+    fn ratios_use_evaluated_bytes() {
+        let m = Metrics::new();
+        m.record_outcome(200, &RecordOutcome::Complete { matches: 0 });
+        let mut stats = FastForwardStats::new();
+        stats.record(Group::G1, 50);
+        stats.record(Group::G5, 100);
+        m.record_fast_forward(&stats);
+        let s = m.snapshot();
+        assert!((s.ff_ratio(Group::G1) - 0.25).abs() < 1e-9);
+        assert!((s.ff_ratio(Group::G5) - 0.50).abs() < 1e-9);
+        assert!((s.overall_ff_ratio() - 0.75).abs() < 1e-9);
+        let ff = s.fast_forward_stats();
+        assert_eq!(ff.total(), 200);
+        assert_eq!(ff.skipped(Group::G5), 100);
+        assert!((ff.overall_ratio() - s.overall_ff_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_with_clamping() {
+        assert_eq!(AtomicHistogram::bucket_of(0), 0);
+        assert_eq!(AtomicHistogram::bucket_of(1), 1);
+        assert_eq!(AtomicHistogram::bucket_of(2), 2);
+        assert_eq!(AtomicHistogram::bucket_of(3), 2);
+        assert_eq!(AtomicHistogram::bucket_of(4), 3);
+        assert_eq!(AtomicHistogram::bucket_of(1 << 13), 14);
+        // Everything at or above 2^14 clamps into the final bucket
+        // instead of indexing out of range.
+        assert_eq!(AtomicHistogram::bucket_of(1 << 14), 15);
+        assert_eq!(AtomicHistogram::bucket_of(u64::MAX), 15);
+        assert_eq!(HistogramSnapshot::bucket_floor(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_floor(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_floor(15), 1 << 14);
+        let h = AtomicHistogram::default();
+        h.observe(0);
+        h.observe(5);
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[15], 1);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn histogram_counts_saturate_instead_of_wrapping() {
+        let h = AtomicHistogram::default();
+        h.buckets[3].store(u64::MAX, Ordering::Relaxed);
+        h.observe(5); // bucket 3
+        assert_eq!(h.snapshot().buckets[3], u64::MAX);
+        // count() across saturated buckets saturates too.
+        h.buckets[1].store(u64::MAX, Ordering::Relaxed);
+        assert_eq!(h.snapshot().count(), u64::MAX);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let m = Metrics::new();
+        m.bytes_evaluated.store(u64::MAX - 10, Ordering::Relaxed);
+        m.record_outcome(100, &RecordOutcome::Complete { matches: 0 });
+        assert_eq!(m.snapshot().bytes_evaluated, u64::MAX);
+    }
+
+    #[test]
+    fn worker_slots_clamp() {
+        let m = Metrics::new();
+        m.record_worker(0, 10);
+        m.record_worker(MAX_TRACKED_WORKERS + 5, 7);
+        m.record_worker(usize::MAX, 3);
+        let s = m.snapshot();
+        assert_eq!(s.worker_records[0], 1);
+        assert_eq!(s.worker_records[MAX_TRACKED_WORKERS - 1], 2);
+        assert_eq!(s.worker_bytes[MAX_TRACKED_WORKERS - 1], 10);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let m = Metrics::new();
+        m.record_outcome(64, &RecordOutcome::Complete { matches: 1 });
+        m.record_delivered(1, 64);
+        m.record_worker(2, 64);
+        let s = m.snapshot();
+        let json = s.to_json();
+        for key in [
+            "\"records_evaluated\":1",
+            "\"ff_skipped\":[0,0,0,0,0]",
+            "\"matches_delivered\":1",
+            "\"queue_occupancy_hist\":[",
+            "\"worker_records\":[0,0,1,",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        let text = s.to_string();
+        assert!(text.contains("fast-forward"), "{text}");
+        assert!(text.contains("worker 2: 1 records"), "{text}");
+    }
+
+    #[test]
+    fn record_stream_covers_both_sides() {
+        let q = crate::JsonSki::compile("$.a").unwrap();
+        let json = br#"{"a": 1, "pad": [1, 2, 3]}"#;
+        let outcome = q
+            .stream(json, |_| std::ops::ControlFlow::Continue(()))
+            .unwrap();
+        let m = Metrics::new();
+        m.record_stream(json.len(), &outcome);
+        let s = m.snapshot();
+        assert_eq!(s.records_evaluated, 1);
+        assert_eq!(s.records_delivered, 1);
+        assert_eq!(s.matches_emitted, 1);
+        assert_eq!(s.matches_delivered, 1);
+        assert_eq!(s.bytes_evaluated, json.len() as u64);
+        assert!(s.overall_ff_ratio() > 0.0);
+        assert!(s.words_classified > 0);
+    }
+}

@@ -102,6 +102,9 @@ impl MultiQuery {
             matches: ev.matches,
             stopped,
             consumed: ev.cur.pos(),
+            words_classified: ev.cur.words_classified(),
+            word_cache_hits: ev.cur.word_cache_hits(),
+            classify_ns: ev.cur.classify_ns(),
             stats: ev.stats,
         })
     }

@@ -23,17 +23,30 @@
 //! [`MatchSink::on_record_error`] and skipped
 //! ([`ErrorPolicy::SkipMalformed`]).
 //!
-//! With `workers <= 1` the pipeline degenerates to a serial loop that
-//! evaluates records in place — no copies, and a sink break stops the
-//! engine mid-record (true fast-forward early exit).
+//! With `workers <= 1` the pipeline degenerates to a serial loop. Matches
+//! are still staged per record and replayed to the sink only after the
+//! record evaluates cleanly, so a malformed record delivers *nothing* —
+//! byte-identical to the parallel merge for every worker count and both
+//! error policies. (Callers that want true mid-record early exit on a
+//! single record should use [`JsonSki::stream`] directly.)
+//!
+//! # Observability
+//!
+//! Attach a shared [`Metrics`] registry with [`Pipeline::metrics`] and the
+//! run records queue occupancy, producer backpressure stalls, worker idle
+//! waits, per-worker records/bytes, skipped-record counts, and — through
+//! [`Evaluate::evaluate_metered`] — the engine's own byte-level and
+//! fast-forward counters.
 //!
 //! [`ChunkedRecords`]: crate::ChunkedRecords
+//! [`JsonSki::stream`]: crate::JsonSki::stream
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::evaluate::{EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome};
+use crate::metrics::Metrics;
 use crate::records::RecordSplitter;
 
 /// A pull-based source of complete JSON records.
@@ -90,7 +103,8 @@ impl<R: std::io::Read> RecordSource for crate::ChunkedRecords<R> {
 pub struct PipelineSummary {
     /// Records whose outcome was merged (evaluated or skipped-as-failed).
     pub records: u64,
-    /// Matches delivered to the sink, across all records.
+    /// Matches delivered to the sink, across all records (including the
+    /// match the sink broke on, if any).
     pub matches: usize,
     /// Records skipped under [`ErrorPolicy::SkipMalformed`].
     pub failed: u64,
@@ -120,6 +134,7 @@ pub struct Pipeline {
     workers: usize,
     queue_depth: usize,
     policy: ErrorPolicy,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Default for Pipeline {
@@ -129,8 +144,8 @@ impl Default for Pipeline {
 }
 
 impl Pipeline {
-    /// A pipeline with one worker per available core, queue depth 4 and
-    /// [`ErrorPolicy::FailFast`].
+    /// A pipeline with one worker per available core, queue depth 4,
+    /// [`ErrorPolicy::FailFast`], and no metrics registry.
     pub fn new() -> Self {
         Pipeline {
             workers: std::thread::available_parallelism()
@@ -138,10 +153,11 @@ impl Pipeline {
                 .unwrap_or(1),
             queue_depth: 4,
             policy: ErrorPolicy::default(),
+            metrics: None,
         }
     }
 
-    /// Sets the worker count. `0` or `1` selects the serial in-place path.
+    /// Sets the worker count. `0` or `1` selects the serial path.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -158,6 +174,18 @@ impl Pipeline {
     pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attaches a shared observability registry; see the
+    /// [module docs](self#observability) for what gets recorded.
+    pub fn metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached registry, only when it actually records.
+    fn live_metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref().filter(|m| m.is_enabled())
     }
 
     /// Runs `engine` over every record of `source`, delivering matches to
@@ -186,24 +214,43 @@ impl Pipeline {
         source: &mut dyn RecordSource,
         sink: &mut dyn MatchSink,
     ) -> Result<PipelineSummary, EngineError> {
+        let metrics = self.live_metrics();
         let mut summary = PipelineSummary::default();
         let mut idx = 0u64;
+        let mut staged = Collector(Vec::new());
         while let Some(record) = source.next_record()? {
             summary.records += 1;
-            match engine.evaluate(record, idx, sink) {
-                RecordOutcome::Complete { matches } => summary.matches += matches,
-                RecordOutcome::Stopped { matches } => {
-                    summary.matches += matches;
-                    summary.stopped = true;
-                    break;
+            let len = record.len() as u64;
+            staged.0.clear();
+            let outcome = match metrics {
+                Some(m) => {
+                    m.record_worker(0, len);
+                    engine.evaluate_metered(record, idx, &mut staged, m)
+                }
+                None => engine.evaluate(record, idx, &mut staged),
+            };
+            match outcome {
+                RecordOutcome::Complete { .. } | RecordOutcome::Stopped { .. } => {
+                    let (delivered, broke) = replay(&staged.0, idx, sink);
+                    summary.matches += delivered;
+                    if let Some(m) = metrics {
+                        m.record_delivered(delivered as u64, len);
+                    }
+                    if broke {
+                        summary.stopped = true;
+                        return Ok(summary);
+                    }
                 }
                 RecordOutcome::Failed(e) => match self.policy {
                     ErrorPolicy::FailFast => return Err(e),
                     ErrorPolicy::SkipMalformed => {
                         summary.failed += 1;
+                        if let Some(m) = metrics {
+                            m.record_skipped_record();
+                        }
                         if sink.on_record_error(idx, &e).is_break() {
                             summary.stopped = true;
-                            break;
+                            return Ok(summary);
                         }
                     }
                 },
@@ -231,10 +278,11 @@ impl Pipeline {
             work_ready: Condvar::new(),
             result_ready: Condvar::new(),
         };
+        let metrics = self.live_metrics();
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for worker in 0..self.workers {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(engine, shared));
+                scope.spawn(move || worker_loop(engine, shared, worker, metrics));
             }
             let result = self.produce_and_merge(source, sink, &shared, capacity);
             // Whatever happened, release the workers before the scope joins.
@@ -258,6 +306,7 @@ impl Pipeline {
         shared: &Shared,
         capacity: usize,
     ) -> Result<PipelineSummary, EngineError> {
+        let metrics = self.live_metrics();
         let mut summary = PipelineSummary::default();
         let mut next_read = 0u64; // next record ordinal to pull from source
         let mut next_merge = 0u64; // next record ordinal to deliver
@@ -266,7 +315,7 @@ impl Pipeline {
             // Merge every in-order result that is ready, without holding
             // the lock across sink callbacks.
             loop {
-                let res = {
+                let (len, res) = {
                     let mut state = shared.state.lock().unwrap();
                     match state.results.remove(&next_merge) {
                         Some(res) => {
@@ -280,13 +329,15 @@ impl Pipeline {
                 summary.records += 1;
                 match res {
                     Ok(matches) => {
-                        summary.matches += matches.len();
-                        for m in &matches {
-                            if sink.on_match(next_merge, m).is_break() {
-                                summary.stopped = true;
-                                self.stop(shared);
-                                return Ok(summary);
-                            }
+                        let (delivered, broke) = replay(&matches, next_merge, sink);
+                        summary.matches += delivered;
+                        if let Some(m) = metrics {
+                            m.record_delivered(delivered as u64, len as u64);
+                        }
+                        if broke {
+                            summary.stopped = true;
+                            self.stop(shared);
+                            return Ok(summary);
                         }
                     }
                     Err(e) => match self.policy {
@@ -296,6 +347,9 @@ impl Pipeline {
                         }
                         ErrorPolicy::SkipMalformed => {
                             summary.failed += 1;
+                            if let Some(m) = metrics {
+                                m.record_skipped_record();
+                            }
                             if sink.on_record_error(next_merge, &e).is_break() {
                                 summary.stopped = true;
                                 self.stop(shared);
@@ -311,6 +365,9 @@ impl Pipeline {
                 {
                     let state = shared.state.lock().unwrap();
                     if state.in_flight >= capacity {
+                        if let Some(m) = metrics {
+                            m.record_producer_stall();
+                        }
                         break;
                     }
                 }
@@ -320,6 +377,9 @@ impl Pipeline {
                         let mut state = shared.state.lock().unwrap();
                         state.queue.push_back((next_read, owned));
                         state.in_flight += 1;
+                        if let Some(m) = metrics {
+                            m.record_queue_occupancy(state.in_flight as u64);
+                        }
                         next_read += 1;
                         drop(state);
                         shared.work_ready.notify_one();
@@ -351,8 +411,21 @@ impl Pipeline {
     }
 }
 
-/// Per-record worker result: collected match bytes, or the failure.
-type WorkerResult = Result<Vec<Vec<u8>>, EngineError>;
+/// Replays staged matches to the real sink; returns how many were
+/// delivered (including the one the sink broke on) and whether the sink
+/// broke.
+fn replay(matches: &[Vec<u8>], record_idx: u64, sink: &mut dyn MatchSink) -> (usize, bool) {
+    for (i, m) in matches.iter().enumerate() {
+        if sink.on_match(record_idx, m).is_break() {
+            return (i + 1, true);
+        }
+    }
+    (matches.len(), false)
+}
+
+/// Per-record worker result: the record's byte length, plus collected
+/// match bytes or the failure.
+type WorkerResult = (usize, Result<Vec<Vec<u8>>, EngineError>);
 
 struct State {
     /// FIFO of records awaiting a worker.
@@ -375,7 +448,7 @@ struct Shared {
 }
 
 /// Collects match bytes; never stops the engine (early exit is decided at
-/// the merge point, where record order is known).
+/// replay time, where record order is known).
 struct Collector(Vec<Vec<u8>>);
 
 impl MatchSink for Collector {
@@ -385,7 +458,7 @@ impl MatchSink for Collector {
     }
 }
 
-fn worker_loop(engine: &dyn Evaluate, shared: &Shared) {
+fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: Option<&Metrics>) {
     let mut state = shared.state.lock().unwrap();
     loop {
         if state.stop {
@@ -394,16 +467,26 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared) {
         if let Some((idx, record)) = state.queue.pop_front() {
             drop(state);
             let mut collector = Collector(Vec::new());
-            let result = match engine.evaluate(&record, idx, &mut collector) {
+            let outcome = match metrics {
+                Some(m) => {
+                    m.record_worker(worker, record.len() as u64);
+                    engine.evaluate_metered(&record, idx, &mut collector, m)
+                }
+                None => engine.evaluate(&record, idx, &mut collector),
+            };
+            let result = match outcome {
                 RecordOutcome::Failed(e) => Err(e),
                 _ => Ok(collector.0),
             };
             state = shared.state.lock().unwrap();
-            state.results.insert(idx, result);
+            state.results.insert(idx, (record.len(), result));
             shared.result_ready.notify_all();
         } else if state.producer_done {
             return;
         } else {
+            if let Some(m) = metrics {
+                m.record_worker_wait();
+            }
             state = shared.work_ready.wait(state).unwrap();
         }
     }
@@ -421,6 +504,17 @@ mod tests {
             out.extend_from_slice(format!("{{\"a\": {i}, \"pad\": [{i}, {i}]}}\n").as_bytes());
         }
         out
+    }
+
+    /// A record source over a fixed list of slices; unlike
+    /// [`SliceRecords`] it can feed records an unbalanced stream could
+    /// never be split into.
+    struct Fixed<'a>(std::vec::IntoIter<&'a [u8]>);
+
+    impl RecordSource for Fixed<'_> {
+        fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+            Ok(self.0.next())
+        }
     }
 
     #[test]
@@ -489,6 +583,7 @@ mod tests {
                 .unwrap();
             assert!(summary.stopped, "workers={workers}");
             assert_eq!(seen, 3, "workers={workers}");
+            assert_eq!(summary.matches, 3, "workers={workers}");
         }
     }
 
@@ -547,6 +642,32 @@ mod tests {
     }
 
     #[test]
+    fn serial_stages_partial_matches_of_failed_records() {
+        // `$[*]` delivers `3` from the malformed record before the missing
+        // `]` is discovered; staging must withhold it under SkipMalformed,
+        // exactly as the parallel merge does.
+        let engine = JsonSki::compile("$[*]").unwrap();
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut sink = FnSink::new(|_, m: &[u8]| {
+            delivered.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        let records: Vec<&[u8]> = vec![b"[1, 2]", b"[3, 4", b"[5]"];
+        let summary = Pipeline::new()
+            .workers(1)
+            .error_policy(ErrorPolicy::SkipMalformed)
+            .run(&engine, &mut Fixed(records.into_iter()), &mut sink)
+            .unwrap();
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.matches, 3);
+        assert_eq!(
+            delivered,
+            vec![b"1".to_vec(), b"2".to_vec(), b"5".to_vec()],
+            "partial matches of the failed record must not be delivered"
+        );
+    }
+
+    #[test]
     fn chunked_reader_source_works_in_parallel() {
         let stream = stream_of(40);
         let engine = JsonSki::compile("$.a").unwrap();
@@ -587,5 +708,86 @@ mod tests {
             .run(&engine, &mut SliceRecords::new(b"  \n "), &mut sink)
             .unwrap();
         assert_eq!(summary, PipelineSummary::default());
+    }
+
+    #[test]
+    fn metrics_track_delivery_and_workers() {
+        let stream = stream_of(50);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let metrics = Arc::new(Metrics::new());
+            let mut sink = CountSink::default();
+            let summary = Pipeline::new()
+                .workers(workers)
+                .metrics(Arc::clone(&metrics))
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            let s = metrics.snapshot();
+            assert_eq!(s.records_delivered, 50, "workers={workers}");
+            assert_eq!(s.matches_delivered, 50, "workers={workers}");
+            assert_eq!(s.records_evaluated, 50, "workers={workers}");
+            assert_eq!(s.matches_emitted, 50, "workers={workers}");
+            assert_eq!(
+                s.bytes_delivered,
+                stream.len() as u64 - 50, // newline separators are not record bytes
+                "workers={workers}"
+            );
+            assert_eq!(s.worker_records.iter().sum::<u64>(), 50);
+            assert!(s.overall_ff_ratio() > 0.0, "workers={workers}");
+            assert_eq!(summary.matches, 50);
+        }
+    }
+
+    #[test]
+    fn skipped_record_contributes_zero_to_match_and_ff_counters() {
+        // The same stream with and without a malformed record injected
+        // must yield identical delivered-match and fast-forward byte
+        // counters: a skipped record contributes exactly zero.
+        let engine = JsonSki::compile("$[*]").unwrap();
+        let clean: Vec<&[u8]> = vec![b"[1, 2]", b"[5, 6, 7]"];
+        let bad: Vec<&[u8]> = vec![b"[1, 2]", b"[3, 4", b"[5, 6, 7]"];
+        for workers in [1, 4] {
+            let run = |records: Vec<&[u8]>| {
+                let metrics = Arc::new(Metrics::new());
+                let mut sink = CountSink::default();
+                Pipeline::new()
+                    .workers(workers)
+                    .error_policy(ErrorPolicy::SkipMalformed)
+                    .metrics(Arc::clone(&metrics))
+                    .run(&engine, &mut Fixed(records.into_iter()), &mut sink)
+                    .unwrap();
+                (metrics.snapshot(), sink.matches)
+            };
+            let (s_clean, m_clean) = run(clean.clone());
+            let (s_bad, m_bad) = run(bad.clone());
+            assert_eq!(m_bad, m_clean, "workers={workers}");
+            assert_eq!(
+                s_bad.matches_delivered, s_clean.matches_delivered,
+                "workers={workers}"
+            );
+            assert_eq!(s_bad.ff_skipped, s_clean.ff_skipped, "workers={workers}");
+            assert_eq!(
+                s_bad.bytes_evaluated, s_clean.bytes_evaluated,
+                "workers={workers}"
+            );
+            assert_eq!(s_bad.records_skipped, 1, "workers={workers}");
+            assert_eq!(s_bad.records_failed, 1, "workers={workers}");
+            assert_eq!(s_bad.bytes_failed, 5, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_leave_no_trace() {
+        let stream = stream_of(20);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let metrics = Arc::new(Metrics::disabled());
+        let mut sink = CountSink::default();
+        Pipeline::new()
+            .workers(4)
+            .metrics(Arc::clone(&metrics))
+            .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+            .unwrap();
+        assert_eq!(metrics.snapshot(), crate::MetricsSnapshot::default());
+        assert_eq!(sink.matches, 20);
     }
 }

@@ -18,6 +18,25 @@ pub enum Group {
     G5,
 }
 
+impl Group {
+    /// All groups in order, for iteration.
+    pub const ALL: [Group; 5] = [Group::G1, Group::G2, Group::G3, Group::G4, Group::G5];
+
+    /// Dense index of the group (G1 → 0 … G5 → 4), used to address
+    /// group-indexed counter arrays such as
+    /// [`MetricsSnapshot::ff_skipped`](crate::MetricsSnapshot::ff_skipped).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Group::G1 => 0,
+            Group::G2 => 1,
+            Group::G3 => 2,
+            Group::G4 => 3,
+            Group::G5 => 4,
+        }
+    }
+}
+
 /// Characters fast-forwarded per function group, plus the stream length.
 ///
 /// The *fast-forward ratio* (Section 5.3) is "the ratio between the

@@ -1,0 +1,215 @@
+//! Property-based serial/parallel pipeline equivalence: on random record
+//! batches — including injected malformed records — a [`Pipeline`] must
+//! deliver a byte-identical match stream, the same summary, and the same
+//! deterministic metrics totals for every worker count and both error
+//! policies. Evaluated-side counters are additionally compared under
+//! [`ErrorPolicy::SkipMalformed`], where every record is evaluated exactly
+//! once regardless of parallelism (under `FailFast` workers may speculate
+//! past the failing record, so only delivered-side counters are portable).
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use jsonski::{
+    EngineError, ErrorPolicy, JsonSki, MatchSink, Metrics, MetricsSnapshot, Pipeline,
+    PipelineSummary, RecordSource,
+};
+
+/// Owned in-memory record batch (malformed records included verbatim —
+/// unlike `SliceRecords`, boundaries are given, not discovered).
+struct OwnedRecords {
+    records: Vec<Vec<u8>>,
+    next: usize,
+}
+
+impl RecordSource for OwnedRecords {
+    fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+        if self.next >= self.records.len() {
+            return Ok(None);
+        }
+        let r = &self.records[self.next];
+        self.next += 1;
+        Ok(Some(r))
+    }
+}
+
+/// Sink recording the full delivered stream: matches and skip reports.
+#[derive(Default, PartialEq, Eq, Debug)]
+struct Recorder {
+    matches: Vec<(u64, Vec<u8>)>,
+    errors: Vec<u64>,
+}
+
+impl MatchSink for Recorder {
+    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        self.matches.push((record_idx, bytes.to_vec()));
+        ControlFlow::Continue(())
+    }
+
+    fn on_record_error(&mut self, record_idx: u64, _error: &EngineError) -> ControlFlow<()> {
+        self.errors.push(record_idx);
+        ControlFlow::Continue(())
+    }
+}
+
+/// A well-formed record drawing from the key/shape universe the queries
+/// below can address.
+fn valid_record() -> BoxedStrategy<Vec<u8>> {
+    let scalar = prop_oneof![
+        Just("null".to_string()),
+        (-999i64..999).prop_map(|n| n.to_string()),
+        Just("\"x{y}\\\"z\"".to_string()),
+    ];
+    scalar
+        .prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4)
+                    .prop_map(|vs| format!("[{}]", vs.join(", "))),
+                prop::collection::btree_map(
+                    prop_oneof![
+                        Just("a".to_string()),
+                        Just("b".to_string()),
+                        Just("c".to_string())
+                    ],
+                    inner,
+                    0..4
+                )
+                .prop_map(|m| {
+                    let fields: Vec<String> = m
+                        .into_iter()
+                        .map(|(k, v)| format!("\"{k}\": {v}"))
+                        .collect();
+                    format!("{{{}}}", fields.join(", "))
+                }),
+            ]
+        })
+        .prop_map(String::into_bytes)
+        .boxed()
+}
+
+/// A structurally malformed record (missing colon, unclosed or mismatched
+/// containers) — the kinds of damage every engine must diagnose.
+fn malformed_record() -> BoxedStrategy<Vec<u8>> {
+    prop_oneof![
+        Just(b"{\"a\" 1}".to_vec()),
+        Just(b"{\"a\": [1, 2".to_vec()),
+        Just(b"{\"a\": [3, 30}".to_vec()),
+        Just(b"[1, {\"b\": 2]".to_vec()),
+    ]
+    .boxed()
+}
+
+/// A batch of up to a dozen records, roughly one in five malformed.
+fn batch() -> BoxedStrategy<Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop_oneof![4 => valid_record(), 1 => malformed_record()],
+        0..12,
+    )
+    .boxed()
+}
+
+fn query() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("$.a".to_string()),
+        Just("$.a[*]".to_string()),
+        Just("$[*]".to_string()),
+        Just("$.*".to_string()),
+        Just("$.a.b".to_string()),
+    ]
+    .boxed()
+}
+
+/// The metrics totals that must be identical for every worker count.
+fn delivered_totals(s: &MetricsSnapshot) -> (u64, u64, u64, u64) {
+    (
+        s.records_delivered,
+        s.matches_delivered,
+        s.bytes_delivered,
+        s.records_skipped,
+    )
+}
+
+/// The evaluated-side totals, portable only when every record is evaluated
+/// exactly once (SkipMalformed, or failure-free FailFast runs).
+fn evaluated_totals(s: &MetricsSnapshot) -> (u64, u64, u64, u64, [u64; 5]) {
+    (
+        s.records_evaluated,
+        s.records_failed,
+        s.matches_emitted,
+        s.bytes_evaluated,
+        s.ff_skipped,
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn run(
+    engine: &JsonSki,
+    records: &[Vec<u8>],
+    jobs: usize,
+    policy: ErrorPolicy,
+) -> (Recorder, Result<PipelineSummary, String>, MetricsSnapshot) {
+    let metrics = Arc::new(Metrics::new());
+    let mut source = OwnedRecords {
+        records: records.to_vec(),
+        next: 0,
+    };
+    let mut sink = Recorder::default();
+    let result = Pipeline::new()
+        .workers(jobs)
+        .error_policy(policy)
+        .metrics(Arc::clone(&metrics))
+        .run(engine, &mut source, &mut sink)
+        .map_err(|e| e.to_string());
+    (sink, result, metrics.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_pipeline_equals_serial(records in batch(), q in query()) {
+        let engine = JsonSki::compile(&q).unwrap();
+        let has_malformed = records.iter().any(|r| engine.count(r).is_err());
+        for policy in [ErrorPolicy::FailFast, ErrorPolicy::SkipMalformed] {
+            let (ref_sink, ref_result, ref_snap) = run(&engine, &records, 1, policy);
+            for jobs in [2usize, 8] {
+                let (sink, result, snap) = run(&engine, &records, jobs, policy);
+                prop_assert_eq!(
+                    &sink, &ref_sink,
+                    "delivered stream diverges: q={} jobs={} policy={:?}", q, jobs, policy
+                );
+                match (&result, &ref_result) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "summary: q={} jobs={}", q, jobs),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => {
+                        prop_assert!(false, "result kind diverges: jobs={} {:?} vs {:?}", jobs, a, b);
+                    }
+                }
+                prop_assert_eq!(
+                    delivered_totals(&snap),
+                    delivered_totals(&ref_snap),
+                    "delivered metrics: q={} jobs={} policy={:?}", q, jobs, policy
+                );
+                // SkipMalformed evaluates every record exactly once whatever
+                // the worker count; so does FailFast when nothing fails.
+                if policy == ErrorPolicy::SkipMalformed || !has_malformed {
+                    prop_assert_eq!(
+                        evaluated_totals(&snap),
+                        evaluated_totals(&ref_snap),
+                        "evaluated metrics: q={} jobs={} policy={:?}", q, jobs, policy
+                    );
+                }
+            }
+            // The pipeline's own summary must agree with the sink's view and
+            // the metrics registry's delivered counters.
+            if let Ok(summary) = &ref_result {
+                prop_assert_eq!(summary.matches, ref_sink.matches.len());
+                prop_assert_eq!(summary.failed, ref_sink.errors.len() as u64);
+                prop_assert_eq!(ref_snap.matches_delivered, ref_sink.matches.len() as u64);
+                prop_assert_eq!(ref_snap.records_skipped, ref_sink.errors.len() as u64);
+            }
+        }
+    }
+}

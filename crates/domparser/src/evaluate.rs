@@ -76,6 +76,62 @@ impl jsonski::Evaluate for DomQuery {
         }
         jsonski::RecordOutcome::Complete { matches }
     }
+
+    /// Splits the two-stage cost for the metrics layer: DOM parsing is
+    /// reported as build time, the tree walk as traversal.
+    fn evaluate_metered(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+        metrics: &jsonski::Metrics,
+    ) -> jsonski::RecordOutcome {
+        if !metrics.is_enabled() {
+            return self.evaluate(record, record_idx, sink);
+        }
+        if record.iter().all(u8::is_ascii_whitespace) {
+            let outcome = jsonski::RecordOutcome::Complete { matches: 0 };
+            metrics.record_outcome(record.len(), &outcome);
+            return outcome;
+        }
+        let sw = metrics.stopwatch();
+        let dom = match Dom::parse(record) {
+            Ok(dom) => dom,
+            Err(e) => {
+                let ns = sw.elapsed_ns();
+                metrics.add_build_ns(ns);
+                metrics.add_eval_ns(ns);
+                let outcome = jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
+                    engine: "RapidJSON",
+                    message: e.to_string(),
+                });
+                metrics.record_outcome(record.len(), &outcome);
+                return outcome;
+            }
+        };
+        let build_ns = sw.elapsed_ns();
+        let mut matches = 0usize;
+        let mut stopped = false;
+        for node in dom.query(&self.path) {
+            let (s, e) = node.span();
+            matches += 1;
+            if sink.on_match(record_idx, &record[s..e]).is_break() {
+                stopped = true;
+                break;
+            }
+        }
+        let total_ns = sw.elapsed_ns();
+        metrics.add_build_ns(build_ns);
+        metrics.add_traverse_ns(total_ns.saturating_sub(build_ns));
+        metrics.add_eval_ns(total_ns);
+        let outcome = if stopped {
+            jsonski::RecordOutcome::Stopped { matches }
+        } else {
+            jsonski::RecordOutcome::Complete { matches }
+        };
+        metrics.record_outcome(record.len(), &outcome);
+        outcome
+    }
 }
 
 #[cfg(test)]

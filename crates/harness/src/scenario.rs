@@ -422,7 +422,30 @@ pub fn table6() {
     for case in cases() {
         let data = case.dataset.generate_large(&gen_cfg());
         let ski = jsonski::JsonSki::new(case.path.clone());
-        let stats = ski.run(data.bytes(), |_| {}).expect("valid");
+        // The table is derived from the live metrics registry — the same
+        // counters `--metrics` exposes — not from a side estimate.
+        let metrics = jsonski::Metrics::new();
+        let mut sink = jsonski::CountSink::default();
+        let outcome =
+            jsonski::Evaluate::evaluate_metered(&ski, data.bytes(), 0, &mut sink, &metrics);
+        assert!(
+            matches!(outcome, jsonski::RecordOutcome::Complete { .. }),
+            "{}: generated record failed to evaluate: {outcome:?}",
+            case.id
+        );
+        let snap = metrics.snapshot();
+        // Cross-check: the legacy streaming-pass estimate must agree with
+        // the live counters to within one percentage point.
+        let est = ski
+            .run(data.bytes(), |_| {})
+            .expect("valid")
+            .overall_ratio();
+        let live = snap.overall_ff_ratio();
+        assert!(
+            (est - live).abs() <= 0.01,
+            "{}: live ff ratio {live:.4} diverges from estimate {est:.4}",
+            case.id
+        );
         use jsonski::Group::*;
         let paper = paper_overall
             .iter()
@@ -431,12 +454,12 @@ pub fn table6() {
             .unwrap_or("-");
         t.row(vec![
             case.id.into(),
-            pct(stats.ratio(G1)),
-            pct(stats.ratio(G2)),
-            pct(stats.ratio(G3)),
-            pct(stats.ratio(G4)),
-            pct(stats.ratio(G5)),
-            pct(stats.overall_ratio()),
+            pct(snap.ff_ratio(G1)),
+            pct(snap.ff_ratio(G2)),
+            pct(snap.ff_ratio(G3)),
+            pct(snap.ff_ratio(G4)),
+            pct(snap.ff_ratio(G5)),
+            pct(live),
             paper.into(),
         ]);
     }

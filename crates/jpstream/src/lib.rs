@@ -441,6 +441,27 @@ impl jsonski::Evaluate for JpStream {
             }),
         }
     }
+
+    /// JPStream is a pure streaming engine with no preprocessing stage:
+    /// all evaluation time is reported as traversal, none as build.
+    fn evaluate_metered(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn jsonski::MatchSink,
+        metrics: &jsonski::Metrics,
+    ) -> jsonski::RecordOutcome {
+        if !metrics.is_enabled() {
+            return self.evaluate(record, record_idx, sink);
+        }
+        let sw = metrics.stopwatch();
+        let outcome = self.evaluate(record, record_idx, sink);
+        let ns = sw.elapsed_ns();
+        metrics.add_traverse_ns(ns);
+        metrics.add_eval_ns(ns);
+        metrics.record_outcome(record.len(), &outcome);
+        outcome
+    }
 }
 
 #[cfg(test)]

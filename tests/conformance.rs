@@ -1,0 +1,234 @@
+//! Cross-engine differential conformance suite over the sink API.
+//!
+//! Where `cross_engine.rs` compares match *counts* through each engine's
+//! native interface, this suite drives all five engines through the unified
+//! [`Evaluate`] sink API and asserts the full match *sequences* — every
+//! `(record index, match bytes)` pair, byte for byte — are identical. It
+//! covers every dataset family crossed with its paper queries (the twelve
+//! queries of Table 5) plus hand-written edge-case documents, and pins the
+//! instrumented path (`evaluate_metered`) to the plain one so metrics can
+//! never change what a query matches.
+
+use std::ops::ControlFlow;
+
+use jsonski_repro::datagen::{Dataset, GenConfig};
+use jsonski_repro::jsonpath::Path;
+use jsonski_repro::jsonski::{Evaluate, MatchSink, Metrics, RecordOutcome};
+
+/// Sink that records the full match stream.
+#[derive(Default)]
+struct Recorder(Vec<(u64, Vec<u8>)>);
+
+impl MatchSink for Recorder {
+    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        self.0.push((record_idx, bytes.to_vec()));
+        ControlFlow::Continue(())
+    }
+}
+
+/// The five engines of the paper's evaluation, behind the unified API.
+fn engines(path: &Path) -> Vec<Box<dyn Evaluate>> {
+    vec![
+        Box::new(jsonski_repro::jsonski::JsonSki::new(path.clone())),
+        Box::new(jsonski_repro::jpstream::JpStream::new(path.clone())),
+        Box::new(jsonski_repro::domparser::DomQuery::new(path.clone())),
+        Box::new(jsonski_repro::tapeparser::TapeQuery::new(path.clone())),
+        Box::new(jsonski_repro::pison::PisonQuery::new(path.clone())),
+    ]
+}
+
+/// Runs `records` through one engine via the sink API, panicking on any
+/// record failure (all conformance inputs are well-formed).
+fn match_stream(engine: &dyn Evaluate, records: &[&[u8]], ctx: &str) -> Vec<(u64, Vec<u8>)> {
+    let mut sink = Recorder::default();
+    for (i, record) in records.iter().enumerate() {
+        match engine.evaluate(record, i as u64, &mut sink) {
+            RecordOutcome::Complete { .. } => {}
+            other => panic!("{ctx}: {} returned {other:?} on record {i}", engine.name()),
+        }
+    }
+    sink.0
+}
+
+/// Asserts all five engines produce the identical match sequence for
+/// `query` over `records`; returns that agreed sequence.
+fn assert_conformance(records: &[&[u8]], query: &str, ctx: &str) -> Vec<(u64, Vec<u8>)> {
+    let path: Path = query
+        .parse()
+        .unwrap_or_else(|e| panic!("{ctx}: {query}: {e}"));
+    let engines = engines(&path);
+    let reference = match_stream(engines[0].as_ref(), records, ctx);
+    for e in &engines[1..] {
+        let got = match_stream(e.as_ref(), records, ctx);
+        assert_eq!(
+            got,
+            reference,
+            "{ctx}: {} disagrees with {} on {query}",
+            e.name(),
+            engines[0].name()
+        );
+    }
+    reference
+}
+
+#[test]
+fn paper_queries_agree_on_generated_record_streams() {
+    // Every dataset family crossed with its two paper queries, evaluated
+    // record by record over the small-record corpus form.
+    let cfg = GenConfig {
+        target_bytes: 64 * 1024,
+        seed: 4242,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        let records: Vec<&[u8]> = data.iter().collect();
+        assert!(
+            records.len() > 1,
+            "{}: want a multi-record corpus",
+            ds.name()
+        );
+        for (id, query) in ds.queries() {
+            if ds.large_only_queries().contains(&id) {
+                continue;
+            }
+            assert_conformance(&records, query, id);
+        }
+    }
+}
+
+#[test]
+fn paper_queries_agree_on_generated_large_records() {
+    // The same twelve queries against the single-large-record form, which
+    // exercises the deep skips (G1/G2) the small form cannot.
+    let cfg = GenConfig {
+        target_bytes: 48 * 1024,
+        seed: 99,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_large(&cfg);
+        let records = [data.bytes()];
+        for (id, query) in ds.queries() {
+            let agreed = assert_conformance(&records, query, id);
+            // The headline per-record queries must find something even at
+            // this tiny scale (same guarantee cross_engine.rs relies on).
+            if matches!(id, "TT2" | "BB1" | "GMD1" | "NSPL2" | "WM2") {
+                assert!(!agreed.is_empty(), "{id} found nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_documents_agree() {
+    // Hand-written documents targeting the syntactic corners that break
+    // structural-index and streaming parsers differently: escaped quotes,
+    // deep nesting, empty containers, and multibyte UTF-8 keys.
+    let escaped: &[u8] =
+        r#"{"s": "he said \"hi\"", "t": "brace } quote \" comma ,", "a": [1, "\\\"", 3], "u": "é\\"}"#
+            .as_bytes();
+    let mut deep = String::new();
+    for _ in 0..24 {
+        deep.push_str("{\"d\": [");
+    }
+    deep.push_str("42");
+    for _ in 0..24 {
+        deep.push_str("]}");
+    }
+    let empties: &[u8] = br#"{"a": [], "b": {}, "c": [[], {}, [{}]], "d": [0], "e": {"f": []}}"#;
+    let unicode = "{\"café\": {\"日本語\": [1, 2]}, \"χ\": \"ψ\", \"emoji🦀\": [true]}".as_bytes();
+    let cases: &[(&[u8], &[&str])] = &[
+        (escaped, &["$.s", "$.t", "$.a[*]", "$.a[1]", "$.u", "$.*"]),
+        (
+            deep.as_bytes(),
+            &[
+                "$.d[0].d[0].d",
+                "$.d[*]",
+                "$.d[0].d[0].d[0].d[0].d[0].d[0].d[0].d",
+            ],
+        ),
+        (
+            empties,
+            &[
+                "$.a[*]",
+                "$.b.x",
+                "$.c[*]",
+                "$.c[2][*]",
+                "$.d[*]",
+                "$.e.f",
+                "$.*",
+            ],
+        ),
+        (
+            unicode,
+            &[
+                "$['café']['日本語'][*]",
+                "$['café']['日本語']",
+                "$['χ']",
+                "$['emoji🦀'][0]",
+                "$.*",
+            ],
+        ),
+    ];
+    for (doc, queries) in cases {
+        for query in *queries {
+            assert_conformance(&[doc], query, "edge");
+        }
+    }
+}
+
+#[test]
+fn multi_record_edge_stream_agrees() {
+    // A heterogeneous record stream: match record indices must line up
+    // across engines, not just the match bytes.
+    let records: &[&[u8]] = &[
+        br#"{"a": [1, 2]}"#,
+        br#"{"b": 0}"#,
+        br#"{"a": []}"#,
+        br#"{"a": [{"a": [3]}]}"#,
+        b"  {\"a\": [4]}  ",
+    ];
+    let agreed = assert_conformance(records, "$.a[*]", "multi-record");
+    let idxs: Vec<u64> = agreed.iter().map(|(i, _)| *i).collect();
+    assert_eq!(idxs, vec![0, 0, 3, 4]);
+}
+
+#[test]
+fn instrumented_evaluation_is_conformant() {
+    // `evaluate_metered` must produce the exact same match stream as plain
+    // `evaluate` for every engine, and the evaluated-side counters must
+    // account for every record and match it saw.
+    let cfg = GenConfig {
+        target_bytes: 16 * 1024,
+        seed: 7,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        let records: Vec<&[u8]> = data.iter().collect();
+        let total_bytes: u64 = records.iter().map(|r| r.len() as u64).sum();
+        for (id, query) in ds.queries() {
+            if ds.large_only_queries().contains(&id) {
+                continue;
+            }
+            let path: Path = query.parse().unwrap();
+            for engine in engines(&path) {
+                let plain = match_stream(engine.as_ref(), &records, id);
+                let metrics = Metrics::new();
+                let mut sink = Recorder::default();
+                for (i, record) in records.iter().enumerate() {
+                    let outcome = engine.evaluate_metered(record, i as u64, &mut sink, &metrics);
+                    assert!(
+                        matches!(outcome, RecordOutcome::Complete { .. }),
+                        "{id}: {} metered outcome {outcome:?}",
+                        engine.name()
+                    );
+                }
+                assert_eq!(sink.0, plain, "{id}: {} metered diverges", engine.name());
+                let snap = metrics.snapshot();
+                assert_eq!(snap.records_evaluated, records.len() as u64, "{id}");
+                assert_eq!(snap.matches_emitted, plain.len() as u64, "{id}");
+                assert_eq!(snap.bytes_evaluated, total_bytes, "{id}");
+                assert_eq!(snap.records_failed, 0, "{id}");
+            }
+        }
+    }
+}
