@@ -136,11 +136,42 @@ fn metrics_overhead_guard(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead guard for the resource guards: evaluation under the default
+/// `ResourceLimits` (no deadline — the depth check rides the existing
+/// depth bump, and the unset deadline is a never-taken branch) must track
+/// the unbounded configuration to within noise. A regression here means a
+/// limit check leaked onto the hot path.
+fn limits_overhead_guard(c: &mut Criterion) {
+    use jsonski::Evaluate as _;
+    let data = Dataset::Tt.generate_large(&cfg(2 * MIB));
+    let record = data.bytes();
+    let path: Path = "$[*].en.urls[*].url".parse().unwrap();
+    let default_limits = jsonski::JsonSki::new(path.clone());
+    let unbounded = jsonski::JsonSki::new(path).with_limits(jsonski::ResourceLimits::unbounded());
+    let mut g = c.benchmark_group("limits_guard_TT1");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    g.bench_function("default_limits", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            default_limits.evaluate(record, 0, &mut sink)
+        })
+    });
+    g.bench_function("unbounded", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            unbounded.evaluate(record, 0, &mut sink)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     fig10_rows,
     fig11_fig12_rows,
     fig14_scaling,
-    metrics_overhead_guard
+    metrics_overhead_guard,
+    limits_overhead_guard
 );
 criterion_main!(benches);

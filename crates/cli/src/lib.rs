@@ -6,7 +6,10 @@
 use std::io::Write;
 use std::ops::ControlFlow;
 
-use jsonski::{ErrorPolicy, Evaluate, JsonSki, Metrics, MetricsSnapshot, MultiQuery, Pipeline};
+use jsonski::{
+    ErrorPolicy, Evaluate, JsonSki, Metrics, MetricsSnapshot, MultiQuery, Pipeline,
+    ReadRecordError, ResourceLimits, RetryPolicy,
+};
 
 /// Output format for the `--metrics` engine-counter report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +39,32 @@ pub struct Options {
     pub skip_malformed: bool,
     /// Print engine counters to stderr after the run, in this format.
     pub metrics: Option<MetricsMode>,
+    /// Reject records larger than this many bytes (`None` = default cap).
+    pub max_record_bytes: Option<usize>,
+    /// Reject records nested deeper than this (`None` = default cap).
+    pub max_depth: Option<usize>,
+    /// Cap the streaming reader's buffer at this many bytes.
+    pub max_buffer_bytes: Option<usize>,
+    /// Retry budget for transient reader errors (`WouldBlock`/`TimedOut`).
+    pub retry: u32,
+}
+
+impl Options {
+    /// The [`ResourceLimits`] these options configure (defaults where no
+    /// flag was given).
+    fn limits(&self) -> ResourceLimits {
+        let mut limits = ResourceLimits::default();
+        if let Some(n) = self.max_record_bytes {
+            limits = limits.max_record_bytes(n);
+        }
+        if let Some(n) = self.max_depth {
+            limits = limits.max_depth(n);
+        }
+        if let Some(n) = self.max_buffer_bytes {
+            limits = limits.max_buffer_bytes(n);
+        }
+        limits
+    }
 }
 
 /// Usage text.
@@ -55,10 +84,19 @@ options:
       --skip-malformed
                      skip records that fail to evaluate (reported on stderr)
                      instead of aborting the whole stream
-      --metrics FMT  print engine counters (fast-forward ratio, bitmap and
-                     pipeline health) to stderr after the run; FMT is
-                     `text` or `json`. With multiple queries on file input
-                     each query is additionally re-measured on its own.
+      --metrics FMT  print engine counters (fast-forward ratio, bitmap,
+                     pipeline and robustness health) to stderr after the
+                     run; FMT is `text` or `json`. With multiple queries on
+                     file input each query is additionally re-measured.
+      --max-record-bytes N
+                     reject records larger than N bytes (default 256 MiB);
+                     with --skip-malformed the stream keeps going
+      --max-depth N  reject records nested deeper than N containers
+      --max-buffer-bytes N
+                     cap the streaming reader's buffer at N bytes, so a
+                     record that never closes cannot exhaust memory
+      --retry N      retry transient stream errors (would-block/timed-out)
+                     up to N times per read before giving up
   -h, --help         show this help
 
 Multiple QUERY arguments are evaluated together in one streaming pass;
@@ -82,6 +120,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         jobs: 1,
         skip_malformed: false,
         metrics: None,
+        max_record_bytes: None,
+        max_depth: None,
+        max_buffer_bytes: None,
+        retry: 0,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -107,6 +149,34 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                     "json" => MetricsMode::Json,
                     other => return Err(format!("bad metrics format: {other} (text or json)")),
                 });
+            }
+            "--max-record-bytes" => {
+                let v = it.next().ok_or("--max-record-bytes needs a number")?;
+                let n: usize = v.parse().map_err(|_| format!("bad record cap: {v}"))?;
+                if n == 0 {
+                    return Err("--max-record-bytes must be at least 1".into());
+                }
+                opts.max_record_bytes = Some(n);
+            }
+            "--max-depth" => {
+                let v = it.next().ok_or("--max-depth needs a number")?;
+                let n: usize = v.parse().map_err(|_| format!("bad depth cap: {v}"))?;
+                if n == 0 {
+                    return Err("--max-depth must be at least 1".into());
+                }
+                opts.max_depth = Some(n);
+            }
+            "--max-buffer-bytes" => {
+                let v = it.next().ok_or("--max-buffer-bytes needs a number")?;
+                let n: usize = v.parse().map_err(|_| format!("bad buffer cap: {v}"))?;
+                if n == 0 {
+                    return Err("--max-buffer-bytes must be at least 1".into());
+                }
+                opts.max_buffer_bytes = Some(n);
+            }
+            "--retry" => {
+                let v = it.next().ok_or("--retry needs a number")?;
+                opts.retry = v.parse().map_err(|_| format!("bad retry count: {v}"))?;
             }
             "-h" | "--help" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') && flag.len() > 1 => {
@@ -156,6 +226,14 @@ fn write_counts(opts: &Options, counts: &[usize], out: &mut dyn Write) -> Result
 fn report_skipped(skipped: u64) {
     if skipped > 0 {
         eprintln!("jsonski: skipped {skipped} malformed record(s)");
+    }
+}
+
+fn report_resynced(resyncs: u64, bytes: u64) {
+    if resyncs > 0 {
+        eprintln!(
+            "jsonski: resynchronized past {resyncs} broken span(s) ({bytes} bytes discarded)"
+        );
     }
 }
 
@@ -280,7 +358,10 @@ pub fn run_with_outcome(
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
     let mut skipped = 0u64;
+    let mut resyncs = 0u64;
+    let mut resync_bytes = 0u64;
     let mut consumed = 0usize;
+    let limits = opts.limits();
     // Aggregate counters for the live pass; a disabled registry makes every
     // `record_stream` call a no-op so runs without `--metrics` pay nothing.
     let agg = if opts.metrics.is_some() {
@@ -289,13 +370,21 @@ pub fn run_with_outcome(
         Metrics::disabled()
     };
     let single = if opts.queries.len() == 1 {
-        Some(JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?)
+        Some(
+            JsonSki::compile(&opts.queries[0])
+                .map_err(|e| e.to_string())?
+                .with_limits(limits),
+        )
     } else {
         None
     };
     let multi = if single.is_none() {
         let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
-        Some(MultiQuery::compile(&queries).map_err(|e| e.to_string())?)
+        Some(
+            MultiQuery::compile(&queries)
+                .map_err(|e| e.to_string())?
+                .with_limits(limits),
+        )
     } else {
         None
     };
@@ -307,9 +396,43 @@ pub fn run_with_outcome(
     let mut rec_counts = vec![0usize; opts.queries.len()];
     // Records are split lazily: when `--limit` breaks the scan, the records
     // after the break point are never even boundary-scanned.
-    for span in jsonski::RecordSplitter::new(input) {
-        let (s, e) = span.map_err(|e| e.to_string())?;
+    let mut splitter = jsonski::RecordSplitter::new(input);
+    while let Some(span) = splitter.next() {
+        let (s, e) = match span {
+            Ok(se) => se,
+            Err(err) => {
+                // Under --skip-malformed a broken record boundary is
+                // recoverable: resynchronize at the next raw newline and
+                // keep streaming the records after it.
+                if opts.skip_malformed {
+                    if let Some((from, to)) = splitter.resync() {
+                        skipped += 1;
+                        resyncs += 1;
+                        resync_bytes += (to - from) as u64;
+                        consumed = to;
+                        agg.record_resync((to - from) as u64);
+                        agg.record_skipped_record();
+                        continue;
+                    }
+                }
+                return Err(err.to_string());
+            }
+        };
         let record = &input[s..e];
+        if record.len() > limits.max_record_bytes {
+            let err = jsonski::LimitExceeded::RecordBytes {
+                len: record.len(),
+                limit: limits.max_record_bytes,
+            };
+            if opts.skip_malformed {
+                skipped += 1;
+                consumed = e;
+                agg.record_limit_rejection();
+                agg.record_skipped_record();
+                continue;
+            }
+            return Err(format!("resource limit exceeded: {err}"));
+        }
         buf.clear();
         rec_counts.iter_mut().for_each(|c| *c = 0);
         let mut rec_emitted = 0usize;
@@ -376,6 +499,7 @@ pub fn run_with_outcome(
         }
     }
     report_skipped(skipped);
+    report_resynced(resyncs, resync_bytes);
     write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
@@ -446,78 +570,108 @@ pub fn run_reader<R: std::io::Read>(
         eprintln!("jsonski: --jobs applies to single-query runs; running serially");
     }
     let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
-    let engine = MultiQuery::compile(&queries).map_err(|e| e.to_string())?;
+    let limits = opts.limits();
+    let engine = MultiQuery::compile(&queries)
+        .map_err(|e| e.to_string())?
+        .with_limits(limits);
     let single = opts.queries.len() == 1;
     let mut counts = vec![0usize; opts.queries.len()];
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
     let mut skipped = 0u64;
-    let agg = if opts.metrics.is_some() {
+    let mut resyncs = 0u64;
+    let mut resync_bytes = 0u64;
+    let agg = std::sync::Arc::new(if opts.metrics.is_some() {
         Metrics::new()
     } else {
         Metrics::disabled()
-    };
-    let mut records = jsonski::ChunkedRecords::new(reader);
+    });
+    let mut records = jsonski::ChunkedRecords::new(reader)
+        .limits(limits)
+        .retry(RetryPolicy::new(opts.retry))
+        .metrics(std::sync::Arc::clone(&agg));
     // Same per-record staging as `run_with_outcome`: nothing from a record
     // reaches `out` or the counts until the record evaluates cleanly.
     let mut buf: Vec<u8> = Vec::new();
     let mut rec_counts = vec![0usize; opts.queries.len()];
     loop {
-        let record = match records.next_record() {
-            Ok(Some(r)) => r,
+        // The record borrows the reader, so the error is carried out of the
+        // match as an owned value before `resync` re-borrows it.
+        let failure = match records.next_record() {
             Ok(None) => break,
-            // Record boundaries are unrecoverable, so splitter/read errors
-            // abort even under --skip-malformed (same rule as the pipeline).
-            Err(e) => return Err(e.to_string()),
+            Err(e) => Some(e),
+            Ok(Some(record)) => {
+                buf.clear();
+                rec_counts.iter_mut().for_each(|c| *c = 0);
+                let mut rec_emitted = 0usize;
+                let sw = agg.stopwatch();
+                let result = engine.stream(record, |i, m| {
+                    rec_counts[i] += 1;
+                    rec_emitted += 1;
+                    if !opts.count_only {
+                        if !single {
+                            buf.extend_from_slice(format!("{i}\t").as_bytes());
+                        }
+                        buf.extend_from_slice(m);
+                        buf.push(b'\n');
+                    }
+                    if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                let eval_ns = sw.elapsed_ns();
+                agg.add_eval_ns(eval_ns);
+                match result {
+                    Ok(outcome) => {
+                        total_stats += outcome.stats;
+                        agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
+                        agg.record_stream(record.len(), &outcome);
+                        out.write_all(&buf).map_err(|e| e.to_string())?;
+                        for (c, d) in counts.iter_mut().zip(&rec_counts) {
+                            *c += d;
+                        }
+                        emitted += rec_emitted;
+                        if outcome.stopped {
+                            break;
+                        }
+                    }
+                    Err(err) => {
+                        if opts.skip_malformed {
+                            skipped += 1;
+                            agg.record_stream_failure(record.len());
+                            agg.record_skipped_record();
+                        } else {
+                            return Err(err.to_string());
+                        }
+                    }
+                }
+                None
+            }
         };
-        buf.clear();
-        rec_counts.iter_mut().for_each(|c| *c = 0);
-        let mut rec_emitted = 0usize;
-        let sw = agg.stopwatch();
-        let result = engine.stream(record, |i, m| {
-            rec_counts[i] += 1;
-            rec_emitted += 1;
-            if !opts.count_only {
-                if !single {
-                    buf.extend_from_slice(format!("{i}\t").as_bytes());
-                }
-                buf.extend_from_slice(m);
-                buf.push(b'\n');
+        if let Some(e) = failure {
+            // I/O failures are unrecoverable; structural and limit errors
+            // are skippable under --skip-malformed by resynchronizing at
+            // the next record boundary (the pipeline applies the same rule).
+            if !opts.skip_malformed || matches!(e, ReadRecordError::Io(_)) {
+                return Err(e.to_string());
             }
-            if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
-        let eval_ns = sw.elapsed_ns();
-        agg.add_eval_ns(eval_ns);
-        match result {
-            Ok(outcome) => {
-                total_stats += outcome.stats;
-                agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
-                agg.record_stream(record.len(), &outcome);
-                out.write_all(&buf).map_err(|e| e.to_string())?;
-                for (c, d) in counts.iter_mut().zip(&rec_counts) {
-                    *c += d;
-                }
-                emitted += rec_emitted;
-                if outcome.stopped {
-                    break;
-                }
-            }
-            Err(err) => {
-                if opts.skip_malformed {
+            match records.resync() {
+                Ok(Some((from, to))) => {
                     skipped += 1;
-                    agg.record_stream_failure(record.len());
+                    resyncs += 1;
+                    resync_bytes += to - from;
+                    agg.record_resync(to - from);
                     agg.record_skipped_record();
-                } else {
-                    return Err(err.to_string());
                 }
+                Ok(None) => break, // nothing left to skip: clean end of stream
+                Err(e) => return Err(e.to_string()),
             }
         }
     }
     report_skipped(skipped);
+    report_resynced(resyncs, resync_bytes);
     write_counts(opts, &counts, out)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
@@ -543,8 +697,13 @@ fn run_reader_pipeline<R: std::io::Read>(
     reader: R,
     out: &mut dyn Write,
 ) -> Result<Vec<usize>, String> {
-    let engine = JsonSki::compile(&opts.queries[0]).map_err(|e| e.to_string())?;
-    let mut source = jsonski::ChunkedRecords::new(reader);
+    let limits = opts.limits();
+    let engine = JsonSki::compile(&opts.queries[0])
+        .map_err(|e| e.to_string())?
+        .with_limits(limits);
+    let mut source = jsonski::ChunkedRecords::new(reader)
+        .limits(limits)
+        .retry(RetryPolicy::new(opts.retry));
     let mut sink = WriteSink {
         out,
         count_only: opts.count_only,
@@ -564,9 +723,13 @@ fn run_reader_pipeline<R: std::io::Read>(
     } else {
         None
     };
-    let mut pipeline = Pipeline::new().workers(opts.jobs).error_policy(policy);
+    let mut pipeline = Pipeline::new()
+        .workers(opts.jobs)
+        .error_policy(policy)
+        .limits(limits);
     if let Some(m) = &registry {
         pipeline = pipeline.metrics(std::sync::Arc::clone(m));
+        source = source.metrics(std::sync::Arc::clone(m));
     }
     let summary = pipeline
         .run(&engine, &mut source, &mut sink)
@@ -575,7 +738,10 @@ fn run_reader_pipeline<R: std::io::Read>(
     if let Some(err) = sink.io_error {
         return Err(err.to_string());
     }
-    report_skipped(summary.failed);
+    // Each resynced span is one abandoned record, so the skip report matches
+    // the serial paths (which count resyncs as skips too).
+    report_skipped(summary.failed + summary.resyncs);
+    report_resynced(summary.resyncs, summary.resync_bytes);
     let counts = vec![emitted];
     write_counts(opts, &counts, out)?;
     let snap = registry.map(|m| m.snapshot());
@@ -640,6 +806,78 @@ mod tests {
         assert!(args(&["$.a"]).unwrap().metrics.is_none());
         assert!(args(&["--metrics", "xml", "$.a"]).is_err());
         assert!(args(&["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn parses_resource_guard_flags() {
+        let o = args(&[
+            "--max-record-bytes",
+            "1024",
+            "--max-depth",
+            "8",
+            "--max-buffer-bytes",
+            "4096",
+            "--retry",
+            "3",
+            "$.a",
+        ])
+        .unwrap();
+        assert_eq!(o.max_record_bytes, Some(1024));
+        assert_eq!(o.max_depth, Some(8));
+        assert_eq!(o.max_buffer_bytes, Some(4096));
+        assert_eq!(o.retry, 3);
+        let l = o.limits();
+        assert_eq!(l.max_record_bytes, 1024);
+        assert_eq!(l.max_depth, 8);
+        assert_eq!(l.max_buffer_bytes, 4096);
+        // Defaults apply when no flag is given.
+        let l = args(&["$.a"]).unwrap().limits();
+        assert_eq!(l, ResourceLimits::default());
+        assert!(args(&["--max-record-bytes", "0", "$.a"]).is_err());
+        assert!(args(&["--max-depth", "x", "$.a"]).is_err());
+        assert!(args(&["--max-buffer-bytes"]).is_err());
+        assert!(args(&["--retry"]).is_err());
+    }
+
+    #[test]
+    fn record_size_cap_applies_to_in_memory_runs() {
+        let input = b"{\"a\": 1}\n{\"a\": [1, 2, 3, 4, 5, 6, 7]}\n{\"a\": 3}\n";
+        let strict = args(&["--max-record-bytes", "16", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let err = run(&strict, input, &mut out).unwrap_err();
+        assert!(err.contains("max_record_bytes"), "{err}");
+        let lenient = args(&["--max-record-bytes", "16", "--skip-malformed", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&lenient, input, &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n3\n");
+    }
+
+    #[test]
+    fn depth_cap_applies_on_descent() {
+        let input = b"{\"a\": {\"b\": {\"c\": 1}}}\n{\"a\": {\"b\": {\"c\": 2}}}\n";
+        let strict = args(&["--max-depth", "2", "$.a.b.c"]).unwrap();
+        let mut out = Vec::new();
+        assert!(run(&strict, input, &mut out).is_err());
+        let roomy = args(&["--max-depth", "8", "$.a.b.c"]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run(&roomy, input, &mut out).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn in_memory_runs_resync_past_truncated_tail() {
+        // A truncated final record breaks the boundary scan itself; with
+        // --skip-malformed the run must resynchronize (here: consume the
+        // broken tail), not abort and discard the clean records' output.
+        let input = b"{\"a\": 1}\n{\"a\": 3}\n{\"a\": [1, 2";
+        let strict = args(&["$.a"]).unwrap();
+        let mut out = Vec::new();
+        assert!(run(&strict, input, &mut out).is_err());
+        let lenient = args(&["--skip-malformed", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&lenient, input, &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n3\n");
     }
 
     #[test]
@@ -852,6 +1090,103 @@ mod reader_tests {
         let o = parse_args(["$.a".to_string()]).unwrap();
         let mut out = Vec::new();
         assert!(run_reader(&o, &b"{\"a\": [1,"[..], &mut out).is_err());
+    }
+
+    /// A reader whose every odd-numbered attempt fails with `WouldBlock`
+    /// and whose successful reads are short — a transiently-unhealthy pipe.
+    struct Flaky<'a> {
+        data: &'a [u8],
+        pos: usize,
+        attempts: u64,
+    }
+
+    impl std::io::Read for Flaky<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.attempts += 1;
+            if self.attempts % 2 == 1 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "transient",
+                ));
+            }
+            let k = buf.len().min(3).min(self.data.len() - self.pos);
+            buf[..k].copy_from_slice(&self.data[self.pos..self.pos + k]);
+            self.pos += k;
+            Ok(k)
+        }
+    }
+
+    #[test]
+    fn retry_flag_survives_transient_errors() {
+        let input = b"{\"a\": 1}\n{\"a\": 2}\n";
+        let flaky = |d: &'static [u8]| Flaky {
+            data: d,
+            pos: 0,
+            attempts: 0,
+        };
+        let no_retry = parse_args(["$.a".to_string()]).unwrap();
+        let mut out = Vec::new();
+        assert!(run_reader(&no_retry, flaky(input), &mut out).is_err());
+        let with_retry = parse_args(["--retry".into(), "1".into(), "$.a".into()]).unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&with_retry, flaky(input), &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"1\n2\n");
+    }
+
+    #[test]
+    fn run_reader_skips_oversized_records() {
+        let input = b"{\"a\": 1}\n{\"a\": [1, 2, 3, 4, 5, 6, 7]}\n{\"a\": 3}\n";
+        let strict = parse_args([
+            "--max-record-bytes".to_string(),
+            "16".to_string(),
+            "$.a".to_string(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run_reader(&strict, &input[..], &mut out).unwrap_err();
+        assert!(err.contains("max_record_bytes"), "{err}");
+        // The serial reader and the worker pipeline must agree: the
+        // oversized middle record is skipped precisely, its neighbours
+        // delivered.
+        for jobs in [None, Some(4)] {
+            let mut argv = vec![
+                "--max-record-bytes".to_string(),
+                "16".to_string(),
+                "--skip-malformed".to_string(),
+            ];
+            if let Some(j) = jobs {
+                argv.extend(["-j".to_string(), j.to_string()]);
+            }
+            argv.push("$.a".to_string());
+            let o = parse_args(argv).unwrap();
+            let mut out = Vec::new();
+            let counts = run_reader(&o, &input[..], &mut out).unwrap();
+            assert_eq!(counts, vec![2], "jobs={jobs:?}");
+            assert_eq!(out, b"1\n3\n", "jobs={jobs:?}");
+        }
+    }
+
+    #[test]
+    fn run_reader_resyncs_past_truncated_tail() {
+        let input = b"{\"a\": 1}\n{\"a\": 3}\n{\"a\": [1, 2";
+        for jobs in ["1", "4"] {
+            let strict =
+                parse_args(["-j".to_string(), jobs.to_string(), "$.a".to_string()]).unwrap();
+            let mut out = Vec::new();
+            assert!(run_reader(&strict, &input[..], &mut out).is_err());
+            let lenient = parse_args([
+                "-j".to_string(),
+                jobs.to_string(),
+                "--skip-malformed".to_string(),
+                "$.a".to_string(),
+            ])
+            .unwrap();
+            let mut out = Vec::new();
+            let counts = run_reader(&lenient, &input[..], &mut out).unwrap();
+            assert_eq!(counts, vec![2], "jobs={jobs}");
+            assert_eq!(out, b"1\n3\n", "jobs={jobs}");
+        }
     }
 
     #[test]

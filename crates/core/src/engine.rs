@@ -21,10 +21,13 @@ use crate::fastforward::{
     go_over_ary, go_over_obj, go_over_primitive, go_over_primitives_to_opener, go_to_ary_end,
     go_to_attr_with_opener, go_to_obj_end, Span,
 };
+use crate::limits::ResourceLimits;
 use crate::stats::{FastForwardStats, Group};
 
-/// Maximum container nesting accepted before [`StreamError::TooDeep`];
-/// bounds the recursion of the recursive-descent design.
+/// Default maximum container nesting accepted before
+/// [`StreamError::TooDeep`]; bounds the recursion of the recursive-descent
+/// design. Override per engine via
+/// [`ResourceLimits::max_depth`](crate::ResourceLimits::max_depth).
 pub const MAX_DEPTH: usize = 1024;
 
 /// A compiled JSONPath query evaluated by streaming with bit-parallel
@@ -78,6 +81,9 @@ pub struct EngineConfig {
     pub g4: bool,
     /// Enable G5 index-range skipping in arrays.
     pub g5: bool,
+    /// Resource guards applied while evaluating (nesting depth, record
+    /// size, optional per-record deadline).
+    pub limits: ResourceLimits,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +92,7 @@ impl Default for EngineConfig {
             g1: true,
             g4: true,
             g5: true,
+            limits: ResourceLimits::default(),
         }
     }
 }
@@ -139,6 +146,12 @@ impl EngineConfigBuilder {
         self.g5(false)
     }
 
+    /// Sets the resource guards ([`ResourceLimits`]).
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -169,6 +182,13 @@ impl JsonSki {
     /// Replaces the ablation configuration (builder-style).
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Replaces only the resource guards (builder-style), keeping the
+    /// ablation switches.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.config.limits = limits;
         self
     }
 
@@ -222,6 +242,11 @@ impl JsonSki {
             matches: 0,
             depth: 0,
             config: self.config,
+            deadline: self
+                .config
+                .limits
+                .deadline
+                .map(|d| std::time::Instant::now() + d),
         };
         let stopped = match eval.record() {
             Ok(()) => false,
@@ -366,9 +391,30 @@ struct Eval<'a, 'p, F> {
     matches: usize,
     depth: usize,
     config: EngineConfig,
+    /// Absolute cut-off instant when a per-record deadline is configured;
+    /// `None` (the default) keeps the hot path free of clock calls.
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
+    /// Depth/deadline guard shared by `object()` and `array()`: called
+    /// once per container entry, after `depth` was incremented.
+    fn check_guards(&mut self) -> Result<(), Abort> {
+        if self.depth > self.config.limits.max_depth {
+            return Err(Abort::Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            }));
+        }
+        if let Some(dl) = self.deadline {
+            if std::time::Instant::now() >= dl {
+                return Err(Abort::Err(StreamError::DeadlineExpired {
+                    pos: self.cur.pos(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
     fn emit(&mut self, span: Span) -> Result<(), Abort> {
         self.matches += 1;
         match (self.sink)(&self.cur.input()[span.0..span.1]) {
@@ -433,11 +479,7 @@ impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
     /// automaton's top frame is this object's.
     fn object(&mut self) -> Result<(), Abort> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(Abort::Err(StreamError::TooDeep {
-                pos: self.cur.pos(),
-            }));
-        }
+        self.check_guards()?;
         let result = match self.rt.expected_type() {
             // Nothing in this object can match: drain to the end (a pure
             // over-skip, accounted as G2).
@@ -579,11 +621,7 @@ impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
     /// Algorithm 2's `array()` analog; the `[` has been consumed.
     fn array(&mut self) -> Result<(), Abort> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(Abort::Err(StreamError::TooDeep {
-                pos: self.cur.pos(),
-            }));
-        }
+        self.check_guards()?;
         let result = self.array_body();
         self.depth -= 1;
         result
@@ -978,7 +1016,7 @@ mod ablation_tests {
         for g1 in [true, false] {
             for g4 in [true, false] {
                 for g5 in [true, false] {
-                    out.push(EngineConfig { g1, g4, g5 });
+                    out.push(EngineConfig::builder().g1(g1).g4(g4).g5(g5).build());
                 }
             }
         }
@@ -1025,13 +1063,13 @@ mod ablation_tests {
 
     #[test]
     fn disabled_groups_record_zero() {
-        let q = JsonSki::compile("$.tail.deep[1].z")
-            .unwrap()
-            .with_config(EngineConfig {
-                g1: false,
-                g4: false,
-                g5: false,
-            });
+        let q = JsonSki::compile("$.tail.deep[1].z").unwrap().with_config(
+            EngineConfig::builder()
+                .disable_g1()
+                .disable_g4()
+                .disable_g5()
+                .build(),
+        );
         let stats = q.run(DOC.as_bytes(), |_| {}).unwrap();
         assert_eq!(stats.skipped(Group::G1), 0);
         assert_eq!(stats.skipped(Group::G4), 0);

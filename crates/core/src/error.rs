@@ -37,6 +37,13 @@ pub enum StreamError {
         /// Byte offset of the opener that exceeded the limit.
         pos: usize,
     },
+    /// The per-record evaluation deadline
+    /// ([`ResourceLimits::deadline`](crate::ResourceLimits::deadline))
+    /// expired mid-scan.
+    DeadlineExpired {
+        /// Byte offset the scan had reached when the budget ran out.
+        pos: usize,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -59,6 +66,9 @@ impl fmt::Display for StreamError {
             }
             StreamError::TooDeep { pos } => {
                 write!(f, "nesting exceeds recursion limit at byte {pos}")
+            }
+            StreamError::DeadlineExpired { pos } => {
+                write!(f, "per-record deadline expired at byte {pos}")
             }
         }
     }
@@ -84,6 +94,9 @@ mod tests {
             .contains("end of input"));
         assert!(StreamError::Unbalanced { pos: 3 }.to_string().contains("3"));
         assert!(StreamError::TooDeep { pos: 9 }.to_string().contains("9"));
+        assert!(StreamError::DeadlineExpired { pos: 4 }
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 use crate::error::StreamError;
+use crate::limits::{LimitExceeded, ResourceLimits};
 
 /// Typed error from evaluating or transporting a record.
 #[derive(Debug)]
@@ -32,6 +33,10 @@ pub enum EngineError {
     Stream(StreamError),
     /// The record source failed to produce bytes.
     Io(std::io::Error),
+    /// The record violated a configured [`ResourceLimits`] cap (size,
+    /// depth, buffer, or deadline). Limit rejections respect
+    /// [`ErrorPolicy`] like any other per-record failure.
+    Limit(LimitExceeded),
     /// An engine-specific failure (preprocessing engines report parse
     /// errors here, tagged with the engine's display name).
     Engine {
@@ -42,11 +47,21 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Whether a record-skipping policy can recover from this error by
+    /// resynchronizing at the next record boundary. I/O errors cannot —
+    /// the byte stream itself is gone.
+    pub fn is_resyncable(&self) -> bool {
+        !matches!(self, EngineError::Io(_))
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Stream(e) => write!(f, "stream error: {e}"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
+            EngineError::Limit(e) => write!(f, "resource limit exceeded: {e}"),
             EngineError::Engine { engine, message } => {
                 write!(f, "{engine}: {message}")
             }
@@ -59,8 +74,25 @@ impl Error for EngineError {
         match self {
             EngineError::Stream(e) => Some(e),
             EngineError::Io(e) => Some(e),
+            EngineError::Limit(e) => Some(e),
             EngineError::Engine { .. } => None,
         }
+    }
+}
+
+/// Classifies a [`StreamError`] against the limits that produced it:
+/// depth/deadline violations become typed [`EngineError::Limit`]s, the
+/// rest stay structural.
+pub(crate) fn classify_stream_error(e: StreamError, limits: &ResourceLimits) -> EngineError {
+    match e {
+        StreamError::TooDeep { pos } => EngineError::Limit(LimitExceeded::Depth {
+            pos,
+            limit: limits.max_depth,
+        }),
+        StreamError::DeadlineExpired { .. } => EngineError::Limit(LimitExceeded::Deadline {
+            limit: limits.deadline.unwrap_or_default(),
+        }),
+        e => EngineError::Stream(e),
     }
 }
 
@@ -81,7 +113,14 @@ impl From<crate::reader::ReadRecordError> for EngineError {
         match e {
             crate::reader::ReadRecordError::Io(e) => EngineError::Io(e),
             crate::reader::ReadRecordError::Stream(e) => EngineError::Stream(e),
+            crate::reader::ReadRecordError::Limit(e) => EngineError::Limit(e),
         }
+    }
+}
+
+impl From<LimitExceeded> for EngineError {
+    fn from(e: LimitExceeded) -> Self {
+        EngineError::Limit(e)
     }
 }
 
@@ -147,6 +186,17 @@ pub trait MatchSink {
     /// implementation continues.
     fn on_record_error(&mut self, record_idx: u64, error: &EngineError) -> ControlFlow<()> {
         let _ = (record_idx, error);
+        ControlFlow::Continue(())
+    }
+
+    /// Called when the record *source* could not delimit a record and the
+    /// stream resynchronized at the next record boundary (only under
+    /// [`ErrorPolicy::SkipMalformed`]). `span` is the skipped byte range in
+    /// stream coordinates (`start..end`); `error` is what broke the
+    /// record. Returning [`ControlFlow::Break`] stops the stream. The
+    /// default implementation continues.
+    fn on_resync(&mut self, span: (u64, u64), error: &EngineError) -> ControlFlow<()> {
+        let _ = (span, error);
         ControlFlow::Continue(())
     }
 }
@@ -248,6 +298,13 @@ impl Evaluate for crate::JsonSki {
     }
 
     fn evaluate(&self, record: &[u8], record_idx: u64, sink: &mut dyn MatchSink) -> RecordOutcome {
+        let limits = self.config().limits;
+        if record.len() > limits.max_record_bytes {
+            return RecordOutcome::Failed(EngineError::Limit(LimitExceeded::RecordBytes {
+                len: record.len(),
+                limit: limits.max_record_bytes,
+            }));
+        }
         match self.stream(record, |m| sink.on_match(record_idx, m)) {
             Ok(outcome) if outcome.stopped => RecordOutcome::Stopped {
                 matches: outcome.matches,
@@ -255,7 +312,7 @@ impl Evaluate for crate::JsonSki {
             Ok(outcome) => RecordOutcome::Complete {
                 matches: outcome.matches,
             },
-            Err(e) => RecordOutcome::Failed(EngineError::Stream(e)),
+            Err(e) => RecordOutcome::Failed(classify_stream_error(e, &limits)),
         }
     }
 
@@ -274,6 +331,16 @@ impl Evaluate for crate::JsonSki {
     ) -> RecordOutcome {
         if !metrics.is_enabled() {
             return self.evaluate(record, record_idx, sink);
+        }
+        let limits = self.config().limits;
+        if record.len() > limits.max_record_bytes {
+            let ro = RecordOutcome::Failed(EngineError::Limit(LimitExceeded::RecordBytes {
+                len: record.len(),
+                limit: limits.max_record_bytes,
+            }));
+            metrics.record_limit_rejection();
+            metrics.record_outcome(record.len(), &ro);
+            return ro;
         }
         let sw = metrics.stopwatch();
         match self.stream(record, |m| sink.on_match(record_idx, m)) {
@@ -298,7 +365,10 @@ impl Evaluate for crate::JsonSki {
             }
             Err(e) => {
                 metrics.add_eval_ns(sw.elapsed_ns());
-                let ro = RecordOutcome::Failed(EngineError::Stream(e));
+                let ro = RecordOutcome::Failed(classify_stream_error(e, &limits));
+                if matches!(ro, RecordOutcome::Failed(EngineError::Limit(_))) {
+                    metrics.record_limit_rejection();
+                }
                 metrics.record_outcome(record.len(), &ro);
                 ro
             }

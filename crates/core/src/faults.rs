@@ -1,0 +1,292 @@
+//! Deterministic fault injection for torture-testing the ingestion path.
+//!
+//! Everything here is seeded and reproducible: the same [`FaultPlan`] over
+//! the same input produces byte-identical behaviour on every run, so a
+//! failing torture case is a bug report, not a flake. The module is
+//! compiled only for tests and under the `faults` cargo feature — release
+//! builds without the feature carry none of it.
+//!
+//! * [`FaultyReader`] wraps any [`Read`] and injects short reads,
+//!   [`ErrorKind::Interrupted`], `WouldBlock`, early EOF (truncation), and
+//!   byte corruption according to a [`FaultPlan`].
+//! * [`mutate`] applies one seeded structural mutation to a record, for
+//!   building malformed-input corpora.
+//! * [`SplitMix64`] is the tiny PRNG underneath both (no external
+//!   dependency).
+//!
+//! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+
+use std::io::{Error, ErrorKind, Read};
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG (public-domain
+/// constants from Vigna's reference implementation). Deterministic across
+/// platforms; not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A pseudo-random value in `0..n` (`n > 0`; modulo bias is irrelevant
+    /// at test scale).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A seeded recipe for the faults a [`FaultyReader`] injects. All knobs
+/// default to off; enable them builder-style.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    short_read_max: Option<usize>,
+    interrupt_every: Option<u64>,
+    would_block_every: Option<u64>,
+    truncate_at: Option<u64>,
+    corrupt_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            short_read_max: None,
+            interrupt_every: None,
+            would_block_every: None,
+            truncate_at: None,
+            corrupt_every: None,
+        }
+    }
+
+    /// Caps every read at a pseudo-random `1..=max` bytes, exercising
+    /// refill paths that full-buffer reads never reach.
+    pub fn short_reads(mut self, max: usize) -> Self {
+        self.short_read_max = Some(max.max(1));
+        self
+    }
+
+    /// Makes every `n`-th read *attempt* fail with
+    /// [`ErrorKind::Interrupted`] (the attempt after it proceeds, so
+    /// progress is always possible).
+    pub fn interrupt_every(mut self, n: u64) -> Self {
+        self.interrupt_every = Some(n.max(1));
+        self
+    }
+
+    /// Makes every `n`-th read *attempt* fail with
+    /// [`ErrorKind::WouldBlock`]. With `n == 1` every attempt fails —
+    /// useful for asserting that retry budgets are finite.
+    pub fn would_block_every(mut self, n: u64) -> Self {
+        self.would_block_every = Some(n.max(1));
+        self
+    }
+
+    /// Ends the stream (clean EOF) after `offset` delivered bytes,
+    /// simulating a connection cut mid-record.
+    pub fn truncate_at(mut self, offset: u64) -> Self {
+        self.truncate_at = Some(offset);
+        self
+    }
+
+    /// Corrupts every `n`-th delivered byte (XOR with a nonzero seeded
+    /// value, so the byte always actually changes).
+    pub fn corrupt_every(mut self, n: u64) -> Self {
+        self.corrupt_every = Some(n.max(1));
+        self
+    }
+}
+
+/// A [`Read`] adapter that injects the faults described by a [`FaultPlan`];
+/// see the [module docs](self).
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    /// Read attempts made so far (including ones that returned an error).
+    attempts: u64,
+    /// Bytes delivered to the caller so far.
+    delivered: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultyReader {
+            inner,
+            plan,
+            rng,
+            attempts: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Bytes delivered to the caller so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.attempts += 1;
+        if let Some(n) = self.plan.interrupt_every {
+            if self.attempts.is_multiple_of(n) {
+                return Err(Error::new(ErrorKind::Interrupted, "injected interrupt"));
+            }
+        }
+        if let Some(n) = self.plan.would_block_every {
+            if self.attempts.is_multiple_of(n) {
+                return Err(Error::new(ErrorKind::WouldBlock, "injected would-block"));
+            }
+        }
+        let mut cap = buf.len();
+        if let Some(max) = self.plan.short_read_max {
+            cap = cap.min(1 + self.rng.below(max as u64) as usize);
+        }
+        if let Some(cut) = self.plan.truncate_at {
+            let left = cut.saturating_sub(self.delivered);
+            cap = cap.min(usize::try_from(left).unwrap_or(usize::MAX));
+            if cap == 0 {
+                return Ok(0); // injected truncation: clean early EOF
+            }
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        if let Some(every) = self.plan.corrupt_every {
+            for (i, byte) in buf.iter_mut().enumerate().take(n) {
+                if (self.delivered + i as u64 + 1).is_multiple_of(every) {
+                    *byte ^= 1 + (self.rng.next_u64() % 255) as u8;
+                }
+            }
+        }
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
+/// Applies one seeded mutation to `record`, returning the mutated copy.
+/// Mutations are the classic malformed-input moves: truncate, delete a
+/// byte, duplicate a byte, flip a byte, or clobber a structural character
+/// with garbage. Empty input is returned unchanged.
+pub fn mutate(record: &[u8], seed: u64) -> Vec<u8> {
+    if record.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut out = record.to_vec();
+    let at = rng.below(record.len() as u64) as usize;
+    match rng.below(5) {
+        0 => out.truncate(at.max(1)),
+        1 => {
+            out.remove(at);
+        }
+        2 => {
+            let b = out[at];
+            out.insert(at, b);
+        }
+        3 => out[at] ^= 1 + (rng.next_u64() % 255) as u8,
+        _ => {
+            // Find a structural byte to clobber (fall back to position
+            // `at` when the record has none).
+            let pos = record
+                .iter()
+                .enumerate()
+                .cycle()
+                .skip(at)
+                .take(record.len())
+                .find(|(_, b)| matches!(b, b'{' | b'}' | b'[' | b']' | b'"' | b':' | b','))
+                .map(|(i, _)| i)
+                .unwrap_or(at);
+            out[pos] = b'@';
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_not_constant() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn faulty_reader_is_deterministic() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let run = || {
+            let plan = FaultPlan::new(9).short_reads(7).corrupt_every(97);
+            let mut r = FaultyReader::new(&data[..], plan);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            out
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.len(), data.len());
+        assert_ne!(a, data, "corruption must have changed something");
+    }
+
+    #[test]
+    fn truncation_cuts_the_stream_short() {
+        let data = vec![7u8; 1000];
+        let plan = FaultPlan::new(1).truncate_at(123).short_reads(50);
+        let mut r = FaultyReader::new(&data[..], plan);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 123);
+        assert_eq!(r.delivered(), 123);
+    }
+
+    #[test]
+    fn interrupts_and_blocks_fire_on_schedule() {
+        let data = [1u8; 64];
+        let plan = FaultPlan::new(0).interrupt_every(2);
+        let mut r = FaultyReader::new(&data[..], plan);
+        let mut buf = [0u8; 8];
+        assert!(r.read(&mut buf).is_ok());
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), ErrorKind::Interrupted);
+        assert!(r.read(&mut buf).is_ok());
+        let plan = FaultPlan::new(0).would_block_every(1);
+        let mut r = FaultyReader::new(&data[..], plan);
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn mutate_changes_nonempty_records_deterministically() {
+        let rec = br#"{"a": [1, 2, {"b": "c"}]}"#;
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let m = mutate(rec, seed);
+            assert_eq!(m, mutate(rec, seed), "seed {seed} must be reproducible");
+            assert!(!m.is_empty());
+            distinct.insert(m);
+        }
+        assert!(distinct.len() > 10, "mutations should be diverse");
+        assert!(mutate(b"", 1).is_empty());
+    }
+}

@@ -44,7 +44,10 @@ mod engine;
 mod error;
 mod evaluate;
 pub mod fastforward;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 pub mod interval;
+mod limits;
 pub mod metrics;
 mod multi;
 mod pipeline;
@@ -57,10 +60,11 @@ pub use error::StreamError;
 pub use evaluate::{
     CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, MatchSink, RecordOutcome,
 };
+pub use limits::{LimitExceeded, ResourceLimits, DEFAULT_MAX_BUFFER_BYTES};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, Stopwatch, MAX_TRACKED_WORKERS};
 pub use multi::MultiQuery;
 pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};
-pub use reader::{ChunkedRecords, ReadRecordError, DEFAULT_BUFFER};
+pub use reader::{ChunkedRecords, ReadRecordError, RetryPolicy, DEFAULT_BUFFER};
 pub use records::{split_records, RecordSplitter};
 pub use stats::{FastForwardStats, Group};
 

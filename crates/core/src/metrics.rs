@@ -206,6 +206,13 @@ pub struct Metrics {
     bytes_delivered: AtomicU64,
     records_skipped: AtomicU64,
 
+    // --- robustness (degraded-input handling) ---
+    io_retries: AtomicU64,
+    resyncs: AtomicU64,
+    resync_bytes: AtomicU64,
+    limit_rejections: AtomicU64,
+    truncated_records: AtomicU64,
+
     // --- pipeline health ---
     producer_stalls: AtomicU64,
     worker_idle_waits: AtomicU64,
@@ -241,6 +248,11 @@ impl Metrics {
             matches_delivered: AtomicU64::new(0),
             bytes_delivered: AtomicU64::new(0),
             records_skipped: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
+            resync_bytes: AtomicU64::new(0),
+            limit_rejections: AtomicU64::new(0),
+            truncated_records: AtomicU64::new(0),
             producer_stalls: AtomicU64::new(0),
             worker_idle_waits: AtomicU64::new(0),
             queue_occupancy: AtomicHistogram::default(),
@@ -397,6 +409,41 @@ impl Metrics {
         self.record_bytes.observe(record_len as u64);
     }
 
+    /// Records one transparently retried transient I/O error
+    /// (`Interrupted`, or `WouldBlock`/`TimedOut` within the reader's
+    /// [`RetryPolicy`](crate::RetryPolicy) budget).
+    pub fn record_io_retry(&self) {
+        if self.enabled {
+            sat_add(&self.io_retries, 1);
+        }
+    }
+
+    /// Records one mid-stream resynchronization that skipped `bytes` bytes
+    /// to reach the next record boundary.
+    pub fn record_resync(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        sat_add(&self.resyncs, 1);
+        sat_add(&self.resync_bytes, bytes);
+    }
+
+    /// Records one record rejected by a
+    /// [`ResourceLimits`](crate::ResourceLimits) guard.
+    pub fn record_limit_rejection(&self) {
+        if self.enabled {
+            sat_add(&self.limit_rejections, 1);
+        }
+    }
+
+    /// Records one record cut off by the end of the stream (unterminated
+    /// final record).
+    pub fn record_truncated_record(&self) {
+        if self.enabled {
+            sat_add(&self.truncated_records, 1);
+        }
+    }
+
     /// Samples the work-queue occupancy observed while enqueuing.
     pub fn record_queue_occupancy(&self, in_flight: u64) {
         if self.enabled {
@@ -464,6 +511,11 @@ impl Metrics {
             matches_delivered: ld(&self.matches_delivered),
             bytes_delivered: ld(&self.bytes_delivered),
             records_skipped: ld(&self.records_skipped),
+            io_retries: ld(&self.io_retries),
+            resyncs: ld(&self.resyncs),
+            resync_bytes: ld(&self.resync_bytes),
+            limit_rejections: ld(&self.limit_rejections),
+            truncated_records: ld(&self.truncated_records),
             producer_stalls: ld(&self.producer_stalls),
             worker_idle_waits: ld(&self.worker_idle_waits),
             queue_occupancy: self.queue_occupancy.snapshot(),
@@ -519,6 +571,18 @@ pub struct MetricsSnapshot {
     pub bytes_delivered: u64,
     /// Records skipped under `SkipMalformed`.
     pub records_skipped: u64,
+    /// Transient I/O errors retried transparently by the reader.
+    pub io_retries: u64,
+    /// Mid-stream resynchronizations (forward scans to the next record
+    /// boundary after a broken record).
+    pub resyncs: u64,
+    /// Bytes skipped over by resynchronizations.
+    pub resync_bytes: u64,
+    /// Records rejected by a [`ResourceLimits`](crate::ResourceLimits)
+    /// guard (size, depth, buffer, or deadline).
+    pub limit_rejections: u64,
+    /// Records cut off by the end of the stream.
+    pub truncated_records: u64,
     /// Producer stalls on the pipeline's bounded queue (backpressure).
     pub producer_stalls: u64,
     /// Worker waits for work on the pipeline's queue.
@@ -573,6 +637,15 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.matches_delivered),
             bytes_delivered: self.bytes_delivered.saturating_sub(earlier.bytes_delivered),
             records_skipped: self.records_skipped.saturating_sub(earlier.records_skipped),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
+            resyncs: self.resyncs.saturating_sub(earlier.resyncs),
+            resync_bytes: self.resync_bytes.saturating_sub(earlier.resync_bytes),
+            limit_rejections: self
+                .limit_rejections
+                .saturating_sub(earlier.limit_rejections),
+            truncated_records: self
+                .truncated_records
+                .saturating_sub(earlier.truncated_records),
             producer_stalls: self.producer_stalls.saturating_sub(earlier.producer_stalls),
             worker_idle_waits: self
                 .worker_idle_waits
@@ -647,6 +720,11 @@ impl MetricsSnapshot {
                 "\"matches_delivered\":{},",
                 "\"bytes_delivered\":{},",
                 "\"records_skipped\":{},",
+                "\"io_retries\":{},",
+                "\"resyncs\":{},",
+                "\"resync_bytes\":{},",
+                "\"limit_rejections\":{},",
+                "\"truncated_records\":{},",
                 "\"producer_stalls\":{},",
                 "\"worker_idle_waits\":{},",
                 "\"queue_occupancy_hist\":{},",
@@ -672,6 +750,11 @@ impl MetricsSnapshot {
             self.matches_delivered,
             self.bytes_delivered,
             self.records_skipped,
+            self.io_retries,
+            self.resyncs,
+            self.resync_bytes,
+            self.limit_rejections,
+            self.truncated_records,
             self.producer_stalls,
             self.worker_idle_waits,
             self.queue_occupancy.to_json(),
@@ -724,6 +807,17 @@ impl fmt::Display for MetricsSnapshot {
                 self.eval_ns, self.build_ns, self.traverse_ns
             )?;
         }
+        if self.io_retries + self.resyncs + self.limit_rejections + self.truncated_records > 0 {
+            writeln!(
+                f,
+                "robust:  {} i/o retries, {} resyncs ({} bytes skipped), {} limit rejections, {} truncated",
+                self.io_retries,
+                self.resyncs,
+                self.resync_bytes,
+                self.limit_rejections,
+                self.truncated_records,
+            )?;
+        }
         writeln!(
             f,
             "pipeline: {} producer stalls, {} worker waits",
@@ -759,6 +853,10 @@ mod tests {
         m.record_worker(0, 100);
         m.record_queue_occupancy(2);
         m.add_eval_ns(10);
+        m.record_io_retry();
+        m.record_resync(100);
+        m.record_limit_rejection();
+        m.record_truncated_record();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert_eq!(m.stopwatch().elapsed_ns(), 0);
     }
@@ -907,6 +1005,42 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("fast-forward"), "{text}");
         assert!(text.contains("worker 2: 1 records"), "{text}");
+    }
+
+    #[test]
+    fn robustness_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_io_retry();
+        m.record_io_retry();
+        m.record_resync(40);
+        m.record_resync(2);
+        m.record_limit_rejection();
+        m.record_truncated_record();
+        let s = m.snapshot();
+        assert_eq!(s.io_retries, 2);
+        assert_eq!(s.resyncs, 2);
+        assert_eq!(s.resync_bytes, 42);
+        assert_eq!(s.limit_rejections, 1);
+        assert_eq!(s.truncated_records, 1);
+        let json = s.to_json();
+        for key in [
+            "\"io_retries\":2",
+            "\"resyncs\":2",
+            "\"resync_bytes\":42",
+            "\"limit_rejections\":1",
+            "\"truncated_records\":1",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        assert!(s.to_string().contains("2 resyncs (42 bytes skipped)"));
+        let later = {
+            m.record_resync(8);
+            m.snapshot()
+        };
+        let delta = later.diff(&s);
+        assert_eq!(delta.resyncs, 1);
+        assert_eq!(delta.resync_bytes, 8);
+        assert_eq!(delta.io_retries, 0);
     }
 
     #[test]

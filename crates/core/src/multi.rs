@@ -15,11 +15,11 @@ use std::ops::ControlFlow;
 use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status, Step};
 
 use crate::cursor::Cursor;
-use crate::engine::MAX_DEPTH;
 use crate::error::StreamError;
 use crate::fastforward::{
     go_over_ary, go_over_obj, go_over_primitive, go_to_ary_end, go_to_obj_end, Span,
 };
+use crate::limits::ResourceLimits;
 use crate::stats::{FastForwardStats, Group};
 
 /// A set of compiled queries evaluated together in one streaming pass.
@@ -38,12 +38,29 @@ use crate::stats::{FastForwardStats, Group};
 #[derive(Clone, Debug)]
 pub struct MultiQuery {
     paths: Vec<Path>,
+    limits: ResourceLimits,
 }
 
 impl MultiQuery {
     /// Wraps already-parsed paths.
     pub fn new(paths: Vec<Path>) -> Self {
-        MultiQuery { paths }
+        MultiQuery {
+            paths,
+            limits: ResourceLimits::default(),
+        }
+    }
+
+    /// Replaces the resource guards (builder-style). Depth and deadline
+    /// are enforced during the shared scan exactly as for
+    /// [`JsonSki`](crate::JsonSki).
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The active resource guards.
+    pub fn limits(&self) -> ResourceLimits {
+        self.limits
     }
 
     /// Compiles a set of JSONPath expressions.
@@ -52,12 +69,12 @@ impl MultiQuery {
     ///
     /// The first expression that fails to parse.
     pub fn compile(queries: &[&str]) -> Result<Self, ParsePathError> {
-        Ok(MultiQuery {
-            paths: queries
+        Ok(MultiQuery::new(
+            queries
                 .iter()
                 .map(|q| q.parse())
                 .collect::<Result<_, _>>()?,
-        })
+        ))
     }
 
     /// The compiled paths.
@@ -92,6 +109,8 @@ impl MultiQuery {
             sink,
             matches: 0,
             depth: 0,
+            max_depth: self.limits.max_depth,
+            deadline: self.limits.deadline.map(|d| std::time::Instant::now() + d),
         };
         let stopped = match ev.record() {
             Ok(()) => false,
@@ -157,9 +176,28 @@ struct MultiEval<'a, 'p, F> {
     sink: F,
     matches: usize,
     depth: usize,
+    max_depth: usize,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
+    /// Depth/deadline guard, mirroring the single-query engine's.
+    fn check_guards(&mut self) -> Result<(), Abort> {
+        if self.depth > self.max_depth {
+            return Err(Abort::Err(StreamError::TooDeep {
+                pos: self.cur.pos(),
+            }));
+        }
+        if let Some(dl) = self.deadline {
+            if std::time::Instant::now() >= dl {
+                return Err(Abort::Err(StreamError::DeadlineExpired {
+                    pos: self.cur.pos(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
     fn emit(&mut self, idx: usize, span: Span) -> Result<(), Abort> {
         self.matches += 1;
         match (self.sink)(idx, &self.cur.input()[span.0..span.1]) {
@@ -225,11 +263,7 @@ impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
 
     fn object(&mut self) -> Result<(), Abort> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(Abort::Err(StreamError::TooDeep {
-                pos: self.cur.pos(),
-            }));
-        }
+        self.check_guards()?;
         let r = self.object_body();
         self.depth -= 1;
         r
@@ -296,11 +330,7 @@ impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
 
     fn array(&mut self) -> Result<(), Abort> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(Abort::Err(StreamError::TooDeep {
-                pos: self.cur.pos(),
-            }));
-        }
+        self.check_guards()?;
         let r = self.array_body();
         self.depth -= 1;
         r

@@ -23,6 +23,17 @@
 //! [`MatchSink::on_record_error`] and skipped
 //! ([`ErrorPolicy::SkipMalformed`]).
 //!
+//! # Fault tolerance
+//!
+//! Under [`ErrorPolicy::SkipMalformed`] the pipeline also survives *source*
+//! errors, provided the source can resynchronize
+//! ([`RecordSource::resync`]): the broken span is skipped, reported to
+//! [`MatchSink::on_resync`] in the same merge-ordered position a serial run
+//! would report it, counted in [`PipelineSummary::resyncs`], and the stream
+//! continues. I/O errors are never recoverable. A [`ResourceLimits`]
+//! attached with [`Pipeline::limits`] rejects oversized records before they
+//! reach a worker, as ordinary per-record failures.
+//!
 //! With `workers <= 1` the pipeline degenerates to a serial loop. Matches
 //! are still staged per record and replayed to the sink only after the
 //! record evaluates cleanly, so a malformed record delivers *nothing* —
@@ -46,6 +57,7 @@ use std::ops::ControlFlow;
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::evaluate::{EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome};
+use crate::limits::{LimitExceeded, ResourceLimits};
 use crate::metrics::Metrics;
 use crate::records::RecordSplitter;
 
@@ -60,10 +72,26 @@ pub trait RecordSource {
     /// # Errors
     ///
     /// [`EngineError`] when the source cannot produce the next record
-    /// (I/O failure, or a record boundary that cannot be located). Source
-    /// errors always abort the pipeline — [`ErrorPolicy`] governs only
-    /// per-record *evaluation* failures.
+    /// (I/O failure, a record boundary that cannot be located, or a
+    /// resource-limit rejection). Under [`ErrorPolicy::SkipMalformed`] the
+    /// pipeline answers a recoverable source error
+    /// ([`EngineError::is_resyncable`]) with [`resync`](Self::resync) and
+    /// keeps going; I/O errors, and any error on a source that cannot
+    /// resynchronize, abort the run.
     fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError>;
+
+    /// After [`next_record`](Self::next_record) returned an error, skips
+    /// forward to the next record boundary so the stream can continue,
+    /// returning the global byte span `(start, end)` that was abandoned.
+    /// `Ok(None)` means the source cannot resynchronize (the default) and
+    /// the pipeline propagates the original error.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the skip-ahead itself fails (e.g. I/O).
+    fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
+        Ok(None)
+    }
 }
 
 /// [`RecordSource`] over an in-memory stream, using the bit-parallel
@@ -90,11 +118,19 @@ impl RecordSource for SliceRecords<'_> {
             Some(Err(e)) => Err(EngineError::Stream(e)),
         }
     }
+
+    fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
+        Ok(self.splitter.resync().map(|(s, e)| (s as u64, e as u64)))
+    }
 }
 
 impl<R: std::io::Read> RecordSource for crate::ChunkedRecords<R> {
     fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
         crate::ChunkedRecords::next_record(self).map_err(EngineError::from)
+    }
+
+    fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
+        crate::ChunkedRecords::resync(self).map_err(EngineError::from)
     }
 }
 
@@ -110,6 +146,11 @@ pub struct PipelineSummary {
     pub failed: u64,
     /// Whether the sink stopped the stream early.
     pub stopped: bool,
+    /// Mid-stream resynchronizations: broken spans the source skipped over
+    /// under [`ErrorPolicy::SkipMalformed`].
+    pub resyncs: u64,
+    /// Total bytes abandoned by those resynchronizations.
+    pub resync_bytes: u64,
 }
 
 /// Parallel record-batch runner; see the [module docs](self).
@@ -134,6 +175,7 @@ pub struct Pipeline {
     workers: usize,
     queue_depth: usize,
     policy: ErrorPolicy,
+    limits: ResourceLimits,
     metrics: Option<Arc<Metrics>>,
 }
 
@@ -153,6 +195,7 @@ impl Pipeline {
                 .unwrap_or(1),
             queue_depth: 4,
             policy: ErrorPolicy::default(),
+            limits: ResourceLimits::default(),
             metrics: None,
         }
     }
@@ -173,6 +216,17 @@ impl Pipeline {
     /// Sets the policy for records that fail to evaluate.
     pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the resource limits the pipeline enforces *before* dispatching
+    /// a record to a worker (currently
+    /// [`max_record_bytes`](ResourceLimits::max_record_bytes); depth and
+    /// deadline guards run inside the engine via
+    /// [`EngineConfig::limits`](crate::EngineConfig)). An over-limit record
+    /// is a per-record failure and respects the [`ErrorPolicy`].
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -218,46 +272,104 @@ impl Pipeline {
         let mut summary = PipelineSummary::default();
         let mut idx = 0u64;
         let mut staged = Collector(Vec::new());
-        while let Some(record) = source.next_record()? {
-            summary.records += 1;
-            let len = record.len() as u64;
-            staged.0.clear();
-            let outcome = match metrics {
-                Some(m) => {
-                    m.record_worker(0, len);
-                    engine.evaluate_metered(record, idx, &mut staged, m)
-                }
-                None => engine.evaluate(record, idx, &mut staged),
-            };
-            match outcome {
-                RecordOutcome::Complete { .. } | RecordOutcome::Stopped { .. } => {
-                    let (delivered, broke) = replay(&staged.0, idx, sink);
-                    summary.matches += delivered;
-                    if let Some(m) = metrics {
-                        m.record_delivered(delivered as u64, len);
-                    }
-                    if broke {
-                        summary.stopped = true;
-                        return Ok(summary);
-                    }
-                }
-                RecordOutcome::Failed(e) => match self.policy {
-                    ErrorPolicy::FailFast => return Err(e),
-                    ErrorPolicy::SkipMalformed => {
-                        summary.failed += 1;
+        loop {
+            // The record borrow must die inside the match so the error path
+            // below can use the source again (for resync).
+            let source_err = match source.next_record() {
+                Ok(None) => break,
+                Err(e) => Some(e),
+                Ok(Some(record)) => {
+                    summary.records += 1;
+                    let len = record.len() as u64;
+                    let outcome = if record.len() > self.limits.max_record_bytes {
+                        // Rejected before dispatch: no evaluation work.
                         if let Some(m) = metrics {
-                            m.record_skipped_record();
+                            m.record_limit_rejection();
                         }
-                        if sink.on_record_error(idx, &e).is_break() {
-                            summary.stopped = true;
-                            return Ok(summary);
+                        RecordOutcome::Failed(EngineError::Limit(LimitExceeded::RecordBytes {
+                            len: record.len(),
+                            limit: self.limits.max_record_bytes,
+                        }))
+                    } else {
+                        staged.0.clear();
+                        match metrics {
+                            Some(m) => {
+                                m.record_worker(0, len);
+                                engine.evaluate_metered(record, idx, &mut staged, m)
+                            }
+                            None => engine.evaluate(record, idx, &mut staged),
                         }
+                    };
+                    match outcome {
+                        RecordOutcome::Complete { .. } | RecordOutcome::Stopped { .. } => {
+                            let (delivered, broke) = replay(&staged.0, idx, sink);
+                            summary.matches += delivered;
+                            if let Some(m) = metrics {
+                                m.record_delivered(delivered as u64, len);
+                            }
+                            if broke {
+                                summary.stopped = true;
+                                return Ok(summary);
+                            }
+                        }
+                        RecordOutcome::Failed(e) => match self.policy {
+                            ErrorPolicy::FailFast => return Err(e),
+                            ErrorPolicy::SkipMalformed => {
+                                summary.failed += 1;
+                                if let Some(m) = metrics {
+                                    m.record_skipped_record();
+                                }
+                                if sink.on_record_error(idx, &e).is_break() {
+                                    summary.stopped = true;
+                                    return Ok(summary);
+                                }
+                            }
+                        },
                     }
-                },
+                    idx += 1;
+                    None
+                }
+            };
+            if let Some(e) = source_err {
+                match self.try_resync(source, sink, &e, &mut summary)? {
+                    Resynced::Continue => {}
+                    Resynced::Stopped => return Ok(summary),
+                    Resynced::Unrecoverable => return Err(e),
+                }
             }
-            idx += 1;
         }
         Ok(summary)
+    }
+
+    /// Shared source-error recovery: under [`ErrorPolicy::SkipMalformed`],
+    /// asks a resyncable source to skip past the broken span and reports it
+    /// to the sink.
+    fn try_resync(
+        &self,
+        source: &mut dyn RecordSource,
+        sink: &mut dyn MatchSink,
+        error: &EngineError,
+        summary: &mut PipelineSummary,
+    ) -> Result<Resynced, EngineError> {
+        if !matches!(self.policy, ErrorPolicy::SkipMalformed) || !error.is_resyncable() {
+            return Ok(Resynced::Unrecoverable);
+        }
+        match source.resync()? {
+            None => Ok(Resynced::Unrecoverable),
+            Some(span) => {
+                summary.resyncs += 1;
+                summary.resync_bytes += span.1 - span.0;
+                if let Some(m) = self.live_metrics() {
+                    m.record_resync(span.1 - span.0);
+                }
+                if sink.on_resync(span, error).is_break() {
+                    summary.stopped = true;
+                    Ok(Resynced::Stopped)
+                } else {
+                    Ok(Resynced::Continue)
+                }
+            }
+        }
     }
 
     fn run_parallel(
@@ -298,7 +410,9 @@ impl Pipeline {
     /// The caller thread's half of the parallel pipeline: reads records
     /// while queue capacity allows (backpressure), merges worker results in
     /// record order, applies early exit and the error policy at the merge
-    /// point.
+    /// point. Resynchronizations and pre-dispatch limit rejections enter
+    /// the merge sequence as ordinary entries, so the sink observes the
+    /// exact callback order of a serial run for any worker count.
     fn produce_and_merge(
         &self,
         source: &mut dyn RecordSource,
@@ -308,55 +422,73 @@ impl Pipeline {
     ) -> Result<PipelineSummary, EngineError> {
         let metrics = self.live_metrics();
         let mut summary = PipelineSummary::default();
-        let mut next_read = 0u64; // next record ordinal to pull from source
-        let mut next_merge = 0u64; // next record ordinal to deliver
+        let mut next_read = 0u64; // next merge ordinal to assign
+        let mut next_merge = 0u64; // next merge ordinal to deliver
+        let mut record_idx = 0u64; // record ordinal (excludes resync events)
         let mut source_done = false;
         loop {
             // Merge every in-order result that is ready, without holding
             // the lock across sink callbacks.
             loop {
-                let (len, res) = {
+                let item = {
                     let mut state = shared.state.lock().unwrap();
                     match state.results.remove(&next_merge) {
-                        Some(res) => {
+                        Some(item) => {
                             state.in_flight -= 1;
-                            res
+                            item
                         }
                         None => break,
                     }
                 };
                 shared.work_ready.notify_all();
-                summary.records += 1;
-                match res {
-                    Ok(matches) => {
-                        let (delivered, broke) = replay(&matches, next_merge, sink);
-                        summary.matches += delivered;
+                match item {
+                    MergeItem::Resync(span, e) => {
+                        summary.resyncs += 1;
+                        summary.resync_bytes += span.1 - span.0;
                         if let Some(m) = metrics {
-                            m.record_delivered(delivered as u64, len as u64);
+                            m.record_resync(span.1 - span.0);
                         }
-                        if broke {
+                        if sink.on_resync(span, &e).is_break() {
                             summary.stopped = true;
                             self.stop(shared);
                             return Ok(summary);
                         }
                     }
-                    Err(e) => match self.policy {
-                        ErrorPolicy::FailFast => {
-                            self.stop(shared);
-                            return Err(e);
-                        }
-                        ErrorPolicy::SkipMalformed => {
-                            summary.failed += 1;
-                            if let Some(m) = metrics {
-                                m.record_skipped_record();
+                    MergeItem::Record(len, res) => {
+                        summary.records += 1;
+                        match res {
+                            Ok(matches) => {
+                                let (delivered, broke) = replay(&matches, record_idx, sink);
+                                summary.matches += delivered;
+                                if let Some(m) = metrics {
+                                    m.record_delivered(delivered as u64, len as u64);
+                                }
+                                if broke {
+                                    summary.stopped = true;
+                                    self.stop(shared);
+                                    return Ok(summary);
+                                }
                             }
-                            if sink.on_record_error(next_merge, &e).is_break() {
-                                summary.stopped = true;
-                                self.stop(shared);
-                                return Ok(summary);
-                            }
+                            Err(e) => match self.policy {
+                                ErrorPolicy::FailFast => {
+                                    self.stop(shared);
+                                    return Err(e);
+                                }
+                                ErrorPolicy::SkipMalformed => {
+                                    summary.failed += 1;
+                                    if let Some(m) = metrics {
+                                        m.record_skipped_record();
+                                    }
+                                    if sink.on_record_error(record_idx, &e).is_break() {
+                                        summary.stopped = true;
+                                        self.stop(shared);
+                                        return Ok(summary);
+                                    }
+                                }
+                            },
                         }
-                    },
+                        record_idx += 1;
+                    }
                 }
                 next_merge += 1;
             }
@@ -371,24 +503,69 @@ impl Pipeline {
                         break;
                     }
                 }
-                match source.next_record() {
+                let source_err = match source.next_record() {
+                    Ok(None) => {
+                        source_done = true;
+                        None
+                    }
+                    Err(e) => Some(e),
                     Ok(Some(record)) => {
-                        let owned = record.to_vec();
-                        let mut state = shared.state.lock().unwrap();
-                        state.queue.push_back((next_read, owned));
-                        state.in_flight += 1;
-                        if let Some(m) = metrics {
-                            m.record_queue_occupancy(state.in_flight as u64);
+                        if record.len() > self.limits.max_record_bytes {
+                            // Rejected before dispatch: deposit a
+                            // pre-failed result directly into the merge
+                            // sequence, skipping the workers entirely.
+                            if let Some(m) = metrics {
+                                m.record_limit_rejection();
+                            }
+                            let e = EngineError::Limit(LimitExceeded::RecordBytes {
+                                len: record.len(),
+                                limit: self.limits.max_record_bytes,
+                            });
+                            let mut state = shared.state.lock().unwrap();
+                            state
+                                .results
+                                .insert(next_read, MergeItem::Record(record.len(), Err(e)));
+                            state.in_flight += 1;
+                            next_read += 1;
+                        } else {
+                            let owned = record.to_vec();
+                            let mut state = shared.state.lock().unwrap();
+                            state.queue.push_back((next_read, owned));
+                            state.in_flight += 1;
+                            if let Some(m) = metrics {
+                                m.record_queue_occupancy(state.in_flight as u64);
+                            }
+                            next_read += 1;
+                            drop(state);
+                            shared.work_ready.notify_one();
                         }
-                        next_read += 1;
-                        drop(state);
-                        shared.work_ready.notify_one();
+                        None
                     }
-                    Ok(None) => source_done = true,
-                    Err(e) => {
-                        self.stop(shared);
-                        return Err(e);
+                };
+                if let Some(e) = source_err {
+                    if matches!(self.policy, ErrorPolicy::SkipMalformed) && e.is_resyncable() {
+                        match source.resync() {
+                            Ok(Some(span)) => {
+                                // Enters the merge sequence so the sink
+                                // sees it after all earlier records.
+                                let mut state = shared.state.lock().unwrap();
+                                state.results.insert(next_read, MergeItem::Resync(span, e));
+                                state.in_flight += 1;
+                                next_read += 1;
+                                continue;
+                            }
+                            Ok(None) => {
+                                self.stop(shared);
+                                return Err(e);
+                            }
+                            Err(resync_err) => {
+                                self.stop(shared);
+                                return Err(resync_err);
+                            }
+                        }
                     }
+                    self.stop(shared);
+                    return Err(e);
                 }
             }
             // Done when everything read has been merged.
@@ -423,15 +600,31 @@ fn replay(matches: &[Vec<u8>], record_idx: u64, sink: &mut dyn MatchSink) -> (us
     (matches.len(), false)
 }
 
-/// Per-record worker result: the record's byte length, plus collected
-/// match bytes or the failure.
-type WorkerResult = (usize, Result<Vec<Vec<u8>>, EngineError>);
+/// Outcome of a serial-path [`Pipeline::try_resync`] attempt.
+enum Resynced {
+    /// The broken span was skipped; keep consuming the source.
+    Continue,
+    /// The sink broke on the resync report; end the run cleanly.
+    Stopped,
+    /// Policy or source cannot recover; propagate the original error.
+    Unrecoverable,
+}
+
+/// One entry in the in-order merge sequence.
+enum MergeItem {
+    /// A dispatched (or pre-rejected) record: its byte length, plus
+    /// collected match bytes or the failure.
+    Record(usize, Result<Vec<Vec<u8>>, EngineError>),
+    /// A source resynchronization: the skipped global span and the error
+    /// that caused it.
+    Resync((u64, u64), EngineError),
+}
 
 struct State {
     /// FIFO of records awaiting a worker.
     queue: VecDeque<(u64, Vec<u8>)>,
     /// Completed records awaiting in-order merging.
-    results: BTreeMap<u64, WorkerResult>,
+    results: BTreeMap<u64, MergeItem>,
     /// Records read from the source but not yet merged (queued, executing,
     /// or completed) — bounded by `workers × queue_depth`.
     in_flight: usize,
@@ -479,7 +672,9 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: O
                 _ => Ok(collector.0),
             };
             state = shared.state.lock().unwrap();
-            state.results.insert(idx, (record.len(), result));
+            state
+                .results
+                .insert(idx, MergeItem::Record(record.len(), result));
             shared.result_ready.notify_all();
         } else if state.producer_done {
             return;
@@ -682,21 +877,130 @@ mod tests {
     }
 
     #[test]
-    fn source_errors_abort_even_when_skipping() {
-        // An unbalanced record breaks the *splitter* — boundaries cannot be
-        // recovered, so even SkipMalformed aborts.
+    fn source_errors_abort_under_fail_fast() {
         let stream = b"{\"a\": 1}\n{\"a\": ";
         let engine = JsonSki::compile("$.a").unwrap();
-        let err = Pipeline::new()
-            .workers(4)
-            .error_policy(ErrorPolicy::SkipMalformed)
-            .run(
-                &engine,
-                &mut SliceRecords::new(stream),
-                &mut CountSink::default(),
-            )
-            .unwrap_err();
-        assert!(matches!(err, EngineError::Stream(_)));
+        for workers in [1, 4] {
+            let err = Pipeline::new()
+                .workers(workers)
+                .run(
+                    &engine,
+                    &mut SliceRecords::new(stream),
+                    &mut CountSink::default(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Stream(_)), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn source_errors_resync_when_skipping() {
+        // A truncated trailing record breaks the *splitter*; SkipMalformed
+        // resynchronizes past it and finishes the run cleanly.
+        let stream = b"{\"a\": 1}\n{\"a\": ";
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let mut spans = Vec::new();
+            struct Recorder<'a> {
+                matches: usize,
+                spans: &'a mut Vec<(u64, u64)>,
+            }
+            impl MatchSink for Recorder<'_> {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    self.matches += 1;
+                    ControlFlow::Continue(())
+                }
+                fn on_resync(&mut self, span: (u64, u64), _e: &EngineError) -> ControlFlow<()> {
+                    self.spans.push(span);
+                    ControlFlow::Continue(())
+                }
+            }
+            let mut sink = Recorder {
+                matches: 0,
+                spans: &mut spans,
+            };
+            let summary = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .run(&engine, &mut SliceRecords::new(stream), &mut sink)
+                .unwrap();
+            assert_eq!(sink.matches, 1, "workers={workers}");
+            assert_eq!(summary.records, 1, "workers={workers}");
+            assert_eq!(summary.resyncs, 1, "workers={workers}");
+            assert_eq!(summary.resync_bytes, 6, "workers={workers}");
+            assert_eq!(spans, vec![(9, 15)], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn io_errors_never_resync() {
+        // Fixed sources can't resync (default), and I/O errors must abort
+        // even on sources that can.
+        struct Broken(bool);
+        impl RecordSource for Broken {
+            fn next_record(&mut self) -> Result<Option<&[u8]>, EngineError> {
+                if self.0 {
+                    self.0 = false;
+                    Ok(Some(b"{\"a\": 1}"))
+                } else {
+                    Err(EngineError::Io(std::io::Error::other("gone")))
+                }
+            }
+            fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
+                panic!("resync must not be attempted for I/O errors");
+            }
+        }
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let err = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .run(&engine, &mut Broken(true), &mut CountSink::default())
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Io(_)), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn oversized_records_are_rejected_before_dispatch() {
+        let engine = JsonSki::compile("$.a").unwrap();
+        let records: Vec<&[u8]> = vec![
+            b"{\"a\": 1}",
+            b"{\"a\": 2, \"pad\": \"xxxxxxxxxxxxxxxx\"}",
+            b"{\"a\": 3}",
+        ];
+        for workers in [1, 4] {
+            let mut errors = Vec::new();
+            struct Recorder<'a>(usize, &'a mut Vec<u64>);
+            impl MatchSink for Recorder<'_> {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    self.0 += 1;
+                    ControlFlow::Continue(())
+                }
+                fn on_record_error(&mut self, idx: u64, e: &EngineError) -> ControlFlow<()> {
+                    assert!(matches!(e, EngineError::Limit(_)));
+                    self.1.push(idx);
+                    ControlFlow::Continue(())
+                }
+            }
+            let mut sink = Recorder(0, &mut errors);
+            let metrics = Arc::new(Metrics::new());
+            let summary = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .limits(crate::ResourceLimits::default().max_record_bytes(16))
+                .metrics(Arc::clone(&metrics))
+                .run(&engine, &mut Fixed(records.clone().into_iter()), &mut sink)
+                .unwrap();
+            assert_eq!(sink.0, 2, "workers={workers}");
+            assert_eq!(*sink.1, vec![1], "workers={workers}");
+            assert_eq!(summary.failed, 1, "workers={workers}");
+            assert_eq!(summary.records, 3, "workers={workers}");
+            let s = metrics.snapshot();
+            assert_eq!(s.limit_rejections, 1, "workers={workers}");
+            // Rejected before dispatch: the engine never evaluated it.
+            assert_eq!(s.records_evaluated, 2, "workers={workers}");
+        }
     }
 
     #[test]

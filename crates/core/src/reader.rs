@@ -7,22 +7,95 @@
 //! bit-parallel counting pairing the engine uses), and hands out one
 //! complete record at a time. Peak memory is `max(buffer_size, largest
 //! record)` — independent of the stream length.
+//!
+//! # Degraded input
+//!
+//! Real sources fail in ways a well-formed-NDJSON benchmark never does, and
+//! the reader confronts each deliberately:
+//!
+//! * **Transient I/O errors** — [`ErrorKind::Interrupted`] is always
+//!   retried (per POSIX it means "nothing happened"); `WouldBlock` and
+//!   `TimedOut` are retried up to a configurable [`RetryPolicy`] budget
+//!   with linear backoff before propagating.
+//! * **Resource limits** — a [`ResourceLimits`] attached with
+//!   [`ChunkedRecords::limits`] caps the size of one record and of the
+//!   reader's buffer, turning a never-closing record into a typed
+//!   [`ReadRecordError::Limit`] instead of unbounded memory growth.
+//! * **Resynchronization** — after any record-level error the caller may
+//!   invoke [`ChunkedRecords::resync`] to skip forward to the next
+//!   newline-delimited record boundary and keep consuming the stream,
+//!   receiving the global byte span that was given up on.
+//!
+//! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
 
-use std::io::Read;
+use std::io::{ErrorKind, Read};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::error::StreamError;
-use crate::records::RecordSplitter;
+use crate::limits::{LimitExceeded, ResourceLimits};
+use crate::metrics::Metrics;
+use crate::records::{find_newline, RecordSplitter};
 
 /// Default initial buffer capacity (64 KiB).
 pub const DEFAULT_BUFFER: usize = 64 * 1024;
 
-/// Error from chunked streaming: I/O or JSON structure.
+/// Retry budget for transient I/O errors (`WouldBlock`, `TimedOut`).
+///
+/// [`ErrorKind::Interrupted`] is *always* retried regardless of this policy
+/// — POSIX semantics guarantee no bytes were transferred — and does not
+/// consume the budget. The default policy retries nothing else.
+///
+/// [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a transient error may be retried before propagating.
+    pub max_retries: u32,
+    /// Base sleep between retries; attempt `n` sleeps `n × backoff`
+    /// (linear backoff). `Duration::ZERO` (the default) never sleeps.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No transient-error retries (`Interrupted` is still always retried).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Retries transient errors up to `max_retries` times, no backoff.
+    pub fn new(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Sets the base backoff between retries (builder-style).
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// Error from chunked streaming: I/O, JSON structure, or a resource limit.
 #[derive(Debug)]
 pub enum ReadRecordError {
     /// The underlying reader failed.
     Io(std::io::Error),
     /// A record is structurally malformed (e.g. never closes by stream end).
     Stream(StreamError),
+    /// A record tripped a [`ResourceLimits`] guard.
+    Limit(LimitExceeded),
 }
 
 impl std::fmt::Display for ReadRecordError {
@@ -30,6 +103,7 @@ impl std::fmt::Display for ReadRecordError {
         match self {
             ReadRecordError::Io(e) => write!(f, "i/o error: {e}"),
             ReadRecordError::Stream(e) => write!(f, "stream error: {e}"),
+            ReadRecordError::Limit(e) => write!(f, "resource limit exceeded: {e}"),
         }
     }
 }
@@ -39,6 +113,7 @@ impl std::error::Error for ReadRecordError {
         match self {
             ReadRecordError::Io(e) => Some(e),
             ReadRecordError::Stream(e) => Some(e),
+            ReadRecordError::Limit(e) => Some(e),
         }
     }
 }
@@ -52,6 +127,12 @@ impl From<std::io::Error> for ReadRecordError {
 impl From<StreamError> for ReadRecordError {
     fn from(e: StreamError) -> Self {
         ReadRecordError::Stream(e)
+    }
+}
+
+impl From<LimitExceeded> for ReadRecordError {
+    fn from(e: LimitExceeded) -> Self {
+        ReadRecordError::Limit(e)
     }
 }
 
@@ -82,6 +163,15 @@ pub struct ChunkedRecords<R> {
     consumed: usize,
     chunk: usize,
     eof: bool,
+    /// Global stream offset of `buf[0]` (bytes discarded before the
+    /// buffer's current contents), for resync span reporting.
+    base: u64,
+    limits: ResourceLimits,
+    retry: RetryPolicy,
+    metrics: Option<Arc<Metrics>>,
+    /// Buffer-coordinate span of a complete record that was rejected by a
+    /// limit; [`resync`](Self::resync) skips exactly these bytes.
+    pending_skip: Option<(usize, usize)>,
 }
 
 impl<R: Read> ChunkedRecords<R> {
@@ -91,7 +181,8 @@ impl<R: Read> ChunkedRecords<R> {
     }
 
     /// Streams records with a caller-chosen refill granularity. The buffer
-    /// still grows transiently when a single record exceeds it.
+    /// still grows transiently when a single record exceeds it (up to
+    /// [`ResourceLimits::max_buffer_bytes`]).
     pub fn with_buffer_size(source: R, chunk: usize) -> Self {
         ChunkedRecords {
             source,
@@ -100,7 +191,33 @@ impl<R: Read> ChunkedRecords<R> {
             consumed: 0,
             chunk: chunk.max(16),
             eof: false,
+            base: 0,
+            limits: ResourceLimits::default(),
+            retry: RetryPolicy::default(),
+            metrics: None,
+            pending_skip: None,
         }
+    }
+
+    /// Sets the resource limits enforced while reading (builder-style).
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the transient-I/O retry policy (builder-style).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a metrics registry; the reader records I/O retries and
+    /// truncated final records. (Resynchronization is recorded by whoever
+    /// drives [`resync`](Self::resync) — e.g. [`Pipeline`](crate::Pipeline)
+    /// — so the counts are not doubled.)
+    pub fn metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Returns the next complete record, or `None` at end of stream.
@@ -110,12 +227,25 @@ impl<R: Read> ChunkedRecords<R> {
     ///
     /// # Errors
     ///
-    /// [`ReadRecordError`] on I/O failure or an unterminated final record.
+    /// [`ReadRecordError`] on I/O failure, an unterminated final record, or
+    /// a record that trips a [`ResourceLimits`] guard. Record-level errors
+    /// are sticky until [`resync`](Self::resync) is called; I/O errors are
+    /// not recoverable.
     pub fn next_record(&mut self) -> Result<Option<&[u8]>, ReadRecordError> {
         loop {
             // Try to find one complete record in the unconsumed region.
             if let Some(span) = self.try_parse_one()? {
                 let (s, e) = span;
+                if e - s > self.limits.max_record_bytes {
+                    // The record is complete, so resync can skip it
+                    // precisely rather than hunting for a newline.
+                    self.pending_skip = Some((s, e));
+                    return Err(LimitExceeded::RecordBytes {
+                        len: e - s,
+                        limit: self.limits.max_record_bytes,
+                    }
+                    .into());
+                }
                 self.consumed = e;
                 return Ok(Some(&self.buf[s..e]));
             }
@@ -124,6 +254,73 @@ impl<R: Read> ChunkedRecords<R> {
                 // (only whitespace left) or an unterminated record, which
                 // try_parse_one already diagnosed.
                 return Ok(None);
+            }
+            // A record still open after this many buffered bytes can never
+            // be accepted; reject it before buffering more of it.
+            let pending = self.filled - self.consumed;
+            if pending > self.limits.max_record_bytes {
+                return Err(LimitExceeded::RecordBytes {
+                    len: pending,
+                    limit: self.limits.max_record_bytes,
+                }
+                .into());
+            }
+            self.refill()?;
+        }
+    }
+
+    /// Skips forward to the next record boundary after an error, returning
+    /// the global byte span `(start, end)` that was abandoned, or `None`
+    /// when the stream is exhausted with nothing to skip.
+    ///
+    /// A limit-rejected *complete* record is skipped precisely. Otherwise
+    /// the reader discards buffered data while scanning for the next raw
+    /// `\n` (a sound boundary for newline-delimited streams, since an
+    /// unescaped newline cannot occur inside a valid JSON string), so
+    /// memory stays bounded even while skipping an arbitrarily long broken
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors: resynchronization itself cannot hit record-level
+    /// errors.
+    pub fn resync(&mut self) -> Result<Option<(u64, u64)>, ReadRecordError> {
+        if let Some((s, e)) = self.pending_skip.take() {
+            let span = (self.base + s as u64, self.base + e as u64);
+            self.consumed = e;
+            return Ok(Some(span));
+        }
+        // Step over separator whitespace first, so the scan anchors at the
+        // broken record itself — otherwise the newline that *ended the
+        // previous record* would satisfy the search and no progress would
+        // be made.
+        loop {
+            while self.consumed < self.filled
+                && matches!(self.buf[self.consumed], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.consumed += 1;
+            }
+            if self.consumed < self.filled || self.eof {
+                break;
+            }
+            self.refill()?;
+        }
+        let start = self.base + self.consumed as u64;
+        loop {
+            let tail = &self.buf[self.consumed..self.filled];
+            if let Some(i) = find_newline(tail) {
+                self.consumed += i + 1;
+                let end = self.base + self.consumed as u64;
+                return Ok((end > start).then_some((start, end)));
+            }
+            // No newline buffered: everything here belongs to the broken
+            // region. Drop it outright so skipping stays bounded-memory.
+            self.base += self.filled as u64;
+            self.filled = 0;
+            self.consumed = 0;
+            if self.eof {
+                let end = self.base;
+                return Ok((end > start).then_some((start, end)));
             }
             self.refill()?;
         }
@@ -150,7 +347,11 @@ impl<R: Read> ChunkedRecords<R> {
             }
             Some(Err(err)) => {
                 if self.eof {
-                    Err(err.into()) // truly unterminated
+                    // Truly unterminated: the stream ended mid-record.
+                    if let Some(m) = &self.metrics {
+                        m.record_truncated_record();
+                    }
+                    Err(err.into())
                 } else {
                     Ok(None) // record continues past the buffered bytes
                 }
@@ -163,17 +364,56 @@ impl<R: Read> ChunkedRecords<R> {
         if self.consumed > 0 {
             self.buf.copy_within(self.consumed..self.filled, 0);
             self.filled -= self.consumed;
+            self.base += self.consumed as u64;
             self.consumed = 0;
         }
         if self.buf.len() < self.filled + self.chunk {
-            self.buf.resize(self.filled + self.chunk, 0);
+            let needed = self.filled + self.chunk;
+            if needed > self.limits.max_buffer_bytes {
+                return Err(LimitExceeded::BufferBytes {
+                    needed,
+                    limit: self.limits.max_buffer_bytes,
+                }
+                .into());
+            }
+            self.buf.resize(needed, 0);
         }
-        let n = self.source.read(&mut self.buf[self.filled..])?;
+        let n = self.read_with_retry()?;
         if n == 0 {
             self.eof = true;
         }
         self.filled += n;
         Ok(())
+    }
+
+    /// One `read` into the free tail of the buffer, absorbing transient
+    /// errors: `Interrupted` unconditionally, `WouldBlock`/`TimedOut` up to
+    /// the [`RetryPolicy`] budget with linear backoff.
+    fn read_with_retry(&mut self) -> Result<usize, std::io::Error> {
+        let mut attempts = 0u32;
+        loop {
+            match self.source.read(&mut self.buf[self.filled..]) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {
+                    if let Some(m) = &self.metrics {
+                        m.record_io_retry();
+                    }
+                }
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                        && attempts < self.retry.max_retries =>
+                {
+                    attempts += 1;
+                    if let Some(m) = &self.metrics {
+                        m.record_io_retry();
+                    }
+                    if !self.retry.backoff.is_zero() {
+                        std::thread::sleep(self.retry.backoff * attempts);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Current buffer capacity (for memory accounting in tests/benches).
@@ -185,6 +425,7 @@ impl<R: Read> ChunkedRecords<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultyReader};
 
     fn collect_records(input: &[u8], chunk: usize) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
@@ -279,5 +520,143 @@ mod tests {
         let e = ReadRecordError::Stream(StreamError::Unbalanced { pos: 3 });
         assert!(e.to_string().contains("3"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = ReadRecordError::Limit(LimitExceeded::RecordBytes { len: 9, limit: 4 });
+        assert!(e.to_string().contains("max_record_bytes"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn oversized_complete_record_is_rejected_then_skipped_precisely() {
+        let input = b"{\"a\": 1}\n{\"pad\": \"xxxxxxxxxxxxxxxxxxxxxxxx\"}\n{\"a\": 2}\n";
+        let mut r = ChunkedRecords::with_buffer_size(&input[..], 1 << 12)
+            .limits(ResourceLimits::default().max_record_bytes(16));
+        assert_eq!(r.next_record().unwrap().unwrap(), b"{\"a\": 1}");
+        let err = r.next_record().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReadRecordError::Limit(LimitExceeded::RecordBytes { len: 35, limit: 16 })
+            ),
+            "{err}"
+        );
+        let span = r.resync().unwrap().unwrap();
+        assert_eq!(&input[span.0 as usize..span.1 as usize], &input[9..44]);
+        assert_eq!(r.next_record().unwrap().unwrap(), b"{\"a\": 2}");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn never_closing_record_hits_cap_with_bounded_memory() {
+        // A record that never closes, followed by a good one: the reader
+        // must reject it once the cap is hit, then resync past it without
+        // its buffer ever holding the whole broken record.
+        let mut input = b"{\"open\": [".to_vec();
+        for i in 0..3000 {
+            input.extend_from_slice(format!("{i}, ").as_bytes());
+        }
+        input.extend_from_slice(b"\n{\"a\": 7}\n");
+        let mut r = ChunkedRecords::with_buffer_size(&input[..], 64)
+            .limits(ResourceLimits::default().max_record_bytes(512));
+        let err = r.next_record().unwrap_err();
+        assert!(matches!(
+            err,
+            ReadRecordError::Limit(LimitExceeded::RecordBytes { .. })
+        ));
+        let span = r.resync().unwrap().unwrap();
+        assert_eq!(span.0, 0);
+        assert!(r.buffer_capacity() < 2048, "buffer must stay bounded");
+        assert_eq!(r.next_record().unwrap().unwrap(), b"{\"a\": 7}");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn buffer_cap_rejects_instead_of_growing() {
+        let big = format!("{{\"k\": \"{}\"}}", "y".repeat(500));
+        let mut r = ChunkedRecords::with_buffer_size(big.as_bytes(), 64)
+            .limits(ResourceLimits::default().max_buffer_bytes(128));
+        let err = r.next_record().unwrap_err();
+        assert!(matches!(
+            err,
+            ReadRecordError::Limit(LimitExceeded::BufferBytes { .. })
+        ));
+        assert!(r.buffer_capacity() <= 128);
+    }
+
+    #[test]
+    fn resync_spans_use_global_offsets() {
+        // Two broken records far enough apart that the buffer is compacted
+        // between them: spans must still be stream-global.
+        let mut input = Vec::new();
+        for i in 0..50 {
+            input.extend_from_slice(format!("{{\"i\": {i}}}\n").as_bytes());
+        }
+        let bad_at = input.len();
+        input.extend_from_slice(b"{\"bad\": \n");
+        input.extend_from_slice(b"{\"a\": 1}\n");
+        let mut r = ChunkedRecords::with_buffer_size(&input[..], 16)
+            .limits(ResourceLimits::default().max_record_bytes(64));
+        let mut good = 0;
+        let mut spans = Vec::new();
+        loop {
+            match r.next_record() {
+                Ok(Some(_)) => good += 1,
+                Ok(None) => break,
+                Err(_) => spans.push(r.resync().unwrap().unwrap()),
+            }
+        }
+        assert_eq!(good, 51);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0], (bad_at as u64, bad_at as u64 + 9));
+    }
+
+    #[test]
+    fn interrupted_reads_are_always_retried() {
+        let mut input = Vec::new();
+        for i in 0..20 {
+            input.extend_from_slice(format!("{{\"a\": {i}}}\n").as_bytes());
+        }
+        let plan = FaultPlan::new(7).interrupt_every(3).short_reads(5);
+        let metrics = Arc::new(Metrics::new());
+        let mut r = ChunkedRecords::with_buffer_size(FaultyReader::new(&input[..], plan), 32)
+            .metrics(Arc::clone(&metrics));
+        let mut n = 0;
+        while r.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 20);
+        assert!(metrics.snapshot().io_retries > 0);
+    }
+
+    #[test]
+    fn transient_errors_respect_the_retry_budget() {
+        let input = b"{\"a\": 1}\n{\"a\": 2}\n";
+        // Infinitely many WouldBlocks, no budget: propagate.
+        let plan = FaultPlan::new(1).would_block_every(1);
+        let mut r = ChunkedRecords::with_buffer_size(FaultyReader::new(&input[..], plan), 32);
+        assert!(matches!(r.next_record(), Err(ReadRecordError::Io(_))));
+        // Every other attempt blocks, budget of 1 retry per read: succeeds.
+        let plan = FaultPlan::new(1).would_block_every(2);
+        let mut r = ChunkedRecords::with_buffer_size(FaultyReader::new(&input[..], plan), 32)
+            .retry(RetryPolicy::new(1));
+        let mut n = 0;
+        while r.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn truncated_final_record_is_counted_and_resyncable() {
+        let input = b"{\"a\": 1}\n{\"b\": ";
+        let metrics = Arc::new(Metrics::new());
+        let mut r = ChunkedRecords::with_buffer_size(&input[..], 8).metrics(Arc::clone(&metrics));
+        assert!(r.next_record().unwrap().is_some());
+        assert!(matches!(r.next_record(), Err(ReadRecordError::Stream(_))));
+        assert_eq!(metrics.snapshot().truncated_records, 1);
+        let span = r.resync().unwrap().unwrap();
+        assert_eq!(span, (9, input.len() as u64));
+        assert!(r.next_record().unwrap().is_none());
+        // Nothing left: a further resync has nothing to skip.
+        assert!(r.resync().unwrap().is_none());
     }
 }

@@ -32,6 +32,9 @@ pub struct RecordSplitter<'a> {
     cursor: Cursor<'a>,
     stats: FastForwardStats,
     failed: bool,
+    /// Start offset of the record most recently attempted, for resync
+    /// span reporting.
+    record_start: usize,
 }
 
 impl<'a> RecordSplitter<'a> {
@@ -41,6 +44,7 @@ impl<'a> RecordSplitter<'a> {
             cursor: Cursor::new(stream),
             stats: FastForwardStats::new(),
             failed: false,
+            record_start: 0,
         }
     }
 
@@ -48,6 +52,55 @@ impl<'a> RecordSplitter<'a> {
     pub fn stream(&self) -> &'a [u8] {
         self.cursor.input()
     }
+
+    /// After [`next`](Iterator::next) returned an error, skips forward to
+    /// the byte after the next raw `\n` (or to the end of the stream) and
+    /// re-arms the iterator, returning the `(start, end)` span of the bytes
+    /// given up on. Returns `None` when no error is pending.
+    ///
+    /// A raw (unescaped) newline cannot occur inside a valid JSON string,
+    /// so for newline-delimited streams the byte after the next `\n` is a
+    /// sound place to expect the next record boundary. The scan uses the
+    /// same SWAR word-at-a-time search as [`find_newline`].
+    pub fn resync(&mut self) -> Option<(usize, usize)> {
+        if !self.failed {
+            return None;
+        }
+        self.failed = false;
+        let input = self.cursor.input();
+        // The error was detected at or after the record's start; scanning
+        // from the detection point (not the record start) avoids resyncing
+        // into the middle of the record that just failed.
+        let from = self.cursor.pos().max(self.record_start);
+        let resume = match find_newline(&input[from..]) {
+            Some(i) => from + i + 1,
+            None => input.len(),
+        };
+        self.cursor.set_pos(resume);
+        Some((self.record_start, resume))
+    }
+}
+
+/// Position of the first raw `\n` in `haystack`, scanning eight bytes per
+/// step with SWAR zero-byte detection (Mycroft's `(w - 0x0101..) & !w &
+/// 0x8080..` trick on the XOR against a broadcast `\n`).
+pub fn find_newline(haystack: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const NL: u64 = LO * b'\n' as u64;
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let w = u64::from_le_bytes(haystack[i..i + 8].try_into().unwrap()) ^ NL;
+        let zeros = w.wrapping_sub(LO) & !w & HI;
+        if zeros != 0 {
+            return Some(i + (zeros.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| i + p)
 }
 
 impl Iterator for RecordSplitter<'_> {
@@ -61,6 +114,7 @@ impl Iterator for RecordSplitter<'_> {
         }
         self.cursor.skip_ws();
         let t = self.cursor.peek()?;
+        self.record_start = self.cursor.pos();
         let result = match t {
             b'{' => go_over_obj(&mut self.cursor, &mut self.stats, Group::G2),
             b'[' => go_over_ary(&mut self.cursor, &mut self.stats, Group::G2),
@@ -161,5 +215,52 @@ mod tests {
         let s = b"1 2 3";
         let it = RecordSplitter::new(s);
         assert_eq!(it.stream(), s);
+    }
+
+    #[test]
+    fn find_newline_matches_naive_scan() {
+        // Exercise every offset/length combination around the 8-byte SWAR
+        // word boundary.
+        for len in 0..40 {
+            for at in 0..=len {
+                let mut v = vec![b'x'; len];
+                let expected = if at < len {
+                    v[at] = b'\n';
+                    Some(at)
+                } else {
+                    None
+                };
+                assert_eq!(find_newline(&v), expected, "len={len} at={at}");
+            }
+        }
+        // First of several newlines wins.
+        assert_eq!(find_newline(b"ab\ncd\nef"), Some(2));
+        assert_eq!(find_newline(b"\n"), Some(0));
+    }
+
+    #[test]
+    fn resync_skips_to_next_line_and_continues() {
+        let stream = b"{\"ok\": 1}\n{\"bad\": \n{\"ok\": 2}\n";
+        let mut it = RecordSplitter::new(stream);
+        assert_eq!(it.next().unwrap().unwrap(), (0, 9));
+        assert!(it.next().unwrap().is_err());
+        // Nothing pending before an error: resync is a no-op.
+        let span = it.resync().expect("error pending");
+        assert_eq!(&stream[span.0..span.1], b"{\"bad\": \n");
+        assert_eq!(it.resync(), None);
+        let next = it.next().unwrap().unwrap();
+        assert_eq!(&stream[next.0..next.1], b"{\"ok\": 2}");
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn resync_at_stream_end_consumes_the_tail() {
+        let stream = b"{\"ok\": 1} {\"bad\": ";
+        let mut it = RecordSplitter::new(stream);
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        let span = it.resync().unwrap();
+        assert_eq!(span, (10, stream.len()));
+        assert!(it.next().is_none());
     }
 }

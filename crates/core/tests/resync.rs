@@ -1,0 +1,269 @@
+//! Mid-stream resynchronization edge cases, driven end to end through the
+//! reader, the serial pipeline, and the parallel pipeline.
+//!
+//! The invariant under test: for a stream of `n` records of which `k` are
+//! broken (structurally malformed, truncated, or over a resource limit),
+//! [`ErrorPolicy::SkipMalformed`] delivers exactly the matches of the
+//! `n - k` healthy records — at every level of the stack, with identical
+//! sink callback sequences for any worker count — and reports each
+//! abandoned byte span through [`MatchSink::on_resync`].
+
+use std::ops::ControlFlow;
+
+use jsonski::{
+    ChunkedRecords, EngineError, ErrorPolicy, Evaluate, JsonSki, MatchSink, Pipeline,
+    PipelineSummary, RecordOutcome, ResourceLimits,
+};
+
+/// Sink that records every callback, for comparing full event sequences.
+#[derive(Debug, Default)]
+struct Trace {
+    matches: Vec<(u64, Vec<u8>)>,
+    errors: Vec<u64>,
+    resyncs: Vec<(u64, u64)>,
+    stop_on_resync: bool,
+}
+
+impl MatchSink for Trace {
+    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+        self.matches.push((record_idx, bytes.to_vec()));
+        ControlFlow::Continue(())
+    }
+
+    fn on_record_error(&mut self, record_idx: u64, _error: &EngineError) -> ControlFlow<()> {
+        self.errors.push(record_idx);
+        ControlFlow::Continue(())
+    }
+
+    fn on_resync(&mut self, span: (u64, u64), _error: &EngineError) -> ControlFlow<()> {
+        self.resyncs.push(span);
+        if self.stop_on_resync {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// Runs `$.a` over `input` through a pipeline fed by the chunked reader.
+fn run_pipeline(
+    input: &[u8],
+    workers: usize,
+    policy: ErrorPolicy,
+    limits: ResourceLimits,
+) -> Result<(Trace, PipelineSummary), EngineError> {
+    let engine = JsonSki::compile("$.a").unwrap().with_limits(limits);
+    let mut source = ChunkedRecords::new(input).limits(limits);
+    let mut trace = Trace::default();
+    let summary = Pipeline::new()
+        .workers(workers)
+        .error_policy(policy)
+        .limits(limits)
+        .run(&engine, &mut source, &mut trace)?;
+    Ok((trace, summary))
+}
+
+fn skip(input: &[u8], workers: usize, limits: ResourceLimits) -> (Trace, PipelineSummary) {
+    run_pipeline(input, workers, ErrorPolicy::SkipMalformed, limits).expect("skip mode recovers")
+}
+
+#[test]
+fn truncated_final_record_is_skipped_with_exact_span() {
+    let input = b"{\"a\": 1}\n{\"a\": 3}\n{\"a\": [1, 2";
+    for workers in [1, 4] {
+        let (trace, summary) = skip(input, workers, ResourceLimits::default());
+        assert_eq!(
+            trace.matches,
+            vec![(0, b"1".to_vec()), (1, b"3".to_vec())],
+            "workers={workers}"
+        );
+        assert_eq!(trace.resyncs, vec![(18, 29)], "workers={workers}");
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.resyncs, 1);
+        assert_eq!(summary.resync_bytes, 11);
+        assert!(trace.errors.is_empty());
+    }
+}
+
+#[test]
+fn unterminated_string_tail_is_skipped() {
+    let input = b"{\"a\": 1}\n{\"a\": \"oops";
+    for workers in [1, 4] {
+        let (trace, summary) = skip(input, workers, ResourceLimits::default());
+        assert_eq!(trace.matches, vec![(0, b"1".to_vec())], "workers={workers}");
+        assert_eq!(trace.resyncs, vec![(9, 20)]);
+        assert_eq!(summary.resyncs, 1);
+    }
+}
+
+#[test]
+fn oversized_first_record_resyncs_and_reindexes_from_zero() {
+    // The first record trips `max_record_bytes`; the survivors must still be
+    // numbered from 0 (resynced spans consume no record index).
+    let input = b"{\"a\": [1, 2, 3, 4]}\n{\"a\": 5}\n{\"a\": 6}\n";
+    let limits = ResourceLimits::default().max_record_bytes(16);
+    for workers in [1, 4] {
+        let (trace, summary) = skip(input, workers, limits);
+        assert_eq!(
+            trace.matches,
+            vec![(0, b"5".to_vec()), (1, b"6".to_vec())],
+            "workers={workers}"
+        );
+        assert_eq!(summary.resyncs, 1);
+        assert_eq!(summary.records, 2);
+    }
+}
+
+#[test]
+fn back_to_back_broken_records_each_resync() {
+    let input = b"{\"a\": [1, 2, 3, 4]}\n{\"a\": [5, 6, 7, 8]}\n{\"a\": 9}\n";
+    let limits = ResourceLimits::default().max_record_bytes(16);
+    for workers in [1, 4] {
+        let (trace, summary) = skip(input, workers, limits);
+        assert_eq!(trace.matches, vec![(0, b"9".to_vec())], "workers={workers}");
+        assert_eq!(summary.resyncs, 2);
+        // Complete-but-oversized records are skipped by their exact span
+        // (19 bytes each), not to the following newline.
+        assert_eq!(summary.resync_bytes, 38);
+        assert_eq!(trace.resyncs, vec![(0, 19), (20, 39)]);
+    }
+}
+
+#[test]
+fn scalar_garbage_between_records_is_a_record_not_a_resync() {
+    // Top-level tokens that are not containers or strings split as scalar
+    // records: they evaluate cleanly to zero matches rather than breaking
+    // the boundary scan. Pinned here so the tokenizer's (documented)
+    // permissiveness doesn't silently change.
+    let input = b"{\"a\": 1}\n@@@ not json @@@\n{\"a\": 3}\n";
+    for workers in [1, 4] {
+        let (trace, summary) = skip(input, workers, ResourceLimits::default());
+        let values: Vec<&[u8]> = trace.matches.iter().map(|(_, m)| m.as_slice()).collect();
+        assert_eq!(values, vec![b"1".as_slice(), b"3".as_slice()]);
+        assert_eq!(summary.resyncs, 0, "workers={workers}");
+        assert!(trace.errors.is_empty());
+    }
+}
+
+#[test]
+fn fail_fast_aborts_on_broken_source() {
+    let input = b"{\"a\": 1}\n{\"a\": [1, 2";
+    for workers in [1, 4] {
+        let err = run_pipeline(
+            input,
+            workers,
+            ErrorPolicy::FailFast,
+            ResourceLimits::default(),
+        )
+        .expect_err("fail-fast must abort");
+        assert!(
+            matches!(err, EngineError::Stream(_)),
+            "workers={workers}: {err}"
+        );
+    }
+    let limits = ResourceLimits::default().max_record_bytes(4);
+    let err = run_pipeline(input, 1, ErrorPolicy::FailFast, limits).expect_err("limit aborts");
+    assert!(matches!(err, EngineError::Limit(_)), "{err}");
+}
+
+#[test]
+fn sink_can_stop_the_stream_from_on_resync() {
+    let input = b"{\"a\": 1}\n{\"a\": [2, 3, 4, 5]}\n{\"a\": 6}\n";
+    let limits = ResourceLimits::default().max_record_bytes(16);
+    for workers in [1, 4] {
+        let engine = JsonSki::compile("$.a").unwrap().with_limits(limits);
+        let mut source = ChunkedRecords::new(&input[..]).limits(limits);
+        let mut trace = Trace {
+            stop_on_resync: true,
+            ..Trace::default()
+        };
+        let summary = Pipeline::new()
+            .workers(workers)
+            .error_policy(ErrorPolicy::SkipMalformed)
+            .limits(limits)
+            .run(&engine, &mut source, &mut trace)
+            .expect("stopping is not an error");
+        assert!(summary.stopped, "workers={workers}");
+        assert_eq!(trace.matches, vec![(0, b"1".to_vec())]);
+        assert_eq!(trace.resyncs.len(), 1);
+    }
+}
+
+/// Builds an `n`-record stream with engine-malformed and oversized records
+/// mixed in; returns `(input, good, engine_bad, oversized)`.
+fn mixed_stream(n: usize) -> (Vec<u8>, usize, usize, usize) {
+    let mut input = Vec::new();
+    let (mut good, mut engine_bad, mut oversized) = (0, 0, 0);
+    for i in 0..n {
+        if i % 10 == 3 {
+            // Balanced but structurally invalid: splits fine, fails in the
+            // engine, and is skipped without a resync.
+            input.extend_from_slice(format!("{{\"a\" {i}}}\n").as_bytes());
+            engine_bad += 1;
+        } else if i % 10 == 7 {
+            // Over the record-size cap: rejected by the reader and skipped
+            // precisely via resync.
+            input.extend_from_slice(format!("{{\"a\": \"{}\"}}\n", "x".repeat(40)).as_bytes());
+            oversized += 1;
+        } else {
+            input.extend_from_slice(format!("{{\"a\": {i}}}\n").as_bytes());
+            good += 1;
+        }
+    }
+    (input, good, engine_bad, oversized)
+}
+
+#[test]
+fn n_minus_k_invariant_at_the_reader_level() {
+    let (input, good, engine_bad, oversized) = mixed_stream(40);
+    let limits = ResourceLimits::default().max_record_bytes(32);
+    let engine = JsonSki::compile("$.a").unwrap().with_limits(limits);
+    let mut records = ChunkedRecords::new(&input[..]).limits(limits);
+    let (mut delivered, mut failures, mut resyncs) = (0u64, 0u64, 0u64);
+    loop {
+        // The record borrows the reader, so carry the failure out of the
+        // match before calling `resync` (which re-borrows it).
+        let failed = match records.next_record() {
+            Ok(None) => break,
+            Err(_) => true,
+            Ok(Some(record)) => {
+                let mut sink = jsonski::CountSink::default();
+                match engine.evaluate(record, delivered, &mut sink) {
+                    RecordOutcome::Failed(_) => failures += 1,
+                    _ => delivered += 1,
+                }
+                false
+            }
+        };
+        if failed {
+            match records.resync() {
+                Ok(Some(_)) => resyncs += 1,
+                Ok(None) => break,
+                Err(e) => panic!("unrecoverable: {e}"),
+            }
+        }
+    }
+    assert_eq!(delivered, good as u64);
+    assert_eq!(failures, engine_bad as u64);
+    assert_eq!(resyncs, oversized as u64);
+}
+
+#[test]
+fn n_minus_k_invariant_matches_across_worker_counts() {
+    let (input, good, engine_bad, oversized) = mixed_stream(60);
+    let limits = ResourceLimits::default().max_record_bytes(32);
+    let (serial, serial_summary) = skip(&input, 1, limits);
+    assert_eq!(serial.matches.len(), good);
+    assert_eq!(serial.errors.len(), engine_bad);
+    assert_eq!(serial.resyncs.len(), oversized);
+    assert_eq!(serial_summary.failed, engine_bad as u64);
+    assert_eq!(serial_summary.resyncs, oversized as u64);
+    for workers in [2, 4, 8] {
+        let (parallel, summary) = skip(&input, workers, limits);
+        assert_eq!(parallel.matches, serial.matches, "workers={workers}");
+        assert_eq!(parallel.errors, serial.errors, "workers={workers}");
+        assert_eq!(parallel.resyncs, serial.resyncs, "workers={workers}");
+        assert_eq!(summary.records, serial_summary.records);
+        assert_eq!(summary.resync_bytes, serial_summary.resync_bytes);
+    }
+}
