@@ -166,12 +166,67 @@ fn limits_overhead_guard(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead guard for the crash-safety layer: a pipeline run with an
+/// armed-but-untripped cancellation token, or with a checkpoint cadence
+/// that never fires mid-run, must track the plain pipeline to within
+/// noise. A regression here means a cancellation check or checkpoint
+/// bookkeeping leaked onto the per-record hot path.
+fn crash_guard(c: &mut Criterion) {
+    let mut stream = Vec::new();
+    for i in 0..20_000u32 {
+        stream.extend_from_slice(format!("{{\"id\": {i}, \"pad\": [{i}, {i}, {i}]}}\n").as_bytes());
+    }
+    let path: Path = "$.id".parse().unwrap();
+    let ski = jsonski::JsonSki::new(path);
+    let mut g = c.benchmark_group("crash_guard_pipeline");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut source = jsonski::SliceRecords::new(&stream);
+            let mut sink = jsonski::CountSink::default();
+            jsonski::Pipeline::new()
+                .workers(4)
+                .run(&ski, &mut source, &mut sink)
+                .unwrap()
+        })
+    });
+    g.bench_function("cancel_token_armed", |b| {
+        let token = jsonski::CancellationToken::new();
+        b.iter(|| {
+            let mut source = jsonski::SliceRecords::new(&stream);
+            let mut sink = jsonski::CountSink::default();
+            jsonski::Pipeline::new()
+                .workers(4)
+                .cancel_token(token.clone())
+                .run(&ski, &mut source, &mut sink)
+                .unwrap()
+        })
+    });
+    g.bench_function("checkpoint_cadence_idle", |b| {
+        let cadence = jsonski::CheckpointCadence::default()
+            .every_records(u64::MAX)
+            .every_bytes(u64::MAX);
+        b.iter(|| {
+            let mut source = jsonski::SliceRecords::new(&stream);
+            let mut sink = jsonski::CountSink::default();
+            jsonski::Pipeline::new()
+                .workers(4)
+                .checkpoints(cadence)
+                .run(&ski, &mut source, &mut sink)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     fig10_rows,
     fig11_fig12_rows,
     fig14_scaling,
     metrics_overhead_guard,
-    limits_overhead_guard
+    limits_overhead_guard,
+    crash_guard
 );
 criterion_main!(benches);

@@ -3,13 +3,254 @@
 
 #![deny(missing_docs)]
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::ops::ControlFlow;
+use std::path::{Path, PathBuf};
 
 use jsonski::{
+    digest_parts, fingerprint, CancellationToken, Checkpoint, CheckpointCadence, EngineError,
     ErrorPolicy, Evaluate, JsonSki, Metrics, MetricsSnapshot, MultiQuery, Pipeline,
-    ReadRecordError, ResourceLimits, RetryPolicy,
+    PipelineSummary, ReadRecordError, ResourceLimits, RetryPolicy, FINGERPRINT_BYTES,
 };
+
+#[cfg(unix)]
+pub mod signals;
+
+/// Exit code for a run cancelled by a signal (128 + SIGINT by convention).
+pub const EXIT_CANCELLED: u8 = 130;
+/// Exit code for a run that completed but skipped records under
+/// `--skip-malformed`.
+pub const EXIT_SKIPPED: u8 = 3;
+
+/// A CLI failure, classified so `main` can map it to a distinct exit code:
+/// `0` success, `1` usage or I/O error, `2` fatal evaluation error,
+/// `3` completed with skips, `130` cancelled by a signal.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags, arguments, or query syntax (exit 1).
+    Usage(String),
+    /// `--help` was requested (exit 0; the caller prints [`USAGE`]).
+    Help,
+    /// Reading the input or writing the output failed (exit 1).
+    Io(String),
+    /// A record failed to evaluate under fail-fast (exit 2).
+    Fatal(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Help => 0,
+            CliError::Usage(_) | CliError::Io(_) => 1,
+            CliError::Fatal(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Fatal(m) => f.write_str(m),
+            CliError::Help => f.write_str(USAGE),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn engine_error_to_cli(e: &EngineError) -> CliError {
+    match e {
+        EngineError::Io(_) => CliError::Io(e.to_string()),
+        _ => CliError::Fatal(e.to_string()),
+    }
+}
+
+/// How a completed run went, for exit-code selection: `130` when
+/// cancelled, [`EXIT_SKIPPED`] when records were skipped, `0` otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Matches per query, in query order.
+    pub counts: Vec<usize>,
+    /// Records skipped (evaluation failures, limit rejections, and
+    /// resynchronized spans) under `--skip-malformed`.
+    pub skipped: u64,
+    /// The run was cut short by cooperative cancellation.
+    pub cancelled: bool,
+}
+
+impl RunReport {
+    /// The process exit code for this outcome.
+    pub fn exit_code(&self) -> u8 {
+        if self.cancelled {
+            EXIT_CANCELLED
+        } else if self.skipped > 0 {
+            EXIT_SKIPPED
+        } else {
+            0
+        }
+    }
+}
+
+/// Cross-cutting run controls: cooperative cancellation and durable
+/// checkpointing. [`RunControls::default`] disables both, which is what the
+/// plain [`run`]/[`run_reader`] wrappers use.
+#[derive(Clone, Debug, Default)]
+pub struct RunControls {
+    /// Checked at record boundaries; flipping it drains in-flight work and
+    /// exits with [`EXIT_CANCELLED`].
+    pub cancel: Option<CancellationToken>,
+    /// Durable progress tracking (single-query runs only).
+    pub checkpoint: Option<CheckpointSetup>,
+}
+
+/// Where and how often to persist progress.
+#[derive(Clone, Debug)]
+pub struct CheckpointSetup {
+    /// Checkpoint file path (written atomically: tmp + fsync + rename).
+    pub path: PathBuf,
+    /// Accumulated progress from previous segments (fresh for a new run,
+    /// loaded from `path` under `--resume`).
+    pub baseline: Checkpoint,
+    /// Checkpoint every N delivered records.
+    pub every: u64,
+}
+
+/// What is knowable about the input's identity for checkpoint validation.
+/// All fields are `None` for unseekable stdin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InputIdentity {
+    /// Input length in bytes.
+    pub len: Option<u64>,
+    /// [`fingerprint`] of the first [`FINGERPRINT_BYTES`] bytes.
+    pub head: Option<u64>,
+    /// [`fingerprint`] of the last [`FINGERPRINT_BYTES`] bytes.
+    pub tail: Option<u64>,
+}
+
+impl InputIdentity {
+    /// Identity of an unseekable stream (nothing knowable).
+    pub fn unknown() -> Self {
+        InputIdentity::default()
+    }
+
+    /// Identity of an in-memory input.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let head_len = bytes.len().min(FINGERPRINT_BYTES);
+        let tail_start = bytes.len().saturating_sub(FINGERPRINT_BYTES);
+        InputIdentity {
+            len: Some(bytes.len() as u64),
+            head: Some(fingerprint(&bytes[..head_len])),
+            tail: Some(fingerprint(&bytes[tail_start..])),
+        }
+    }
+
+    /// Identity of a file on disk (reads at most 2×[`FINGERPRINT_BYTES`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the file.
+    pub fn of_file(path: &Path) -> std::io::Result<Self> {
+        use std::io::{Seek, SeekFrom};
+        let mut f = std::fs::File::open(path)?;
+        let len = f.metadata()?.len();
+        let mut head = vec![0u8; (len as usize).min(FINGERPRINT_BYTES)];
+        f.read_exact(&mut head)?;
+        let tail_start = len.saturating_sub(FINGERPRINT_BYTES as u64);
+        f.seek(SeekFrom::Start(tail_start))?;
+        let mut tail = vec![0u8; (len - tail_start) as usize];
+        f.read_exact(&mut tail)?;
+        Ok(InputIdentity {
+            len: Some(len),
+            head: Some(fingerprint(&head)),
+            tail: Some(fingerprint(&tail)),
+        })
+    }
+}
+
+/// The digest binding a checkpoint to the query set and error policy, so a
+/// resume under different semantics is refused.
+pub fn config_digest(opts: &Options) -> u64 {
+    let mut parts: Vec<String> = opts.queries.clone();
+    parts.push(if opts.skip_malformed { "skip" } else { "fail" }.to_string());
+    digest_parts(&parts)
+}
+
+/// A validated plan for a (possibly resumed) checkpointed run.
+#[derive(Clone, Debug)]
+pub struct ResumePlan {
+    /// Path, cadence, and accumulated baseline for the run.
+    pub setup: CheckpointSetup,
+    /// Input byte offset to start reading from (0 for a fresh run).
+    pub start_offset: u64,
+    /// The loaded checkpoint says the run already finished; there is
+    /// nothing to do.
+    pub complete: bool,
+}
+
+/// Builds the checkpoint plan for this invocation: a fresh baseline, or —
+/// under `--resume` — the validated state loaded from the checkpoint file.
+///
+/// # Errors
+///
+/// [`CliError::Io`] when the checkpoint file cannot be read;
+/// [`CliError::Usage`] when it belongs to a different query set / policy or
+/// a different input.
+pub fn prepare_checkpoint(
+    opts: &Options,
+    identity: &InputIdentity,
+) -> Result<Option<ResumePlan>, CliError> {
+    let Some(path) = &opts.checkpoint else {
+        return Ok(None);
+    };
+    let path = PathBuf::from(path);
+    let every = opts.checkpoint_every.unwrap_or(1024);
+    let digest = config_digest(opts);
+    if !opts.resume {
+        let mut baseline = Checkpoint::new(digest);
+        baseline.input_len = identity.len;
+        baseline.fingerprint_head = identity.head;
+        baseline.fingerprint_tail = identity.tail;
+        return Ok(Some(ResumePlan {
+            setup: CheckpointSetup {
+                path,
+                baseline,
+                every,
+            },
+            start_offset: 0,
+            complete: false,
+        }));
+    }
+    let ck =
+        Checkpoint::load(&path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    if ck.identity != digest {
+        return Err(CliError::Usage(format!(
+            "{}: checkpoint was written by a different query set or error policy; \
+             refusing to resume",
+            path.display()
+        )));
+    }
+    let mismatch = |a: Option<u64>, b: Option<u64>| matches!((a, b), (Some(x), Some(y)) if x != y);
+    if mismatch(ck.input_len, identity.len)
+        || mismatch(ck.fingerprint_head, identity.head)
+        || mismatch(ck.fingerprint_tail, identity.tail)
+    {
+        return Err(CliError::Usage(format!(
+            "{}: checkpoint does not match this input (length or content changed); \
+             refusing to resume",
+            path.display()
+        )));
+    }
+    Ok(Some(ResumePlan {
+        start_offset: ck.offset,
+        complete: ck.complete,
+        setup: CheckpointSetup {
+            path,
+            baseline: ck,
+            every,
+        },
+    }))
+}
 
 /// Output format for the `--metrics` engine-counter report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +288,12 @@ pub struct Options {
     pub max_buffer_bytes: Option<usize>,
     /// Retry budget for transient reader errors (`WouldBlock`/`TimedOut`).
     pub retry: u32,
+    /// Persist progress to this checkpoint file (single query only).
+    pub checkpoint: Option<String>,
+    /// Checkpoint every N delivered records (default 1024).
+    pub checkpoint_every: Option<u64>,
+    /// Resume from the state in the `--checkpoint` file.
+    pub resume: bool,
 }
 
 impl Options {
@@ -97,10 +344,22 @@ options:
                      record that never closes cannot exhaust memory
       --retry N      retry transient stream errors (would-block/timed-out)
                      up to N times per read before giving up
+      --checkpoint PATH
+                     persist progress to PATH (atomically rewritten as the
+                     run advances) so an interrupted run can be resumed;
+                     single query only
+      --checkpoint-every N
+                     checkpoint every N delivered records (default 1024)
+      --resume       continue from the state in the --checkpoint file,
+                     skipping input the previous run already committed
   -h, --help         show this help
 
 Multiple QUERY arguments are evaluated together in one streaming pass;
 each match line is then prefixed with its query index.
+
+exit codes: 0 success; 1 usage or I/O error; 2 a record failed to evaluate
+(without --skip-malformed); 3 completed but skipped records; 130 cancelled
+by SIGINT/SIGTERM (in-flight records finish, then progress is committed).
 
 supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*";
 
@@ -108,8 +367,21 @@ supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*";
 ///
 /// # Errors
 ///
-/// A human-readable message for unknown flags or missing arguments.
-pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+/// [`CliError::Usage`] with a human-readable message for unknown flags or
+/// missing arguments; [`CliError::Help`] for `--help`.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
+    parse_args_inner(args).map_err(|e| {
+        if e == HELP_SENTINEL {
+            CliError::Help
+        } else {
+            CliError::Usage(e)
+        }
+    })
+}
+
+const HELP_SENTINEL: &str = "\u{1}help";
+
+fn parse_args_inner<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut positional: Vec<String> = Vec::new();
     let mut opts = Options {
         queries: Vec::new(),
@@ -124,6 +396,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         max_depth: None,
         max_buffer_bytes: None,
         retry: 0,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: false,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -178,7 +453,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 let v = it.next().ok_or("--retry needs a number")?;
                 opts.retry = v.parse().map_err(|_| format!("bad retry count: {v}"))?;
             }
-            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a file path")?;
+                opts.checkpoint = Some(v);
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a number")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint cadence: {v}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--resume" => opts.resume = true,
+            "-h" | "--help" => return Err(HELP_SENTINEL.to_string()),
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown option: {flag}\n\n{USAGE}"));
             }
@@ -199,6 +489,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     if opts.queries.is_empty() {
         return Err(format!("no query given\n\n{USAGE}"));
     }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint".into());
+    }
+    if opts.checkpoint.is_some() && opts.queries.len() > 1 {
+        return Err("--checkpoint applies to single-query runs only".into());
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint".into());
+    }
     Ok(opts)
 }
 
@@ -212,6 +511,10 @@ pub struct RunOutcome {
     pub counts: Vec<usize>,
     /// Number of input bytes examined before the scan ended.
     pub consumed: usize,
+    /// Records skipped under `--skip-malformed` (including resyncs).
+    pub skipped: u64,
+    /// The scan was cut short by cooperative cancellation.
+    pub cancelled: bool,
 }
 
 fn write_counts(opts: &Options, counts: &[usize], out: &mut dyn Write) -> Result<(), String> {
@@ -354,6 +657,24 @@ pub fn run_with_outcome(
     input: &[u8],
     out: &mut dyn Write,
 ) -> Result<RunOutcome, String> {
+    run_ctl(opts, input, out, &RunControls::default()).map_err(|e| e.to_string())
+}
+
+/// [`run_with_outcome`] with [`RunControls`]: cancellation is honoured at
+/// record boundaries. (In-memory runs do not checkpoint — `main` routes
+/// `--checkpoint` runs through the streaming path even for file input.)
+///
+/// # Errors
+///
+/// [`CliError`], classified for exit-code selection.
+pub fn run_ctl(
+    opts: &Options,
+    input: &[u8],
+    out: &mut dyn Write,
+    controls: &RunControls,
+) -> Result<RunOutcome, CliError> {
+    let cancellation = controls.cancel.as_ref();
+    let mut cancelled = false;
     let mut counts = vec![0usize; opts.queries.len()];
     let mut total_stats = jsonski::FastForwardStats::new();
     let mut emitted = 0usize;
@@ -372,7 +693,7 @@ pub fn run_with_outcome(
     let single = if opts.queries.len() == 1 {
         Some(
             JsonSki::compile(&opts.queries[0])
-                .map_err(|e| e.to_string())?
+                .map_err(|e| CliError::Usage(e.to_string()))?
                 .with_limits(limits),
         )
     } else {
@@ -382,7 +703,7 @@ pub fn run_with_outcome(
         let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
         Some(
             MultiQuery::compile(&queries)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| CliError::Usage(e.to_string()))?
                 .with_limits(limits),
         )
     } else {
@@ -398,6 +719,10 @@ pub fn run_with_outcome(
     // after the break point are never even boundary-scanned.
     let mut splitter = jsonski::RecordSplitter::new(input);
     while let Some(span) = splitter.next() {
+        if cancellation.is_some_and(CancellationToken::is_cancelled) {
+            cancelled = true;
+            break;
+        }
         let (s, e) = match span {
             Ok(se) => se,
             Err(err) => {
@@ -415,7 +740,7 @@ pub fn run_with_outcome(
                         continue;
                     }
                 }
-                return Err(err.to_string());
+                return Err(CliError::Fatal(err.to_string()));
             }
         };
         let record = &input[s..e];
@@ -431,7 +756,7 @@ pub fn run_with_outcome(
                 agg.record_skipped_record();
                 continue;
             }
-            return Err(format!("resource limit exceeded: {err}"));
+            return Err(CliError::Fatal(format!("resource limit exceeded: {err}")));
         }
         buf.clear();
         rec_counts.iter_mut().for_each(|c| *c = 0);
@@ -477,7 +802,8 @@ pub fn run_with_outcome(
                 consumed = s + outcome.consumed;
                 agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
                 agg.record_stream(record.len(), &outcome);
-                out.write_all(&buf).map_err(|e| e.to_string())?;
+                out.write_all(&buf)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
                 for (c, d) in counts.iter_mut().zip(&rec_counts) {
                     *c += d;
                 }
@@ -493,14 +819,14 @@ pub fn run_with_outcome(
                     agg.record_stream_failure(record.len());
                     agg.record_skipped_record();
                 } else {
-                    return Err(err.to_string());
+                    return Err(CliError::Fatal(err.to_string()));
                 }
             }
         }
     }
     report_skipped(skipped);
     report_resynced(resyncs, resync_bytes);
-    write_counts(opts, &counts, out)?;
+    write_counts(opts, &counts, out).map_err(CliError::Io)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
     }
@@ -512,11 +838,27 @@ pub fn run_with_outcome(
         let per_query = if single.is_some() {
             vec![(opts.queries[0].clone(), agg.snapshot())]
         } else {
-            measure_queries(&opts.queries, input, opts.skip_malformed)?
+            measure_queries(&opts.queries, input, opts.skip_malformed).map_err(CliError::Fatal)?
         };
         emit_metrics(mode, &per_query, &agg.snapshot());
     }
-    Ok(RunOutcome { counts, consumed })
+    Ok(RunOutcome {
+        counts,
+        consumed,
+        skipped,
+        cancelled,
+    })
+}
+
+/// Per-run checkpoint state carried by [`WriteSink`]. Matches are staged
+/// in memory and only flushed to the output stream when a checkpoint is
+/// persisted, so `output_bytes` in the file never overstates what reached
+/// stdout — the invariant a resume harness truncates partial output to.
+struct CheckpointState {
+    path: PathBuf,
+    baseline: Checkpoint,
+    staged: Vec<u8>,
+    flushed_bytes: u64,
 }
 
 /// [`jsonski::MatchSink`] that prints matches and applies `--limit`.
@@ -526,17 +868,23 @@ struct WriteSink<'a> {
     limit: usize,
     emitted: usize,
     io_error: Option<std::io::Error>,
+    checkpoint: Option<CheckpointState>,
 }
 
 impl jsonski::MatchSink for WriteSink<'_> {
     fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
         self.emitted += 1;
         if !self.count_only {
-            if let Err(err) = self
-                .out
-                .write_all(bytes)
-                .and_then(|()| self.out.write_all(b"\n"))
-            {
+            let result = if let Some(state) = &mut self.checkpoint {
+                state.staged.extend_from_slice(bytes);
+                state.staged.push(b'\n');
+                Ok(())
+            } else {
+                self.out
+                    .write_all(bytes)
+                    .and_then(|()| self.out.write_all(b"\n"))
+            };
+            if let Err(err) = result {
                 self.io_error = Some(err);
                 return ControlFlow::Break(());
             }
@@ -546,6 +894,25 @@ impl jsonski::MatchSink for WriteSink<'_> {
         } else {
             ControlFlow::Continue(())
         }
+    }
+
+    fn on_checkpoint(&mut self, summary: &PipelineSummary) -> Result<(), EngineError> {
+        let Some(state) = &mut self.checkpoint else {
+            return Ok(());
+        };
+        // Flush the staged output first, then persist the file: a crash
+        // between the two leaves the checkpoint behind the output (extra
+        // bytes the harness truncates), never ahead of it.
+        self.out
+            .write_all(&state.staged)
+            .and_then(|()| self.out.flush())
+            .map_err(EngineError::Io)?;
+        state.flushed_bytes += state.staged.len() as u64;
+        state.staged.clear();
+        let mut ck = state.baseline.advanced(summary);
+        ck.output_bytes = state.flushed_bytes;
+        ck.save(&state.path).map_err(EngineError::Io)?;
+        Ok(())
     }
 }
 
@@ -563,8 +930,35 @@ pub fn run_reader<R: std::io::Read>(
     reader: R,
     out: &mut dyn Write,
 ) -> Result<Vec<usize>, String> {
-    if opts.queries.len() == 1 && opts.jobs > 1 {
-        return run_reader_pipeline(opts, reader, out);
+    run_reader_ctl(opts, reader, out, &RunControls::default())
+        .map(|r| r.counts)
+        .map_err(|e| e.to_string())
+}
+
+fn read_error_to_cli(e: &ReadRecordError) -> CliError {
+    match e {
+        ReadRecordError::Io(_) => CliError::Io(e.to_string()),
+        _ => CliError::Fatal(e.to_string()),
+    }
+}
+
+/// [`run_reader`] with [`RunControls`]: cancellation is honoured at record
+/// boundaries, and — for single-query runs — progress can be checkpointed.
+/// A checkpointed run routes through the [`jsonski::Pipeline`] even at
+/// `--jobs 1`, because the checkpoint cadence hangs off the pipeline's
+/// in-order merge point.
+///
+/// # Errors
+///
+/// [`CliError`], classified for exit-code selection.
+pub fn run_reader_ctl<R: std::io::Read>(
+    opts: &Options,
+    reader: R,
+    out: &mut dyn Write,
+    controls: &RunControls,
+) -> Result<RunReport, CliError> {
+    if opts.queries.len() == 1 && (opts.jobs > 1 || controls.checkpoint.is_some()) {
+        return run_reader_pipeline(opts, reader, out, controls);
     }
     if opts.jobs > 1 {
         eprintln!("jsonski: --jobs applies to single-query runs; running serially");
@@ -572,7 +966,7 @@ pub fn run_reader<R: std::io::Read>(
     let queries: Vec<&str> = opts.queries.iter().map(|s| s.as_str()).collect();
     let limits = opts.limits();
     let engine = MultiQuery::compile(&queries)
-        .map_err(|e| e.to_string())?
+        .map_err(|e| CliError::Usage(e.to_string()))?
         .with_limits(limits);
     let single = opts.queries.len() == 1;
     let mut counts = vec![0usize; opts.queries.len()];
@@ -590,6 +984,11 @@ pub fn run_reader<R: std::io::Read>(
         .limits(limits)
         .retry(RetryPolicy::new(opts.retry))
         .metrics(std::sync::Arc::clone(&agg));
+    if let Some(token) = &controls.cancel {
+        // A tripped token makes the reader report a clean end of stream at
+        // the next record boundary, so the drain below needs no extra checks.
+        records = records.cancel_token(token.clone());
+    }
     // Same per-record staging as `run_with_outcome`: nothing from a record
     // reaches `out` or the counts until the record evaluates cleanly.
     let mut buf: Vec<u8> = Vec::new();
@@ -628,7 +1027,8 @@ pub fn run_reader<R: std::io::Read>(
                         total_stats += outcome.stats;
                         agg.add_traverse_ns(eval_ns.saturating_sub(outcome.classify_ns));
                         agg.record_stream(record.len(), &outcome);
-                        out.write_all(&buf).map_err(|e| e.to_string())?;
+                        out.write_all(&buf)
+                            .map_err(|e| CliError::Io(e.to_string()))?;
                         for (c, d) in counts.iter_mut().zip(&rec_counts) {
                             *c += d;
                         }
@@ -643,7 +1043,7 @@ pub fn run_reader<R: std::io::Read>(
                             agg.record_stream_failure(record.len());
                             agg.record_skipped_record();
                         } else {
-                            return Err(err.to_string());
+                            return Err(CliError::Fatal(err.to_string()));
                         }
                     }
                 }
@@ -655,7 +1055,7 @@ pub fn run_reader<R: std::io::Read>(
             // are skippable under --skip-malformed by resynchronizing at
             // the next record boundary (the pipeline applies the same rule).
             if !opts.skip_malformed || matches!(e, ReadRecordError::Io(_)) {
-                return Err(e.to_string());
+                return Err(read_error_to_cli(&e));
             }
             match records.resync() {
                 Ok(Some((from, to))) => {
@@ -666,13 +1066,17 @@ pub fn run_reader<R: std::io::Read>(
                     agg.record_skipped_record();
                 }
                 Ok(None) => break, // nothing left to skip: clean end of stream
-                Err(e) => return Err(e.to_string()),
+                Err(e) => return Err(read_error_to_cli(&e)),
             }
         }
     }
+    let cancelled = controls
+        .cancel
+        .as_ref()
+        .is_some_and(CancellationToken::is_cancelled);
     report_skipped(skipped);
     report_resynced(resyncs, resync_bytes);
-    write_counts(opts, &counts, out)?;
+    write_counts(opts, &counts, out).map_err(CliError::Io)?;
     if opts.stats {
         eprintln!("fast-forward: {total_stats}");
     }
@@ -687,19 +1091,27 @@ pub fn run_reader<R: std::io::Read>(
         };
         emit_metrics(mode, &per_query, &snap);
     }
-    Ok(counts)
+    Ok(RunReport {
+        counts,
+        skipped,
+        cancelled,
+    })
 }
 
-/// The `--jobs N` path: records fan out to a worker pool; the merge step
-/// feeds this process's stdout in record order.
+/// The `--jobs N` / `--checkpoint` path: records fan out to a worker pool
+/// (possibly of one) and the in-order merge step feeds this process's
+/// stdout; with a [`CheckpointSetup`], match output is staged per
+/// checkpoint interval and flushed only when the checkpoint file is saved,
+/// so the file's `output_bytes` always describes durably written output.
 fn run_reader_pipeline<R: std::io::Read>(
     opts: &Options,
     reader: R,
     out: &mut dyn Write,
-) -> Result<Vec<usize>, String> {
+    controls: &RunControls,
+) -> Result<RunReport, CliError> {
     let limits = opts.limits();
     let engine = JsonSki::compile(&opts.queries[0])
-        .map_err(|e| e.to_string())?
+        .map_err(|e| CliError::Usage(e.to_string()))?
         .with_limits(limits);
     let mut source = jsonski::ChunkedRecords::new(reader)
         .limits(limits)
@@ -710,6 +1122,7 @@ fn run_reader_pipeline<R: std::io::Read>(
         limit: opts.limit,
         emitted: 0,
         io_error: None,
+        checkpoint: None,
     };
     let policy = if opts.skip_malformed {
         ErrorPolicy::SkipMalformed
@@ -731,19 +1144,54 @@ fn run_reader_pipeline<R: std::io::Read>(
         pipeline = pipeline.metrics(std::sync::Arc::clone(m));
         source = source.metrics(std::sync::Arc::clone(m));
     }
+    if let Some(token) = &controls.cancel {
+        source = source.cancel_token(token.clone());
+        pipeline = pipeline.cancel_token(token.clone());
+    }
+    if let Some(setup) = &controls.checkpoint {
+        // Resumed segments keep whole-stream coordinates: the caller has
+        // already discarded `baseline.offset` bytes from the reader.
+        source = source.start_offset(setup.baseline.offset);
+        pipeline = pipeline.checkpoints(CheckpointCadence::default().every_records(setup.every));
+        sink.checkpoint = Some(CheckpointState {
+            path: setup.path.clone(),
+            baseline: setup.baseline.clone(),
+            staged: Vec::new(),
+            flushed_bytes: setup.baseline.output_bytes,
+        });
+    }
     let summary = pipeline
         .run(&engine, &mut source, &mut sink)
-        .map_err(|e| e.to_string())?;
-    let emitted = sink.emitted;
-    if let Some(err) = sink.io_error {
-        return Err(err.to_string());
+        .map_err(|e| engine_error_to_cli(&e))?;
+    // Destructuring releases the sink's reborrow of `out` so the trailer
+    // (counts line, final checkpoint) can write to it directly.
+    let WriteSink {
+        emitted,
+        io_error,
+        checkpoint,
+        ..
+    } = sink;
+    if let Some(err) = io_error {
+        return Err(CliError::Io(err.to_string()));
     }
     // Each resynced span is one abandoned record, so the skip report matches
     // the serial paths (which count resyncs as skips too).
     report_skipped(summary.failed + summary.resyncs);
     report_resynced(summary.resyncs, summary.resync_bytes);
     let counts = vec![emitted];
-    write_counts(opts, &counts, out)?;
+    write_counts(opts, &counts, out).map_err(CliError::Io)?;
+    if let Some(state) = checkpoint {
+        if !summary.cancelled {
+            // The run finished on its own terms (end of stream or --limit):
+            // mark the checkpoint complete so a later --resume is a no-op
+            // instead of a partial re-run.
+            let mut ck = state.baseline.advanced(&summary);
+            ck.output_bytes = state.flushed_bytes;
+            ck.complete = true;
+            ck.save(&state.path)
+                .map_err(|e| CliError::Io(format!("checkpoint save failed: {e}")))?;
+        }
+    }
     let snap = registry.map(|m| m.snapshot());
     if opts.stats {
         // Fast-forward counters are reconstructed from the shared registry;
@@ -757,7 +1205,11 @@ fn run_reader_pipeline<R: std::io::Read>(
         let per_query = vec![(opts.queries[0].clone(), snap.clone())];
         emit_metrics(mode, &per_query, &snap);
     }
-    Ok(counts)
+    Ok(RunReport {
+        counts,
+        skipped: summary.failed + summary.resyncs,
+        cancelled: summary.cancelled,
+    })
 }
 
 #[cfg(test)]
@@ -765,7 +1217,7 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Result<Options, String> {
-        parse_args(v.iter().map(|s| s.to_string()))
+        parse_args(v.iter().map(|s| s.to_string())).map_err(|e| e.to_string())
     }
 
     #[test]

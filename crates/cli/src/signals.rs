@@ -1,0 +1,86 @@
+//! SIGINT/SIGTERM handling via the self-pipe trick, with no new
+//! dependencies.
+//!
+//! A signal handler may only call async-signal-safe functions, which rules
+//! out touching the [`CancellationToken`] (atomics are fine, but the
+//! watcher also needs to wake). The classic answer is the self-pipe trick:
+//! the handler does nothing but `write` one byte to a pipe, and an
+//! ordinary watcher thread blocks in `read` on the other end, translating
+//! deliveries into cooperative cancellation:
+//!
+//! * **first signal** — trip the token; the pipeline drains in-flight
+//!   records, flushes a final checkpoint, and the process exits with
+//!   [`EXIT_CANCELLED`](crate::EXIT_CANCELLED).
+//! * **second signal** — the operator insists; exit immediately with the
+//!   same code (work since the last checkpoint is lost, which is exactly
+//!   what checkpoints are for).
+//!
+//! Only the raw `signal`/`pipe`/`read`/`write` symbols from libc are
+//! declared here; the container's toolchain has no signal-handling crate
+//! and must not gain one.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+
+use jsonski::CancellationToken;
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Write end of the self-pipe, published for the signal handler. `-1`
+/// until [`install`] runs.
+static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn pipe(fds: *mut i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// The handler: one async-signal-safe `write`, nothing else. A full pipe
+/// (or a pre-install delivery) drops the byte, which is harmless — the
+/// watcher only counts deliveries, it does not interpret them.
+extern "C" fn on_signal(_signum: i32) {
+    let fd = WRITE_FD.load(Ordering::Relaxed);
+    if fd >= 0 {
+        let byte = 1u8;
+        unsafe {
+            let _ = write(fd, &raw const byte, 1);
+        }
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that trip `token` on first delivery
+/// and hard-exit with code 130 on the second. Returns `false` (leaving
+/// default signal behaviour in place) if the pipe or watcher thread cannot
+/// be created.
+pub fn install(token: CancellationToken) -> bool {
+    let mut fds = [-1i32; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        return false;
+    }
+    let (rd, wr) = (fds[0], fds[1]);
+    let watcher = std::thread::Builder::new()
+        .name("signal-watcher".to_string())
+        .spawn(move || {
+            let mut byte = 0u8;
+            if unsafe { read(rd, &raw mut byte, 1) } != 1 {
+                return;
+            }
+            token.cancel();
+            if unsafe { read(rd, &raw mut byte, 1) } == 1 {
+                // The graceful drain was not fast enough for the operator;
+                // 128 + SIGINT is the conventional "killed by Ctrl-C" code.
+                std::process::exit(i32::from(crate::EXIT_CANCELLED));
+            }
+        });
+    if watcher.is_err() {
+        return false;
+    }
+    WRITE_FD.store(wr, Ordering::Relaxed);
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    true
+}

@@ -46,23 +46,83 @@ fn file_input_and_count() {
 }
 
 #[test]
-fn no_match_exits_nonzero() {
+fn no_match_still_exits_zero() {
+    // Finding nothing is a successful run; exit codes are reserved for the
+    // failure taxonomy (1 usage/IO, 2 fatal, 3 skips, 130 cancelled).
     let (_, _, code) = run_with_stdin(&["$.zzz"], b"{\"a\": 1}\n");
-    assert_eq!(code, Some(1));
+    assert_eq!(code, Some(0));
 }
 
 #[test]
-fn bad_query_exits_2_with_message() {
+fn bad_query_exits_1_with_message() {
     let (_, stderr, code) = run_with_stdin(&["$..bad"], b"{}");
-    assert_eq!(code, Some(2));
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("descendant"));
 }
 
 #[test]
-fn help_prints_usage() {
-    let (_, stderr, code) = run_with_stdin(&["--help"], b"");
-    assert_eq!(code, Some(2));
-    assert!(stderr.contains("usage: jsonski"));
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    let (stdout, _, code) = run_with_stdin(&["--help"], b"");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("usage: jsonski"));
+    assert!(stdout.contains("exit codes"), "{stdout}");
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let (_, stderr, code) = run_with_stdin(&["$.a", "/definitely/not/here.json"], b"");
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("/definitely/not/here.json"), "{stderr}");
+}
+
+#[test]
+fn fatal_record_exits_2_under_fail_fast() {
+    let (_, stderr, code) = run_with_stdin(&["$.a"], b"{\"a\": 1}\n{\"a\": [1,\n{\"a\": 2}\n");
+    assert_eq!(code, Some(2), "{stderr}");
+}
+
+#[test]
+fn skipped_records_exit_3() {
+    let (stdout, stderr, code) = run_with_stdin(
+        &["--skip-malformed", "$.a"],
+        b"{\"a\": 1}\n{\"a\": [1,\n{\"a\": 2}\n",
+    );
+    assert_eq!(code, Some(3), "{stderr}");
+    // The broken record is skipped, the ones around it still match.
+    assert_eq!(stdout, "1\n2\n");
+    assert!(stderr.contains("skipped"), "{stderr}");
+}
+
+#[test]
+#[cfg(unix)]
+fn sigint_drains_and_exits_130() {
+    use std::time::Duration;
+    let mut child = Command::new(bin())
+        .args(["$.a"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(b"{\"a\": 1}\n{\"a\": 2}\n").unwrap();
+    stdin.flush().unwrap();
+    // Give the child time to finish exec and install its handler — a
+    // SIGINT that lands before `signals::install` runs kills it raw.
+    std::thread::sleep(Duration::from_millis(300));
+    // First SIGINT: the self-pipe watcher trips the cancellation token.
+    let pid = child.id().to_string();
+    let killed = Command::new("kill").args(["-INT", &pid]).status().unwrap();
+    assert!(killed.success());
+    // glibc installs the handler with SA_RESTART, so a blocked stdin read
+    // does not EINTR: give the watcher a moment to cancel, then close
+    // stdin so the reader reaches the next record boundary and drains.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(130));
+    // Everything delivered before the cancel still reached stdout.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "1\n2\n");
 }
 
 #[test]

@@ -1,0 +1,418 @@
+//! Durable checkpoint/resume state for streaming runs.
+//!
+//! A checkpoint records how far a run got — the committed byte offset of
+//! the in-order merge plus the cumulative delivery counters — together
+//! with enough *identity* (input fingerprint, query/config digest) to
+//! refuse resuming against the wrong input or a different query. The
+//! pipeline only checkpoints work that has already been delivered to the
+//! sink, so the invariant `checkpoint offset ≤ delivered offset` holds by
+//! construction and resuming re-processes nothing and skips nothing.
+//!
+//! # File format
+//!
+//! A checkpoint is a small plain-text key/value file (no serialization
+//! dependency), e.g.:
+//!
+//! ```text
+//! jsonski-checkpoint v1
+//! identity 9297539898232096043
+//! input_len 1048576
+//! fingerprint_head 16655802900186572045
+//! fingerprint_tail 4885132622782288683
+//! offset 524288
+//! records 4096
+//! matches 4080
+//! failed 16
+//! resyncs 2
+//! resync_bytes 127
+//! output_bytes 65536
+//! complete 0
+//! ```
+//!
+//! (Unknown lengths/fingerprints — e.g. stdin input — are written as `-`.)
+//!
+//! Writes are atomic: the file is written to a `.tmp` sibling, fsynced,
+//! and renamed over the destination, so a crash mid-write leaves either
+//! the old checkpoint or the new one, never a torn file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::pipeline::PipelineSummary;
+
+/// Magic first line of a checkpoint file; bump the version on any format
+/// change.
+const HEADER: &str = "jsonski-checkpoint v1";
+
+/// How many leading/trailing input bytes feed the identity fingerprint.
+pub const FINGERPRINT_BYTES: usize = 4096;
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty for detecting
+/// "this is not the file you checkpointed" (it is not cryptographic and
+/// does not need to be).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digests an ordered list of configuration strings (queries, policy,
+/// limits…) into one identity value. Part boundaries are hashed too, so
+/// `["ab", "c"]` and `["a", "bc"]` digest differently.
+pub fn digest_parts<S: AsRef<str>>(parts: &[S]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in part.as_ref().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f; // unit separator: delimit parts
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How often a checkpointing [`Pipeline`](crate::Pipeline) persists
+/// progress: after `every_records` merged records *or* `every_bytes`
+/// merged record bytes, whichever comes first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointCadence {
+    /// Checkpoint after this many records were merged since the last one.
+    pub every_records: u64,
+    /// Checkpoint after this many record bytes were merged since the last
+    /// one.
+    pub every_bytes: u64,
+}
+
+impl Default for CheckpointCadence {
+    /// Every 1024 records or 1 MiB, whichever comes first.
+    fn default() -> Self {
+        CheckpointCadence {
+            every_records: 1024,
+            every_bytes: 1 << 20,
+        }
+    }
+}
+
+impl CheckpointCadence {
+    /// Sets the record-count cadence (builder-style, min 1).
+    pub fn every_records(mut self, n: u64) -> Self {
+        self.every_records = n.max(1);
+        self
+    }
+
+    /// Sets the byte cadence (builder-style, min 1).
+    pub fn every_bytes(mut self, n: u64) -> Self {
+        self.every_bytes = n.max(1);
+        self
+    }
+}
+
+/// Durable progress of one (possibly multi-segment) streaming run; see
+/// the [module docs](self) for the file format and invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Digest of the query set and configuration (see [`digest_parts`]);
+    /// resuming under a different query/config must be refused.
+    pub identity: u64,
+    /// Input length in bytes, `None` when unknowable (e.g. stdin).
+    pub input_len: Option<u64>,
+    /// [`fingerprint`] of the first [`FINGERPRINT_BYTES`] input bytes,
+    /// `None` when unknowable.
+    pub fingerprint_head: Option<u64>,
+    /// [`fingerprint`] of the last [`FINGERPRINT_BYTES`] input bytes,
+    /// `None` when unknowable.
+    pub fingerprint_tail: Option<u64>,
+    /// Committed input byte offset: everything before it has been fully
+    /// delivered (or deliberately skipped) and never needs re-reading.
+    pub offset: u64,
+    /// Records merged across all segments of the run.
+    pub records: u64,
+    /// Matches delivered across all segments.
+    pub matches: u64,
+    /// Records skipped as failed across all segments.
+    pub failed: u64,
+    /// Mid-stream resynchronizations across all segments.
+    pub resyncs: u64,
+    /// Bytes abandoned by those resynchronizations.
+    pub resync_bytes: u64,
+    /// Output bytes durably flushed by the caller at checkpoint time; a
+    /// resume harness truncates partial post-crash output back to this.
+    pub output_bytes: u64,
+    /// Whether the run finished (resuming a complete run is a no-op).
+    pub complete: bool,
+}
+
+impl Checkpoint {
+    /// A zero-progress checkpoint for a fresh run with the given identity
+    /// digest.
+    pub fn new(identity: u64) -> Self {
+        Checkpoint {
+            identity,
+            input_len: None,
+            fingerprint_head: None,
+            fingerprint_tail: None,
+            offset: 0,
+            records: 0,
+            matches: 0,
+            failed: 0,
+            resyncs: 0,
+            resync_bytes: 0,
+            output_bytes: 0,
+            complete: false,
+        }
+    }
+
+    /// This checkpoint advanced by one segment's [`PipelineSummary`]:
+    /// counters accumulate, and the offset moves to the segment's
+    /// committed high-water mark (never backwards).
+    pub fn advanced(&self, summary: &PipelineSummary) -> Checkpoint {
+        let mut next = self.clone();
+        next.records = next.records.saturating_add(summary.records);
+        next.matches = next.matches.saturating_add(summary.matches as u64);
+        next.failed = next.failed.saturating_add(summary.failed);
+        next.resyncs = next.resyncs.saturating_add(summary.resyncs);
+        next.resync_bytes = next.resync_bytes.saturating_add(summary.resync_bytes);
+        next.offset = next.offset.max(summary.committed_offset);
+        next
+    }
+
+    /// Serializes to the plain-text format in the [module docs](self).
+    pub fn to_text(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+        format!(
+            "{HEADER}\nidentity {}\ninput_len {}\nfingerprint_head {}\nfingerprint_tail {}\noffset {}\nrecords {}\nmatches {}\nfailed {}\nresyncs {}\nresync_bytes {}\noutput_bytes {}\ncomplete {}\n",
+            self.identity,
+            opt(self.input_len),
+            opt(self.fingerprint_head),
+            opt(self.fingerprint_tail),
+            self.offset,
+            self.records,
+            self.matches,
+            self.failed,
+            self.resyncs,
+            self.resync_bytes,
+            self.output_bytes,
+            u8::from(self.complete),
+        )
+    }
+
+    /// Parses the plain-text format.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on a wrong header, unknown key,
+    /// malformed value, or missing field.
+    pub fn from_text(text: &str) -> io::Result<Checkpoint> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad(format!("not a checkpoint file (expected `{HEADER}`)")));
+        }
+        let mut ck = Checkpoint::new(0);
+        let mut seen = 0u32;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(format!("malformed checkpoint line `{line}`")))?;
+            let parse = || -> io::Result<u64> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("bad value for `{key}`: `{value}`")))
+            };
+            let parse_opt = || -> io::Result<Option<u64>> {
+                if value == "-" {
+                    Ok(None)
+                } else {
+                    parse().map(Some)
+                }
+            };
+            match key {
+                "identity" => ck.identity = parse()?,
+                "input_len" => ck.input_len = parse_opt()?,
+                "fingerprint_head" => ck.fingerprint_head = parse_opt()?,
+                "fingerprint_tail" => ck.fingerprint_tail = parse_opt()?,
+                "offset" => ck.offset = parse()?,
+                "records" => ck.records = parse()?,
+                "matches" => ck.matches = parse()?,
+                "failed" => ck.failed = parse()?,
+                "resyncs" => ck.resyncs = parse()?,
+                "resync_bytes" => ck.resync_bytes = parse()?,
+                "output_bytes" => ck.output_bytes = parse()?,
+                "complete" => ck.complete = parse()? != 0,
+                _ => return Err(bad(format!("unknown checkpoint key `{key}`"))),
+            }
+            seen += 1;
+        }
+        if seen < 12 {
+            return Err(bad(format!("checkpoint is missing fields ({seen}/12)")));
+        }
+        Ok(ck)
+    }
+
+    /// Atomically persists the checkpoint at `path`: the bytes land in a
+    /// `.tmp` sibling first, are fsynced, and replace `path` via rename,
+    /// so readers see either the previous checkpoint or this one in full.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing, syncing, or renaming.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows
+        // fsyncing a directory; best-effort elsewhere.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and parses the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from reading; [`io::ErrorKind::InvalidData`] from
+    /// parsing (see [`Checkpoint::from_text`]).
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        Checkpoint::from_text(&text)
+    }
+}
+
+/// The sibling temp file a [`Checkpoint::save`] stages into.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(ToOwned::to_owned).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut ck = Checkpoint::new(digest_parts(&["$.a", "skip"]));
+        ck.input_len = Some(1 << 20);
+        ck.fingerprint_head = Some(fingerprint(b"head"));
+        ck.fingerprint_tail = None;
+        ck.offset = 12345;
+        ck.records = 100;
+        ck.matches = 99;
+        ck.failed = 1;
+        ck.resyncs = 2;
+        ck.resync_bytes = 37;
+        ck.output_bytes = 4096;
+        ck
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+        assert_ne!(digest_parts(&["ab", "c"]), digest_parts(&["a", "bc"]));
+        assert_eq!(digest_parts(&["a", "b"]), digest_parts(&["a", "b"]));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_field() {
+        let ck = sample();
+        let parsed = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(parsed, ck);
+        // The unknown-tail sentinel survives the round trip.
+        assert_eq!(parsed.fingerprint_tail, None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Checkpoint::from_text("not a checkpoint").is_err());
+        let wrong_version = HEADER.replace("v1", "v0");
+        assert!(Checkpoint::from_text(&format!("{wrong_version}\n")).is_err());
+        let mut text = sample().to_text();
+        text.push_str("surprise 1\n");
+        assert!(Checkpoint::from_text(&text).is_err());
+        let truncated = HEADER.to_string() + "\nidentity 1\n";
+        assert!(Checkpoint::from_text(&truncated).is_err());
+        let corrupt = sample().to_text().replace("offset 12345", "offset twelve");
+        assert!(Checkpoint::from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip_and_atomic_replace() {
+        let dir = std::env::temp_dir().join(format!("jsonski-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // Overwrite with progressed state: the rename replaces in place
+        // and no temp file survives.
+        let later = ck.advanced(&PipelineSummary {
+            records: 10,
+            matches: 8,
+            failed: 2,
+            committed_offset: 99999,
+            ..PipelineSummary::default()
+        });
+        later.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), later);
+        assert!(!tmp_path(&path).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn advanced_accumulates_and_never_rewinds_offset() {
+        let ck = sample();
+        let summary = PipelineSummary {
+            records: 5,
+            matches: 4,
+            failed: 1,
+            resyncs: 1,
+            resync_bytes: 9,
+            committed_offset: 10, // behind the checkpoint: a fresh segment
+            ..PipelineSummary::default()
+        };
+        let next = ck.advanced(&summary);
+        assert_eq!(next.records, 105);
+        assert_eq!(next.matches, 103);
+        assert_eq!(next.failed, 2);
+        assert_eq!(next.resyncs, 3);
+        assert_eq!(next.resync_bytes, 46);
+        assert_eq!(next.offset, 12345, "offset must never move backwards");
+        let forward = ck.advanced(&PipelineSummary {
+            committed_offset: 20000,
+            ..PipelineSummary::default()
+        });
+        assert_eq!(forward.offset, 20000);
+    }
+
+    #[test]
+    fn cadence_defaults_and_builders() {
+        let c = CheckpointCadence::default();
+        assert_eq!(c.every_records, 1024);
+        assert_eq!(c.every_bytes, 1 << 20);
+        let c = c.every_records(0).every_bytes(0);
+        assert_eq!(c.every_records, 1);
+        assert_eq!(c.every_bytes, 1);
+    }
+}

@@ -45,6 +45,18 @@ pub enum EngineError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// Evaluating the record panicked. [`Evaluate::evaluate`] promises not
+    /// to panic, but a production pipeline cannot stake the whole run on
+    /// that promise: the [`Pipeline`](crate::Pipeline) catches the unwind
+    /// and reports it as this ordinary per-record failure, subject to
+    /// [`ErrorPolicy`] like any other.
+    Panic {
+        /// Zero-based ordinal of the record whose evaluation panicked.
+        record_idx: u64,
+        /// The panic payload, when it was a string (the common
+        /// `panic!("…")` case); a placeholder otherwise.
+        payload: String,
+    },
 }
 
 impl EngineError {
@@ -65,6 +77,12 @@ impl fmt::Display for EngineError {
             EngineError::Engine { engine, message } => {
                 write!(f, "{engine}: {message}")
             }
+            EngineError::Panic {
+                record_idx,
+                payload,
+            } => {
+                write!(f, "evaluation panicked on record {record_idx}: {payload}")
+            }
         }
     }
 }
@@ -75,8 +93,22 @@ impl Error for EngineError {
             EngineError::Stream(e) => Some(e),
             EngineError::Io(e) => Some(e),
             EngineError::Limit(e) => Some(e),
-            EngineError::Engine { .. } => None,
+            EngineError::Engine { .. } | EngineError::Panic { .. } => None,
         }
+    }
+}
+
+/// Renders a caught panic payload for [`EngineError::Panic`]: the string
+/// itself for `&str`/`String` payloads (the `panic!` macro produces
+/// these), a placeholder for anything else.
+pub(crate) fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
     }
 }
 
@@ -198,6 +230,24 @@ pub trait MatchSink {
     fn on_resync(&mut self, span: (u64, u64), error: &EngineError) -> ControlFlow<()> {
         let _ = (span, error);
         ControlFlow::Continue(())
+    }
+
+    /// Called by a checkpointing [`Pipeline`] from the in-order merge with
+    /// the summary of everything delivered so far, and once more when the
+    /// run ends cleanly. Because the call sits behind the merge point, the
+    /// summary never claims work the sink has not already received —
+    /// persisting it (and flushing any buffered output first) makes the
+    /// run resumable. The default implementation does nothing.
+    ///
+    /// # Errors
+    ///
+    /// An [`EngineError`] aborts the run: a checkpoint that cannot be
+    /// persisted is an operational failure, not a per-record one.
+    ///
+    /// [`Pipeline`]: crate::Pipeline
+    fn on_checkpoint(&mut self, summary: &crate::PipelineSummary) -> Result<(), EngineError> {
+        let _ = summary;
+        Ok(())
     }
 }
 
@@ -499,6 +549,30 @@ mod tests {
         };
         assert!(e.to_string().contains("Pison"));
         assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn panic_error_renders_and_is_resyncable() {
+        let e = EngineError::Panic {
+            record_idx: 7,
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("record 7"));
+        assert!(e.to_string().contains("index out of bounds"));
+        assert!(Error::source(&e).is_none());
+        // A panic poisons one record, not the stream: skipping policies
+        // may continue past it.
+        assert!(e.is_resyncable());
+    }
+
+    #[test]
+    fn panic_payload_extraction() {
+        let b: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_payload(b.as_ref()), "static str");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_payload(b.as_ref()), "owned");
+        let b: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_payload(b.as_ref()), "non-string panic payload");
     }
 
     #[test]

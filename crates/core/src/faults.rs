@@ -58,6 +58,7 @@ pub struct FaultPlan {
     would_block_every: Option<u64>,
     truncate_at: Option<u64>,
     corrupt_every: Option<u64>,
+    panic_every: Option<u64>,
 }
 
 impl FaultPlan {
@@ -70,6 +71,7 @@ impl FaultPlan {
             would_block_every: None,
             truncate_at: None,
             corrupt_every: None,
+            panic_every: None,
         }
     }
 
@@ -108,6 +110,56 @@ impl FaultPlan {
     pub fn corrupt_every(mut self, n: u64) -> Self {
         self.corrupt_every = Some(n.max(1));
         self
+    }
+
+    /// Makes a [`PanicInjector`] panic on every `n`-th record (by record
+    /// ordinal: records `n-1`, `2n-1`, … counting from zero). Ignored by
+    /// [`FaultyReader`], which injects byte-level faults only.
+    pub fn panic_every(mut self, n: u64) -> Self {
+        self.panic_every = Some(n.max(1));
+        self
+    }
+}
+
+/// An [`Evaluate`] decorator that panics deterministically on the records
+/// selected by [`FaultPlan::panic_every`], delegating every other record to
+/// the wrapped engine. For torture-testing the pipeline's panic isolation:
+/// the panic fires *inside* worker evaluation, exactly where a buggy engine
+/// would fail in production.
+///
+/// [`Evaluate`]: crate::Evaluate
+#[derive(Debug)]
+pub struct PanicInjector<'a, E: ?Sized> {
+    inner: &'a E,
+    every: u64,
+}
+
+impl<'a, E: crate::Evaluate + ?Sized> PanicInjector<'a, E> {
+    /// Wraps `inner`, panicking per `plan` (a plan without
+    /// [`panic_every`](FaultPlan::panic_every) never panics).
+    pub fn new(inner: &'a E, plan: &FaultPlan) -> Self {
+        PanicInjector {
+            inner,
+            every: plan.panic_every.unwrap_or(u64::MAX),
+        }
+    }
+}
+
+impl<E: crate::Evaluate + ?Sized> crate::Evaluate for PanicInjector<'_, E> {
+    fn name(&self) -> &'static str {
+        "PanicInjector"
+    }
+
+    fn evaluate(
+        &self,
+        record: &[u8],
+        record_idx: u64,
+        sink: &mut dyn crate::MatchSink,
+    ) -> crate::RecordOutcome {
+        if (record_idx + 1).is_multiple_of(self.every) {
+            panic!("injected panic on record {record_idx}");
+        }
+        self.inner.evaluate(record, record_idx, sink)
     }
 }
 
@@ -274,6 +326,25 @@ mod tests {
         let plan = FaultPlan::new(0).would_block_every(1);
         let mut r = FaultyReader::new(&data[..], plan);
         assert_eq!(r.read(&mut buf).unwrap_err().kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn panic_injector_fires_on_schedule() {
+        use crate::Evaluate;
+        let engine = crate::JsonSki::compile("$.a").unwrap();
+        let plan = FaultPlan::new(0).panic_every(3);
+        let injector = PanicInjector::new(&engine, &plan);
+        let mut sink = crate::CountSink::default();
+        assert!(!injector.evaluate(b"{\"a\": 1}", 0, &mut sink).is_failed());
+        assert!(!injector.evaluate(b"{\"a\": 1}", 1, &mut sink).is_failed());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sink = crate::CountSink::default();
+            injector.evaluate(b"{\"a\": 1}", 2, &mut sink)
+        }));
+        assert!(caught.is_err(), "record 2 must panic");
+        // A plan without the knob never panics.
+        let quiet = PanicInjector::new(&engine, &FaultPlan::new(0));
+        assert!(!quiet.evaluate(b"{\"a\": 1}", 2, &mut sink).is_failed());
     }
 
     #[test]

@@ -39,6 +39,8 @@
 
 #![deny(missing_docs)]
 
+mod cancel;
+mod checkpoint;
 pub mod cursor;
 mod engine;
 mod error;
@@ -55,6 +57,8 @@ mod reader;
 mod records;
 mod stats;
 
+pub use cancel::CancellationToken;
+pub use checkpoint::{digest_parts, fingerprint, Checkpoint, CheckpointCadence, FINGERPRINT_BYTES};
 pub use engine::{EngineConfig, EngineConfigBuilder, JsonSki, StreamOutcome, MAX_DEPTH};
 pub use error::StreamError;
 pub use evaluate::{

@@ -212,6 +212,8 @@ pub struct Metrics {
     resync_bytes: AtomicU64,
     limit_rejections: AtomicU64,
     truncated_records: AtomicU64,
+    worker_panics: AtomicU64,
+    checkpoints: AtomicU64,
 
     // --- pipeline health ---
     producer_stalls: AtomicU64,
@@ -253,6 +255,8 @@ impl Metrics {
             resync_bytes: AtomicU64::new(0),
             limit_rejections: AtomicU64::new(0),
             truncated_records: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             producer_stalls: AtomicU64::new(0),
             worker_idle_waits: AtomicU64::new(0),
             queue_occupancy: AtomicHistogram::default(),
@@ -444,6 +448,21 @@ impl Metrics {
         }
     }
 
+    /// Records one evaluation panic caught and converted into
+    /// [`EngineError::Panic`](crate::EngineError::Panic) by the pipeline.
+    pub fn record_worker_panic(&self) {
+        if self.enabled {
+            sat_add(&self.worker_panics, 1);
+        }
+    }
+
+    /// Records one checkpoint callback delivered from the in-order merge.
+    pub fn record_checkpoint(&self) {
+        if self.enabled {
+            sat_add(&self.checkpoints, 1);
+        }
+    }
+
     /// Samples the work-queue occupancy observed while enqueuing.
     pub fn record_queue_occupancy(&self, in_flight: u64) {
         if self.enabled {
@@ -516,6 +535,8 @@ impl Metrics {
             resync_bytes: ld(&self.resync_bytes),
             limit_rejections: ld(&self.limit_rejections),
             truncated_records: ld(&self.truncated_records),
+            worker_panics: ld(&self.worker_panics),
+            checkpoints: ld(&self.checkpoints),
             producer_stalls: ld(&self.producer_stalls),
             worker_idle_waits: ld(&self.worker_idle_waits),
             queue_occupancy: self.queue_occupancy.snapshot(),
@@ -583,6 +604,10 @@ pub struct MetricsSnapshot {
     pub limit_rejections: u64,
     /// Records cut off by the end of the stream.
     pub truncated_records: u64,
+    /// Evaluation panics caught and converted into per-record failures.
+    pub worker_panics: u64,
+    /// Checkpoint callbacks delivered from the in-order merge.
+    pub checkpoints: u64,
     /// Producer stalls on the pipeline's bounded queue (backpressure).
     pub producer_stalls: u64,
     /// Worker waits for work on the pipeline's queue.
@@ -646,6 +671,8 @@ impl MetricsSnapshot {
             truncated_records: self
                 .truncated_records
                 .saturating_sub(earlier.truncated_records),
+            worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             producer_stalls: self.producer_stalls.saturating_sub(earlier.producer_stalls),
             worker_idle_waits: self
                 .worker_idle_waits
@@ -725,6 +752,8 @@ impl MetricsSnapshot {
                 "\"resync_bytes\":{},",
                 "\"limit_rejections\":{},",
                 "\"truncated_records\":{},",
+                "\"worker_panics\":{},",
+                "\"checkpoints\":{},",
                 "\"producer_stalls\":{},",
                 "\"worker_idle_waits\":{},",
                 "\"queue_occupancy_hist\":{},",
@@ -755,6 +784,8 @@ impl MetricsSnapshot {
             self.resync_bytes,
             self.limit_rejections,
             self.truncated_records,
+            self.worker_panics,
+            self.checkpoints,
             self.producer_stalls,
             self.worker_idle_waits,
             self.queue_occupancy.to_json(),
@@ -818,6 +849,13 @@ impl fmt::Display for MetricsSnapshot {
                 self.truncated_records,
             )?;
         }
+        if self.worker_panics + self.checkpoints > 0 {
+            writeln!(
+                f,
+                "crash:   {} panics caught, {} checkpoints",
+                self.worker_panics, self.checkpoints
+            )?;
+        }
         writeln!(
             f,
             "pipeline: {} producer stalls, {} worker waits",
@@ -857,6 +895,8 @@ mod tests {
         m.record_resync(100);
         m.record_limit_rejection();
         m.record_truncated_record();
+        m.record_worker_panic();
+        m.record_checkpoint();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert_eq!(m.stopwatch().elapsed_ns(), 0);
     }

@@ -49,14 +49,45 @@
 //! [`Evaluate::evaluate_metered`] — the engine's own byte-level and
 //! fast-forward counters.
 //!
+//! # Crash safety
+//!
+//! Three mechanisms make a run survivable end-to-end:
+//!
+//! * **Panic isolation** — each record's evaluation runs inside
+//!   [`std::panic::catch_unwind`], on both the worker and the serial
+//!   path. A panic becomes an ordinary [`EngineError::Panic`] carrying
+//!   the record's ordinal, flowing through the [`ErrorPolicy`] like any
+//!   other per-record failure: [`ErrorPolicy::SkipMalformed`] skips it,
+//!   [`ErrorPolicy::FailFast`] drains earlier results in order and
+//!   aborts. One poisoned record never deadlocks the bounded queues or
+//!   kills a worker thread.
+//! * **Cooperative cancellation** — attach a
+//!   [`CancellationToken`](crate::CancellationToken) with
+//!   [`Pipeline::cancel_token`] and the producer stops reading at the
+//!   next record boundary, workers finish what was already dispatched,
+//!   the merge flushes every delivered result, and the summary reports
+//!   [`cancelled`](PipelineSummary::cancelled) with the exact committed
+//!   byte offset.
+//! * **Checkpoints** — attach a
+//!   [`CheckpointCadence`](crate::CheckpointCadence) with
+//!   [`Pipeline::checkpoints`] and the in-order merge periodically calls
+//!   [`MatchSink::on_checkpoint`] with the summary-so-far. Because the
+//!   call sits *behind* the merge point, a checkpoint never claims work
+//!   that was not already delivered to the sink.
+//!
 //! [`ChunkedRecords`]: crate::ChunkedRecords
 //! [`JsonSki::stream`]: crate::JsonSki::stream
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::evaluate::{EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome};
+use crate::cancel::CancellationToken;
+use crate::checkpoint::CheckpointCadence;
+use crate::evaluate::{
+    panic_payload, EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome,
+};
 use crate::limits::{LimitExceeded, ResourceLimits};
 use crate::metrics::Metrics;
 use crate::records::RecordSplitter;
@@ -92,6 +123,15 @@ pub trait RecordSource {
     fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
         Ok(None)
     }
+
+    /// The global byte offset just past the most recently returned record
+    /// (or resynchronized span) — how far into the stream the source has
+    /// consumed. `None` (the default) means the source cannot report
+    /// offsets, which leaves [`PipelineSummary::committed_offset`] at 0
+    /// and makes checkpoints carry counters only.
+    fn consumed_offset(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// [`RecordSource`] over an in-memory stream, using the bit-parallel
@@ -122,6 +162,10 @@ impl RecordSource for SliceRecords<'_> {
     fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
         Ok(self.splitter.resync().map(|(s, e)| (s as u64, e as u64)))
     }
+
+    fn consumed_offset(&self) -> Option<u64> {
+        Some(self.splitter.pos() as u64)
+    }
 }
 
 impl<R: std::io::Read> RecordSource for crate::ChunkedRecords<R> {
@@ -131,6 +175,10 @@ impl<R: std::io::Read> RecordSource for crate::ChunkedRecords<R> {
 
     fn resync(&mut self) -> Result<Option<(u64, u64)>, EngineError> {
         crate::ChunkedRecords::resync(self).map_err(EngineError::from)
+    }
+
+    fn consumed_offset(&self) -> Option<u64> {
+        Some(crate::ChunkedRecords::consumed_offset(self))
     }
 }
 
@@ -151,6 +199,15 @@ pub struct PipelineSummary {
     pub resyncs: u64,
     /// Total bytes abandoned by those resynchronizations.
     pub resync_bytes: u64,
+    /// Whether the run was ended early by cooperative cancellation (see
+    /// [`Pipeline::cancel_token`]). Everything counted above was still
+    /// fully delivered before the run returned.
+    pub cancelled: bool,
+    /// High-water committed input offset: the global byte offset just past
+    /// the last record (or resynchronized span) whose outcome was merged.
+    /// Stays 0 when the source does not report offsets
+    /// ([`RecordSource::consumed_offset`]).
+    pub committed_offset: u64,
 }
 
 /// Parallel record-batch runner; see the [module docs](self).
@@ -177,6 +234,8 @@ pub struct Pipeline {
     policy: ErrorPolicy,
     limits: ResourceLimits,
     metrics: Option<Arc<Metrics>>,
+    cancel: Option<CancellationToken>,
+    checkpoints: Option<CheckpointCadence>,
 }
 
 impl Default for Pipeline {
@@ -197,6 +256,8 @@ impl Pipeline {
             policy: ErrorPolicy::default(),
             limits: ResourceLimits::default(),
             metrics: None,
+            cancel: None,
+            checkpoints: None,
         }
     }
 
@@ -237,9 +298,37 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a cooperative cancellation token. When it trips, the run
+    /// stops reading at the next record boundary, finishes records already
+    /// dispatched, delivers them in order, and returns `Ok` with
+    /// [`PipelineSummary::cancelled`] set — never an error, never a
+    /// half-delivered record.
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Enables checkpointing at the given cadence:
+    /// [`MatchSink::on_checkpoint`] is called from the in-order merge with
+    /// the summary of everything delivered so far, plus once more when the
+    /// run ends cleanly (complete, stopped, or cancelled). An error from
+    /// the callback aborts the run — a checkpoint that cannot be persisted
+    /// is an operational failure, not a per-record one.
+    pub fn checkpoints(mut self, cadence: CheckpointCadence) -> Self {
+        self.checkpoints = Some(cadence);
+        self
+    }
+
     /// The attached registry, only when it actually records.
     fn live_metrics(&self) -> Option<&Metrics> {
         self.metrics.as_deref().filter(|m| m.is_enabled())
+    }
+
+    /// Whether the attached token (if any) has requested cancellation.
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
     }
 
     /// Runs `engine` over every record of `source`, delivering matches to
@@ -270,16 +359,20 @@ impl Pipeline {
     ) -> Result<PipelineSummary, EngineError> {
         let metrics = self.live_metrics();
         let mut summary = PipelineSummary::default();
+        let mut tracker = self.checkpoints.map(CheckpointTracker::new);
         let mut idx = 0u64;
         let mut staged = Collector(Vec::new());
         loop {
-            // The record borrow must die inside the match so the error path
-            // below can use the source again (for resync).
-            let source_err = match source.next_record() {
-                Ok(None) => break,
-                Err(e) => Some(e),
+            if self.is_cancelled() {
+                summary.cancelled = true;
+                break;
+            }
+            // The record borrow must die inside the match so the paths
+            // below can use the source again (resync, consumed_offset).
+            let step = match source.next_record() {
+                Ok(None) => Step::Done,
+                Err(e) => Step::SourceErr(e),
                 Ok(Some(record)) => {
-                    summary.records += 1;
                     let len = record.len() as u64;
                     let outcome = if record.len() > self.limits.max_record_bytes {
                         // Rejected before dispatch: no evaluation work.
@@ -292,14 +385,44 @@ impl Pipeline {
                         }))
                     } else {
                         staged.0.clear();
-                        match metrics {
+                        // Unwind safety: see `worker_loop` — engines hold no
+                        // cross-record state, and `staged` is cleared before
+                        // the next use so a torn stage is never replayed.
+                        catch_unwind(AssertUnwindSafe(|| match metrics {
                             Some(m) => {
                                 m.record_worker(0, len);
                                 engine.evaluate_metered(record, idx, &mut staged, m)
                             }
                             None => engine.evaluate(record, idx, &mut staged),
-                        }
+                        }))
+                        .unwrap_or_else(|p| {
+                            if let Some(m) = metrics {
+                                m.record_worker_panic();
+                            }
+                            RecordOutcome::Failed(EngineError::Panic {
+                                record_idx: idx,
+                                payload: panic_payload(p.as_ref()),
+                            })
+                        })
                     };
+                    Step::Evaluated { len, outcome }
+                }
+            };
+            match step {
+                Step::Done => break,
+                Step::SourceErr(e) => match self.try_resync(source, sink, &e, &mut summary)? {
+                    Resynced::Continue => {}
+                    Resynced::Stopped => {
+                        self.final_checkpoint(&tracker, sink, &summary)?;
+                        return Ok(summary);
+                    }
+                    Resynced::Unrecoverable => return Err(e),
+                },
+                Step::Evaluated { len, outcome } => {
+                    summary.records += 1;
+                    if let Some(end) = source.consumed_offset() {
+                        summary.committed_offset = summary.committed_offset.max(end);
+                    }
                     match outcome {
                         RecordOutcome::Complete { .. } | RecordOutcome::Stopped { .. } => {
                             let (delivered, broke) = replay(&staged.0, idx, sink);
@@ -309,6 +432,7 @@ impl Pipeline {
                             }
                             if broke {
                                 summary.stopped = true;
+                                self.final_checkpoint(&tracker, sink, &summary)?;
                                 return Ok(summary);
                             }
                         }
@@ -321,24 +445,50 @@ impl Pipeline {
                                 }
                                 if sink.on_record_error(idx, &e).is_break() {
                                     summary.stopped = true;
+                                    self.final_checkpoint(&tracker, sink, &summary)?;
                                     return Ok(summary);
                                 }
                             }
                         },
                     }
                     idx += 1;
-                    None
-                }
-            };
-            if let Some(e) = source_err {
-                match self.try_resync(source, sink, &e, &mut summary)? {
-                    Resynced::Continue => {}
-                    Resynced::Stopped => return Ok(summary),
-                    Resynced::Unrecoverable => return Err(e),
+                    if let Some(t) = tracker.as_mut() {
+                        if t.due(len) {
+                            self.emit_checkpoint(sink, &summary)?;
+                        }
+                    }
                 }
             }
         }
+        self.final_checkpoint(&tracker, sink, &summary)?;
         Ok(summary)
+    }
+
+    /// Delivers one checkpoint callback, recording it in metrics.
+    fn emit_checkpoint(
+        &self,
+        sink: &mut dyn MatchSink,
+        summary: &PipelineSummary,
+    ) -> Result<(), EngineError> {
+        if let Some(m) = self.live_metrics() {
+            m.record_checkpoint();
+        }
+        sink.on_checkpoint(summary)
+    }
+
+    /// The closing checkpoint of a cleanly ending run (complete, stopped,
+    /// or cancelled), so the caller's last durable state matches the
+    /// returned summary. No-op when checkpointing is off.
+    fn final_checkpoint(
+        &self,
+        tracker: &Option<CheckpointTracker>,
+        sink: &mut dyn MatchSink,
+        summary: &PipelineSummary,
+    ) -> Result<(), EngineError> {
+        if tracker.is_some() {
+            self.emit_checkpoint(sink, summary)?;
+        }
+        Ok(())
     }
 
     /// Shared source-error recovery: under [`ErrorPolicy::SkipMalformed`],
@@ -359,6 +509,7 @@ impl Pipeline {
             Some(span) => {
                 summary.resyncs += 1;
                 summary.resync_bytes += span.1 - span.0;
+                summary.committed_offset = summary.committed_offset.max(span.1);
                 if let Some(m) = self.live_metrics() {
                     m.record_resync(span.1 - span.0);
                 }
@@ -396,14 +547,13 @@ impl Pipeline {
                 let shared = &shared;
                 scope.spawn(move || worker_loop(engine, shared, worker, metrics));
             }
-            let result = self.produce_and_merge(source, sink, &shared, capacity);
-            // Whatever happened, release the workers before the scope joins.
-            let mut state = shared.state.lock().unwrap();
-            state.producer_done = true;
-            state.stop = state.stop || result.is_err();
-            drop(state);
-            shared.work_ready.notify_all();
-            result
+            // Guard, not epilogue: the merge loop runs sink callbacks, and
+            // a panicking sink would otherwise skip the release and leave
+            // the scope join deadlocked on workers waiting for work. By
+            // drop time every result the run will ever deliver has been
+            // merged, so `stop` abandons nothing.
+            let _release = ReleaseWorkers(&shared);
+            self.produce_and_merge(source, sink, &shared, capacity)
         })
     }
 
@@ -422,6 +572,7 @@ impl Pipeline {
     ) -> Result<PipelineSummary, EngineError> {
         let metrics = self.live_metrics();
         let mut summary = PipelineSummary::default();
+        let mut tracker = self.checkpoints.map(CheckpointTracker::new);
         let mut next_read = 0u64; // next merge ordinal to assign
         let mut next_merge = 0u64; // next merge ordinal to deliver
         let mut record_idx = 0u64; // record ordinal (excludes resync events)
@@ -445,18 +596,23 @@ impl Pipeline {
                     MergeItem::Resync(span, e) => {
                         summary.resyncs += 1;
                         summary.resync_bytes += span.1 - span.0;
+                        summary.committed_offset = summary.committed_offset.max(span.1);
                         if let Some(m) = metrics {
                             m.record_resync(span.1 - span.0);
                         }
                         if sink.on_resync(span, &e).is_break() {
                             summary.stopped = true;
                             self.stop(shared);
+                            self.final_checkpoint(&tracker, sink, &summary)?;
                             return Ok(summary);
                         }
                     }
-                    MergeItem::Record(len, res) => {
+                    MergeItem::Record { len, end, result } => {
                         summary.records += 1;
-                        match res {
+                        if let Some(end) = end {
+                            summary.committed_offset = summary.committed_offset.max(end);
+                        }
+                        match result {
                             Ok(matches) => {
                                 let (delivered, broke) = replay(&matches, record_idx, sink);
                                 summary.matches += delivered;
@@ -466,34 +622,59 @@ impl Pipeline {
                                 if broke {
                                     summary.stopped = true;
                                     self.stop(shared);
+                                    self.final_checkpoint(&tracker, sink, &summary)?;
                                     return Ok(summary);
                                 }
                             }
-                            Err(e) => match self.policy {
-                                ErrorPolicy::FailFast => {
+                            Err(mut e) => {
+                                // Workers only know merge ordinals; stamp
+                                // the true record ordinal at the merge,
+                                // where it is known.
+                                if let EngineError::Panic { record_idx: ri, .. } = &mut e {
+                                    *ri = record_idx;
+                                }
+                                match self.policy {
+                                    ErrorPolicy::FailFast => {
+                                        self.stop(shared);
+                                        return Err(e);
+                                    }
+                                    ErrorPolicy::SkipMalformed => {
+                                        summary.failed += 1;
+                                        if let Some(m) = metrics {
+                                            m.record_skipped_record();
+                                        }
+                                        if sink.on_record_error(record_idx, &e).is_break() {
+                                            summary.stopped = true;
+                                            self.stop(shared);
+                                            self.final_checkpoint(&tracker, sink, &summary)?;
+                                            return Ok(summary);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        record_idx += 1;
+                        if let Some(t) = tracker.as_mut() {
+                            if t.due(len as u64) {
+                                if let Err(e) = self.emit_checkpoint(sink, &summary) {
                                     self.stop(shared);
                                     return Err(e);
                                 }
-                                ErrorPolicy::SkipMalformed => {
-                                    summary.failed += 1;
-                                    if let Some(m) = metrics {
-                                        m.record_skipped_record();
-                                    }
-                                    if sink.on_record_error(record_idx, &e).is_break() {
-                                        summary.stopped = true;
-                                        self.stop(shared);
-                                        return Ok(summary);
-                                    }
-                                }
-                            },
+                            }
                         }
-                        record_idx += 1;
                     }
                 }
                 next_merge += 1;
             }
             // Refill the queue up to the in-flight bound (backpressure).
             while !source_done {
+                if self.is_cancelled() {
+                    // Stop producing; everything already dispatched still
+                    // drains through the merge above before we return.
+                    summary.cancelled = true;
+                    source_done = true;
+                    break;
+                }
                 {
                     let state = shared.state.lock().unwrap();
                     if state.in_flight >= capacity {
@@ -503,73 +684,88 @@ impl Pipeline {
                         break;
                     }
                 }
-                let source_err = match source.next_record() {
-                    Ok(None) => {
-                        source_done = true;
-                        None
-                    }
-                    Err(e) => Some(e),
+                // The record borrow must die before `consumed_offset`, so
+                // classify the read first and dispatch after.
+                let got = match source.next_record() {
+                    Ok(None) => Fetched::End,
+                    Err(e) => Fetched::Fail(e),
                     Ok(Some(record)) => {
                         if record.len() > self.limits.max_record_bytes {
-                            // Rejected before dispatch: deposit a
-                            // pre-failed result directly into the merge
-                            // sequence, skipping the workers entirely.
-                            if let Some(m) = metrics {
-                                m.record_limit_rejection();
-                            }
-                            let e = EngineError::Limit(LimitExceeded::RecordBytes {
-                                len: record.len(),
-                                limit: self.limits.max_record_bytes,
-                            });
-                            let mut state = shared.state.lock().unwrap();
-                            state
-                                .results
-                                .insert(next_read, MergeItem::Record(record.len(), Err(e)));
-                            state.in_flight += 1;
-                            next_read += 1;
+                            Fetched::Oversized(record.len())
                         } else {
-                            let owned = record.to_vec();
-                            let mut state = shared.state.lock().unwrap();
-                            state.queue.push_back((next_read, owned));
-                            state.in_flight += 1;
-                            if let Some(m) = metrics {
-                                m.record_queue_occupancy(state.in_flight as u64);
-                            }
-                            next_read += 1;
-                            drop(state);
-                            shared.work_ready.notify_one();
+                            Fetched::Dispatch(record.to_vec())
                         }
-                        None
                     }
                 };
-                if let Some(e) = source_err {
-                    if matches!(self.policy, ErrorPolicy::SkipMalformed) && e.is_resyncable() {
-                        match source.resync() {
-                            Ok(Some(span)) => {
-                                // Enters the merge sequence so the sink
-                                // sees it after all earlier records.
-                                let mut state = shared.state.lock().unwrap();
-                                state.results.insert(next_read, MergeItem::Resync(span, e));
-                                state.in_flight += 1;
-                                next_read += 1;
-                                continue;
-                            }
-                            Ok(None) => {
-                                self.stop(shared);
-                                return Err(e);
-                            }
-                            Err(resync_err) => {
-                                self.stop(shared);
-                                return Err(resync_err);
+                let end = source.consumed_offset();
+                match got {
+                    Fetched::End => {
+                        source_done = true;
+                    }
+                    Fetched::Oversized(len) => {
+                        // Rejected before dispatch: deposit a pre-failed
+                        // result directly into the merge sequence,
+                        // skipping the workers entirely.
+                        if let Some(m) = metrics {
+                            m.record_limit_rejection();
+                        }
+                        let e = EngineError::Limit(LimitExceeded::RecordBytes {
+                            len,
+                            limit: self.limits.max_record_bytes,
+                        });
+                        let mut state = shared.state.lock().unwrap();
+                        state.results.insert(
+                            next_read,
+                            MergeItem::Record {
+                                len,
+                                end,
+                                result: Err(e),
+                            },
+                        );
+                        state.in_flight += 1;
+                        next_read += 1;
+                    }
+                    Fetched::Dispatch(owned) => {
+                        let mut state = shared.state.lock().unwrap();
+                        state.queue.push_back((next_read, end, owned));
+                        state.in_flight += 1;
+                        if let Some(m) = metrics {
+                            m.record_queue_occupancy(state.in_flight as u64);
+                        }
+                        next_read += 1;
+                        drop(state);
+                        shared.work_ready.notify_one();
+                    }
+                    Fetched::Fail(e) => {
+                        if matches!(self.policy, ErrorPolicy::SkipMalformed) && e.is_resyncable() {
+                            match source.resync() {
+                                Ok(Some(span)) => {
+                                    // Enters the merge sequence so the sink
+                                    // sees it after all earlier records.
+                                    let mut state = shared.state.lock().unwrap();
+                                    state.results.insert(next_read, MergeItem::Resync(span, e));
+                                    state.in_flight += 1;
+                                    next_read += 1;
+                                    continue;
+                                }
+                                Ok(None) => {
+                                    self.stop(shared);
+                                    return Err(e);
+                                }
+                                Err(resync_err) => {
+                                    self.stop(shared);
+                                    return Err(resync_err);
+                                }
                             }
                         }
+                        self.stop(shared);
+                        return Err(e);
                     }
-                    self.stop(shared);
-                    return Err(e);
                 }
             }
             // Done when everything read has been merged.
             if source_done && next_merge == next_read {
+                self.final_checkpoint(&tracker, sink, &summary)?;
                 return Ok(summary);
             }
             // Otherwise wait until the next in-order result lands.
@@ -610,19 +806,76 @@ enum Resynced {
     Unrecoverable,
 }
 
+/// One step of the serial loop, computed while the record borrow is live
+/// so the source can be used again (offset, resync) once it is dropped.
+enum Step {
+    Done,
+    SourceErr(EngineError),
+    Evaluated { len: u64, outcome: RecordOutcome },
+}
+
+/// One read of the parallel producer, classified while the record borrow
+/// is live; dispatching happens after, so the producer can also ask the
+/// source for its consumed offset.
+enum Fetched {
+    End,
+    Fail(EngineError),
+    Oversized(usize),
+    Dispatch(Vec<u8>),
+}
+
+/// Counts merged records/bytes against a [`CheckpointCadence`].
+struct CheckpointTracker {
+    cadence: CheckpointCadence,
+    records: u64,
+    bytes: u64,
+}
+
+impl CheckpointTracker {
+    fn new(cadence: CheckpointCadence) -> Self {
+        CheckpointTracker {
+            cadence,
+            records: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Accounts one merged record; `true` when a checkpoint is due (and
+    /// the counters reset).
+    fn due(&mut self, record_bytes: u64) -> bool {
+        self.records += 1;
+        self.bytes = self.bytes.saturating_add(record_bytes);
+        if self.records >= self.cadence.every_records || self.bytes >= self.cadence.every_bytes {
+            self.records = 0;
+            self.bytes = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// One entry in the in-order merge sequence.
 enum MergeItem {
-    /// A dispatched (or pre-rejected) record: its byte length, plus
-    /// collected match bytes or the failure.
-    Record(usize, Result<Vec<Vec<u8>>, EngineError>),
+    /// A dispatched (or pre-rejected) record.
+    Record {
+        /// The record's byte length.
+        len: usize,
+        /// Global offset just past the record in the input stream, when
+        /// the source reports offsets.
+        end: Option<u64>,
+        /// Collected match bytes, or the failure.
+        result: Result<Vec<Vec<u8>>, EngineError>,
+    },
     /// A source resynchronization: the skipped global span and the error
     /// that caused it.
     Resync((u64, u64), EngineError),
 }
 
 struct State {
-    /// FIFO of records awaiting a worker.
-    queue: VecDeque<(u64, Vec<u8>)>,
+    /// FIFO of records awaiting a worker: merge ordinal, end offset,
+    /// record bytes.
+    queue: VecDeque<(u64, Option<u64>, Vec<u8>)>,
     /// Completed records awaiting in-order merging.
     results: BTreeMap<u64, MergeItem>,
     /// Records read from the source but not yet merged (queued, executing,
@@ -630,6 +883,24 @@ struct State {
     in_flight: usize,
     producer_done: bool,
     stop: bool,
+}
+
+/// Drop guard that releases all workers: set the end flags and wake
+/// everyone, tolerating a poisoned lock (the flags it writes are sound to
+/// set whatever state the panic interrupted).
+struct ReleaseWorkers<'a>(&'a Shared);
+
+impl Drop for ReleaseWorkers<'_> {
+    fn drop(&mut self) {
+        let mut state = match self.0.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.producer_done = true;
+        state.stop = true;
+        drop(state);
+        self.0.work_ready.notify_all();
+    }
 }
 
 struct Shared {
@@ -657,24 +928,49 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: O
         if state.stop {
             return;
         }
-        if let Some((idx, record)) = state.queue.pop_front() {
+        if let Some((idx, end, record)) = state.queue.pop_front() {
             drop(state);
-            let mut collector = Collector(Vec::new());
-            let outcome = match metrics {
-                Some(m) => {
-                    m.record_worker(worker, record.len() as u64);
-                    engine.evaluate_metered(&record, idx, &mut collector, m)
+            // Unwind safety: the engine is `&dyn Evaluate` with no
+            // cross-record mutable state (evaluation state is rebuilt per
+            // record), the collector is local to this closure and
+            // discarded on unwind, and metrics counters are monotone
+            // saturating adds — a torn update is at worst an off-by-one
+            // count, never a broken invariant.
+            let unwind = catch_unwind(AssertUnwindSafe(|| {
+                let mut collector = Collector(Vec::new());
+                let outcome = match metrics {
+                    Some(m) => {
+                        m.record_worker(worker, record.len() as u64);
+                        engine.evaluate_metered(&record, idx, &mut collector, m)
+                    }
+                    None => engine.evaluate(&record, idx, &mut collector),
+                };
+                (outcome, collector.0)
+            }));
+            let result = match unwind {
+                Ok((RecordOutcome::Failed(e), _)) => Err(e),
+                Ok((_, matches)) => Ok(matches),
+                Err(p) => {
+                    if let Some(m) = metrics {
+                        m.record_worker_panic();
+                    }
+                    // `idx` is a merge ordinal; the merge loop stamps the
+                    // true record ordinal before the sink sees it.
+                    Err(EngineError::Panic {
+                        record_idx: idx,
+                        payload: panic_payload(p.as_ref()),
+                    })
                 }
-                None => engine.evaluate(&record, idx, &mut collector),
-            };
-            let result = match outcome {
-                RecordOutcome::Failed(e) => Err(e),
-                _ => Ok(collector.0),
             };
             state = shared.state.lock().unwrap();
-            state
-                .results
-                .insert(idx, MergeItem::Record(record.len(), result));
+            state.results.insert(
+                idx,
+                MergeItem::Record {
+                    len: record.len(),
+                    end,
+                    result,
+                },
+            );
             shared.result_ready.notify_all();
         } else if state.producer_done {
             return;
@@ -1077,6 +1373,298 @@ mod tests {
             assert_eq!(s_bad.records_skipped, 1, "workers={workers}");
             assert_eq!(s_bad.records_failed, 1, "workers={workers}");
             assert_eq!(s_bad.bytes_failed, 5, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_become_typed_errors_at_the_right_index() {
+        let stream = stream_of(12);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let plan = crate::faults::FaultPlan::new(0).panic_every(5); // records 4 and 9
+        let injector = crate::faults::PanicInjector::new(&engine, &plan);
+        for workers in [1, 2, 8] {
+            let mut panics = Vec::new();
+            struct Recorder<'a> {
+                matches: usize,
+                panics: &'a mut Vec<(u64, u64)>,
+            }
+            impl MatchSink for Recorder<'_> {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    self.matches += 1;
+                    ControlFlow::Continue(())
+                }
+                fn on_record_error(&mut self, idx: u64, e: &EngineError) -> ControlFlow<()> {
+                    match e {
+                        EngineError::Panic { record_idx, .. } => {
+                            self.panics.push((idx, *record_idx));
+                        }
+                        other => panic!("expected Panic, got {other}"),
+                    }
+                    ControlFlow::Continue(())
+                }
+            }
+            let mut sink = Recorder {
+                matches: 0,
+                panics: &mut panics,
+            };
+            let metrics = Arc::new(Metrics::new());
+            let summary = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .metrics(Arc::clone(&metrics))
+                .run(&injector, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert_eq!(summary.records, 12, "workers={workers}");
+            assert_eq!(summary.failed, 2, "workers={workers}");
+            assert_eq!(sink.matches, 10, "workers={workers}");
+            // The error's own record_idx must agree with the callback's.
+            assert_eq!(*sink.panics, vec![(4, 4), (9, 9)], "workers={workers}");
+            assert_eq!(metrics.snapshot().worker_panics, 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fail_fast_panic_drains_in_order_then_aborts() {
+        let stream = stream_of(10);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let plan = crate::faults::FaultPlan::new(0).panic_every(6); // record 5
+        let injector = crate::faults::PanicInjector::new(&engine, &plan);
+        for workers in [1, 4] {
+            let mut sink = CountSink::default();
+            let err = Pipeline::new()
+                .workers(workers)
+                .run(&injector, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap_err();
+            match err {
+                EngineError::Panic { record_idx, .. } => {
+                    assert_eq!(record_idx, 5, "workers={workers}")
+                }
+                other => panic!("expected Panic, got {other} (workers={workers})"),
+            }
+            // Everything before the panicked record was still delivered.
+            assert_eq!(sink.matches, 5, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sink_panic_joins_workers_instead_of_deadlocking() {
+        // Without the ReleaseWorkers drop guard this test never returns:
+        // the scope join waits on workers parked on the work condvar.
+        let stream = stream_of(64);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut sink = FnSink::new(|idx, _m: &[u8]| {
+                if idx == 3 {
+                    panic!("sink exploded");
+                }
+                ControlFlow::Continue(())
+            });
+            Pipeline::new().workers(4).queue_depth(2).run(
+                &engine,
+                &mut SliceRecords::new(&stream),
+                &mut sink,
+            )
+        }));
+        assert!(result.is_err(), "the sink panic must propagate");
+    }
+
+    #[test]
+    fn early_break_joins_workers_before_returning() {
+        // `run` returns through `thread::scope`, which joins every worker;
+        // observing an in-flight evaluation after `run` returned would mean
+        // a leaked thread. The gauge engine counts entries and exits.
+        use std::sync::atomic::{AtomicI64, Ordering};
+        struct Gauge<'a> {
+            inner: &'a JsonSki,
+            active: &'a AtomicI64,
+        }
+        impl Evaluate for Gauge<'_> {
+            fn name(&self) -> &'static str {
+                "gauge"
+            }
+            fn evaluate(
+                &self,
+                record: &[u8],
+                record_idx: u64,
+                sink: &mut dyn MatchSink,
+            ) -> RecordOutcome {
+                self.active.fetch_add(1, Ordering::SeqCst);
+                let out = self.inner.evaluate(record, record_idx, sink);
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                out
+            }
+        }
+        let stream = stream_of(200);
+        let engine = JsonSki::compile("$.a").unwrap();
+        let active = AtomicI64::new(0);
+        let gauge = Gauge {
+            inner: &engine,
+            active: &active,
+        };
+        let mut sink = FnSink::new(|_, _m: &[u8]| ControlFlow::Break(()));
+        let summary = Pipeline::new()
+            .workers(8)
+            .run(&gauge, &mut SliceRecords::new(&stream), &mut sink)
+            .unwrap();
+        assert!(summary.stopped);
+        assert_eq!(
+            active.load(Ordering::SeqCst),
+            0,
+            "no worker may outlive the run"
+        );
+    }
+
+    #[test]
+    fn cancellation_drains_and_reports_committed_offset() {
+        let stream = stream_of(30);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let token = crate::CancellationToken::new();
+            let trip = token.clone();
+            let mut sink = FnSink::new(move |idx, _m: &[u8]| {
+                if idx == 2 {
+                    trip.cancel();
+                }
+                ControlFlow::Continue(())
+            });
+            let summary = Pipeline::new()
+                .workers(workers)
+                .cancel_token(token)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert!(summary.cancelled, "workers={workers}");
+            assert!(!summary.stopped, "workers={workers}");
+            assert!(
+                summary.records >= 3 && summary.records < 30,
+                "workers={workers}, records={}",
+                summary.records
+            );
+            // Everything dispatched was still delivered in order...
+            assert_eq!(summary.matches as u64, summary.records, "workers={workers}");
+            // ...and a second run from the committed offset covers the rest
+            // of the stream exactly once.
+            let rest = &stream[summary.committed_offset as usize..];
+            let mut tail_sink = CountSink::default();
+            let tail = Pipeline::new()
+                .workers(workers)
+                .run(&engine, &mut SliceRecords::new(rest), &mut tail_sink)
+                .unwrap();
+            assert_eq!(summary.records + tail.records, 30, "workers={workers}");
+            assert_eq!(summary.matches + tail_sink.matches, 30, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_delivers_nothing() {
+        let stream = stream_of(10);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let token = crate::CancellationToken::new();
+            token.cancel();
+            let mut sink = CountSink::default();
+            let summary = Pipeline::new()
+                .workers(workers)
+                .cancel_token(token)
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            assert!(summary.cancelled, "workers={workers}");
+            assert_eq!(summary.records, 0, "workers={workers}");
+            assert_eq!(sink.matches, 0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_report_only_delivered_work() {
+        let stream = stream_of(10);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            struct Recorder {
+                matches: usize,
+                checkpoints: Vec<PipelineSummary>,
+            }
+            impl MatchSink for Recorder {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    self.matches += 1;
+                    ControlFlow::Continue(())
+                }
+                fn on_checkpoint(&mut self, summary: &PipelineSummary) -> Result<(), EngineError> {
+                    // Invariant: a checkpoint never claims undelivered work.
+                    assert_eq!(summary.matches, self.matches);
+                    self.checkpoints.push(*summary);
+                    Ok(())
+                }
+            }
+            let mut sink = Recorder {
+                matches: 0,
+                checkpoints: Vec::new(),
+            };
+            let metrics = Arc::new(Metrics::new());
+            let summary = Pipeline::new()
+                .workers(workers)
+                .metrics(Arc::clone(&metrics))
+                .checkpoints(CheckpointCadence::default().every_records(3))
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap();
+            // Cadence checkpoints at records 3, 6, 9 plus the final one.
+            assert_eq!(sink.checkpoints.len(), 4, "workers={workers}");
+            let records: Vec<u64> = sink.checkpoints.iter().map(|s| s.records).collect();
+            assert_eq!(records, vec![3, 6, 9, 10], "workers={workers}");
+            assert!(
+                sink.checkpoints
+                    .windows(2)
+                    .all(|w| w[0].committed_offset <= w[1].committed_offset),
+                "workers={workers}"
+            );
+            assert_eq!(*sink.checkpoints.last().unwrap(), summary);
+            assert_eq!(metrics.snapshot().checkpoints, 4, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_failure_aborts_the_run() {
+        let stream = stream_of(20);
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            struct Failing(usize);
+            impl MatchSink for Failing {
+                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                    ControlFlow::Continue(())
+                }
+                fn on_checkpoint(&mut self, _s: &PipelineSummary) -> Result<(), EngineError> {
+                    self.0 += 1;
+                    Err(EngineError::Io(std::io::Error::other("disk full")))
+                }
+            }
+            let mut sink = Failing(0);
+            let err = Pipeline::new()
+                .workers(workers)
+                .checkpoints(CheckpointCadence::default().every_records(5))
+                .run(&engine, &mut SliceRecords::new(&stream), &mut sink)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Io(_)), "workers={workers}");
+            assert_eq!(sink.0, 1, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn committed_offset_spans_resyncs_and_records() {
+        let stream = b"{\"a\": 1}\n{\"a\": \n{\"a\": 2}\n";
+        let engine = JsonSki::compile("$.a").unwrap();
+        for workers in [1, 4] {
+            let mut sink = CountSink::default();
+            let summary = Pipeline::new()
+                .workers(workers)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .run(&engine, &mut SliceRecords::new(stream), &mut sink)
+                .unwrap();
+            assert_eq!(summary.records, 2, "workers={workers}");
+            assert_eq!(summary.resyncs, 1, "workers={workers}");
+            // The high-water mark covers the final record.
+            assert_eq!(
+                summary.committed_offset,
+                stream.len() as u64 - 1, // the trailing newline is never consumed
+                "workers={workers}"
+            );
         }
     }
 

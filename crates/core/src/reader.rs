@@ -32,6 +32,7 @@ use std::io::{ErrorKind, Read};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::cancel::CancellationToken;
 use crate::error::StreamError;
 use crate::limits::{LimitExceeded, ResourceLimits};
 use crate::metrics::Metrics;
@@ -169,6 +170,7 @@ pub struct ChunkedRecords<R> {
     limits: ResourceLimits,
     retry: RetryPolicy,
     metrics: Option<Arc<Metrics>>,
+    cancel: Option<CancellationToken>,
     /// Buffer-coordinate span of a complete record that was rejected by a
     /// limit; [`resync`](Self::resync) skips exactly these bytes.
     pending_skip: Option<(usize, usize)>,
@@ -195,8 +197,34 @@ impl<R: Read> ChunkedRecords<R> {
             limits: ResourceLimits::default(),
             retry: RetryPolicy::default(),
             metrics: None,
+            cancel: None,
             pending_skip: None,
         }
+    }
+
+    /// Declares that the stream does not start at byte 0: `base` is the
+    /// global offset of the reader's first byte (builder-style). Used when
+    /// resuming from a checkpoint, so resync spans and
+    /// [`consumed_offset`](Self::consumed_offset) keep reporting
+    /// whole-stream coordinates.
+    pub fn start_offset(mut self, base: u64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (builder-style): when it
+    /// trips, [`next_record`](Self::next_record) reports a clean end of
+    /// stream at the next record boundary instead of reading further.
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The global stream offset just past the last byte handed out (as a
+    /// record or a resynchronized span): the offset a checkpoint can
+    /// safely restart from.
+    pub fn consumed_offset(&self) -> u64 {
+        self.base + self.consumed as u64
     }
 
     /// Sets the resource limits enforced while reading (builder-style).
@@ -232,6 +260,16 @@ impl<R: Read> ChunkedRecords<R> {
     /// are sticky until [`resync`](Self::resync) is called; I/O errors are
     /// not recoverable.
     pub fn next_record(&mut self) -> Result<Option<&[u8]>, ReadRecordError> {
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+        {
+            // A cancelled reader looks like a cleanly ended stream: the
+            // bytes up to `consumed_offset` were fully handed out, nothing
+            // after them was touched.
+            return Ok(None);
+        }
         loop {
             // Try to find one complete record in the unconsumed region.
             if let Some(span) = self.try_parse_one()? {

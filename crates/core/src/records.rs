@@ -7,6 +7,8 @@
 //! container is skipped bit-parallel to find its end, without tokenizing
 //! record contents at all.
 
+use simdbits::BLOCK;
+
 use crate::cursor::Cursor;
 use crate::error::StreamError;
 use crate::fastforward::{go_over_ary, go_over_obj};
@@ -53,6 +55,14 @@ impl<'a> RecordSplitter<'a> {
         self.cursor.input()
     }
 
+    /// The splitter's current position: the byte just past the most
+    /// recently returned record (or, after [`resync`](Self::resync), the
+    /// resume point past the abandoned span). This is the offset a
+    /// checkpoint can safely restart from.
+    pub fn pos(&self) -> usize {
+        self.cursor.pos()
+    }
+
     /// After [`next`](Iterator::next) returned an error, skips forward to
     /// the byte after the next raw `\n` (or to the end of the stream) and
     /// re-arms the iterator, returning the `(start, end)` span of the bytes
@@ -76,6 +86,16 @@ impl<'a> RecordSplitter<'a> {
             Some(i) => from + i + 1,
             None => input.len(),
         };
+        // The failed scan may have classified words beyond the resume point,
+        // and the streaming discipline discards every word's bitmaps but the
+        // newest — a rewind into a discarded word must restart the cursor so
+        // classification re-runs from the stream head. The classifier is
+        // deterministic, so the re-derived bitmaps are identical; the cost
+        // (re-classifying the abandoned prefix) stays on this cold path.
+        let frontier = self.cursor.words_classified().saturating_sub(1) * BLOCK;
+        if resume < frontier {
+            self.cursor = Cursor::new(input);
+        }
         self.cursor.set_pos(resume);
         Some((self.record_start, resume))
     }
@@ -251,6 +271,29 @@ mod tests {
         let next = it.next().unwrap().unwrap();
         assert_eq!(&stream[next.0..next.1], b"{\"ok\": 2}");
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn resync_rewinds_past_the_classified_frontier() {
+        // The unclosed record's pairing scan classifies every word of the
+        // stream looking for its `]`; the resync point is back in word 0.
+        // The cursor must recover (restart classification) rather than hand
+        // out discarded bitmaps — and still split the surviving records.
+        let mut stream = b"{\"a\": [1, 2\n".to_vec();
+        for i in 0..30 {
+            stream.extend_from_slice(format!("{{\"b\": {i}}}\n").as_bytes());
+        }
+        let mut it = RecordSplitter::new(&stream);
+        assert!(it.next().unwrap().is_err());
+        let span = it.resync().unwrap();
+        assert_eq!(&stream[span.0..span.1], b"{\"a\": [1, 2\n");
+        let mut seen = 0;
+        for next in it {
+            let (s, e) = next.unwrap();
+            assert_eq!(&stream[s..e], format!("{{\"b\": {seen}}}").as_bytes());
+            seen += 1;
+        }
+        assert_eq!(seen, 30);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use jsonski::{
-    EngineError, ErrorPolicy, JsonSki, MatchSink, Metrics, MetricsSnapshot, Pipeline,
-    PipelineSummary, RecordSource,
+    CancellationToken, EngineError, ErrorPolicy, JsonSki, MatchSink, Metrics, MetricsSnapshot,
+    Pipeline, PipelineSummary, RecordSource, SliceRecords,
 };
 
 /// Owned in-memory record batch (malformed records included verbatim —
@@ -211,5 +211,133 @@ proptest! {
                 prop_assert_eq!(ref_snap.records_skipped, ref_sink.errors.len() as u64);
             }
         }
+    }
+
+    // Summary accounting must not drift across checkpoints: splitting a
+    // batch at an arbitrary point and summing the two segments' summaries
+    // must equal the uninterrupted run, counter for counter, with the
+    // delivered match stream concatenating byte-identically.
+    #[test]
+    fn split_run_summaries_sum_to_the_whole(
+        records in batch(),
+        q in query(),
+        split in 0usize..12,
+        jobs in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let engine = JsonSki::compile(&q).unwrap();
+        let k = split.min(records.len());
+        let (full_sink, full, _) = run(&engine, &records, jobs, ErrorPolicy::SkipMalformed);
+        let full = full.unwrap();
+        let (head_sink, head, _) = run(&engine, &records[..k], jobs, ErrorPolicy::SkipMalformed);
+        let (tail_sink, tail, _) = run(&engine, &records[k..], jobs, ErrorPolicy::SkipMalformed);
+        let (head, tail) = (head.unwrap(), tail.unwrap());
+
+        prop_assert_eq!(head.records + tail.records, full.records);
+        prop_assert_eq!(head.matches + tail.matches, full.matches);
+        prop_assert_eq!(head.failed + tail.failed, full.failed);
+        prop_assert_eq!(head.resyncs + tail.resyncs, full.resyncs);
+        prop_assert_eq!(head.resync_bytes + tail.resync_bytes, full.resync_bytes);
+
+        let whole: Vec<&[u8]> = full_sink.matches.iter().map(|(_, b)| b.as_slice()).collect();
+        let glued: Vec<&[u8]> = head_sink
+            .matches
+            .iter()
+            .chain(tail_sink.matches.iter())
+            .map(|(_, b)| b.as_slice())
+            .collect();
+        prop_assert_eq!(glued, whole, "q={} jobs={} k={}", q, jobs, k);
+    }
+
+    // Cancelling mid-run and resuming from the committed offset must cover
+    // the byte stream exactly once: segment summaries sum to the
+    // uninterrupted run's, and the match bytes concatenate identically —
+    // even when resynchronizations occupy part of the stream.
+    #[test]
+    fn cancel_then_resume_covers_the_stream_once(
+        records in batch(),
+        q in query(),
+        cancel_at in 1usize..8,
+        jobs in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let engine = JsonSki::compile(&q).unwrap();
+        let mut stream = Vec::new();
+        for r in &records {
+            stream.extend_from_slice(r);
+            stream.push(b'\n');
+        }
+
+        let run_slice = |bytes: &[u8], token: Option<CancellationToken>| {
+            let mut source = SliceRecords::new(bytes);
+            let mut sink = Recorder::default();
+            let mut pipeline = Pipeline::new()
+                .workers(jobs)
+                .error_policy(ErrorPolicy::SkipMalformed);
+            if let Some(t) = &token {
+                pipeline = pipeline.cancel_token(t.clone());
+            }
+            let summary = pipeline.run(&engine, &mut source, &mut sink).unwrap();
+            (sink, summary)
+        };
+
+        let (full_sink, full) = run_slice(&stream, None);
+
+        let token = CancellationToken::new();
+        let trip = token.clone();
+        let mut seen = 0usize;
+        let mut first_sink = Recorder::default();
+        let first = {
+            struct CancelAfter<'a> {
+                inner: &'a mut Recorder,
+                seen: &'a mut usize,
+                at: usize,
+                token: &'a CancellationToken,
+            }
+            impl MatchSink for CancelAfter<'_> {
+                fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+                    *self.seen += 1;
+                    if *self.seen == self.at {
+                        self.token.cancel();
+                    }
+                    self.inner.on_match(record_idx, bytes)
+                }
+                fn on_record_error(
+                    &mut self,
+                    record_idx: u64,
+                    error: &EngineError,
+                ) -> ControlFlow<()> {
+                    self.inner.on_record_error(record_idx, error)
+                }
+            }
+            let mut source = SliceRecords::new(&stream);
+            let mut sink = CancelAfter {
+                inner: &mut first_sink,
+                seen: &mut seen,
+                at: cancel_at,
+                token: &trip,
+            };
+            Pipeline::new()
+                .workers(jobs)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .cancel_token(token)
+                .run(&engine, &mut source, &mut sink)
+                .unwrap()
+        };
+
+        let (second_sink, second) = run_slice(&stream[first.committed_offset as usize..], None);
+
+        prop_assert_eq!(first.records + second.records, full.records);
+        prop_assert_eq!(first.matches + second.matches, full.matches);
+        prop_assert_eq!(first.failed + second.failed, full.failed);
+        prop_assert_eq!(first.resyncs + second.resyncs, full.resyncs);
+        prop_assert_eq!(first.resync_bytes + second.resync_bytes, full.resync_bytes);
+
+        let whole: Vec<&[u8]> = full_sink.matches.iter().map(|(_, b)| b.as_slice()).collect();
+        let glued: Vec<&[u8]> = first_sink
+            .matches
+            .iter()
+            .chain(second_sink.matches.iter())
+            .map(|(_, b)| b.as_slice())
+            .collect();
+        prop_assert_eq!(glued, whole, "q={} jobs={} cancel_at={}", q, jobs, cancel_at);
     }
 }
