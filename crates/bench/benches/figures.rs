@@ -166,6 +166,42 @@ fn limits_overhead_guard(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead guard for adversarial-input hardening. Two bounds:
+///
+/// * `permissive` must track the seed configuration exactly — Permissive
+///   mode allocates no validator, so its only cost is a never-taken
+///   `Option` branch at the chokepoints (acceptance: within ±2% noise of
+///   previous baselines);
+/// * `strict` pays streaming validation on every classified word and must
+///   stay under 10% overhead on clean input — the fast path skips the
+///   scalar DFA for blocks with no backslashes, no high bytes, and no
+///   carried-over string state, which is the common case by construction.
+fn strict_guard(c: &mut Criterion) {
+    use jsonski::Evaluate as _;
+    let data = Dataset::Tt.generate_large(&cfg(2 * MIB));
+    let record = data.bytes();
+    let path: Path = "$[*].en.urls[*].url".parse().unwrap();
+    let permissive = jsonski::JsonSki::new(path.clone());
+    let strict =
+        jsonski::JsonSki::new(path).with_config(jsonski::EngineConfig::builder().strict().build());
+    let mut g = c.benchmark_group("strict_guard_TT1");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    g.bench_function("permissive", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            permissive.evaluate(record, 0, &mut sink)
+        })
+    });
+    g.bench_function("strict", |b| {
+        b.iter(|| {
+            let mut sink = jsonski::CountSink::default();
+            strict.evaluate(record, 0, &mut sink)
+        })
+    });
+    g.finish();
+}
+
 /// Overhead guard for the crash-safety layer: a pipeline run with an
 /// armed-but-untripped cancellation token, or with a checkpoint cadence
 /// that never fires mid-run, must track the plain pipeline to within
@@ -227,6 +263,7 @@ criterion_group!(
     fig14_scaling,
     metrics_overhead_guard,
     limits_overhead_guard,
+    strict_guard,
     crash_guard
 );
 criterion_main!(benches);

@@ -8,9 +8,10 @@ use std::ops::ControlFlow;
 use std::path::{Path, PathBuf};
 
 use jsonski::{
-    digest_parts, fingerprint, CancellationToken, Checkpoint, CheckpointCadence, EngineError,
-    ErrorPolicy, Evaluate, JsonSki, Metrics, MetricsSnapshot, MultiQuery, Pipeline,
-    PipelineSummary, ReadRecordError, ResourceLimits, RetryPolicy, FINGERPRINT_BYTES,
+    digest_parts, fingerprint, CancellationToken, Checkpoint, CheckpointCadence, EngineConfig,
+    EngineError, ErrorPolicy, Evaluate, JsonSki, Kernel, Metrics, MetricsSnapshot, MultiQuery,
+    Pipeline, PipelineSummary, ReadRecordError, ResourceLimits, RetryPolicy, ValidationMode,
+    FINGERPRINT_BYTES,
 };
 
 #[cfg(unix)]
@@ -168,11 +169,25 @@ impl InputIdentity {
     }
 }
 
-/// The digest binding a checkpoint to the query set and error policy, so a
-/// resume under different semantics is refused.
+/// The digest binding a checkpoint to the query set, error policy,
+/// validation mode, and forced kernel, so a resume under different
+/// semantics is refused. Strictness matters because a Permissive run may
+/// have committed records a Strict resume would reject; the kernel matters
+/// because a forced-kernel run exists to test *that* kernel end to end.
 pub fn config_digest(opts: &Options) -> u64 {
     let mut parts: Vec<String> = opts.queries.clone();
     parts.push(if opts.skip_malformed { "skip" } else { "fail" }.to_string());
+    parts.push(
+        match opts.validation {
+            ValidationMode::Permissive => "permissive",
+            ValidationMode::Strict => "strict",
+        }
+        .to_string(),
+    );
+    parts.push(match opts.kernel {
+        Some(k) => format!("kernel={}", k.name()),
+        None => "kernel=auto".to_string(),
+    });
     digest_parts(&parts)
 }
 
@@ -225,8 +240,8 @@ pub fn prepare_checkpoint(
         Checkpoint::load(&path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
     if ck.identity != digest {
         return Err(CliError::Usage(format!(
-            "{}: checkpoint was written by a different query set or error policy; \
-             refusing to resume",
+            "{}: checkpoint was written by a different query set, error policy, \
+             validation mode, or kernel; refusing to resume",
             path.display()
         )));
     }
@@ -294,6 +309,13 @@ pub struct Options {
     pub checkpoint_every: Option<u64>,
     /// Resume from the state in the `--checkpoint` file.
     pub resume: bool,
+    /// How much well-formedness checking each record receives. `--strict`
+    /// validates every byte — including fast-forwarded spans — for UTF-8,
+    /// escape grammar, balanced structure, and trailing garbage.
+    pub validation: ValidationMode,
+    /// Force a specific classification kernel (`--kernel`) instead of the
+    /// best one the CPU supports; used for differential verification.
+    pub kernel: Option<Kernel>,
 }
 
 impl Options {
@@ -311,6 +333,16 @@ impl Options {
             limits = limits.max_buffer_bytes(n);
         }
         limits
+    }
+
+    /// The full [`EngineConfig`] these options configure: resource limits,
+    /// validation mode, and any forced kernel.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::builder()
+            .limits(self.limits())
+            .validation(self.validation)
+            .kernel(self.kernel)
+            .build()
     }
 }
 
@@ -342,6 +374,16 @@ options:
       --max-buffer-bytes N
                      cap the streaming reader's buffer at N bytes, so a
                      record that never closes cannot exhaust memory
+      --strict       validate every byte of every record — including spans
+                     the engine fast-forwards over — for UTF-8
+                     well-formedness, string escape grammar, balanced
+                     structure, and trailing garbage; the first violation
+                     aborts the record with its byte offset (skippable with
+                     --skip-malformed)
+      --kernel NAME  force the bitmap classification kernel (scalar, swar,
+                     sse2, avx2) instead of auto-detecting the best one;
+                     errors if this CPU does not support NAME. Equivalent
+                     to setting JSONSKI_KERNEL=NAME
       --retry N      retry transient stream errors (would-block/timed-out)
                      up to N times per read before giving up
       --checkpoint PATH
@@ -399,6 +441,8 @@ fn parse_args_inner<I: IntoIterator<Item = String>>(args: I) -> Result<Options, 
         checkpoint: None,
         checkpoint_every: None,
         resume: false,
+        validation: ValidationMode::Permissive,
+        kernel: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -468,6 +512,18 @@ fn parse_args_inner<I: IntoIterator<Item = String>>(args: I) -> Result<Options, 
                 opts.checkpoint_every = Some(n);
             }
             "--resume" => opts.resume = true,
+            "--strict" => opts.validation = ValidationMode::Strict,
+            "--kernel" => {
+                let v = it
+                    .next()
+                    .ok_or("--kernel needs a name (scalar, swar, sse2, avx2)")?;
+                let k = Kernel::from_name(&v)
+                    .ok_or_else(|| format!("unknown kernel: {v} (scalar, swar, sse2, avx2)"))?;
+                if !k.is_supported() {
+                    return Err(format!("kernel {v} is not supported on this CPU"));
+                }
+                opts.kernel = Some(k);
+            }
             "-h" | "--help" => return Err(HELP_SENTINEL.to_string()),
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown option: {flag}\n\n{USAGE}"));
@@ -615,10 +671,13 @@ fn measure_queries(
     queries: &[String],
     input: &[u8],
     skip_malformed: bool,
+    config: EngineConfig,
 ) -> Result<Vec<(String, MetricsSnapshot)>, String> {
     let mut out = Vec::with_capacity(queries.len());
     for q in queries {
-        let engine = JsonSki::compile(q).map_err(|e| e.to_string())?;
+        let engine = JsonSki::compile(q)
+            .map_err(|e| e.to_string())?
+            .with_config(config);
         let metrics = Metrics::new();
         let mut sink = jsonski::CountSink::default();
         for (idx, span) in jsonski::RecordSplitter::new(input).enumerate() {
@@ -694,7 +753,7 @@ pub fn run_ctl(
         Some(
             JsonSki::compile(&opts.queries[0])
                 .map_err(|e| CliError::Usage(e.to_string()))?
-                .with_limits(limits),
+                .with_config(opts.engine_config()),
         )
     } else {
         None
@@ -704,7 +763,9 @@ pub fn run_ctl(
         Some(
             MultiQuery::compile(&queries)
                 .map_err(|e| CliError::Usage(e.to_string()))?
-                .with_limits(limits),
+                .with_limits(limits)
+                .with_validation(opts.validation)
+                .with_kernel(opts.kernel),
         )
     } else {
         None
@@ -838,7 +899,13 @@ pub fn run_ctl(
         let per_query = if single.is_some() {
             vec![(opts.queries[0].clone(), agg.snapshot())]
         } else {
-            measure_queries(&opts.queries, input, opts.skip_malformed).map_err(CliError::Fatal)?
+            measure_queries(
+                &opts.queries,
+                input,
+                opts.skip_malformed,
+                opts.engine_config(),
+            )
+            .map_err(CliError::Fatal)?
         };
         emit_metrics(mode, &per_query, &agg.snapshot());
     }
@@ -967,7 +1034,9 @@ pub fn run_reader_ctl<R: std::io::Read>(
     let limits = opts.limits();
     let engine = MultiQuery::compile(&queries)
         .map_err(|e| CliError::Usage(e.to_string()))?
-        .with_limits(limits);
+        .with_limits(limits)
+        .with_validation(opts.validation)
+        .with_kernel(opts.kernel);
     let single = opts.queries.len() == 1;
     let mut counts = vec![0usize; opts.queries.len()];
     let mut total_stats = jsonski::FastForwardStats::new();
@@ -1112,7 +1181,7 @@ fn run_reader_pipeline<R: std::io::Read>(
     let limits = opts.limits();
     let engine = JsonSki::compile(&opts.queries[0])
         .map_err(|e| CliError::Usage(e.to_string()))?
-        .with_limits(limits);
+        .with_config(opts.engine_config());
     let mut source = jsonski::ChunkedRecords::new(reader)
         .limits(limits)
         .retry(RetryPolicy::new(opts.retry));
@@ -1359,8 +1428,13 @@ mod tests {
         }
         doc.push_str("99], \"a\": 1}\n");
         let input = doc.as_bytes();
-        let per =
-            measure_queries(&["$.big[*]".to_string(), "$.a".to_string()], input, false).unwrap();
+        let per = measure_queries(
+            &["$.big[*]".to_string(), "$.a".to_string()],
+            input,
+            false,
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert_eq!(per.len(), 2);
         let json = render_metrics(MetricsMode::Json, &per, &per[0].1);
         assert!(json.starts_with("{\"queries\":["));
@@ -1388,8 +1462,9 @@ mod tests {
     #[test]
     fn measure_queries_respects_skip_malformed() {
         let input = b"{\"a\": 1}\n{\"a\" 2}\n{\"a\": 3}\n";
-        assert!(measure_queries(&["$.a".to_string()], input, false).is_err());
-        let per = measure_queries(&["$.a".to_string()], input, true).unwrap();
+        let cfg = EngineConfig::default();
+        assert!(measure_queries(&["$.a".to_string()], input, false, cfg).is_err());
+        let per = measure_queries(&["$.a".to_string()], input, true, cfg).unwrap();
         assert_eq!(per[0].1.records_skipped, 1);
         assert_eq!(per[0].1.records_failed, 1);
         assert_eq!(per[0].1.matches_emitted, 2);
@@ -1498,6 +1573,126 @@ mod tests {
         let counts = run(&lenient, input, &mut out).unwrap();
         assert_eq!(counts, vec![2]);
         assert_eq!(out, b"1\n3\n");
+    }
+
+    #[test]
+    fn parses_strict_and_kernel_flags() {
+        let o = args(&["$.a"]).unwrap();
+        assert_eq!(o.validation, ValidationMode::Permissive);
+        assert_eq!(o.kernel, None);
+        let o = args(&["--strict", "$.a"]).unwrap();
+        assert_eq!(o.validation, ValidationMode::Strict);
+        let o = args(&["--kernel", "swar", "$.a"]).unwrap();
+        assert_eq!(o.kernel, Some(Kernel::Swar));
+        assert!(args(&["--kernel", "wat", "$.a"])
+            .unwrap_err()
+            .contains("unknown kernel"));
+        assert!(args(&["--kernel"]).is_err());
+    }
+
+    #[test]
+    fn strict_flag_rejects_faults_in_skipped_spans() {
+        // The fault (a raw 0xFF inside the "skip" attribute's string) sits
+        // in a span `$.a` fast-forwards over: Permissive streams the match,
+        // --strict reports the offending byte, and --strict
+        // --skip-malformed drops the record but keeps the stream alive.
+        let mut input = b"{\"skip\": \"a?b\", \"a\": 1}\n{\"a\": 2}\n".to_vec();
+        input[11] = 0xFF;
+        let permissive = args(&["$.a"]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run(&permissive, &input, &mut out).unwrap(), vec![2]);
+        assert_eq!(out, b"1\n2\n");
+        let strict = args(&["--strict", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let err = run(&strict, &input, &mut out).unwrap_err();
+        assert!(err.contains("byte 11"), "{err}");
+        let mut out = Vec::new();
+        let err = run_reader(&strict, &input[..], &mut out).unwrap_err();
+        assert!(err.contains("byte 11"), "{err}");
+        let lenient = args(&["--strict", "--skip-malformed", "$.a"]).unwrap();
+        for jobs in [None, Some(4)] {
+            let mut argv = vec!["--strict".to_string(), "--skip-malformed".to_string()];
+            if let Some(j) = jobs {
+                argv.extend(["-j".to_string(), j.to_string()]);
+            }
+            argv.push("$.a".to_string());
+            let o = parse_args(argv).unwrap();
+            let mut out = Vec::new();
+            assert_eq!(run_reader(&o, &input[..], &mut out).unwrap(), vec![1]);
+            assert_eq!(out, b"2\n", "jobs={jobs:?}");
+        }
+        let mut out = Vec::new();
+        assert_eq!(run(&lenient, &input, &mut out).unwrap(), vec![1]);
+        assert_eq!(out, b"2\n");
+    }
+
+    #[test]
+    fn forced_kernel_output_matches_auto() {
+        let input = b"{\"skip\": [1, 2, 3], \"a\": {\"b\": \"deep\"}}\n{\"a\": {\"b\": 7}}\n";
+        let auto = args(&["$.a.b"]).unwrap();
+        let mut expect = Vec::new();
+        let reference = run(&auto, input, &mut expect).unwrap();
+        for &k in Kernel::all() {
+            if !k.is_supported() {
+                continue;
+            }
+            for extra in [vec![], vec!["--strict"]] {
+                let mut argv = vec!["--kernel".to_string(), k.name().to_string()];
+                argv.extend(extra.iter().map(|s| (*s).to_string()));
+                argv.push("$.a.b".to_string());
+                let o = parse_args(argv).unwrap();
+                let mut out = Vec::new();
+                let counts = run(&o, input, &mut out).unwrap();
+                assert_eq!(counts, reference, "kernel {k:?} strict={extra:?}");
+                assert_eq!(out, expect, "kernel {k:?} strict={extra:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_refuses_changed_validation_or_kernel() {
+        let path = std::env::temp_dir().join(format!(
+            "jsonski-cli-resume-{}-{:?}.ck",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let input = b"{\"a\": 1}\n{\"a\": 2}\n";
+        let identity = InputIdentity::of_bytes(input);
+        let base = args(&["--checkpoint", path.to_str().unwrap(), "$.a"]).unwrap();
+        // A fresh (non-resume) run plans a baseline bound to the current
+        // validation mode and kernel; persist it as the interrupted state.
+        let plan = prepare_checkpoint(&base, &identity).unwrap().unwrap();
+        plan.setup.baseline.save(&plan.setup.path).unwrap();
+        // Resuming with identical semantics is accepted.
+        let mut resume = base.clone();
+        resume.resume = true;
+        assert!(prepare_checkpoint(&resume, &identity).is_ok());
+        // Changing strictness or forcing a kernel changes what the run
+        // would have accepted, so the resume must be refused.
+        let mut strict = resume.clone();
+        strict.validation = ValidationMode::Strict;
+        let mut forced = resume.clone();
+        forced.kernel = Some(Kernel::Swar);
+        for opts in [&strict, &forced] {
+            match prepare_checkpoint(opts, &identity) {
+                Err(CliError::Usage(msg)) => {
+                    assert!(msg.contains("refusing to resume"), "{msg}")
+                }
+                other => panic!("expected refusal, got {other:?}"),
+            }
+        }
+        // And a matching strict baseline resumes under strict options.
+        let plan = prepare_checkpoint(&strict, &identity);
+        assert!(plan.is_err()); // still bound to the old file...
+        std::fs::remove_file(&path).unwrap();
+        let mut fresh_strict = strict.clone();
+        fresh_strict.resume = false;
+        let plan = prepare_checkpoint(&fresh_strict, &identity)
+            .unwrap()
+            .unwrap();
+        plan.setup.baseline.save(&plan.setup.path).unwrap();
+        assert!(prepare_checkpoint(&strict, &identity).is_ok());
+        std::fs::remove_file(&path).unwrap();
     }
 }
 

@@ -9,9 +9,10 @@
 //! is ever materialized, which is what keeps JSONSki's memory footprint at
 //! the input buffer size (Figure 13).
 
-use simdbits::{bits, BlockBitmaps, Classifier, BLOCK};
+use simdbits::{bits, BlockBitmaps, Classifier, Kernel, BLOCK};
 
 use crate::error::StreamError;
+use crate::validate::{ValidationMode, Validator};
 
 /// Forward-only streaming cursor over a JSON byte buffer.
 #[derive(Clone, Debug)]
@@ -24,6 +25,11 @@ pub struct Cursor<'a> {
     /// classifier).
     cur: BlockBitmaps,
     classified: usize,
+    /// Strict-mode validator riding the word iterator: every word fed
+    /// through [`Cursor::word`] is validated in classification order, so
+    /// fast-forwarded spans are checked without a second pass. `None` in
+    /// Permissive mode (zero cost on the hot path).
+    validator: Option<Validator>,
     /// Word requests answered from the cached current word; maintained
     /// only when time-resolved instrumentation is compiled in, so the
     /// default build's hot loop carries no extra work.
@@ -35,19 +41,80 @@ pub struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    /// Creates a cursor at position 0.
+    /// Creates a cursor at position 0 (Permissive, auto-selected kernel).
     pub fn new(input: &'a [u8]) -> Self {
+        Self::with_options(input, None, ValidationMode::Permissive)
+    }
+
+    /// Creates a cursor with an explicit kernel override and validation
+    /// mode. `kernel: None` uses the auto-selected kernel (which itself
+    /// honors the `JSONSKI_KERNEL` environment variable).
+    pub fn with_options(
+        input: &'a [u8],
+        kernel: Option<Kernel>,
+        validation: ValidationMode,
+    ) -> Self {
+        let cls = match kernel {
+            Some(k) => Classifier::with_kernel(k),
+            None => Classifier::new(),
+        };
+        // The validator scans with the same kernel family as the classifier
+        // but recomputes its own bitmaps (see `validate`): forcing a kernel
+        // forces both, which is what differential verification wants.
+        let validator =
+            (validation == ValidationMode::Strict).then(|| Validator::new(cls.kernel()));
         Cursor {
             input,
             pos: 0,
-            cls: Classifier::new(),
+            cls,
             cur: BlockBitmaps::default(),
             classified: 0,
+            validator,
             #[cfg(feature = "metrics")]
             cache_hits: 0,
             #[cfg(feature = "metrics")]
             classify_ns: 0,
         }
+    }
+
+    /// The first strict-validation violation discovered so far, as a typed
+    /// error. `None` in Permissive mode or while the classified prefix is
+    /// clean.
+    #[inline]
+    fn poisoned(&self) -> Option<StreamError> {
+        self.validator
+            .as_ref()
+            .and_then(|v| v.error())
+            .map(|(pos, reason)| StreamError::Invalid { pos, reason })
+    }
+
+    /// Strict-mode end-of-record check: classifies (and thereby validates)
+    /// any words evaluation never touched, then applies the end-of-input
+    /// rules (unterminated string, truncated UTF-8, unbalanced structure).
+    /// No-op in Permissive mode.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Invalid`] with the first violation's byte offset.
+    pub fn finish_strict(&mut self) -> Result<(), StreamError> {
+        if self.validator.is_none() {
+            return Ok(());
+        }
+        let words = self.word_count();
+        let mut w = self.classified;
+        while w < words && self.poisoned().is_none() {
+            self.word(w);
+            w += 1;
+        }
+        if let Some(e) = self.poisoned() {
+            return Err(e);
+        }
+        if let Some(v) = self.validator.as_mut() {
+            if let Some((pos, reason)) = v.finish() {
+                return Err(StreamError::Invalid { pos, reason });
+            }
+        }
+        Ok(())
     }
 
     /// Number of 64-byte words classified so far (bitmap-construction
@@ -150,6 +217,9 @@ impl<'a> Cursor<'a> {
     /// next non-whitespace byte is not `byte`.
     #[inline]
     pub fn expect(&mut self, byte: u8, expected: &'static str) -> Result<(), StreamError> {
+        if let Some(e) = self.poisoned() {
+            return Err(e);
+        }
         self.skip_ws();
         match self.peek() {
             Some(b) if b == byte => {
@@ -168,6 +238,9 @@ impl<'a> Cursor<'a> {
     /// Skips whitespace and peeks, failing with EOF otherwise.
     #[inline]
     pub fn peek_token(&mut self, expected: &'static str) -> Result<u8, StreamError> {
+        if let Some(e) = self.poisoned() {
+            return Err(e);
+        }
         self.skip_ws();
         self.peek().ok_or(StreamError::UnexpectedEof { expected })
     }
@@ -200,8 +273,20 @@ impl<'a> Cursor<'a> {
                     .try_into()
                     .expect("exact block");
                 self.cur = self.cls.classify(block);
+                if let Some(v) = self.validator.as_mut() {
+                    v.feed_block(block, BLOCK);
+                }
             } else {
-                self.cur = self.cls.classify_tail(&self.input[start..]);
+                // Short tail: zero-pad once and share the copy between the
+                // classifier and the validator (padding NULs are masked by
+                // the valid length, so they never read as control bytes).
+                let tail = &self.input[start..];
+                let mut block = [0u8; BLOCK];
+                block[..tail.len()].copy_from_slice(tail);
+                self.cur = self.cls.classify(&block);
+                if let Some(v) = self.validator.as_mut() {
+                    v.feed_block(&block, tail.len());
+                }
             }
             self.classified += 1;
         }
@@ -253,11 +338,15 @@ impl<'a> Cursor<'a> {
     /// [`StreamError::UnexpectedEof`] if the string never closes.
     pub fn seek_string_end(&mut self, open_pos: usize) -> Result<usize, StreamError> {
         debug_assert_eq!(self.input.get(open_pos), Some(&b'"'));
-        let end =
-            self.next_pos_where(open_pos + 1, |b| b.quote)
-                .ok_or(StreamError::UnexpectedEof {
-                    expected: "closing `\"`",
-                })?;
+        let end = self.next_pos_where(open_pos + 1, |b| b.quote);
+        // A violation found while classifying forward (strict mode) outranks
+        // the EOF this scan would otherwise report.
+        if let Some(e) = self.poisoned() {
+            return Err(e);
+        }
+        let end = end.ok_or(StreamError::UnexpectedEof {
+            expected: "closing `\"`",
+        })?;
         self.pos = end;
         Ok(end)
     }
@@ -270,6 +359,9 @@ impl<'a> Cursor<'a> {
     ///
     /// Fails when the next token is not a string or the string never closes.
     pub fn read_string(&mut self) -> Result<(usize, usize), StreamError> {
+        if let Some(e) = self.poisoned() {
+            return Err(e);
+        }
         self.skip_ws();
         match self.peek() {
             Some(b'"') => {
@@ -325,6 +417,11 @@ impl<'a> Cursor<'a> {
             depth = depth + opens.count_ones() - closes.count_ones();
             mask = u64::MAX;
             w += 1;
+        }
+        // Same precedence as `seek_string_end`: a strict-validation error in
+        // the scanned span wins over the bare imbalance report.
+        if let Some(e) = self.poisoned() {
+            return Err(e);
         }
         Err(StreamError::Unbalanced {
             pos: self.input.len(),

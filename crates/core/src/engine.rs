@@ -23,6 +23,8 @@ use crate::fastforward::{
 };
 use crate::limits::ResourceLimits;
 use crate::stats::{FastForwardStats, Group};
+use crate::validate::ValidationMode;
+use simdbits::Kernel;
 
 /// Default maximum container nesting accepted before
 /// [`StreamError::TooDeep`]; bounds the recursion of the recursive-descent
@@ -84,6 +86,14 @@ pub struct EngineConfig {
     /// Resource guards applied while evaluating (nesting depth, record
     /// size, optional per-record deadline).
     pub limits: ResourceLimits,
+    /// Input trust level: [`ValidationMode::Strict`] validates every byte —
+    /// including fast-forwarded spans — for UTF-8 well-formedness, string
+    /// escape grammar, balanced structure, and trailing garbage.
+    pub validation: ValidationMode,
+    /// Forces a specific bitmap kernel instead of runtime auto-detection
+    /// (`None`). Used for kernel differential verification; the
+    /// `JSONSKI_KERNEL` environment variable overrides even this.
+    pub kernel: Option<Kernel>,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +103,8 @@ impl Default for EngineConfig {
             g4: true,
             g5: true,
             limits: ResourceLimits::default(),
+            validation: ValidationMode::Permissive,
+            kernel: None,
         }
     }
 }
@@ -149,6 +161,23 @@ impl EngineConfigBuilder {
     /// Sets the resource guards ([`ResourceLimits`]).
     pub fn limits(mut self, limits: ResourceLimits) -> Self {
         self.config.limits = limits;
+        self
+    }
+
+    /// Sets the input trust level ([`ValidationMode`]).
+    pub fn validation(mut self, mode: ValidationMode) -> Self {
+        self.config.validation = mode;
+        self
+    }
+
+    /// Shorthand for `validation(ValidationMode::Strict)`.
+    pub fn strict(self) -> Self {
+        self.validation(ValidationMode::Strict)
+    }
+
+    /// Forces a specific bitmap kernel (`None` restores auto-detection).
+    pub fn kernel(mut self, kernel: Option<Kernel>) -> Self {
+        self.config.kernel = kernel;
         self
     }
 
@@ -235,7 +264,7 @@ impl JsonSki {
         F: FnMut(&'a [u8]) -> ControlFlow<()>,
     {
         let mut eval = Eval {
-            cur: Cursor::new(input),
+            cur: Cursor::with_options(input, self.config.kernel, self.config.validation),
             rt: Runtime::new(&self.path),
             stats: FastForwardStats::new(),
             sink,
@@ -249,9 +278,29 @@ impl JsonSki {
                 .map(|d| std::time::Instant::now() + d),
         };
         let stopped = match eval.record() {
-            Ok(()) => false,
+            Ok(()) => {
+                // Strict mode validates to the end of the record even though
+                // evaluation may have fast-forwarded past (or stopped before)
+                // the remaining bytes. No-op in Permissive mode.
+                eval.cur.finish_strict()?;
+                false
+            }
+            // Sink-requested early exit deliberately skips the rest of the
+            // input — "no further input bytes are examined" (see above)
+            // extends to validation.
             Err(Abort::Stop) => true,
-            Err(Abort::Err(e)) => return Err(e),
+            Err(Abort::Err(e)) => {
+                // A structural error in Strict mode is often the *echo* of a
+                // validity fault (e.g. an unterminated string surfaces as
+                // UnexpectedEof from the seek that ran off the end). Finish
+                // validation and prefer its typed, offset-bearing verdict so
+                // streaming evaluation and a validate-then-parse pre-pass
+                // report identical first failures.
+                if let Err(invalid @ StreamError::Invalid { .. }) = eval.cur.finish_strict() {
+                    return Err(invalid);
+                }
+                return Err(e);
+            }
         };
         Ok(StreamOutcome {
             stats: eval.stats,
@@ -1085,5 +1134,143 @@ mod ablation_tests {
         let stats = q.run(DOC.as_bytes(), |_| {}).unwrap();
         assert!(stats.skipped(Group::G4) > 0, "{stats}");
         assert!(stats.skipped(Group::G5) > 0, "{stats}");
+    }
+
+    fn strict(query: &str) -> JsonSki {
+        JsonSki::compile(query)
+            .unwrap()
+            .with_config(EngineConfig::builder().strict().build())
+    }
+
+    fn first_invalid(query: &str, json: &[u8]) -> (usize, crate::InvalidReason) {
+        match strict(query).matches(json) {
+            Err(StreamError::Invalid { pos, reason }) => (pos, reason),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_accepts_clean_input_with_identical_matches() {
+        for query in ["$.pd[*].cp[1:3].id", "$.tail.deep[1].z", "$.pd[*].y"] {
+            let permissive: Vec<Vec<u8>> = JsonSki::compile(query)
+                .unwrap()
+                .matches(DOC.as_bytes())
+                .unwrap()
+                .into_iter()
+                .map(<[u8]>::to_vec)
+                .collect();
+            let got: Vec<Vec<u8>> = strict(query)
+                .matches(DOC.as_bytes())
+                .unwrap()
+                .into_iter()
+                .map(<[u8]>::to_vec)
+                .collect();
+            assert_eq!(got, permissive, "{query}");
+        }
+    }
+
+    #[test]
+    fn strict_rejects_faults_inside_fast_forwarded_spans() {
+        use crate::InvalidReason;
+        // The query matches "a", so everything under "skipme" is
+        // fast-forwarded (G2) — permissive mode never looks at it.
+        let bad_utf8 = b"{\"skipme\": \"x\xFFy\", \"a\": 1}";
+        let q = JsonSki::compile("$.a").unwrap();
+        assert_eq!(q.matches(bad_utf8).unwrap(), vec![&b"1"[..]]);
+        assert_eq!(first_invalid("$.a", bad_utf8), (13, InvalidReason::Utf8));
+
+        let lone = br#"{"skipme": "\uD800", "a": 1}"#;
+        assert_eq!(
+            first_invalid("$.a", lone),
+            (12, InvalidReason::LoneSurrogate)
+        );
+
+        let ctl = b"{\"skipme\": \"a\x01b\", \"a\": 1}";
+        assert_eq!(first_invalid("$.a", ctl), (13, InvalidReason::ControlChar));
+
+        let bad_esc = br#"{"skipme": "\x", "a": 1}"#;
+        assert_eq!(
+            first_invalid("$.a", bad_esc),
+            (13, InvalidReason::BadEscape)
+        );
+    }
+
+    #[test]
+    fn strict_rejects_trailing_garbage_and_unbalanced() {
+        use crate::InvalidReason;
+        assert_eq!(
+            first_invalid("$.a", br#"{"a": 1}}"#),
+            (8, InvalidReason::TrailingGarbage)
+        );
+        // Counting-based pairing does not distinguish `}` from `]`, so the
+        // mismatch shows up as depth 1 at end of input.
+        assert_eq!(
+            first_invalid("$.a", br#"{"a": [1, 2}"#),
+            (12, InvalidReason::Unbalanced)
+        );
+        // An unterminated string surfaces as the validator's typed verdict,
+        // not the structural scan's UnexpectedEof echo.
+        let unterminated = br#"{"a": "oops"#;
+        assert_eq!(
+            first_invalid("$.a", unterminated),
+            (unterminated.len(), InvalidReason::UnterminatedString)
+        );
+    }
+
+    #[test]
+    fn strict_validates_bytes_after_the_last_match() {
+        use crate::InvalidReason;
+        // The match for $.a completes before the fault; only a full-record
+        // validation pass can see it.
+        // The DFA rejects at the byte that fails the continuation check.
+        let json = b"{\"a\": 1, \"later\": \"\xC3(\"}";
+        let q = JsonSki::compile("$.a").unwrap();
+        assert_eq!(q.matches(json).unwrap(), vec![&b"1"[..]]);
+        assert_eq!(first_invalid("$.a", json), (20, InvalidReason::Utf8));
+    }
+
+    #[test]
+    fn strict_early_stop_skips_remaining_validation() {
+        // Break from the sink means "no further input bytes are examined",
+        // including by the validator. Validation is word-granular, so the
+        // fault must live in a 64-byte word past the early stop.
+        let mut json = b"{\"it\": [1, 2], \"pad\": \"".to_vec();
+        json.extend(std::iter::repeat_n(b'x', 80));
+        json.extend_from_slice(b"\", \"bad\": \"\xFF\"}");
+        let outcome = strict("$.it[*]")
+            .stream(&json, |_| ControlFlow::Break(()))
+            .unwrap();
+        assert!(outcome.stopped);
+        // Same document without the early stop is rejected.
+        assert!(matches!(
+            strict("$.it[*]").matches(&json),
+            Err(StreamError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn forced_kernels_agree_on_matches() {
+        for &k in Kernel::all() {
+            if !k.is_supported() {
+                continue;
+            }
+            let q = JsonSki::compile("$.pd[0].cp[1:3].id")
+                .unwrap()
+                .with_config(EngineConfig::builder().kernel(Some(k)).strict().build());
+            let got: Vec<Vec<u8>> = q
+                .matches(DOC.as_bytes())
+                .unwrap()
+                .into_iter()
+                .map(<[u8]>::to_vec)
+                .collect();
+            let reference: Vec<Vec<u8>> = JsonSki::compile("$.pd[0].cp[1:3].id")
+                .unwrap()
+                .matches(DOC.as_bytes())
+                .unwrap()
+                .into_iter()
+                .map(<[u8]>::to_vec)
+                .collect();
+            assert_eq!(got, reference, "kernel {k:?}");
+        }
     }
 }

@@ -44,6 +44,62 @@ pub enum StreamError {
         /// Byte offset the scan had reached when the budget ran out.
         pos: usize,
     },
+    /// Strict validation rejected the record
+    /// ([`ValidationMode::Strict`](crate::ValidationMode::Strict) only).
+    ///
+    /// Unlike the other variants this covers bytes the engine *fast-forwards
+    /// over*: the streaming validator inspects every classified word, so a
+    /// malformed span cannot hide inside a skipped substructure.
+    Invalid {
+        /// Byte offset of the first invalid byte.
+        pos: usize,
+        /// Which well-formedness rule the byte violated.
+        reason: InvalidReason,
+    },
+}
+
+/// Why Strict validation rejected a record (see [`StreamError::Invalid`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvalidReason {
+    /// Malformed UTF-8: overlong encoding, surrogate code point, value above
+    /// U+10FFFF, stray continuation byte, or truncated sequence.
+    Utf8,
+    /// Unescaped control byte (`< 0x20`) inside a string literal.
+    ControlChar,
+    /// Backslash followed by a character outside `"\/bfnrtu`.
+    BadEscape,
+    /// `\u` not followed by four hex digits.
+    BadUnicodeEscape,
+    /// An unpaired UTF-16 surrogate in `\uXXXX` escapes.
+    LoneSurrogate,
+    /// The record ended inside a string literal.
+    UnterminatedString,
+    /// Non-whitespace bytes after the root value ended.
+    TrailingGarbage,
+    /// Brace/bracket structure did not balance at the validation layer.
+    Unbalanced,
+}
+
+impl InvalidReason {
+    /// Short stable identifier (used in error text and fuzzer labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InvalidReason::Utf8 => "invalid UTF-8",
+            InvalidReason::ControlChar => "unescaped control character in string",
+            InvalidReason::BadEscape => "invalid escape sequence",
+            InvalidReason::BadUnicodeEscape => "invalid \\u escape",
+            InvalidReason::LoneSurrogate => "lone UTF-16 surrogate",
+            InvalidReason::UnterminatedString => "unterminated string",
+            InvalidReason::TrailingGarbage => "trailing garbage after value",
+            InvalidReason::Unbalanced => "unbalanced structure",
+        }
+    }
+}
+
+impl fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl fmt::Display for StreamError {
@@ -69,6 +125,9 @@ impl fmt::Display for StreamError {
             }
             StreamError::DeadlineExpired { pos } => {
                 write!(f, "per-record deadline expired at byte {pos}")
+            }
+            StreamError::Invalid { pos, reason } => {
+                write!(f, "strict validation failed at byte {pos}: {reason}")
             }
         }
     }
@@ -97,6 +156,12 @@ mod tests {
         assert!(StreamError::DeadlineExpired { pos: 4 }
             .to_string()
             .contains("deadline"));
+        let inv = StreamError::Invalid {
+            pos: 12,
+            reason: InvalidReason::Utf8,
+        };
+        assert!(inv.to_string().contains("byte 12"));
+        assert!(inv.to_string().contains("UTF-8"));
     }
 
     #[test]

@@ -57,6 +57,16 @@ pub enum EngineError {
         /// `panic!("…")` case); a placeholder otherwise.
         payload: String,
     },
+    /// Strict validation ([`ValidationMode::Strict`](crate::ValidationMode))
+    /// rejected the record. Reported uniformly by all engines — the
+    /// streaming engines detect it mid-skip, the preprocessing engines via
+    /// a pre-pass — with the byte offset of the first violation.
+    Invalid {
+        /// Byte offset (within the record) of the first invalid byte.
+        offset: usize,
+        /// Which well-formedness rule was violated.
+        reason: crate::InvalidReason,
+    },
 }
 
 impl EngineError {
@@ -83,6 +93,9 @@ impl fmt::Display for EngineError {
             } => {
                 write!(f, "evaluation panicked on record {record_idx}: {payload}")
             }
+            EngineError::Invalid { offset, reason } => {
+                write!(f, "strict validation failed at byte {offset}: {reason}")
+            }
         }
     }
 }
@@ -93,7 +106,9 @@ impl Error for EngineError {
             EngineError::Stream(e) => Some(e),
             EngineError::Io(e) => Some(e),
             EngineError::Limit(e) => Some(e),
-            EngineError::Engine { .. } | EngineError::Panic { .. } => None,
+            EngineError::Engine { .. }
+            | EngineError::Panic { .. }
+            | EngineError::Invalid { .. } => None,
         }
     }
 }
@@ -124,6 +139,10 @@ pub(crate) fn classify_stream_error(e: StreamError, limits: &ResourceLimits) -> 
         StreamError::DeadlineExpired { .. } => EngineError::Limit(LimitExceeded::Deadline {
             limit: limits.deadline.unwrap_or_default(),
         }),
+        StreamError::Invalid { pos, reason } => EngineError::Invalid {
+            offset: pos,
+            reason,
+        },
         e => EngineError::Stream(e),
     }
 }
@@ -578,5 +597,28 @@ mod tests {
     #[test]
     fn error_policy_default_is_fail_fast() {
         assert_eq!(ErrorPolicy::default(), ErrorPolicy::FailFast);
+    }
+
+    #[test]
+    fn invalid_error_is_typed_offset_bearing_and_resyncable() {
+        let e = classify_stream_error(
+            StreamError::Invalid {
+                pos: 17,
+                reason: crate::InvalidReason::LoneSurrogate,
+            },
+            &ResourceLimits::default(),
+        );
+        match &e {
+            EngineError::Invalid { offset, reason } => {
+                assert_eq!(*offset, 17);
+                assert_eq!(*reason, crate::InvalidReason::LoneSurrogate);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(e.to_string().contains("byte 17"));
+        assert!(e.to_string().contains("surrogate"));
+        // One hostile record must not kill a skip-malformed stream.
+        assert!(e.is_resyncable());
+        assert!(Error::source(&e).is_none());
     }
 }

@@ -1,0 +1,591 @@
+//! Seeded structure-aware fuzzing: grammar-aware document generation,
+//! labeled fault injection, byte-level mutation, and a greedy shrinker.
+//!
+//! Everything here is deterministic in the seed (the [`SplitMix64`]
+//! generator shared with [`crate::faults`]) and dependency-free, so fuzz
+//! findings replay exactly from a single `u64` and shrunken cases can be
+//! checked into `tests/corpus/` as regression inputs.
+//!
+//! The module deliberately splits cases into three classes the differential
+//! oracle can assert different things about:
+//!
+//! * **valid** documents from the grammar-aware [`Gen`] — every engine must
+//!   accept them with byte-identical match streams, in both validation
+//!   modes, under every bitmap kernel;
+//! * **labeled faults** from [`inject`] — a single, known violation with a
+//!   *predicted* `(offset, reason)`; every Strict engine must reject with
+//!   exactly that verdict;
+//! * **unlabeled mutations** from [`crate::faults::mutate`] — arbitrary
+//!   damage with no validity prediction; the oracle falls back to
+//!   cross-kernel invariance and DOM-as-ground-truth agreement.
+
+use crate::error::InvalidReason;
+use crate::faults::SplitMix64;
+
+/// Maximum container nesting the generator produces. Deep enough to cross
+/// several 64-byte words with pure structure, shallow enough to stay far
+/// from the engine's recursion guard.
+const MAX_GEN_DEPTH: usize = 8;
+
+/// Fixed key pool: queries used by the differential harness reference these
+/// names, so generated documents actually exercise matching, G1/G4 seeking
+/// and G2 skipping rather than skipping everything.
+const KEYS: &[&str] = &["a", "b", "c", "id", "x", "y", "tags", "name", "user"];
+
+/// Grammar-aware JSON document generator, deterministic in its seed.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// Creates a generator for one document.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Generates one syntactically valid JSON document (mostly container
+    /// roots, occasionally a bare primitive or string).
+    pub fn document(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self.rng.below(12) {
+            0 => self.primitive(&mut out),
+            1 => self.string(&mut out),
+            n if n < 8 => self.object(&mut out, 0),
+            _ => self.array(&mut out, 0),
+        }
+        if self.rng.below(4) == 0 {
+            out.push(b'\n');
+        }
+        out
+    }
+
+    fn ws(&mut self, out: &mut Vec<u8>) {
+        for _ in 0..self.rng.below(3) {
+            out.push(
+                *[b' ', b' ', b'\t', b'\n']
+                    .get(self.rng.below(4) as usize)
+                    .unwrap(),
+            );
+        }
+    }
+
+    fn value(&mut self, out: &mut Vec<u8>, depth: usize) {
+        let choice = if depth >= MAX_GEN_DEPTH {
+            self.rng.below(4)
+        } else {
+            self.rng.below(6)
+        };
+        match choice {
+            0 | 1 => self.primitive(out),
+            2 | 3 => self.string(out),
+            4 => self.object(out, depth + 1),
+            _ => self.array(out, depth + 1),
+        }
+    }
+
+    fn object(&mut self, out: &mut Vec<u8>, depth: usize) {
+        out.push(b'{');
+        let n = self.rng.below(5);
+        let mut used: Vec<Vec<u8>> = Vec::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(b',');
+            }
+            self.ws(out);
+            // G4 (and the paper's data model) assume unique attribute
+            // names: with duplicates the engines *legitimately* diverge
+            // (first-match-then-skip vs. every-match), so the generator
+            // never emits two identical raw keys in one object.
+            let mut key = Vec::new();
+            self.key(&mut key);
+            while used.contains(&key) {
+                // Splice a disambiguating suffix before the closing quote
+                // (safe: generated keys never end in a dangling escape).
+                key.pop();
+                key.extend_from_slice(format!("_{}\"", used.len()).as_bytes());
+            }
+            used.push(key.clone());
+            out.extend_from_slice(&key);
+            out.push(b':');
+            self.ws(out);
+            self.value(out, depth);
+        }
+        self.ws(out);
+        out.push(b'}');
+    }
+
+    fn array(&mut self, out: &mut Vec<u8>, depth: usize) {
+        out.push(b'[');
+        let n = self.rng.below(6);
+        for i in 0..n {
+            if i > 0 {
+                out.push(b',');
+                self.ws(out);
+            }
+            self.value(out, depth);
+        }
+        out.push(b']');
+    }
+
+    /// Emits one key (always ends with the closing quote; see `object` for
+    /// the uniqueness guarantee layered on top).
+    fn key(&mut self, out: &mut Vec<u8>) {
+        if self.rng.below(4) == 0 {
+            self.string(out);
+        } else {
+            let k = KEYS[self.rng.below(KEYS.len() as u64) as usize];
+            out.push(b'"');
+            out.extend_from_slice(k.as_bytes());
+            out.push(b'"');
+        }
+    }
+
+    fn primitive(&mut self, out: &mut Vec<u8>) {
+        match self.rng.below(6) {
+            0 => out.extend_from_slice(b"true"),
+            1 => out.extend_from_slice(b"false"),
+            2 => out.extend_from_slice(b"null"),
+            3 => {
+                let v = self.rng.next_u64() as i32;
+                out.extend_from_slice(format!("{v}").as_bytes());
+            }
+            4 => {
+                let a = self.rng.below(1000);
+                let b = self.rng.below(1000);
+                out.extend_from_slice(format!("{a}.{b}").as_bytes());
+            }
+            _ => {
+                let m = self.rng.below(100);
+                let e = self.rng.below(30) as i64 - 15;
+                out.extend_from_slice(format!("{m}e{e}").as_bytes());
+            }
+        }
+    }
+
+    /// Emits one string value, exercising every escape form the validator
+    /// distinguishes: simple escapes, `\uXXXX` (non-surrogate), surrogate
+    /// pairs, raw multi-byte UTF-8 of every length, long filler and
+    /// backslash runs that straddle 64-byte word boundaries.
+    fn string(&mut self, out: &mut Vec<u8>) {
+        out.push(b'"');
+        for _ in 0..self.rng.below(10) {
+            match self.rng.below(16) {
+                0 => out.extend_from_slice(b"\\n"),
+                1 => out.extend_from_slice(b"\\\""),
+                2 => out.extend_from_slice(b"\\\\"),
+                3 => out.extend_from_slice(b"\\/"),
+                4 => {
+                    // Non-surrogate BMP escape.
+                    let mut v = (self.rng.next_u64() & 0xFFFF) as u32;
+                    if (0xD800..=0xDFFF).contains(&v) {
+                        v -= 0xD800;
+                    }
+                    out.extend_from_slice(format!("\\u{v:04x}").as_bytes());
+                }
+                5 => {
+                    // Surrogate pair for a supplementary-plane character.
+                    let hi = 0xD800 + self.rng.below(0x400);
+                    let lo = 0xDC00 + self.rng.below(0x400);
+                    out.extend_from_slice(format!("\\u{hi:04x}\\u{lo:04x}").as_bytes());
+                }
+                6 => {
+                    // Raw multi-byte UTF-8: 2-, 3- and 4-byte sequences.
+                    let c = ['\u{e9}', '\u{6c49}', '\u{1F600}', '\u{7ff}', '\u{fffd}']
+                        [self.rng.below(5) as usize];
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                }
+                7 => {
+                    // Filler run: pushes later content across word boundaries.
+                    let n = self.rng.below(90) as usize;
+                    out.extend(std::iter::repeat_n(b'x', n));
+                }
+                8 => {
+                    // Backslash run (even, so the string stays valid).
+                    let n = self.rng.below(6) as usize;
+                    out.extend(std::iter::repeat_n(b'\\', n * 2));
+                }
+                _ => {
+                    let b = b' ' + (self.rng.below(94) as u8);
+                    if b == b'"' || b == b'\\' {
+                        out.push(b'.');
+                    } else {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        out.push(b'"');
+    }
+}
+
+/// Byte offsets strictly inside a string literal where a fault can be
+/// spliced without being reinterpreted by surrounding syntax: the validator
+/// is at its plain in-string state there, the byte at the offset is ASCII
+/// (never `"`, `\`, or an escape payload) and the preceding byte is ASCII
+/// too (so truncating at the offset never splits a multi-byte character).
+fn plain_string_positions(doc: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < doc.len() {
+        let b = doc[i];
+        if !in_string {
+            if b == b'"' {
+                in_string = true;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'\\' => {
+                // Skip the whole escape so hex payloads are never mistaken
+                // for plain characters.
+                if doc.get(i + 1) == Some(&b'u') {
+                    i += 6;
+                } else {
+                    i += 2;
+                }
+            }
+            b'"' => {
+                in_string = false;
+                i += 1;
+            }
+            _ => {
+                if b < 0x80 && i > 0 && doc[i - 1] < 0x80 {
+                    out.push(i);
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Positions of container closers (`}` / `]`) outside string literals.
+fn closer_positions(doc: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < doc.len() {
+        let b = doc[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'}' | b']' => out.push(i),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Injects one fault of the given class into a *valid* document, returning
+/// the damaged bytes and the exact `(offset, reason)` verdict
+/// [`crate::validate_record`] must produce for them. Returns `None` when the
+/// document offers no injection site for the class (e.g. no string literal,
+/// or no container closer for [`InvalidReason::Unbalanced`]).
+///
+/// The prediction is part of the oracle: a detector that fires at a
+/// *different* place than the model predicts is a bug even if it fires.
+pub fn inject(doc: &[u8], class: InvalidReason, seed: u64) -> Option<(Vec<u8>, usize)> {
+    let mut rng = SplitMix64::new(seed);
+    let pick = |rng: &mut SplitMix64, sites: &[usize]| -> Option<usize> {
+        if sites.is_empty() {
+            None
+        } else {
+            Some(sites[rng.below(sites.len() as u64) as usize])
+        }
+    };
+    let splice = |at: usize, bytes: &[u8]| -> Vec<u8> {
+        let mut out = Vec::with_capacity(doc.len() + bytes.len());
+        out.extend_from_slice(&doc[..at]);
+        out.extend_from_slice(bytes);
+        out.extend_from_slice(&doc[at..]);
+        out
+    };
+    match class {
+        InvalidReason::Utf8 => {
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((splice(at, &[0xFF]), at))
+        }
+        InvalidReason::ControlChar => {
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((splice(at, &[0x01]), at))
+        }
+        InvalidReason::BadEscape => {
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((splice(at, b"\\x"), at + 1))
+        }
+        InvalidReason::BadUnicodeEscape => {
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((splice(at, b"\\uq"), at + 2))
+        }
+        InvalidReason::LoneSurrogate => {
+            // The next character after the spliced high surrogate is a plain
+            // one by construction, so the pair can never complete.
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((splice(at, b"\\ud800"), at))
+        }
+        InvalidReason::UnterminatedString => {
+            let at = pick(&mut rng, &plain_string_positions(doc))?;
+            Some((doc[..at].to_vec(), at))
+        }
+        InvalidReason::TrailingGarbage => {
+            // The space first closes a bare-primitive root, making the
+            // verdict uniform across root shapes.
+            let mut out = doc.to_vec();
+            out.extend_from_slice(b" @");
+            Some((out, doc.len() + 1))
+        }
+        InvalidReason::Unbalanced => {
+            let at = *closer_positions(doc).last()?;
+            let mut out = doc.to_vec();
+            out.remove(at);
+            let end = out.len();
+            Some((out, end))
+        }
+    }
+}
+
+/// How a fuzz case was produced, i.e. what the oracle may assert about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseLabel {
+    /// Grammar-generated: all engines, kernels and validation modes must
+    /// accept it with byte-identical match streams.
+    Valid,
+    /// One labeled fault: Strict must reject with exactly this verdict.
+    Fault {
+        /// The injected violation class.
+        reason: InvalidReason,
+        /// The byte offset Strict validation must report.
+        offset: usize,
+    },
+    /// Arbitrary byte-level damage: no validity prediction; the oracle
+    /// checks cross-kernel invariance and DOM-ground-truth agreement only.
+    Mutated,
+}
+
+/// One deterministic fuzz case.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The record bytes (not necessarily valid JSON, or even UTF-8).
+    pub bytes: Vec<u8>,
+    /// What the oracle may assert about `bytes`.
+    pub label: CaseLabel,
+}
+
+/// All fault classes [`inject`] knows how to produce.
+pub const FAULT_CLASSES: &[InvalidReason] = &[
+    InvalidReason::Utf8,
+    InvalidReason::ControlChar,
+    InvalidReason::BadEscape,
+    InvalidReason::BadUnicodeEscape,
+    InvalidReason::LoneSurrogate,
+    InvalidReason::UnterminatedString,
+    InvalidReason::TrailingGarbage,
+    InvalidReason::Unbalanced,
+];
+
+/// Derives one fuzz case from a seed: ~40% pristine documents, ~40% labeled
+/// single-fault documents, ~20% unlabeled mutations. Deterministic — the
+/// seed alone reproduces the case.
+pub fn case(seed: u64) -> FuzzCase {
+    let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let doc = Gen::new(rng.next_u64()).document();
+    match rng.below(5) {
+        0 | 1 => FuzzCase {
+            bytes: doc,
+            label: CaseLabel::Valid,
+        },
+        2 | 3 => {
+            let class = FAULT_CLASSES[rng.below(FAULT_CLASSES.len() as u64) as usize];
+            match inject(&doc, class, rng.next_u64()) {
+                Some((bytes, offset)) => FuzzCase {
+                    bytes,
+                    label: CaseLabel::Fault {
+                        reason: class,
+                        offset,
+                    },
+                },
+                // No injection site (e.g. a stringless document): the
+                // pristine document is still a useful case.
+                None => FuzzCase {
+                    bytes: doc,
+                    label: CaseLabel::Valid,
+                },
+            }
+        }
+        _ => FuzzCase {
+            bytes: crate::faults::mutate(&doc, rng.next_u64()),
+            label: CaseLabel::Mutated,
+        },
+    }
+}
+
+/// Greedy delta-debugging shrinker: repeatedly removes chunks of halving
+/// size as long as `still_fails` keeps returning `true` for the candidate.
+/// The result is locally minimal at 1-byte granularity with respect to
+/// chunk removal.
+pub fn shrink(bytes: &[u8], mut still_fails: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = bytes.to_vec();
+    let mut chunk = cur.len().max(1) / 2;
+    while chunk > 0 {
+        let mut at = 0;
+        while at + chunk <= cur.len() {
+            let mut cand = Vec::with_capacity(cur.len() - chunk);
+            cand.extend_from_slice(&cur[..at]);
+            cand.extend_from_slice(&cur[at + chunk..]);
+            if still_fails(&cand) {
+                cur = cand;
+            } else {
+                at += chunk;
+            }
+        }
+        chunk /= 2;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate_record, validate_record_with, Kernel};
+
+    #[test]
+    fn generator_produces_strict_valid_documents() {
+        for seed in 0..400 {
+            let doc = Gen::new(seed).document();
+            assert_eq!(
+                validate_record(&doc),
+                None,
+                "seed {seed}: generator emitted invalid JSON: {:?}",
+                String::from_utf8_lossy(&doc)
+            );
+        }
+    }
+
+    #[test]
+    fn generator_exercises_block_boundaries() {
+        // Documents must regularly exceed one and two 64-byte words, or the
+        // whole fuzzer only tests the single-block fast path.
+        let mut over64 = 0;
+        let mut over128 = 0;
+        for seed in 0..400 {
+            let len = Gen::new(seed).document().len();
+            over64 += usize::from(len > 64);
+            over128 += usize::from(len > 128);
+        }
+        assert!(over64 > 100, "only {over64}/400 docs exceed one word");
+        assert!(over128 > 40, "only {over128}/400 docs exceed two words");
+    }
+
+    #[test]
+    fn injected_faults_match_their_predicted_verdict() {
+        let mut hits = vec![0usize; FAULT_CLASSES.len()];
+        for seed in 0..200 {
+            let doc = Gen::new(seed).document();
+            for (ci, &class) in FAULT_CLASSES.iter().enumerate() {
+                let Some((bytes, offset)) = inject(&doc, class, seed ^ 0xABCD) else {
+                    continue;
+                };
+                hits[ci] += 1;
+                assert_eq!(
+                    validate_record(&bytes),
+                    Some((offset, class)),
+                    "seed {seed} class {class:?} doc {:?}",
+                    String::from_utf8_lossy(&bytes)
+                );
+            }
+        }
+        for (ci, &class) in FAULT_CLASSES.iter().enumerate() {
+            assert!(
+                hits[ci] > 50,
+                "class {class:?} injected only {} times",
+                hits[ci]
+            );
+        }
+    }
+
+    #[test]
+    fn validator_kernels_agree_on_fuzz_cases() {
+        for seed in 0..300 {
+            let c = case(seed);
+            let reference = validate_record_with(&c.bytes, Kernel::Scalar);
+            for &k in Kernel::all() {
+                if k.is_supported() {
+                    assert_eq!(
+                        validate_record_with(&c.bytes, k),
+                        reference,
+                        "seed {seed} kernel {k:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_verdict_matches_validator_on_fuzz_cases() {
+        // The streaming engine's Strict verdict (found mid-skip, at cursor
+        // chokepoints, or at end-of-record reconciliation) must equal the
+        // standalone pre-pass used by the baseline engines.
+        let query = crate::JsonSki::compile("$.a")
+            .unwrap()
+            .with_config(crate::EngineConfig::builder().strict().build());
+        for seed in 0..300 {
+            let c = case(seed);
+            let expected = validate_record(&c.bytes);
+            match query.matches(&c.bytes) {
+                Ok(_) => assert_eq!(expected, None, "seed {seed}: engine accepted"),
+                Err(crate::StreamError::Invalid { pos, reason }) => assert_eq!(
+                    expected,
+                    Some((pos, reason)),
+                    "seed {seed}: engine and validator disagree"
+                ),
+                // A structural (token-level) error outside the validator's
+                // scope — legal only when the validator found nothing.
+                Err(_) => assert_eq!(expected, None, "seed {seed}: structural masks invalid"),
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_cases_carry_the_right_verdict() {
+        let mut faults = 0;
+        for seed in 0..300 {
+            let c = case(seed);
+            if let CaseLabel::Fault { reason, offset } = c.label {
+                faults += 1;
+                assert_eq!(
+                    validate_record(&c.bytes),
+                    Some((offset, reason)),
+                    "seed {seed}"
+                );
+            }
+        }
+        assert!(faults > 60, "only {faults}/300 cases were labeled faults");
+    }
+
+    #[test]
+    fn shrinker_preserves_the_failure_and_shrinks() {
+        let doc = br#"{"a": [1, 2, {"b": "xxxxxxxxxxxxxxxxxxxxxxxx"}], "c": null}"#;
+        let (bytes, _) = inject(doc, InvalidReason::ControlChar, 7).unwrap();
+        let fails = |b: &[u8]| matches!(validate_record(b), Some((_, InvalidReason::ControlChar)));
+        assert!(fails(&bytes));
+        let small = shrink(&bytes, fails);
+        assert!(fails(&small), "shrunk case no longer fails");
+        assert!(small.len() < bytes.len(), "shrinker removed nothing");
+        // The control byte itself can never be shrunk away.
+        assert!(small.contains(&0x01));
+    }
+}

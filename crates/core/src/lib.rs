@@ -48,6 +48,8 @@ mod evaluate;
 pub mod fastforward;
 #[cfg(any(test, feature = "faults"))]
 pub mod faults;
+#[cfg(any(test, feature = "faults"))]
+pub mod fuzz;
 pub mod interval;
 mod limits;
 pub mod metrics;
@@ -56,11 +58,12 @@ mod pipeline;
 mod reader;
 mod records;
 mod stats;
+mod validate;
 
 pub use cancel::CancellationToken;
 pub use checkpoint::{digest_parts, fingerprint, Checkpoint, CheckpointCadence, FINGERPRINT_BYTES};
 pub use engine::{EngineConfig, EngineConfigBuilder, JsonSki, StreamOutcome, MAX_DEPTH};
-pub use error::StreamError;
+pub use error::{InvalidReason, StreamError};
 pub use evaluate::{
     CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, MatchSink, RecordOutcome,
 };
@@ -71,6 +74,11 @@ pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};
 pub use reader::{ChunkedRecords, ReadRecordError, RetryPolicy, DEFAULT_BUFFER};
 pub use records::{split_records, RecordSplitter};
 pub use stats::{FastForwardStats, Group};
+pub use validate::{validate_record, validate_record_with, ValidationMode, Validator};
+
+// Re-export the kernel selector so embedders can force one without a direct
+// simdbits dependency (mirrors the `--kernel` / `JSONSKI_KERNEL` plumbing).
+pub use simdbits::{best_kernel, Kernel};
 
 // Re-export the query types so downstream users need only this crate.
 pub use jsonpath::{ExpectedType, ParsePathError, Path, Step};

@@ -21,6 +21,8 @@ use crate::fastforward::{
 };
 use crate::limits::ResourceLimits;
 use crate::stats::{FastForwardStats, Group};
+use crate::validate::ValidationMode;
+use simdbits::Kernel;
 
 /// A set of compiled queries evaluated together in one streaming pass.
 ///
@@ -39,6 +41,8 @@ use crate::stats::{FastForwardStats, Group};
 pub struct MultiQuery {
     paths: Vec<Path>,
     limits: ResourceLimits,
+    validation: ValidationMode,
+    kernel: Option<Kernel>,
 }
 
 impl MultiQuery {
@@ -47,6 +51,8 @@ impl MultiQuery {
         MultiQuery {
             paths,
             limits: ResourceLimits::default(),
+            validation: ValidationMode::Permissive,
+            kernel: None,
         }
     }
 
@@ -58,9 +64,28 @@ impl MultiQuery {
         self
     }
 
+    /// Sets the input trust level (builder-style); Strict validates every
+    /// byte of each record exactly as for [`JsonSki`](crate::JsonSki).
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.validation = mode;
+        self
+    }
+
+    /// Forces a specific bitmap kernel (builder-style); `None` restores
+    /// auto-detection.
+    pub fn with_kernel(mut self, kernel: Option<Kernel>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The active resource guards.
     pub fn limits(&self) -> ResourceLimits {
         self.limits
+    }
+
+    /// The active input trust level.
+    pub fn validation(&self) -> ValidationMode {
+        self.validation
     }
 
     /// Compiles a set of JSONPath expressions.
@@ -103,7 +128,7 @@ impl MultiQuery {
         F: FnMut(usize, &'a [u8]) -> ControlFlow<()>,
     {
         let mut ev = MultiEval {
-            cur: Cursor::new(input),
+            cur: Cursor::with_options(input, self.kernel, self.validation),
             rts: self.paths.iter().map(Runtime::new).collect(),
             stats: FastForwardStats::new(),
             sink,
@@ -113,9 +138,20 @@ impl MultiQuery {
             deadline: self.limits.deadline.map(|d| std::time::Instant::now() + d),
         };
         let stopped = match ev.record() {
-            Ok(()) => false,
+            Ok(()) => {
+                // Strict mode validates the whole record (see the
+                // single-query engine for the rationale and error
+                // precedence). No-op in Permissive mode.
+                ev.cur.finish_strict()?;
+                false
+            }
             Err(Abort::Stop) => true,
-            Err(Abort::Err(e)) => return Err(e),
+            Err(Abort::Err(e)) => {
+                if let Err(invalid @ StreamError::Invalid { .. }) = ev.cur.finish_strict() {
+                    return Err(invalid);
+                }
+                return Err(e);
+            }
         };
         Ok(crate::StreamOutcome {
             matches: ev.matches,
@@ -532,6 +568,23 @@ mod tests {
     #[test]
     fn compile_error_propagates() {
         assert!(MultiQuery::compile(&["$.ok", "$..bad"]).is_err());
+    }
+
+    #[test]
+    fn strict_multi_query_rejects_skipped_fault() {
+        use crate::{InvalidReason, ValidationMode};
+        // Neither query touches "junk"; only strict validation sees it.
+        let json = b"{\"junk\": \"\xFF\", \"a\": 1, \"b\": 2}";
+        let mq = MultiQuery::compile(&["$.a", "$.b"]).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), vec![1, 1]);
+        let strict = mq.with_validation(ValidationMode::Strict);
+        match strict.counts(json) {
+            Err(StreamError::Invalid {
+                pos: 10,
+                reason: InvalidReason::Utf8,
+            }) => {}
+            other => panic!("expected Invalid at 10, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! Strict-mode streaming validation: well-formedness checks over *every*
+//! classified word, including the spans fast-forwarding skips.
+//!
+//! JSONSki's speed comes from not looking at bytes it skips (paper Algs.
+//! 4–5), which means a malformed or hostile document can sail through G1–G5
+//! undetected. [`ValidationMode::Strict`] closes that blind spot the way
+//! simdjson's On-Demand parsing does (Keiser & Lemire, "Validating UTF-8 in
+//! less than one instruction per byte" + On-Demand): a streaming validator
+//! rides the existing 64-byte word iterator and checks each word as it is
+//! classified, so validation costs one extra scan per word instead of a
+//! second parse.
+//!
+//! The validator is deliberately *independent* of the structural
+//! [`Classifier`](simdbits::Classifier): it recomputes its own byte-class
+//! bitmaps via [`simdbits::scan`], so a classifier bug cannot hide a
+//! validation bug (and vice versa — the differential fuzzer exploits this).
+//!
+//! # What Strict checks (and what it doesn't)
+//!
+//! Strict rejects, with the byte offset of the first violation:
+//! - malformed UTF-8 (overlongs, surrogates, > U+10FFFF, stray or missing
+//!   continuation bytes) — bit-parallel ASCII fast path, scalar DFA on
+//!   blocks containing non-ASCII bytes;
+//! - unescaped control bytes inside strings — bit-parallel;
+//! - invalid escapes, malformed `\u` sequences, lone UTF-16 surrogates;
+//! - unterminated strings;
+//! - trailing garbage after the root value;
+//! - unbalanced `{}`/`[]` structure (counting-based, like Theorem 4.3).
+//!
+//! Strict does **not** tokenize skipped primitives (`truefalse` inside a
+//! skipped array is still invisible, exactly as in the paper), and
+//! Permissive intentionally checks nothing beyond what evaluation itself
+//! touches. See DESIGN.md §9.
+
+use crate::error::InvalidReason;
+use simdbits::scan::{scan_block, ScanBitmaps};
+use simdbits::{Kernel, StringState, BLOCK};
+
+/// How much well-formedness checking the engine performs on each record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ValidationMode {
+    /// The paper's behavior: fast-forwarded spans receive only structural
+    /// pairing checks; malformed bytes inside skipped substructures are
+    /// not inspected.
+    #[default]
+    Permissive,
+    /// Validate every classified word (UTF-8, strings, escapes, structure,
+    /// trailing garbage) while streaming; reject with
+    /// [`StreamError::Invalid`](crate::StreamError::Invalid).
+    Strict,
+}
+
+impl ValidationMode {
+    /// Short stable name (used in checkpoint digests and CLI plumbing).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValidationMode::Permissive => "permissive",
+            ValidationMode::Strict => "strict",
+        }
+    }
+}
+
+/// Pending escape-sequence state inside a string literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Escape {
+    /// Not inside an escape.
+    None,
+    /// Saw `\`, awaiting the escape character.
+    Backslash,
+    /// Inside `\uXXXX`: digits consumed so far and their accumulated value.
+    Hex(u8, u32),
+}
+
+/// Where the record stands relative to its single root value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Root {
+    /// Only whitespace so far.
+    NotSeen,
+    /// Root is an object/array; done when depth returns to zero.
+    Container,
+    /// Root is an unquoted primitive; done at the next whitespace.
+    Primitive,
+    /// Root is a bare string; done at its closing quote.
+    Str,
+    /// Root value complete; only whitespace may follow.
+    Done,
+}
+
+/// Incremental UTF-8 validation state (one code point at a time).
+///
+/// The lead-byte table is the standard shortest-form automaton: it rejects
+/// overlong encodings, UTF-16 surrogates (`ED A0..BF`), and code points
+/// above U+10FFFF by constraining the *first* continuation byte's range.
+#[derive(Clone, Copy, Debug, Default)]
+struct Utf8State {
+    /// Continuation bytes still required (0 = between code points).
+    need: u8,
+    /// Valid range for the next continuation byte.
+    lo: u8,
+    hi: u8,
+}
+
+impl Utf8State {
+    /// Feeds one byte; returns `false` on malformed UTF-8.
+    #[inline]
+    fn step(&mut self, b: u8) -> bool {
+        if self.need == 0 {
+            let (need, lo, hi) = match b {
+                0x00..=0x7F => return true,
+                0xC2..=0xDF => (1, 0x80, 0xBF),
+                0xE0 => (2, 0xA0, 0xBF),
+                0xE1..=0xEC | 0xEE..=0xEF => (2, 0x80, 0xBF),
+                0xED => (2, 0x80, 0x9F), // excludes UTF-16 surrogates
+                0xF0 => (3, 0x90, 0xBF),
+                0xF1..=0xF3 => (3, 0x80, 0xBF),
+                0xF4 => (3, 0x80, 0x8F), // excludes > U+10FFFF
+                // 0x80..=0xC1: stray continuation or overlong lead;
+                // 0xF5..=0xFF: beyond U+10FFFF.
+                _ => return false,
+            };
+            (self.need, self.lo, self.hi) = (need, lo, hi);
+            true
+        } else if b < self.lo || b > self.hi {
+            false
+        } else {
+            self.need -= 1;
+            (self.lo, self.hi) = (0x80, 0xBF);
+            true
+        }
+    }
+}
+
+/// Streaming strict validator. Feed 64-byte blocks in classification order
+/// via [`Validator::feed_block`]; the first violation freezes the state and
+/// is reported by [`Validator::error`] / [`Validator::finish`].
+#[derive(Clone, Debug)]
+pub struct Validator {
+    kernel: Kernel,
+    /// Absolute byte offset of the next block to be fed.
+    base: usize,
+    in_string: bool,
+    escape: Escape,
+    utf8: Utf8State,
+    depth: usize,
+    root: Root,
+    /// Offset of a high-surrogate escape's `\` awaiting its low partner.
+    expect_low: Option<usize>,
+    error: Option<(usize, InvalidReason)>,
+}
+
+impl Validator {
+    /// Fresh validator scanning with the given kernel.
+    pub fn new(kernel: Kernel) -> Self {
+        Validator {
+            kernel,
+            base: 0,
+            in_string: false,
+            escape: Escape::None,
+            utf8: Utf8State::default(),
+            depth: 0,
+            root: Root::NotSeen,
+            expect_low: None,
+            error: None,
+        }
+    }
+
+    /// The first violation found so far, as `(byte offset, reason)`.
+    pub fn error(&self) -> Option<(usize, InvalidReason)> {
+        self.error
+    }
+
+    #[inline]
+    fn fail(&mut self, pos: usize, reason: InvalidReason) {
+        if self.error.is_none() {
+            self.error = Some((pos, reason));
+        }
+    }
+
+    /// Feeds the next block; `valid_len` is the number of real input bytes
+    /// (the rest is padding, which carries no data and is skipped).
+    pub fn feed_block(&mut self, block: &[u8; BLOCK], valid_len: usize) {
+        debug_assert!(valid_len <= BLOCK);
+        let start = self.base;
+        self.base += valid_len;
+        if self.error.is_some() || valid_len == 0 {
+            return;
+        }
+        let bm = scan_block(self.kernel, block);
+        let valid = if valid_len == BLOCK {
+            u64::MAX
+        } else {
+            (1u64 << valid_len) - 1
+        };
+        // Fast path: inside the root container, no escape/UTF-8 state
+        // pending, and the block is pure ASCII with no backslashes. Then the
+        // string mask is a prefix XOR of the quotes, the control check is one
+        // AND, and depth moves by popcounts.
+        let fast = self.escape == Escape::None
+            && self.utf8.need == 0
+            && self.expect_low.is_none()
+            && self.root == Root::Container
+            && bm.high & valid == 0
+            && bm.backslash & valid == 0;
+        if fast {
+            self.feed_fast(block, &bm, valid, valid_len, start);
+        } else {
+            self.feed_scalar(&block[..valid_len], start);
+        }
+    }
+
+    /// Bit-parallel block handler (see `feed_block` for the preconditions).
+    fn feed_fast(
+        &mut self,
+        block: &[u8; BLOCK],
+        bm: &ScanBitmaps,
+        valid: u64,
+        valid_len: usize,
+        start: usize,
+    ) {
+        let mut strings = StringState::with_state(self.in_string, false);
+        let (string_mask, _) = strings.step(bm.quote & valid, 0);
+        let string_mask = string_mask & valid;
+        let bad_controls = bm.control & string_mask;
+        if bad_controls != 0 {
+            self.fail(
+                start + bad_controls.trailing_zeros() as usize,
+                InvalidReason::ControlChar,
+            );
+            return;
+        }
+        let openers = bm.openers() & !string_mask & valid;
+        let closers = bm.closers() & !string_mask & valid;
+        let n_close = closers.count_ones() as usize;
+        if self.depth > n_close {
+            // The depth cannot dip to zero anywhere in this block, so the
+            // order of the brackets is irrelevant: popcounts suffice.
+            self.depth += openers.count_ones() as usize;
+            self.depth -= n_close;
+            self.in_string = strings.in_string();
+            return;
+        }
+        // Depth may reach zero mid-block: walk the (sparse) structural bits
+        // in order to find where, then hand the remainder to the scalar
+        // walker for the trailing-garbage check.
+        let mut depth = self.depth;
+        let mut bits = openers | closers;
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            let bit = 1u64 << p;
+            bits &= bits - 1;
+            if openers & bit != 0 {
+                depth += 1;
+            } else {
+                depth -= 1;
+                if depth == 0 {
+                    self.depth = 0;
+                    self.root = Root::Done;
+                    self.in_string = false;
+                    self.feed_scalar(&block[p + 1..valid_len], start + p + 1);
+                    return;
+                }
+            }
+        }
+        self.depth = depth;
+        self.in_string = strings.in_string();
+    }
+
+    /// Byte-at-a-time DFA walk (blocks with escapes, non-ASCII bytes, or
+    /// activity outside the root container).
+    fn feed_scalar(&mut self, bytes: &[u8], start: usize) {
+        for (i, &b) in bytes.iter().enumerate() {
+            if self.error.is_some() {
+                return;
+            }
+            self.step_byte(b, start + i);
+        }
+    }
+
+    #[inline]
+    fn step_byte(&mut self, b: u8, pos: usize) {
+        // UTF-8 first: it applies uniformly, inside and outside strings.
+        if (b >= 0x80 || self.utf8.need > 0) && !self.utf8.step(b) {
+            self.fail(pos, InvalidReason::Utf8);
+            return;
+        }
+        if self.in_string {
+            self.step_in_string(b, pos);
+        } else {
+            self.step_structural(b, pos);
+        }
+    }
+
+    fn step_in_string(&mut self, b: u8, pos: usize) {
+        match self.escape {
+            Escape::None => {
+                if let Some(high_pos) = self.expect_low {
+                    // A high surrogate must be chased immediately by `\uDC00`
+                    // .. `\uDFFF`; anything but a backslash breaks the pair.
+                    if b != b'\\' {
+                        self.fail(high_pos, InvalidReason::LoneSurrogate);
+                        return;
+                    }
+                }
+                match b {
+                    b'\\' => self.escape = Escape::Backslash,
+                    b'"' => {
+                        self.in_string = false;
+                        if self.root == Root::Str && self.depth == 0 {
+                            self.root = Root::Done;
+                        }
+                    }
+                    0x00..=0x1F => self.fail(pos, InvalidReason::ControlChar),
+                    _ => {}
+                }
+            }
+            Escape::Backslash => match b {
+                b'u' => self.escape = Escape::Hex(0, 0),
+                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {
+                    if let Some(high_pos) = self.expect_low {
+                        self.fail(high_pos, InvalidReason::LoneSurrogate);
+                        return;
+                    }
+                    self.escape = Escape::None;
+                }
+                _ => self.fail(pos, InvalidReason::BadEscape),
+            },
+            Escape::Hex(n, acc) => {
+                let digit = match b {
+                    b'0'..=b'9' => b - b'0',
+                    b'a'..=b'f' => b - b'a' + 10,
+                    b'A'..=b'F' => b - b'A' + 10,
+                    _ => {
+                        self.fail(pos, InvalidReason::BadUnicodeEscape);
+                        return;
+                    }
+                };
+                let acc = (acc << 4) | u32::from(digit);
+                if n + 1 < 4 {
+                    self.escape = Escape::Hex(n + 1, acc);
+                    return;
+                }
+                self.escape = Escape::None;
+                // `pos` is the 4th hex digit; the escape's `\` is 5 back.
+                let escape_start = pos - 5;
+                match acc {
+                    0xD800..=0xDBFF => {
+                        if let Some(high_pos) = self.expect_low {
+                            self.fail(high_pos, InvalidReason::LoneSurrogate);
+                        } else {
+                            self.expect_low = Some(escape_start);
+                        }
+                    }
+                    0xDC00..=0xDFFF => {
+                        if self.expect_low.take().is_none() {
+                            self.fail(escape_start, InvalidReason::LoneSurrogate);
+                        }
+                    }
+                    _ => {
+                        if let Some(high_pos) = self.expect_low {
+                            self.fail(high_pos, InvalidReason::LoneSurrogate);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_structural(&mut self, b: u8, pos: usize) {
+        let is_ws = matches!(b, b' ' | b'\t' | b'\n' | b'\r');
+        match self.root {
+            Root::Done => {
+                if !is_ws {
+                    self.fail(pos, InvalidReason::TrailingGarbage);
+                }
+            }
+            Root::NotSeen => {
+                if is_ws {
+                    return;
+                }
+                match b {
+                    b'{' | b'[' => {
+                        self.root = Root::Container;
+                        self.depth = 1;
+                    }
+                    b'"' => {
+                        self.root = Root::Str;
+                        self.in_string = true;
+                    }
+                    b'}' | b']' => self.fail(pos, InvalidReason::Unbalanced),
+                    _ => self.root = Root::Primitive,
+                }
+            }
+            Root::Primitive => {
+                // Only whitespace ends a bare primitive; token-level validity
+                // (`truefalse`, `1.2.3`) is out of Strict's scope.
+                if is_ws {
+                    self.root = Root::Done;
+                } else {
+                    match b {
+                        b'}' | b']' => self.fail(pos, InvalidReason::Unbalanced),
+                        b'{' | b'[' | b'"' | b':' | b',' => {
+                            self.fail(pos, InvalidReason::TrailingGarbage)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Root::Container => match b {
+                b'{' | b'[' => self.depth += 1,
+                b'}' | b']' => {
+                    self.depth -= 1;
+                    if self.depth == 0 {
+                        self.root = Root::Done;
+                    }
+                }
+                b'"' => self.in_string = true,
+                _ => {}
+            },
+            // Inside a bare-string root, `step_in_string` handles everything.
+            Root::Str => unreachable!("Str root is only active while in_string"),
+        }
+    }
+
+    /// End-of-record check; returns the first violation, if any, including
+    /// truncation-class errors only visible at the end of the input.
+    pub fn finish(&mut self) -> Option<(usize, InvalidReason)> {
+        if self.error.is_some() {
+            return self.error;
+        }
+        let len = self.base;
+        if self.utf8.need > 0 {
+            self.fail(len, InvalidReason::Utf8);
+        } else if self.in_string || self.escape != Escape::None {
+            self.fail(len, InvalidReason::UnterminatedString);
+        } else if let Some(high_pos) = self.expect_low {
+            self.fail(high_pos, InvalidReason::LoneSurrogate);
+        } else if self.depth > 0 {
+            self.fail(len, InvalidReason::Unbalanced);
+        }
+        self.error
+    }
+}
+
+/// Validates a whole record in one pass (the baseline engines' strict
+/// pre-pass). Uses the same state machine and block boundaries as the
+/// streaming validator inside JSONSki's cursor, so every engine reports the
+/// same first-failure offset.
+pub fn validate_record(record: &[u8]) -> Option<(usize, InvalidReason)> {
+    validate_record_with(
+        record,
+        simdbits::forced_kernel().unwrap_or_else(simdbits::best_kernel),
+    )
+}
+
+/// [`validate_record`] with an explicit kernel (differential tests).
+pub fn validate_record_with(record: &[u8], kernel: Kernel) -> Option<(usize, InvalidReason)> {
+    let mut v = Validator::new(kernel);
+    let mut blocks = simdbits::Blocks::new(record);
+    for block in blocks.by_ref() {
+        v.feed_block(block, BLOCK);
+        if v.error().is_some() {
+            return v.error();
+        }
+    }
+    let tail = blocks.remainder();
+    if !tail.is_empty() {
+        let mut block = [0u8; BLOCK];
+        block[..tail.len()].copy_from_slice(tail);
+        v.feed_block(&block, tail.len());
+    }
+    v.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(doc: &[u8]) -> Option<(usize, InvalidReason)> {
+        let kernels: Vec<Kernel> = Kernel::all()
+            .iter()
+            .copied()
+            .filter(|k| k.is_supported())
+            .collect();
+        let reference = validate_record_with(doc, kernels[0]);
+        for &k in &kernels[1..] {
+            assert_eq!(
+                validate_record_with(doc, k),
+                reference,
+                "kernel {k:?} diverges on {:?}",
+                String::from_utf8_lossy(doc)
+            );
+        }
+        reference
+    }
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            &br#"{"a": 1, "b": [true, null, "x"]}"#[..],
+            br#"  [1, 2, 3]  "#,
+            br#""just a string""#,
+            br#"42"#,
+            br#"true "#,
+            b"{}",
+            b"",
+            b"   ",
+            // Direct UTF-8 (2-, 3-, and 4-byte sequences).
+            "{\"emoji\": \"\u{1F600}\", \"de\": \"stra\u{00DF}e\"}".as_bytes(),
+            // Surrogate *pair* escapes are legal; the raw string keeps the
+            // backslashes literal so the validator sees `😀`.
+            br#"{"pair": "\uD83D\uDE00", "esc": "\n\t\\\"A", "u": "\u00e9"}"#,
+        ] {
+            assert_eq!(check(doc), None, "doc {:?}", String::from_utf8_lossy(doc));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_utf8_at_offset() {
+        // Stray continuation byte.
+        assert_eq!(
+            check(b"{\"a\": \"x\xFFy\"}"),
+            Some((8, InvalidReason::Utf8))
+        );
+        // Overlong encoding of '/'.
+        assert_eq!(check(b"[\"\xC0\xAF\"]"), Some((2, InvalidReason::Utf8)));
+        // UTF-16 surrogate encoded directly (ED A0 80).
+        assert_eq!(check(b"[\"\xED\xA0\x80\"]"), Some((3, InvalidReason::Utf8)));
+        // Truncated sequence at end of input.
+        assert_eq!(check(b"\"\xE2\x82"), Some((3, InvalidReason::Utf8)));
+    }
+
+    #[test]
+    fn rejects_string_violations() {
+        assert_eq!(
+            check(b"{\"a\": \"x\x01\"}"),
+            Some((8, InvalidReason::ControlChar))
+        );
+        assert_eq!(
+            check(br#"{"a": "b\q"}"#),
+            Some((9, InvalidReason::BadEscape))
+        );
+        assert_eq!(
+            check(br#"{"a": "\uZZZZ"}"#),
+            Some((9, InvalidReason::BadUnicodeEscape))
+        );
+        // Lone high surrogate: reported at the escape's backslash.
+        assert_eq!(
+            check(br#"{"a": "\uD800"}"#),
+            Some((7, InvalidReason::LoneSurrogate))
+        );
+        // Lone low surrogate.
+        assert_eq!(
+            check(br#"{"a": "\uDC00x"}"#),
+            Some((7, InvalidReason::LoneSurrogate))
+        );
+        // High surrogate followed by a non-surrogate escape.
+        assert_eq!(
+            check(br#"{"a": "\uD800A"}"#),
+            Some((7, InvalidReason::LoneSurrogate))
+        );
+        assert_eq!(
+            check(br#"{"a": "unterminated"#),
+            Some((19, InvalidReason::UnterminatedString))
+        );
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert_eq!(
+            check(br#"{"a": 1} trailing"#),
+            Some((9, InvalidReason::TrailingGarbage))
+        );
+        assert_eq!(
+            check(br#"{"a": 1}}"#),
+            Some((8, InvalidReason::TrailingGarbage))
+        );
+        assert_eq!(check(br#"]"#), Some((0, InvalidReason::Unbalanced)));
+        assert_eq!(
+            check(br#"{"a": [1, 2}"#),
+            // Counting-based pairing: the mismatched `}` still closes the
+            // bracket; the imbalance surfaces at end of input.
+            Some((12, InvalidReason::Unbalanced))
+        );
+        assert_eq!(check(br#"{"a": {"#), Some((7, InvalidReason::Unbalanced)));
+        assert_eq!(check(b"1 2"), Some((2, InvalidReason::TrailingGarbage)));
+    }
+
+    #[test]
+    fn fast_and_scalar_paths_agree_across_boundaries() {
+        // Shift a document across the 64-byte grid so the same bytes take
+        // the fast path at some alignments and split differently at others.
+        let core = br#"{"k": ["v", {"n": [1, 2, {"deep": "x"}]}], "t": "y"}"#;
+        for pad in 0..130 {
+            let mut doc = vec![b' '; pad];
+            doc.extend_from_slice(core);
+            assert_eq!(check(&doc), None, "pad {pad}");
+            // And with an injected control byte, offsets must track the pad.
+            let mut bad = doc.clone();
+            let in_string = pad + 8; // inside "v"
+            bad[in_string] = 0x07;
+            assert_eq!(
+                check(&bad),
+                Some((in_string, InvalidReason::ControlChar)),
+                "pad {pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_zero_mid_block_hands_off_to_scalar() {
+        // Root closes mid-block; garbage after it must still be caught by
+        // the fast path's scalar hand-off.
+        let mut doc = br#"{"a": [1, 2, 3]}   "#.to_vec();
+        doc.extend_from_slice(b"oops");
+        let pos = doc.len() - 4;
+        assert_eq!(check(&doc), Some((pos, InvalidReason::TrailingGarbage)));
+    }
+
+    #[test]
+    fn validation_mode_names() {
+        assert_eq!(ValidationMode::Permissive.as_str(), "permissive");
+        assert_eq!(ValidationMode::Strict.as_str(), "strict");
+        assert_eq!(ValidationMode::default(), ValidationMode::Permissive);
+    }
+}

@@ -16,12 +16,16 @@ use crate::Dom;
 #[derive(Clone, Debug)]
 pub struct DomQuery {
     path: Path,
+    validation: jsonski::ValidationMode,
 }
 
 impl DomQuery {
     /// Binds the engine to an already-parsed path.
     pub fn new(path: Path) -> Self {
-        DomQuery { path }
+        DomQuery {
+            path,
+            validation: jsonski::ValidationMode::Permissive,
+        }
     }
 
     /// Compiles a JSONPath expression.
@@ -30,14 +34,30 @@ impl DomQuery {
     ///
     /// Returns the parse error for malformed expressions.
     pub fn compile(query: &str) -> Result<Self, ParsePathError> {
-        Ok(DomQuery {
-            path: query.parse()?,
-        })
+        Ok(DomQuery::new(query.parse()?))
+    }
+
+    /// Sets the input trust level (builder-style). Strict runs the shared
+    /// [`jsonski::validate_record`] pre-pass before parsing so this engine
+    /// rejects exactly the inputs — at the same byte offsets — that the
+    /// streaming engine rejects mid-skip.
+    pub fn with_validation(mut self, mode: jsonski::ValidationMode) -> Self {
+        self.validation = mode;
+        self
     }
 
     /// The compiled path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn strict_reject(&self, record: &[u8]) -> Option<jsonski::RecordOutcome> {
+        if self.validation != jsonski::ValidationMode::Strict {
+            return None;
+        }
+        jsonski::validate_record(record).map(|(offset, reason)| {
+            jsonski::RecordOutcome::Failed(jsonski::EngineError::Invalid { offset, reason })
+        })
     }
 }
 
@@ -52,6 +72,9 @@ impl jsonski::Evaluate for DomQuery {
         record_idx: u64,
         sink: &mut dyn jsonski::MatchSink,
     ) -> jsonski::RecordOutcome {
+        if let Some(failed) = self.strict_reject(record) {
+            return failed;
+        }
         // Blank records have no values and thus no matches (the streaming
         // engines' convention); the DOM parser itself rejects empty input.
         if record.iter().all(u8::is_ascii_whitespace) {
@@ -88,6 +111,10 @@ impl jsonski::Evaluate for DomQuery {
     ) -> jsonski::RecordOutcome {
         if !metrics.is_enabled() {
             return self.evaluate(record, record_idx, sink);
+        }
+        if let Some(failed) = self.strict_reject(record) {
+            metrics.record_outcome(record.len(), &failed);
+            return failed;
         }
         if record.iter().all(u8::is_ascii_whitespace) {
             let outcome = jsonski::RecordOutcome::Complete { matches: 0 };

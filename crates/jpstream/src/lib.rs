@@ -61,12 +61,16 @@ impl Error for JpError {}
 #[derive(Clone, Debug)]
 pub struct JpStream {
     path: Path,
+    validation: jsonski::ValidationMode,
 }
 
 impl JpStream {
     /// Wraps an already-parsed path.
     pub fn new(path: Path) -> Self {
-        JpStream { path }
+        JpStream {
+            path,
+            validation: jsonski::ValidationMode::Permissive,
+        }
     }
 
     /// Compiles a JSONPath expression.
@@ -75,14 +79,32 @@ impl JpStream {
     ///
     /// Returns the parse error for malformed expressions.
     pub fn compile(query: &str) -> Result<Self, ParsePathError> {
-        Ok(JpStream {
-            path: query.parse()?,
-        })
+        Ok(JpStream::new(query.parse()?))
+    }
+
+    /// Sets the input trust level (builder-style). Strict runs the shared
+    /// [`jsonski::validate_record`] pre-pass before the detailed scan so
+    /// this engine rejects exactly the inputs — at the same byte offsets —
+    /// that the fast-forwarding engine rejects mid-skip. Applies to the
+    /// [`jsonski::Evaluate`] entry point; the raw [`JpStream::stream`] API
+    /// keeps its historical character-level checks only.
+    pub fn with_validation(mut self, mode: jsonski::ValidationMode) -> Self {
+        self.validation = mode;
+        self
     }
 
     /// The compiled path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn strict_reject(&self, record: &[u8]) -> Option<jsonski::RecordOutcome> {
+        if self.validation != jsonski::ValidationMode::Strict {
+            return None;
+        }
+        jsonski::validate_record(record).map(|(offset, reason)| {
+            jsonski::RecordOutcome::Failed(jsonski::EngineError::Invalid { offset, reason })
+        })
     }
 
     /// Streams one record with early-exit support: `sink` receives each
@@ -432,6 +454,9 @@ impl jsonski::Evaluate for JpStream {
         record_idx: u64,
         sink: &mut dyn jsonski::MatchSink,
     ) -> jsonski::RecordOutcome {
+        if let Some(failed) = self.strict_reject(record) {
+            return failed;
+        }
         match self.stream(record, |m| sink.on_match(record_idx, m)) {
             Ok(o) if o.stopped => jsonski::RecordOutcome::Stopped { matches: o.matches },
             Ok(o) => jsonski::RecordOutcome::Complete { matches: o.matches },

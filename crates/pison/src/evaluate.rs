@@ -20,12 +20,16 @@ use crate::LeveledIndex;
 #[derive(Clone, Debug)]
 pub struct PisonQuery {
     path: Path,
+    validation: jsonski::ValidationMode,
 }
 
 impl PisonQuery {
     /// Binds the engine to an already-parsed path.
     pub fn new(path: Path) -> Self {
-        PisonQuery { path }
+        PisonQuery {
+            path,
+            validation: jsonski::ValidationMode::Permissive,
+        }
     }
 
     /// Compiles a JSONPath expression.
@@ -34,14 +38,31 @@ impl PisonQuery {
     ///
     /// Returns the parse error for malformed expressions.
     pub fn compile(query: &str) -> Result<Self, ParsePathError> {
-        Ok(PisonQuery {
-            path: query.parse()?,
-        })
+        Ok(PisonQuery::new(query.parse()?))
+    }
+
+    /// Sets the input trust level (builder-style). Strict runs the shared
+    /// [`jsonski::validate_record`] pre-pass (in addition to the structural
+    /// [validation pass](crate::validate) this engine always performs) so
+    /// this engine rejects exactly the inputs — at the same byte offsets —
+    /// that the streaming engine rejects mid-skip.
+    pub fn with_validation(mut self, mode: jsonski::ValidationMode) -> Self {
+        self.validation = mode;
+        self
     }
 
     /// The compiled path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn strict_reject(&self, record: &[u8]) -> Option<jsonski::RecordOutcome> {
+        if self.validation != jsonski::ValidationMode::Strict {
+            return None;
+        }
+        jsonski::validate_record(record).map(|(offset, reason)| {
+            jsonski::RecordOutcome::Failed(jsonski::EngineError::Invalid { offset, reason })
+        })
     }
 }
 
@@ -56,6 +77,9 @@ impl jsonski::Evaluate for PisonQuery {
         record_idx: u64,
         sink: &mut dyn jsonski::MatchSink,
     ) -> jsonski::RecordOutcome {
+        if let Some(failed) = self.strict_reject(record) {
+            return failed;
+        }
         if let Err(e) = validate(record) {
             return jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {
                 engine: "Pison",
@@ -85,6 +109,10 @@ impl jsonski::Evaluate for PisonQuery {
     ) -> jsonski::RecordOutcome {
         if !metrics.is_enabled() {
             return self.evaluate(record, record_idx, sink);
+        }
+        if let Some(failed) = self.strict_reject(record) {
+            metrics.record_outcome(record.len(), &failed);
+            return failed;
         }
         let sw = metrics.stopwatch();
         if let Err(e) = validate(record) {

@@ -85,9 +85,11 @@ impl Default for Classifier {
 }
 
 impl Classifier {
-    /// Creates a classifier using the widest kernel this CPU supports.
+    /// Creates a classifier using the widest kernel this CPU supports, unless
+    /// the `JSONSKI_KERNEL` environment variable forces one for differential
+    /// verification (see [`crate::forced_kernel`]).
     pub fn new() -> Self {
-        Self::with_kernel(best_kernel())
+        Self::with_kernel(crate::forced_kernel().unwrap_or_else(best_kernel))
     }
 
     /// Creates a classifier pinned to a specific kernel (used by the kernel

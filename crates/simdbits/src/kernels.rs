@@ -53,7 +53,9 @@ pub enum Kernel {
 /// assert_ne!(k, simdbits::Kernel::Scalar);
 /// ```
 pub fn best_kernel() -> Kernel {
-    #[cfg(target_arch = "x86_64")]
+    // Miri has no CPU feature detection and does not model vendor
+    // intrinsics; the portable SWAR kernel is the widest it can run.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             return Kernel::Avx2;
@@ -95,12 +97,64 @@ impl Kernel {
     pub fn is_supported(self) -> bool {
         match self {
             Kernel::Scalar | Kernel::Swar => true,
+            // Miri interprets Rust, not x86: vendor intrinsics are
+            // unsupported there even though the host CPU has them.
             #[cfg(target_arch = "x86_64")]
-            Kernel::Sse2 => true,
+            Kernel::Sse2 => !cfg!(miri),
             #[cfg(target_arch = "x86_64")]
-            Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            Kernel::Avx2 => !cfg!(miri) && std::arch::is_x86_feature_detected!("avx2"),
         }
     }
+
+    /// The canonical lowercase name used by `JSONSKI_KERNEL` and `--kernel`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Swar => "swar",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => "sse2",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a kernel name as accepted by `JSONSKI_KERNEL` and `--kernel`.
+    ///
+    /// Returns `None` for names that are unknown *or* not compiled into this
+    /// build target (e.g. `sse2` on non-x86_64), so callers can surface one
+    /// uniform "unknown kernel" error.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::all().iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// The kernel forced via the `JSONSKI_KERNEL` environment variable, if any.
+///
+/// Read once per process (the classifier is on the per-block hot path) and
+/// cached. An unknown or unsupported value aborts loudly rather than silently
+/// falling back — the variable exists for differential verification, where a
+/// silent fallback would defeat the point.
+pub fn forced_kernel() -> Option<Kernel> {
+    static FORCED: std::sync::OnceLock<Option<Kernel>> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let name = std::env::var("JSONSKI_KERNEL").ok()?;
+        let kernel = Kernel::from_name(&name).unwrap_or_else(|| {
+            panic!(
+                "JSONSKI_KERNEL={name:?} is not a known kernel on this target \
+                 (expected one of: {})",
+                Kernel::all()
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        });
+        assert!(
+            kernel.is_supported(),
+            "JSONSKI_KERNEL={name:?} is not supported by this CPU"
+        );
+        Some(kernel)
+    })
 }
 
 /// Byte-at-a-time reference classification.
@@ -281,6 +335,15 @@ mod tests {
     #[test]
     fn best_kernel_is_supported() {
         assert!(best_kernel().is_supported());
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for &k in Kernel::all() {
+            assert_eq!(Kernel::from_name(k.name()), Some(k), "kernel {k:?}");
+        }
+        assert_eq!(Kernel::from_name("neon"), None);
+        assert_eq!(Kernel::from_name("SWAR"), None, "names are lowercase");
     }
 
     #[test]

@@ -34,10 +34,11 @@
 pub mod bits;
 mod block;
 mod kernels;
+pub mod scan;
 mod string_mask;
 
 pub use block::{classify_stream, BlockBitmaps, Blocks, Classifier, PaddedBlocks};
-pub use kernels::{best_kernel, Kernel, RawBitmaps};
+pub use kernels::{best_kernel, forced_kernel, Kernel, RawBitmaps};
 pub use string_mask::StringState;
 
 /// Number of bytes classified per step; one bit per byte in each bitmap.

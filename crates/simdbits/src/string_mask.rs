@@ -105,7 +105,8 @@ impl StringState {
 /// masks of every kernel path must agree with the scalar model).
 #[inline]
 fn fast_prefix_xor(x: u64) -> u64 {
-    #[cfg(target_arch = "x86_64")]
+    // Miri does not model the carry-less multiply intrinsic.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("pclmulqdq") {
             // SAFETY: feature presence checked at runtime just above.
@@ -115,7 +116,7 @@ fn fast_prefix_xor(x: u64) -> u64 {
     prefix_xor(x)
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "pclmulqdq", enable = "sse2")]
 unsafe fn clmul_prefix_xor(x: u64) -> u64 {
     use std::arch::x86_64::*;
@@ -230,6 +231,86 @@ mod tests {
         v.extend_from_slice(br#"\\\\\\\"after"#); // 7 backslashes then quote
         v.extend(std::iter::repeat_n(b' ', 40));
         check(&v);
+    }
+
+    /// Boundary audit: every split of a backslash run across the 64-byte
+    /// word boundary, odd and even lengths, in and out of strings. A carry
+    /// bug here silently flips string state for the rest of the stream.
+    #[test]
+    fn backslash_carry_chains_at_every_boundary_split() {
+        for run_len in 1usize..=9 {
+            for run_start in (64 - run_len).saturating_sub(2)..=64 {
+                // Inside a string: `"<pad>\\..\"tail` — the quote after the
+                // run is escaped iff the run length is odd.
+                let mut v = vec![b'a'; run_start];
+                v[0] = b'"';
+                v.extend(std::iter::repeat_n(b'\\', run_len));
+                v.push(b'"');
+                v.extend_from_slice(b"tail ");
+                check(&v);
+
+                // Same run followed by a non-quote char, then a real close:
+                // exercises the carry without the escaped-quote interaction.
+                // (Backslashes *outside* strings are not tested: there the
+                // bit-parallel escape detector intentionally diverges from a
+                // grammar-aware walker — valid JSON never produces them, and
+                // Strict validation rejects such documents outright.)
+                let mut v = vec![b'a'; run_start];
+                v[0] = b'"';
+                v.extend(std::iter::repeat_n(b'\\', run_len));
+                if run_len % 2 == 1 {
+                    v.push(b'n'); // complete the escape
+                }
+                v.extend_from_slice(b"x\" ");
+                check(&v);
+            }
+        }
+    }
+
+    /// Boundary audit: alternating `\"` pairs straddling the boundary, so the
+    /// escaped-quote detector must distinguish run phase across the carry.
+    #[test]
+    fn escaped_quote_chains_across_boundary() {
+        for start in 56..=64 {
+            let mut v = vec![b'x'; start];
+            v[0] = b'"';
+            for _ in 0..8 {
+                v.extend_from_slice(br#"\""#);
+            }
+            v.push(b'"'); // real closing quote
+            v.extend_from_slice(b" after");
+            check(&v);
+        }
+    }
+
+    /// Boundary audit: real quotes at positions 63 and 64 (last bit of one
+    /// word, first bit of the next) — the prefix-XOR carry sign-extension.
+    #[test]
+    fn quote_state_spanning_word_boundary() {
+        for open in [62usize, 63, 64, 65] {
+            for span in [1usize, 2, 64, 65, 127, 128] {
+                let mut v = vec![b' '; open];
+                v.push(b'"');
+                v.extend(std::iter::repeat_n(b'y', span));
+                v.push(b'"');
+                v.extend_from_slice(b" , ");
+                check(&v);
+            }
+        }
+    }
+
+    /// Boundary audit: a backslash run spanning *three* blocks (>128 chars),
+    /// so `ends_odd` must propagate through a block that is all backslashes.
+    #[test]
+    fn backslash_run_spanning_three_blocks() {
+        for total in [127usize, 128, 129, 130] {
+            let mut v = vec![b'"'; 1];
+            v.extend(std::iter::repeat_n(b'z', 62));
+            v.extend(std::iter::repeat_n(b'\\', total));
+            v.push(b'"');
+            v.extend_from_slice(b"rest ");
+            check(&v);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! arbitrary inputs (including pathological backslash runs).
 
 use proptest::prelude::*;
+use simdbits::scan::{scan_block, scan_scalar};
 use simdbits::{bits, Classifier, Kernel, PaddedBlocks, BLOCK};
 
 /// Arbitrary bytes biased towards JSON metacharacters, quotes, and
@@ -102,8 +103,64 @@ fn classified(input: &[u8], kernel: Kernel) -> Vec<[u64; 7]> {
         .collect()
 }
 
+/// Adversarial inputs engineered to straddle 64-byte word boundaries:
+/// a padding shift places a sequence of hostile segments (backslash runs,
+/// quote-carry chains, metachar bursts) at every alignment relative to the
+/// block grid, so carry bugs that only fire at bit 63/0 are exercised.
+fn boundary_straddling() -> BoxedStrategy<Vec<u8>> {
+    let segment = prop_oneof![
+        // Backslash run of adversarial length (odd/even, spanning words).
+        (1usize..130).prop_map(|n| vec![b'\\'; n]),
+        // Quote-carry chain: alternating escaped quotes.
+        (1usize..40).prop_map(|n| br#"\""#.repeat(n)),
+        // A lone real quote toggling string state.
+        Just(vec![b'"']),
+        // Metachar burst that must be masked iff inside a string.
+        Just(b"{}[]:,".to_vec()),
+        // Neutral filler.
+        (1usize..20).prop_map(|n| vec![b'x'; n]),
+    ];
+    (0usize..BLOCK, prop::collection::vec(segment, 1..12))
+        .prop_map(|(shift, segments)| {
+            let mut v = vec![b' '; shift];
+            for s in segments {
+                v.extend_from_slice(&s);
+            }
+            v
+        })
+        .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_kernels_agree_on_boundary_straddling_input(input in boundary_straddling()) {
+        let reference = classified(&input, Kernel::Scalar);
+        for &k in Kernel::all() {
+            if k.is_supported() {
+                prop_assert_eq!(&classified(&input, k), &reference, "kernel {:?}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn bitparallel_matches_scalar_model_on_boundary_straddling(input in boundary_straddling()) {
+        let got = classified(&input, Kernel::Scalar);
+        let want = scalar_model(&input);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_kernels_agree_with_scalar(input in prop::collection::vec(any::<u8>(), BLOCK..BLOCK + 1)) {
+        let block: [u8; BLOCK] = input.try_into().unwrap();
+        let reference = scan_scalar(&block);
+        for &k in Kernel::all() {
+            if k.is_supported() {
+                prop_assert_eq!(scan_block(k, &block), reference, "kernel {:?}", k);
+            }
+        }
+    }
 
     #[test]
     fn all_kernels_agree_with_each_other(input in spicy_bytes(300)) {

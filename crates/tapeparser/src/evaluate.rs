@@ -16,12 +16,16 @@ use crate::Tape;
 #[derive(Clone, Debug)]
 pub struct TapeQuery {
     path: Path,
+    validation: jsonski::ValidationMode,
 }
 
 impl TapeQuery {
     /// Binds the engine to an already-parsed path.
     pub fn new(path: Path) -> Self {
-        TapeQuery { path }
+        TapeQuery {
+            path,
+            validation: jsonski::ValidationMode::Permissive,
+        }
     }
 
     /// Compiles a JSONPath expression.
@@ -30,14 +34,30 @@ impl TapeQuery {
     ///
     /// Returns the parse error for malformed expressions.
     pub fn compile(query: &str) -> Result<Self, ParsePathError> {
-        Ok(TapeQuery {
-            path: query.parse()?,
-        })
+        Ok(TapeQuery::new(query.parse()?))
+    }
+
+    /// Sets the input trust level (builder-style). Strict runs the shared
+    /// [`jsonski::validate_record`] pre-pass before tape construction so
+    /// this engine rejects exactly the inputs — at the same byte offsets —
+    /// that the streaming engine rejects mid-skip.
+    pub fn with_validation(mut self, mode: jsonski::ValidationMode) -> Self {
+        self.validation = mode;
+        self
     }
 
     /// The compiled path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn strict_reject(&self, record: &[u8]) -> Option<jsonski::RecordOutcome> {
+        if self.validation != jsonski::ValidationMode::Strict {
+            return None;
+        }
+        jsonski::validate_record(record).map(|(offset, reason)| {
+            jsonski::RecordOutcome::Failed(jsonski::EngineError::Invalid { offset, reason })
+        })
     }
 }
 
@@ -52,6 +72,9 @@ impl jsonski::Evaluate for TapeQuery {
         record_idx: u64,
         sink: &mut dyn jsonski::MatchSink,
     ) -> jsonski::RecordOutcome {
+        if let Some(failed) = self.strict_reject(record) {
+            return failed;
+        }
         let tape = match Tape::build(record) {
             Ok(tape) => tape,
             Err(e) => {
@@ -82,6 +105,10 @@ impl jsonski::Evaluate for TapeQuery {
     ) -> jsonski::RecordOutcome {
         if !metrics.is_enabled() {
             return self.evaluate(record, record_idx, sink);
+        }
+        if let Some(failed) = self.strict_reject(record) {
+            metrics.record_outcome(record.len(), &failed);
+            return failed;
         }
         let sw = metrics.stopwatch();
         let tape = match Tape::build(record) {

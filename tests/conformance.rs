@@ -13,7 +13,10 @@ use std::ops::ControlFlow;
 
 use jsonski_repro::datagen::{Dataset, GenConfig};
 use jsonski_repro::jsonpath::Path;
-use jsonski_repro::jsonski::{Evaluate, MatchSink, Metrics, RecordOutcome};
+use jsonski_repro::jsonski::{
+    EngineConfig, EngineError, Evaluate, InvalidReason, Kernel, MatchSink, Metrics, RecordOutcome,
+    ValidationMode,
+};
 
 /// Sink that records the full match stream.
 #[derive(Default)]
@@ -34,6 +37,21 @@ fn engines(path: &Path) -> Vec<Box<dyn Evaluate>> {
         Box::new(jsonski_repro::domparser::DomQuery::new(path.clone())),
         Box::new(jsonski_repro::tapeparser::TapeQuery::new(path.clone())),
         Box::new(jsonski_repro::pison::PisonQuery::new(path.clone())),
+    ]
+}
+
+/// The same five engines with Strict input validation enabled.
+fn strict_engines(path: &Path) -> Vec<Box<dyn Evaluate>> {
+    let strict = ValidationMode::Strict;
+    vec![
+        Box::new(
+            jsonski_repro::jsonski::JsonSki::new(path.clone())
+                .with_config(EngineConfig::builder().strict().build()),
+        ),
+        Box::new(jsonski_repro::jpstream::JpStream::new(path.clone()).with_validation(strict)),
+        Box::new(jsonski_repro::domparser::DomQuery::new(path.clone()).with_validation(strict)),
+        Box::new(jsonski_repro::tapeparser::TapeQuery::new(path.clone()).with_validation(strict)),
+        Box::new(jsonski_repro::pison::PisonQuery::new(path.clone()).with_validation(strict)),
     ]
 }
 
@@ -190,6 +208,196 @@ fn multi_record_edge_stream_agrees() {
     let agreed = assert_conformance(records, "$.a[*]", "multi-record");
     let idxs: Vec<u64> = agreed.iter().map(|(i, _)| *i).collect();
     assert_eq!(idxs, vec![0, 0, 3, 4]);
+}
+
+#[test]
+fn strict_engines_agree_on_clean_input() {
+    // With Strict validation on, well-formed input must still produce the
+    // exact match streams of the permissive engines.
+    let cfg = GenConfig {
+        target_bytes: 16 * 1024,
+        seed: 1313,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        let records: Vec<&[u8]> = data.iter().collect();
+        for (id, query) in ds.queries() {
+            if ds.large_only_queries().contains(&id) {
+                continue;
+            }
+            let path: Path = query.parse().unwrap();
+            let reference = match_stream(engines(&path)[0].as_ref(), &records, id);
+            for e in strict_engines(&path) {
+                let got = match_stream(e.as_ref(), &records, id);
+                assert_eq!(got, reference, "{id}: strict {} diverges", e.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn rejection_conformance_matrix() {
+    // Adversarial documents crossed with all five engines: in Strict mode
+    // every engine must reject each document as `EngineError::Invalid` with
+    // the *identical* byte offset and reason. The streaming engine discovers
+    // these mid-skip; the baselines via the shared pre-pass — agreement here
+    // pins the two detection strategies to each other.
+    let cases: &[(&[u8], usize, InvalidReason, &str)] = &[
+        (
+            b"{\"skip\": \"a\xFFb\", \"a\": 1}",
+            11,
+            InvalidReason::Utf8,
+            "bad utf8 lead",
+        ),
+        (
+            b"{\"skip\": \"\xC3(\", \"a\": 1}",
+            11,
+            InvalidReason::Utf8,
+            "bad continuation",
+        ),
+        (
+            b"{\"skip\": \"\xED\xA0\x80\", \"a\": 1}",
+            11,
+            InvalidReason::Utf8,
+            "utf8 surrogate",
+        ),
+        (
+            b"{\"a\": \"\xF0\x9F\x98",
+            10,
+            InvalidReason::Utf8,
+            "truncated 4-byte",
+        ),
+        (
+            br#"{"skip": "\uD83D", "a": 1}"#,
+            10,
+            InvalidReason::LoneSurrogate,
+            "lone high",
+        ),
+        (
+            br#"{"skip": "\uDC00", "a": 1}"#,
+            10,
+            InvalidReason::LoneSurrogate,
+            "lone low",
+        ),
+        (
+            br#"{"skip": "\uD83Dx", "a": 1}"#,
+            10,
+            InvalidReason::LoneSurrogate,
+            "broken pair",
+        ),
+        (
+            br#"{"skip": "\q", "a": 1}"#,
+            11,
+            InvalidReason::BadEscape,
+            "bad escape",
+        ),
+        (
+            br#"{"skip": "\u12g4", "a": 1}"#,
+            14,
+            InvalidReason::BadUnicodeEscape,
+            "bad hex",
+        ),
+        (
+            br#"{"skip": "\u12"#,
+            14,
+            InvalidReason::UnterminatedString,
+            "truncated escape",
+        ),
+        (
+            b"{\"skip\": \"a\x08b\", \"a\": 1}",
+            11,
+            InvalidReason::ControlChar,
+            "raw backspace",
+        ),
+        (
+            br#"{"a": 1} {"b": 2}"#,
+            9,
+            InvalidReason::TrailingGarbage,
+            "second document",
+        ),
+        (
+            br#"{"a": 1}]"#,
+            8,
+            InvalidReason::TrailingGarbage,
+            "closer after root",
+        ),
+        (
+            br#"{"a": [1, 2"#,
+            11,
+            InvalidReason::Unbalanced,
+            "unclosed array",
+        ),
+        (
+            br#"{"a": "unterminated"#,
+            19,
+            InvalidReason::UnterminatedString,
+            "unclosed string",
+        ),
+    ];
+    let path: Path = "$.a".parse().unwrap();
+    for &(doc, want_offset, want_reason, ctx) in cases {
+        for e in strict_engines(&path) {
+            let mut sink = Recorder::default();
+            match e.evaluate(doc, 0, &mut sink) {
+                RecordOutcome::Failed(EngineError::Invalid { offset, reason }) => {
+                    assert_eq!(
+                        (offset, reason),
+                        (want_offset, want_reason),
+                        "{ctx}: {} verdict",
+                        e.name()
+                    );
+                }
+                other => panic!("{ctx}: strict {} returned {other:?}", e.name()),
+            }
+        }
+        // The same documents sail through a permissive scan when the fault
+        // is inside a skipped span — that contrast is the point of Strict.
+        for e in engines(&path) {
+            let mut sink = Recorder::default();
+            let _ = e.evaluate(doc, 0, &mut sink);
+        }
+    }
+}
+
+#[test]
+fn forced_kernels_are_byte_identical_on_conformance_matrix() {
+    // `--kernel` forcing (EngineConfig::kernel) must not change a single
+    // match byte: every supported kernel replays the full dataset × query
+    // matrix and is compared against the auto-selected kernel's stream.
+    let cfg = GenConfig {
+        target_bytes: 16 * 1024,
+        seed: 2024,
+    };
+    for ds in Dataset::all() {
+        let data = ds.generate_small(&cfg);
+        let records: Vec<&[u8]> = data.iter().collect();
+        for (id, query) in ds.queries() {
+            if ds.large_only_queries().contains(&id) {
+                continue;
+            }
+            let path: Path = query.parse().unwrap();
+            let auto = jsonski_repro::jsonski::JsonSki::new(path.clone());
+            let reference = match_stream(&auto, &records, id);
+            for &k in Kernel::all() {
+                if !k.is_supported() {
+                    continue;
+                }
+                for strict in [false, true] {
+                    let mut builder = EngineConfig::builder().kernel(Some(k));
+                    if strict {
+                        builder = builder.strict();
+                    }
+                    let forced = jsonski_repro::jsonski::JsonSki::new(path.clone())
+                        .with_config(builder.build());
+                    let got = match_stream(&forced, &records, id);
+                    assert_eq!(
+                        got, reference,
+                        "{id}: kernel {k:?} (strict={strict}) diverges"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
