@@ -202,6 +202,74 @@ fn strict_guard(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead guard for the on-demand extraction API: delivering matches as
+/// lazy [`jsonski::Match`] handles through `FnSink` must track the old
+/// byte-slice sink (`ByteFnSink`, now a deprecated shim) to within 3% —
+/// the handle is a `Copy` of (index, record pointer, span), so building it
+/// adds no per-match allocation. The `typed_decode` column shows the
+/// opt-in cost of actually decoding each match, and `get_many` shows the
+/// pointer-tree batch extractor on the same record.
+fn extract_guard(c: &mut Criterion) {
+    use std::ops::ControlFlow;
+
+    use jsonski::Evaluate as _;
+    let data = Dataset::Tt.generate_large(&cfg(2 * MIB));
+    let record = data.bytes();
+    let path: Path = "$[*].en.urls[*].url".parse().unwrap();
+    let ski = jsonski::JsonSki::new(path);
+    let mut g = c.benchmark_group("extract_guard_TT1");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.sample_size(10);
+    g.bench_function("byte_slice_sink", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            #[allow(deprecated)]
+            let mut sink = jsonski::ByteFnSink::new(|_idx, bytes: &[u8]| {
+                total += bytes.len();
+                ControlFlow::Continue(())
+            });
+            ski.evaluate(record, 0, &mut sink);
+            total
+        })
+    });
+    g.bench_function("lazy_match_sink", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut sink = jsonski::FnSink::new(|m: jsonski::Match<'_>| {
+                total += m.bytes().len();
+                ControlFlow::Continue(())
+            });
+            ski.evaluate(record, 0, &mut sink);
+            total
+        })
+    });
+    g.bench_function("typed_decode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut sink = jsonski::FnSink::new(|m: jsonski::Match<'_>| {
+                total += m.value().as_str().map_or(0, |s| s.len());
+                ControlFlow::Continue(())
+            });
+            ski.evaluate(record, 0, &mut sink);
+            total
+        })
+    });
+    let pointers = ["/0/en/urls/0/url", "/0/ct", "/1/en/urls/0/url", "/1/ct"];
+    let ex = jsonski::Extractor::compile(&pointers).unwrap();
+    g.bench_function("get_many", |b| {
+        b.iter(|| {
+            let found = ex.extract(record).unwrap();
+            found
+                .values()
+                .iter()
+                .flatten()
+                .map(|v| v.as_raw().len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 /// Overhead guard for the crash-safety layer: a pipeline run with an
 /// armed-but-untripped cancellation token, or with a checkpoint cadence
 /// that never fires mid-run, must track the plain pipeline to within
@@ -263,6 +331,7 @@ criterion_group!(
     fig14_scaling,
     metrics_overhead_guard,
     limits_overhead_guard,
+    extract_guard,
     strict_guard,
     crash_guard
 );

@@ -316,6 +316,32 @@ pub struct Options {
     /// Force a specific classification kernel (`--kernel`) instead of the
     /// best one the CPU supports; used for differential verification.
     pub kernel: Option<Kernel>,
+    /// How match lines are rendered (`--extract raw|typed`).
+    pub extract: ExtractMode,
+}
+
+/// Match rendering mode for `--extract`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractMode {
+    /// Emit the raw JSON span exactly as it appears in the input.
+    #[default]
+    Raw,
+    /// Decode scalars on demand: string matches are unquoted and
+    /// unescaped (a non-decodable string falls back to its raw span);
+    /// numbers, booleans, `null`, and containers are emitted raw, which
+    /// is already their typed textual form.
+    Typed,
+}
+
+/// Appends one rendered match to `buf` under the given extract mode.
+fn append_match(buf: &mut Vec<u8>, m: &jsonski::Match<'_>, mode: ExtractMode) {
+    match mode {
+        ExtractMode::Raw => buf.extend_from_slice(m.bytes()),
+        ExtractMode::Typed => match m.value().as_str() {
+            Ok(s) => buf.extend_from_slice(s.as_bytes()),
+            Err(_) => buf.extend_from_slice(m.bytes()),
+        },
+    }
 }
 
 impl Options {
@@ -363,6 +389,9 @@ options:
       --skip-malformed
                      skip records that fail to evaluate (reported on stderr)
                      instead of aborting the whole stream
+      --extract MODE render matches as `raw` JSON spans (default) or
+                     `typed`: string matches are printed unquoted and
+                     unescaped; other values keep their JSON form
       --metrics FMT  print engine counters (fast-forward ratio, bitmap,
                      pipeline and robustness health) to stderr after the
                      run; FMT is `text` or `json`. With multiple queries on
@@ -443,6 +472,7 @@ fn parse_args_inner<I: IntoIterator<Item = String>>(args: I) -> Result<Options, 
         resume: false,
         validation: ValidationMode::Permissive,
         kernel: None,
+        extract: ExtractMode::Raw,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -461,6 +491,14 @@ fn parse_args_inner<I: IntoIterator<Item = String>>(args: I) -> Result<Options, 
                 }
             }
             "--skip-malformed" => opts.skip_malformed = true,
+            "--extract" => {
+                let v = it.next().ok_or("--extract needs a mode (raw or typed)")?;
+                opts.extract = match v.as_str() {
+                    "raw" => ExtractMode::Raw,
+                    "typed" => ExtractMode::Typed,
+                    other => return Err(format!("unknown extract mode: {other} (raw or typed)")),
+                };
+            }
             "--metrics" => {
                 let v = it.next().ok_or("--metrics needs a format (text or json)")?;
                 opts.metrics = Some(match v.as_str() {
@@ -830,7 +868,7 @@ pub fn run_ctl(
                 rec_counts[0] += 1;
                 rec_emitted += 1;
                 if !opts.count_only {
-                    buf.extend_from_slice(m);
+                    append_match(&mut buf, &m, opts.extract);
                     buf.push(b'\n');
                 }
                 if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
@@ -845,7 +883,7 @@ pub fn run_ctl(
                 rec_emitted += 1;
                 if !opts.count_only {
                     buf.extend_from_slice(format!("{i}\t").as_bytes());
-                    buf.extend_from_slice(m);
+                    append_match(&mut buf, &m, opts.extract);
                     buf.push(b'\n');
                 }
                 if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
@@ -932,6 +970,7 @@ struct CheckpointState {
 struct WriteSink<'a> {
     out: &'a mut dyn Write,
     count_only: bool,
+    extract: ExtractMode,
     limit: usize,
     emitted: usize,
     io_error: Option<std::io::Error>,
@@ -939,7 +978,18 @@ struct WriteSink<'a> {
 }
 
 impl jsonski::MatchSink for WriteSink<'_> {
-    fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+    fn on_match(&mut self, m: jsonski::Match<'_>) -> ControlFlow<()> {
+        let decoded;
+        let bytes: &[u8] = match self.extract {
+            ExtractMode::Raw => m.bytes(),
+            ExtractMode::Typed => match m.value().as_str() {
+                Ok(s) => {
+                    decoded = s;
+                    decoded.as_bytes()
+                }
+                Err(_) => m.bytes(),
+            },
+        };
         self.emitted += 1;
         if !self.count_only {
             let result = if let Some(state) = &mut self.checkpoint {
@@ -1080,7 +1130,7 @@ pub fn run_reader_ctl<R: std::io::Read>(
                         if !single {
                             buf.extend_from_slice(format!("{i}\t").as_bytes());
                         }
-                        buf.extend_from_slice(m);
+                        append_match(&mut buf, &m, opts.extract);
                         buf.push(b'\n');
                     }
                     if opts.limit > 0 && emitted + rec_emitted >= opts.limit {
@@ -1188,6 +1238,7 @@ fn run_reader_pipeline<R: std::io::Read>(
     let mut sink = WriteSink {
         out,
         count_only: opts.count_only,
+        extract: opts.extract,
         limit: opts.limit,
         emitted: 0,
         io_error: None,
@@ -1358,6 +1409,44 @@ mod tests {
         assert!(args(&["--max-depth", "x", "$.a"]).is_err());
         assert!(args(&["--max-buffer-bytes"]).is_err());
         assert!(args(&["--retry"]).is_err());
+    }
+
+    #[test]
+    fn parses_extract_mode() {
+        assert_eq!(args(&["$.a"]).unwrap().extract, ExtractMode::Raw);
+        let o = args(&["--extract", "typed", "$.a"]).unwrap();
+        assert_eq!(o.extract, ExtractMode::Typed);
+        let o = args(&["--extract", "raw", "$.a"]).unwrap();
+        assert_eq!(o.extract, ExtractMode::Raw);
+        assert!(args(&["--extract", "json", "$.a"]).is_err());
+        assert!(args(&["--extract"]).is_err());
+    }
+
+    #[test]
+    fn typed_extraction_decodes_strings_and_keeps_other_values_raw() {
+        let input = r#"{"name": "café \"x\"", "n": 7, "flag": true}"#.as_bytes();
+        let typed = args(&["--extract", "typed", "$.*"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run(&typed, input, &mut out).unwrap();
+        assert_eq!(counts, vec![3]);
+        assert_eq!(out, "café \"x\"\n7\ntrue\n".as_bytes());
+        // The default raw mode is unchanged: spans verbatim.
+        let raw = args(&["$.*"]).unwrap();
+        let mut out = Vec::new();
+        run(&raw, input, &mut out).unwrap();
+        let mut want = r#""café \"x\"""#.as_bytes().to_vec();
+        want.extend_from_slice(b"\n7\ntrue\n");
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn typed_extraction_applies_on_reader_pipeline_path() {
+        let input = b"{\"a\": \"x\\ny\"}\n{\"a\": \"plain\"}\n" as &[u8];
+        let opts = args(&["--extract", "typed", "-j", "2", "$.a"]).unwrap();
+        let mut out = Vec::new();
+        let counts = run_reader(&opts, input, &mut out).unwrap();
+        assert_eq!(counts, vec![2]);
+        assert_eq!(out, b"x\ny\nplain\n");
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl CheckpointCadence {
 }
 
 /// Durable progress of one (possibly multi-segment) streaming run; see
-/// the [module docs](self) for the file format and invariants.
+/// the module docs (source of `checkpoint.rs`) for the file format and invariants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Digest of the query set and configuration (see [`digest_parts`]);
@@ -181,7 +181,7 @@ impl Checkpoint {
         next
     }
 
-    /// Serializes to the plain-text format in the [module docs](self).
+    /// Serializes to the plain-text format in the module docs.
     pub fn to_text(&self) -> String {
         let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(

@@ -17,10 +17,12 @@ use jsonpath::{ContainerKind, ExpectedType, ParsePathError, Path, Runtime, Statu
 
 use crate::cursor::Cursor;
 use crate::error::StreamError;
+use crate::evaluate::Match;
 use crate::fastforward::{
     go_over_ary, go_over_obj, go_over_primitive, go_over_primitives_to_opener, go_to_ary_end,
     go_to_attr_with_opener, go_to_obj_end, Span,
 };
+use crate::lazy::LazyValue;
 use crate::limits::ResourceLimits;
 use crate::stats::{FastForwardStats, Group};
 use crate::validate::ValidationMode;
@@ -48,6 +50,7 @@ pub const MAX_DEPTH: usize = 1024;
 /// let query = JsonSki::compile("$.place.name")?;
 /// let matches = query.matches(json)?;
 /// assert_eq!(matches, vec![&b"\"Manhattan\""[..]]);
+/// assert_eq!(matches[0].as_str()?, "Manhattan"); // lazy typed decoding
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -232,7 +235,8 @@ impl JsonSki {
     }
 
     /// Streams one JSON record through `sink`, the primitive every other
-    /// entry point wraps. The sink receives the raw bytes of each match
+    /// entry point wraps. The sink receives a borrowed [`Match`] handle —
+    /// span, raw bytes, and lazy typed decoding over the input buffer —
     /// and steers the scan: returning [`ControlFlow::Break`] stops
     /// evaluation immediately — no further input bytes are examined —
     /// which is how `--limit`-style early exit avoids scanning the rest
@@ -246,10 +250,10 @@ impl JsonSki {
     /// let json = br#"{"it": [1, 2, 3, 4]}"#;
     /// let mut first = None;
     /// let outcome = q.stream(json, |m| {
-    ///     first = Some(m);
+    ///     first = Some(m.value());
     ///     ControlFlow::Break(())
     /// })?;
-    /// assert_eq!(first, Some(&b"1"[..]));
+    /// assert_eq!(first.unwrap().as_i64(), Some(1));
     /// assert!(outcome.stopped);
     /// assert!(outcome.consumed < json.len());
     /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -261,7 +265,7 @@ impl JsonSki {
     /// by pairing validation within fast-forwarded segments.
     pub fn stream<'a, F>(&self, input: &'a [u8], sink: F) -> Result<StreamOutcome, StreamError>
     where
-        F: FnMut(&'a [u8]) -> ControlFlow<()>,
+        F: FnMut(Match<'a>) -> ControlFlow<()>,
     {
         let mut eval = Eval {
             cur: Cursor::with_options(input, self.config.kernel, self.config.validation),
@@ -313,9 +317,10 @@ impl JsonSki {
         })
     }
 
-    /// Streams one JSON record, invoking `sink` with the raw bytes of every
-    /// match, and returns the fast-forward statistics for the record.
-    /// Thin wrapper over [`JsonSki::stream`] that never stops early.
+    /// Streams one JSON record, invoking `sink` with the [`Match`] handle
+    /// of every match, and returns the fast-forward statistics for the
+    /// record. Thin wrapper over [`JsonSki::stream`] that never stops
+    /// early.
     ///
     /// # Errors
     ///
@@ -323,7 +328,7 @@ impl JsonSki {
     /// by pairing validation within fast-forwarded segments.
     pub fn run<'a, F>(&self, input: &'a [u8], mut sink: F) -> Result<FastForwardStats, StreamError>
     where
-        F: FnMut(&'a [u8]),
+        F: FnMut(Match<'a>),
     {
         let outcome = self.stream(input, |m| {
             sink(m);
@@ -355,12 +360,12 @@ impl JsonSki {
         mut sink: F,
     ) -> Result<FastForwardStats, StreamError>
     where
-        F: FnMut(&'a [u8]),
+        F: FnMut(Match<'a>),
     {
         let mut total = FastForwardStats::new();
-        for span in crate::RecordSplitter::new(stream) {
+        for (idx, span) in crate::RecordSplitter::new(stream).enumerate() {
             let (s, e) = span?;
-            total += self.run(&stream[s..e], &mut sink)?;
+            total += self.run(&stream[s..e], |m| sink(m.with_record_idx(idx as u64)))?;
         }
         Ok(total)
     }
@@ -376,16 +381,19 @@ impl JsonSki {
         Ok(outcome.matches)
     }
 
-    /// Collects the raw byte slices of all matches in one record. Thin
-    /// wrapper over [`JsonSki::stream`].
+    /// Collects lazy handles to all matches in one record. Thin wrapper
+    /// over [`JsonSki::stream`]. The handles borrow `input` and compare
+    /// equal to raw byte slices; call
+    /// [`as_raw`](crate::LazyValue::as_raw) for the bytes or the typed
+    /// accessors to decode on demand.
     ///
     /// # Errors
     ///
     /// Propagates [`StreamError`] from [`JsonSki::stream`].
-    pub fn matches<'a>(&self, input: &'a [u8]) -> Result<Vec<&'a [u8]>, StreamError> {
+    pub fn matches<'a>(&self, input: &'a [u8]) -> Result<Vec<LazyValue<'a>>, StreamError> {
         let mut out = Vec::new();
         self.stream(input, |m| {
-            out.push(m);
+            out.push(m.value());
             ControlFlow::Continue(())
         })?;
         Ok(out)
@@ -445,7 +453,7 @@ struct Eval<'a, 'p, F> {
     deadline: Option<std::time::Instant>,
 }
 
-impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
+impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
     /// Depth/deadline guard shared by `object()` and `array()`: called
     /// once per container entry, after `depth` was incremented.
     fn check_guards(&mut self) -> Result<(), Abort> {
@@ -466,7 +474,9 @@ impl<'a, F: FnMut(&'a [u8]) -> ControlFlow<()>> Eval<'a, '_, F> {
 
     fn emit(&mut self, span: Span) -> Result<(), Abort> {
         self.matches += 1;
-        match (self.sink)(&self.cur.input()[span.0..span.1]) {
+        // Match::new is the shared normalization point (evaluate.rs): the
+        // span every engine reports is trimmed there, not here.
+        match (self.sink)(Match::new(0, self.cur.input(), span)) {
             ControlFlow::Continue(()) => Ok(()),
             ControlFlow::Break(()) => Err(Abort::Stop),
         }
@@ -843,7 +853,7 @@ mod tests {
         q.matches(json.as_bytes())
             .unwrap()
             .into_iter()
-            .map(|m| String::from_utf8_lossy(m).into_owned())
+            .map(|m| String::from_utf8_lossy(m.as_raw()).into_owned())
             .collect()
     }
 
@@ -992,7 +1002,9 @@ mod tests {
     fn g5_prefix_skip_counts() {
         let json = r#"{"a": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}"#;
         let q = JsonSki::compile("$.a[8]").unwrap();
-        let stats = q.run(json.as_bytes(), |m| assert_eq!(m, b"8")).unwrap();
+        let stats = q
+            .run(json.as_bytes(), |m| assert_eq!(m.bytes(), b"8"))
+            .unwrap();
         assert!(stats.skipped(Group::G5) > 0, "{stats}");
     }
 
@@ -1094,7 +1106,7 @@ mod ablation_tests {
                 .matches(DOC.as_bytes())
                 .unwrap()
                 .into_iter()
-                .map(<[u8]>::to_vec)
+                .map(|m| m.as_raw().to_vec())
                 .collect();
             for cfg in configs() {
                 let got: Vec<Vec<u8>> = JsonSki::compile(query)
@@ -1103,7 +1115,7 @@ mod ablation_tests {
                     .matches(DOC.as_bytes())
                     .unwrap()
                     .into_iter()
-                    .map(<[u8]>::to_vec)
+                    .map(|m| m.as_raw().to_vec())
                     .collect();
                 assert_eq!(got, reference, "{query} with {cfg:?}");
             }
@@ -1157,13 +1169,13 @@ mod ablation_tests {
                 .matches(DOC.as_bytes())
                 .unwrap()
                 .into_iter()
-                .map(<[u8]>::to_vec)
+                .map(|m| m.as_raw().to_vec())
                 .collect();
             let got: Vec<Vec<u8>> = strict(query)
                 .matches(DOC.as_bytes())
                 .unwrap()
                 .into_iter()
-                .map(<[u8]>::to_vec)
+                .map(|m| m.as_raw().to_vec())
                 .collect();
             assert_eq!(got, permissive, "{query}");
         }
@@ -1261,14 +1273,14 @@ mod ablation_tests {
                 .matches(DOC.as_bytes())
                 .unwrap()
                 .into_iter()
-                .map(<[u8]>::to_vec)
+                .map(|m| m.as_raw().to_vec())
                 .collect();
             let reference: Vec<Vec<u8>> = JsonSki::compile("$.pd[0].cp[1:3].id")
                 .unwrap()
                 .matches(DOC.as_bytes())
                 .unwrap()
                 .into_iter()
-                .map(<[u8]>::to_vec)
+                .map(|m| m.as_raw().to_vec())
                 .collect();
             assert_eq!(got, reference, "kernel {k:?}");
         }

@@ -6,6 +6,10 @@
 //! question: *which byte spans of this record match the query?* This module
 //! captures that contract once:
 //!
+//! * [`Match`] — one delivered match: record ordinal, normalized byte span,
+//!   and a zero-copy [`LazyValue`](crate::LazyValue) handle over the record
+//!   buffer. Construction goes through [`Match::new`], the single
+//!   span-normalization point, so all five engines emit identical spans.
 //! * [`MatchSink`] — a visitor receiving matches (and per-record errors) with
 //!   [`ControlFlow`]-based early exit: return [`ControlFlow::Break`] from
 //!   [`MatchSink::on_match`] and the engine stops scanning. For streaming
@@ -219,17 +223,94 @@ pub enum ErrorPolicy {
     SkipMalformed,
 }
 
+/// One delivered match: which record it came from, its byte span within
+/// that record, and zero-copy access to the matched bytes.
+///
+/// Every engine constructs matches through [`Match::new`], which normalizes
+/// the span (clamped to the record, JSON whitespace trimmed from both
+/// ends) — the single point that guarantees all five engines emit
+/// byte-identical spans for the same value.
+///
+/// The lifetime `'a` borrows the record buffer: a `Match` is a `Copy`
+/// handle, valid for as long as the record bytes it points into.
+#[derive(Clone, Copy, Debug)]
+pub struct Match<'a> {
+    record_idx: u64,
+    record: &'a [u8],
+    span: (usize, usize),
+}
+
+impl<'a> Match<'a> {
+    /// Builds a match from a record buffer and a value span, normalizing
+    /// the span.
+    pub fn new(record_idx: u64, record: &'a [u8], span: (usize, usize)) -> Self {
+        Match {
+            record_idx,
+            record,
+            span: crate::lazy::normalize_span(record, span),
+        }
+    }
+
+    /// Builds a match from a byte slice borrowed out of `record`,
+    /// recovering the span from the slice's position. Engines that
+    /// natively produce `&[u8]` matches use this to adapt; a slice that is
+    /// not derived from `record` becomes a match over the slice itself.
+    pub fn from_slice(record_idx: u64, record: &'a [u8], bytes: &'a [u8]) -> Self {
+        let offset = (bytes.as_ptr() as usize).wrapping_sub(record.as_ptr() as usize);
+        if offset <= record.len() && offset + bytes.len() <= record.len() {
+            Match::new(record_idx, record, (offset, offset + bytes.len()))
+        } else {
+            Match::new(record_idx, bytes, (0, bytes.len()))
+        }
+    }
+
+    /// Zero-based ordinal of the record within the stream (always `0` for
+    /// single-record evaluation).
+    pub fn record_idx(&self) -> u64 {
+        self.record_idx
+    }
+
+    /// The whole record buffer the match borrows from.
+    pub fn record(&self) -> &'a [u8] {
+        self.record
+    }
+
+    /// The match's normalized byte span within [`record`](Self::record).
+    pub fn span(&self) -> (usize, usize) {
+        self.span
+    }
+
+    /// The matched bytes, zero-copy.
+    pub fn bytes(&self) -> &'a [u8] {
+        &self.record[self.span.0..self.span.1]
+    }
+
+    /// A lazy handle over the matched value for on-demand typed decoding
+    /// (see [`LazyValue`](crate::LazyValue)).
+    pub fn value(&self) -> crate::LazyValue<'a> {
+        crate::LazyValue::new(self.record, self.span)
+    }
+
+    /// The same match restamped with a different record ordinal (used by
+    /// [`Evaluate`] adapters layering stream indices onto single-record
+    /// engines).
+    #[must_use]
+    pub fn with_record_idx(self, record_idx: u64) -> Self {
+        Match { record_idx, ..self }
+    }
+}
+
 /// Visitor receiving matches as they are found.
 ///
-/// `record_idx` is the zero-based ordinal of the record within the stream
-/// (always `0` for single-record evaluation). Returning
+/// [`Match::record_idx`] carries the zero-based ordinal of the record
+/// within the stream (always `0` for single-record evaluation). Returning
 /// [`ControlFlow::Break`] stops the scan — for a single record the engine
 /// stops examining bytes; for a [`Pipeline`] the whole stream stops.
 ///
 /// [`Pipeline`]: crate::Pipeline
 pub trait MatchSink {
-    /// Called for each match, with the match's raw bytes.
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()>;
+    /// Called for each match, with a borrowed [`Match`] handle.
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()>;
 
     /// Called when a record fails under [`ErrorPolicy::SkipMalformed`]
     /// (under [`ErrorPolicy::FailFast`] the error aborts the run instead).
@@ -270,20 +351,48 @@ pub trait MatchSink {
     }
 }
 
-/// Adapts a closure `FnMut(record_idx, bytes) -> ControlFlow<()>` into a
+/// Adapts a closure `FnMut(Match<'_>) -> ControlFlow<()>` into a
 /// [`MatchSink`] (record errors use the default continue behaviour).
 pub struct FnSink<F>(F);
 
-impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> FnSink<F> {
+impl<F: FnMut(Match<'_>) -> ControlFlow<()>> FnSink<F> {
     /// Wraps `f`.
     pub fn new(f: F) -> Self {
         FnSink(f)
     }
 }
 
-impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> MatchSink for FnSink<F> {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        (self.0)(record_idx, bytes)
+impl<F: FnMut(Match<'_>) -> ControlFlow<()>> MatchSink for FnSink<F> {
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        (self.0)(m)
+    }
+}
+
+/// Adapts a closure with the pre-[`Match`] byte-slice signature
+/// `FnMut(record_idx, bytes) -> ControlFlow<()>` into a [`MatchSink`].
+///
+/// This is the compatibility shim for callers written against the old
+/// `on_match(record_idx, bytes)` delivery; see MIGRATION.md. New code
+/// should use [`FnSink`] and take the [`Match`] handle — it carries the
+/// span and the lazy typed accessors the byte slice cannot.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FnSink`, which receives a `Match<'_>` handle (see MIGRATION.md)"
+)]
+pub struct ByteFnSink<F>(F);
+
+#[allow(deprecated)]
+impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> ByteFnSink<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        ByteFnSink(f)
+    }
+}
+
+#[allow(deprecated)]
+impl<F: FnMut(u64, &[u8]) -> ControlFlow<()>> MatchSink for ByteFnSink<F> {
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        (self.0)(m.record_idx(), m.bytes())
     }
 }
 
@@ -295,7 +404,7 @@ pub struct CountSink {
 }
 
 impl MatchSink for CountSink {
-    fn on_match(&mut self, _record_idx: u64, _bytes: &[u8]) -> ControlFlow<()> {
+    fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
         self.matches += 1;
         ControlFlow::Continue(())
     }
@@ -374,7 +483,7 @@ impl Evaluate for crate::JsonSki {
                 limit: limits.max_record_bytes,
             }));
         }
-        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+        match self.stream(record, |m| sink.on_match(m.with_record_idx(record_idx))) {
             Ok(outcome) if outcome.stopped => RecordOutcome::Stopped {
                 matches: outcome.matches,
             },
@@ -412,7 +521,7 @@ impl Evaluate for crate::JsonSki {
             return ro;
         }
         let sw = metrics.stopwatch();
-        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+        match self.stream(record, |m| sink.on_match(m.with_record_idx(record_idx))) {
             Ok(outcome) => {
                 let eval_ns = sw.elapsed_ns();
                 metrics.record_fast_forward(&outcome.stats);
@@ -462,7 +571,7 @@ mod tests {
     fn evaluate_reports_stopped_with_breaking_match_counted() {
         let engine = JsonSki::compile("$[*]").unwrap();
         let mut seen = 0usize;
-        let mut sink = FnSink::new(|_, _m: &[u8]| {
+        let mut sink = FnSink::new(|_m: Match<'_>| {
             seen += 1;
             if seen == 2 {
                 ControlFlow::Break(())
@@ -541,7 +650,7 @@ mod tests {
                 record_idx: u64,
                 sink: &mut dyn MatchSink,
             ) -> RecordOutcome {
-                let _ = sink.on_match(record_idx, b"x");
+                let _ = sink.on_match(Match::new(record_idx, b"x", (0, 1)));
                 RecordOutcome::Complete { matches: 1 }
             }
         }

@@ -1,0 +1,767 @@
+//! On-demand value handles: borrowed [`LazyValue`] spans that decode only
+//! what the caller touches.
+//!
+//! A [`LazyValue`] is a `(record, span)` pair — no bytes are copied and no
+//! tree is materialized when a match is delivered. Typed accessors
+//! (`as_i64`, `as_f64`, `as_str`, …) decode the span on demand, and the
+//! [`iter_array`](LazyValue::iter_array) /
+//! [`iter_object`](LazyValue::iter_object) iterators hop between siblings
+//! with the same counting-based fast-forward machinery the engine uses, so
+//! touching one element of a large container never parses its neighbors.
+//! This is the On-Demand JSON design (Keiser & Lemire) applied to JSONSki
+//! match delivery: the structural work the engine already did is preserved,
+//! and each byte is re-examined only when the caller asks for it.
+//!
+//! String decoding is cow-style: escape-free contents borrow straight from
+//! the input buffer, and only strings that actually contain `\` escapes
+//! allocate.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::cursor::Cursor;
+use crate::error::StreamError;
+use crate::fastforward::{self, Span};
+use crate::stats::{FastForwardStats, Group};
+
+/// The JSON type of a [`LazyValue`], judged from its first byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// `null`.
+    Null,
+    /// `true` or `false`.
+    Bool,
+    /// A number literal.
+    Number,
+    /// A quoted string literal.
+    String,
+    /// A `[...]` array.
+    Array,
+    /// A `{...}` object.
+    Object,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ValueKind::Null => "null",
+            ValueKind::Bool => "bool",
+            ValueKind::Number => "number",
+            ValueKind::String => "string",
+            ValueKind::Array => "array",
+            ValueKind::Object => "object",
+        })
+    }
+}
+
+/// Why on-demand decoding of a [`LazyValue`] failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// The accessor expected one JSON type but the span holds another.
+    Kind {
+        /// The kind the accessor decodes.
+        expected: ValueKind,
+        /// The kind actually found (`None` when the span is empty or starts
+        /// with a byte no JSON value starts with).
+        found: Option<ValueKind>,
+    },
+    /// A `\` escape sequence is malformed at the given record offset.
+    Escape {
+        /// Byte offset (into the record) of the offending escape.
+        pos: usize,
+    },
+    /// A `\uXXXX` escape encodes an unpaired or invalid surrogate.
+    Surrogate {
+        /// Byte offset (into the record) of the offending escape.
+        pos: usize,
+    },
+    /// Raw string bytes are not valid UTF-8.
+    Utf8 {
+        /// Byte offset (into the record) of the first invalid byte.
+        pos: usize,
+    },
+    /// The span is not a structurally complete value (lazy iteration hit a
+    /// syntax error while hopping siblings).
+    Syntax(StreamError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Kind {
+                expected,
+                found: Some(found),
+            } => {
+                write!(f, "expected a {expected} value, found {found}")
+            }
+            DecodeError::Kind {
+                expected,
+                found: None,
+            } => {
+                write!(
+                    f,
+                    "expected a {expected} value, found an empty or unrecognized span"
+                )
+            }
+            DecodeError::Escape { pos } => write!(f, "invalid escape sequence at byte {pos}"),
+            DecodeError::Surrogate { pos } => {
+                write!(f, "unpaired or invalid \\u surrogate at byte {pos}")
+            }
+            DecodeError::Utf8 { pos } => write!(f, "invalid UTF-8 in string at byte {pos}"),
+            DecodeError::Syntax(e) => write!(f, "malformed value: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Syntax(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for DecodeError {
+    fn from(e: StreamError) -> Self {
+        DecodeError::Syntax(e)
+    }
+}
+
+fn is_json_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r')
+}
+
+/// Clamps `span` to `record` and trims JSON whitespace from both ends.
+///
+/// This is the single span-normalization point shared by [`Match`]
+/// construction (every engine) and [`LazyValue`] construction, so all five
+/// engines emit byte-identical spans for the same value.
+///
+/// [`Match`]: crate::Match
+pub(crate) fn normalize_span(record: &[u8], span: Span) -> Span {
+    let (mut s, mut e) = span;
+    e = e.min(record.len());
+    s = s.min(e);
+    while s < e && is_json_ws(record[s]) {
+        s += 1;
+    }
+    while e > s && is_json_ws(record[e - 1]) {
+        e -= 1;
+    }
+    (s, e)
+}
+
+/// A borrowed, zero-copy handle to one JSON value inside a record.
+///
+/// Obtained from [`Match::value`](crate::Match::value), from
+/// [`get`](crate::get) / [`get_many`](crate::get_many), or from this type's
+/// own container iterators. Nothing is parsed until an accessor is called;
+/// [`as_raw`](Self::as_raw) is always free.
+///
+/// ```
+/// use jsonski::LazyValue;
+///
+/// let record = br#"{"id": 42, "name": "caf\u00e9", "tags": [1, 2, 3]}"#;
+/// let id = jsonski::get(record, "/id")?.expect("present");
+/// assert_eq!(id.as_raw(), b"42");
+/// assert_eq!(id.as_i64(), Some(42));
+///
+/// let name = jsonski::get(record, "/name")?.expect("present");
+/// assert_eq!(name.as_str()?, "café"); // owned: the \u escape forces a decode
+///
+/// let tags = jsonski::get(record, "/tags")?.expect("present");
+/// let sum: i64 = tags
+///     .iter_array()?
+///     .map(|v| v.unwrap().as_i64().unwrap())
+///     .sum();
+/// assert_eq!(sum, 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct LazyValue<'a> {
+    record: &'a [u8],
+    span: Span,
+}
+
+impl fmt::Debug for LazyValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyValue")
+            .field("span", &self.span)
+            .field("raw", &String::from_utf8_lossy(self.as_raw()))
+            .finish()
+    }
+}
+
+impl<'a> LazyValue<'a> {
+    /// Wraps the `span` of `record` as a lazy value, normalizing the span
+    /// (clamped to the record, whitespace trimmed from both ends).
+    pub fn new(record: &'a [u8], span: Span) -> Self {
+        LazyValue {
+            record,
+            span: normalize_span(record, span),
+        }
+    }
+
+    /// Wraps a whole byte slice as a single lazy value.
+    pub fn from_bytes(bytes: &'a [u8]) -> Self {
+        Self::new(bytes, (0, bytes.len()))
+    }
+
+    /// The record buffer this value borrows from.
+    pub fn record(&self) -> &'a [u8] {
+        self.record
+    }
+
+    /// The value's byte span within [`record`](Self::record).
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The value's raw bytes, zero-copy (for a string this includes the
+    /// surrounding quotes; use [`as_str`](Self::as_str) to decode).
+    pub fn as_raw(&self) -> &'a [u8] {
+        &self.record[self.span.0..self.span.1]
+    }
+
+    /// The JSON type, judged from the first byte (`None` for an empty span
+    /// or a byte no JSON value can start with).
+    pub fn kind(&self) -> Option<ValueKind> {
+        match self.as_raw().first()? {
+            b'{' => Some(ValueKind::Object),
+            b'[' => Some(ValueKind::Array),
+            b'"' => Some(ValueKind::String),
+            b't' | b'f' => Some(ValueKind::Bool),
+            b'n' => Some(ValueKind::Null),
+            b'-' | b'0'..=b'9' => Some(ValueKind::Number),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is the literal `null`.
+    pub fn is_null(&self) -> bool {
+        self.as_raw() == b"null"
+    }
+
+    /// Decodes `true`/`false`; `None` for any other value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_raw() {
+            b"true" => Some(true),
+            b"false" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Decodes an integer number; `None` for non-numbers, numbers with a
+    /// fraction or exponent, and integers outside the `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.number_text()?.parse().ok()
+    }
+
+    /// Decodes a non-negative integer number; `None` for non-numbers,
+    /// numbers with a fraction or exponent, and values outside `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.number_text()?.parse().ok()
+    }
+
+    /// Decodes any number as `f64` (matching how the DOM baseline stores
+    /// numbers); `None` for non-numbers. Values whose magnitude exceeds
+    /// `f64` overflow to infinity, exactly as `str::parse::<f64>` does.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.number_text()?.parse().ok()
+    }
+
+    fn number_text(&self) -> Option<&'a str> {
+        if self.kind()? != ValueKind::Number {
+            return None;
+        }
+        std::str::from_utf8(self.as_raw()).ok()
+    }
+
+    /// Decodes a string value, cow-style: escape-free contents are returned
+    /// as a borrow of the input buffer; contents with `\` escapes (including
+    /// `\uXXXX` and surrogate pairs) are decoded into an owned `String`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Kind`] if the value is not a string, and the other
+    /// [`DecodeError`] variants for malformed escapes or invalid UTF-8.
+    pub fn as_str(&self) -> Result<Cow<'a, str>, DecodeError> {
+        let raw = self.as_raw();
+        if raw.len() < 2 || raw[0] != b'"' || raw[raw.len() - 1] != b'"' {
+            return Err(DecodeError::Kind {
+                expected: ValueKind::String,
+                found: self.kind(),
+            });
+        }
+        decode_string_contents(&raw[1..raw.len() - 1], self.span.0 + 1)
+    }
+
+    /// Iterates the elements of an array without materializing them: each
+    /// step fast-forwards over one sibling and yields its lazy handle.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Kind`] if the value is not an array. Structural errors
+    /// encountered *while iterating* surface as [`DecodeError::Syntax`]
+    /// items.
+    pub fn iter_array(&self) -> Result<ArrayIter<'a>, DecodeError> {
+        if self.kind() != Some(ValueKind::Array) {
+            return Err(DecodeError::Kind {
+                expected: ValueKind::Array,
+                found: self.kind(),
+            });
+        }
+        Ok(ArrayIter {
+            hop: Hopper::new(self.record, self.span),
+            first: true,
+        })
+    }
+
+    /// Iterates the `(key, value)` entries of an object without
+    /// materializing them. Keys are yielded as lazy string values (call
+    /// [`as_str`](Self::as_str) to decode them).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Kind`] if the value is not an object. Structural
+    /// errors encountered *while iterating* surface as
+    /// [`DecodeError::Syntax`] items.
+    pub fn iter_object(&self) -> Result<ObjectIter<'a>, DecodeError> {
+        if self.kind() != Some(ValueKind::Object) {
+            return Err(DecodeError::Kind {
+                expected: ValueKind::Object,
+                found: self.kind(),
+            });
+        }
+        Ok(ObjectIter {
+            hop: Hopper::new(self.record, self.span),
+            first: true,
+        })
+    }
+}
+
+impl PartialEq for LazyValue<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_raw() == other.as_raw()
+    }
+}
+
+impl Eq for LazyValue<'_> {}
+
+impl PartialEq<[u8]> for LazyValue<'_> {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_raw() == other
+    }
+}
+
+impl PartialEq<&[u8]> for LazyValue<'_> {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_raw() == *other
+    }
+}
+
+impl PartialEq<LazyValue<'_>> for &[u8] {
+    fn eq(&self, other: &LazyValue<'_>) -> bool {
+        *self == other.as_raw()
+    }
+}
+
+/// Decodes the contents of a JSON string literal (quotes already stripped).
+/// `base` is the record offset of `contents[0]`, used for error positions.
+pub(crate) fn decode_string_contents(
+    contents: &[u8],
+    base: usize,
+) -> Result<Cow<'_, str>, DecodeError> {
+    if !contents.contains(&b'\\') {
+        return match std::str::from_utf8(contents) {
+            Ok(s) => Ok(Cow::Borrowed(s)),
+            Err(e) => Err(DecodeError::Utf8 {
+                pos: base + e.valid_up_to(),
+            }),
+        };
+    }
+    let mut out = String::with_capacity(contents.len());
+    let mut i = 0;
+    while i < contents.len() {
+        if contents[i] != b'\\' {
+            // Copy the longest escape-free run in one UTF-8 validation.
+            let run_end = contents[i..]
+                .iter()
+                .position(|&c| c == b'\\')
+                .map_or(contents.len(), |p| i + p);
+            match std::str::from_utf8(&contents[i..run_end]) {
+                Ok(s) => out.push_str(s),
+                Err(e) => {
+                    return Err(DecodeError::Utf8 {
+                        pos: base + i + e.valid_up_to(),
+                    })
+                }
+            }
+            i = run_end;
+            continue;
+        }
+        let esc_pos = base + i;
+        let esc = *contents
+            .get(i + 1)
+            .ok_or(DecodeError::Escape { pos: esc_pos })?;
+        i += 2;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = read_hex4(contents, i, base)?;
+                i += 4;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a \uDC00..\uDFFF low half must follow.
+                    let lo =
+                        if contents.get(i) == Some(&b'\\') && contents.get(i + 1) == Some(&b'u') {
+                            read_hex4(contents, i + 2, base)?
+                        } else {
+                            return Err(DecodeError::Surrogate { pos: esc_pos });
+                        };
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(DecodeError::Surrogate { pos: esc_pos });
+                    }
+                    i += 6;
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or(DecodeError::Surrogate { pos: esc_pos })?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(DecodeError::Surrogate { pos: esc_pos });
+                } else {
+                    char::from_u32(hi).ok_or(DecodeError::Escape { pos: esc_pos })?
+                };
+                out.push(ch);
+            }
+            _ => return Err(DecodeError::Escape { pos: esc_pos }),
+        }
+    }
+    Ok(Cow::Owned(out))
+}
+
+fn read_hex4(contents: &[u8], at: usize, base: usize) -> Result<u32, DecodeError> {
+    let hex = contents
+        .get(at..at + 4)
+        .ok_or(DecodeError::Escape { pos: base + at })?;
+    let mut v = 0u32;
+    for &b in hex {
+        let d = (b as char)
+            .to_digit(16)
+            .ok_or(DecodeError::Escape { pos: base + at })?;
+        v = v * 16 + d;
+    }
+    Ok(v)
+}
+
+/// Shared sibling-hopping state for the container iterators: a fresh
+/// forward-only [`Cursor`] over the container's span, reusing the engine's
+/// fast-forward primitives to go over each value.
+struct Hopper<'a> {
+    record: &'a [u8],
+    base: usize,
+    cur: Cursor<'a>,
+    stats: FastForwardStats,
+    done: bool,
+}
+
+impl<'a> Hopper<'a> {
+    fn new(record: &'a [u8], span: Span) -> Self {
+        let mut cur = Cursor::new(&record[span.0..span.1]);
+        cur.bump(); // consume the opener; the span is normalized so it is first
+        Hopper {
+            record,
+            base: span.0,
+            cur,
+            stats: FastForwardStats::default(),
+            done: false,
+        }
+    }
+
+    /// Fast-forwards over the value at the cursor, returning its lazy
+    /// handle (span re-based onto the full record).
+    fn hop_value(&mut self) -> Result<LazyValue<'a>, StreamError> {
+        let span = match self.cur.peek_token("value")? {
+            b'{' => fastforward::go_over_obj(&mut self.cur, &mut self.stats, Group::G2)?,
+            b'[' => fastforward::go_over_ary(&mut self.cur, &mut self.stats, Group::G2)?,
+            _ => fastforward::go_over_primitive(&mut self.cur, &mut self.stats, Group::G2)?,
+        };
+        Ok(LazyValue::new(
+            self.record,
+            (self.base + span.0, self.base + span.1),
+        ))
+    }
+
+    /// Consumes the separator before the next entry. Returns `false` when
+    /// the closer was reached instead.
+    fn next_separator(&mut self, first: bool, closer: u8) -> Result<bool, StreamError> {
+        let t = self.cur.peek_token("`,` or closing delimiter")?;
+        if t == closer {
+            self.cur.bump();
+            return Ok(false);
+        }
+        if !first {
+            self.cur.expect(b',', "`,`")?;
+        }
+        Ok(true)
+    }
+}
+
+/// Lazy iterator over array elements; see
+/// [`LazyValue::iter_array`].
+pub struct ArrayIter<'a> {
+    hop: Hopper<'a>,
+    first: bool,
+}
+
+impl<'a> Iterator for ArrayIter<'a> {
+    type Item = Result<LazyValue<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.hop.done {
+            return None;
+        }
+        let first = std::mem::replace(&mut self.first, false);
+        let step = (|| -> Result<Option<LazyValue<'a>>, StreamError> {
+            if !self.hop.next_separator(first, b']')? {
+                return Ok(None);
+            }
+            self.hop.hop_value().map(Some)
+        })();
+        match step {
+            Ok(Some(v)) => Some(Ok(v)),
+            Ok(None) => {
+                self.hop.done = true;
+                None
+            }
+            Err(e) => {
+                self.hop.done = true;
+                Some(Err(DecodeError::Syntax(e)))
+            }
+        }
+    }
+}
+
+/// Lazy iterator over object `(key, value)` entries; see
+/// [`LazyValue::iter_object`].
+pub struct ObjectIter<'a> {
+    hop: Hopper<'a>,
+    first: bool,
+}
+
+impl<'a> Iterator for ObjectIter<'a> {
+    type Item = Result<(LazyValue<'a>, LazyValue<'a>), DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.hop.done {
+            return None;
+        }
+        let first = std::mem::replace(&mut self.first, false);
+        let step = (|| -> Result<Option<(LazyValue<'a>, LazyValue<'a>)>, StreamError> {
+            if !self.hop.next_separator(first, b'}')? {
+                return Ok(None);
+            }
+            let t = self.hop.cur.peek_token("attribute")?;
+            if t != b'"' {
+                // Consume-or-error: the byte is not a quote, so this errors.
+                self.hop.cur.expect(b'"', "attribute")?;
+            }
+            let (ks, ke) = self.hop.cur.read_string()?;
+            let key = LazyValue::new(
+                self.hop.record,
+                (self.hop.base + ks - 1, self.hop.base + ke + 1),
+            );
+            self.hop.cur.expect(b':', "`:`")?;
+            let value = self.hop.hop_value()?;
+            Ok(Some((key, value)))
+        })();
+        match step {
+            Ok(Some(kv)) => Some(Ok(kv)),
+            Ok(None) => {
+                self.hop.done = true;
+                None
+            }
+            Err(e) => {
+                self.hop.done = true;
+                Some(Err(DecodeError::Syntax(e)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(bytes: &[u8]) -> LazyValue<'_> {
+        LazyValue::from_bytes(bytes)
+    }
+
+    #[test]
+    fn kinds_and_scalars() {
+        assert_eq!(v(b"null").kind(), Some(ValueKind::Null));
+        assert!(v(b"null").is_null());
+        assert_eq!(v(b"true").as_bool(), Some(true));
+        assert_eq!(v(b"false").as_bool(), Some(false));
+        assert_eq!(v(b"42").as_i64(), Some(42));
+        assert_eq!(v(b"-7").as_i64(), Some(-7));
+        assert_eq!(v(b"42").as_u64(), Some(42));
+        assert_eq!(v(b"-7").as_u64(), None);
+        assert_eq!(v(b"2.5").as_f64(), Some(2.5));
+        assert_eq!(v(b"2.5").as_i64(), None);
+        assert_eq!(v(b"1e3").as_f64(), Some(1000.0));
+        assert_eq!(v(b"\"x\"").as_i64(), None);
+        assert_eq!(v(b"true").as_f64(), None);
+    }
+
+    #[test]
+    fn integer_overflow_is_none() {
+        assert_eq!(v(b"9223372036854775807").as_i64(), Some(i64::MAX));
+        assert_eq!(v(b"9223372036854775808").as_i64(), None);
+        assert_eq!(v(b"18446744073709551615").as_u64(), Some(u64::MAX));
+        assert_eq!(v(b"18446744073709551616").as_u64(), None);
+    }
+
+    #[test]
+    fn span_normalization_trims_whitespace() {
+        let record = b"  {\"a\": 1}  ";
+        let lv = LazyValue::new(record, (0, record.len()));
+        assert_eq!(lv.as_raw(), b"{\"a\": 1}");
+        assert_eq!(lv.span(), (2, 10));
+    }
+
+    #[test]
+    fn escape_free_strings_borrow() {
+        let val = v(b"\"hello\"");
+        match val.as_str().unwrap() {
+            Cow::Borrowed(s) => assert_eq!(s, "hello"),
+            Cow::Owned(_) => panic!("escape-free string should borrow"),
+        }
+    }
+
+    #[test]
+    fn escaped_strings_allocate() {
+        let val = v(br#""a\nb\t\"c\"A""#);
+        match val.as_str().unwrap() {
+            Cow::Owned(s) => assert_eq!(s, "a\nb\t\"c\"A"),
+            Cow::Borrowed(_) => panic!("escaped string should allocate"),
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(v(br#""\ud83d\ude00""#).as_str().unwrap(), "\u{1F600}");
+        assert_eq!(v(br#""\ud834\udd1e""#).as_str().unwrap(), "\u{1D11E}");
+        // Raw (unescaped) multi-byte UTF-8 stays on the borrowed fast path.
+        let smiley = "\"\u{1F600}\"".to_owned();
+        match v(smiley.as_bytes()).as_str().unwrap() {
+            Cow::Borrowed(s) => assert_eq!(s, "\u{1F600}"),
+            Cow::Owned(_) => panic!("escape-free string should borrow"),
+        }
+    }
+
+    #[test]
+    fn lone_surrogates_error() {
+        assert!(matches!(
+            v(br#""\ud83d""#).as_str(),
+            Err(DecodeError::Surrogate { .. })
+        ));
+        assert!(matches!(
+            v(br#""\ude00x""#).as_str(),
+            Err(DecodeError::Surrogate { .. })
+        ));
+        assert!(matches!(
+            v(br#""\ud83dA""#).as_str(),
+            Err(DecodeError::Surrogate { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_escapes_error() {
+        assert!(matches!(
+            v(br#""\q""#).as_str(),
+            Err(DecodeError::Escape { .. })
+        ));
+        assert!(matches!(
+            v(br#""\u12""#).as_str(),
+            Err(DecodeError::Escape { .. })
+        ));
+        assert!(matches!(
+            v(br#""\uZZZZ""#).as_str(),
+            Err(DecodeError::Escape { .. })
+        ));
+        assert!(matches!(v(b"42").as_str(), Err(DecodeError::Kind { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_errors_with_position() {
+        let raw = [b'"', 0xFF, b'"'];
+        match v(&raw).as_str() {
+            Err(DecodeError::Utf8 { pos }) => assert_eq!(pos, 1),
+            other => panic!("expected Utf8 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_iteration_is_lazy_and_complete() {
+        let val = v(br#"[1, "two", [3, 4], {"five": 5}, null]"#);
+        let items: Vec<_> = val.iter_array().unwrap().map(Result::unwrap).collect();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[0].as_i64(), Some(1));
+        assert_eq!(items[1].as_str().unwrap(), "two");
+        assert_eq!(items[2].as_raw(), b"[3, 4]");
+        assert_eq!(items[3].as_raw(), br#"{"five": 5}"#);
+        assert!(items[4].is_null());
+    }
+
+    #[test]
+    fn empty_containers_iterate_empty() {
+        assert_eq!(v(b"[]").iter_array().unwrap().count(), 0);
+        assert_eq!(v(b"[ ]").iter_array().unwrap().count(), 0);
+        assert_eq!(v(b"{}").iter_object().unwrap().count(), 0);
+        assert!(v(b"{}").iter_array().is_err());
+        assert!(v(b"[]").iter_object().is_err());
+    }
+
+    #[test]
+    fn object_iteration_yields_lazy_keys() {
+        let val = v(br#"{"a": 1, "b\n": {"c": [2]}, "d": "e"}"#);
+        let entries: Vec<_> = val.iter_object().unwrap().map(Result::unwrap).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0.as_str().unwrap(), "a");
+        assert_eq!(entries[0].1.as_i64(), Some(1));
+        assert_eq!(entries[1].0.as_str().unwrap(), "b\n");
+        assert_eq!(entries[1].1.as_raw(), br#"{"c": [2]}"#);
+        assert_eq!(entries[2].1.as_str().unwrap(), "e");
+    }
+
+    #[test]
+    fn nested_spans_rebase_onto_the_record() {
+        let record = br#"{"outer": [10, 20]}"#;
+        let arr = LazyValue::new(record, (10, 18));
+        let items: Vec<_> = arr.iter_array().unwrap().map(Result::unwrap).collect();
+        let (s, e) = items[1].span();
+        assert_eq!(&record[s..e], b"20");
+    }
+
+    #[test]
+    fn malformed_containers_yield_syntax_errors() {
+        let items: Vec<_> = v(b"[1, 2").iter_array().unwrap().collect();
+        assert!(items.last().unwrap().is_err());
+        let items: Vec<_> = v(b"{\"a\" 1}").iter_object().unwrap().collect();
+        assert!(matches!(items[0], Err(DecodeError::Syntax(_))));
+    }
+
+    #[test]
+    fn comparisons_use_raw_bytes() {
+        let record = br#"  7  "#;
+        let a = LazyValue::new(record, (0, record.len()));
+        assert_eq!(a, &b"7"[..]);
+        assert_eq!(a, LazyValue::from_bytes(b"7"));
+    }
+}

@@ -31,6 +31,10 @@
 //! let query = JsonSki::compile("$.pd[*].id")?;
 //! assert_eq!(query.matches(json)?, vec![&b"7"[..], &b"9"[..]]);
 //!
+//! // On-demand extraction: JSON-pointer lookup with lazy typed decoding.
+//! let id = jsonski::get(json, "/pd/1/id")?.expect("present");
+//! assert_eq!(id.as_i64(), Some(9));
+//!
 //! // Fast-forward accounting (the paper's Table 6 metric):
 //! let stats = query.run(json, |_| {})?;
 //! assert!(stats.overall_ratio() > 0.0);
@@ -51,10 +55,12 @@ pub mod faults;
 #[cfg(any(test, feature = "faults"))]
 pub mod fuzz;
 pub mod interval;
+mod lazy;
 mod limits;
 pub mod metrics;
 mod multi;
 mod pipeline;
+mod pointer;
 mod reader;
 mod records;
 mod stats;
@@ -64,13 +70,20 @@ pub use cancel::CancellationToken;
 pub use checkpoint::{digest_parts, fingerprint, Checkpoint, CheckpointCadence, FINGERPRINT_BYTES};
 pub use engine::{EngineConfig, EngineConfigBuilder, JsonSki, StreamOutcome, MAX_DEPTH};
 pub use error::{InvalidReason, StreamError};
+#[allow(deprecated)]
+pub use evaluate::ByteFnSink;
 pub use evaluate::{
-    CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, MatchSink, RecordOutcome,
+    CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, Match, MatchSink, RecordOutcome,
 };
+pub use lazy::{ArrayIter, DecodeError, LazyValue, ObjectIter, ValueKind};
 pub use limits::{LimitExceeded, ResourceLimits, DEFAULT_MAX_BUFFER_BYTES};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, Stopwatch, MAX_TRACKED_WORKERS};
 pub use multi::MultiQuery;
 pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};
+pub use pointer::{
+    get, get_many, ExtractError, Extraction, Extractor, JsonPointer, PointerParseError,
+    MAX_POINTER_DEPTH,
+};
 pub use reader::{ChunkedRecords, ReadRecordError, RetryPolicy, DEFAULT_BUFFER};
 pub use records::{split_records, RecordSplitter};
 pub use stats::{FastForwardStats, Group};

@@ -16,6 +16,7 @@ use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status, Step
 
 use crate::cursor::Cursor;
 use crate::error::StreamError;
+use crate::evaluate::Match;
 use crate::fastforward::{
     go_over_ary, go_over_obj, go_over_primitive, go_to_ary_end, go_to_obj_end, Span,
 };
@@ -107,7 +108,7 @@ impl MultiQuery {
         &self.paths
     }
 
-    /// Streams one record with early-exit support; `sink(query_index, bytes)`
+    /// Streams one record with early-exit support; `sink(query_index, match)`
     /// fires per match and may return [`ControlFlow::Break`] to stop scanning.
     ///
     /// The [`StreamOutcome`] reports combined match counts across all queries,
@@ -125,7 +126,7 @@ impl MultiQuery {
         sink: F,
     ) -> Result<crate::StreamOutcome, StreamError>
     where
-        F: FnMut(usize, &'a [u8]) -> ControlFlow<()>,
+        F: FnMut(usize, Match<'a>) -> ControlFlow<()>,
     {
         let mut ev = MultiEval {
             cur: Cursor::with_options(input, self.kernel, self.validation),
@@ -164,17 +165,17 @@ impl MultiQuery {
         })
     }
 
-    /// Streams one record; `sink(query_index, bytes)` fires per match.
+    /// Streams one record; `sink(query_index, match)` fires per match.
     ///
     /// # Errors
     ///
     /// [`StreamError`] on malformed input discovered on any examined path.
     pub fn run<'a, F>(&self, input: &'a [u8], mut sink: F) -> Result<FastForwardStats, StreamError>
     where
-        F: FnMut(usize, &'a [u8]),
+        F: FnMut(usize, Match<'a>),
     {
-        let outcome = self.stream(input, |i, bytes| {
-            sink(i, bytes);
+        let outcome = self.stream(input, |i, m| {
+            sink(i, m);
             ControlFlow::Continue(())
         })?;
         Ok(outcome.stats)
@@ -216,7 +217,7 @@ struct MultiEval<'a, 'p, F> {
     deadline: Option<std::time::Instant>,
 }
 
-impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
+impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
     /// Depth/deadline guard, mirroring the single-query engine's.
     fn check_guards(&mut self) -> Result<(), Abort> {
         if self.depth > self.max_depth {
@@ -236,7 +237,7 @@ impl<'a, F: FnMut(usize, &'a [u8]) -> ControlFlow<()>> MultiEval<'a, '_, F> {
 
     fn emit(&mut self, idx: usize, span: Span) -> Result<(), Abort> {
         self.matches += 1;
-        match (self.sink)(idx, &self.cur.input()[span.0..span.1]) {
+        match (self.sink)(idx, Match::new(0, self.cur.input(), span)) {
             ControlFlow::Continue(()) => Ok(()),
             ControlFlow::Break(()) => Err(Abort::Stop),
         }
@@ -506,7 +507,8 @@ mod tests {
         let json = br#"{"a": 1, "b": "two"}"#;
         let mq = MultiQuery::compile(&["$.b", "$.a"]).unwrap();
         let mut hits: Vec<(usize, Vec<u8>)> = Vec::new();
-        mq.run(json, |i, m| hits.push((i, m.to_vec()))).unwrap();
+        mq.run(json, |i, m| hits.push((i, m.bytes().to_vec())))
+            .unwrap();
         hits.sort();
         assert_eq!(hits, vec![(0, b"\"two\"".to_vec()), (1, b"1".to_vec())]);
     }
@@ -525,7 +527,8 @@ mod tests {
         let json = br#"{"a": {"b": 5}}"#;
         let mq = MultiQuery::compile(&["$.a", "$.a.b"]).unwrap();
         let mut got = [Vec::new(), Vec::new()];
-        mq.run(json, |i, m| got[i].push(m.to_vec())).unwrap();
+        mq.run(json, |i, m| got[i].push(m.bytes().to_vec()))
+            .unwrap();
         assert_eq!(got[0], vec![br#"{"b": 5}"#.to_vec()]);
         assert_eq!(got[1], vec![b"5".to_vec()]);
     }

@@ -86,7 +86,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::cancel::CancellationToken;
 use crate::checkpoint::CheckpointCadence;
 use crate::evaluate::{
-    panic_payload, EngineError, ErrorPolicy, Evaluate, MatchSink, RecordOutcome,
+    panic_payload, EngineError, ErrorPolicy, Evaluate, Match, MatchSink, RecordOutcome,
 };
 use crate::limits::{LimitExceeded, ResourceLimits};
 use crate::metrics::Metrics;
@@ -210,7 +210,7 @@ pub struct PipelineSummary {
     pub committed_offset: u64,
 }
 
-/// Parallel record-batch runner; see the [module docs](self).
+/// Parallel record-batch runner; see the module docs (source of `pipeline.rs`).
 ///
 /// # Example
 ///
@@ -292,7 +292,7 @@ impl Pipeline {
     }
 
     /// Attaches a shared observability registry; see the
-    /// [module docs](self#observability) for what gets recorded.
+    /// module docs (§Observability) for what gets recorded.
     pub fn metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
         self
@@ -361,7 +361,7 @@ impl Pipeline {
         let mut summary = PipelineSummary::default();
         let mut tracker = self.checkpoints.map(CheckpointTracker::new);
         let mut idx = 0u64;
-        let mut staged = Collector(Vec::new());
+        let mut staged = Collector::new();
         loop {
             if self.is_cancelled() {
                 summary.cancelled = true;
@@ -384,7 +384,7 @@ impl Pipeline {
                             limit: self.limits.max_record_bytes,
                         }))
                     } else {
-                        staged.0.clear();
+                        staged.clear();
                         // Unwind safety: see `worker_loop` — engines hold no
                         // cross-record state, and `staged` is cleared before
                         // the next use so a torn stage is never replayed.
@@ -425,7 +425,8 @@ impl Pipeline {
                     }
                     match outcome {
                         RecordOutcome::Complete { .. } | RecordOutcome::Stopped { .. } => {
-                            let (delivered, broke) = replay(&staged.0, idx, sink);
+                            let (delivered, broke) =
+                                replay(&staged.record, &staged.spans, idx, sink);
                             summary.matches += delivered;
                             if let Some(m) = metrics {
                                 m.record_delivered(delivered as u64, len);
@@ -613,8 +614,8 @@ impl Pipeline {
                             summary.committed_offset = summary.committed_offset.max(end);
                         }
                         match result {
-                            Ok(matches) => {
-                                let (delivered, broke) = replay(&matches, record_idx, sink);
+                            Ok((record, spans)) => {
+                                let (delivered, broke) = replay(&record, &spans, record_idx, sink);
                                 summary.matches += delivered;
                                 if let Some(m) = metrics {
                                     m.record_delivered(delivered as u64, len as u64);
@@ -784,16 +785,24 @@ impl Pipeline {
     }
 }
 
-/// Replays staged matches to the real sink; returns how many were
-/// delivered (including the one the sink broke on) and whether the sink
-/// broke.
-fn replay(matches: &[Vec<u8>], record_idx: u64, sink: &mut dyn MatchSink) -> (usize, bool) {
-    for (i, m) in matches.iter().enumerate() {
-        if sink.on_match(record_idx, m).is_break() {
+/// Replays staged match spans to the real sink as borrowed [`Match`]
+/// handles over the staged record copy; returns how many were delivered
+/// (including the one the sink broke on) and whether the sink broke.
+fn replay(
+    record: &[u8],
+    spans: &[(usize, usize)],
+    record_idx: u64,
+    sink: &mut dyn MatchSink,
+) -> (usize, bool) {
+    for (i, &span) in spans.iter().enumerate() {
+        if sink
+            .on_match(Match::new(record_idx, record, span))
+            .is_break()
+        {
             return (i + 1, true);
         }
     }
-    (matches.len(), false)
+    (spans.len(), false)
 }
 
 /// Outcome of a serial-path [`Pipeline::try_resync`] attempt.
@@ -855,6 +864,10 @@ impl CheckpointTracker {
     }
 }
 
+/// A worker's output for one record: the record's bytes (moved back out of
+/// the worker) plus the match spans collected into them.
+type StagedMatches = (Vec<u8>, Vec<(usize, usize)>);
+
 /// One entry in the in-order merge sequence.
 enum MergeItem {
     /// A dispatched (or pre-rejected) record.
@@ -864,8 +877,10 @@ enum MergeItem {
         /// Global offset just past the record in the input stream, when
         /// the source reports offsets.
         end: Option<u64>,
-        /// Collected match bytes, or the failure.
-        result: Result<Vec<Vec<u8>>, EngineError>,
+        /// The record's bytes plus the collected match spans into them,
+        /// or the failure. The worker moves its already-owned record out
+        /// so replay can hand the sink borrowed [`Match`] handles.
+        result: Result<StagedMatches, EngineError>,
     },
     /// A source resynchronization: the skipped global span and the error
     /// that caused it.
@@ -911,13 +926,36 @@ struct Shared {
     result_ready: Condvar,
 }
 
-/// Collects match bytes; never stops the engine (early exit is decided at
-/// replay time, where record order is known).
-struct Collector(Vec<Vec<u8>>);
+/// Stages matches as spans plus (at most) one copy of the record they
+/// borrow from; never stops the engine (early exit is decided at replay
+/// time, where record order is known). The record is copied lazily on the
+/// first match, so records without matches stage nothing.
+struct Collector {
+    record: Vec<u8>,
+    spans: Vec<(usize, usize)>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            record: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.record.clear();
+        self.spans.clear();
+    }
+}
 
 impl MatchSink for Collector {
-    fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.0.push(bytes.to_vec());
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        if self.spans.is_empty() {
+            self.record.clear();
+            self.record.extend_from_slice(m.record());
+        }
+        self.spans.push(m.span());
         ControlFlow::Continue(())
     }
 }
@@ -936,8 +974,9 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: O
             // discarded on unwind, and metrics counters are monotone
             // saturating adds — a torn update is at worst an off-by-one
             // count, never a broken invariant.
+            let len = record.len();
             let unwind = catch_unwind(AssertUnwindSafe(|| {
-                let mut collector = Collector(Vec::new());
+                let mut collector = Collector::new();
                 let outcome = match metrics {
                     Some(m) => {
                         m.record_worker(worker, record.len() as u64);
@@ -945,11 +984,11 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: O
                     }
                     None => engine.evaluate(&record, idx, &mut collector),
                 };
-                (outcome, collector.0)
+                (outcome, record, collector.spans)
             }));
             let result = match unwind {
-                Ok((RecordOutcome::Failed(e), _)) => Err(e),
-                Ok((_, matches)) => Ok(matches),
+                Ok((RecordOutcome::Failed(e), _, _)) => Err(e),
+                Ok((_, record, spans)) => Ok((record, spans)),
                 Err(p) => {
                     if let Some(m) = metrics {
                         m.record_worker_panic();
@@ -963,14 +1002,9 @@ fn worker_loop(engine: &dyn Evaluate, shared: &Shared, worker: usize, metrics: O
                 }
             };
             state = shared.state.lock().unwrap();
-            state.results.insert(
-                idx,
-                MergeItem::Record {
-                    len: record.len(),
-                    end,
-                    result,
-                },
-            );
+            state
+                .results
+                .insert(idx, MergeItem::Record { len, end, result });
             shared.result_ready.notify_all();
         } else if state.producer_done {
             return;
@@ -1030,8 +1064,8 @@ mod tests {
         let engine = JsonSki::compile("$.a").unwrap();
         let mut reference: Vec<(u64, Vec<u8>)> = Vec::new();
         {
-            let mut sink = FnSink::new(|idx, m: &[u8]| {
-                reference.push((idx, m.to_vec()));
+            let mut sink = FnSink::new(|m: Match<'_>| {
+                reference.push((m.record_idx(), m.bytes().to_vec()));
                 ControlFlow::Continue(())
             });
             Pipeline::new()
@@ -1041,8 +1075,8 @@ mod tests {
         }
         for workers in [4, 16] {
             let mut got: Vec<(u64, Vec<u8>)> = Vec::new();
-            let mut sink = FnSink::new(|idx, m: &[u8]| {
-                got.push((idx, m.to_vec()));
+            let mut sink = FnSink::new(|m: Match<'_>| {
+                got.push((m.record_idx(), m.bytes().to_vec()));
                 ControlFlow::Continue(())
             });
             Pipeline::new()
@@ -1060,7 +1094,7 @@ mod tests {
         let engine = JsonSki::compile("$.a").unwrap();
         for workers in [1, 4] {
             let mut seen = 0usize;
-            let mut sink = FnSink::new(|_, _m: &[u8]| {
+            let mut sink = FnSink::new(|_m: Match<'_>| {
                 seen += 1;
                 if seen == 3 {
                     ControlFlow::Break(())
@@ -1107,7 +1141,7 @@ mod tests {
                 errors: Vec<u64>,
             }
             impl MatchSink for Recorder {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     self.matches += 1;
                     ControlFlow::Continue(())
                 }
@@ -1139,8 +1173,8 @@ mod tests {
         // exactly as the parallel merge does.
         let engine = JsonSki::compile("$[*]").unwrap();
         let mut delivered: Vec<Vec<u8>> = Vec::new();
-        let mut sink = FnSink::new(|_, m: &[u8]| {
-            delivered.push(m.to_vec());
+        let mut sink = FnSink::new(|m: Match<'_>| {
+            delivered.push(m.bytes().to_vec());
             ControlFlow::Continue(())
         });
         let records: Vec<&[u8]> = vec![b"[1, 2]", b"[3, 4", b"[5]"];
@@ -1202,7 +1236,7 @@ mod tests {
                 spans: &'a mut Vec<(u64, u64)>,
             }
             impl MatchSink for Recorder<'_> {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     self.matches += 1;
                     ControlFlow::Continue(())
                 }
@@ -1269,7 +1303,7 @@ mod tests {
             let mut errors = Vec::new();
             struct Recorder<'a>(usize, &'a mut Vec<u64>);
             impl MatchSink for Recorder<'_> {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     self.0 += 1;
                     ControlFlow::Continue(())
                 }
@@ -1389,7 +1423,7 @@ mod tests {
                 panics: &'a mut Vec<(u64, u64)>,
             }
             impl MatchSink for Recorder<'_> {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     self.matches += 1;
                     ControlFlow::Continue(())
                 }
@@ -1453,7 +1487,8 @@ mod tests {
         let stream = stream_of(64);
         let engine = JsonSki::compile("$.a").unwrap();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut sink = FnSink::new(|idx, _m: &[u8]| {
+            let mut sink = FnSink::new(|m: Match<'_>| {
+                let idx = m.record_idx();
                 if idx == 3 {
                     panic!("sink exploded");
                 }
@@ -1501,7 +1536,7 @@ mod tests {
             inner: &engine,
             active: &active,
         };
-        let mut sink = FnSink::new(|_, _m: &[u8]| ControlFlow::Break(()));
+        let mut sink = FnSink::new(|_m: Match<'_>| ControlFlow::Break(()));
         let summary = Pipeline::new()
             .workers(8)
             .run(&gauge, &mut SliceRecords::new(&stream), &mut sink)
@@ -1521,7 +1556,8 @@ mod tests {
         for workers in [1, 4] {
             let token = crate::CancellationToken::new();
             let trip = token.clone();
-            let mut sink = FnSink::new(move |idx, _m: &[u8]| {
+            let mut sink = FnSink::new(move |m: Match<'_>| {
+                let idx = m.record_idx();
                 if idx == 2 {
                     trip.cancel();
                 }
@@ -1583,7 +1619,7 @@ mod tests {
                 checkpoints: Vec<PipelineSummary>,
             }
             impl MatchSink for Recorder {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     self.matches += 1;
                     ControlFlow::Continue(())
                 }
@@ -1627,7 +1663,7 @@ mod tests {
         for workers in [1, 4] {
             struct Failing(usize);
             impl MatchSink for Failing {
-                fn on_match(&mut self, _idx: u64, _m: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
                     ControlFlow::Continue(())
                 }
                 fn on_checkpoint(&mut self, _s: &PipelineSummary) -> Result<(), EngineError> {

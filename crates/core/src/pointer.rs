@@ -1,0 +1,840 @@
+//! JSON Pointer (RFC 6901) extraction in one shared structural pass.
+//!
+//! [`get`] resolves a single pointer; [`get_many`] and the reusable
+//! [`Extractor`] resolve *N* pointers against one record with exactly one
+//! scan: the pointers are merged into a token trie, a single forward-only
+//! [`Cursor`] walks the record once, and every subtree the trie does not
+//! reference is hopped with the engine's fast-forward primitives
+//! (`goOverObj`/`goToObjEnd`/`goToAryEnd`), never tokenized. This
+//! generalizes [`MultiQuery`](crate::MultiQuery)'s shared-pass design from
+//! JSONPath automata to the pointer lookups a serving layer issues
+//! (sonic-rs's `pointer` module is the model).
+//!
+//! Resolved values come back as borrowed [`LazyValue`] handles — nothing is
+//! copied or decoded until the caller asks.
+
+use std::fmt;
+use std::str::FromStr;
+
+use simdbits::Kernel;
+
+use crate::cursor::Cursor;
+use crate::error::StreamError;
+use crate::fastforward::{self, Span};
+use crate::lazy::{decode_string_contents, LazyValue};
+use crate::metrics::Metrics;
+use crate::stats::{FastForwardStats, Group};
+use crate::validate::ValidationMode;
+
+/// Pointers deeper than this are rejected at parse time; the trie walk
+/// recurses once per token, so the bound keeps crafted pointers from
+/// exhausting the call stack.
+pub const MAX_POINTER_DEPTH: usize = 1024;
+
+/// Why a JSON Pointer string failed to parse (RFC 6901 §3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointerParseError {
+    /// A non-empty pointer must start with `/`.
+    MissingSlash,
+    /// `~` was followed by something other than `0` or `1`.
+    InvalidEscape {
+        /// Byte offset of the `~` within the pointer string.
+        pos: usize,
+    },
+    /// The pointer has more than [`MAX_POINTER_DEPTH`] tokens.
+    TooDeep {
+        /// Number of tokens in the rejected pointer.
+        tokens: usize,
+    },
+}
+
+impl fmt::Display for PointerParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointerParseError::MissingSlash => {
+                f.write_str("a non-empty JSON pointer must start with `/`")
+            }
+            PointerParseError::InvalidEscape { pos } => {
+                write!(
+                    f,
+                    "invalid `~` escape at byte {pos} (only `~0` and `~1` exist)"
+                )
+            }
+            PointerParseError::TooDeep { tokens } => {
+                write!(f, "pointer has {tokens} tokens (limit {MAX_POINTER_DEPTH})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointerParseError {}
+
+/// Errors from the [`get`] / [`get_many`] conveniences: either the pointer
+/// string is malformed or the record is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExtractError {
+    /// The pointer string failed to parse.
+    Pointer(PointerParseError),
+    /// The record is structurally malformed.
+    Stream(StreamError),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Pointer(e) => write!(f, "bad pointer: {e}"),
+            ExtractError::Stream(e) => write!(f, "malformed record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExtractError::Pointer(e) => Some(e),
+            ExtractError::Stream(e) => Some(e),
+        }
+    }
+}
+
+impl From<PointerParseError> for ExtractError {
+    fn from(e: PointerParseError) -> Self {
+        ExtractError::Pointer(e)
+    }
+}
+
+impl From<StreamError> for ExtractError {
+    fn from(e: StreamError) -> Self {
+        ExtractError::Stream(e)
+    }
+}
+
+/// One reference token: the unescaped member name, with its array-index
+/// reading precomputed (RFC 6901 §4: digits without a leading zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Token {
+    raw: String,
+    index: Option<usize>,
+}
+
+impl Token {
+    fn new(raw: String) -> Self {
+        let bytes = raw.as_bytes();
+        let numeric = !bytes.is_empty()
+            && bytes.iter().all(u8::is_ascii_digit)
+            && (bytes.len() == 1 || bytes[0] != b'0');
+        let index = if numeric { raw.parse().ok() } else { None };
+        Token { raw, index }
+    }
+}
+
+/// A parsed RFC 6901 JSON Pointer.
+///
+/// ```
+/// use jsonski::JsonPointer;
+///
+/// let ptr: JsonPointer = "/a~1b/~0/0".parse()?;
+/// assert_eq!(ptr.tokens(), ["a/b", "~", "0"]);
+/// assert_eq!(ptr.to_string(), "/a~1b/~0/0");
+/// # Ok::<(), jsonski::PointerParseError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonPointer {
+    tokens: Vec<Token>,
+}
+
+impl JsonPointer {
+    /// The root pointer (the empty string), which addresses the whole
+    /// record.
+    pub fn root() -> Self {
+        JsonPointer { tokens: Vec::new() }
+    }
+
+    /// The unescaped reference tokens, in order.
+    pub fn tokens(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.raw.as_str()).collect()
+    }
+
+    /// `true` for the root pointer.
+    pub fn is_root(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl FromStr for JsonPointer {
+    type Err = PointerParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Self::root());
+        }
+        if !s.starts_with('/') {
+            return Err(PointerParseError::MissingSlash);
+        }
+        let mut tokens = Vec::new();
+        // Track byte offsets for escape errors: walk segments manually.
+        let bytes = s.as_bytes();
+        let mut seg_start = 1;
+        let mut i = 1;
+        loop {
+            if i == bytes.len() || bytes[i] == b'/' {
+                tokens.push(unescape_token(&s[seg_start..i], seg_start)?);
+                if i == bytes.len() {
+                    break;
+                }
+                seg_start = i + 1;
+            }
+            i += 1;
+        }
+        if tokens.len() > MAX_POINTER_DEPTH {
+            return Err(PointerParseError::TooDeep {
+                tokens: tokens.len(),
+            });
+        }
+        Ok(JsonPointer { tokens })
+    }
+}
+
+fn unescape_token(seg: &str, seg_start: usize) -> Result<Token, PointerParseError> {
+    if !seg.contains('~') {
+        return Ok(Token::new(seg.to_owned()));
+    }
+    let mut out = String::with_capacity(seg.len());
+    let mut chars = seg.char_indices();
+    while let Some((off, c)) = chars.next() {
+        if c != '~' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some((_, '0')) => out.push('~'),
+            Some((_, '1')) => out.push('/'),
+            _ => {
+                return Err(PointerParseError::InvalidEscape {
+                    pos: seg_start + off,
+                })
+            }
+        }
+    }
+    Ok(Token::new(out))
+}
+
+impl fmt::Display for JsonPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tokens {
+            f.write_str("/")?;
+            for c in t.raw.chars() {
+                match c {
+                    '~' => f.write_str("~0")?,
+                    '/' => f.write_str("~1")?,
+                    _ => write!(f, "{c}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A node of the merged pointer trie. `terminals` lists the indices of the
+/// pointers that end here; `children` fan out by reference token.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    children: Vec<(Token, Node)>,
+    terminals: Vec<usize>,
+}
+
+impl Node {
+    fn insert(&mut self, tokens: &[Token], pointer_idx: usize) {
+        match tokens.split_first() {
+            None => self.terminals.push(pointer_idx),
+            Some((head, rest)) => {
+                let child = match self.children.iter_mut().position(|(t, _)| t == head) {
+                    Some(i) => &mut self.children[i].1,
+                    None => {
+                        self.children.push((head.clone(), Node::default()));
+                        &mut self.children.last_mut().expect("just pushed").1
+                    }
+                };
+                child.insert(rest, pointer_idx);
+            }
+        }
+    }
+}
+
+/// A compiled batch of JSON pointers that resolves against each record in
+/// **one** structural pass, however many pointers it holds.
+///
+/// ```
+/// use jsonski::Extractor;
+///
+/// let ex = Extractor::compile(&["/user/name", "/user/id", "/tags/1"])?;
+/// let record = br#"{"user": {"id": 7, "name": "kim"}, "tags": ["a", "b"]}"#;
+/// let found = ex.extract(record)?;
+/// assert_eq!(found.get(0).unwrap().as_str()?, "kim");
+/// assert_eq!(found.get(1).unwrap().as_i64(), Some(7));
+/// assert_eq!(found.get(2).unwrap().as_raw(), b"\"b\"");
+/// // One pass: no more words were classified than the record holds.
+/// assert!(found.words_classified() <= record.len().div_ceil(64));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Extractor {
+    pointers: Vec<JsonPointer>,
+    root: Node,
+    kernel: Option<Kernel>,
+    validation: ValidationMode,
+}
+
+impl Extractor {
+    /// Builds an extractor from already-parsed pointers.
+    pub fn new(pointers: Vec<JsonPointer>) -> Self {
+        let mut root = Node::default();
+        for (i, p) in pointers.iter().enumerate() {
+            root.insert(&p.tokens, i);
+        }
+        Extractor {
+            pointers,
+            root,
+            kernel: None,
+            validation: ValidationMode::Permissive,
+        }
+    }
+
+    /// Parses and compiles a batch of pointer strings.
+    ///
+    /// # Errors
+    ///
+    /// [`PointerParseError`] if any pointer string is malformed.
+    pub fn compile<S: AsRef<str>>(pointers: &[S]) -> Result<Self, PointerParseError> {
+        let parsed = pointers
+            .iter()
+            .map(|s| s.as_ref().parse())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(parsed))
+    }
+
+    /// Forces a specific classification kernel (`None` = auto-detect).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Option<Kernel>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the validation mode for the shared pass (strict mode
+    /// validates the whole record, including skipped subtrees and the tail
+    /// after the last resolved pointer).
+    #[must_use]
+    pub fn with_validation(mut self, validation: ValidationMode) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// The compiled pointers, in the order [`extract`](Self::extract)
+    /// reports them.
+    pub fn pointers(&self) -> &[JsonPointer] {
+        &self.pointers
+    }
+
+    /// Resolves every pointer against `record` in a single structural pass.
+    ///
+    /// Pointers that address nothing (missing key, index past the end)
+    /// come back as `None` — that is a miss, not an error. When the same
+    /// key appears twice in an object, the first occurrence wins.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] if the record is malformed on the examined path (or
+    /// anywhere, in strict mode).
+    pub fn extract<'a>(&self, record: &'a [u8]) -> Result<Extraction<'a>, StreamError> {
+        let mut walk = Walk {
+            cur: Cursor::with_options(record, self.kernel, self.validation),
+            stats: FastForwardStats::new(),
+            spans: vec![None; self.pointers.len()],
+        };
+        walk.stats.add_total(record.len() as u64);
+        match walk.value(&self.root) {
+            Ok(_) => walk.cur.finish_strict()?,
+            Err(e) => {
+                // Prefer the validator's typed verdict, as the engine does:
+                // a structural error in strict mode is often the echo of a
+                // validity fault.
+                if let Err(invalid @ StreamError::Invalid { .. }) = walk.cur.finish_strict() {
+                    return Err(invalid);
+                }
+                return Err(e);
+            }
+        }
+        Ok(Extraction {
+            values: walk
+                .spans
+                .iter()
+                .map(|s| s.map(|span| LazyValue::new(record, span)))
+                .collect(),
+            stats: walk.stats,
+            words_classified: walk.cur.words_classified(),
+            word_cache_hits: walk.cur.word_cache_hits(),
+            consumed: walk.cur.pos(),
+        })
+    }
+
+    /// Like [`extract`](Self::extract), recording bitmap-construction and
+    /// evaluation counters into `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// As [`extract`](Self::extract).
+    pub fn extract_metered<'a>(
+        &self,
+        record: &'a [u8],
+        metrics: &Metrics,
+    ) -> Result<Extraction<'a>, StreamError> {
+        let watch = metrics.stopwatch();
+        let result = self.extract(record);
+        metrics.add_eval_ns(watch.elapsed_ns());
+        if let Ok(found) = &result {
+            metrics.record_bitmap(found.words_classified as u64, found.word_cache_hits);
+        }
+        result
+    }
+}
+
+/// The result of one [`Extractor::extract`] pass: a lazy value per pointer
+/// plus the pass's structural accounting.
+#[derive(Clone, Debug)]
+pub struct Extraction<'a> {
+    values: Vec<Option<LazyValue<'a>>>,
+    stats: FastForwardStats,
+    words_classified: usize,
+    word_cache_hits: u64,
+    consumed: usize,
+}
+
+impl<'a> Extraction<'a> {
+    /// One entry per compiled pointer, in compile order; `None` when the
+    /// pointer addressed nothing.
+    pub fn values(&self) -> &[Option<LazyValue<'a>>] {
+        &self.values
+    }
+
+    /// The resolved value for pointer `i`, if any.
+    pub fn get(&self, i: usize) -> Option<LazyValue<'a>> {
+        self.values.get(i).copied().flatten()
+    }
+
+    /// Consumes the extraction, yielding the per-pointer values.
+    pub fn into_values(self) -> Vec<Option<LazyValue<'a>>> {
+        self.values
+    }
+
+    /// Fast-forward accounting for the pass (paper Table 6 grouping).
+    pub fn stats(&self) -> &FastForwardStats {
+        &self.stats
+    }
+
+    /// 64-byte words classified during the pass. A single shared pass
+    /// classifies each word at most once, so this never exceeds
+    /// `record.len().div_ceil(64)` regardless of how many pointers were
+    /// resolved.
+    pub fn words_classified(&self) -> usize {
+        self.words_classified
+    }
+
+    /// Words served from the cursor's single-word cache.
+    pub fn word_cache_hits(&self) -> u64 {
+        self.word_cache_hits
+    }
+
+    /// Bytes of the record consumed by the pass (the record length only
+    /// when the last pointer forced a scan to the end or strict validation
+    /// ran).
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+}
+
+/// Resolves one JSON pointer against a record.
+///
+/// Returns `Ok(None)` when the pointer addresses nothing.
+///
+/// ```
+/// let record = br#"{"a": {"b": [10, 20]}}"#;
+/// assert_eq!(jsonski::get(record, "/a/b/1")?.unwrap().as_i64(), Some(20));
+/// assert!(jsonski::get(record, "/a/missing")?.is_none());
+/// # Ok::<(), jsonski::ExtractError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ExtractError`] when the pointer string or the record is malformed.
+pub fn get<'a>(record: &'a [u8], pointer: &str) -> Result<Option<LazyValue<'a>>, ExtractError> {
+    Ok(get_many(record, &[pointer])?.pop().flatten())
+}
+
+/// Resolves N JSON pointers against a record in **one** structural pass.
+///
+/// The result has one entry per pointer, in order; misses are `None`.
+///
+/// ```
+/// let record = br#"{"user": {"name": "kim"}, "n": 3}"#;
+/// let got = jsonski::get_many(record, &["/user/name", "/n", "/missing"])?;
+/// assert_eq!(got[0].unwrap().as_str().unwrap(), "kim");
+/// assert_eq!(got[1].unwrap().as_i64(), Some(3));
+/// assert!(got[2].is_none());
+/// # Ok::<(), jsonski::ExtractError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ExtractError`] when a pointer string or the record is malformed.
+pub fn get_many<'a, S: AsRef<str>>(
+    record: &'a [u8],
+    pointers: &[S],
+) -> Result<Vec<Option<LazyValue<'a>>>, ExtractError> {
+    let extractor = Extractor::compile(pointers)?;
+    Ok(extractor.extract(record)?.into_values())
+}
+
+/// The single-pass trie walker.
+struct Walk<'a> {
+    cur: Cursor<'a>,
+    stats: FastForwardStats,
+    spans: Vec<Option<Span>>,
+}
+
+impl Walk<'_> {
+    /// Consumes the value at the cursor, descending where the trie demands
+    /// and fast-forwarding everywhere else. Records the value's span for
+    /// every pointer terminating at `node`.
+    fn value(&mut self, node: &Node) -> Result<Span, StreamError> {
+        let t = self.cur.peek_token("value")?;
+        let span = match t {
+            b'{' if !node.children.is_empty() => self.object(node)?,
+            b'{' => fastforward::go_over_obj(&mut self.cur, &mut self.stats, Group::G2)?,
+            b'[' if node.children.iter().any(|(tok, _)| tok.index.is_some()) => self.array(node)?,
+            b'[' => fastforward::go_over_ary(&mut self.cur, &mut self.stats, Group::G2)?,
+            _ => fastforward::go_over_primitive(&mut self.cur, &mut self.stats, Group::G2)?,
+        };
+        for &i in &node.terminals {
+            self.spans[i] = Some(span);
+        }
+        Ok(span)
+    }
+
+    /// Skips a value the trie has no interest in.
+    fn skip_value(&mut self) -> Result<Span, StreamError> {
+        match self.cur.peek_token("value")? {
+            b'{' => fastforward::go_over_obj(&mut self.cur, &mut self.stats, Group::G2),
+            b'[' => fastforward::go_over_ary(&mut self.cur, &mut self.stats, Group::G2),
+            _ => fastforward::go_over_primitive(&mut self.cur, &mut self.stats, Group::G2),
+        }
+    }
+
+    fn object(&mut self, node: &Node) -> Result<Span, StreamError> {
+        let start = self.cur.pos();
+        self.cur.bump(); // consume `{`
+        let mut matched = vec![false; node.children.len()];
+        let mut remaining = node.children.len();
+        let mut first = true;
+        loop {
+            let t = self.cur.peek_token("attribute or `}`")?;
+            if t == b'}' {
+                self.cur.bump();
+                return Ok((start, self.cur.pos()));
+            }
+            if std::mem::replace(&mut first, false) {
+                // First attribute: no separator to consume.
+            } else {
+                self.cur.expect(b',', "`,` or `}`")?;
+            }
+            let a = self.cur.peek_token("attribute")?;
+            if a != b'"' {
+                return Err(StreamError::Unexpected {
+                    expected: "attribute",
+                    found: a,
+                    pos: self.cur.pos(),
+                });
+            }
+            let (ks, ke) = self.cur.read_string()?;
+            self.cur.expect(b':', "`:`")?;
+            let key = &self.cur.input()[ks..ke];
+            let hit = node
+                .children
+                .iter()
+                .position(|(tok, _)| key_matches(key, &tok.raw));
+            match hit {
+                // First occurrence wins; a repeated key is skipped like any
+                // unmatched attribute.
+                Some(i) if !matched[i] => {
+                    matched[i] = true;
+                    remaining -= 1;
+                    self.value(&node.children[i].1)?;
+                    if remaining == 0 {
+                        // Every referenced attribute resolved: fast-forward
+                        // to the object end (the G4 opportunity).
+                        fastforward::go_to_obj_end(&mut self.cur, &mut self.stats, Group::G4)?;
+                        self.cur.bump(); // consume `}`
+                        return Ok((start, self.cur.pos()));
+                    }
+                }
+                _ => {
+                    self.skip_value()?;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, node: &Node) -> Result<Span, StreamError> {
+        let start = self.cur.pos();
+        self.cur.bump(); // consume `[`
+        let max_index = node
+            .children
+            .iter()
+            .filter_map(|(tok, _)| tok.index)
+            .max()
+            .expect("caller checked for an indexed child");
+        let mut index = 0usize;
+        let mut first = true;
+        loop {
+            let t = self.cur.peek_token("element or `]`")?;
+            if t == b']' {
+                self.cur.bump();
+                return Ok((start, self.cur.pos()));
+            }
+            if std::mem::replace(&mut first, false) {
+                // First element: no separator to consume.
+            } else {
+                self.cur.expect(b',', "`,` or `]`")?;
+            }
+            match node
+                .children
+                .iter()
+                .find(|(tok, _)| tok.index == Some(index))
+            {
+                Some((_, child)) => {
+                    self.value(child)?;
+                }
+                None => {
+                    self.skip_value()?;
+                }
+            }
+            if index == max_index {
+                // All referenced indices visited: fast-forward to the array
+                // end (the G5 opportunity).
+                fastforward::go_to_ary_end(&mut self.cur, &mut self.stats, Group::G5)?;
+                self.cur.bump(); // consume `]`
+                return Ok((start, self.cur.pos()));
+            }
+            index += 1;
+        }
+    }
+}
+
+/// Compares a raw (still-escaped) object key against an unescaped pointer
+/// token. The fast path is a straight byte comparison; keys containing
+/// escapes are decoded with the same routine [`LazyValue::as_str`] uses.
+fn key_matches(raw_key: &[u8], token: &str) -> bool {
+    if !raw_key.contains(&b'\\') {
+        return raw_key == token.as_bytes();
+    }
+    matches!(decode_string_contents(raw_key, 0), Ok(decoded) if decoded == token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_parsing_and_display_round_trip() {
+        let ptr: JsonPointer = "/a~1b/~0/x y/".parse().unwrap();
+        assert_eq!(ptr.tokens(), ["a/b", "~", "x y", ""]);
+        assert_eq!(ptr.to_string(), "/a~1b/~0/x y/");
+        assert!(JsonPointer::from_str("").unwrap().is_root());
+        assert_eq!(
+            JsonPointer::from_str("a/b"),
+            Err(PointerParseError::MissingSlash)
+        );
+        assert_eq!(
+            JsonPointer::from_str("/a/~2"),
+            Err(PointerParseError::InvalidEscape { pos: 3 })
+        );
+        assert_eq!(
+            JsonPointer::from_str("/~"),
+            Err(PointerParseError::InvalidEscape { pos: 1 })
+        );
+    }
+
+    #[test]
+    fn numeric_tokens_follow_rfc_6901() {
+        let t = |s: &str| Token::new(s.to_owned());
+        assert_eq!(t("0").index, Some(0));
+        assert_eq!(t("12").index, Some(12));
+        assert_eq!(t("01").index, None, "leading zero is not an index");
+        assert_eq!(t("-").index, None);
+        assert_eq!(t("1x").index, None);
+        assert_eq!(t("").index, None);
+    }
+
+    #[test]
+    fn root_pointer_addresses_whole_record() {
+        let record = br#"  {"a": 1}  "#;
+        let got = get(record, "").unwrap().unwrap();
+        assert_eq!(got.as_raw(), br#"{"a": 1}"#);
+    }
+
+    #[test]
+    fn nested_object_and_array_lookup() {
+        let record = br#"{"a": {"b": [10, {"c": true}, 30]}, "z": null}"#;
+        assert_eq!(get(record, "/a/b/0").unwrap().unwrap().as_i64(), Some(10));
+        assert_eq!(
+            get(record, "/a/b/1/c").unwrap().unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(get(record, "/a/b/2").unwrap().unwrap().as_i64(), Some(30));
+        assert!(get(record, "/z").unwrap().unwrap().is_null());
+        assert!(get(record, "/a/b/3").unwrap().is_none());
+        assert!(get(record, "/a/x").unwrap().is_none());
+        assert!(get(record, "/a/b/0/deeper").unwrap().is_none());
+    }
+
+    #[test]
+    fn escaped_keys_match_unescaped_tokens() {
+        let record = br#"{"a/b": 1, "~": 2, "new\nline": 3}"#;
+        assert_eq!(get(record, "/a~1b").unwrap().unwrap().as_i64(), Some(1));
+        assert_eq!(get(record, "/~0").unwrap().unwrap().as_i64(), Some(2));
+        // The document key is escaped; the pointer token holds the decoded
+        // form.
+        assert_eq!(
+            get(record, "/new\nline").unwrap().unwrap().as_i64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn numeric_token_matches_object_key_too() {
+        let record = br#"{"0": "as-key"}"#;
+        assert_eq!(
+            get(record, "/0").unwrap().unwrap().as_str().unwrap(),
+            "as-key"
+        );
+    }
+
+    #[test]
+    fn first_occurrence_wins_on_duplicate_keys() {
+        let record = br#"{"k": 1, "k": 2}"#;
+        assert_eq!(get(record, "/k").unwrap().unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn get_many_resolves_all_in_order() {
+        let record = br#"{"u": {"id": 7, "roles": ["a", "b"]}, "n": 1.5}"#;
+        let got = get_many(record, &["/n", "/u/roles/1", "/u/id", "/nope"]).unwrap();
+        assert_eq!(got[0].unwrap().as_f64(), Some(1.5));
+        assert_eq!(got[1].unwrap().as_raw(), b"\"b\"");
+        assert_eq!(got[2].unwrap().as_i64(), Some(7));
+        assert!(got[3].is_none());
+    }
+
+    #[test]
+    fn shared_pass_classifies_each_word_at_most_once() {
+        // A record long enough to span many 64-byte words.
+        let mut record = b"{\"head\": 0, \"pad\": [".to_vec();
+        for i in 0..200 {
+            if i > 0 {
+                record.push(b',');
+            }
+            record.extend_from_slice(format!("{{\"x\": {i}}}").as_bytes());
+        }
+        record.extend_from_slice(b"], \"tail\": {\"deep\": [1, 2, 3]}}");
+
+        let pointers = [
+            "/head",
+            "/tail/deep/0",
+            "/tail/deep/2",
+            "/pad/0/x",
+            "/pad/199/x",
+            "/missing",
+        ];
+        let ex = Extractor::compile(&pointers).unwrap();
+        let found = ex.extract(&record).unwrap();
+        assert_eq!(found.get(0).unwrap().as_i64(), Some(0));
+        assert_eq!(found.get(1).unwrap().as_i64(), Some(1));
+        assert_eq!(found.get(2).unwrap().as_i64(), Some(3));
+        assert_eq!(found.get(3).unwrap().as_i64(), Some(0));
+        assert_eq!(found.get(4).unwrap().as_i64(), Some(199));
+        assert!(found.get(5).is_none());
+
+        // One pass over the record: however many pointers were resolved,
+        // no word is ever classified twice.
+        let words_available = record.len().div_ceil(simdbits::BLOCK);
+        assert!(
+            found.words_classified() <= words_available,
+            "{} words classified for a {}-word record",
+            found.words_classified(),
+            words_available
+        );
+    }
+
+    #[test]
+    fn early_exit_fast_forwards_remaining_siblings() {
+        // Once `/a` resolves, the huge sibling object is hopped (G4), not
+        // tokenized — visible as fast-forwarded bytes in the stats.
+        let mut record = b"{\"a\": 1, \"big\": [".to_vec();
+        record.extend_from_slice(&b"9,".repeat(5000));
+        record.extend_from_slice(b"9]}");
+        let ex = Extractor::compile(&["/a"]).unwrap();
+        let found = ex.extract(&record).unwrap();
+        assert_eq!(found.get(0).unwrap().as_i64(), Some(1));
+        assert!(
+            found.stats().overall_ratio() > 0.9,
+            "sibling tail should be fast-forwarded"
+        );
+    }
+
+    #[test]
+    fn strict_mode_validates_skipped_subtrees() {
+        // The malformed escape hides in a subtree no pointer touches.
+        let record = br#"{"a": 1, "skipped": "bad \q escape"}"#;
+        let permissive = Extractor::compile(&["/a"]).unwrap();
+        assert!(permissive.extract(record).is_ok());
+        let strict = Extractor::compile(&["/a"])
+            .unwrap()
+            .with_validation(ValidationMode::Strict);
+        assert!(matches!(
+            strict.extract(record),
+            Err(StreamError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_record_is_a_stream_error() {
+        let record = br#"{"a": [1, 2"#;
+        assert!(matches!(get(record, "/a/5"), Err(ExtractError::Stream(_))));
+        assert!(matches!(
+            get(record, "/bad~9"),
+            Err(ExtractError::Pointer(
+                PointerParseError::InvalidEscape { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn forced_kernels_agree() {
+        let record = br#"{"a": {"b": ["x", "y", {"z": 42}]}, "c": "d"}"#;
+        let pointers = ["/a/b/2/z", "/c", "/a/b/0"];
+        let reference = get_many(record, &pointers).unwrap();
+        for kernel in Kernel::all().iter().copied().filter(|k| k.is_supported()) {
+            let ex = Extractor::compile(&pointers)
+                .unwrap()
+                .with_kernel(Some(kernel));
+            let found = ex.extract(record).unwrap();
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    found.get(i).map(|v| v.as_raw().to_vec()),
+                    want.map(|v| v.as_raw().to_vec()),
+                    "kernel {kernel:?} pointer {}",
+                    pointers[i]
+                );
+            }
+        }
+    }
+}

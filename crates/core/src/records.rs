@@ -71,7 +71,7 @@ impl<'a> RecordSplitter<'a> {
     /// A raw (unescaped) newline cannot occur inside a valid JSON string,
     /// so for newline-delimited streams the byte after the next `\n` is a
     /// sound place to expect the next record boundary. The scan uses the
-    /// same SWAR word-at-a-time search as [`find_newline`].
+    /// same SWAR word-at-a-time search as `find_newline`.
     pub fn resync(&mut self) -> Option<(usize, usize)> {
         if !self.failed {
             return None;

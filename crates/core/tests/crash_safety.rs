@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use jsonski::{
     digest_parts, CancellationToken, Checkpoint, CheckpointCadence, ChunkedRecords, EngineError,
-    ErrorPolicy, Evaluate, JsonSki, LimitExceeded, MatchSink, Pipeline, PipelineSummary,
+    ErrorPolicy, Evaluate, JsonSki, LimitExceeded, Match, MatchSink, Pipeline, PipelineSummary,
     RecordOutcome, ResourceLimits, SliceRecords,
 };
 
@@ -45,8 +45,8 @@ struct Recorder {
 }
 
 impl MatchSink for Recorder {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.matches.push((record_idx, bytes.to_vec()));
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.matches.push((m.record_idx(), m.bytes().to_vec()));
         ControlFlow::Continue(())
     }
 
@@ -211,7 +211,7 @@ struct CancelFromAfar {
 }
 
 impl MatchSink for CancelFromAfar {
-    fn on_match(&mut self, _record_idx: u64, _bytes: &[u8]) -> ControlFlow<()> {
+    fn on_match(&mut self, _m: Match<'_>) -> ControlFlow<()> {
         self.matches += 1;
         if let Some(tx) = self.trigger.take() {
             tx.send(()).unwrap();
@@ -280,8 +280,8 @@ struct DurableSink {
 }
 
 impl MatchSink for DurableSink {
-    fn on_match(&mut self, _record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.staged.extend_from_slice(bytes);
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.staged.extend_from_slice(m.bytes());
         self.staged.push(b'\n');
         self.seen += 1;
         if let Some((k, token)) = &self.cancel_after {

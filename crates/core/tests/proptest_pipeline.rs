@@ -13,8 +13,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use jsonski::{
-    CancellationToken, EngineError, ErrorPolicy, JsonSki, MatchSink, Metrics, MetricsSnapshot,
-    Pipeline, PipelineSummary, RecordSource, SliceRecords,
+    CancellationToken, EngineError, ErrorPolicy, JsonSki, Match, MatchSink, Metrics,
+    MetricsSnapshot, Pipeline, PipelineSummary, RecordSource, SliceRecords,
 };
 
 /// Owned in-memory record batch (malformed records included verbatim —
@@ -43,8 +43,8 @@ struct Recorder {
 }
 
 impl MatchSink for Recorder {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.matches.push((record_idx, bytes.to_vec()));
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.matches.push((m.record_idx(), m.bytes().to_vec()));
         ControlFlow::Continue(())
     }
 
@@ -293,12 +293,12 @@ proptest! {
                 token: &'a CancellationToken,
             }
             impl MatchSink for CancelAfter<'_> {
-                fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
+                fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
                     *self.seen += 1;
                     if *self.seen == self.at {
                         self.token.cancel();
                     }
-                    self.inner.on_match(record_idx, bytes)
+                    self.inner.on_match(m)
                 }
                 fn on_record_error(
                     &mut self,

@@ -11,7 +11,7 @@
 use std::ops::ControlFlow;
 
 use jsonski::{
-    ChunkedRecords, EngineError, ErrorPolicy, Evaluate, JsonSki, MatchSink, Pipeline,
+    ChunkedRecords, EngineError, ErrorPolicy, Evaluate, JsonSki, Match, MatchSink, Pipeline,
     PipelineSummary, RecordOutcome, ResourceLimits,
 };
 
@@ -25,8 +25,8 @@ struct Trace {
 }
 
 impl MatchSink for Trace {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.matches.push((record_idx, bytes.to_vec()));
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.matches.push((m.record_idx(), m.bytes().to_vec()));
         ControlFlow::Continue(())
     }
 

@@ -93,7 +93,9 @@ impl jsonski::Evaluate for DomQuery {
         for node in dom.query(&self.path) {
             let (s, e) = node.span();
             matches += 1;
-            if let ControlFlow::Break(()) = sink.on_match(record_idx, &record[s..e]) {
+            if let ControlFlow::Break(()) =
+                sink.on_match(jsonski::Match::new(record_idx, record, (s, e)))
+            {
                 return jsonski::RecordOutcome::Stopped { matches };
             }
         }
@@ -142,7 +144,10 @@ impl jsonski::Evaluate for DomQuery {
         for node in dom.query(&self.path) {
             let (s, e) = node.span();
             matches += 1;
-            if sink.on_match(record_idx, &record[s..e]).is_break() {
+            if sink
+                .on_match(jsonski::Match::new(record_idx, record, (s, e)))
+                .is_break()
+            {
                 stopped = true;
                 break;
             }
@@ -179,7 +184,8 @@ mod tests {
     #[test]
     fn early_exit_reports_stopped() {
         let q = DomQuery::compile("$[*]").unwrap();
-        let mut sink = jsonski::FnSink::new(|_, _m: &[u8]| std::ops::ControlFlow::Break(()));
+        let mut sink =
+            jsonski::FnSink::new(|_m: jsonski::Match<'_>| std::ops::ControlFlow::Break(()));
         match q.evaluate(b"[1, 2, 3]", 0, &mut sink) {
             jsonski::RecordOutcome::Stopped { matches } => assert_eq!(matches, 1),
             other => panic!("expected Stopped, got {other:?}"),

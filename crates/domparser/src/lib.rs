@@ -32,4 +32,4 @@ mod value;
 
 pub use evaluate::DomQuery;
 pub use parser::DomError;
-pub use value::{Dom, Value, ValueKind};
+pub use value::{decode_raw_string, Dom, Value, ValueKind};

@@ -72,6 +72,66 @@ impl Value {
     }
 }
 
+/// Decodes the raw contents of a JSON string token (as stored in
+/// [`ValueKind::String`], escapes left as-is) into the text it denotes.
+///
+/// This is an independent, character-wise implementation of RFC 8259
+/// string semantics — deliberately written unlike the streaming crate's
+/// byte-run decoder so the two can check each other differentially.
+/// Returns `None` for an invalid escape, a bad `\u` sequence, or a lone
+/// surrogate.
+#[must_use]
+pub fn decode_raw_string(raw: &str) -> Option<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hi = hex4(&mut chars)?;
+                let cp = match hi {
+                    0xD800..=0xDBFF => {
+                        // A high surrogate must be chased by `\uXXXX` low.
+                        if chars.next()? != '\\' || chars.next()? != 'u' {
+                            return None;
+                        }
+                        let lo = hex4(&mut chars)?;
+                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                            return None;
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    }
+                    0xDC00..=0xDFFF => return None,
+                    cp => cp,
+                };
+                out.push(char::from_u32(cp)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Reads four hex digits from a char stream as a code unit.
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = v * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
 /// A parsed document: the tree plus a borrow of the source bytes.
 #[derive(Clone, Debug)]
 pub struct Dom<'a> {

@@ -107,7 +107,10 @@ impl Engine for ParallelPisonEngine {
         let mut matches = 0usize;
         for m in index.query(&self.path) {
             matches += 1;
-            if sink.on_match(record_idx, m).is_break() {
+            if sink
+                .on_match(jsonski::Match::from_slice(record_idx, record, m))
+                .is_break()
+            {
                 return jsonski::RecordOutcome::Stopped { matches };
             }
         }

@@ -128,7 +128,7 @@ impl SegmentedRunner {
         let arrays = finder.matches(record).map_err(EngineError::Stream)?;
         let mut total = 0usize;
         for array in arrays {
-            total += self.count_array(array, threads)?;
+            total += self.count_array(array.as_raw(), threads)?;
         }
         Ok(total)
     }

@@ -457,7 +457,9 @@ impl jsonski::Evaluate for JpStream {
         if let Some(failed) = self.strict_reject(record) {
             return failed;
         }
-        match self.stream(record, |m| sink.on_match(record_idx, m)) {
+        match self.stream(record, |m| {
+            sink.on_match(jsonski::Match::from_slice(record_idx, record, m))
+        }) {
             Ok(o) if o.stopped => jsonski::RecordOutcome::Stopped { matches: o.matches },
             Ok(o) => jsonski::RecordOutcome::Complete { matches: o.matches },
             Err(e) => jsonski::RecordOutcome::Failed(jsonski::EngineError::Engine {

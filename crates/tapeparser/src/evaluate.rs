@@ -87,7 +87,9 @@ impl jsonski::Evaluate for TapeQuery {
         let mut matches = 0usize;
         for m in tape.query(&self.path) {
             matches += 1;
-            if let ControlFlow::Break(()) = sink.on_match(record_idx, m) {
+            if let ControlFlow::Break(()) =
+                sink.on_match(jsonski::Match::from_slice(record_idx, record, m))
+            {
                 return jsonski::RecordOutcome::Stopped { matches };
             }
         }
@@ -130,7 +132,10 @@ impl jsonski::Evaluate for TapeQuery {
         let mut stopped = false;
         for m in tape.query(&self.path) {
             matches += 1;
-            if sink.on_match(record_idx, m).is_break() {
+            if sink
+                .on_match(jsonski::Match::from_slice(record_idx, record, m))
+                .is_break()
+            {
                 stopped = true;
                 break;
             }
@@ -167,7 +172,8 @@ mod tests {
     #[test]
     fn early_exit_reports_stopped() {
         let q = TapeQuery::compile("$[*]").unwrap();
-        let mut sink = jsonski::FnSink::new(|_, _m: &[u8]| std::ops::ControlFlow::Break(()));
+        let mut sink =
+            jsonski::FnSink::new(|_m: jsonski::Match<'_>| std::ops::ControlFlow::Break(()));
         match q.evaluate(b"[1, 2, 3]", 0, &mut sink) {
             jsonski::RecordOutcome::Stopped { matches } => assert_eq!(matches, 1),
             other => panic!("expected Stopped, got {other:?}"),

@@ -1,9 +1,10 @@
 //! Quickstart: evaluate the paper's running example (`$.place.name` over a
-//! geo-referenced tweet, Figure 1) and show the fast-forward accounting.
+//! geo-referenced tweet, Figure 1), decode the match on demand, and show
+//! the fast-forward accounting.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use jsonski_repro::jsonski::{Group, JsonSki};
+use jsonski_repro::jsonski::{get, Group, JsonSki};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tweet = br#"{
@@ -22,12 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query = JsonSki::compile("$.place.name")?;
     println!("query: {}", query.path());
 
+    // Matches arrive as lazy handles over the input buffer: `bytes()` is
+    // the raw span (zero-copy), `value().as_str()` decodes on demand.
     let mut matches = Vec::new();
     let stats = query.run(tweet, |m| {
-        matches.push(String::from_utf8_lossy(m).into_owned())
+        matches.push(m.value().as_str().map(|s| s.into_owned()));
     })?;
-
     println!("matches: {matches:?}");
+
+    // Point lookups skip the query language entirely: a JSON pointer walks
+    // straight to the value in a single pass, fast-forwarding siblings.
+    let id = get(tweet, "/user/id")?.expect("user id present");
+    println!("user id: {:?}", id.as_i64());
+
     println!();
     println!("fast-forward accounting (paper Table 6 metric):");
     for (name, g) in [

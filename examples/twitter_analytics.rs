@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for record in data.iter() {
         urls.run(record, |m| {
             if sample.is_none() {
-                sample = Some(String::from_utf8_lossy(m).into_owned());
+                // Typed on-demand decoding: unquotes and unescapes only
+                // this one match, never the rest of the stream.
+                sample = m.value().as_str().ok().map(|s| s.into_owned());
             }
             url_count += 1;
         })?;
@@ -55,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for record in data.iter() {
         texts.run(record, |m| {
             tweets += 1;
-            words += m.split(|&b| b == b' ').count();
+            words += m.bytes().split(|&b| b == b' ').count();
         })?;
     }
     let elapsed = start.elapsed();

@@ -197,6 +197,15 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Uniform over all scalar values; the surrogate gap maps to the
+        // replacement character (still a valid, representative char).
+        let v = (rng.next_u64() % 0x11_0000) as u32;
+        char::from_u32(v).unwrap_or('\u{FFFD}')
+    }
+}
+
 /// The canonical strategy for `T` (`any::<u64>()` etc.).
 pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
     BoxedStrategy::from_fn(T::arbitrary)

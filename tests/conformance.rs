@@ -14,17 +14,28 @@ use std::ops::ControlFlow;
 use jsonski_repro::datagen::{Dataset, GenConfig};
 use jsonski_repro::jsonpath::Path;
 use jsonski_repro::jsonski::{
-    EngineConfig, EngineError, Evaluate, InvalidReason, Kernel, MatchSink, Metrics, RecordOutcome,
-    ValidationMode,
+    EngineConfig, EngineError, Evaluate, InvalidReason, Kernel, Match, MatchSink, Metrics,
+    RecordOutcome, ValidationMode,
 };
+
+/// One observed match: record index, normalized in-record span, and the
+/// match bytes. Comparing the full triple across engines pins not just
+/// *what* each engine matched but *where* it says the match lives — the
+/// span-normalization contract centralized in `Match::new`.
+type Observed = (u64, (usize, usize), Vec<u8>);
 
 /// Sink that records the full match stream.
 #[derive(Default)]
-struct Recorder(Vec<(u64, Vec<u8>)>);
+struct Recorder(Vec<Observed>);
 
 impl MatchSink for Recorder {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.0.push((record_idx, bytes.to_vec()));
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        let (s, e) = m.span();
+        // The span must address the delivered bytes within the record —
+        // true for every engine because `Match::new` is the single
+        // normalization point.
+        assert_eq!(&m.record()[s..e], m.bytes(), "span disagrees with bytes");
+        self.0.push((m.record_idx(), (s, e), m.bytes().to_vec()));
         ControlFlow::Continue(())
     }
 }
@@ -57,7 +68,7 @@ fn strict_engines(path: &Path) -> Vec<Box<dyn Evaluate>> {
 
 /// Runs `records` through one engine via the sink API, panicking on any
 /// record failure (all conformance inputs are well-formed).
-fn match_stream(engine: &dyn Evaluate, records: &[&[u8]], ctx: &str) -> Vec<(u64, Vec<u8>)> {
+fn match_stream(engine: &dyn Evaluate, records: &[&[u8]], ctx: &str) -> Vec<Observed> {
     let mut sink = Recorder::default();
     for (i, record) in records.iter().enumerate() {
         match engine.evaluate(record, i as u64, &mut sink) {
@@ -70,7 +81,7 @@ fn match_stream(engine: &dyn Evaluate, records: &[&[u8]], ctx: &str) -> Vec<(u64
 
 /// Asserts all five engines produce the identical match sequence for
 /// `query` over `records`; returns that agreed sequence.
-fn assert_conformance(records: &[&[u8]], query: &str, ctx: &str) -> Vec<(u64, Vec<u8>)> {
+fn assert_conformance(records: &[&[u8]], query: &str, ctx: &str) -> Vec<Observed> {
     let path: Path = query
         .parse()
         .unwrap_or_else(|e| panic!("{ctx}: {query}: {e}"));
@@ -206,7 +217,7 @@ fn multi_record_edge_stream_agrees() {
         b"  {\"a\": [4]}  ",
     ];
     let agreed = assert_conformance(records, "$.a[*]", "multi-record");
-    let idxs: Vec<u64> = agreed.iter().map(|(i, _)| *i).collect();
+    let idxs: Vec<u64> = agreed.iter().map(|(i, _, _)| *i).collect();
     assert_eq!(idxs, vec![0, 0, 3, 4]);
 }
 

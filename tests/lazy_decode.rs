@@ -1,0 +1,224 @@
+//! Property tests for `LazyValue` typed decoding, differential-checked
+//! against the DOM baseline.
+//!
+//! Random scalar literals are wrapped in a record, extracted with the
+//! JSON-pointer [`Extractor`] under **every supported kernel and both
+//! validation modes**, and the lazy decode is compared against what the
+//! independently written DOM parser (and its character-wise string
+//! decoder) says the literal denotes. Numbers cover exponents, negative
+//! zero, and integer overflow; strings cover escape sequences and
+//! surrogate pairs.
+
+use std::borrow::Cow;
+
+use proptest::prelude::*;
+
+use jsonski_repro::domparser::{self, ValueKind};
+use jsonski_repro::jsonski::{Extractor, Kernel, LazyValue, Metrics, ValidationMode};
+
+/// Every engine configuration the decode must agree under: both
+/// validation modes crossed with the auto kernel plus each supported
+/// forced kernel.
+fn for_each_config(record: &[u8], mut check: impl FnMut(LazyValue<'_>, String)) {
+    for mode in [ValidationMode::Permissive, ValidationMode::Strict] {
+        let mut kernels: Vec<Option<Kernel>> = vec![None];
+        kernels.extend(
+            Kernel::all()
+                .iter()
+                .filter(|k| k.is_supported())
+                .map(|&k| Some(k)),
+        );
+        for kernel in kernels {
+            let ex = Extractor::compile(&["/v"])
+                .unwrap()
+                .with_kernel(kernel)
+                .with_validation(mode);
+            let got = ex
+                .extract(record)
+                .unwrap_or_else(|e| panic!("extract failed ({mode:?}, {kernel:?}): {e}"));
+            let v = got
+                .get(0)
+                .unwrap_or_else(|| panic!("missing /v ({mode:?}, {kernel:?})"));
+            check(v, format!("{mode:?}/{kernel:?}"));
+        }
+    }
+}
+
+/// The DOM parse of `/v` in `record` — the executable specification.
+fn dom_oracle(record: &[u8]) -> ValueKind {
+    let dom = domparser::Dom::parse(record).expect("generated record is well-formed");
+    dom.root().get("v").expect("v present").kind().clone()
+}
+
+/// JSON number literals: plain integers (within and beyond i64), decimal
+/// fractions, exponent forms, and boundary spellings.
+fn number_literal() -> BoxedStrategy<String> {
+    prop_oneof![
+        any::<i64>().prop_map(|n| n.to_string()),
+        any::<u64>().prop_map(|n| n.to_string()),
+        // Guaranteed past i64::MAX: overflow must decode as None for
+        // integers but still as a (possibly infinite) f64.
+        (1u64..=u64::MAX, 1usize..=8).prop_map(|(n, d)| format!("{n}{}", "9".repeat(d))),
+        (any::<i64>(), 0u64..=999_999).prop_map(|(i, f)| format!("{i}.{f}")),
+        (0u64..=9_999_999, 0u64..=9_999_999, -400i32..=400)
+            .prop_map(|(i, f, e)| format!("{i}.{f}e{e}")),
+        (1u64..=9_999_999, -400i32..=400).prop_map(|(i, e)| format!("{i}E{e:+}")),
+        Just("-0".to_string()),
+        Just("1e999".to_string()),
+        Just("-1e999".to_string()),
+        Just("5e-999".to_string()),
+    ]
+    .boxed()
+}
+
+/// A random Unicode string together with a JSON literal that denotes it,
+/// where each character is independently either written raw or escaped
+/// (`\uXXXX`, surrogate pairs beyond the BMP).
+fn encoded_string() -> BoxedStrategy<(String, String)> {
+    prop::collection::vec((any::<char>(), any::<bool>()), 0..24)
+        .prop_map(|chars| {
+            let mut decoded = String::new();
+            let mut lit = String::from("\"");
+            for (c, escape) in chars {
+                decoded.push(c);
+                if !(escape || matches!(c, '"' | '\\') || (c as u32) < 0x20) {
+                    lit.push(c);
+                    continue;
+                }
+                match c {
+                    '"' => lit.push_str("\\\""),
+                    '\\' => lit.push_str("\\\\"),
+                    '\n' => lit.push_str("\\n"),
+                    '\t' => lit.push_str("\\t"),
+                    c if (c as u32) <= 0xFFFF => {
+                        lit.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => {
+                        let v = c as u32 - 0x10000;
+                        lit.push_str(&format!(
+                            "\\u{:04x}\\u{:04x}",
+                            0xD800 + (v >> 10),
+                            0xDC00 + (v & 0x3FF)
+                        ));
+                    }
+                }
+            }
+            lit.push('"');
+            (decoded, lit)
+        })
+        .boxed()
+}
+
+/// Acceptance pin: a batch of N pointers resolves in **one** structural
+/// pass. The metrics counters prove it — the shared pass classifies each
+/// 64-byte word at most once, while N separate single-pointer passes
+/// re-classify the record's prefix N times over.
+#[test]
+fn get_many_is_one_structural_pass() {
+    let mut record = String::from("{");
+    for i in 0..40 {
+        record.push_str(&format!("\"k{i}\": [{i}, {{\"x\": \"{:0>32}\"}}], ", i));
+    }
+    record.push_str("\"tail\": {\"deep\": [null, true, 42]}}");
+    let record = record.as_bytes();
+    let pointers = ["/k0/0", "/k17/1/x", "/k39/1", "/tail/deep/2", "/absent"];
+
+    let metrics = Metrics::new();
+    let ex = Extractor::compile(&pointers).unwrap();
+    let found = ex.extract_metered(record, &metrics).unwrap();
+    assert_eq!(found.get(0).unwrap().as_i64(), Some(0));
+    assert_eq!(found.get(3).unwrap().as_i64(), Some(42));
+    assert!(found.get(4).is_none());
+
+    let snap = metrics.snapshot();
+    let words_available = record.len().div_ceil(64) as u64;
+    assert!(
+        snap.words_classified <= words_available,
+        "batch pass classified {} words but the record only holds {}",
+        snap.words_classified,
+        words_available
+    );
+    assert_eq!(snap.words_classified, found.words_classified() as u64);
+
+    // The counterfactual: one pass per pointer classifies strictly more
+    // words in total, because each pass re-walks the shared prefix.
+    let separate: u64 = pointers
+        .iter()
+        .map(|p| {
+            Extractor::compile(&[*p])
+                .unwrap()
+                .extract(record)
+                .unwrap()
+                .words_classified() as u64
+        })
+        .sum();
+    assert!(
+        separate > snap.words_classified,
+        "separate passes ({separate} words) should cost more than the shared pass ({})",
+        snap.words_classified
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn number_decoding_agrees_with_dom(lit in number_literal(), pad in 0usize..64) {
+        // Padding moves the literal across 64-byte word boundaries so every
+        // kernel classifies it at varied offsets.
+        let record = format!("{{\"pad\": \"{}\", \"v\": {lit}}}", "x".repeat(pad));
+        let want_f64 = match dom_oracle(record.as_bytes()) {
+            ValueKind::Number(n) => n,
+            other => panic!("oracle parsed {lit} as {other:?}"),
+        };
+        let want_i64 = lit.parse::<i64>().ok();
+        let want_u64 = lit.parse::<u64>().ok();
+        for_each_config(record.as_bytes(), |v, ctx| {
+            assert_eq!(v.as_raw(), lit.as_bytes(), "{ctx}: raw span");
+            let got = v.as_f64().unwrap_or_else(|| panic!("{ctx}: {lit} not a number"));
+            assert_eq!(got.to_bits(), want_f64.to_bits(), "{ctx}: f64 of {lit}");
+            assert_eq!(v.as_i64(), want_i64, "{ctx}: i64 of {lit}");
+            assert_eq!(v.as_u64(), want_u64, "{ctx}: u64 of {lit}");
+        });
+    }
+
+    #[test]
+    fn string_decoding_agrees_with_dom(enc in encoded_string(), pad in 0usize..64) {
+        let (want, lit) = enc;
+        let record = format!("{{\"pad\": \"{}\", \"v\": {lit}}}", "x".repeat(pad));
+        // Independent oracle: the DOM stores the raw contents; its
+        // character-wise decoder must produce the same text.
+        let raw = match dom_oracle(record.as_bytes()) {
+            ValueKind::String(s) => s,
+            other => panic!("oracle parsed {lit} as {other:?}"),
+        };
+        let dom_decoded = domparser::decode_raw_string(&raw)
+            .unwrap_or_else(|| panic!("oracle rejected {lit}"));
+        prop_assert_eq!(&dom_decoded, &want, "oracle decode of {}", lit);
+        let escape_free = !lit.contains('\\');
+        for_each_config(record.as_bytes(), |v, ctx| {
+            let got = v.as_str().unwrap_or_else(|e| panic!("{ctx}: {lit}: {e}"));
+            assert_eq!(got.as_ref(), want, "{ctx}: decode of {lit}");
+            // The laziness contract: escape-free strings borrow from the
+            // input buffer, escaped ones allocate.
+            match got {
+                Cow::Borrowed(_) => assert!(escape_free, "{ctx}: borrowed despite escapes"),
+                Cow::Owned(_) => assert!(!escape_free, "{ctx}: allocated without escapes"),
+            }
+        });
+    }
+
+    #[test]
+    fn bool_and_null_decode_consistently(which in 0usize..3, pad in 0usize..64) {
+        let lit = ["true", "false", "null"][which];
+        let record = format!("{{\"pad\": \"{}\", \"v\": {lit}}}", "x".repeat(pad));
+        for_each_config(record.as_bytes(), |v, ctx| {
+            match which {
+                0 => assert_eq!(v.as_bool(), Some(true), "{ctx}"),
+                1 => assert_eq!(v.as_bool(), Some(false), "{ctx}"),
+                _ => assert!(v.is_null(), "{ctx}"),
+            }
+            assert_eq!(v.as_raw(), lit.as_bytes(), "{ctx}: raw span");
+        });
+    }
+}

@@ -130,9 +130,9 @@ proptest! {
         let ski = jsonski_repro::jsonski::JsonSki::compile(&q).unwrap();
         for m in ski.matches(record).unwrap() {
             prop_assert!(
-                jsonski_repro::domparser::Dom::parse(m).is_ok(),
+                jsonski_repro::domparser::Dom::parse(m.as_raw()).is_ok(),
                 "emitted span is not standalone JSON: {:?} (doc={}, q={})",
-                String::from_utf8_lossy(m), doc, q
+                String::from_utf8_lossy(m.as_raw()), doc, q
             );
         }
     }

@@ -7,7 +7,7 @@ use std::ops::ControlFlow;
 use jsonski_repro::harness::all_engines;
 use jsonski_repro::jsonpath::Path;
 use jsonski_repro::jsonski::{
-    CountSink, ErrorPolicy, MatchSink, Pipeline, RecordOutcome, SliceRecords,
+    CountSink, ErrorPolicy, Match, MatchSink, Pipeline, RecordOutcome, SliceRecords,
 };
 
 /// Per-engine capture: the match bytes and the per-record outcome keys.
@@ -21,8 +21,8 @@ struct Recorder {
 }
 
 impl MatchSink for Recorder {
-    fn on_match(&mut self, record_idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.matches.push((record_idx, bytes.to_vec()));
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.matches.push((m.record_idx(), m.bytes().to_vec()));
         ControlFlow::Continue(())
     }
 
