@@ -432,7 +432,9 @@ exit codes: 0 success; 1 usage or I/O error; 2 a record failed to evaluate
 (without --skip-malformed); 3 completed but skipped records; 130 cancelled
 by SIGINT/SIGTERM (in-flight records finish, then progress is committed).
 
-supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*";
+supported JSONPath: $  .name  ['name']  [n]  [m:n]  [*]  .*  ..name
+..[n]  ..*  ['a','b']  [0,2]  [?(@.x > 1)]  (filters compare an element
+or its @-path against a number, string, bool, or null)";
 
 /// Parses argv-style arguments (program name excluded).
 ///

@@ -13,7 +13,9 @@
 
 use std::ops::ControlFlow;
 
-use jsonpath::{ContainerKind, ExpectedType, ParsePathError, Path, Runtime, Status, Step};
+use jsonpath::{
+    ContainerKind, ExpectedType, Legality, ParsePathError, Path, Runtime, State, Status,
+};
 
 use crate::cursor::Cursor;
 use crate::error::StreamError;
@@ -274,6 +276,8 @@ impl JsonSki {
             sink,
             matches: 0,
             depth: 0,
+            pending: Vec::new(),
+            flush_from: 0,
             config: self.config,
             deadline: self
                 .config
@@ -283,6 +287,10 @@ impl JsonSki {
         };
         let stopped = match eval.record() {
             Ok(()) => {
+                debug_assert!(
+                    eval.pending.is_empty(),
+                    "pending matches must all be flushed by end of record"
+                );
                 // Strict mode validates to the end of the record even though
                 // evaluation may have fast-forwarded past (or stopped before)
                 // the remaining bytes. No-op in Permissive mode.
@@ -440,6 +448,21 @@ impl From<StreamError> for Abort {
     }
 }
 
+/// A match whose emission is deferred to preserve pre-order (span-start
+/// ascending) under descendant queries: an [`AcceptAndDescend`] container
+/// must reach the sink before the matches found inside it, but its span's
+/// end is only known once the traversal returns. `end == None` marks a
+/// still-open container entry.
+///
+/// Descendant-free queries never open an entry, so every emission stays
+/// immediate — the queue costs them nothing.
+///
+/// [`AcceptAndDescend`]: Status::AcceptAndDescend
+struct PendingMatch {
+    start: usize,
+    end: Option<usize>,
+}
+
 struct Eval<'a, 'p, F> {
     cur: Cursor<'a>,
     rt: Runtime<'p>,
@@ -447,6 +470,10 @@ struct Eval<'a, 'p, F> {
     sink: F,
     matches: usize,
     depth: usize,
+    /// Deferred matches (see [`PendingMatch`]); `flush_from` indexes the
+    /// first entry not yet delivered to the sink.
+    pending: Vec<PendingMatch>,
+    flush_from: usize,
     config: EngineConfig,
     /// Absolute cut-off instant when a per-record deadline is configured;
     /// `None` (the default) keeps the hot path free of clock calls.
@@ -472,7 +499,22 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
         Ok(())
     }
 
+    /// Emits a completed span, or queues it while an enclosing
+    /// [`Status::AcceptAndDescend`] container entry is still open (the
+    /// container must reach the sink first).
     fn emit(&mut self, span: Span) -> Result<(), Abort> {
+        if self.flush_from == self.pending.len() {
+            self.emit_now(span)
+        } else {
+            self.pending.push(PendingMatch {
+                start: span.0,
+                end: Some(span.1),
+            });
+            Ok(())
+        }
+    }
+
+    fn emit_now(&mut self, span: Span) -> Result<(), Abort> {
         self.matches += 1;
         // Match::new is the shared normalization point (evaluate.rs): the
         // span every engine reports is trimmed there, not here.
@@ -480,6 +522,62 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
             ControlFlow::Continue(()) => Ok(()),
             ControlFlow::Break(()) => Err(Abort::Stop),
         }
+    }
+
+    /// Opens a pending entry for an accepted container about to be
+    /// descended; [`Eval::close_pending`] completes it once the end is
+    /// known and flushes everything that became ready.
+    fn open_pending(&mut self, start: usize) {
+        self.pending.push(PendingMatch { start, end: None });
+    }
+
+    fn close_pending(&mut self, end: usize) -> Result<(), Abort> {
+        let open = self
+            .pending
+            .iter_mut()
+            .rev()
+            .find(|p| p.end.is_none())
+            .expect("unbalanced pending-match close");
+        open.end = Some(end);
+        self.flush_pending()
+    }
+
+    /// Delivers queued matches from the front while their spans are
+    /// complete; stops at the first still-open container entry.
+    fn flush_pending(&mut self) -> Result<(), Abort> {
+        while let Some(p) = self.pending.get(self.flush_from) {
+            let Some(end) = p.end else { break };
+            let span = (p.start, end);
+            self.flush_from += 1;
+            self.emit_now(span)?;
+        }
+        if self.flush_from == self.pending.len() {
+            self.pending.clear();
+            self.flush_from = 0;
+        }
+        Ok(())
+    }
+
+    /// Descends into a container value (opener not yet consumed) whose
+    /// computed automaton state is `state`.
+    fn descend(&mut self, kind: ContainerKind, state: State) -> Result<(), Abort> {
+        self.cur.bump();
+        self.rt.enter(kind, state);
+        let r = match kind {
+            ContainerKind::Object => self.object(),
+            ContainerKind::Array => self.array(),
+        };
+        self.rt.exit();
+        r
+    }
+
+    /// [`Status::AcceptAndDescend`] on a container value: the container is
+    /// itself a result *and* must be searched. Emission is deferred through
+    /// the pending queue so the sink sees it before its interior matches.
+    fn descend_with_output(&mut self, kind: ContainerKind, state: State) -> Result<(), Abort> {
+        self.open_pending(self.cur.pos());
+        self.descend(kind, state)?;
+        self.close_pending(self.cur.pos())
     }
 
     fn record(&mut self) -> Result<(), Abort> {
@@ -502,6 +600,9 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                         self.cur.expect(b'{', "`{`")?;
                         self.object()?;
                     }
+                    // The root value has no enclosing selector, so it is
+                    // never simultaneously a result and a search frontier.
+                    Status::AcceptAndDescend => unreachable!("root cannot AcceptAndDescend"),
                 }
                 self.rt.exit();
             }
@@ -518,6 +619,7 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                         self.cur.expect(b'[', "`[`")?;
                         self.array()?;
                     }
+                    Status::AcceptAndDescend => unreachable!("root cannot AcceptAndDescend"),
                 }
                 self.rt.exit();
             }
@@ -539,13 +641,23 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
     fn object(&mut self) -> Result<(), Abort> {
         self.depth += 1;
         self.check_guards()?;
+        // Legality is a property of the frame's state set, which is fixed
+        // for the whole container scan: compute it once on entry.
+        let legal = self.rt.legality();
         let result = match self.rt.expected_type() {
             // Nothing in this object can match: drain to the end (a pure
             // over-skip, accounted as G2).
             None => self.finish_object(Group::G2),
-            Some(ExpectedType::Object) if self.config.g1 => self.object_typed(b'{'),
-            Some(ExpectedType::Array) if self.config.g1 => self.object_typed(b'['),
-            Some(_) => self.object_generic(),
+            Some(ExpectedType::Object) if self.config.g1 && legal.g1 => {
+                self.object_typed(b'{', legal)
+            }
+            Some(ExpectedType::Array) if self.config.g1 && legal.g1 => {
+                self.object_typed(b'[', legal)
+            }
+            // `ExpectedType::Unknown` lands here too: descendant and
+            // multi-position states have no single candidate type, so G1
+            // seeking is off and every attribute is examined.
+            Some(_) => self.object_generic(legal),
         };
         self.depth -= 1;
         result
@@ -553,7 +665,7 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
 
     /// Typed attribute loop: the query dictates that only attributes whose
     /// value opens with `open` can match, so G1 seeks them directly.
-    fn object_typed(&mut self, open: u8) -> Result<(), Abort> {
+    fn object_typed(&mut self, open: u8, legal: Legality) -> Result<(), Abort> {
         let kind = if open == b'{' {
             ContainerKind::Object
         } else {
@@ -584,7 +696,7 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                         go_over_ary(&mut self.cur, &mut self.stats, Group::G3)?
                     };
                     self.emit(span)?;
-                    if self.g4_applies() {
+                    if self.g4_applies(legal) {
                         return self.finish_object(Group::G4);
                     }
                 }
@@ -598,17 +710,37 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                     };
                     self.rt.exit();
                     r?;
-                    if self.g4_applies() {
+                    if self.g4_applies(legal) {
                         return self.finish_object(Group::G4);
                     }
+                }
+                // Unreachable in practice: the typed loop runs only for
+                // singleton non-descendant states (`legal.g1`), whose
+                // transitions never yield a set that both accepts and
+                // stays live. Handled anyway for robustness.
+                Status::AcceptAndDescend => {
+                    self.cur.skip_ws();
+                    let start = self.cur.pos();
+                    self.open_pending(start);
+                    self.cur.expect(open, "container opener")?;
+                    self.rt.enter(kind, state);
+                    let r = if open == b'{' {
+                        self.object()
+                    } else {
+                        self.array()
+                    };
+                    self.rt.exit();
+                    r?;
+                    self.close_pending(self.cur.pos())?;
                 }
             }
         }
     }
 
-    /// Generic attribute loop for the last path level, where the matching
-    /// value's type cannot be inferred.
-    fn object_generic(&mut self) -> Result<(), Abort> {
+    /// Generic attribute loop for states with no inferable candidate type:
+    /// the last path level, multi-position (descendant) sets, and wildcard
+    /// tails.
+    fn object_generic(&mut self, legal: Legality) -> Result<(), Abort> {
         loop {
             let t = self.cur.peek_token("attribute or `}`")?;
             match t {
@@ -633,35 +765,38 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                         Status::Accept => {
                             let span = self.skip_value(vb, Group::G3)?;
                             self.emit(span)?;
-                            if self.g4_applies() {
+                            if self.g4_applies(legal) {
                                 return self.finish_object(Group::G4);
                             }
                         }
                         Status::Matched => {
-                            // Reachable only through `.*` at the last level
-                            // combined with data that nests deeper than the
-                            // query; descend when the value is a container.
+                            // Reachable through `.*` at the last level and
+                            // below live descendant positions; descend when
+                            // the value is a container.
                             match vb {
-                                b'{' => {
-                                    self.cur.bump();
-                                    self.rt.enter(ContainerKind::Object, state);
-                                    let r = self.object();
-                                    self.rt.exit();
-                                    r?;
-                                }
-                                b'[' => {
-                                    self.cur.bump();
-                                    self.rt.enter(ContainerKind::Array, state);
-                                    let r = self.array();
-                                    self.rt.exit();
-                                    r?;
-                                }
+                                b'{' => self.descend(ContainerKind::Object, state)?,
+                                b'[' => self.descend(ContainerKind::Array, state)?,
                                 _ => {
                                     self.skip_value(vb, Group::G2)?;
                                 }
                             }
-                            if self.g4_applies() {
+                            if self.g4_applies(legal) {
                                 return self.finish_object(Group::G4);
+                            }
+                        }
+                        Status::AcceptAndDescend => {
+                            // G4 never applies after this status: it only
+                            // arises from a live descendant position, whose
+                            // legality is NONE.
+                            match vb {
+                                b'{' => self.descend_with_output(ContainerKind::Object, state)?,
+                                b'[' => self.descend_with_output(ContainerKind::Array, state)?,
+                                _ => {
+                                    // A primitive result has no interior to
+                                    // keep searching: plain skip-with-output.
+                                    let span = self.skip_value(vb, Group::G3)?;
+                                    self.emit(span)?;
+                                }
                             }
                         }
                     }
@@ -691,14 +826,16 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
             // Incompatible step kind: nothing here matches (G2 drain).
             return self.finish_array(Group::G2);
         };
+        let legal = self.rt.legality();
         let range = self.rt.index_range();
+        let input = self.cur.input();
         loop {
             let t = self.cur.peek_token("element or `]`")?;
             if t == b']' {
                 self.cur.bump();
                 return Ok(());
             }
-            if let Some((lo, hi)) = range.filter(|_| self.config.g5) {
+            if let Some((lo, hi)) = range.filter(|_| self.config.g5 && legal.g5) {
                 let c = self.rt.counter();
                 if c >= hi {
                     // G5: everything past the range is irrelevant.
@@ -713,7 +850,12 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                     continue;
                 }
             }
-            let (state, status) = self.rt.element_state();
+            // Filter predicates are probed against the candidate element's
+            // bytes; `peek_token` already skipped to its first byte.
+            let pos = self.cur.pos();
+            let (state, status) = self
+                .rt
+                .element_state_with(&mut |expr| jsonpath::filter::eval(expr, &input[pos..]));
             match status {
                 Status::Unmatched => {
                     self.skip_value(t, Group::G2)?;
@@ -722,24 +864,28 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
                     let span = self.skip_value(t, Group::G3)?;
                     self.emit(span)?;
                 }
+                Status::AcceptAndDescend => match t {
+                    b'{' => self.descend_with_output(ContainerKind::Object, state)?,
+                    b'[' => self.descend_with_output(ContainerKind::Array, state)?,
+                    _ => {
+                        // A primitive result has no interior to keep
+                        // searching: plain skip-with-output.
+                        let span = self.skip_value(t, Group::G3)?;
+                        self.emit(span)?;
+                    }
+                },
                 Status::Matched => match (expected, t) {
-                    (ExpectedType::Object, b'{') => {
-                        self.cur.bump();
-                        self.rt.enter(ContainerKind::Object, state);
-                        let r = self.object();
-                        self.rt.exit();
-                        r?;
-                    }
-                    (ExpectedType::Array, b'[') => {
-                        self.cur.bump();
-                        self.rt.enter(ContainerKind::Array, state);
-                        let r = self.array();
-                        self.rt.exit();
-                        r?;
-                    }
-                    (_, b'{') | (_, b'[') => {
+                    (ExpectedType::Array, b'{') | (ExpectedType::Object, b'[') => {
                         // Type-mismatched container element: G1 skip.
                         self.skip_value(t, Group::G1)?;
+                    }
+                    (_, b'{') => self.descend(ContainerKind::Object, state)?,
+                    (_, b'[') => self.descend(ContainerKind::Array, state)?,
+                    (ExpectedType::Unknown, _) => {
+                        // Below descendants/filters a primitive element can
+                        // still differ from its neighbors (e.g. `$..[2]`),
+                        // so scan only this one — no batch skip.
+                        self.skip_value(t, Group::G2)?;
                     }
                     _ => {
                         // Primitive elements cannot carry the match deeper:
@@ -827,10 +973,12 @@ impl<'a, F: FnMut(Match<'a>) -> ControlFlow<()>> Eval<'a, '_, F> {
         Ok(span)
     }
 
-    /// Whether G4 applies after a match at this object's level: only
-    /// uniquely-named child steps preclude further matches.
-    fn g4_applies(&self) -> bool {
-        self.config.g4 && matches!(self.rt.current_step(), Some(Step::Child(_)))
+    /// Whether G4 applies after a match at this object's level: only when
+    /// every live position is a uniquely-named child step ([`Legality::g4`]
+    /// of the frame, computed once on container entry) can no further
+    /// sibling match.
+    fn g4_applies(&self, legal: Legality) -> bool {
+        self.config.g4 && legal.g4
     }
 
     fn finish_object(&mut self, group: Group) -> Result<(), Abort> {
@@ -1056,6 +1204,138 @@ mod tests {
             matches_of("$.it[*].nm", json),
             vec!["\"a\"", "\"b\"", "\"c\""]
         );
+    }
+
+    #[test]
+    fn descendant_name_matches_at_every_depth() {
+        let json = r#"{"a": {"name": "x", "b": {"name": "y"}}, "name": "z"}"#;
+        assert_eq!(matches_of("$..name", json), vec!["\"x\"", "\"y\"", "\"z\""]);
+    }
+
+    #[test]
+    fn descendant_emits_enclosing_container_before_inner_match() {
+        let json = r#"{"a": {"a": 1}}"#;
+        assert_eq!(matches_of("$..a", json), vec![r#"{"a": 1}"#, "1"]);
+        let json = r#"{"a": {"x": {"a": {"a": 2}}}}"#;
+        assert_eq!(
+            matches_of("$..a", json),
+            vec![r#"{"x": {"a": {"a": 2}}}"#, r#"{"a": 2}"#, "2"]
+        );
+    }
+
+    #[test]
+    fn descendant_wildcard_selects_members_and_elements() {
+        let json = r#"{"a": [1, {"b": 2}]}"#;
+        assert_eq!(
+            matches_of("$..*", json),
+            vec![r#"[1, {"b": 2}]"#, "1", r#"{"b": 2}"#, "2"]
+        );
+    }
+
+    #[test]
+    fn descendant_with_trailing_child() {
+        let json = r#"{"x": {"a": {"b": 1}}, "a": {"b": 2}, "arr": [{"a": {"b": 3}}]}"#;
+        assert_eq!(matches_of("$..a.b", json), vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn descendant_index_applies_in_every_array() {
+        let json = r#"{"m": [[9, 8], [7]]}"#;
+        assert_eq!(matches_of("$..[0]", json), vec!["[9, 8]", "9", "7"]);
+    }
+
+    #[test]
+    fn name_union_selects_listed_names() {
+        let json = r#"{"a": 1, "b": 2, "c": 3}"#;
+        assert_eq!(matches_of("$['a','c']", json), vec!["1", "3"]);
+    }
+
+    #[test]
+    fn index_union_selects_listed_indices() {
+        let json = r#"[10, 20, 30, 40]"#;
+        assert_eq!(matches_of("$[1,3]", json), vec!["20", "40"]);
+        // Elements between union members are skipped, tail via G5.
+        let q = JsonSki::compile("$[1,3]").unwrap();
+        let long = br#"[10, 20, 30, 40, 50, 60, 70, 80]"#;
+        let stats = q.run(long, |_| {}).unwrap();
+        assert!(stats.skipped(Group::G5) > 0, "{stats}");
+    }
+
+    #[test]
+    fn filter_comparisons_select_matching_elements() {
+        let json = r#"{"items": [{"q": 5, "v": 1}, {"q": 9, "v": 2}, {"v": 3}]}"#;
+        assert_eq!(matches_of("$.items[?(@.q > 4)].v", json), vec!["1", "2"]);
+        assert_eq!(matches_of("$.items[?(@.q)].v", json), vec!["1", "2"]);
+        // RFC semantics: a missing comparable satisfies only `!=`.
+        assert_eq!(matches_of("$.items[?(@.q != 5)].v", json), vec!["2", "3"]);
+        assert_eq!(matches_of("$.items[?(@.q == 9)].v", json), vec!["2"]);
+    }
+
+    #[test]
+    fn filter_on_primitive_elements() {
+        let json = r#"{"xs": [1, 5, 2, 8]}"#;
+        assert_eq!(matches_of("$.xs[?(@ >= 5)]", json), vec!["5", "8"]);
+        let json = r#"{"xs": [{"a": 1}, 3, {"a": 2}]}"#;
+        assert_eq!(matches_of("$.xs[?(@.a)]", json).len(), 2);
+    }
+
+    #[test]
+    fn descendant_filter_combination() {
+        let json =
+            r#"{"a": {"xs": [{"q": 9, "v": 1}, {"q": 1, "v": 2}]}, "xs": [{"q": 7, "v": 3}]}"#;
+        assert_eq!(matches_of("$..[?(@.q > 5)].v", json), vec!["1", "3"]);
+    }
+
+    #[test]
+    fn sink_break_mid_pending_flush_stops_scan() {
+        let json = br#"{"a": {"a": {"a": 1}}}"#;
+        let q = JsonSki::compile("$..a").unwrap();
+        let mut seen = Vec::new();
+        let outcome = q
+            .stream(json, |m| {
+                seen.push(m.bytes().to_vec());
+                ControlFlow::Break(())
+            })
+            .unwrap();
+        assert!(outcome.stopped);
+        assert_eq!(seen, vec![br#"{"a": {"a": 1}}"#.to_vec()]);
+    }
+
+    #[test]
+    fn descendant_legality_records_zero_g1_g4_g5() {
+        let json = r#"{"a": [0, 1, 2, {"name": "x"}], "b": {"name": "y", "tail": [1, 2, 3]}}"#;
+        let q = JsonSki::compile("$..name").unwrap();
+        let stats = q.run(json.as_bytes(), |_| {}).unwrap();
+        assert_eq!(stats.skipped(Group::G1), 0, "{stats}");
+        assert_eq!(stats.skipped(Group::G4), 0, "{stats}");
+        assert_eq!(stats.skipped(Group::G5), 0, "{stats}");
+    }
+
+    #[test]
+    fn descendant_legality_flows_through_metrics() {
+        // The per-group skip counters surface through the instrumented
+        // path unchanged: a descendant query must leave the G1/G4/G5
+        // metrics at zero, while the same document under a plain child
+        // query records G4 skips.
+        use crate::evaluate::{Evaluate, MatchSink};
+        struct Null;
+        impl MatchSink for Null {
+            fn on_match(&mut self, _m: crate::Match<'_>) -> ControlFlow<()> {
+                ControlFlow::Continue(())
+            }
+        }
+        let json = br#"{"a": [0, 1, 2, {"name": "x"}], "b": {"name": "y", "tail": [1, 2, 3]}}"#;
+        let metrics = crate::Metrics::new();
+        let q = JsonSki::compile("$..name").unwrap();
+        q.evaluate_metered(json, 0, &mut Null, &metrics);
+        let snap = metrics.snapshot();
+        for g in [Group::G1, Group::G4, Group::G5] {
+            assert_eq!(snap.ff_skipped(g), 0, "{g:?} fired under a descendant");
+        }
+        let metrics = crate::Metrics::new();
+        let q = JsonSki::compile("$.b.name").unwrap();
+        q.evaluate_metered(json, 0, &mut Null, &metrics);
+        assert!(metrics.snapshot().ff_skipped(Group::G4) > 0);
     }
 
     #[test]

@@ -222,6 +222,160 @@ impl Gen {
     }
 }
 
+/// Grammar-aware JSONPath query generator over the same key pool as
+/// [`Gen`], deterministic in its seed.
+///
+/// Covers the full grammar: child steps, wildcards, indexes, slices,
+/// descendant `..` (wrapping a child, wildcard, or index), name and index
+/// unions, and comparison filters whose `@`-paths reference the key pool.
+/// Depth is bounded (at most [`QueryGen::MAX_STEPS`] steps, at most two
+/// descendants) so generated queries stay far from the automaton's
+/// position-set limit, and every emitted string parses.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: SplitMix64,
+}
+
+impl QueryGen {
+    /// Step budget per generated query.
+    pub const MAX_STEPS: usize = 5;
+
+    /// Creates a generator for one query.
+    pub fn new(seed: u64) -> Self {
+        QueryGen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Generates one syntactically valid JSONPath query.
+    pub fn query(&mut self) -> String {
+        let mut out = String::from("$");
+        let n = self.rng.below(Self::MAX_STEPS as u64 + 1);
+        let mut descendants = 0;
+        for _ in 0..n {
+            let roll = self.rng.below(10);
+            if roll < 2 && descendants < 2 {
+                descendants += 1;
+                out.push_str("..");
+                match self.rng.below(3) {
+                    0 => out.push_str(self.key()),
+                    1 => out.push('*'),
+                    _ => out.push_str(&format!("[{}]", self.rng.below(4))),
+                }
+            } else {
+                self.simple_step(&mut out);
+            }
+        }
+        out
+    }
+
+    fn simple_step(&mut self, out: &mut String) {
+        match self.rng.below(8) {
+            0 | 1 => {
+                out.push('.');
+                out.push_str(self.key());
+            }
+            2 => out.push_str(".*"),
+            3 => out.push_str(&format!("[{}]", self.rng.below(4))),
+            4 => {
+                let a = self.rng.below(3);
+                let d = 1 + self.rng.below(3);
+                out.push_str(&format!("[{a}:{}]", a + d));
+            }
+            5 => out.push_str("[*]"),
+            6 => match self.rng.below(2) {
+                0 => {
+                    let a = self.key();
+                    let b = self.key();
+                    out.push_str(&format!("['{a}','{b}']"));
+                }
+                _ => {
+                    let a = self.rng.below(3);
+                    let d = 1 + self.rng.below(3);
+                    out.push_str(&format!("[{a},{}]", a + d));
+                }
+            },
+            _ => self.filter_step(out),
+        }
+    }
+
+    fn filter_step(&mut self, out: &mut String) {
+        let at = match self.rng.below(3) {
+            0 => String::from("@"),
+            1 => format!("@.{}", self.key()),
+            _ => format!("@[{}]", self.rng.below(3)),
+        };
+        let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.below(6) as usize];
+        let lit = match self.rng.below(4) {
+            0 => format!("{}", self.rng.next_u64() as i16),
+            1 => format!("'{}'", self.key()),
+            2 => String::from("true"),
+            _ => String::from("null"),
+        };
+        out.push_str(&format!("[?({at} {op} {lit})]"));
+    }
+
+    fn key(&mut self) -> &'static str {
+        KEYS[self.rng.below(KEYS.len() as u64) as usize]
+    }
+}
+
+/// Delta-debugging shrinker over the *query* space: removes whole steps,
+/// then simplifies the survivors (descendant → its inner step, filter →
+/// `[*]`, unions → their first branch, wildcards → a pool key) as long as
+/// `still_fails` keeps returning `true`. The result always parses.
+pub fn shrink_query(query: &str, mut still_fails: impl FnMut(&str) -> bool) -> String {
+    use jsonpath::{Path, Step};
+
+    let render = |steps: &[Step]| Path::new(steps.to_vec()).to_string();
+    let Ok(path) = query.parse::<Path>() else {
+        return query.to_string();
+    };
+    let mut steps: Vec<Step> = path.steps().to_vec();
+
+    // Phase 1: drop runs of steps, halving the chunk like byte-level ddmin.
+    let mut chunk = steps.len().max(1) / 2;
+    while chunk > 0 {
+        let mut at = 0;
+        while at + chunk <= steps.len() {
+            let mut cand = steps.clone();
+            cand.drain(at..at + chunk);
+            if still_fails(&render(&cand)) {
+                steps = cand;
+            } else {
+                at += chunk;
+            }
+        }
+        chunk /= 2;
+    }
+
+    // Phase 2: simplify each surviving step to a cheaper construct.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..steps.len() {
+            let simpler: Option<Step> = match &steps[i] {
+                Step::Descendant(inner) => Some((**inner).clone()),
+                Step::Filter(_) => Some(Step::AnyElement),
+                Step::NameUnion(names) => names.first().cloned().map(Step::Child),
+                Step::IndexUnion(idxs) => idxs.first().copied().map(Step::Index),
+                Step::Slice(a, _) => Some(Step::Index(*a)),
+                Step::AnyChild => Some(Step::Child(KEYS[0].to_string())),
+                _ => None,
+            };
+            if let Some(s) = simpler {
+                let mut cand = steps.clone();
+                cand[i] = s;
+                if cand[i] != steps[i] && still_fails(&render(&cand)) {
+                    steps = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    render(&steps)
+}
+
 /// Byte offsets strictly inside a string literal where a fault can be
 /// spliced without being reinterpreted by surrounding syntax: the validator
 /// is at its plain in-string state there, the byte at the offset is ASCII
@@ -574,6 +728,70 @@ mod tests {
             }
         }
         assert!(faults > 60, "only {faults}/300 cases were labeled faults");
+    }
+
+    #[test]
+    fn query_generator_always_parses_and_covers_the_grammar() {
+        use jsonpath::{Path, Step};
+        let (mut desc, mut filt, mut uni, mut wild) = (0, 0, 0, 0);
+        for seed in 0..500 {
+            let q = QueryGen::new(seed).query();
+            let path: Path = q
+                .parse()
+                .unwrap_or_else(|e| panic!("seed {seed}: {q}: {e}"));
+            assert!(path.len() <= QueryGen::MAX_STEPS, "{q}");
+            for s in path.steps() {
+                match s {
+                    Step::Descendant(_) => desc += 1,
+                    Step::Filter(_) => filt += 1,
+                    Step::NameUnion(_) | Step::IndexUnion(_) => uni += 1,
+                    Step::AnyChild | Step::AnyElement => wild += 1,
+                    _ => {}
+                }
+            }
+        }
+        // Every construct of the extended grammar must actually appear.
+        assert!(desc > 50, "descendants: {desc}");
+        assert!(filt > 50, "filters: {filt}");
+        assert!(uni > 30, "unions: {uni}");
+        assert!(wild > 50, "wildcards: {wild}");
+    }
+
+    #[test]
+    fn query_shrinker_minimizes_over_the_new_grammar() {
+        // Predicate: query still matches something in this document. The
+        // descendant is load-bearing (the `a` is nested), everything else
+        // should shrink away.
+        let doc: &[u8] = br#"{"x": {"y": {"a": 1}}, "tags": [2, 3]}"#;
+        let fails = |q: &str| {
+            crate::JsonSki::compile(q)
+                .ok()
+                .and_then(|e| e.matches(doc).ok())
+                .map(|ms| !ms.is_empty() && ms.iter().all(|m| m.as_raw() == b"1"))
+                .unwrap_or(false)
+        };
+        let noisy = "$..*..a";
+        assert!(fails(noisy));
+        let small = shrink_query(noisy, fails);
+        assert!(fails(&small), "shrunk query no longer fails: {small}");
+        assert!(small.len() < noisy.len(), "shrinker removed nothing");
+        // The descendant is the witness: a plain `.a` would miss the
+        // nested key, so at least one `..` must survive.
+        assert!(small.contains(".."), "{small}");
+
+        // A filter that is the failure witness survives simplification.
+        let doc2: &[u8] = br#"[{"q": 9}, {"q": 1}]"#;
+        let fails2 = |q: &str| {
+            crate::JsonSki::compile(q)
+                .map(|e| e.matches(doc2).map(|m| m.len()).unwrap_or(0) == 1)
+                .unwrap_or(false)
+        };
+        let small2 = shrink_query("$[?(@.q > 4)].*[0]..x", fails2);
+        assert!(fails2(&small2), "{small2}");
+        assert!(
+            small2.contains("?(@.q"),
+            "filter was load-bearing: {small2}"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::ops::ControlFlow;
 
-use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status, Step};
+use jsonpath::{ContainerKind, ParsePathError, Path, Runtime, State, Status};
 
 use crate::cursor::Cursor;
 use crate::error::StreamError;
@@ -135,6 +135,8 @@ impl MultiQuery {
             sink,
             matches: 0,
             depth: 0,
+            pending: Vec::new(),
+            flush_from: 0,
             max_depth: self.limits.max_depth,
             deadline: self.limits.deadline.map(|d| std::time::Instant::now() + d),
         };
@@ -206,6 +208,17 @@ impl From<StreamError> for Abort {
     }
 }
 
+/// A deferred match (see the single-query engine's `PendingMatch`): under
+/// descendant queries an accepted container must reach the sink before the
+/// matches found inside it, but its span completes only after traversal.
+/// Entries carry the owning query index; same-span entries emit in query
+/// order.
+struct PendingMatch {
+    idx: usize,
+    start: usize,
+    end: Option<usize>,
+}
+
 struct MultiEval<'a, 'p, F> {
     cur: Cursor<'a>,
     rts: Vec<Runtime<'p>>,
@@ -213,6 +226,11 @@ struct MultiEval<'a, 'p, F> {
     sink: F,
     matches: usize,
     depth: usize,
+    /// Deferred matches; `flush_from` indexes the first entry not yet
+    /// delivered. Empty whenever no descendant container is mid-traversal,
+    /// so descendant-free query sets always emit immediately.
+    pending: Vec<PendingMatch>,
+    flush_from: usize,
     max_depth: usize,
     deadline: Option<std::time::Instant>,
 }
@@ -235,12 +253,66 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
         Ok(())
     }
 
+    /// Emits a completed span, or queues it while an enclosing accepted
+    /// container's entry is still open (pre-order: the container first).
     fn emit(&mut self, idx: usize, span: Span) -> Result<(), Abort> {
+        if self.flush_from == self.pending.len() {
+            self.emit_now(idx, span)
+        } else {
+            self.pending.push(PendingMatch {
+                idx,
+                start: span.0,
+                end: Some(span.1),
+            });
+            Ok(())
+        }
+    }
+
+    fn emit_now(&mut self, idx: usize, span: Span) -> Result<(), Abort> {
         self.matches += 1;
         match (self.sink)(idx, Match::new(0, self.cur.input(), span)) {
             ControlFlow::Continue(()) => Ok(()),
             ControlFlow::Break(()) => Err(Abort::Stop),
         }
+    }
+
+    /// Opens a pending entry for query `idx` accepting the container that
+    /// starts at `start` and is about to be descended.
+    fn open_pending(&mut self, idx: usize, start: usize) {
+        self.pending.push(PendingMatch {
+            idx,
+            start,
+            end: None,
+        });
+    }
+
+    /// Completes the last `opened` open entries with `end` and flushes
+    /// every queued match whose span is now known.
+    fn close_pending(&mut self, opened: usize, end: usize) -> Result<(), Abort> {
+        if opened > 0 {
+            let mut left = opened;
+            for p in self.pending.iter_mut().rev() {
+                if p.end.is_none() {
+                    p.end = Some(end);
+                    left -= 1;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(left, 0, "unbalanced pending-match close");
+        }
+        while let Some(p) = self.pending.get(self.flush_from) {
+            let Some(end) = p.end else { break };
+            let (idx, span) = (p.idx, (p.start, end));
+            self.flush_from += 1;
+            self.emit_now(idx, span)?;
+        }
+        if self.flush_from == self.pending.len() {
+            self.pending.clear();
+            self.flush_from = 0;
+        }
+        Ok(())
     }
 
     fn record(&mut self) -> Result<(), Abort> {
@@ -273,11 +345,21 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
         let any_matched = statuses.contains(&Status::Matched);
         let start = self.cur.pos();
         if any_matched {
+            // Pre-order: `$` queries see the whole record before any inner
+            // match another query finds during the descent.
+            let mut opened = 0usize;
+            for (i, &s) in statuses.iter().enumerate() {
+                if s == Status::Accept {
+                    self.open_pending(i, start);
+                    opened += 1;
+                }
+            }
             self.cur.bump(); // consume the opener
             match kind {
                 ContainerKind::Object => self.object()?,
                 ContainerKind::Array => self.array()?,
             }
+            self.close_pending(opened, self.cur.pos())?;
         } else {
             let any_accept = statuses.contains(&Status::Accept);
             let group = if any_accept { Group::G3 } else { Group::G2 };
@@ -285,11 +367,11 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
                 ContainerKind::Object => go_over_obj(&mut self.cur, &mut self.stats, group)?,
                 ContainerKind::Array => go_over_ary(&mut self.cur, &mut self.stats, group)?,
             };
-        }
-        let end = self.cur.pos();
-        for (i, &s) in statuses.iter().enumerate() {
-            if s == Status::Accept {
-                self.emit(i, (start, end))?;
+            let end = self.cur.pos();
+            for (i, &s) in statuses.iter().enumerate() {
+                if s == Status::Accept {
+                    self.emit(i, (start, end))?;
+                }
             }
         }
         for rt in &mut self.rts {
@@ -308,16 +390,11 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
 
     fn object_body(&mut self) -> Result<(), Abort> {
         // `done[i]`: query `i` cannot match any further attribute of this
-        // object (its frame is dead, its step is an array step, or its
-        // uniquely-named child step already matched here).
-        let mut done: Vec<bool> = self
-            .rts
-            .iter()
-            .map(|rt| match rt.current_step() {
-                Some(s) => !s.is_object_step(),
-                None => true,
-            })
-            .collect();
+        // object. Frames are pruned on entry, so a live state here holds
+        // only object-capable positions — dead (UNMATCHED) is exactly
+        // "nothing in this object can match". A uniquely-named child match
+        // flips the flag below.
+        let mut done: Vec<bool> = self.rts.iter().map(Runtime::is_unmatched).collect();
         loop {
             if done.iter().all(|&d| d) {
                 // Multi-query G4: nobody can match below this point.
@@ -347,9 +424,10 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
                     let vb = self.cur.peek_token("attribute value")?;
                     self.handle_value(vb, &decisions)?;
                     for (i, (_, status)) in decisions.iter().enumerate() {
-                        if *status != Status::Unmatched
-                            && matches!(self.rts[i].current_step(), Some(Step::Child(_)))
-                        {
+                        // Per-state G4 legality: every live position must be
+                        // a uniquely-named child step for a match here to
+                        // preclude later sibling matches.
+                        if *status != Status::Unmatched && self.rts[i].legality().g4 {
                             done[i] = true;
                         }
                     }
@@ -376,14 +454,11 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
     fn array_body(&mut self) -> Result<(), Abort> {
         // Highest index any query can still select, for the multi-query
         // variant of G5 (skip the array tail once every range is exhausted).
-        let upper_bounds: Vec<Option<usize>> = self
-            .rts
-            .iter()
-            .map(|rt| match rt.current_step() {
-                Some(s) if s.is_array_step() => s.index_range().map(|(_, hi)| hi),
-                Some(_) | None => Some(0), // cannot match at any index
-            })
-            .collect();
+        // `array_upper_bound` conjoins over each query's live position set:
+        // `Some(0)` for dead frames, `None` (no skip) under wildcards,
+        // filters, or descendants.
+        let upper_bounds: Vec<Option<usize>> =
+            self.rts.iter().map(Runtime::array_upper_bound).collect();
         let hard_limit: Option<usize> = upper_bounds
             .iter()
             .copied()
@@ -402,8 +477,17 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
                     return Ok(());
                 }
             }
-            let decisions: Vec<(State, Status)> =
-                self.rts.iter().map(|rt| rt.element_state()).collect();
+            // Filter predicates are probed against the candidate element's
+            // bytes (`peek_token` already skipped to its first byte).
+            let input = self.cur.input();
+            let pos = self.cur.pos();
+            let decisions: Vec<(State, Status)> = self
+                .rts
+                .iter()
+                .map(|rt| {
+                    rt.element_state_with(&mut |expr| jsonpath::filter::eval(expr, &input[pos..]))
+                })
+                .collect();
             self.handle_value(t, &decisions)?;
             let d = self.cur.peek_token("`,` or `]`")?;
             match d {
@@ -430,12 +514,25 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
 
     /// Processes one value given every query's decision for it: skips it
     /// bit-parallel when unanimous, descends when any query progresses, and
-    /// emits it to every accepting query.
+    /// emits it to every accepting query (in pre-order: a container result
+    /// reaches the sink before anything found inside it).
     fn handle_value(&mut self, vb: u8, decisions: &[(State, Status)]) -> Result<(), Abort> {
-        let any_matched = decisions.iter().any(|d| d.1 == Status::Matched);
-        let any_accept = decisions.iter().any(|d| d.1 == Status::Accept);
+        let is_container = vb == b'{' || vb == b'[';
+        let any_descend = decisions
+            .iter()
+            .any(|d| matches!(d.1, Status::Matched | Status::AcceptAndDescend));
         let start = self.cur.pos();
-        let span: Span = if any_matched && (vb == b'{' || vb == b'[') {
+        if any_descend && is_container {
+            // Accepting queries' spans complete only after the traversal:
+            // defer them through the pending queue so they still precede
+            // the matches the descent produces.
+            let mut opened = 0usize;
+            for (i, d) in decisions.iter().enumerate() {
+                if matches!(d.1, Status::Accept | Status::AcceptAndDescend) {
+                    self.open_pending(i, start);
+                    opened += 1;
+                }
+            }
             self.cur.bump();
             let kind = if vb == b'{' {
                 ContainerKind::Object
@@ -454,21 +551,26 @@ impl<'a, F: FnMut(usize, Match<'a>) -> ControlFlow<()>> MultiEval<'a, '_, F> {
                 rt.exit();
             }
             r?;
-            (start, self.cur.pos())
+            self.close_pending(opened, self.cur.pos())
         } else {
+            // No query needs the interior (an `AcceptAndDescend` primitive
+            // has none): one shared skip, G3 when anyone takes the value.
+            let any_accept = decisions
+                .iter()
+                .any(|d| matches!(d.1, Status::Accept | Status::AcceptAndDescend));
             let group = if any_accept { Group::G3 } else { Group::G2 };
-            match vb {
+            let span = match vb {
                 b'{' => go_over_obj(&mut self.cur, &mut self.stats, group)?,
                 b'[' => go_over_ary(&mut self.cur, &mut self.stats, group)?,
                 _ => go_over_primitive(&mut self.cur, &mut self.stats, group)?,
+            };
+            for (i, d) in decisions.iter().enumerate() {
+                if matches!(d.1, Status::Accept | Status::AcceptAndDescend) {
+                    self.emit(i, span)?;
+                }
             }
-        };
-        for (i, d) in decisions.iter().enumerate() {
-            if d.1 == Status::Accept {
-                self.emit(i, span)?;
-            }
+            Ok(())
         }
-        Ok(())
     }
 }
 
@@ -570,7 +672,35 @@ mod tests {
 
     #[test]
     fn compile_error_propagates() {
-        assert!(MultiQuery::compile(&["$.ok", "$..bad"]).is_err());
+        assert!(MultiQuery::compile(&["$.ok", "$.bad["]).is_err());
+    }
+
+    #[test]
+    fn descendant_and_filter_queries_share_the_pass() {
+        let json = br#"{
+            "a": {"name": "x", "b": {"name": "y"}},
+            "items": [{"v": 1, "q": 5}, {"v": 2, "q": 9}, {"v": 3}]
+        }"#;
+        let queries = ["$..name", "$.items[?(@.q > 4)].v", "$.a.name"];
+        let mq = MultiQuery::compile(&queries).unwrap();
+        assert_eq!(mq.counts(json).unwrap(), individual_counts(&queries, json));
+        let mut got: Vec<Vec<Vec<u8>>> = vec![Vec::new(); queries.len()];
+        mq.run(json, |i, m| got[i].push(m.bytes().to_vec()))
+            .unwrap();
+        assert_eq!(got[0], vec![b"\"x\"".to_vec(), b"\"y\"".to_vec()]);
+        assert_eq!(got[1], vec![b"1".to_vec(), b"2".to_vec()]);
+        assert_eq!(got[2], vec![b"\"x\"".to_vec()]);
+    }
+
+    #[test]
+    fn overlapping_descendant_emits_pre_order() {
+        // `$..a` takes both the outer container and the inner value; the
+        // outer (enclosing) match must reach the sink first.
+        let json = br#"{"a": {"a": 1}}"#;
+        let mq = MultiQuery::compile(&["$..a"]).unwrap();
+        let mut got = Vec::new();
+        mq.run(json, |_, m| got.push(m.bytes().to_vec())).unwrap();
+        assert_eq!(got, vec![br#"{"a": 1}"#.to_vec(), b"1".to_vec()]);
     }
 
     #[test]

@@ -1,38 +1,63 @@
 //! Top-down tree traversal query evaluation (paper Figure 3-(a)).
+//!
+//! The walker carries the query automaton's position set ([`State`]) down
+//! the tree, calling the shared transition functions ([`Path::on_key`],
+//! [`Path::on_element`], [`Path::prune_state`]) at each edge. Matches are
+//! emitted *before* recursing into the node so the output order is
+//! span-start ascending (pre-order), byte-identical to the streaming
+//! engines. Filter predicates probe the node's source bytes via its span.
 
-use jsonpath::Step;
+use jsonpath::{ContainerKind, Path, State, Status};
 
 use crate::value::{Value, ValueKind};
 
-/// Recursively collects nodes matching the remaining `steps`, in document
-/// order.
-pub(crate) fn collect_matches<'v>(node: &'v Value, steps: &[Step], out: &mut Vec<&'v Value>) {
-    let Some((step, rest)) = steps.split_first() else {
-        out.push(node);
-        return;
-    };
-    match (step, &node.kind) {
-        (Step::Child(name), ValueKind::Object(fields)) => {
+/// Recursively collects nodes whose automaton state accepts, in pre-order.
+///
+/// `state` is the *value* state of `node` as produced by `on_key` /
+/// `on_element` (it may carry the accept bit); it is pruned here before
+/// scanning the node's members.
+pub(crate) fn collect_matches<'v>(
+    path: &Path,
+    input: &[u8],
+    node: &'v Value,
+    state: State,
+    out: &mut Vec<&'v Value>,
+) {
+    match path.status_of(state) {
+        Status::Unmatched => return,
+        Status::Accept => {
+            out.push(node);
+            return;
+        }
+        Status::AcceptAndDescend => out.push(node),
+        Status::Matched => {}
+    }
+    match &node.kind {
+        ValueKind::Object(fields) => {
+            let set = path.prune_state(state, ContainerKind::Object);
+            if set.is_unmatched() {
+                return;
+            }
             for (k, v) in fields {
-                // Keys are stored raw; compare escape-aware like all engines.
-                if jsonpath::names::matches(k.as_bytes(), name) {
-                    collect_matches(v, rest, out);
-                }
+                // Keys are stored raw; the transition compares escape-aware
+                // like all engines.
+                let vs = path.on_key(set, k.as_bytes());
+                collect_matches(path, input, v, vs, out);
             }
         }
-        (Step::AnyChild, ValueKind::Object(fields)) => {
-            for (_, v) in fields {
-                collect_matches(v, rest, out);
+        ValueKind::Array(items) => {
+            let set = path.prune_state(state, ContainerKind::Array);
+            if set.is_unmatched() {
+                return;
             }
-        }
-        (Step::Index(_) | Step::Slice(_, _) | Step::AnyElement, ValueKind::Array(items)) => {
             for (i, v) in items.iter().enumerate() {
-                if step.selects_index(i) {
-                    collect_matches(v, rest, out);
-                }
+                let vs = path.on_element(set, i, &mut |expr| {
+                    jsonpath::filter::eval(expr, &input[v.span().0..])
+                });
+                collect_matches(path, input, v, vs, out);
             }
         }
-        _ => {} // kind mismatch: no matches below this node
+        _ => {} // primitive: nothing below to extend a live position
     }
 }
 
@@ -94,5 +119,40 @@ mod tests {
         let json = br#"{"a": 1, "a": 2}"#;
         let dom = Dom::parse(json).unwrap();
         assert_eq!(texts(&dom, "$.a"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn descendant_matches_every_depth_in_pre_order() {
+        let json = br#"{"a": {"a": 1}, "b": [{"a": 2}], "c": 3}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$..a"), vec![r#"{"a": 1}"#, "1", "2"]);
+        assert_eq!(texts(&dom, "$..b[0].a"), vec!["2"]);
+    }
+
+    #[test]
+    fn descendant_index_applies_in_every_array() {
+        let json = br#"{"x": [[9, 8], [7]], "y": [6]}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$..[0]"), vec!["[9, 8]", "9", "7", "6"]);
+    }
+
+    #[test]
+    fn unions_select_listed_members() {
+        let json = br#"{"a": 1, "b": 2, "c": 3}"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$['a','c']"), vec!["1", "3"]);
+        let arr = br#"[10, 20, 30, 40]"#;
+        let dom = Dom::parse(arr).unwrap();
+        assert_eq!(texts(&dom, "$[0,2]"), vec!["10", "30"]);
+    }
+
+    #[test]
+    fn filters_probe_element_bytes() {
+        let json = br#"[{"x": 1}, {"x": 5}, {"y": 9}]"#;
+        let dom = Dom::parse(json).unwrap();
+        assert_eq!(texts(&dom, "$[?(@.x > 2)]"), vec![r#"{"x": 5}"#]);
+        let prims = br#"[1, "two", 3]"#;
+        let dom = Dom::parse(prims).unwrap();
+        assert_eq!(texts(&dom, "$[?(@ == 3)]"), vec!["3"]);
     }
 }

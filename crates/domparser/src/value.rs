@@ -165,7 +165,7 @@ impl<'a> Dom<'a> {
     /// nodes in document order.
     pub fn query(&self, path: &Path) -> Vec<&Value> {
         let mut out = Vec::new();
-        collect_matches(&self.root, path.steps(), &mut out);
+        collect_matches(path, self.input, &self.root, path.root_state(), &mut out);
         out
     }
 

@@ -130,6 +130,8 @@ impl JpStream {
             sink: &mut sink,
             matches: 0,
             depth: 0,
+            pending: Vec::new(),
+            flush_from: 0,
         };
         let stopped = match ev.record() {
             Ok(()) => false,
@@ -205,6 +207,15 @@ fn abort(message: &'static str, pos: usize) -> Abort {
     Abort::Err(JpError::new(message, pos))
 }
 
+/// A match deferred to preserve pre-order (span-start ascending): an
+/// accepted container reaches the sink before the matches found inside it
+/// (possible under descendant steps), but its span completes only after the
+/// detailed traversal. `end == None` marks a still-open container entry.
+struct PendingMatch {
+    start: usize,
+    end: Option<usize>,
+}
+
 struct Eval<'a, 'p, 's> {
     input: &'a [u8],
     pos: usize,
@@ -212,15 +223,56 @@ struct Eval<'a, 'p, 's> {
     sink: &'s mut dyn FnMut(&'a [u8]) -> ControlFlow<()>,
     matches: usize,
     depth: usize,
+    pending: Vec<PendingMatch>,
+    flush_from: usize,
 }
 
 impl<'a> Eval<'a, '_, '_> {
+    /// Emits a completed span, or queues it while an enclosing accepted
+    /// container's entry is still open (the container must go first).
     fn emit(&mut self, start: usize, end: usize) -> Result<(), Abort> {
+        if self.flush_from == self.pending.len() {
+            self.emit_now(start, end)
+        } else {
+            self.pending.push(PendingMatch {
+                start,
+                end: Some(end),
+            });
+            Ok(())
+        }
+    }
+
+    fn emit_now(&mut self, start: usize, end: usize) -> Result<(), Abort> {
         self.matches += 1;
         match (self.sink)(&self.input[start..end]) {
             ControlFlow::Continue(()) => Ok(()),
             ControlFlow::Break(()) => Err(Abort::Stop),
         }
+    }
+
+    fn open_pending(&mut self, start: usize) {
+        self.pending.push(PendingMatch { start, end: None });
+    }
+
+    fn close_pending(&mut self, end: usize) -> Result<(), Abort> {
+        let open = self
+            .pending
+            .iter_mut()
+            .rev()
+            .find(|p| p.end.is_none())
+            .expect("unbalanced pending-match close");
+        open.end = Some(end);
+        while let Some(p) = self.pending.get(self.flush_from) {
+            let Some(end) = p.end else { break };
+            let start = p.start;
+            self.flush_from += 1;
+            self.emit_now(start, end)?;
+        }
+        if self.flush_from == self.pending.len() {
+            self.pending.clear();
+            self.flush_from = 0;
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -276,15 +328,19 @@ impl<'a> Eval<'a, '_, '_> {
         Ok(())
     }
 
-    /// Parses an object in full detail. `emit_whole` marks the object itself
-    /// as an accepted output (its span is emitted after traversal — the
-    /// detailed scan cannot skip ahead).
-    fn object(&mut self, emit_whole: bool) -> Result<(), Abort> {
+    /// Parses an object in full detail. `accepted` marks the object itself
+    /// as a query result: its emission is deferred through the pending
+    /// queue so it still precedes any match the traversal finds inside it
+    /// (possible under descendant steps).
+    fn object(&mut self, accepted: bool) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             return Err(abort("nesting too deep", self.pos));
         }
         let start = self.pos - 1;
+        if accepted {
+            self.open_pending(start);
+        }
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -308,25 +364,34 @@ impl<'a> Eval<'a, '_, '_> {
                 }
             }
         }
-        if emit_whole {
-            self.emit(start, self.pos)?;
+        if accepted {
+            self.close_pending(self.pos)?;
         }
         self.depth -= 1;
         Ok(())
     }
 
-    fn array(&mut self, emit_whole: bool) -> Result<(), Abort> {
+    fn array(&mut self, accepted: bool) -> Result<(), Abort> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             return Err(abort("nesting too deep", self.pos));
         }
         let start = self.pos - 1;
+        if accepted {
+            self.open_pending(start);
+        }
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
         } else {
             loop {
-                let (state, status) = self.rt.element_state();
+                // Filter predicates probe the candidate element's bytes.
+                self.skip_ws();
+                let pos = self.pos;
+                let input = self.input;
+                let (state, status) = self
+                    .rt
+                    .element_state_with(&mut |expr| jsonpath::filter::eval(expr, &input[pos..]));
                 self.value_with(state, status)?;
                 self.skip_ws();
                 match self.peek() {
@@ -342,8 +407,8 @@ impl<'a> Eval<'a, '_, '_> {
                 }
             }
         }
-        if emit_whole {
-            self.emit(start, self.pos)?;
+        if accepted {
+            self.close_pending(self.pos)?;
         }
         self.depth -= 1;
         Ok(())
@@ -352,26 +417,27 @@ impl<'a> Eval<'a, '_, '_> {
     /// Parses one value, pushing/popping the automaton around containers.
     /// Every value is parsed in full detail regardless of its status.
     fn value_with(&mut self, state: jsonpath::State, status: Status) -> Result<(), Abort> {
+        let accepted = matches!(status, Status::Accept | Status::AcceptAndDescend);
         self.skip_ws();
         match self.peek() {
             Some(b'{') => {
                 self.pos += 1;
                 self.rt.enter(ContainerKind::Object, state);
-                let r = self.object(status == Status::Accept);
+                let r = self.object(accepted);
                 self.rt.exit();
                 r
             }
             Some(b'[') => {
                 self.pos += 1;
                 self.rt.enter(ContainerKind::Array, state);
-                let r = self.array(status == Status::Accept);
+                let r = self.array(accepted);
                 self.rt.exit();
                 r
             }
             Some(_) => {
                 let start = self.pos;
                 self.primitive()?;
-                if status == Status::Accept {
+                if accepted {
                     self.emit(start, self.pos)?;
                 }
                 Ok(())
@@ -564,6 +630,28 @@ mod tests {
         let json = r#"{"a": [10, 20, 30, 40, 50]}"#;
         assert_eq!(matches_of("$.a[3]", json), vec!["40"]);
     }
+    #[test]
+    fn descendant_matches_every_depth_in_pre_order() {
+        let json = r#"{"a": {"a": 1}, "b": [{"a": 2}]}"#;
+        assert_eq!(matches_of("$..a", json), vec![r#"{"a": 1}"#, "1", "2"]);
+        let json = r#"{"a": [1, {"b": 2}]}"#;
+        assert_eq!(
+            matches_of("$..*", json),
+            vec![r#"[1, {"b": 2}]"#, "1", r#"{"b": 2}"#, "2"]
+        );
+    }
+
+    #[test]
+    fn unions_and_filters() {
+        let json = r#"{"a": 1, "b": 2, "c": 3}"#;
+        assert_eq!(matches_of("$['a','c']", json), vec!["1", "3"]);
+        let json = r#"[10, 20, 30, 40]"#;
+        assert_eq!(matches_of("$[1,3]", json), vec!["20", "40"]);
+        let json = r#"{"items": [{"q": 5, "v": 1}, {"q": 9, "v": 2}, {"v": 3}]}"#;
+        assert_eq!(matches_of("$.items[?(@.q > 4)].v", json), vec!["1", "2"]);
+        assert_eq!(matches_of("$.items[?(@.q != 5)].v", json), vec!["2", "3"]);
+    }
+
     #[test]
     fn stream_early_exit_consumes_fewer_bytes() {
         let json = br#"[{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}]"#;

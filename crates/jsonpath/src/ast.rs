@@ -1,4 +1,4 @@
-//! Path AST: steps, type inference, and index constraints.
+//! Path AST: steps, unions, filters, type inference, and index constraints.
 
 use std::fmt;
 use std::str::FromStr;
@@ -21,6 +21,150 @@ pub enum Step {
     Slice(usize, usize),
     /// Array wildcard: `[*]` — every element.
     AnyElement,
+    /// Name union: `['a','b']` — any attribute whose name is in the set.
+    ///
+    /// Evaluated in *document order* (the order attributes appear in the
+    /// data), with duplicates deduplicated at parse time.
+    NameUnion(Vec<String>),
+    /// Index union: `[1,3]` — the elements at the given indices.
+    ///
+    /// Sorted and deduplicated at parse time; evaluated in document order.
+    IndexUnion(Vec<usize>),
+    /// Descendant step: `..name`, `..*`, or `..[...]` — applies the inner
+    /// selector at the current value *and every depth below it*.
+    ///
+    /// `..*` selects every member value and every array element at any
+    /// depth. The inner step is never itself a descendant.
+    Descendant(Box<Step>),
+    /// Comparison filter over array elements: `[?(@.x op v)]` or the
+    /// existence form `[?(@.x)]`.
+    ///
+    /// Filters apply to **array elements only** (a documented restriction of
+    /// this reproduction; RFC 9535 also applies them to object members).
+    Filter(FilterExpr),
+}
+
+/// Comparison operator of a [`Step::Filter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A literal on the right-hand side of a filter comparison.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// A JSON number, kept as its source text (so the AST stays `Eq`/`Hash`;
+    /// it is parsed to `f64` only at comparison time).
+    Number(String),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => f.write_str(n),
+            Literal::Str(s) => {
+                f.write_str("'")?;
+                for c in s.chars() {
+                    match c {
+                        '\'' => f.write_str("\\'")?,
+                        '\\' => f.write_str("\\\\")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("'")
+            }
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// The body of a [`Step::Filter`]: a relative path rooted at the current
+/// element (`@`), optionally compared against a [`Literal`].
+///
+/// Without a comparison the filter is an *existence* test: the element is
+/// selected iff the `@`-relative path resolves to a value. With one, the
+/// resolved value is compared per [`crate::filter::eval`]'s RFC 9535-style
+/// rules (missing values: `!=` is true, everything else false).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FilterExpr {
+    steps: Vec<Step>,
+    cmp: Option<(CmpOp, Literal)>,
+}
+
+impl FilterExpr {
+    /// Builds a filter expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any relative step is not [`Step::Child`] or [`Step::Index`]
+    /// (the only step kinds allowed inside a filter path).
+    pub fn new(steps: Vec<Step>, cmp: Option<(CmpOp, Literal)>) -> Self {
+        assert!(
+            steps
+                .iter()
+                .all(|s| matches!(s, Step::Child(_) | Step::Index(_))),
+            "filter paths support only child and index steps"
+        );
+        FilterExpr { steps, cmp }
+    }
+
+    /// The `@`-relative steps (each is `Child` or `Index`).
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The comparison, or `None` for an existence filter.
+    pub fn cmp(&self) -> Option<&(CmpOp, Literal)> {
+        self.cmp.as_ref()
+    }
+}
+
+impl fmt::Display for FilterExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("?(@")?;
+        for s in &self.steps {
+            match s {
+                Step::Child(name) => write!(f, ".{name}")?,
+                Step::Index(n) => write!(f, "[{n}]")?,
+                _ => unreachable!("filter paths contain only child/index steps"),
+            }
+        }
+        if let Some((op, lit)) = &self.cmp {
+            write!(f, " {op} {lit}")?;
+        }
+        f.write_str(")")
+    }
 }
 
 impl Step {
@@ -33,41 +177,68 @@ impl Step {
         Step::Child(name.into())
     }
 
-    /// Whether this step selects from an object.
+    /// Whether this step can select from an object.
+    ///
+    /// True for descendant steps regardless of the inner selector: `..[0]`
+    /// still *traverses* objects even though it only selects array elements.
     pub fn is_object_step(&self) -> bool {
-        matches!(self, Step::Child(_) | Step::AnyChild)
+        matches!(
+            self,
+            Step::Child(_) | Step::AnyChild | Step::NameUnion(_) | Step::Descendant(_)
+        )
     }
 
-    /// Whether this step selects from an array.
+    /// Whether this step can select from an array.
+    ///
+    /// True for descendant steps regardless of the inner selector (they
+    /// traverse arrays), and for filters (which test array elements).
     pub fn is_array_step(&self) -> bool {
-        matches!(self, Step::Index(_) | Step::Slice(_, _) | Step::AnyElement)
+        matches!(
+            self,
+            Step::Index(_)
+                | Step::Slice(_, _)
+                | Step::AnyElement
+                | Step::IndexUnion(_)
+                | Step::Descendant(_)
+                | Step::Filter(_)
+        )
     }
 
     /// The index range this array step selects, as a half-open interval,
-    /// or `None` for non-array steps and the unbounded wildcard.
+    /// or `None` for non-array steps, filters, descendants, and the
+    /// unbounded wildcard.
     ///
     /// ```
     /// use jsonski_path::Step;
     /// assert_eq!(Step::Index(2).index_range(), Some((2, 3)));
     /// assert_eq!(Step::Slice(2, 4).index_range(), Some((2, 4)));
+    /// assert_eq!(Step::IndexUnion(vec![1, 4]).index_range(), Some((1, 5)));
     /// assert_eq!(Step::AnyElement.index_range(), None);
     /// ```
     pub fn index_range(&self) -> Option<(usize, usize)> {
-        match *self {
-            Step::Index(n) => Some((n, n + 1)),
-            Step::Slice(m, n) => Some((m, n)),
+        match self {
+            Step::Index(n) => Some((*n, n + 1)),
+            Step::Slice(m, n) => Some((*m, *n)),
+            // Sorted + deduplicated at construction: first is min, last is max.
+            Step::IndexUnion(ns) => Some((*ns.first()?, ns.last()? + 1)),
             _ => None,
         }
     }
 
     /// Whether an array element at position `idx` satisfies this step's
     /// index constraint (always true for `[*]`; false for object steps).
+    ///
+    /// Filters and descendants return `false` here: they need a value probe
+    /// resp. the sticky NFA transition, which plain index selection cannot
+    /// express — see [`crate::Runtime::element_state_with`].
     pub fn selects_index(&self, idx: usize) -> bool {
-        match *self {
+        match self {
             Step::AnyElement => true,
-            Step::Index(n) => idx == n,
-            Step::Slice(m, n) => (m..n).contains(&idx),
-            Step::Child(_) | Step::AnyChild => false,
+            Step::Index(n) => idx == *n,
+            Step::Slice(m, n) => (*m..*n).contains(&idx),
+            Step::IndexUnion(ns) => ns.binary_search(&idx).is_ok(),
+            Step::Child(_) | Step::AnyChild | Step::NameUnion(_) => false,
+            Step::Descendant(_) | Step::Filter(_) => false,
         }
     }
 }
@@ -80,6 +251,41 @@ impl fmt::Display for Step {
             Step::Index(n) => write!(f, "[{n}]"),
             Step::Slice(m, n) => write!(f, "[{m}:{n}]"),
             Step::AnyElement => write!(f, "[*]"),
+            Step::NameUnion(names) => {
+                f.write_str("[")?;
+                for (i, name) in names.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    f.write_str("'")?;
+                    for c in name.chars() {
+                        match c {
+                            '\'' => f.write_str("\\'")?,
+                            '\\' => f.write_str("\\\\")?,
+                            c => write!(f, "{c}")?,
+                        }
+                    }
+                    f.write_str("'")?;
+                }
+                f.write_str("]")
+            }
+            Step::IndexUnion(ns) => {
+                f.write_str("[")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                f.write_str("]")
+            }
+            Step::Descendant(inner) => match inner.as_ref() {
+                Step::Child(name) => write!(f, "..{name}"),
+                Step::AnyChild => write!(f, "..*"),
+                // Every other inner selector displays in bracket form.
+                other => write!(f, "..{other}"),
+            },
+            Step::Filter(expr) => write!(f, "[{expr}]"),
         }
     }
 }
@@ -92,7 +298,9 @@ pub enum ExpectedType {
     Object,
     /// The value must be a JSON array (the next step is an array access).
     Array,
-    /// The value is at the last level of the path: any type can match.
+    /// Any type can match: the value is at the last level of the path, or
+    /// the next step is a descendant (which matches at any depth in either
+    /// container kind).
     Unknown,
 }
 
@@ -121,8 +329,24 @@ pub struct Path {
 }
 
 impl Path {
+    /// Maximum number of steps in a path.
+    ///
+    /// The query automaton tracks its match frontier as a 64-bit set with
+    /// one bit per position `0..=len` (see [`crate::State`]), so paths are
+    /// capped well below 64 steps. Real-world queries are far shorter.
+    pub const MAX_STEPS: usize = 60;
+
     /// Builds a path from explicit steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`Path::MAX_STEPS`] steps.
     pub fn new(steps: Vec<Step>) -> Self {
+        assert!(
+            steps.len() <= Path::MAX_STEPS,
+            "path exceeds {} steps",
+            Path::MAX_STEPS
+        );
         Path { steps }
     }
 
@@ -130,8 +354,8 @@ impl Path {
     ///
     /// # Errors
     ///
-    /// Returns [`ParsePathError`] for malformed input, empty ranges, or the
-    /// unsupported descendant operator `..`.
+    /// Returns [`ParsePathError`] for malformed input, empty ranges,
+    /// malformed filters, or paths longer than [`Path::MAX_STEPS`].
     pub fn parse(input: &str) -> Result<Self, ParsePathError> {
         parse_path(input)
     }
@@ -141,7 +365,8 @@ impl Path {
         &self.steps
     }
 
-    /// Number of steps (the depth of the match below the root).
+    /// Number of steps (the depth of the match below the root — except
+    /// under descendant steps, which match at any depth).
     pub fn len(&self) -> usize {
         self.steps.len()
     }
@@ -151,9 +376,21 @@ impl Path {
         self.steps.is_empty()
     }
 
+    /// Whether any step is a descendant (`..`) step.
+    pub fn has_descendant(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Descendant(_)))
+    }
+
+    /// Whether any step is a filter (`[?(...)]`) step.
+    pub fn has_filter(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Filter(_)))
+    }
+
     /// Infers the type of the value selected by step `k` (0-based), per the
     /// paper's Section 3.2: the type of step `k`'s value is dictated by step
-    /// `k + 1`; the last step's value type is [`ExpectedType::Unknown`].
+    /// `k + 1`; the last step's value type is [`ExpectedType::Unknown`], as
+    /// is the type before a descendant step (which matches in objects and
+    /// arrays alike, at any depth).
     ///
     /// # Panics
     ///
@@ -162,6 +399,8 @@ impl Path {
         assert!(k < self.steps.len(), "step index out of range");
         match self.steps.get(k + 1) {
             None => ExpectedType::Unknown,
+            Some(Step::Descendant(_)) => ExpectedType::Unknown,
+            Some(Step::Filter(_)) => ExpectedType::Array,
             Some(s) if s.is_object_step() => ExpectedType::Object,
             Some(_) => ExpectedType::Array,
         }
@@ -169,13 +408,14 @@ impl Path {
 
     /// The container type the *root* record must have for this path to
     /// match anything, or `None` when the path is `$` alone.
+    /// [`ExpectedType::Unknown`] when the first step is a descendant
+    /// (either container kind works).
     pub fn root_type(&self) -> Option<ExpectedType> {
-        self.steps.first().map(|s| {
-            if s.is_object_step() {
-                ExpectedType::Object
-            } else {
-                ExpectedType::Array
-            }
+        self.steps.first().map(|s| match s {
+            Step::Descendant(_) => ExpectedType::Unknown,
+            Step::Filter(_) => ExpectedType::Array,
+            s if s.is_object_step() => ExpectedType::Object,
+            _ => ExpectedType::Array,
         })
     }
 }
@@ -212,6 +452,21 @@ mod tests {
             "$[10:21].cl.P150[*].ms.pty",
             "$.a.*",
             "$",
+            // Full-grammar forms.
+            "$..name",
+            "$..*",
+            "$..[0]",
+            "$..[*]",
+            "$.a..b[1:3]",
+            "$['a','b'].c",
+            "$[1,3]",
+            "$.a[?(@.x == 10)]",
+            "$.a[?(@.x.y != 'v')]",
+            "$.a[?(@[0] >= -1.5)]",
+            "$.a[?(@.ok == true)].id",
+            "$.a[?(@.x == null)]",
+            "$.items[?(@.price < 9.99)]",
+            "$..[?(@.id)]",
         ] {
             let p: Path = q.parse().unwrap();
             assert_eq!(p.to_string(), q);
@@ -235,11 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn expected_type_is_unknown_before_descendant() {
+        // `a`'s value may be an object or an array: `..b` searches both.
+        let p: Path = "$.a..b".parse().unwrap();
+        assert_eq!(p.expected_type(0), ExpectedType::Unknown);
+        assert_eq!(p.expected_type(1), ExpectedType::Unknown);
+    }
+
+    #[test]
+    fn expected_type_is_array_before_filter() {
+        let p: Path = "$.a[?(@.x)].b".parse().unwrap();
+        assert_eq!(p.expected_type(0), ExpectedType::Array);
+        assert_eq!(p.expected_type(1), ExpectedType::Object);
+    }
+
+    #[test]
     fn root_type() {
         let p: Path = "$[*].text".parse().unwrap();
         assert_eq!(p.root_type(), Some(ExpectedType::Array));
         let p: Path = "$.a".parse().unwrap();
         assert_eq!(p.root_type(), Some(ExpectedType::Object));
+        let p: Path = "$..a".parse().unwrap();
+        assert_eq!(p.root_type(), Some(ExpectedType::Unknown));
         let p: Path = "$".parse().unwrap();
         assert_eq!(p.root_type(), None);
         assert!(p.is_empty());
@@ -254,6 +526,30 @@ mod tests {
         assert!(!Step::Index(0).selects_index(1));
         assert!(Step::AnyElement.selects_index(10_000));
         assert!(!Step::child("x").selects_index(0));
+        let u = Step::IndexUnion(vec![1, 4]);
+        assert!(u.selects_index(1));
+        assert!(!u.selects_index(2));
+        assert!(u.selects_index(4));
+        assert_eq!(u.index_range(), Some((1, 5)));
+    }
+
+    #[test]
+    fn descendant_traverses_both_container_kinds() {
+        let d = Step::Descendant(Box::new(Step::child("a")));
+        assert!(d.is_object_step());
+        assert!(d.is_array_step());
+        assert_eq!(d.index_range(), None);
+        assert!(!d.selects_index(0)); // needs the sticky NFA transition
+    }
+
+    #[test]
+    fn grammar_flags() {
+        let p: Path = "$.a..b".parse().unwrap();
+        assert!(p.has_descendant());
+        assert!(!p.has_filter());
+        let p: Path = "$.a[?(@.x > 1)]".parse().unwrap();
+        assert!(!p.has_descendant());
+        assert!(p.has_filter());
     }
 
     #[test]
@@ -261,5 +557,11 @@ mod tests {
     fn expected_type_out_of_range_panics() {
         let p: Path = "$.a".parse().unwrap();
         p.expected_type(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only child and index")]
+    fn filter_expr_rejects_wildcard_steps() {
+        FilterExpr::new(vec![Step::AnyChild], None);
     }
 }

@@ -1,0 +1,370 @@
+//! Byte-level filter predicate evaluation, shared by every engine.
+//!
+//! A filter `[?(@.x op v)]` must be decided *while scanning* the candidate
+//! element. All five engines hand the element's raw bytes to [`eval`], which
+//! parses just enough JSON (scalar-wise, no allocation on the happy path) to
+//! resolve the `@`-relative path and compare. Centralizing this keeps every
+//! engine bit-for-bit agreed on filter semantics — including on malformed
+//! input, where the shared walker fails identically everywhere.
+//!
+//! Comparison semantics follow RFC 9535:
+//!
+//! * a **missing** target satisfies only `!=`;
+//! * `==`/`!=` across different types: `==` is false, `!=` is true
+//!   (containers compare equal to nothing);
+//! * ordering (`<` `<=` `>` `>=`) is defined for number–number and
+//!   string–string pairs only, and is always false against a missing value;
+//! * the operator-less existence form is true iff the target resolves.
+
+use std::cmp::Ordering;
+
+use crate::ast::{CmpOp, FilterExpr, Literal, Step};
+use crate::names;
+
+/// Evaluates `expr` against a candidate value starting at `value[0]`
+/// (leading whitespace tolerated). `value` may extend past the candidate —
+/// engines pass the rest of the record; the walker never reads beyond the
+/// candidate's own balanced extent.
+pub fn eval(expr: &FilterExpr, value: &[u8]) -> bool {
+    let target = locate(expr.steps(), value);
+    match (target, expr.cmp()) {
+        (found, None) => found.is_some(),
+        (target, Some((op, lit))) => compare(value, target, *op, lit),
+    }
+}
+
+/// Resolves the `@`-relative path, returning the byte offset of the target
+/// value's first byte, or `None` if any step fails to resolve.
+fn locate(steps: &[Step], bytes: &[u8]) -> Option<usize> {
+    let mut pos = skip_ws(bytes, 0)?;
+    for step in steps {
+        pos = match step {
+            Step::Child(name) => find_member(bytes, pos, name)?,
+            Step::Index(n) => find_element(bytes, pos, *n)?,
+            _ => return None, // unreachable: FilterExpr::new enforces this
+        };
+    }
+    Some(pos)
+}
+
+/// The target value, classified just enough to compare.
+enum Target<'a> {
+    Num(f64),
+    /// Raw string contents, escapes intact (quotes excluded).
+    Str(&'a [u8]),
+    Bool(bool),
+    Null,
+    /// A container, or malformed data: compares equal to nothing.
+    Opaque,
+}
+
+fn classify(bytes: &[u8], pos: usize) -> Target<'_> {
+    match bytes.get(pos) {
+        Some(b'"') => match seek_string_end(bytes, pos) {
+            Some(end) => Target::Str(&bytes[pos + 1..end - 1]),
+            None => Target::Opaque,
+        },
+        Some(b'{') | Some(b'[') => Target::Opaque,
+        Some(b't') if bytes[pos..].starts_with(b"true") => Target::Bool(true),
+        Some(b'f') if bytes[pos..].starts_with(b"false") => Target::Bool(false),
+        Some(b'n') if bytes[pos..].starts_with(b"null") => Target::Null,
+        Some(_) => {
+            let mut end = pos;
+            while end < bytes.len()
+                && matches!(bytes[end], b'+' | b'-' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                end += 1;
+            }
+            match std::str::from_utf8(&bytes[pos..end])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+            {
+                Some(n) => Target::Num(n),
+                None => Target::Opaque,
+            }
+        }
+        None => Target::Opaque,
+    }
+}
+
+fn compare(bytes: &[u8], target: Option<usize>, op: CmpOp, lit: &Literal) -> bool {
+    let Some(pos) = target else {
+        // RFC 9535: Nothing != value is true; every other comparison with a
+        // missing value is false.
+        return op == CmpOp::Ne;
+    };
+    match (classify(bytes, pos), lit) {
+        (Target::Num(n), Literal::Number(text)) => {
+            let l: f64 = text.parse().expect("literal validated at parse time");
+            match n.partial_cmp(&l) {
+                Some(ord) => ord_satisfies(ord, op),
+                None => false,
+            }
+        }
+        (Target::Str(raw), Literal::Str(s)) => match op {
+            CmpOp::Eq => names::matches(raw, s),
+            CmpOp::Ne => !names::matches(raw, s),
+            _ => match names::unescape(raw) {
+                Some(decoded) => ord_satisfies(decoded.as_str().cmp(s.as_str()), op),
+                None => false, // malformed string orders with nothing
+            },
+        },
+        (Target::Bool(b), Literal::Bool(l)) => match op {
+            CmpOp::Eq => b == *l,
+            CmpOp::Ne => b != *l,
+            _ => false,
+        },
+        (Target::Null, Literal::Null) => match op {
+            CmpOp::Eq => true,
+            CmpOp::Ne => false,
+            _ => false,
+        },
+        // Cross-type or opaque (container/malformed): only `!=` holds.
+        _ => op == CmpOp::Ne,
+    }
+}
+
+fn ord_satisfies(ord: Ordering, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> Option<usize> {
+    while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    (i < bytes.len()).then_some(i)
+}
+
+/// `i` points at an opening `"`; returns the offset just past the closing
+/// quote.
+fn seek_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return Some(j + 1),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// `i` points at the first byte of a value; returns the offset just past
+/// its balanced extent.
+fn skip_value(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i)? {
+        b'"' => seek_string_end(bytes, i),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'"' => j = seek_string_end(bytes, j)?,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return Some(j);
+                        }
+                    }
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            let mut j = i;
+            while j < bytes.len()
+                && !matches!(bytes[j], b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r')
+            {
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+/// `pos` points at a value that must be an object; returns the offset of
+/// the value of the member named `name`.
+fn find_member(bytes: &[u8], pos: usize, name: &str) -> Option<usize> {
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    let mut i = skip_ws(bytes, pos + 1)?;
+    if bytes[i] == b'}' {
+        return None;
+    }
+    loop {
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_end = seek_string_end(bytes, i)?;
+        let key = &bytes[i + 1..key_end - 1];
+        i = skip_ws(bytes, key_end)?;
+        if bytes[i] != b':' {
+            return None;
+        }
+        let vstart = skip_ws(bytes, i + 1)?;
+        if names::matches(key, name) {
+            return Some(vstart);
+        }
+        i = skip_ws(bytes, skip_value(bytes, vstart)?)?;
+        match bytes[i] {
+            b',' => i = skip_ws(bytes, i + 1)?,
+            _ => return None, // `}` or malformed: member absent
+        }
+    }
+}
+
+/// `pos` points at a value that must be an array; returns the offset of
+/// element `idx`.
+fn find_element(bytes: &[u8], pos: usize, idx: usize) -> Option<usize> {
+    if bytes.get(pos) != Some(&b'[') {
+        return None;
+    }
+    let mut i = skip_ws(bytes, pos + 1)?;
+    if bytes[i] == b']' {
+        return None;
+    }
+    let mut count = 0usize;
+    loop {
+        if count == idx {
+            return Some(i);
+        }
+        i = skip_ws(bytes, skip_value(bytes, i)?)?;
+        match bytes[i] {
+            b',' => {
+                i = skip_ws(bytes, i + 1)?;
+                count += 1;
+            }
+            _ => return None, // `]` or malformed: element absent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Path;
+
+    /// Parses `[?(...)]`-style text into a `FilterExpr` via the full parser.
+    fn expr(filter: &str) -> FilterExpr {
+        let p: Path = format!("$[{filter}]").parse().unwrap();
+        match &p.steps()[0] {
+            Step::Filter(e) => e.clone(),
+            other => panic!("not a filter: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn existence() {
+        let e = expr("?(@.x)");
+        assert!(eval(&e, br#"{"x": 1}"#));
+        assert!(eval(&e, br#"{"x": null}"#)); // null exists
+        assert!(!eval(&e, br#"{"y": 1}"#));
+        assert!(!eval(&e, b"[1, 2]"));
+        assert!(!eval(&e, b"42"));
+    }
+
+    #[test]
+    fn number_comparisons() {
+        let e = expr("?(@.x >= 10)");
+        assert!(eval(&e, br#"{"x": 10}"#));
+        assert!(eval(&e, br#"{"x": 1e3}"#));
+        assert!(!eval(&e, br#"{"x": 9.5}"#));
+        assert!(!eval(&e, br#"{"x": "10"}"#)); // string never orders vs number
+        let e = expr("?(@ < -1.5)");
+        assert!(eval(&e, b"-2"));
+        assert!(!eval(&e, b"-1.5"));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let e = expr("?(@.name == 'caf\u{e9}')");
+        assert!(eval(&e, "{\"name\": \"café\"}".as_bytes()));
+        assert!(eval(&e, br#"{"name": "caf\u00e9"}"#)); // escaped form
+        assert!(!eval(&e, br#"{"name": "cafe"}"#));
+        let e = expr("?(@.name < 'b')");
+        assert!(eval(&e, br#"{"name": "a"}"#));
+        assert!(!eval(&e, br#"{"name": "b"}"#));
+    }
+
+    #[test]
+    fn bool_and_null() {
+        assert!(eval(&expr("?(@.ok == true)"), br#"{"ok": true}"#));
+        assert!(!eval(&expr("?(@.ok == true)"), br#"{"ok": false}"#));
+        assert!(eval(&expr("?(@.v == null)"), br#"{"v": null}"#));
+        assert!(!eval(&expr("?(@.v == null)"), br#"{"v": 0}"#));
+        assert!(!eval(&expr("?(@.ok < true)"), br#"{"ok": false}"#)); // no bool order
+    }
+
+    #[test]
+    fn missing_satisfies_only_ne() {
+        let doc = br#"{"y": 1}"#;
+        assert!(eval(&expr("?(@.x != 1)"), doc));
+        assert!(!eval(&expr("?(@.x == 1)"), doc));
+        assert!(!eval(&expr("?(@.x < 1)"), doc));
+        assert!(!eval(&expr("?(@.x >= 1)"), doc));
+    }
+
+    #[test]
+    fn cross_type_and_containers() {
+        assert!(!eval(&expr("?(@.x == 1)"), br#"{"x": "1"}"#));
+        assert!(eval(&expr("?(@.x != 1)"), br#"{"x": "1"}"#));
+        assert!(!eval(&expr("?(@.x == null)"), br#"{"x": {}}"#));
+        assert!(eval(&expr("?(@.x != null)"), br#"{"x": {}}"#));
+        assert!(!eval(&expr("?(@.x == 1)"), br#"{"x": [1]}"#));
+    }
+
+    #[test]
+    fn nested_paths_and_indices() {
+        let e = expr("?(@.a.b == 2)");
+        assert!(eval(&e, br#"{"a": {"z": 0, "b": 2}, "c": 3}"#));
+        assert!(!eval(&e, br#"{"a": {"b": 3}}"#));
+        let e = expr("?(@[1] == 'y')");
+        assert!(eval(&e, br#"["x", "y"]"#));
+        assert!(!eval(&e, br#"["y"]"#));
+        let e = expr("?(@.tags[0] == 'a')");
+        assert!(eval(&e, br#"{"tags": ["a", "b"]}"#));
+    }
+
+    #[test]
+    fn skips_decoys_with_nested_structure() {
+        // The member scan must skip strings containing braces and nested
+        // containers without losing its place.
+        let e = expr("?(@.k == 1)");
+        assert!(eval(
+            &e,
+            br#"{"a": "}{", "b": {"k": 9, "l": [1, {"m": 2}]}, "k": 1}"#
+        ));
+    }
+
+    #[test]
+    fn element_bytes_may_extend_past_candidate() {
+        // Engines pass the rest of the record; the walker must stop at the
+        // candidate's own extent.
+        let e = expr("?(@.x == 1)");
+        assert!(eval(&e, br#"{"x": 1}, {"x": 2}]"#));
+        assert!(!eval(&e, br#"{"x": 2}, {"x": 1}]"#));
+    }
+
+    #[test]
+    fn malformed_input_is_opaque() {
+        let e = expr("?(@.x == 1)");
+        assert!(!eval(&e, br#"{"x" 1}"#));
+        assert!(!eval(&e, br#"{"x": }"#));
+        assert!(!eval(&e, b""));
+    }
+}

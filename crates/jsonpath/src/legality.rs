@@ -1,0 +1,220 @@
+//! Compile-time fast-forward legality analysis.
+//!
+//! The paper's fast-forward groups (Table 1) are sound only under
+//! assumptions the full query grammar can break:
+//!
+//! * **G1** (type-directed seek to the next candidate opener) assumes the
+//!   matching value's type is inferable from the query. Descendant steps
+//!   match at any depth in either container kind, so no single type exists.
+//! * **G2** (skip an unmatched value) is *always* sound — a value is only
+//!   skipped when its state set is empty — but below a live descendant
+//!   position no value is ever unmatched, so G2 never fires there.
+//! * **G3** (skip a result with output) assumes nothing inside the result
+//!   can match again. A live descendant position makes container results
+//!   [`AcceptAndDescend`](crate::Status::AcceptAndDescend): they must be
+//!   descended, not skipped.
+//! * **G4** (skip to the object end after a match) assumes no *sibling*
+//!   attribute can match once one did — true only for a single literal
+//!   child name (names are unique per RFC 8259 in this reproduction's data
+//!   model). Wildcards, unions, and descendants keep matching siblings.
+//! * **G5** (skip array elements outside an index window) needs a bounded
+//!   index range; wildcards, filters, and descendants are unbounded.
+//!
+//! [`Path::legality`] is the per-position (i.e. per automaton DFA-state)
+//! table, computed from the query alone; [`Runtime::legality`] is the
+//! runtime conjunction over the live position set, which is what the engine
+//! consults while streaming. For descendant-free queries every state set is
+//! a singleton, so the runtime answer *is* the table row — old queries keep
+//! exactly their old fast-forward behavior.
+
+use crate::ast::{ExpectedType, Path, Step};
+use crate::automaton::Runtime;
+
+/// Which fast-forward groups may soundly fire in a given automaton state.
+///
+/// `true` means "the engine may attempt this group here"; it does not mean
+/// the group will fire (e.g. G2 also needs an actually-unmatched value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Legality {
+    /// G1: seek to the next opener of the expected candidate type.
+    pub g1: bool,
+    /// G2: fast-forward over an unmatched value.
+    pub g2: bool,
+    /// G3: fast-forward over an accepted value while outputting it.
+    pub g3: bool,
+    /// G4: after an attribute match, skip to the enclosing object's end.
+    pub g4: bool,
+    /// G5: skip array elements outside the step's index window.
+    pub g5: bool,
+}
+
+impl Legality {
+    /// Every group enabled (the degenerate answer for dead frames, where
+    /// only G2 drains ever run).
+    pub const ALL: Legality = Legality {
+        g1: true,
+        g2: true,
+        g3: true,
+        g4: true,
+        g5: true,
+    };
+
+    /// No group enabled.
+    pub const NONE: Legality = Legality {
+        g1: false,
+        g2: false,
+        g3: false,
+        g4: false,
+        g5: false,
+    };
+
+    /// Conjunction: a group is legal for a set of positions iff it is legal
+    /// for every position.
+    #[must_use]
+    pub fn and(self, other: Legality) -> Legality {
+        Legality {
+            g1: self.g1 && other.g1,
+            g2: self.g2 && other.g2,
+            g3: self.g3 && other.g3,
+            g4: self.g4 && other.g4,
+            g5: self.g5 && other.g5,
+        }
+    }
+}
+
+impl Path {
+    /// The fast-forward legality of the automaton state in which step `k`
+    /// is being matched (the singleton state `{k}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn legality(&self, k: usize) -> Legality {
+        assert!(k < self.len(), "step index out of range");
+        let step = &self.steps()[k];
+        match step {
+            // A live descendant position disables everything: types are not
+            // inferable (G1), no value below is ever unmatched (G2 cannot
+            // fire), results must still be descended (G3), siblings can
+            // keep matching (G4), and indices are unbounded (G5).
+            Step::Descendant(_) => Legality::NONE,
+            _ => Legality {
+                g1: self.expected_type(k) != ExpectedType::Unknown,
+                g2: true,
+                g3: true,
+                g4: matches!(step, Step::Child(_)),
+                g5: step.index_range().is_some(),
+            },
+        }
+    }
+}
+
+impl Runtime<'_> {
+    /// The fast-forward legality of the current container's state set: the
+    /// conjunction of [`Path::legality`] over all live positions
+    /// ([`Legality::ALL`] for a dead frame, where only G2 drains run).
+    pub fn legality(&self) -> Legality {
+        let mut acc = Legality::ALL;
+        let state = self.state();
+        for k in 0..self.path().len() {
+            if state.contains(k) {
+                acc = acc.and(self.path().legality(k));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContainerKind;
+
+    fn p(q: &str) -> Path {
+        q.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_grammar_keeps_all_groups() {
+        let path = p("$.pd[*].cp[1:3].id");
+        // .pd — literal child: everything but G5 (not an array step).
+        let l = path.legality(0);
+        assert!(l.g1 && l.g2 && l.g3 && l.g4 && !l.g5);
+        // [*] — wildcard element: no G4 (keeps matching), no G5 (unbounded).
+        let l = path.legality(1);
+        assert!(l.g1 && l.g2 && l.g3 && !l.g4 && !l.g5);
+        // [1:3] — bounded slice: G5 legal.
+        let l = path.legality(3);
+        assert!(l.g1 && l.g2 && l.g3 && !l.g4 && l.g5);
+        // .id — final child: G1 off (type Unknown at the last level).
+        let l = path.legality(4);
+        assert!(!l.g1 && l.g2 && l.g3 && l.g4 && !l.g5);
+    }
+
+    #[test]
+    fn descendant_disables_everything() {
+        let path = p("$..a");
+        assert_eq!(path.legality(0), Legality::NONE);
+        // ...including through the runtime conjunction below it.
+        let mut rt = Runtime::new(&path);
+        rt.enter_root(ContainerKind::Object);
+        assert_eq!(rt.legality(), Legality::NONE);
+        let (st, _) = rt.value_state_for_key("a");
+        rt.enter(ContainerKind::Object, st);
+        // State is {0 (sticky), 1-is-accept}: still descendant-poisoned.
+        assert_eq!(rt.legality(), Legality::NONE);
+    }
+
+    #[test]
+    fn child_after_descendant_is_still_poisoned_at_runtime() {
+        // Per-position, `.b` of `$..a.b` keeps G4; but any *runtime* state
+        // containing the sticky descendant position conjoins to NONE.
+        let path = p("$..a.b");
+        assert!(path.legality(1).g4);
+        let mut rt = Runtime::new(&path);
+        rt.enter_root(ContainerKind::Object);
+        let (st, _) = rt.value_state_for_key("a");
+        rt.enter(ContainerKind::Object, st); // {0, 1}: desc + child
+        assert_eq!(rt.legality(), Legality::NONE);
+    }
+
+    #[test]
+    fn unions_and_filters() {
+        let path = p("$['a','b'][1,3][?(@.x > 1)].z");
+        // Name union: like a wildcard for G4 purposes (siblings may match).
+        let l = path.legality(0);
+        assert!(l.g1 && !l.g4 && !l.g5);
+        // Index union: bounded, so G5 stays legal.
+        let l = path.legality(1);
+        assert!(l.g1 && !l.g4 && l.g5);
+        // Filter: unbounded (any element may pass), expected type inferable.
+        let l = path.legality(2);
+        assert!(l.g1 && l.g2 && l.g3 && !l.g4 && !l.g5);
+        // Final literal child.
+        let l = path.legality(3);
+        assert!(!l.g1 && l.g4);
+    }
+
+    #[test]
+    fn runtime_matches_table_for_dfa_states() {
+        // Without descendants the runtime state is a singleton, so the
+        // runtime legality must equal the per-position table row.
+        let path = p("$.a[2:4].b");
+        let mut rt = Runtime::new(&path);
+        rt.enter_root(ContainerKind::Object);
+        assert_eq!(rt.legality(), path.legality(0));
+        let (st, _) = rt.value_state_for_key("a");
+        rt.enter(ContainerKind::Array, st);
+        assert_eq!(rt.legality(), path.legality(1));
+    }
+
+    #[test]
+    fn dead_frames_report_all() {
+        let path = p("$.a.b");
+        let mut rt = Runtime::new(&path);
+        rt.enter_root(ContainerKind::Object);
+        let (st, _) = rt.value_state_for_key("nope");
+        rt.enter(ContainerKind::Object, st);
+        assert_eq!(rt.legality(), Legality::ALL);
+    }
+}

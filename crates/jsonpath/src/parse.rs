@@ -1,9 +1,18 @@
-//! Recursive-descent parser for the supported JSONPath subset.
+//! Recursive-descent parser for the supported JSONPath grammar.
+//!
+//! Supported syntax: root `$`; child `.name` / `['name']`; wildcards `.*` /
+//! `[*]`; index `[n]`, half-open slice `[m:n]`; unions `['a','b']` / `[1,3]`;
+//! descendant `..name` / `..*` / `..[...]`; and comparison filters
+//! `[?(@.path op literal)]` (array elements only, with the operator-less
+//! existence form `[?(@.path)]`).
+//!
+//! Errors carry the byte offset of the offending character so callers can
+//! point at the problem.
 
 use std::error::Error;
 use std::fmt;
 
-use crate::ast::{Path, Step};
+use crate::ast::{CmpOp, FilterExpr, Literal, Path, Step};
 
 /// Error produced when parsing a JSONPath expression fails.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,7 +25,6 @@ pub struct ParsePathError {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum ErrorKind {
     MissingRoot,
-    Descendant,
     EmptyName,
     EmptyBrackets,
     BadIndex,
@@ -24,6 +32,11 @@ enum ErrorKind {
     UnexpectedChar(char),
     UnclosedBracket,
     UnclosedQuote,
+    BadUnion,
+    BadFilter,
+    BadLiteral,
+    FilterPathStep,
+    TooManySteps,
 }
 
 impl ParsePathError {
@@ -41,9 +54,6 @@ impl fmt::Display for ParsePathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let msg = match &self.kind {
             ErrorKind::MissingRoot => "path must start with `$`",
-            ErrorKind::Descendant => {
-                "descendant operator `..` is not supported (paper Section 5.1)"
-            }
             ErrorKind::EmptyName => "empty attribute name after `.`",
             ErrorKind::EmptyBrackets => "empty brackets `[]`",
             ErrorKind::BadIndex => "array index is not a valid number",
@@ -53,6 +63,20 @@ impl fmt::Display for ParsePathError {
             }
             ErrorKind::UnclosedBracket => "unclosed `[`",
             ErrorKind::UnclosedQuote => "unclosed quote in bracketed name",
+            ErrorKind::BadUnion => "malformed union selector (expected `['a','b']` or `[1,3]`)",
+            ErrorKind::BadFilter => "malformed filter (expected `[?(@.path op literal)]`)",
+            ErrorKind::BadLiteral => {
+                "malformed filter literal (expected a number, quoted string, `true`, `false`, or `null`)"
+            }
+            ErrorKind::FilterPathStep => "filter paths support only child and index steps",
+            ErrorKind::TooManySteps => {
+                return write!(
+                    f,
+                    "path exceeds the supported {} steps at offset {}",
+                    Path::MAX_STEPS,
+                    self.at
+                )
+            }
         };
         write!(f, "{msg} at offset {}", self.at)
     }
@@ -60,86 +84,407 @@ impl fmt::Display for ParsePathError {
 
 impl Error for ParsePathError {}
 
+fn err(kind: ErrorKind, at: usize) -> ParsePathError {
+    ParsePathError::new(kind, at)
+}
+
+fn skip_ws(bytes: &[u8], mut k: usize, end: usize) -> usize {
+    while k < end && bytes[k].is_ascii_whitespace() {
+        k += 1;
+    }
+    k
+}
+
 /// Parses a JSONPath string into a [`Path`].
 pub(crate) fn parse_path(input: &str) -> Result<Path, ParsePathError> {
     let bytes = input.as_bytes();
     if bytes.first() != Some(&b'$') {
-        return Err(ParsePathError::new(ErrorKind::MissingRoot, 0));
+        return Err(err(ErrorKind::MissingRoot, 0));
     }
     let mut steps = Vec::new();
     let mut i = 1;
     while i < bytes.len() {
-        match bytes[i] {
+        let step_at = i;
+        let step = match bytes[i] {
+            b'.' if bytes.get(i + 1) == Some(&b'.') => {
+                // Descendant step: `..name`, `..*`, or `..[...]`.
+                i += 2;
+                let inner = match bytes.get(i) {
+                    Some(b'*') => {
+                        i += 1;
+                        Step::AnyChild
+                    }
+                    Some(b'[') => {
+                        let (s, next) = parse_bracket(input, i)?;
+                        i = next;
+                        s
+                    }
+                    Some(&c) if c != b'.' => {
+                        let start = i;
+                        while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                            i += 1;
+                        }
+                        debug_assert!(i > start);
+                        let _ = c;
+                        Step::Child(input[start..i].to_string())
+                    }
+                    _ => return Err(err(ErrorKind::EmptyName, i)),
+                };
+                Step::Descendant(Box::new(inner))
+            }
             b'.' => {
-                if bytes.get(i + 1) == Some(&b'.') {
-                    return Err(ParsePathError::new(ErrorKind::Descendant, i));
-                }
                 i += 1;
                 if bytes.get(i) == Some(&b'*') {
-                    steps.push(Step::AnyChild);
                     i += 1;
-                    continue;
+                    Step::AnyChild
+                } else {
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                        i += 1;
+                    }
+                    if i == start {
+                        return Err(err(ErrorKind::EmptyName, start));
+                    }
+                    Step::Child(input[start..i].to_string())
                 }
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
-                    i += 1;
-                }
-                if i == start {
-                    return Err(ParsePathError::new(ErrorKind::EmptyName, start));
-                }
-                steps.push(Step::Child(input[start..i].to_string()));
             }
             b'[' => {
-                let open = i;
-                i += 1;
-                let close = match input[i..].find(']') {
-                    Some(off) => i + off,
-                    None => return Err(ParsePathError::new(ErrorKind::UnclosedBracket, open)),
-                };
-                let body = input[i..close].trim();
-                if body.is_empty() {
-                    return Err(ParsePathError::new(ErrorKind::EmptyBrackets, open));
-                }
-                steps.push(parse_bracket_body(body, i)?);
-                i = close + 1;
+                let (s, next) = parse_bracket(input, i)?;
+                i = next;
+                s
             }
-            c => return Err(ParsePathError::new(ErrorKind::UnexpectedChar(c as char), i)),
+            c => return Err(err(ErrorKind::UnexpectedChar(c as char), i)),
+        };
+        if steps.len() == Path::MAX_STEPS {
+            return Err(err(ErrorKind::TooManySteps, step_at));
         }
+        steps.push(step);
     }
     Ok(Path::new(steps))
 }
 
-fn parse_bracket_body(body: &str, at: usize) -> Result<Step, ParsePathError> {
-    if body == "*" {
-        return Ok(Step::AnyElement);
-    }
-    if let Some(stripped) = body.strip_prefix('\'').or_else(|| body.strip_prefix('"')) {
-        let quote = body.chars().next().expect("non-empty");
-        let inner = stripped
-            .strip_suffix(quote)
-            .ok_or_else(|| ParsePathError::new(ErrorKind::UnclosedQuote, at))?;
-        if inner.is_empty() {
-            return Err(ParsePathError::new(ErrorKind::EmptyName, at));
+/// Parses one bracketed selector starting at the `[` at `open`. Returns the
+/// step and the offset just past the closing `]`.
+fn parse_bracket(input: &str, open: usize) -> Result<(Step, usize), ParsePathError> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[open], b'[');
+    // Quote- and nesting-aware scan for the matching `]` (filter bodies may
+    // contain `]` inside string literals or nested `@[n]` accesses).
+    let mut depth = 1usize;
+    let mut j = open + 1;
+    let close = loop {
+        match bytes.get(j) {
+            None => return Err(err(ErrorKind::UnclosedBracket, open)),
+            Some(&q) if q == b'\'' || q == b'"' => {
+                let qstart = j;
+                j += 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(err(ErrorKind::UnclosedQuote, qstart)),
+                        Some(b'\\') => j += 2,
+                        Some(&c) if c == q => {
+                            j += 1;
+                            break;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+            }
+            Some(b'[') => {
+                depth += 1;
+                j += 1;
+            }
+            Some(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break j;
+                }
+                j += 1;
+            }
+            Some(_) => j += 1,
         }
-        return Ok(Step::Child(inner.to_string()));
+    };
+    let bstart = skip_ws(bytes, open + 1, close);
+    let mut bend = close;
+    while bend > bstart && bytes[bend - 1].is_ascii_whitespace() {
+        bend -= 1;
     }
+    if bstart == bend {
+        return Err(err(ErrorKind::EmptyBrackets, open));
+    }
+    let step = match bytes[bstart] {
+        b'*' => {
+            if bend - bstart != 1 {
+                return Err(err(ErrorKind::BadUnion, bstart));
+            }
+            Step::AnyElement
+        }
+        b'?' => parse_filter(input, bstart, bend)?,
+        b'\'' | b'"' => parse_name_union(input, bstart, bend)?,
+        _ => parse_index_like(input, bstart, bend)?,
+    };
+    Ok((step, close + 1))
+}
+
+/// Parses a quoted name starting at the quote at `k`. Only `\'`, `\"`, and
+/// `\\` are unescaped; any other backslash sequence is kept verbatim (names
+/// are compared against *decoded* attribute names by [`crate::names`]).
+/// Returns the name and the offset just past the closing quote.
+fn parse_quoted(input: &str, k: usize) -> Result<(String, usize), ParsePathError> {
+    let bytes = input.as_bytes();
+    let q = bytes[k];
+    let mut out = String::new();
+    let mut j = k + 1;
+    let mut run = j;
+    loop {
+        match bytes.get(j) {
+            None => return Err(err(ErrorKind::UnclosedQuote, k)),
+            Some(b'\\') => {
+                out.push_str(&input[run..j]);
+                match bytes.get(j + 1) {
+                    Some(&c) if c == q || c == b'\\' => {
+                        out.push(c as char);
+                        j += 2;
+                    }
+                    Some(_) => {
+                        out.push('\\');
+                        j += 1;
+                    }
+                    None => return Err(err(ErrorKind::UnclosedQuote, k)),
+                }
+                run = j;
+            }
+            Some(&c) if c == q => {
+                out.push_str(&input[run..j]);
+                return Ok((out, j + 1));
+            }
+            Some(_) => j += 1,
+        }
+    }
+}
+
+/// `['a']` / `['a','b',...]` — one or more quoted names separated by commas.
+fn parse_name_union(input: &str, bstart: usize, bend: usize) -> Result<Step, ParsePathError> {
+    let bytes = input.as_bytes();
+    let mut names: Vec<String> = Vec::new();
+    let mut k = bstart;
+    loop {
+        k = skip_ws(bytes, k, bend);
+        if k >= bend || (bytes[k] != b'\'' && bytes[k] != b'"') {
+            return Err(err(ErrorKind::BadUnion, k.min(bend.saturating_sub(1))));
+        }
+        let quote_at = k;
+        let (name, next) = parse_quoted(input, k)?;
+        if name.is_empty() {
+            return Err(err(ErrorKind::EmptyName, quote_at));
+        }
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        k = skip_ws(bytes, next, bend);
+        if k >= bend {
+            break;
+        }
+        if bytes[k] != b',' {
+            return Err(err(ErrorKind::BadUnion, k));
+        }
+        k += 1;
+    }
+    Ok(if names.len() == 1 {
+        Step::Child(names.pop().expect("one name"))
+    } else {
+        Step::NameUnion(names)
+    })
+}
+
+/// `[n]`, `[m:n]`, or `[1,3,...]`.
+fn parse_index_like(input: &str, bstart: usize, bend: usize) -> Result<Step, ParsePathError> {
+    let body = &input[bstart..bend];
     if let Some((lo, hi)) = body.split_once(':') {
         let lo: usize = lo
             .trim()
             .parse()
-            .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))?;
+            .map_err(|_| err(ErrorKind::BadIndex, bstart))?;
         let hi: usize = hi
             .trim()
             .parse()
-            .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))?;
+            .map_err(|_| err(ErrorKind::BadIndex, bstart))?;
         if hi <= lo {
-            return Err(ParsePathError::new(ErrorKind::EmptyRange, at));
+            return Err(err(ErrorKind::EmptyRange, bstart));
         }
         return Ok(Step::Slice(lo, hi));
     }
+    if body.contains(',') {
+        let mut indices: Vec<usize> = Vec::new();
+        for part in body.split(',') {
+            let n: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| err(ErrorKind::BadUnion, bstart))?;
+            indices.push(n);
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        return Ok(if indices.len() == 1 {
+            Step::Index(indices[0])
+        } else {
+            Step::IndexUnion(indices)
+        });
+    }
     body.parse::<usize>()
         .map(Step::Index)
-        .map_err(|_| ParsePathError::new(ErrorKind::BadIndex, at))
+        .map_err(|_| err(ErrorKind::BadIndex, bstart))
+}
+
+/// `?( @.path op literal )` or the existence form `?( @.path )`, spanning
+/// `input[bstart..bend]` (whitespace-trimmed, `bytes[bstart] == b'?'`).
+fn parse_filter(input: &str, bstart: usize, bend: usize) -> Result<Step, ParsePathError> {
+    let bytes = input.as_bytes();
+    let mut k = skip_ws(bytes, bstart + 1, bend);
+    if k >= bend || bytes[k] != b'(' {
+        return Err(err(ErrorKind::BadFilter, k.min(bend.saturating_sub(1))));
+    }
+    if bytes[bend - 1] != b')' {
+        return Err(err(ErrorKind::BadFilter, bend - 1));
+    }
+    k += 1;
+    let end = bend - 1; // exclusive: the final `)`
+    k = skip_ws(bytes, k, end);
+    if k >= end || bytes[k] != b'@' {
+        return Err(err(ErrorKind::BadFilter, k.min(end.saturating_sub(1))));
+    }
+    k += 1;
+
+    // `@`-relative path: `.name` and `[n]` / `['name']` steps only.
+    let mut fsteps: Vec<Step> = Vec::new();
+    while k < end {
+        match bytes[k] {
+            b'.' => {
+                k += 1;
+                let start = k;
+                while k < end
+                    && !matches!(bytes[k], b'.' | b'[' | b'=' | b'!' | b'<' | b'>')
+                    && !bytes[k].is_ascii_whitespace()
+                {
+                    k += 1;
+                }
+                if k == start {
+                    return Err(err(ErrorKind::EmptyName, start));
+                }
+                let name = &input[start..k];
+                if name == "*" {
+                    return Err(err(ErrorKind::FilterPathStep, start));
+                }
+                fsteps.push(Step::Child(name.to_string()));
+            }
+            b'[' => {
+                let bopen = k;
+                k = skip_ws(bytes, k + 1, end);
+                if k < end && (bytes[k] == b'\'' || bytes[k] == b'"') {
+                    let (name, next) = parse_quoted(input, k)?;
+                    if name.is_empty() {
+                        return Err(err(ErrorKind::EmptyName, k));
+                    }
+                    fsteps.push(Step::Child(name));
+                    k = next;
+                } else {
+                    let start = k;
+                    while k < end && bytes[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    if k == start {
+                        return Err(err(ErrorKind::FilterPathStep, start.min(end)));
+                    }
+                    let n: usize = input[start..k]
+                        .parse()
+                        .map_err(|_| err(ErrorKind::BadIndex, start))?;
+                    fsteps.push(Step::Index(n));
+                }
+                k = skip_ws(bytes, k, end);
+                if k >= end || bytes[k] != b']' {
+                    return Err(err(ErrorKind::UnclosedBracket, bopen));
+                }
+                k += 1;
+            }
+            c if c.is_ascii_whitespace() || matches!(c, b'=' | b'!' | b'<' | b'>') => break,
+            _ => return Err(err(ErrorKind::BadFilter, k)),
+        }
+    }
+
+    k = skip_ws(bytes, k, end);
+    if k >= end {
+        return Ok(Step::Filter(FilterExpr::new(fsteps, None)));
+    }
+
+    let op = match (bytes[k], bytes.get(k + 1).copied().filter(|_| k + 1 < end)) {
+        (b'=', Some(b'=')) => {
+            k += 2;
+            CmpOp::Eq
+        }
+        (b'!', Some(b'=')) => {
+            k += 2;
+            CmpOp::Ne
+        }
+        (b'<', Some(b'=')) => {
+            k += 2;
+            CmpOp::Le
+        }
+        (b'>', Some(b'=')) => {
+            k += 2;
+            CmpOp::Ge
+        }
+        (b'<', _) => {
+            k += 1;
+            CmpOp::Lt
+        }
+        (b'>', _) => {
+            k += 1;
+            CmpOp::Gt
+        }
+        _ => return Err(err(ErrorKind::BadFilter, k)),
+    };
+
+    k = skip_ws(bytes, k, end);
+    if k >= end {
+        return Err(err(ErrorKind::BadLiteral, end));
+    }
+    let lit_at = k;
+    let literal = match bytes[k] {
+        b'\'' | b'"' => {
+            let (s, next) = parse_quoted(input, k)?;
+            k = next;
+            Literal::Str(s)
+        }
+        _ => {
+            let start = k;
+            while k < end && !bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            let text = &input[start..k];
+            match text {
+                "true" => Literal::Bool(true),
+                "false" => Literal::Bool(false),
+                "null" => Literal::Null,
+                _ => {
+                    let numeric = !text.is_empty()
+                        && text.bytes().all(|b| {
+                            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                        })
+                        && text.parse::<f64>().is_ok();
+                    if !numeric {
+                        return Err(err(ErrorKind::BadLiteral, lit_at));
+                    }
+                    Literal::Number(text.to_string())
+                }
+            }
+        }
+    };
+
+    k = skip_ws(bytes, k, end);
+    if k != end {
+        return Err(err(ErrorKind::BadFilter, k));
+    }
+    Ok(Step::Filter(FilterExpr::new(fsteps, Some((op, literal)))))
 }
 
 #[cfg(test)]
@@ -148,6 +493,10 @@ mod tests {
 
     fn steps(q: &str) -> Vec<Step> {
         parse_path(q).unwrap().steps().to_vec()
+    }
+
+    fn desc(inner: Step) -> Step {
+        Step::Descendant(Box::new(inner))
     }
 
     #[test]
@@ -181,6 +530,10 @@ mod tests {
             steps("$.a['b'].c"),
             vec![Step::child("a"), Step::child("b"), Step::child("c")]
         );
+        // Escapes: quote and backslash unescape; `]` inside quotes is fine.
+        assert_eq!(steps(r"$['a\'b']"), vec![Step::child("a'b")]);
+        assert_eq!(steps(r"$['a\\b']"), vec![Step::child("a\\b")]);
+        assert_eq!(steps("$[']']"), vec![Step::child("]")]);
     }
 
     #[test]
@@ -197,14 +550,111 @@ mod tests {
     }
 
     #[test]
-    fn root_only() {
-        assert_eq!(steps("$"), vec![]);
+    fn unions() {
+        assert_eq!(
+            steps("$['a','b']"),
+            vec![Step::NameUnion(vec!["a".into(), "b".into()])]
+        );
+        assert_eq!(
+            steps("$[ 'a' , \"b\" , 'c' ]"),
+            vec![Step::NameUnion(vec!["a".into(), "b".into(), "c".into()])]
+        );
+        // Duplicates deduplicate; a single-name union is a plain child.
+        assert_eq!(steps("$['a','a']"), vec![Step::child("a")]);
+        assert_eq!(steps("$[1,3]"), vec![Step::IndexUnion(vec![1, 3])]);
+        // Indices sort + dedup.
+        assert_eq!(steps("$[3, 1, 3]"), vec![Step::IndexUnion(vec![1, 3])]);
+        assert_eq!(steps("$[2,2]"), vec![Step::Index(2)]);
     }
 
     #[test]
-    fn rejects_descendant() {
-        let err = parse_path("$..name").unwrap_err();
-        assert!(err.to_string().contains("descendant"));
+    fn descendants() {
+        assert_eq!(steps("$..name"), vec![desc(Step::child("name"))]);
+        assert_eq!(steps("$..*"), vec![desc(Step::AnyChild)]);
+        assert_eq!(steps("$..[0]"), vec![desc(Step::Index(0))]);
+        assert_eq!(steps("$..[*]"), vec![desc(Step::AnyElement)]);
+        assert_eq!(
+            steps("$..['a','b']"),
+            vec![desc(Step::NameUnion(vec!["a".into(), "b".into()]))]
+        );
+        assert_eq!(
+            steps("$.a..b[1:3]"),
+            vec![Step::child("a"), desc(Step::child("b")), Step::Slice(1, 3)]
+        );
+    }
+
+    #[test]
+    fn filters() {
+        let f = |steps: Vec<Step>, cmp| Step::Filter(FilterExpr::new(steps, cmp));
+        assert_eq!(
+            steps("$.a[?(@.x == 10)]"),
+            vec![
+                Step::child("a"),
+                f(
+                    vec![Step::child("x")],
+                    Some((CmpOp::Eq, Literal::Number("10".into())))
+                )
+            ]
+        );
+        assert_eq!(
+            steps("$.a[?(@.x.y<=-1.5e2)]"),
+            vec![
+                Step::child("a"),
+                f(
+                    vec![Step::child("x"), Step::child("y")],
+                    Some((CmpOp::Le, Literal::Number("-1.5e2".into())))
+                )
+            ]
+        );
+        assert_eq!(
+            steps("$.a[?(@[2] != 'v]')]"),
+            vec![
+                Step::child("a"),
+                f(
+                    vec![Step::Index(2)],
+                    Some((CmpOp::Ne, Literal::Str("v]".into())))
+                )
+            ]
+        );
+        assert_eq!(
+            steps("$.a[?(@['k k'] == true)]"),
+            vec![
+                Step::child("a"),
+                f(
+                    vec![Step::child("k k")],
+                    Some((CmpOp::Eq, Literal::Bool(true)))
+                )
+            ]
+        );
+        assert_eq!(
+            steps("$.a[?(@.x == null)]"),
+            vec![
+                Step::child("a"),
+                f(vec![Step::child("x")], Some((CmpOp::Eq, Literal::Null)))
+            ]
+        );
+        // Existence form and bare-@ comparison.
+        assert_eq!(
+            steps("$.a[?(@.x)]"),
+            vec![Step::child("a"), f(vec![Step::child("x")], None)]
+        );
+        assert_eq!(
+            steps("$.a[?(@ > 3)]"),
+            vec![
+                Step::child("a"),
+                f(vec![], Some((CmpOp::Gt, Literal::Number("3".into()))))
+            ]
+        );
+        // Descendant filter.
+        assert_eq!(
+            steps("$..[?(@.id)]"),
+            vec![desc(f(vec![Step::child("id")], None))]
+        );
+    }
+
+    #[test]
+    fn root_only() {
+        assert_eq!(steps("$"), vec![]);
     }
 
     #[test]
@@ -218,12 +668,41 @@ mod tests {
         assert!(parse_path("$[1").is_err()); // unclosed bracket
         assert!(parse_path("$['x]").is_err()); // unclosed quote
         assert!(parse_path("$x").is_err()); // junk after root
+        assert!(parse_path("$..").is_err()); // bare descendant
+        assert!(parse_path("$...a").is_err()); // triple dot
+        assert!(parse_path("$['a',3]").is_err()); // mixed union
+        assert!(parse_path("$[1,]").is_err()); // trailing comma
+        assert!(parse_path("$[*,1]").is_err()); // wildcard in union
+        assert!(parse_path("$[?(@.x ==)]").is_err()); // missing literal
+        assert!(parse_path("$[?(@.x = 1)]").is_err()); // bad operator
+        assert!(parse_path("$[?(@.* == 1)]").is_err()); // wildcard filter path
+        assert!(parse_path("$[?(@..x)]").is_err()); // descendant filter path
+        assert!(parse_path("$[?(@.x == nul)]").is_err()); // bad keyword
+        assert!(parse_path("$[?@.x]").is_err()); // missing parens
+        assert!(parse_path("$[?(@.x]").is_err()); // unclosed paren
+    }
+
+    #[test]
+    fn rejects_too_many_steps() {
+        let q = format!("${}", ".a".repeat(Path::MAX_STEPS + 1));
+        let e = parse_path(&q).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+        assert_eq!(e.offset(), 1 + 2 * Path::MAX_STEPS);
+        let ok = format!("${}", ".a".repeat(Path::MAX_STEPS));
+        assert!(parse_path(&ok).is_ok());
     }
 
     #[test]
     fn error_offsets_point_at_problem() {
-        assert_eq!(parse_path("$.a..b").unwrap_err().offset(), 3);
         assert_eq!(parse_path("$.a[").unwrap_err().offset(), 3);
+        assert_eq!(parse_path("$..").unwrap_err().offset(), 3); // name expected at 3
+        assert_eq!(parse_path("$.a..").unwrap_err().offset(), 5);
+        assert_eq!(parse_path("$['x]").unwrap_err().offset(), 2); // quote at 2
+        assert_eq!(parse_path("$['a',3]").unwrap_err().offset(), 6); // `3` not quoted
+        assert_eq!(parse_path("$.a[?(@.x ==)]").unwrap_err().offset(), 12); // `)` where literal expected
+        assert_eq!(parse_path("$[?(@.* == 1)]").unwrap_err().offset(), 6); // the `*`
+        assert_eq!(parse_path("$[?(@.x = 1)]").unwrap_err().offset(), 8); // the lone `=`
+        assert_eq!(parse_path("$[?(@.x == zzz)]").unwrap_err().offset(), 11); // the literal
     }
 
     #[test]

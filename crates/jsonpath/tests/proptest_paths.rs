@@ -1,17 +1,79 @@
 //! Property tests for the path parser and automaton.
 
-use jsonski_path::{ContainerKind, Path, Runtime, Status, Step};
+use jsonski_path::{CmpOp, ContainerKind, FilterExpr, Literal, Path, Runtime, Status, Step};
 use proptest::prelude::*;
 
+/// Steps in the parser's *normal form*, so Display → parse is identity:
+/// unions have ≥2 entries (singletons parse to `Child`/`Index`), name
+/// unions keep first-occurrence order, index unions are sorted + deduped.
 fn step() -> BoxedStrategy<Step> {
+    prop_oneof![
+        simple_step(),
+        filter().prop_map(Step::Filter),
+        // Descendant wraps any non-descendant selector.
+        prop_oneof![simple_step(), filter().prop_map(Step::Filter)]
+            .prop_map(|s| Step::Descendant(Box::new(s))),
+    ]
+    .boxed()
+}
+
+fn simple_step() -> BoxedStrategy<Step> {
     prop_oneof![
         "[a-z][a-z0-9_]{0,8}".prop_map(Step::Child),
         Just(Step::AnyChild),
         (0usize..100).prop_map(Step::Index),
         (0usize..50, 1usize..20).prop_map(|(a, d)| Step::Slice(a, a + d)),
         Just(Step::AnyElement),
+        prop::collection::vec("[a-z][a-z0-9_]{0,5}", 2..4).prop_map(|mut names| {
+            let mut seen = Vec::new();
+            names.retain(|n| {
+                let fresh = !seen.contains(n);
+                seen.push(n.clone());
+                fresh
+            });
+            if names.len() < 2 {
+                names.push(format!("{}x", names[0]));
+            }
+            Step::NameUnion(names)
+        }),
+        prop::collection::vec(0usize..30, 2..4).prop_map(|mut idx| {
+            idx.sort_unstable();
+            idx.dedup();
+            if idx.len() < 2 {
+                idx.push(idx[0] + 1);
+            }
+            Step::IndexUnion(idx)
+        }),
     ]
     .boxed()
+}
+
+fn filter() -> BoxedStrategy<FilterExpr> {
+    let rel = prop::collection::vec(
+        prop_oneof![
+            "[a-z][a-z0-9_]{0,5}".prop_map(Step::Child),
+            (0usize..10).prop_map(Step::Index),
+        ],
+        0..3,
+    );
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let lit = prop_oneof![
+        (-10_000i64..10_000).prop_map(|n| Literal::Number(n.to_string())),
+        "[a-z ]{0,8}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ];
+    let cmp = prop_oneof![1 => Just(None), 3 => (op, lit).prop_map(Some)];
+    (rel, cmp)
+        .prop_map(|(steps, cmp)| FilterExpr::new(steps, cmp))
+        .boxed()
 }
 
 fn path() -> BoxedStrategy<Path> {
@@ -36,6 +98,12 @@ proptest! {
             let t = p.expected_type(k);
             match p.steps().get(k + 1) {
                 None => prop_assert_eq!(t, jsonski_path::ExpectedType::Unknown),
+                // A descendant searches objects and arrays alike, so the
+                // value before it has no single expected type.
+                Some(Step::Descendant(_)) => {
+                    prop_assert_eq!(t, jsonski_path::ExpectedType::Unknown)
+                }
+                Some(Step::Filter(_)) => prop_assert_eq!(t, jsonski_path::ExpectedType::Array),
                 Some(s) if s.is_object_step() => {
                     prop_assert_eq!(t, jsonski_path::ExpectedType::Object)
                 }
@@ -48,15 +116,31 @@ proptest! {
     fn index_range_agrees_with_selects_index(s in step(), idx in 0usize..120) {
         match s.index_range() {
             Some((lo, hi)) => {
-                prop_assert_eq!(s.selects_index(idx), (lo..hi).contains(&idx));
-            }
-            None => {
-                if s.is_array_step() {
-                    prop_assert!(s.selects_index(idx)); // wildcard
-                } else {
-                    prop_assert!(!s.selects_index(idx));
+                prop_assert!(lo < hi);
+                // The range is exact for contiguous steps and a bounding
+                // envelope for index unions: selection implies membership,
+                // and both endpoints are genuinely selected.
+                if s.selects_index(idx) {
+                    prop_assert!((lo..hi).contains(&idx));
+                }
+                match &s {
+                    Step::Index(_) | Step::Slice(..) => {
+                        prop_assert_eq!(s.selects_index(idx), (lo..hi).contains(&idx));
+                    }
+                    Step::IndexUnion(_) => {
+                        prop_assert!(s.selects_index(lo));
+                        prop_assert!(s.selects_index(hi - 1));
+                    }
+                    other => prop_assert!(false, "unexpected ranged step {:?}", other),
                 }
             }
+            None => match &s {
+                Step::AnyElement => prop_assert!(s.selects_index(idx)),
+                // Descendants need the sticky NFA transition and filters a
+                // value probe: plain index selection never fires for them,
+                // even though both are array steps.
+                _ => prop_assert!(!s.selects_index(idx)),
+            },
         }
     }
 
@@ -69,7 +153,7 @@ proptest! {
         let before = rt.depth();
         for i in 0..depth {
             let kind = if i % 2 == 0 { ContainerKind::Array } else { ContainerKind::Object };
-            rt.enter(kind, jsonski_path::State::Unmatched);
+            rt.enter(kind, jsonski_path::State::UNMATCHED);
         }
         for _ in 0..depth {
             rt.exit();

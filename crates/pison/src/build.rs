@@ -120,23 +120,42 @@ impl<'a> LeveledIndex<'a> {
         self.commas_in(level, from, to).next()
     }
 
+    /// The number of index levels `path` needs over `input`.
+    ///
+    /// Descendant-free queries touch at most `path.len()` nesting levels;
+    /// a `..` step can recurse arbitrarily deep, so the index must cover
+    /// the record's actual maximum nesting depth (found by a cheap
+    /// quote-aware byte scan).
+    pub fn levels_for(input: &[u8], path: &Path) -> usize {
+        let levels = if path.has_descendant() {
+            max_depth(input)
+        } else {
+            path.len()
+        };
+        levels.max(1)
+    }
+
     /// Evaluates a query against the index, returning raw match slices in
-    /// document order.
+    /// document order (pre-order: containers before their interior
+    /// matches), byte-identical to the streaming engines.
     ///
     /// # Panics
     ///
-    /// Panics if the index was built with fewer levels than `path.len()`.
+    /// Panics if the index is too shallow for the query: descendant-free
+    /// queries need `path.len()` levels, queries with `..` need the
+    /// record's full nesting depth. Size with [`LeveledIndex::levels_for`].
     pub fn query(&self, path: &Path) -> Vec<&'a [u8]> {
+        let needed = Self::levels_for(self.input, path);
         assert!(
-            path.len() <= self.levels,
+            needed <= self.levels,
             "index has {} levels but the query needs {}",
             self.levels,
-            path.len()
+            needed
         );
         let mut out = Vec::new();
         let span = trim(self.input, 0, self.input.len());
         if span.0 < span.1 {
-            collect(self, span, 0, path.steps(), &mut out);
+            collect(self, span, 0, path, path.root_state(), &mut out);
         }
         out
     }
@@ -197,6 +216,37 @@ impl Iterator for BitRange<'_> {
             self.current = self.words[self.word];
         }
     }
+}
+
+/// Maximum container nesting depth of `input`, by a quote-aware scalar
+/// scan (strings are skipped so braces inside them don't count).
+pub(crate) fn max_depth(input: &[u8]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1, // skip the escaped byte
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => {
+                    depth += 1;
+                    max = max.max(depth);
+                }
+                b'}' | b']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    max
 }
 
 /// Trims JSON whitespace from both ends of `[from, to)`.

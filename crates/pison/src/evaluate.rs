@@ -86,7 +86,7 @@ impl jsonski::Evaluate for PisonQuery {
                 message: e.to_string(),
             });
         }
-        let index = LeveledIndex::build(record, self.path.len().max(1));
+        let index = LeveledIndex::build(record, LeveledIndex::levels_for(record, &self.path));
         let mut matches = 0usize;
         for m in index.query(&self.path) {
             matches += 1;
@@ -128,7 +128,7 @@ impl jsonski::Evaluate for PisonQuery {
             metrics.record_outcome(record.len(), &outcome);
             return outcome;
         }
-        let index = LeveledIndex::build(record, self.path.len().max(1));
+        let index = LeveledIndex::build(record, LeveledIndex::levels_for(record, &self.path));
         let build_ns = sw.elapsed_ns();
         let mut matches = 0usize;
         let mut stopped = false;

@@ -1,27 +1,51 @@
 //! Index-guided query evaluation: jump colon-to-colon across object
 //! attributes and comma-to-comma across array elements (paper Figure 3-(b)).
+//!
+//! The walker carries the query automaton's position set ([`State`]) down
+//! the record, calling the shared transitions ([`Path::on_key`],
+//! [`Path::on_element`], [`Path::prune_state`]) at each edge. Matches are
+//! emitted *before* recursing so the output order is span-start ascending
+//! (pre-order), byte-identical to the streaming engines. Filter predicates
+//! probe the element's raw bytes directly from the input.
 
-use jsonpath::Step;
+use jsonpath::{ContainerKind, Path, State, Status};
 
 use crate::build::{trim, LeveledIndex};
 
-/// Collects matches of `steps` within the value spanning `span` at nesting
-/// `level` (level = number of containers entered so far).
+/// Collects matches within the value spanning `span` at nesting `level`
+/// (level = number of containers entered so far), whose automaton value
+/// state is `state` (possibly carrying the accept bit).
 pub(crate) fn collect<'a>(
     index: &LeveledIndex<'a>,
     span: (usize, usize),
     level: usize,
-    steps: &[Step],
+    path: &Path,
+    state: State,
     out: &mut Vec<&'a [u8]>,
 ) {
     let input = index.input();
     let (s, e) = span;
-    let Some((step, rest)) = steps.split_first() else {
-        out.push(&input[s..e]);
+    match path.status_of(state) {
+        Status::Unmatched => return,
+        Status::Accept => {
+            out.push(&input[s..e]);
+            return;
+        }
+        Status::AcceptAndDescend => out.push(&input[s..e]),
+        Status::Matched => {}
+    }
+    if level >= index.levels() {
+        // The index does not describe structure this deep; properly sized
+        // indexes (see [`LeveledIndex::levels_for`]) never reach here with
+        // live positions remaining.
         return;
-    };
-    match (input[s], step) {
-        (b'{', Step::Child(_) | Step::AnyChild) => {
+    }
+    match input[s] {
+        b'{' => {
+            let set = path.prune_state(state, ContainerKind::Object);
+            if set.is_unmatched() {
+                return;
+            }
             // Attribute k's value runs from its colon to the next level-
             // `level` comma (or the closing brace).
             let inner_end = e - 1; // position of '}'
@@ -29,19 +53,21 @@ pub(crate) fn collect<'a>(
                 let value_end = index
                     .next_comma(level, colon + 1, inner_end)
                     .unwrap_or(inner_end);
-                let matches = match step {
-                    Step::Child(name) => attr_name_matches(input, colon, name),
-                    _ => true,
+                let Some((ks, ke)) = attr_name_span(input, colon) else {
+                    continue;
                 };
-                if matches {
-                    let vspan = trim(input, colon + 1, value_end);
-                    if vspan.0 < vspan.1 {
-                        collect(index, vspan, level + 1, rest, out);
-                    }
+                let vs = path.on_key(set, &input[ks..ke]);
+                let vspan = trim(input, colon + 1, value_end);
+                if vspan.0 < vspan.1 {
+                    collect(index, vspan, level + 1, path, vs, out);
                 }
             }
         }
-        (b'[', s2) if s2.is_array_step() => {
+        b'[' => {
+            let set = path.prune_state(state, ContainerKind::Array);
+            if set.is_unmatched() {
+                return;
+            }
             let inner_end = e - 1; // position of ']'
             let mut elem_start = s + 1;
             let mut counter = 0usize;
@@ -51,9 +77,10 @@ pub(crate) fn collect<'a>(
                     .unwrap_or(inner_end);
                 let espan = trim(input, elem_start, elem_end);
                 if espan.0 < espan.1 {
-                    if step.selects_index(counter) {
-                        collect(index, espan, level + 1, rest, out);
-                    }
+                    let vs = path.on_element(set, counter, &mut |expr| {
+                        jsonpath::filter::eval(expr, &input[espan.0..])
+                    });
+                    collect(index, espan, level + 1, path, vs, out);
                     counter += 1;
                 }
                 if elem_end == inner_end {
@@ -62,25 +89,25 @@ pub(crate) fn collect<'a>(
                 elem_start = elem_end + 1;
             }
         }
-        _ => {} // primitive or kind mismatch: nothing can match deeper
+        _ => {} // primitive: nothing can match deeper
     }
 }
 
-/// Checks whether the attribute name ending just before `colon` equals
-/// `name`: the raw name span is recovered by scanning backwards from the
-/// colon (no tokenization of other attributes — the index already localized
-/// the candidate), then compared escape-aware like every other engine.
-fn attr_name_matches(input: &[u8], colon: usize, name: &str) -> bool {
+/// Recovers the raw span of the attribute name ending just before `colon`:
+/// scan backwards over whitespace to the closing quote, then back to the
+/// opening quote (a quote opens the name iff it is preceded by an even
+/// number of backslashes). No tokenization of other attributes — the index
+/// already localized the candidate. The returned span excludes the quotes;
+/// the automaton compares it escape-aware like every other engine.
+fn attr_name_span(input: &[u8], colon: usize) -> Option<(usize, usize)> {
     let mut i = colon;
     while i > 0 && matches!(input[i - 1], b' ' | b'\t' | b'\n' | b'\r') {
         i -= 1;
     }
     if i == 0 || input[i - 1] != b'"' {
-        return false;
+        return None;
     }
     let close = i - 1;
-    // Scan back to the opening quote: a quote opens the name iff it is
-    // preceded by an even number of backslashes.
     let mut j = close;
     while j > 0 {
         j -= 1;
@@ -90,11 +117,11 @@ fn attr_name_matches(input: &[u8], colon: usize, name: &str) -> bool {
                 backslashes += 1;
             }
             if backslashes % 2 == 0 {
-                return jsonpath::names::matches(&input[j + 1..close], name);
+                return Some((j + 1, close));
             }
         }
     }
-    false
+    None
 }
 
 #[cfg(test)]
@@ -104,7 +131,7 @@ mod tests {
 
     fn q<'a>(json: &'a [u8], query: &str) -> Vec<&'a [u8]> {
         let path: Path = query.parse().unwrap();
-        LeveledIndex::build(json, path.len().max(1)).query(&path)
+        LeveledIndex::build(json, LeveledIndex::levels_for(json, &path)).query(&path)
     }
 
     #[test]
@@ -169,5 +196,42 @@ mod tests {
         assert!(q(json, "$.a.b").is_empty());
         assert!(q(json, "$[*]").is_empty());
         assert!(q(json, "$.a[0].z").is_empty());
+    }
+
+    #[test]
+    fn descendant_matches_every_depth_in_pre_order() {
+        let json = br#"{"a": {"a": 1}, "b": [{"a": 2}], "c": 3}"#;
+        assert_eq!(q(json, "$..a"), vec![&br#"{"a": 1}"#[..], b"1", b"2"]);
+        assert_eq!(q(json, "$..b[0].a"), vec![&b"2"[..]]);
+    }
+
+    #[test]
+    fn descendant_index_applies_in_every_array() {
+        let json = br#"{"x": [[9, 8], [7]], "y": [6]}"#;
+        assert_eq!(q(json, "$..[0]"), vec![&b"[9, 8]"[..], b"9", b"7", b"6"]);
+    }
+
+    #[test]
+    fn descendant_deeper_than_path_len() {
+        // A 1-step descendant query must still reach depth 4: the index is
+        // sized by the record's nesting, not the query's length.
+        let json = br#"{"o": {"o": {"o": {"t": 5}}}}"#;
+        assert_eq!(q(json, "$..t"), vec![&b"5"[..]]);
+    }
+
+    #[test]
+    fn unions_select_listed_members() {
+        let json = br#"{"a": 1, "b": 2, "c": 3}"#;
+        assert_eq!(q(json, "$['a','c']"), vec![&b"1"[..], b"3"]);
+        let arr = br#"[10, 20, 30, 40]"#;
+        assert_eq!(q(arr, "$[0,2]"), vec![&b"10"[..], b"30"]);
+    }
+
+    #[test]
+    fn filters_probe_element_bytes() {
+        let json = br#"[{"x": 1}, {"x": 5}, {"y": 9}]"#;
+        assert_eq!(q(json, "$[?(@.x > 2)]"), vec![&br#"{"x": 5}"#[..]]);
+        let prims = br#"[1, "two", 3]"#;
+        assert_eq!(q(prims, "$[?(@ == 3)]"), vec![&b"3"[..]]);
     }
 }

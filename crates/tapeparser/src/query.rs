@@ -2,50 +2,77 @@
 //!
 //! Containers carry `next` links, so irrelevant subtrees are jumped over in
 //! O(1) — but only because stage 2 already paid to discover every span.
+//!
+//! The walker carries the query automaton's position set ([`State`]) down
+//! the tape, calling the shared transitions ([`Path::on_key`],
+//! [`Path::on_element`], [`Path::prune_state`]) at each edge. Matches are
+//! emitted *before* recursing so output order is span-start ascending
+//! (pre-order), byte-identical to the streaming engines. Filter predicates
+//! probe the element's source bytes via its tape span.
 
-use jsonpath::Step;
+use jsonpath::{ContainerKind, Path, State, Status};
 
 use crate::stage2::{EntryKind, Tape};
 
-/// Collects matches of `steps` under the value rooted at tape index `idx`.
-pub(crate) fn collect<'a>(tape: &Tape<'a>, idx: usize, steps: &[Step], out: &mut Vec<&'a [u8]>) {
+/// Collects matches under the value rooted at tape index `idx`, whose
+/// automaton value state is `state` (possibly carrying the accept bit).
+pub(crate) fn collect<'a>(
+    tape: &Tape<'a>,
+    idx: usize,
+    path: &Path,
+    state: State,
+    out: &mut Vec<&'a [u8]>,
+) {
     let entries = tape.entries();
     let entry = entries[idx];
-    let Some((step, rest)) = steps.split_first() else {
-        out.push(tape.text(idx));
-        return;
-    };
-    match (entry.kind, step) {
-        (EntryKind::Object, Step::Child(_) | Step::AnyChild) => {
+    match path.status_of(state) {
+        Status::Unmatched => return,
+        Status::Accept => {
+            out.push(tape.text(idx));
+            return;
+        }
+        Status::AcceptAndDescend => out.push(tape.text(idx)),
+        Status::Matched => {}
+    }
+    match entry.kind {
+        EntryKind::Object => {
+            let set = path.prune_state(state, ContainerKind::Object);
+            if set.is_unmatched() {
+                return;
+            }
             let end = entry.next as usize;
             let mut i = idx + 1;
             while i < end {
                 debug_assert_eq!(entries[i].kind, EntryKind::Key);
+                // Keys are stored raw; the transition compares escape-aware
+                // like all engines.
                 let key = tape.text(i);
                 let value = i + 1;
-                let matches = match step {
-                    Step::Child(name) => jsonpath::names::matches(key, name),
-                    _ => true,
-                };
-                if matches {
-                    collect(tape, value, rest, out);
-                }
+                let vs = path.on_key(set, key);
+                collect(tape, value, path, vs, out);
                 i = entries[value].next as usize;
             }
         }
-        (EntryKind::Array, s) if s.is_array_step() => {
+        EntryKind::Array => {
+            let set = path.prune_state(state, ContainerKind::Array);
+            if set.is_unmatched() {
+                return;
+            }
             let end = entry.next as usize;
+            let input = tape.input();
             let mut i = idx + 1;
             let mut counter = 0usize;
             while i < end {
-                if step.selects_index(counter) {
-                    collect(tape, i, rest, out);
-                }
+                let start = entries[i].span.0 as usize;
+                let vs = path.on_element(set, counter, &mut |expr| {
+                    jsonpath::filter::eval(expr, &input[start..])
+                });
+                collect(tape, i, path, vs, out);
                 i = entries[i].next as usize;
                 counter += 1;
             }
         }
-        _ => {}
+        _ => {} // scalar: nothing below to extend a live position
     }
 }
 
@@ -101,5 +128,40 @@ mod tests {
         let tape = Tape::build(json).unwrap();
         assert!(q(&tape, "$.a.b").is_empty());
         assert!(q(&tape, "$[0]").is_empty());
+    }
+
+    #[test]
+    fn descendant_matches_every_depth_in_pre_order() {
+        let json = br#"{"a": {"a": 1}, "b": [{"a": 2}], "c": 3}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$..a"), vec![&br#"{"a": 1}"#[..], b"1", b"2"]);
+        assert_eq!(q(&tape, "$..b[0].a"), vec![&b"2"[..]]);
+    }
+
+    #[test]
+    fn descendant_index_applies_in_every_array() {
+        let json = br#"{"x": [[9, 8], [7]], "y": [6]}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$..[0]"), vec![&b"[9, 8]"[..], b"9", b"7", b"6"]);
+    }
+
+    #[test]
+    fn unions_select_listed_members() {
+        let json = br#"{"a": 1, "b": 2, "c": 3}"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$['a','c']"), vec![&b"1"[..], b"3"]);
+        let arr = br#"[10, 20, 30, 40]"#;
+        let tape = Tape::build(arr).unwrap();
+        assert_eq!(q(&tape, "$[0,2]"), vec![&b"10"[..], b"30"]);
+    }
+
+    #[test]
+    fn filters_probe_element_bytes() {
+        let json = br#"[{"x": 1}, {"x": 5}, {"y": 9}]"#;
+        let tape = Tape::build(json).unwrap();
+        assert_eq!(q(&tape, "$[?(@.x > 2)]"), vec![&br#"{"x": 5}"#[..]]);
+        let prims = br#"[1, "two", 3]"#;
+        let tape = Tape::build(prims).unwrap();
+        assert_eq!(q(&tape, "$[?(@ == 3)]"), vec![&b"3"[..]]);
     }
 }

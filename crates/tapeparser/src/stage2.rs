@@ -124,7 +124,7 @@ impl<'a> Tape<'a> {
     pub fn query(&self, path: &Path) -> Vec<&'a [u8]> {
         let mut out = Vec::new();
         if !self.entries.is_empty() {
-            collect(self, 0, path.steps(), &mut out);
+            collect(self, 0, path, path.root_state(), &mut out);
         }
         out
     }

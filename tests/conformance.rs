@@ -411,6 +411,111 @@ fn forced_kernels_are_byte_identical_on_conformance_matrix() {
     }
 }
 
+/// Extended-grammar conformance rows: descendant `..`, wildcards, unions,
+/// and comparison filters. Paired with documents whose shapes make each
+/// construct do real work (recursion, duplicate-depth names, nested
+/// arrays). Used by both extended-grammar tests below.
+fn extended_grammar_matrix() -> Vec<(&'static [u8], Vec<&'static str>)> {
+    let store: &[u8] = br#"{"store": {"book": [{"id": 1, "price": 8.95, "tags": ["a"]}, {"id": 2, "price": 12.99, "tags": ["b", "c"]}], "bicycle": {"id": 3, "price": 19.95}}, "id": 0}"#;
+    let recursive: &[u8] =
+        br#"{"a": {"a": {"a": [1, 2]}, "b": [{"a": 3}, 4]}, "c": [[5], [6, {"a": 7}]]}"#;
+    let records: &[u8] = br#"[{"id": 4, "name": "x"}, {"id": 9, "name": "y"}, {"id": 2}, 11, "z"]"#;
+    vec![
+        (
+            store,
+            vec![
+                "$..id",
+                "$..price",
+                "$.store..id",
+                "$..book[*].id",
+                "$..book[0,1].price",
+                "$..book[?(@.id > 1)].tags",
+                "$.store['book','bicycle']..id",
+                "$..tags[0]",
+                "$..*",
+            ],
+        ),
+        (
+            recursive,
+            vec![
+                "$..a",
+                "$..a..a",
+                "$..[0]",
+                "$..a[1]",
+                "$.c[*][?(@ > 5)]",
+                "$['a','c']..*",
+            ],
+        ),
+        (
+            records,
+            vec![
+                "$[?(@.id > 3)]",
+                "$[?(@.id > 3)].name",
+                "$[?(@ == 11)]",
+                "$[?(@.name == 'y')]",
+                "$[?(@.name != 'y')]",
+                "$[0,3]",
+                "$..name",
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn extended_grammar_queries_agree_across_engines() {
+    // The PR-7 grammar (descendant, wildcard, unions, filters) through the
+    // same five-engine agreement harness as the paper queries, in both
+    // validation modes. Rows with a known non-empty answer assert it so a
+    // silently-empty agreement cannot pass.
+    for (doc, queries) in extended_grammar_matrix() {
+        let records = [doc];
+        for query in queries {
+            let agreed = assert_conformance(&records, query, "extended");
+            if !query.contains("!=") {
+                assert!(!agreed.is_empty(), "{query} found nothing");
+            }
+            let path: Path = query.parse().unwrap();
+            for e in strict_engines(&path) {
+                let got = match_stream(e.as_ref(), &records, query);
+                assert_eq!(got, agreed, "{query}: strict {} diverges", e.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn extended_grammar_is_kernel_invariant() {
+    // Every supported kernel × both validation modes must replay the
+    // extended-grammar rows byte-identically: fast-forward legality is
+    // decided per automaton state, never per kernel.
+    for (doc, queries) in extended_grammar_matrix() {
+        let records = [doc];
+        for query in queries {
+            let path: Path = query.parse().unwrap();
+            let auto = jsonski_repro::jsonski::JsonSki::new(path.clone());
+            let reference = match_stream(&auto, &records, query);
+            for &k in Kernel::all() {
+                if !k.is_supported() {
+                    continue;
+                }
+                for strict in [false, true] {
+                    let mut builder = EngineConfig::builder().kernel(Some(k));
+                    if strict {
+                        builder = builder.strict();
+                    }
+                    let forced = jsonski_repro::jsonski::JsonSki::new(path.clone())
+                        .with_config(builder.build());
+                    let got = match_stream(&forced, &records, query);
+                    assert_eq!(
+                        got, reference,
+                        "{query}: kernel {k:?} (strict={strict}) diverges"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn instrumented_evaluation_is_conformant() {
     // `evaluate_metered` must produce the exact same match stream as plain

@@ -27,15 +27,34 @@ use jsonski_repro::jsonski::{
 };
 
 /// Queries rotated across cases — chosen to hit the generator's fixed key
-/// pool so matching, seeking (G1/G4) and skipping (G2/G5) all fire.
-const QUERIES: &[&str] = &["$.a", "$.b", "$.user.id", "$[*].x", "$.tags[1:3]", "$.c[*]"];
+/// pool so matching, seeking (G1/G4) and skipping (G2/G5) all fire. The
+/// back half exercises the extended grammar (descendant, wildcard, unions,
+/// filters), where legality analysis disables some groups instead.
+const QUERIES: &[&str] = &[
+    "$.a",
+    "$.b",
+    "$.user.id",
+    "$[*].x",
+    "$.tags[1:3]",
+    "$.c[*]",
+    "$..a",
+    "$..id",
+    "$.user..x",
+    "$..[0]",
+    "$..*.name",
+    "$['a','c']",
+    "$[0,2].x",
+    "$[?(@.id > 0)]",
+    "$[?(@ == null)]",
+    "$.tags[?(@.x != 'y')]..b",
+];
 
 #[derive(Default)]
 struct Recorder(Vec<Vec<u8>>);
 
 impl MatchSink for Recorder {
-    fn on_match(&mut self, _idx: u64, bytes: &[u8]) -> ControlFlow<()> {
-        self.0.push(bytes.to_vec());
+    fn on_match(&mut self, m: jsonski_repro::jsonski::Match<'_>) -> ControlFlow<()> {
+        self.0.push(m.bytes().to_vec());
         ControlFlow::Continue(())
     }
 }
@@ -215,7 +234,15 @@ fn fuzz_smoke_differential() {
             CaseLabel::Fault { .. } => faults += 1,
             CaseLabel::Mutated => mutated += 1,
         }
-        let query = QUERIES[(seed % QUERIES.len() as u64) as usize];
+        // Odd seeds draw a generated full-grammar query; even seeds rotate
+        // the fixed list, so both spaces stay densely covered.
+        let generated;
+        let query = if seed % 2 == 1 {
+            generated = fuzz::QueryGen::new(seed).query();
+            generated.as_str()
+        } else {
+            QUERIES[(seed / 2 % QUERIES.len() as u64) as usize]
+        };
         check_record(
             &case.bytes,
             case.label,
@@ -240,6 +267,7 @@ fn corpus_replays_clean() {
     let mut entries: Vec<_> = std::fs::read_dir(&dir)
         .expect("tests/corpus missing")
         .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file()) // tests/corpus/jsonpath/ is a compliance suite, not raw records
         .collect();
     entries.sort();
     for path in entries {

@@ -1,0 +1,215 @@
+//! RFC 9535-style compliance suite: checked-in `(query, document,
+//! expected match stream)` triples from `tests/corpus/jsonpath/*.cases`,
+//! replayed table-driven against all five engines in both validation
+//! modes. JPStream — the automaton that evaluates descendant and filter
+//! steps natively — doubles as the in-matrix oracle: every engine must
+//! equal the checked-in stream, so every engine must equal JPStream.
+//!
+//! Corpus format: see `tests/corpus/jsonpath/README.md`.
+
+use std::ops::ControlFlow;
+
+use jsonski_repro::jsonpath::Path;
+use jsonski_repro::jsonski::{
+    EngineConfig, Evaluate, Match, MatchSink, RecordOutcome, ValidationMode,
+};
+
+/// One corpus triple.
+#[derive(Debug)]
+struct Case {
+    file: String,
+    line: usize,
+    query: String,
+    doc: Vec<u8>,
+    expected: Vec<Vec<u8>>,
+}
+
+/// Parses one `.cases` file: blocks of `query:` / `doc:` / `match:` lines
+/// separated by blank lines, `#` comments ignored.
+fn parse_cases(file: &str, text: &str) -> Vec<Case> {
+    let mut out = Vec::new();
+    let mut cur: Option<Case> = None;
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            if let Some(c) = cur.take() {
+                out.push(c);
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(": ")
+            .or_else(|| line.split_once(':').map(|(k, _)| (k, "")))
+            .unwrap_or_else(|| panic!("{file}:{ln}: not a `key: value` line: {line:?}"));
+        match key {
+            "query" => {
+                assert!(cur.is_none(), "{file}:{ln}: `query:` inside an open case");
+                cur = Some(Case {
+                    file: file.to_string(),
+                    line: ln,
+                    query: value.to_string(),
+                    doc: Vec::new(),
+                    expected: Vec::new(),
+                });
+            }
+            "doc" => {
+                let c = cur.as_mut().unwrap_or_else(|| {
+                    panic!("{file}:{ln}: `doc:` before `query:`");
+                });
+                assert!(c.doc.is_empty(), "{file}:{ln}: second `doc:` in one case");
+                c.doc = value.as_bytes().to_vec();
+            }
+            "match" => {
+                let c = cur.as_mut().unwrap_or_else(|| {
+                    panic!("{file}:{ln}: `match:` before `query:`");
+                });
+                c.expected.push(value.as_bytes().to_vec());
+            }
+            other => panic!("{file}:{ln}: unknown key {other:?}"),
+        }
+    }
+    out.extend(cur);
+    for c in &out {
+        assert!(
+            !c.doc.is_empty(),
+            "{}:{}: case has no `doc:` line",
+            c.file,
+            c.line
+        );
+    }
+    out
+}
+
+fn load_corpus() -> Vec<Case> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/jsonpath");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus/jsonpath missing")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cases"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "compliance corpus too small: {files:?}");
+    let mut cases = Vec::new();
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        cases.extend(parse_cases(&name, &text));
+    }
+    assert!(cases.len() >= 60, "only {} corpus cases", cases.len());
+    cases
+}
+
+#[derive(Default)]
+struct Recorder(Vec<Vec<u8>>);
+
+impl MatchSink for Recorder {
+    fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+        self.0.push(m.bytes().to_vec());
+        ControlFlow::Continue(())
+    }
+}
+
+/// All ten engine instances: the five engines, permissive and Strict.
+fn engines(path: &Path) -> Vec<(String, Box<dyn Evaluate>)> {
+    let mut out: Vec<(String, Box<dyn Evaluate>)> = Vec::new();
+    let strict = ValidationMode::Strict;
+    for mode in ["permissive", "strict"] {
+        let s = mode == "strict";
+        let ski = if s {
+            jsonski_repro::jsonski::JsonSki::new(path.clone())
+                .with_config(EngineConfig::builder().strict().build())
+        } else {
+            jsonski_repro::jsonski::JsonSki::new(path.clone())
+        };
+        out.push((format!("JSONSki/{mode}"), Box::new(ski)));
+        let jp = jsonski_repro::jpstream::JpStream::new(path.clone());
+        out.push((
+            format!("JPStream/{mode}"),
+            Box::new(if s { jp.with_validation(strict) } else { jp }),
+        ));
+        let dom = jsonski_repro::domparser::DomQuery::new(path.clone());
+        out.push((
+            format!("DOM/{mode}"),
+            Box::new(if s { dom.with_validation(strict) } else { dom }),
+        ));
+        let tape = jsonski_repro::tapeparser::TapeQuery::new(path.clone());
+        out.push((
+            format!("Tape/{mode}"),
+            Box::new(if s {
+                tape.with_validation(strict)
+            } else {
+                tape
+            }),
+        ));
+        let pison = jsonski_repro::pison::PisonQuery::new(path.clone());
+        out.push((
+            format!("Pison/{mode}"),
+            Box::new(if s {
+                pison.with_validation(strict)
+            } else {
+                pison
+            }),
+        ));
+    }
+    out
+}
+
+#[test]
+fn compliance_corpus_passes_on_all_engines() {
+    for case in load_corpus() {
+        let ctx = format!("{}:{} {}", case.file, case.line, case.query);
+        let path: Path = case
+            .query
+            .parse()
+            .unwrap_or_else(|e| panic!("{ctx}: query does not parse: {e}"));
+        for (name, engine) in engines(&path) {
+            let mut sink = Recorder::default();
+            match engine.evaluate(&case.doc, 0, &mut sink) {
+                RecordOutcome::Complete { matches } => {
+                    assert_eq!(matches, sink.0.len(), "{ctx}: {name} count mismatch");
+                }
+                other => panic!("{ctx}: {name} returned {other:?}"),
+            }
+            assert_eq!(
+                sink.0,
+                case.expected,
+                "{ctx}: {name} stream diverges from corpus\n got: {:?}\nwant: {:?}",
+                sink.0
+                    .iter()
+                    .map(|b| String::from_utf8_lossy(b).into_owned())
+                    .collect::<Vec<_>>(),
+                case.expected
+                    .iter()
+                    .map(|b| String::from_utf8_lossy(b).into_owned())
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+#[test]
+fn compliance_corpus_is_well_formed() {
+    // Every checked-in document must itself be valid JSON (the suite tests
+    // query semantics, not error recovery) and every expected match must
+    // appear as a byte span of its document.
+    for case in load_corpus() {
+        let ctx = format!("{}:{} {}", case.file, case.line, case.query);
+        assert_eq!(
+            jsonski_repro::jsonski::validate_record(&case.doc),
+            None,
+            "{ctx}: corpus document is not valid JSON"
+        );
+        for m in &case.expected {
+            assert!(
+                case.doc
+                    .windows(m.len().min(case.doc.len()).max(1))
+                    .any(|w| w == &m[..]),
+                "{ctx}: expected match {:?} is not a span of the document",
+                String::from_utf8_lossy(m)
+            );
+        }
+    }
+}

@@ -222,3 +222,38 @@ proptest! {
         });
     }
 }
+
+#[test]
+fn extended_queries_compose_with_pointer_extraction() {
+    // The two addressing layers compose: a full-grammar JSONPath query
+    // (descendant, filter) selects subtrees, and each match's bytes are a
+    // standalone record that RFC 6901 pointers drill into — the pointer
+    // trie never needs to know about the query grammar.
+    let record: &[u8] = br#"{"order": {"items": [{"sku": "A1"}], "sub": {"order": {"items": [{"sku": "B2"}, {"sku": "B3"}]}}}, "x": [1, 2]}"#;
+
+    // Descendant query, then a compiled multi-pointer trie per match.
+    let ski = jsonski_repro::jsonski::JsonSki::compile("$..order").unwrap();
+    let ex = Extractor::compile(&["/items/0/sku", "/items/1/sku"]).unwrap();
+    let mut skus = Vec::new();
+    for m in ski.matches(record).unwrap() {
+        let extraction = ex.extract(m.as_raw()).unwrap();
+        for i in 0..2 {
+            if let Some(v) = extraction.get(i) {
+                skus.push(v.as_str().unwrap().into_owned());
+            }
+        }
+    }
+    // Pre-order: the outer order object streams first.
+    assert_eq!(skus, ["A1", "B2", "B3"]);
+
+    // Filter query, then the one-shot getter on each element.
+    let ski = jsonski_repro::jsonski::JsonSki::compile("$..items[?(@.sku != 'B2')]").unwrap();
+    let mut got = Vec::new();
+    for m in ski.matches(record).unwrap() {
+        let v = jsonski_repro::jsonski::get(m.as_raw(), "/sku")
+            .unwrap()
+            .unwrap();
+        got.push(v.as_str().unwrap().into_owned());
+    }
+    assert_eq!(got, ["A1", "B3"]);
+}

@@ -70,15 +70,61 @@ fn key_name() -> BoxedStrategy<String> {
     .boxed()
 }
 
-/// Random queries over the same key universe.
-fn query() -> BoxedStrategy<String> {
-    let step = prop_oneof![
-        key_name().prop_map(|k| format!(".{k}")),
-        Just(".*".to_string()),
-        (0usize..4).prop_map(|i| format!("[{i}]")),
-        (0usize..3, 1usize..3).prop_map(|(a, d)| format!("[{a}:{}]", a + d)),
-        Just("[*]".to_string()),
+/// Comparison filters `[?(@ op lit)]` over the same key universe, so the
+/// `@`-path sometimes resolves against generated documents.
+fn filter_step() -> BoxedStrategy<String> {
+    let target = prop_oneof![
+        Just("@".to_string()),
+        key_name().prop_map(|k| format!("@.{k}")),
+        (0usize..3).prop_map(|i| format!("@[{i}]")),
     ];
+    let op = prop_oneof![
+        Just("=="),
+        Just("!="),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">=")
+    ];
+    let lit = prop_oneof![
+        (-50i64..50).prop_map(|n| n.to_string()),
+        key_name().prop_map(|k| format!("'{k}'")),
+        Just("true".to_string()),
+        Just("null".to_string()),
+    ];
+    (target, op, lit)
+        .prop_map(|(t, o, l)| format!("[?({t} {o} {l})]"))
+        .boxed()
+}
+
+/// Random queries over the same key universe, covering the full grammar:
+/// child/index/slice/wildcards plus descendant `..`, name and index
+/// unions, and comparison filters.
+fn query() -> BoxedStrategy<String> {
+    let simple = prop_oneof![
+        3 => key_name().prop_map(|k| format!(".{k}")),
+        1 => Just(".*".to_string()),
+        2 => (0usize..4).prop_map(|i| format!("[{i}]")),
+        1 => (0usize..3, 1usize..3).prop_map(|(a, d)| format!("[{a}:{}]", a + d)),
+        1 => Just("[*]".to_string()),
+        1 => prop::collection::vec(key_name(), 2..4).prop_map(|ks| {
+            let names: Vec<String> = ks.into_iter().map(|k| format!("'{k}'")).collect();
+            format!("[{}]", names.join(","))
+        }),
+        1 => prop::collection::vec(0usize..5, 2..4).prop_map(|is| {
+            let idx: Vec<String> = is.into_iter().map(|i| i.to_string()).collect();
+            format!("[{}]", idx.join(","))
+        }),
+        1 => filter_step(),
+    ];
+    // Descendant wraps the same inner selectors the parser accepts after
+    // `..`: a name, `*`, or a bracketed selector.
+    let descendant = prop_oneof![
+        key_name().prop_map(|k| format!("..{k}")),
+        Just("..*".to_string()),
+        (0usize..3).prop_map(|i| format!("..[{i}]")),
+    ];
+    let step = prop_oneof![5 => simple, 1 => descendant];
     prop::collection::vec(step, 0..5)
         .prop_map(|steps| format!("${}", steps.concat()))
         .boxed()
@@ -110,8 +156,8 @@ proptest! {
             .count(&path);
         prop_assert_eq!(tape, reference, "tape vs DOM: doc={} q={}", doc, q);
 
-        let pison = jsonski_repro::pison::LeveledIndex::build(record, path.len().max(1))
-            .count(&path);
+        let levels = jsonski_repro::pison::LeveledIndex::levels_for(record, &path);
+        let pison = jsonski_repro::pison::LeveledIndex::build(record, levels).count(&path);
         prop_assert_eq!(pison, reference, "Pison vs DOM: doc={} q={}", doc, q);
     }
 
@@ -174,9 +220,35 @@ proptest! {
         let tq = tape.query(&path);
         prop_assert_eq!(&tq, &want, "tape spans: doc={} q={}", doc, q);
 
-        let pison = jsonski_repro::pison::LeveledIndex::build(record, path.len().max(1));
+        let levels = jsonski_repro::pison::LeveledIndex::levels_for(record, &path);
+        let pison = jsonski_repro::pison::LeveledIndex::build(record, levels);
         let pq = pison.query(&path);
         prop_assert_eq!(&pq, &want, "Pison spans: doc={} q={}", doc, q);
+    }
+
+    #[test]
+    fn legality_restricted_run_equals_fast_forwards_disabled(doc in json_value(4), q in query()) {
+        // The per-state legality analysis decides which fast-forward
+        // groups each automaton state may use. Whatever it allows, the
+        // match stream must be byte-identical to a run with every
+        // toggleable group (G1/G4/G5) hard-disabled — i.e. legality can
+        // only ever skip bytes that could not change the output.
+        let record = doc.as_bytes();
+        let path: Path = q.parse().unwrap();
+        let restricted = jsonski_repro::jsonski::JsonSki::new(path.clone())
+            .matches(record)
+            .unwrap();
+        let disabled = jsonski_repro::jsonski::JsonSki::new(path)
+            .with_config(
+                jsonski_repro::jsonski::EngineConfig::builder()
+                    .g1(false)
+                    .g4(false)
+                    .g5(false)
+                    .build(),
+            )
+            .matches(record)
+            .unwrap();
+        prop_assert_eq!(restricted, disabled, "doc={} q={}", doc, q);
     }
 
     #[test]
