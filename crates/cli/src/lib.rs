@@ -14,6 +14,7 @@ use jsonski::{
     FINGERPRINT_BYTES,
 };
 
+pub mod serve;
 #[cfg(unix)]
 pub mod signals;
 
@@ -375,6 +376,7 @@ impl Options {
 /// Usage text.
 pub const USAGE: &str = "\
 usage: jsonski [OPTIONS] QUERY [QUERY...] [FILE]
+       jsonski serve [OPTIONS]        (see `jsonski serve --help`)
 
 Streams JSONPath matches from FILE (or stdin) using bit-parallel
 fast-forwarding. The input may be a single JSON record or a sequence of

@@ -12,7 +12,30 @@ use jsonski::CancellationToken;
 use jsonski_cli::{CliError, InputIdentity, Options, RunControls, RunReport, USAGE};
 
 fn main() -> ExitCode {
-    let opts = match jsonski_cli::parse_args(std::env::args().skip(1)) {
+    // `jsonski serve …` is a separate mode with its own flags, signal
+    // wiring (the server's drain token), and exit-code mapping.
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return match jsonski_cli::serve::parse_serve_args(args) {
+            Ok(opts) => match jsonski_cli::serve::run_serve(&opts) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("jsonski: {e}");
+                    ExitCode::from(e.exit_code())
+                }
+            },
+            Err(CliError::Help) => {
+                let _ = writeln!(std::io::stdout(), "{}", jsonski_cli::serve::SERVE_USAGE);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(e.exit_code())
+            }
+        };
+    }
+    let opts = match jsonski_cli::parse_args(args) {
         Ok(o) => o,
         Err(CliError::Help) => {
             // Not println!: piping help through `head` closes stdout early,

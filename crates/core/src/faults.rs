@@ -9,6 +9,10 @@
 //! * [`FaultyReader`] wraps any [`Read`] and injects short reads,
 //!   [`ErrorKind::Interrupted`], `WouldBlock`, early EOF (truncation), and
 //!   byte corruption according to a [`FaultPlan`].
+//! * [`FaultyConn`] wraps any [`Read`]`+`[`Write`] transport (a socket)
+//!   and additionally injects *write-side* faults — short writes,
+//!   mid-frame stalls, and hard disconnects — for torture-testing
+//!   framed-protocol servers from the client side.
 //! * [`mutate`] applies one seeded structural mutation to a record, for
 //!   building malformed-input corpora.
 //! * [`SplitMix64`] is the tiny PRNG underneath both (no external
@@ -16,7 +20,8 @@
 //!
 //! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
 
-use std::io::{Error, ErrorKind, Read};
+use std::io::{Error, ErrorKind, Read, Write};
+use std::time::Duration;
 
 /// SplitMix64: a tiny, high-quality, seedable PRNG (public-domain
 /// constants from Vigna's reference implementation). Deterministic across
@@ -59,6 +64,9 @@ pub struct FaultPlan {
     truncate_at: Option<u64>,
     corrupt_every: Option<u64>,
     panic_every: Option<u64>,
+    short_write_max: Option<usize>,
+    write_stall_every: Option<(u64, Duration)>,
+    disconnect_after_writes: Option<u64>,
 }
 
 impl FaultPlan {
@@ -72,6 +80,9 @@ impl FaultPlan {
             truncate_at: None,
             corrupt_every: None,
             panic_every: None,
+            short_write_max: None,
+            write_stall_every: None,
+            disconnect_after_writes: None,
         }
     }
 
@@ -117,6 +128,33 @@ impl FaultPlan {
     /// [`FaultyReader`], which injects byte-level faults only.
     pub fn panic_every(mut self, n: u64) -> Self {
         self.panic_every = Some(n.max(1));
+        self
+    }
+
+    /// Caps every [`FaultyConn`] write at a pseudo-random `1..=max` bytes,
+    /// so a framed payload crosses the wire in many fragments and the
+    /// peer's reassembly path is exercised. Ignored by [`FaultyReader`].
+    pub fn short_writes(mut self, max: usize) -> Self {
+        self.short_write_max = Some(max.max(1));
+        self
+    }
+
+    /// Makes every `n`-th [`FaultyConn`] write *attempt* sleep for
+    /// `stall` before proceeding — a slow-loris client. Pair with a
+    /// server-side read timeout to prove the stall budget closes the
+    /// connection. Ignored by [`FaultyReader`].
+    pub fn write_stall_every(mut self, n: u64, stall: Duration) -> Self {
+        self.write_stall_every = Some((n.max(1), stall));
+        self
+    }
+
+    /// Hard-disconnects a [`FaultyConn`] after `bytes` written bytes:
+    /// the write that crosses the threshold delivers the remainder up to
+    /// the threshold and every later write fails with
+    /// [`ErrorKind::ConnectionAborted`] — a client dying mid-frame.
+    /// Ignored by [`FaultyReader`].
+    pub fn disconnect_after_writes(mut self, bytes: u64) -> Self {
+        self.disconnect_after_writes = Some(bytes);
         self
     }
 }
@@ -229,6 +267,107 @@ impl<R: Read> Read for FaultyReader<R> {
         }
         self.delivered += n as u64;
         Ok(n)
+    }
+}
+
+/// A [`Read`]`+`[`Write`] adapter that injects *socket-level* faults per a
+/// [`FaultPlan`]: short writes ([`FaultPlan::short_writes`]), mid-frame
+/// stalls ([`FaultPlan::write_stall_every`]), and hard disconnects
+/// ([`FaultPlan::disconnect_after_writes`]) on the write side; short reads
+/// ([`FaultPlan::short_reads`]) and injected [`ErrorKind::Interrupted`]
+/// ([`FaultPlan::interrupt_every`]) on the read side.
+///
+/// Wrap a *client's* connection in it to torture a framed-protocol
+/// server: fragmented frames must still reassemble, a death mid-frame
+/// must not corrupt any other connection, and stalls must trip the
+/// server's slow-loris budget instead of pinning a thread. Like
+/// everything in this module it is fully deterministic per seed.
+#[derive(Debug)]
+pub struct FaultyConn<T> {
+    inner: T,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    write_attempts: u64,
+    written: u64,
+    read_attempts: u64,
+}
+
+impl<T: Read + Write> FaultyConn<T> {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed ^ 0xC0A8_1337_5EED_F00D);
+        FaultyConn {
+            inner,
+            plan,
+            rng,
+            write_attempts: 0,
+            written: 0,
+            read_attempts: 0,
+        }
+    }
+
+    /// Bytes actually written to the transport so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Consumes the wrapper, returning the underlying transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Shared access to the underlying transport (e.g. to set socket
+    /// timeouts).
+    pub fn get_ref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Read + Write> Read for FaultyConn<T> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.read_attempts += 1;
+        if let Some(n) = self.plan.interrupt_every {
+            if self.read_attempts.is_multiple_of(n) {
+                return Err(Error::new(ErrorKind::Interrupted, "injected interrupt"));
+            }
+        }
+        let mut cap = buf.len();
+        if let Some(max) = self.plan.short_read_max {
+            cap = cap.min(1 + self.rng.below(max as u64) as usize);
+        }
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+impl<T: Read + Write> Write for FaultyConn<T> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write_attempts += 1;
+        if let Some((n, stall)) = self.plan.write_stall_every {
+            if self.write_attempts.is_multiple_of(n) {
+                std::thread::sleep(stall);
+            }
+        }
+        let mut cap = buf.len();
+        if let Some(cut) = self.plan.disconnect_after_writes {
+            let left = cut.saturating_sub(self.written);
+            if left == 0 {
+                return Err(Error::new(
+                    ErrorKind::ConnectionAborted,
+                    "injected disconnect",
+                ));
+            }
+            cap = cap.min(usize::try_from(left).unwrap_or(usize::MAX));
+        }
+        if let Some(max) = self.plan.short_write_max {
+            cap = cap.min(1 + self.rng.below(max as u64) as usize);
+        }
+        let n = self.inner.write(&buf[..cap])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -345,6 +484,92 @@ mod tests {
         // A plan without the knob never panics.
         let quiet = PanicInjector::new(&engine, &FaultPlan::new(0));
         assert!(!quiet.evaluate(b"{\"a\": 1}", 2, &mut sink).is_failed());
+    }
+
+    /// An in-memory duplex stand-in for a socket: reads from one buffer,
+    /// writes to another.
+    struct MemConn {
+        rx: std::io::Cursor<Vec<u8>>,
+        tx: Vec<u8>,
+    }
+
+    impl Read for MemConn {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.rx.read(buf)
+        }
+    }
+
+    impl Write for MemConn {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.tx.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn faulty_conn_short_writes_fragment_but_deliver_everything() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(2000).collect();
+        let conn = MemConn {
+            rx: std::io::Cursor::new(Vec::new()),
+            tx: Vec::new(),
+        };
+        let mut fc = FaultyConn::new(conn, FaultPlan::new(5).short_writes(3));
+        fc.write_all(&payload).unwrap();
+        assert_eq!(fc.written(), payload.len() as u64);
+        assert!(fc.write_attempts >= payload.len() as u64 / 3);
+        assert_eq!(fc.into_inner().tx, payload, "fragments must reassemble");
+    }
+
+    #[test]
+    fn faulty_conn_disconnect_cuts_mid_frame() {
+        let conn = MemConn {
+            rx: std::io::Cursor::new(Vec::new()),
+            tx: Vec::new(),
+        };
+        let mut fc = FaultyConn::new(conn, FaultPlan::new(1).disconnect_after_writes(10));
+        let err = fc.write_all(&[9u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionAborted);
+        assert_eq!(fc.written(), 10, "exactly the threshold leaks out");
+        assert_eq!(fc.get_ref().tx.len(), 10);
+    }
+
+    #[test]
+    fn faulty_conn_reads_honor_short_reads_and_interrupts() {
+        let conn = MemConn {
+            rx: std::io::Cursor::new((0..100u8).collect()),
+            tx: Vec::new(),
+        };
+        let mut fc = FaultyConn::new(conn, FaultPlan::new(2).short_reads(4).interrupt_every(3));
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match fc.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    assert!(n <= 4, "short-read cap violated");
+                    out.extend_from_slice(&buf[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, (0..100u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn faulty_conn_write_stall_fires_on_schedule() {
+        let conn = MemConn {
+            rx: std::io::Cursor::new(Vec::new()),
+            tx: Vec::new(),
+        };
+        let stall = Duration::from_millis(30);
+        let mut fc = FaultyConn::new(conn, FaultPlan::new(0).write_stall_every(2, stall));
+        let start = std::time::Instant::now();
+        fc.write_all(&[1u8; 4]).unwrap(); // attempt 1: no stall
+        fc.write_all(&[2u8; 4]).unwrap(); // attempt 2: stalls
+        assert!(start.elapsed() >= stall, "second write must have stalled");
     }
 
     #[test]

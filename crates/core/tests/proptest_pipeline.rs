@@ -110,6 +110,31 @@ fn batch() -> BoxedStrategy<Vec<Vec<u8>>> {
     .boxed()
 }
 
+/// A record that breaks the *splitter* (not just evaluation): excess
+/// closers error mid-stream and resynchronize past the line; unbalanced
+/// opens swallow following lines until balance or end of stream. Both
+/// exercise [`MatchSink::on_resync`] under [`ErrorPolicy::SkipMalformed`].
+fn splitter_breaking_record() -> BoxedStrategy<Vec<u8>> {
+    prop_oneof![
+        Just(b"]".to_vec()),
+        Just(b"}".to_vec()),
+        Just(b"[1, 2]]".to_vec()),
+        Just(b"{\"a\": 1}}".to_vec()),
+        Just(b"{\"a\": [1, 2".to_vec()),
+    ]
+    .boxed()
+}
+
+/// A batch dense in splitter-breaking damage, so most runs resynchronize
+/// at least once.
+fn resync_batch() -> BoxedStrategy<Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop_oneof![2 => valid_record(), 1 => splitter_breaking_record()],
+        1..12,
+    )
+    .boxed()
+}
+
 fn query() -> BoxedStrategy<String> {
     prop_oneof![
         Just("$.a".to_string()),
@@ -330,6 +355,107 @@ proptest! {
         prop_assert_eq!(first.failed + second.failed, full.failed);
         prop_assert_eq!(first.resyncs + second.resyncs, full.resyncs);
         prop_assert_eq!(first.resync_bytes + second.resync_bytes, full.resync_bytes);
+
+        let whole: Vec<&[u8]> = full_sink.matches.iter().map(|(_, b)| b.as_slice()).collect();
+        let glued: Vec<&[u8]> = first_sink
+            .matches
+            .iter()
+            .chain(second_sink.matches.iter())
+            .map(|(_, b)| b.as_slice())
+            .collect();
+        prop_assert_eq!(glued, whole, "q={} jobs={} cancel_at={}", q, jobs, cancel_at);
+    }
+
+    // A cancellation that lands *during* a SkipMalformed resynchronization
+    // must still leave a consistent committed offset: the abandoned span is
+    // either fully inside the first leg (counted once, offset past it) or
+    // fully in the resumed leg — never split, never double-counted. The two
+    // legs' summaries must sum to the uninterrupted run's, counter for
+    // counter, resync bytes included.
+    #[test]
+    fn cancel_during_resync_still_commits_consistently(
+        records in resync_batch(),
+        q in query(),
+        cancel_at in 1usize..4,
+        jobs in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let engine = JsonSki::compile(&q).unwrap();
+        let mut stream = Vec::new();
+        for r in &records {
+            stream.extend_from_slice(r);
+            stream.push(b'\n');
+        }
+
+        let run_slice = |bytes: &[u8]| {
+            let mut source = SliceRecords::new(bytes);
+            let mut sink = Recorder::default();
+            let summary = Pipeline::new()
+                .workers(jobs)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .run(&engine, &mut source, &mut sink)
+                .unwrap();
+            (sink, summary)
+        };
+
+        let (full_sink, full) = run_slice(&stream);
+
+        // First leg: trip the token inside the `cancel_at`-th resync report,
+        // mid-resynchronization from the pipeline's point of view.
+        struct CancelOnResync<'a> {
+            inner: &'a mut Recorder,
+            resyncs_seen: &'a mut usize,
+            at: usize,
+            token: &'a CancellationToken,
+        }
+        impl MatchSink for CancelOnResync<'_> {
+            fn on_match(&mut self, m: Match<'_>) -> ControlFlow<()> {
+                self.inner.on_match(m)
+            }
+            fn on_record_error(&mut self, record_idx: u64, error: &EngineError) -> ControlFlow<()> {
+                self.inner.on_record_error(record_idx, error)
+            }
+            fn on_resync(&mut self, _span: (u64, u64), _error: &EngineError) -> ControlFlow<()> {
+                *self.resyncs_seen += 1;
+                if *self.resyncs_seen == self.at {
+                    self.token.cancel();
+                }
+                ControlFlow::Continue(())
+            }
+        }
+        let token = CancellationToken::new();
+        let mut first_sink = Recorder::default();
+        let mut resyncs_seen = 0usize;
+        let first = {
+            let mut source = SliceRecords::new(&stream);
+            let mut sink = CancelOnResync {
+                inner: &mut first_sink,
+                resyncs_seen: &mut resyncs_seen,
+                at: cancel_at,
+                token: &token,
+            };
+            Pipeline::new()
+                .workers(jobs)
+                .error_policy(ErrorPolicy::SkipMalformed)
+                .cancel_token(token.clone())
+                .run(&engine, &mut source, &mut sink)
+                .unwrap()
+        };
+
+        // The first leg's own accounting must agree with what the sink saw,
+        // and its committed offset must stay inside the stream.
+        prop_assert_eq!(first.resyncs, resyncs_seen as u64);
+        prop_assert!(first.committed_offset as usize <= stream.len());
+
+        let (second_sink, second) = run_slice(&stream[first.committed_offset as usize..]);
+
+        prop_assert_eq!(first.records + second.records, full.records,
+            "records: q={} jobs={} cancel_at={}", q, jobs, cancel_at);
+        prop_assert_eq!(first.matches + second.matches, full.matches);
+        prop_assert_eq!(first.failed + second.failed, full.failed);
+        prop_assert_eq!(first.resyncs + second.resyncs, full.resyncs,
+            "resyncs: q={} jobs={} cancel_at={}", q, jobs, cancel_at);
+        prop_assert_eq!(first.resync_bytes + second.resync_bytes, full.resync_bytes,
+            "resync bytes: q={} jobs={} cancel_at={}", q, jobs, cancel_at);
 
         let whole: Vec<&[u8]> = full_sink.matches.iter().map(|(_, b)| b.as_slice()).collect();
         let glued: Vec<&[u8]> = first_sink

@@ -88,19 +88,40 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     (start.elapsed(), r)
 }
 
+/// A timing request that cannot produce a measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingError {
+    /// `reps` was zero: there is no minimum of an empty sample.
+    ZeroReps,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::ZeroReps => write!(f, "time_min needs at least one repetition"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
 /// Runs `f` `reps` times and returns the minimum duration with the last
 /// result (minimum-of-N is the conventional noise filter for wall-clock
 /// micro-measurements).
-pub fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
-    assert!(reps > 0);
-    let mut best: Option<Duration> = None;
-    let mut last = None;
+///
+/// # Errors
+///
+/// [`TimingError::ZeroReps`] when `reps` is zero — an empty sample has no
+/// minimum, and a measurement harness must diagnose a misconfigured rep
+/// count rather than panic mid-experiment.
+pub fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> Result<(Duration, R), TimingError> {
+    let mut measured: Option<(Duration, R)> = None;
     for _ in 0..reps {
         let (d, r) = time(&mut f);
-        best = Some(best.map_or(d, |b| b.min(d)));
-        last = Some(r);
+        let best = measured.map_or(d, |(b, _)| b.min(d));
+        measured = Some((best, r));
     }
-    (best.unwrap(), last.unwrap())
+    measured.ok_or(TimingError::ZeroReps)
 }
 
 #[cfg(test)]
@@ -139,8 +160,21 @@ mod tests {
         let mut calls = 0;
         let (d, _) = time_min(3, || {
             calls += 1;
-        });
+        })
+        .unwrap();
         assert_eq!(calls, 3);
         assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn time_min_zero_reps_is_a_typed_error_not_a_panic() {
+        let mut calls = 0;
+        let err = time_min(0, || {
+            calls += 1;
+        })
+        .unwrap_err();
+        assert_eq!(calls, 0);
+        assert_eq!(err, TimingError::ZeroReps);
+        assert!(err.to_string().contains("at least one repetition"));
     }
 }

@@ -1,0 +1,212 @@
+//! Admission control: the bounded request queue and per-tenant quotas.
+//!
+//! Load shedding happens *before* a request touches a worker. A request is
+//! admitted only if (a) the bounded queue is below its watermark and (b)
+//! its tenant is under quota; otherwise the caller gets a typed
+//! [`ShedReason`] to turn into a 429-style response immediately. An
+//! admitted request holds a tenant slot until its response has been
+//! written (RAII [`TenantPermit`]), so quota counts cover the whole
+//! request lifetime, not just queue residency.
+//!
+//! Queue occupancy at every enqueue is recorded into the engine's
+//! pipeline-health histogram ([`Metrics::record_queue_occupancy`]) — the
+//! same instrument the `Pipeline` uses — so one scrape shows both socket
+//! and evaluation pressure.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use jsonski::Metrics;
+
+use crate::protocol::ShedReason;
+
+/// A unit of queued work: opaque to the dispatcher, executed by a worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Requests admitted but not yet finished by a worker (queue residents
+    /// plus in-evaluation). Bounded by `max_queue`.
+    queued: usize,
+    /// Per-tenant in-flight counts (admission through response write).
+    tenants: HashMap<String, usize>,
+    shutting_down: bool,
+}
+
+/// The shared admission gate + work queue feeding the worker pool.
+pub struct Dispatcher {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    max_queue: usize,
+    tenant_quota: usize,
+    metrics: Arc<Metrics>,
+}
+
+/// RAII guard for one tenant's in-flight slot; dropping it releases the
+/// slot. Held by the connection thread until the response is on the wire.
+pub struct TenantPermit {
+    dispatcher: Arc<Dispatcher>,
+    tenant: String,
+}
+
+impl std::fmt::Debug for TenantPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantPermit")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        let mut state = self.dispatcher.state.lock().unwrap();
+        if let Some(n) = state.tenants.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                state.tenants.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with a queue watermark of `max_queue` admitted
+    /// requests and at most `tenant_quota` in-flight requests per tenant.
+    pub fn new(max_queue: usize, tenant_quota: usize, metrics: Arc<Metrics>) -> Arc<Self> {
+        Arc::new(Dispatcher {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                queued: 0,
+                tenants: HashMap::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            max_queue: max_queue.max(1),
+            tenant_quota: tenant_quota.max(1),
+            metrics,
+        })
+    }
+
+    /// Tries to admit a request for `tenant`: checks the queue watermark
+    /// and the tenant quota, and on success reserves a tenant slot.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ShedReason`] the server turns into a 429-style frame.
+    pub fn admit(self: &Arc<Self>, tenant: &str) -> Result<TenantPermit, ShedReason> {
+        let mut state = self.state.lock().unwrap();
+        if state.queued >= self.max_queue {
+            return Err(ShedReason::QueueFull);
+        }
+        let count = state.tenants.entry(tenant.to_string()).or_insert(0);
+        if *count >= self.tenant_quota {
+            return Err(ShedReason::TenantQuota);
+        }
+        *count += 1;
+        state.queued += 1;
+        drop(state);
+        Ok(TenantPermit {
+            dispatcher: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Queues an admitted request's job for the worker pool and records
+    /// queue occupancy into the pipeline-health histogram.
+    pub fn enqueue(&self, job: Job) {
+        let mut state = self.state.lock().unwrap();
+        state.queue.push_back(job);
+        self.metrics.record_queue_occupancy(state.queued as u64);
+        drop(state);
+        self.work_ready.notify_one();
+    }
+
+    /// Worker loop: blocks for the next job; returns `None` once shutdown
+    /// has been signalled *and* the queue is fully drained (jobs enqueued
+    /// before shutdown are always executed — that is the drain guarantee).
+    pub fn next_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                return Some(job);
+            }
+            if state.shutting_down {
+                return None;
+            }
+            state = self.work_ready.wait(state).unwrap();
+        }
+    }
+
+    /// Marks one admitted request finished (its job ran or was abandoned),
+    /// releasing its queue slot.
+    pub fn finish(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.queued = state.queued.saturating_sub(1);
+    }
+
+    /// Signals workers to exit once the queue is drained.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.shutting_down = true;
+        drop(state);
+        self.work_ready.notify_all();
+    }
+
+    /// Admitted-but-unfinished request count (queue + in evaluation).
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatcher(max_queue: usize, quota: usize) -> Arc<Dispatcher> {
+        Dispatcher::new(max_queue, quota, Arc::new(Metrics::disabled()))
+    }
+
+    #[test]
+    fn queue_watermark_sheds() {
+        let d = dispatcher(2, 10);
+        let _a = d.admit("t").unwrap();
+        let _b = d.admit("t").unwrap();
+        assert_eq!(d.admit("t").unwrap_err(), ShedReason::QueueFull);
+        d.finish();
+        let _c = d.admit("t").unwrap();
+    }
+
+    #[test]
+    fn tenant_quota_sheds_and_releases_on_drop() {
+        let d = dispatcher(100, 2);
+        let a = d.admit("alice").unwrap();
+        let _b = d.admit("alice").unwrap();
+        assert_eq!(d.admit("alice").unwrap_err(), ShedReason::TenantQuota);
+        // Another tenant is unaffected.
+        let _c = d.admit("bob").unwrap();
+        drop(a);
+        let _d2 = d.admit("alice").unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_before_stopping_workers() {
+        let d = dispatcher(10, 10);
+        let ran = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..3 {
+            let _permit = d.admit("t").unwrap();
+            let ran = Arc::clone(&ran);
+            d.enqueue(Box::new(move || {
+                ran.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }));
+            std::mem::forget(_permit);
+        }
+        d.shutdown();
+        // A worker that starts after shutdown still sees the queued jobs.
+        while let Some(job) = d.next_job() {
+            job();
+            d.finish();
+        }
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 3);
+        assert_eq!(d.in_flight(), 0);
+    }
+}

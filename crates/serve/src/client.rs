@@ -1,0 +1,155 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! Shared by the test suites, the CLI drain smoke test, and the
+//! `serve_guard` bench — one frame out, one frame in, fully typed. Not a
+//! connection pool; open one [`Client`] per thread.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use crate::protocol::{
+    encode_frame, encode_request, parse_response, read_frame, Op, ProtocolError, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking serve-protocol client over TCP or a unix socket.
+pub struct Client {
+    transport: Transport,
+    /// Client-side cap on response payloads.
+    pub max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// The socket `connect` failure.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            transport: Transport::Tcp(stream),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Connects over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// The socket `connect` failure.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            transport: Transport::Unix(UnixStream::connect(path)?),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sets an OS-level read timeout for responses.
+    ///
+    /// # Errors
+    ///
+    /// The socket option failure.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> std::io::Result<()> {
+        match &self.transport {
+            Transport::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Sends a raw request payload and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a malformed response frame; a server that
+    /// closes the connection mid-response surfaces as
+    /// [`ProtocolError::TruncatedFrame`].
+    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Response, ProtocolError> {
+        self.transport.write_all(&encode_frame(payload))?;
+        self.transport.flush()?;
+        let frame = read_frame(&mut self.transport, self.max_frame_bytes)?.ok_or(
+            ProtocolError::TruncatedFrame {
+                got: 0,
+                expected: crate::protocol::LEN_PREFIX,
+            },
+        )?;
+        parse_response(&frame)
+    }
+
+    /// Evaluates `query` over an NDJSON `body`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn query(
+        &mut self,
+        id: &str,
+        tenant: &str,
+        query: &str,
+        deadline_ms: Option<u64>,
+        body: &[u8],
+    ) -> Result<Response, ProtocolError> {
+        let payload = encode_request(Op::Query, id, tenant, query, deadline_ms, false, body);
+        self.request_raw(&payload)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn ping(&mut self) -> Result<Response, ProtocolError> {
+        let payload = encode_request(Op::Ping, "ping", "anon", "", None, false, b"");
+        self.request_raw(&payload)
+    }
+
+    /// Fetches the metrics scrape (`json` selects the JSON rendering).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn metrics(&mut self, json: bool) -> Result<Response, ProtocolError> {
+        let payload = encode_request(Op::Metrics, "metrics", "anon", "", None, json, b"");
+        self.request_raw(&payload)
+    }
+}

@@ -1,0 +1,68 @@
+//! `jsonski-serve`: a fault-tolerant, load-shedding query-service daemon.
+//!
+//! PRs 3–5 made a *single run* robust — fault injection, resource limits,
+//! crash safety, strict validation. This crate makes the engine survive
+//! *between* runs: a long-running TCP/unix-socket daemon that amortizes
+//! process startup and query compilation across requests, engineered
+//! robustness-first and — like the rest of the workspace — with zero
+//! external dependencies.
+//!
+//! The design splits into four layers:
+//!
+//! * [`protocol`] — length-prefixed JSONL frames: a 4-byte big-endian
+//!   length, a JSON header line, and a raw NDJSON body. Responses are
+//!   written with a single `write_all`, so a client can never observe a
+//!   truncated or interleaved frame.
+//! * [`admission`] — the bounded request queue and per-tenant quotas.
+//!   Overload produces an immediate, typed `429 shed` response instead of
+//!   queue collapse; occupancy feeds the engine's pipeline-health
+//!   histograms.
+//! * [`cache`] — an LRU cache of compiled queries keyed by
+//!   `(query, config digest)`, so repeat queries skip JSONPath parsing and
+//!   automaton construction entirely.
+//! * [`server`] — the daemon itself: per-request deadlines enforced by the
+//!   connection thread as watchdog and threaded through
+//!   [`ResourceLimits::deadline`](jsonski::ResourceLimits) +
+//!   [`CancellationToken`](jsonski::CancellationToken) into evaluation;
+//!   slow-loris read timeouts with a budgeted stall allowance; per-request
+//!   `catch_unwind`; and SIGTERM-style graceful drain that finishes every
+//!   in-flight request before returning.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use jsonski_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().to_string();
+//! let shutdown = server.shutdown_token();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect_tcp(&addr).unwrap();
+//! let resp = client
+//!     .query("req-1", "tenant-a", "$.a[*]", None, b"{\"a\": [1, 2]}\n")
+//!     .unwrap();
+//! assert!(resp.is_ok());
+//! assert_eq!(resp.body, b"1\n2\n");
+//!
+//! shutdown.cancel(); // graceful drain
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Dispatcher, TenantPermit};
+pub use cache::QueryCache;
+pub use client::Client;
+pub use protocol::{
+    encode_frame, encode_request, encode_response, parse_request, parse_response, read_frame,
+    write_frame, Op, ProtocolError, Request, Response, ShedReason, Status, DEFAULT_MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, ServeStats, ServeSummary, Server};

@@ -1,0 +1,601 @@
+//! The wire protocol: length-prefixed JSONL frames.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly that
+//! many payload bytes. The payload is one JSON *header line* (terminated by
+//! the first `\n`) followed by a raw *body*:
+//!
+//! ```text
+//! [u32 len] {"op":"query","id":"7","tenant":"t1","query":"$.a"}\n{"a":1}\n{"a":2}\n
+//! ```
+//!
+//! Keeping the body raw (instead of escaping it into a JSON string) means
+//! the per-request cost is dominated by the engine's parse of the body —
+//! the bar set by the "Parsing Gigabytes of JSON per Second" line of work —
+//! not by protocol re-encoding. The header is parsed with the engine's own
+//! RFC 6901 [`jsonski::get`] extractor, so the daemon dogfoods the library
+//! it serves.
+//!
+//! Responses use the same shape: a JSON header line carrying an HTTP-style
+//! status code, then the body (match lines for `ok`, scrape text for
+//! `metrics`). A response frame is always written with a single buffered
+//! `write_all`, so a client never observes a truncated or interleaved
+//! frame: either the whole frame arrives or the connection drops.
+
+use std::io::{Read, Write};
+
+/// Frame length prefix size in bytes.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default cap on one frame's payload (16 MiB). A frame is buffered in full
+/// before evaluation, so the cap bounds per-connection memory.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Operation requested by a frame header's `"op"` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Evaluate `"query"` over the body's NDJSON records (the default).
+    Query,
+    /// Return the server's metrics registry as a scrape body.
+    Metrics,
+    /// Liveness probe; echoes `id` with an empty body.
+    Ping,
+}
+
+/// HTTP-style response status, serialized as `"code"`/`"status"` in the
+/// response header line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — the query ran; the body holds its match lines.
+    Ok,
+    /// 400 — the frame or header could not be understood.
+    BadRequest,
+    /// 408 — the request exceeded its deadline; evaluation was cancelled
+    /// at a record boundary and any partial output discarded.
+    Timeout,
+    /// 422 — the body failed evaluation under fail-fast.
+    EvalFailed,
+    /// 429 — admission control shed the request (queue pressure or
+    /// per-tenant quota); retry later.
+    Shed,
+    /// 500 — evaluation panicked; the worker survived, the request did not.
+    Panic,
+    /// 503 — the server is draining after a shutdown signal and no longer
+    /// accepts new work.
+    Draining,
+}
+
+impl Status {
+    /// The numeric code carried on the wire.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::Timeout => 408,
+            Status::EvalFailed => 422,
+            Status::Shed => 429,
+            Status::Panic => 500,
+            Status::Draining => 503,
+        }
+    }
+
+    /// The symbolic name carried on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad_request",
+            Status::Timeout => "timeout",
+            Status::EvalFailed => "eval_failed",
+            Status::Shed => "shed",
+            Status::Panic => "panic",
+            Status::Draining => "draining",
+        }
+    }
+}
+
+/// Why admission control rejected a request (the `"reason"` field of a
+/// [`Status::Shed`] response).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded request queue is at its watermark.
+    QueueFull,
+    /// The tenant already has its quota of requests in flight.
+    TenantQuota,
+}
+
+impl ShedReason {
+    /// The symbolic name carried on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::TenantQuota => "tenant_quota",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Requested operation.
+    pub op: Op,
+    /// The client's `"id"` value, kept as its raw JSON span and echoed
+    /// verbatim in the response (so string and numeric ids both work).
+    pub id: Vec<u8>,
+    /// Tenant name for quota accounting (`"anon"` when absent).
+    pub tenant: String,
+    /// JSONPath expression (required when `op` is [`Op::Query`]).
+    pub query: String,
+    /// Optional per-request deadline in milliseconds; the server clamps it
+    /// to its own maximum.
+    pub deadline_ms: Option<u64>,
+    /// `"format"` for [`Op::Metrics`]: `true` renders JSON, `false` text.
+    pub metrics_json: bool,
+    /// The raw NDJSON body (bytes after the header line).
+    pub body: Vec<u8>,
+}
+
+/// A protocol-level failure while reading or parsing a frame.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer closed the connection in the middle of a frame.
+    TruncatedFrame {
+        /// Bytes of the frame (prefix included) that did arrive.
+        got: usize,
+        /// Bytes the frame declared.
+        expected: usize,
+    },
+    /// The declared payload length exceeds the configured cap.
+    FrameTooLarge {
+        /// The declared length.
+        len: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The header line is missing, not valid JSON, or missing a required
+    /// field.
+    BadHeader(String),
+    /// The peer stalled mid-frame past the read-timeout retry budget
+    /// (slow-loris defense).
+    Stalled,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::TruncatedFrame { got, expected } => {
+                write!(f, "connection closed mid-frame ({got}/{expected} bytes)")
+            }
+            ProtocolError::FrameTooLarge { len, limit } => {
+                write!(f, "frame of {len} bytes exceeds the {limit}-byte cap")
+            }
+            ProtocolError::BadHeader(m) => write!(f, "bad request header: {m}"),
+            ProtocolError::Stalled => {
+                write!(f, "peer stalled mid-frame past the read-timeout budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Encodes one frame (length prefix + payload) into a fresh buffer.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(LEN_PREFIX + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Builds a request payload (header line + body) from its parts. Helper
+/// for clients; the server only decodes.
+pub fn encode_request(
+    op: Op,
+    id: &str,
+    tenant: &str,
+    query: &str,
+    deadline_ms: Option<u64>,
+    metrics_json: bool,
+    body: &[u8],
+) -> Vec<u8> {
+    let mut header = String::from("{");
+    let op_name = match op {
+        Op::Query => "query",
+        Op::Metrics => "metrics",
+        Op::Ping => "ping",
+    };
+    header.push_str(&format!("\"op\": \"{op_name}\""));
+    header.push_str(&format!(", \"id\": \"{}\"", json_escape(id)));
+    header.push_str(&format!(", \"tenant\": \"{}\"", json_escape(tenant)));
+    if !query.is_empty() {
+        header.push_str(&format!(", \"query\": \"{}\"", json_escape(query)));
+    }
+    if let Some(ms) = deadline_ms {
+        header.push_str(&format!(", \"deadline_ms\": {ms}"));
+    }
+    if metrics_json {
+        header.push_str(", \"format\": \"json\"");
+    }
+    header.push('}');
+    let mut payload = header.into_bytes();
+    payload.push(b'\n');
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a request payload: header line via the engine's own JSON-pointer
+/// extractor, body as the raw remainder.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadHeader`] when the header line is absent, is not a
+/// JSON object, or lacks a required field.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let nl = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ProtocolError::BadHeader("missing header line terminator".into()))?;
+    let (header, body) = (&payload[..nl], &payload[nl + 1..]);
+    let field = |ptr: &str| -> Result<Option<jsonski::LazyValue<'_>>, ProtocolError> {
+        jsonski::get(header, ptr).map_err(|e| ProtocolError::BadHeader(e.to_string()))
+    };
+    let op = match field("/op")? {
+        None => Op::Query,
+        Some(v) => match v.as_str().ok().as_deref() {
+            Some("query") => Op::Query,
+            Some("metrics") => Op::Metrics,
+            Some("ping") => Op::Ping,
+            _ => {
+                return Err(ProtocolError::BadHeader(format!(
+                    "unknown op: {}",
+                    String::from_utf8_lossy(v.as_raw())
+                )))
+            }
+        },
+    };
+    let id = field("/id")?
+        .map(|v| v.as_raw().to_vec())
+        .unwrap_or_default();
+    let tenant = match field("/tenant")? {
+        Some(v) => v
+            .as_str()
+            .map_err(|_| ProtocolError::BadHeader("tenant must be a string".into()))?
+            .into_owned(),
+        None => "anon".to_string(),
+    };
+    let query = match field("/query")? {
+        Some(v) => v
+            .as_str()
+            .map_err(|_| ProtocolError::BadHeader("query must be a string".into()))?
+            .into_owned(),
+        None => String::new(),
+    };
+    if op == Op::Query && query.is_empty() {
+        return Err(ProtocolError::BadHeader(
+            "op \"query\" requires a \"query\" field".into(),
+        ));
+    }
+    let deadline_ms = match field("/deadline_ms")? {
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            ProtocolError::BadHeader("deadline_ms must be a non-negative integer".into())
+        })?),
+        None => None,
+    };
+    let metrics_json = matches!(
+        field("/format")?.and_then(|v| v.as_str().ok().map(|s| s.into_owned())),
+        Some(ref s) if s == "json"
+    );
+    Ok(Request {
+        op,
+        id,
+        tenant,
+        query,
+        deadline_ms,
+        metrics_json,
+        body: body.to_vec(),
+    })
+}
+
+/// A parsed response frame (client side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP-style status code.
+    pub code: u16,
+    /// Symbolic status name.
+    pub status: String,
+    /// The request's `"id"` raw span, echoed.
+    pub id: Vec<u8>,
+    /// Matches delivered (query responses).
+    pub matches: u64,
+    /// Records evaluated (query responses).
+    pub records: u64,
+    /// Records skipped under the server's skip-malformed policy.
+    pub skipped: u64,
+    /// Shed/error reason, when present.
+    pub reason: Option<String>,
+    /// Response body (match lines, scrape text, or empty).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Whether this is a 200.
+    pub fn is_ok(&self) -> bool {
+        self.code == 200
+    }
+}
+
+/// Builds a response payload (header line + body).
+#[allow(clippy::too_many_arguments)]
+pub fn encode_response(
+    status: Status,
+    id: &[u8],
+    matches: u64,
+    records: u64,
+    skipped: u64,
+    reason: Option<&str>,
+    body: &[u8],
+) -> Vec<u8> {
+    let mut header = format!(
+        "{{\"code\": {}, \"status\": \"{}\"",
+        status.code(),
+        status.name()
+    );
+    if !id.is_empty() {
+        header.push_str(", \"id\": ");
+        header.push_str(&String::from_utf8_lossy(id));
+    }
+    header.push_str(&format!(
+        ", \"matches\": {matches}, \"records\": {records}, \"skipped\": {skipped}"
+    ));
+    if let Some(r) = reason {
+        header.push_str(&format!(", \"reason\": \"{}\"", json_escape(r)));
+    }
+    header.push('}');
+    let mut payload = header.into_bytes();
+    payload.push(b'\n');
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Parses a response payload (client side).
+///
+/// # Errors
+///
+/// [`ProtocolError::BadHeader`] when the header line is malformed.
+pub fn parse_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let nl = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ProtocolError::BadHeader("missing header line terminator".into()))?;
+    let (header, body) = (&payload[..nl], &payload[nl + 1..]);
+    let field = |ptr: &str| -> Result<Option<jsonski::LazyValue<'_>>, ProtocolError> {
+        jsonski::get(header, ptr).map_err(|e| ProtocolError::BadHeader(e.to_string()))
+    };
+    let code = field("/code")?
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| ProtocolError::BadHeader("missing code".into()))? as u16;
+    let status = field("/status")?
+        .and_then(|v| v.as_str().ok().map(|s| s.into_owned()))
+        .ok_or_else(|| ProtocolError::BadHeader("missing status".into()))?;
+    let id = field("/id")?
+        .map(|v| v.as_raw().to_vec())
+        .unwrap_or_default();
+    let num = |ptr: &str| -> Result<u64, ProtocolError> {
+        Ok(field(ptr)?.and_then(|v| v.as_u64()).unwrap_or(0))
+    };
+    let reason = field("/reason")?.and_then(|v| v.as_str().ok().map(|s| s.into_owned()));
+    Ok(Response {
+        code,
+        status,
+        id,
+        matches: num("/matches")?,
+        records: num("/records")?,
+        skipped: num("/skipped")?,
+        reason,
+        body: body.to_vec(),
+    })
+}
+
+/// Writes one frame with a single `write_all`: the peer sees the whole
+/// frame or (on transport failure) a dropped connection — never a prefix
+/// followed by unrelated bytes.
+///
+/// # Errors
+///
+/// The transport's write error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+/// Reads exactly one frame payload, given a closure that reads some bytes
+/// (so callers control timeout/retry policy). Returns `Ok(None)` on a
+/// clean EOF *before* the first prefix byte.
+///
+/// # Errors
+///
+/// [`ProtocolError::TruncatedFrame`] on EOF mid-frame,
+/// [`ProtocolError::FrameTooLarge`] when the prefix exceeds
+/// `max_frame_bytes`, or the transport's error.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    max_frame_bytes: usize,
+) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut got = 0usize;
+    while got < LEN_PREFIX {
+        let n = r.read(&mut prefix[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(ProtocolError::TruncatedFrame {
+                got,
+                expected: LEN_PREFIX,
+            });
+        }
+        got += n;
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame_bytes {
+        return Err(ProtocolError::FrameTooLarge {
+            len,
+            limit: max_frame_bytes,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        let n = r.read(&mut payload[got..])?;
+        if n == 0 {
+            return Err(ProtocolError::TruncatedFrame {
+                got: LEN_PREFIX + got,
+                expected: LEN_PREFIX + len,
+            });
+        }
+        got += n;
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let payload = encode_request(
+            Op::Query,
+            "req-1",
+            "tenant-a",
+            "$.a[*]",
+            Some(250),
+            false,
+            b"{\"a\": [1, 2]}\n",
+        );
+        let req = parse_request(&payload).unwrap();
+        assert_eq!(req.op, Op::Query);
+        assert_eq!(req.id, b"\"req-1\"");
+        assert_eq!(req.tenant, "tenant-a");
+        assert_eq!(req.query, "$.a[*]");
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.body, b"{\"a\": [1, 2]}\n");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let payload = encode_response(Status::Ok, b"\"id7\"", 3, 2, 1, None, b"1\n2\n3\n");
+        let resp = parse_response(&payload).unwrap();
+        assert!(resp.is_ok());
+        assert_eq!(resp.status, "ok");
+        assert_eq!(resp.id, b"\"id7\"");
+        assert_eq!((resp.matches, resp.records, resp.skipped), (3, 2, 1));
+        assert_eq!(resp.body, b"1\n2\n3\n");
+        let shed = encode_response(Status::Shed, b"", 0, 0, 0, Some("queue_full"), b"");
+        let resp = parse_response(&shed).unwrap();
+        assert_eq!(resp.code, 429);
+        assert_eq!(resp.reason.as_deref(), Some("queue_full"));
+    }
+
+    #[test]
+    fn numeric_ids_echo_verbatim() {
+        let mut payload = b"{\"op\": \"ping\", \"id\": 42}".to_vec();
+        payload.push(b'\n');
+        let req = parse_request(&payload).unwrap();
+        assert_eq!(req.op, Op::Ping);
+        assert_eq!(req.id, b"42");
+        let out = encode_response(Status::Ok, &req.id, 0, 0, 0, None, b"");
+        let resp = parse_response(&out).unwrap();
+        assert_eq!(resp.id, b"42");
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_pipe() {
+        let payload = encode_request(Op::Ping, "x", "t", "", None, false, b"");
+        let framed = encode_frame(&payload);
+        let mut cursor = &framed[..];
+        let got = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, payload);
+        // Clean EOF before any bytes: end of stream, not an error.
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed_errors() {
+        let framed = encode_frame(b"hello world");
+        let mut cut = &framed[..7];
+        assert!(matches!(
+            read_frame(&mut cut, 1024),
+            Err(ProtocolError::TruncatedFrame { .. })
+        ));
+        let mut cursor = &framed[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 4),
+            Err(ProtocolError::FrameTooLarge { len: 11, limit: 4 })
+        ));
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        assert!(matches!(
+            parse_request(b"no newline"),
+            Err(ProtocolError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_request(b"{\"op\": \"nope\"}\n"),
+            Err(ProtocolError::BadHeader(_))
+        ));
+        // op=query without a query field.
+        assert!(matches!(
+            parse_request(b"{\"op\": \"query\"}\n"),
+            Err(ProtocolError::BadHeader(_))
+        ));
+        // Default op is query, so a bare header also needs a query.
+        assert!(matches!(
+            parse_request(b"{}\n"),
+            Err(ProtocolError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        let evil = "a\"b\\c\nd\te\u{1}";
+        let payload = encode_request(Op::Query, evil, evil, "$.a", None, false, b"");
+        let req = parse_request(&payload).unwrap();
+        assert_eq!(req.tenant, evil);
+    }
+}

@@ -1,0 +1,910 @@
+//! The daemon: listener, connection threads, worker pool, and drain.
+//!
+//! # Threading model
+//!
+//! One acceptor (the thread that called [`Server::run`]), one thread per
+//! connection, and a fixed pool of evaluation workers fed through the
+//! [`Dispatcher`]. A connection thread never
+//! evaluates; it reads frames, runs admission, hands the body to the pool,
+//! and waits for the result with the request's deadline as its own
+//! watchdog. That split is what makes the deadline unconditional: even a
+//! request stuck behind a full queue times out, because the clock starts
+//! at admission, not at evaluation.
+//!
+//! # Robustness invariants
+//!
+//! * **No truncated frames.** A response is assembled fully in memory and
+//!   written by its connection thread with a single `write_all`. The peer
+//!   sees the whole frame or a dropped connection — never a prefix.
+//! * **No pinned workers.** Deadlines cancel through the engine's
+//!   [`CancellationToken`], checked at record boundaries; socket reads
+//!   carry an OS-level timeout with a budgeted stall allowance
+//!   (slow-loris defense).
+//! * **No lost work on drain.** Shutdown stops accepting, answers new
+//!   requests with `503 draining`, and joins every connection thread —
+//!   each of which finishes its in-flight request through the worker pool
+//!   before exiting.
+//! * **No fleet kill from one input.** Evaluation runs under the
+//!   pipeline's per-record `catch_unwind` plus a whole-request unwind
+//!   guard; a poisoned record costs its request a `500`, nothing more.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use jsonski::{
+    digest_parts, CancellationToken, EngineConfig, EngineError, ErrorPolicy, JsonSki,
+    LimitExceeded, Match, MatchSink, Metrics, Pipeline, ResourceLimits, SliceRecords,
+    ValidationMode,
+};
+
+use crate::admission::{Dispatcher, TenantPermit};
+use crate::cache::QueryCache;
+use crate::protocol::{
+    encode_response, parse_request, read_frame, write_frame, Op, ProtocolError, Request,
+    ShedReason, Status, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Server tuning knobs. Construct with [`ServeConfig::default`] and adjust
+/// builder-style.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Evaluation worker threads.
+    pub workers: usize,
+    /// Admission watermark: maximum admitted-but-unfinished requests.
+    pub max_queue: usize,
+    /// Maximum in-flight requests per tenant.
+    pub tenant_quota: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard cap; client-requested deadlines are clamped to this.
+    pub max_deadline: Duration,
+    /// OS-level socket read timeout (one tick of the slow-loris clock).
+    pub read_timeout: Duration,
+    /// Mid-frame read timeouts tolerated before the connection is closed.
+    pub stall_budget: u32,
+    /// Maximum frame payload size.
+    pub max_frame_bytes: usize,
+    /// Compiled-query cache capacity (0 disables).
+    pub cache_capacity: usize,
+    /// Whether `op: "metrics"` scrapes are served.
+    pub metrics_endpoint: bool,
+    /// Engine configuration (fast-forward groups, validation, kernel) the
+    /// compiled-query cache is keyed on.
+    pub engine_config: EngineConfig,
+    /// Per-record resource guards; the per-request deadline is layered on
+    /// top of these.
+    pub limits: ResourceLimits,
+    /// Per-record failure policy for request bodies.
+    pub error_policy: ErrorPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_queue: 64,
+            tenant_quota: 16,
+            default_deadline: Duration::from_millis(2000),
+            max_deadline: Duration::from_millis(30_000),
+            read_timeout: Duration::from_millis(250),
+            stall_budget: 4,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            cache_capacity: 128,
+            metrics_endpoint: false,
+            engine_config: EngineConfig::default(),
+            limits: ResourceLimits::default(),
+            error_policy: ErrorPolicy::FailFast,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Digest of everything baked into a cached compiled query, computed
+    /// with the checkpoint format's [`digest_parts`]. Two configurations
+    /// that would compile different automata never share a cache entry.
+    pub fn cache_digest(&self) -> u64 {
+        let cfg = &self.engine_config;
+        let parts = [
+            format!("g1={} g4={} g5={}", cfg.g1, cfg.g4, cfg.g5),
+            match cfg.validation {
+                ValidationMode::Permissive => "permissive".to_string(),
+                ValidationMode::Strict => "strict".to_string(),
+            },
+            match cfg.kernel {
+                Some(k) => format!("kernel={}", k.name()),
+                None => "kernel=auto".to_string(),
+            },
+        ];
+        digest_parts(&parts)
+    }
+}
+
+/// Monotonic counters describing the server's lifetime, exposed by the
+/// metrics scrape and summarized by [`ServeSummary`]. All counters are
+/// relaxed atomics: cheap to bump, read-consistent enough for telemetry.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request frames parsed (any op).
+    pub requests: AtomicU64,
+    /// Query requests past admission control (holding a tenant permit).
+    /// `admitted - ok - timeouts - eval_failed - panics` is the number of
+    /// admitted queries still in flight.
+    pub admitted: AtomicU64,
+    /// Query requests answered `200 ok`.
+    pub ok: AtomicU64,
+    /// Requests rejected `400 bad_request`.
+    pub bad_request: AtomicU64,
+    /// Requests that hit their deadline (`408 timeout`).
+    pub timeouts: AtomicU64,
+    /// Requests whose body failed evaluation (`422 eval_failed`).
+    pub eval_failed: AtomicU64,
+    /// Requests shed for queue pressure (`429`, reason `queue_full`).
+    pub shed_queue: AtomicU64,
+    /// Requests shed for tenant quota (`429`, reason `tenant_quota`).
+    pub shed_tenant: AtomicU64,
+    /// Requests that panicked in evaluation (`500 panic`).
+    pub panics: AtomicU64,
+    /// Requests rejected because the server is draining (`503`).
+    pub draining_rejects: AtomicU64,
+    /// `op: "ping"` probes answered.
+    pub pings: AtomicU64,
+    /// `op: "metrics"` scrapes served.
+    pub scrapes: AtomicU64,
+    /// Connections dropped for protocol violations (bad frame, oversized,
+    /// truncated).
+    pub protocol_errors: AtomicU64,
+    /// Connections closed for stalling mid-frame past the budget.
+    pub stalled_conns: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as `name value` scrape lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.pairs() {
+            out.push_str(&format!("serve_{name} {v}\n"));
+        }
+        out
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.pairs().into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {v}"));
+        }
+        out.push('}');
+        out
+    }
+
+    fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("admitted", self.admitted.load(Ordering::Relaxed)),
+            ("ok", self.ok.load(Ordering::Relaxed)),
+            ("bad_request", self.bad_request.load(Ordering::Relaxed)),
+            ("timeouts", self.timeouts.load(Ordering::Relaxed)),
+            ("eval_failed", self.eval_failed.load(Ordering::Relaxed)),
+            ("shed_queue", self.shed_queue.load(Ordering::Relaxed)),
+            ("shed_tenant", self.shed_tenant.load(Ordering::Relaxed)),
+            ("panics", self.panics.load(Ordering::Relaxed)),
+            (
+                "draining_rejects",
+                self.draining_rejects.load(Ordering::Relaxed),
+            ),
+            ("pings", self.pings.load(Ordering::Relaxed)),
+            ("scrapes", self.scrapes.load(Ordering::Relaxed)),
+            (
+                "protocol_errors",
+                self.protocol_errors.load(Ordering::Relaxed),
+            ),
+            ("stalled_conns", self.stalled_conns.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// What [`Server::run`] reports after a graceful drain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request frames served over the lifetime.
+    pub requests: u64,
+    /// `200 ok` responses.
+    pub ok: u64,
+    /// Typed shed responses (both reasons).
+    pub shed: u64,
+    /// Deadline timeouts.
+    pub timeouts: u64,
+    /// Evaluation panics survived.
+    pub panics: u64,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// One accepted connection, TCP or unix-domain, behind a common
+/// `Read + Write` face.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct Shared {
+    config: ServeConfig,
+    cache_digest: u64,
+    dispatcher: Arc<Dispatcher>,
+    cache: QueryCache,
+    stats: ServeStats,
+    metrics: Arc<Metrics>,
+    shutdown: CancellationToken,
+    /// Set the moment drain begins: new requests get `503`, idle
+    /// connections close at their next read tick.
+    draining: AtomicBool,
+}
+
+/// The outcome a worker sends back to the waiting connection thread.
+struct WorkResult {
+    status: Status,
+    matches: u64,
+    records: u64,
+    skipped: u64,
+    reason: Option<String>,
+    body: Vec<u8>,
+}
+
+/// Staging sink: accumulates match bytes as NDJSON lines. Mirrors the
+/// pipeline's discard-on-failure staging — under `FailFast` an error
+/// aborts the run and the whole buffer is thrown away, so a non-`ok`
+/// response never carries partial output.
+#[derive(Default)]
+struct StageSink {
+    buf: Vec<u8>,
+    matches: u64,
+}
+
+impl MatchSink for StageSink {
+    fn on_match(&mut self, m: Match<'_>) -> std::ops::ControlFlow<()> {
+        self.buf.extend_from_slice(m.bytes());
+        self.buf.push(b'\n');
+        self.matches += 1;
+        std::ops::ControlFlow::Continue(())
+    }
+}
+
+/// The `jsonski serve` daemon. Bind, then [`run`](Server::run); trip the
+/// [shutdown token](Server::shutdown_token) (e.g. from a SIGTERM handler)
+/// to drain and return.
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+    addr: String,
+}
+
+impl Server {
+    /// Binds a TCP listener on `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// The socket `bind` failure.
+    pub fn bind_tcp(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?.to_string();
+        Ok(Server::assemble(Listener::Tcp(listener), local, config))
+    }
+
+    /// Binds a unix-domain listener at `path` (removed first if stale).
+    ///
+    /// # Errors
+    ///
+    /// The socket `bind` failure.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Ok(Server::assemble(
+            Listener::Unix(listener),
+            path.to_string(),
+            config,
+        ))
+    }
+
+    fn assemble(listener: Listener, addr: String, config: ServeConfig) -> Server {
+        let metrics = Arc::new(Metrics::new());
+        let dispatcher =
+            Dispatcher::new(config.max_queue, config.tenant_quota, Arc::clone(&metrics));
+        let cache_digest = config.cache_digest();
+        let cache = QueryCache::new(config.cache_capacity);
+        let shared = Arc::new(Shared {
+            cache_digest,
+            dispatcher,
+            cache,
+            stats: ServeStats::default(),
+            metrics,
+            shutdown: CancellationToken::new(),
+            draining: AtomicBool::new(false),
+            config,
+        });
+        Server {
+            listener,
+            shared,
+            addr,
+        }
+    }
+
+    /// The bound address (`ip:port` for TCP — useful after binding port 0 —
+    /// or the socket path for unix).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The token that initiates graceful drain; wire it to a signal
+    /// handler. Safe to cancel from any thread.
+    pub fn shutdown_token(&self) -> CancellationToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// Lifetime counters (shared with in-flight scrapes).
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Runs the accept loop on the calling thread until the shutdown token
+    /// trips, then drains: stops accepting, joins every connection thread
+    /// (each finishes its in-flight request through the worker pool), then
+    /// retires the workers.
+    ///
+    /// # Errors
+    ///
+    /// Listener configuration failures; per-connection I/O errors are
+    /// contained in their connection threads.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let shared = self.shared;
+        // Worker pool.
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for _ in 0..shared.config.workers.max(1) {
+            let dispatcher = Arc::clone(&shared.dispatcher);
+            workers.push(std::thread::spawn(move || {
+                while let Some(job) = dispatcher.next_job() {
+                    job();
+                    dispatcher.finish();
+                }
+            }));
+        }
+        // Accept loop (non-blocking + poll so the shutdown token is
+        // honored within one tick even with no inbound traffic).
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let conns: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        while !shared.shutdown.is_cancelled() {
+            let accepted = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Tcp(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                },
+                #[cfg(unix)]
+                Listener::Unix(l) => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Unix(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                },
+            };
+            match accepted {
+                Some(conn) => {
+                    ServeStats::bump(&shared.stats.connections);
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || serve_connection(conn, &shared));
+                    let mut guard = conns.lock().unwrap();
+                    guard.retain(|h| !h.is_finished());
+                    guard.push(handle);
+                }
+                None => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // --- Drain. ---
+        shared.draining.store(true, Ordering::SeqCst);
+        // Connection threads need live workers to finish in-flight
+        // requests, so join them first.
+        for handle in conns.into_inner().unwrap() {
+            let _ = handle.join();
+        }
+        // Queue is now quiescent: nothing can enqueue. Retire the pool.
+        shared.dispatcher.shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+        let s = &shared.stats;
+        Ok(ServeSummary {
+            requests: s.requests.load(Ordering::Relaxed),
+            ok: s.ok.load(Ordering::Relaxed),
+            shed: s.shed_queue.load(Ordering::Relaxed) + s.shed_tenant.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Reads one frame under the slow-loris clock: OS read timeouts at the
+/// frame boundary are idle ticks (return `Ok(None)` so the caller can
+/// check drain state); timeouts *mid-frame* burn the stall budget and
+/// then kill the connection.
+fn read_frame_guarded(conn: &mut Conn, shared: &Shared) -> Result<Option<Vec<u8>>, ProtocolError> {
+    struct GuardedReader<'a> {
+        conn: &'a mut Conn,
+        at_frame_start: bool,
+        read_any: bool,
+        stalls_left: u32,
+    }
+    impl Read for GuardedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                match self.conn.read(buf) {
+                    Ok(n) => {
+                        if n > 0 {
+                            self.read_any = true;
+                        }
+                        return Ok(n);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if self.at_frame_start && !self.read_any {
+                            // Idle between frames: not a stall.
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::WouldBlock,
+                                "idle tick",
+                            ));
+                        }
+                        if self.stalls_left == 0 {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "stall budget exhausted",
+                            ));
+                        }
+                        self.stalls_left -= 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    conn.set_read_timeout(Some(shared.config.read_timeout)).ok();
+    let mut reader = GuardedReader {
+        conn,
+        at_frame_start: true,
+        read_any: false,
+        stalls_left: shared.config.stall_budget,
+    };
+    match read_frame(&mut reader, shared.config.max_frame_bytes) {
+        Ok(frame) => Ok(frame),
+        Err(ProtocolError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            // Idle tick at a frame boundary: no bytes consumed.
+            Ok(None)
+        }
+        Err(ProtocolError::Io(e)) if e.kind() == std::io::ErrorKind::TimedOut => {
+            Err(ProtocolError::Stalled)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One connection's lifetime: frames in, frames out, until EOF, a
+/// protocol violation, or drain.
+fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
+    loop {
+        match read_frame_guarded(&mut conn, shared) {
+            // Idle tick: between frames. Close if draining, else keep
+            // listening.
+            Ok(None) if shared.draining.load(Ordering::SeqCst) => return,
+            Ok(None) => {
+                // `read_frame_guarded` returns None both for clean EOF and
+                // for an idle tick; distinguish by asking the socket
+                // again — a dead socket yields EOF immediately. Simpler:
+                // an idle tick costs nothing, so just loop. Clean EOF is
+                // surfaced as Ok(None) by `read_frame` only on a true
+                // zero-byte read, which `GuardedReader` forwards — so
+                // this arm also ends EOF'd connections via the next
+                // iteration's error or repeated None. To avoid a spin on
+                // EOF, probe liveness cheaply here.
+                if is_eof(&mut conn) {
+                    return;
+                }
+                continue;
+            }
+            Ok(Some(payload)) => {
+                ServeStats::bump(&shared.stats.requests);
+                let (response, permit) = handle_frame(&payload, shared);
+                let write = write_frame(&mut conn, &response);
+                // The tenant's in-flight slot covers the whole request
+                // lifetime, response write included: a slow-reading
+                // client occupies its own quota, not the fleet's.
+                drop(permit);
+                if write.is_err() {
+                    // Peer gone mid-write: drop the connection. The frame
+                    // was a single write_all, so the peer saw either
+                    // nothing or everything the transport delivered —
+                    // never a reordered or interleaved frame.
+                    return;
+                }
+            }
+            Err(ProtocolError::Stalled) => {
+                ServeStats::bump(&shared.stats.stalled_conns);
+                return;
+            }
+            Err(_) => {
+                ServeStats::bump(&shared.stats.protocol_errors);
+                return;
+            }
+        }
+    }
+}
+
+/// Distinguishes clean EOF from an idle timeout: a zero-timeout peek
+/// returning `Ok(0)` means the peer closed.
+fn is_eof(conn: &mut Conn) -> bool {
+    // A connection at a frame boundary with nothing buffered: try a
+    // non-blocking-ish 1ms read of 1 byte. Ok(0) = closed. WouldBlock /
+    // TimedOut = alive but idle. Any byte read would be a protocol
+    // desync, so treat it as fatal too (it cannot happen: read_frame
+    // consumed whole frames only).
+    conn.set_read_timeout(Some(Duration::from_millis(1))).ok();
+    let mut byte = [0u8; 1];
+    match conn.read(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => true, // desync — close defensively
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            false
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => false,
+        Err(_) => true,
+    }
+}
+
+/// Parses and dispatches one request frame, returning the response
+/// payload (header line + body) ready for framing, plus — for admitted
+/// query requests — the tenant permit the caller must hold until the
+/// response write finishes.
+fn handle_frame(payload: &[u8], shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPermit>) {
+    let req = match parse_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            ServeStats::bump(&shared.stats.bad_request);
+            return (
+                encode_response(Status::BadRequest, b"", 0, 0, 0, Some(&e.to_string()), b""),
+                None,
+            );
+        }
+    };
+    match req.op {
+        Op::Ping => {
+            ServeStats::bump(&shared.stats.pings);
+            (
+                encode_response(Status::Ok, &req.id, 0, 0, 0, Some("pong"), b""),
+                None,
+            )
+        }
+        Op::Metrics => (scrape_metrics(&req, shared), None),
+        Op::Query => handle_query(req, shared),
+    }
+}
+
+/// Serves `op: "metrics"`: the serve counters, the cache counters, and
+/// the engine's own [`Metrics`] registry, as text or JSON.
+fn scrape_metrics(req: &Request, shared: &Arc<Shared>) -> Vec<u8> {
+    if !shared.config.metrics_endpoint {
+        ServeStats::bump(&shared.stats.bad_request);
+        return encode_response(
+            Status::BadRequest,
+            &req.id,
+            0,
+            0,
+            0,
+            Some("metrics endpoint disabled (start with --metrics-endpoint)"),
+            b"",
+        );
+    }
+    ServeStats::bump(&shared.stats.scrapes);
+    let snapshot = shared.metrics.snapshot();
+    let body = if req.metrics_json {
+        format!(
+            "{{\"serve\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}, \"engine\": {}}}\n",
+            shared.stats.render_json(),
+            shared.cache.hits(),
+            shared.cache.misses(),
+            shared.cache.len(),
+            snapshot.to_json(),
+        )
+    } else {
+        format!(
+            "{}cache_hits {}\ncache_misses {}\ncache_entries {}\n# engine metrics\n{}",
+            shared.stats.render_text(),
+            shared.cache.hits(),
+            shared.cache.misses(),
+            shared.cache.len(),
+            snapshot,
+        )
+    };
+    encode_response(Status::Ok, &req.id, 0, 0, 0, None, body.as_bytes())
+}
+
+/// The full query path: drain gate → admission → enqueue → deadline
+/// watchdog → response. The returned [`TenantPermit`] (for admitted
+/// requests) keeps the tenant's slot occupied until the caller has
+/// written the response.
+fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPermit>) {
+    if shared.draining.load(Ordering::SeqCst) {
+        ServeStats::bump(&shared.stats.draining_rejects);
+        return (
+            encode_response(
+                Status::Draining,
+                &req.id,
+                0,
+                0,
+                0,
+                Some("server is draining"),
+                b"",
+            ),
+            None,
+        );
+    }
+    let permit = match shared.dispatcher.admit(&req.tenant) {
+        Ok(p) => {
+            ServeStats::bump(&shared.stats.admitted);
+            p
+        }
+        Err(reason) => {
+            match reason {
+                ShedReason::QueueFull => ServeStats::bump(&shared.stats.shed_queue),
+                ShedReason::TenantQuota => ServeStats::bump(&shared.stats.shed_tenant),
+            }
+            return (
+                encode_response(Status::Shed, &req.id, 0, 0, 0, Some(reason.name()), b""),
+                None,
+            );
+        }
+    };
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+    let req_token = CancellationToken::new();
+    let (tx, rx) = mpsc::sync_channel::<WorkResult>(1);
+    {
+        let shared = Arc::clone(shared);
+        let token = req_token.clone();
+        let query = req.query.clone();
+        let body = req.body;
+        shared.dispatcher.enqueue(Box::new({
+            let shared = Arc::clone(&shared);
+            move || {
+                let result = evaluate_request(&shared, &query, &body, deadline, &token);
+                // The watchdog may have given up and gone; a full or
+                // dropped channel is fine either way.
+                let _ = tx.try_send(result);
+            }
+        }));
+    }
+    // Deadline watchdog: the connection thread itself. The clock covers
+    // queue wait AND evaluation.
+    let result = match rx.recv_timeout(deadline + Duration::from_millis(50)) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            req_token.cancel();
+            // The worker observes the token at its next record boundary
+            // and replies promptly; block for that reply so the permit
+            // lifetime covers the whole evaluation.
+            match rx.recv() {
+                Ok(mut r) => {
+                    // Whatever the worker managed, the request missed its
+                    // deadline: discard partial output, report 408.
+                    r.status = Status::Timeout;
+                    r.reason = Some("deadline exceeded".to_string());
+                    r.body = Vec::new();
+                    r
+                }
+                Err(_) => WorkResult {
+                    status: Status::Timeout,
+                    matches: 0,
+                    records: 0,
+                    skipped: 0,
+                    reason: Some("deadline exceeded".to_string()),
+                    body: Vec::new(),
+                },
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => WorkResult {
+            status: Status::Panic,
+            matches: 0,
+            records: 0,
+            skipped: 0,
+            reason: Some("worker vanished".to_string()),
+            body: Vec::new(),
+        },
+    };
+    match result.status {
+        Status::Ok => ServeStats::bump(&shared.stats.ok),
+        Status::Timeout => ServeStats::bump(&shared.stats.timeouts),
+        Status::EvalFailed => ServeStats::bump(&shared.stats.eval_failed),
+        Status::Panic => ServeStats::bump(&shared.stats.panics),
+        Status::BadRequest => ServeStats::bump(&shared.stats.bad_request),
+        _ => {}
+    }
+    let frame = encode_response(
+        result.status,
+        &req.id,
+        result.matches,
+        result.records,
+        result.skipped,
+        result.reason.as_deref(),
+        &result.body,
+    );
+    (frame, Some(permit))
+}
+
+/// Worker-side evaluation: compiled-query cache → serial pipeline over the
+/// request body → typed result. Runs under a whole-request unwind guard on
+/// top of the pipeline's per-record `catch_unwind`.
+fn evaluate_request(
+    shared: &Shared,
+    query: &str,
+    body: &[u8],
+    deadline: Duration,
+    token: &CancellationToken,
+) -> WorkResult {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let engine = match shared
+            .cache
+            .get_or_compile(query, shared.cache_digest, |q| {
+                JsonSki::compile(q).map(|e| e.with_config(shared.config.engine_config))
+            }) {
+            Ok(e) => e,
+            Err(e) => {
+                return WorkResult {
+                    status: Status::BadRequest,
+                    matches: 0,
+                    records: 0,
+                    skipped: 0,
+                    reason: Some(format!("query parse error: {e}")),
+                    body: Vec::new(),
+                }
+            }
+        };
+        // Layer the per-request deadline onto the configured limits; the
+        // engine checks it at container boundaries (so a single huge
+        // record cannot overstay), the pipeline at record boundaries.
+        let limits = shared.config.limits.deadline(deadline);
+        let engine = (*engine).clone().with_limits(limits);
+        let mut sink = StageSink::default();
+        let mut source = SliceRecords::new(body);
+        let run = Pipeline::new()
+            .workers(1)
+            .error_policy(shared.config.error_policy)
+            .limits(limits)
+            .metrics(Arc::clone(&shared.metrics))
+            .cancel_token(token.clone())
+            .run(&engine, &mut source, &mut sink);
+        match run {
+            Ok(summary) if summary.cancelled => WorkResult {
+                // The only canceller of a request token is its deadline
+                // watchdog (drain never cancels in-flight requests).
+                status: Status::Timeout,
+                matches: 0,
+                records: summary.records,
+                skipped: summary.failed + summary.resyncs,
+                reason: Some("deadline exceeded".to_string()),
+                body: Vec::new(),
+            },
+            Ok(summary) => WorkResult {
+                status: Status::Ok,
+                matches: sink.matches,
+                records: summary.records,
+                skipped: summary.failed + summary.resyncs,
+                reason: None,
+                body: sink.buf,
+            },
+            Err(EngineError::Limit(LimitExceeded::Deadline { .. })) => WorkResult {
+                status: Status::Timeout,
+                matches: 0,
+                records: 0,
+                skipped: 0,
+                reason: Some("deadline exceeded".to_string()),
+                body: Vec::new(),
+            },
+            Err(EngineError::Panic { payload, .. }) => WorkResult {
+                status: Status::Panic,
+                matches: 0,
+                records: 0,
+                skipped: 0,
+                reason: Some(format!("evaluation panicked: {payload}")),
+                body: Vec::new(),
+            },
+            Err(e) => WorkResult {
+                status: Status::EvalFailed,
+                matches: 0,
+                records: 0,
+                skipped: 0,
+                reason: Some(e.to_string()),
+                body: Vec::new(),
+            },
+        }
+    }));
+    outcome.unwrap_or_else(|_| WorkResult {
+        status: Status::Panic,
+        matches: 0,
+        records: 0,
+        skipped: 0,
+        reason: Some("request evaluation panicked".to_string()),
+        body: Vec::new(),
+    })
+}

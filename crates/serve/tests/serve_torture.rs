@@ -1,0 +1,334 @@
+//! Socket-level torture: the server under client-side fault injection
+//! ([`jsonski::faults::FaultyConn`]) and saturation load.
+//!
+//! The acceptance bar (ISSUE 8): under injected socket faults and 2×
+//! saturation load, every *completed* response frame is byte-identical to
+//! a serial one-shot run of the same query; overload produces typed shed
+//! responses — never hangs, never truncated frames; a stalled or dying
+//! client harms nothing but its own connection.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jsonski::faults::{FaultPlan, FaultyConn};
+use jsonski::JsonSki;
+use jsonski_serve::{
+    encode_frame, encode_request, parse_response, read_frame, Client, Op, Response, ServeConfig,
+    Server, DEFAULT_MAX_FRAME_BYTES,
+};
+
+fn start(
+    config: ServeConfig,
+) -> (
+    String,
+    jsonski::CancellationToken,
+    std::thread::JoinHandle<std::io::Result<jsonski_serve::ServeSummary>>,
+) {
+    let server = Server::bind_tcp("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let token = server.shutdown_token();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, token, handle)
+}
+
+fn serial_reference(query: &str, body: &[u8]) -> Vec<u8> {
+    let engine = JsonSki::compile(query).unwrap();
+    let mut out = Vec::new();
+    for record in body.split(|&b| b == b'\n').filter(|r| !r.is_empty()) {
+        for m in engine.matches(record).unwrap() {
+            out.extend_from_slice(m.as_raw());
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+fn ndjson(n: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend_from_slice(
+            format!(
+                "{{\"id\": {i}, \"items\": [{{\"price\": {}}}, {{\"price\": {}}}]}}\n",
+                i * 2,
+                i * 2 + 1
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+/// Sends one query through a fault-injecting connection and reads the
+/// response with the plain (un-faulted) frame reader.
+fn faulty_query(
+    addr: &str,
+    plan: FaultPlan,
+    id: &str,
+    tenant: &str,
+    query: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut conn = FaultyConn::new(stream, plan);
+    let payload = encode_request(Op::Query, id, tenant, query, Some(30_000), false, body);
+    conn.write_all(&encode_frame(&payload))?;
+    conn.flush()?;
+    let frame = read_frame(&mut conn, DEFAULT_MAX_FRAME_BYTES)
+        .map_err(|e| std::io::Error::other(e.to_string()))?
+        .ok_or_else(|| std::io::Error::other("no response frame"))?;
+    parse_response(&frame).map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+/// Polls the metrics scrape until `probe` passes or the deadline expires.
+fn wait_for_scrape(addr: &str, probe: impl Fn(&str) -> bool) -> String {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut c = Client::connect_tcp(addr).unwrap();
+        let text = String::from_utf8(c.metrics(false).unwrap().body).unwrap();
+        if probe(&text) || std::time::Instant::now() > deadline {
+            return text;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn fragmented_frames_reassemble_byte_identically() {
+    let (addr, token, handle) = start(ServeConfig::default());
+    let body = Arc::new(ndjson(200));
+    let queries = ["$.items[*].price", "$.id", "$..price"];
+    let mut threads = Vec::new();
+    for t in 0..6 {
+        let addr = addr.clone();
+        let body = Arc::clone(&body);
+        threads.push(std::thread::spawn(move || {
+            for r in 0..4u64 {
+                let seed = t as u64 * 100 + r;
+                // Tiny fragments + occasional client-side read interrupts:
+                // the frame crosses the wire in hundreds of pieces.
+                let plan = FaultPlan::new(seed).short_writes(7).interrupt_every(5);
+                let query = queries[(seed as usize) % queries.len()];
+                let resp = faulty_query(&addr, plan, &format!("t{t}r{r}"), "torture", query, &body)
+                    .expect("fragmented request must complete");
+                assert_eq!(resp.code, 200, "{:?}", resp.reason);
+                assert_eq!(
+                    resp.body,
+                    serial_reference(query, &body),
+                    "fragmented request diverged from serial run (seed {seed})"
+                );
+            }
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    token.cancel();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_frame_disconnects_do_not_corrupt_other_connections() {
+    let config = ServeConfig {
+        metrics_endpoint: true,
+        ..ServeConfig::default()
+    };
+    let (addr, token, handle) = start(config);
+    let body = Arc::new(ndjson(500));
+    let stop = Arc::new(AtomicUsize::new(0));
+    // Healthy clients hammer the server while saboteurs die mid-frame.
+    let mut healthy = Vec::new();
+    for t in 0..4 {
+        let addr = addr.clone();
+        let body = Arc::clone(&body);
+        let stop = Arc::clone(&stop);
+        healthy.push(std::thread::spawn(move || {
+            let reference = serial_reference("$.items[*].price", &body);
+            let mut n = 0u64;
+            while stop.load(Ordering::SeqCst) == 0 {
+                let mut c = Client::connect_tcp(&addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                let resp = c
+                    .query(
+                        &format!("h{t}n{n}"),
+                        "healthy",
+                        "$.items[*].price",
+                        None,
+                        &body,
+                    )
+                    .unwrap();
+                assert_eq!(resp.code, 200, "{:?}", resp.reason);
+                assert_eq!(resp.body, reference, "healthy connection corrupted");
+                n += 1;
+            }
+            n
+        }));
+    }
+    // Saboteurs: disconnect at assorted offsets inside the frame —
+    // inside the length prefix, inside the header, inside the body.
+    for (i, cut) in [2u64, 9, 40, 200, 1000].into_iter().enumerate() {
+        let plan = FaultPlan::new(i as u64).disconnect_after_writes(cut);
+        let err = faulty_query(&addr, plan, "sab", "saboteur", "$.id", &body)
+            .expect_err("saboteur must fail to complete");
+        let _ = err;
+    }
+    // The server counted the broken frames and kept serving.
+    let scrape = wait_for_scrape(&addr, |s| {
+        s.lines()
+            .find(|l| l.starts_with("serve_protocol_errors "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|v| v >= 5)
+    });
+    assert!(
+        scrape.contains("serve_protocol_errors 5"),
+        "expected 5 protocol errors in scrape:\n{scrape}"
+    );
+    stop.store(1, Ordering::SeqCst);
+    let mut completed = 0;
+    for h in healthy {
+        completed += h.join().unwrap();
+    }
+    assert!(completed > 0, "healthy clients must have made progress");
+    token.cancel();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn stalled_writer_is_closed_not_pinned() {
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(40),
+        stall_budget: 2,
+        metrics_endpoint: true,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, token, handle) = start(config);
+    // The slow loris: every write stalls far past the read timeout, so
+    // after the first fragment the server burns its stall budget and
+    // closes the connection.
+    let loris = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(20)))
+                .unwrap();
+            let plan = FaultPlan::new(7)
+                .short_writes(2)
+                .write_stall_every(2, Duration::from_millis(250));
+            let mut conn = FaultyConn::new(stream, plan);
+            let payload = encode_request(Op::Query, "loris", "t", "$.id", None, false, &ndjson(50));
+            // Either a write eventually fails (server closed the socket)
+            // or the write completes but no valid response ever arrives.
+            match conn.write_all(&encode_frame(&payload)) {
+                Err(_) => true, // closed mid-upload: the defense worked
+                Ok(()) => {
+                    let got = read_frame(&mut conn, DEFAULT_MAX_FRAME_BYTES);
+                    !matches!(got, Ok(Some(ref f)) if parse_response(f).map(|r| r.code == 200).unwrap_or(false))
+                }
+            }
+        })
+    };
+    // While the loris dangles, the server keeps answering others.
+    let body = ndjson(100);
+    let reference = serial_reference("$.id", &body);
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    for i in 0..10 {
+        let resp = c
+            .query(&format!("ok{i}"), "t", "$.id", None, &body)
+            .unwrap();
+        assert_eq!(resp.code, 200);
+        assert_eq!(resp.body, reference);
+    }
+    assert!(
+        loris.join().unwrap(),
+        "stalled writer must be cut off, not served"
+    );
+    let scrape = wait_for_scrape(&addr, |s| s.contains("serve_stalled_conns 1"));
+    assert!(
+        scrape.contains("serve_stalled_conns 1"),
+        "stall defense must be visible in the scrape:\n{scrape}"
+    );
+    token.cancel();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturation_with_faults_sheds_typed_and_completes_exact() {
+    // 2x saturation: a single worker, a 2-deep queue, 16 concurrent
+    // heavyweight requests (descendant query: no fast-forwarding), plus
+    // fragmented-writer clients mixed in.
+    let config = ServeConfig {
+        workers: 1,
+        max_queue: 2,
+        tenant_quota: 64,
+        default_deadline: Duration::from_secs(60),
+        max_deadline: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+    let (addr, token, handle) = start(config);
+    let heavy_body = Arc::new(ndjson(60_000));
+    let light_body = Arc::new(ndjson(30));
+    let heavy_ref = Arc::new(serial_reference("$..price", &heavy_body));
+    let light_ref = Arc::new(serial_reference("$.items[*].price", &light_body));
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let oks = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::new();
+    for t in 0..16 {
+        let addr = addr.clone();
+        let (heavy_body, light_body) = (Arc::clone(&heavy_body), Arc::clone(&light_body));
+        let (heavy_ref, light_ref) = (Arc::clone(&heavy_ref), Arc::clone(&light_ref));
+        let (sheds, oks) = (Arc::clone(&sheds), Arc::clone(&oks));
+        threads.push(std::thread::spawn(move || {
+            let heavy = t % 2 == 0;
+            let (query, body, reference) = if heavy {
+                ("$..price", &*heavy_body, &*heavy_ref)
+            } else {
+                ("$.items[*].price", &*light_body, &*light_ref)
+            };
+            // Odd threads write through a fault plan; even ones are clean.
+            let plan = if heavy {
+                FaultPlan::new(t as u64)
+            } else {
+                FaultPlan::new(t as u64).short_writes(16)
+            };
+            let resp = faulty_query(&addr, plan, &format!("s{t}"), &format!("t{t}"), query, body)
+                .expect("request must complete with a full frame");
+            match resp.code {
+                200 => {
+                    assert_eq!(
+                        resp.body, *reference,
+                        "completed frame under load diverged from serial run"
+                    );
+                    oks.fetch_add(1, Ordering::SeqCst);
+                }
+                429 => {
+                    assert_eq!(resp.reason.as_deref(), Some("queue_full"));
+                    assert!(resp.body.is_empty(), "shed frames carry no body");
+                    sheds.fetch_add(1, Ordering::SeqCst);
+                }
+                408 => assert!(resp.body.is_empty(), "timeout frames carry no body"),
+                other => panic!("unexpected status {other}: {:?}", resp.reason),
+            }
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    assert!(
+        sheds.load(Ordering::SeqCst) > 0,
+        "2x saturation must produce typed sheds"
+    );
+    assert!(
+        oks.load(Ordering::SeqCst) > 0,
+        "admitted requests must complete exactly"
+    );
+    token.cancel();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.shed, sheds.load(Ordering::SeqCst) as u64);
+}
