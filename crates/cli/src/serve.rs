@@ -44,6 +44,21 @@ options:
                      clock (default 250)
   --stall-budget N   mid-frame read timeouts tolerated before the
                      connection is closed (default 4)
+  --write-timeout-ms N
+                     socket write timeout, one tick of the response-write
+                     stall clock (default 250)
+  --write-stall-budget N
+                     mid-response write timeouts tolerated before a
+                     non-draining client's connection is closed
+                     (default 8)
+  --corpus-dir DIR   serve requests whose header names a `\"corpus\"` file
+                     stored under DIR (the body is then ignored); unknown
+                     names answer 404 not_found
+  --index-cache DIR  persist structural indexes (record spans + bitmaps)
+                     for stored corpora under DIR: repeat queries skip
+                     classification entirely, and a damaged or stale index
+                     file silently falls back to full classification and
+                     rebuilds in the background (requires --corpus-dir)
   --max-frame-bytes N
                      largest accepted request frame (default 16 MiB)
   --cache N          compiled-query LRU cache capacity (default 128;
@@ -129,6 +144,21 @@ fn parse_inner<I: IntoIterator<Item = String>>(args: I) -> Result<ServeOptions, 
                 opts.config.read_timeout = Duration::from_millis(ms);
             }
             "--stall-budget" => opts.config.stall_budget = num("--stall-budget")? as u32,
+            "--write-timeout-ms" => {
+                let ms = num("--write-timeout-ms")?.max(1);
+                opts.config.write_timeout = Duration::from_millis(ms);
+            }
+            "--write-stall-budget" => {
+                opts.config.write_stall_budget = num("--write-stall-budget")? as u32
+            }
+            "--corpus-dir" => {
+                let dir = it.next().ok_or("--corpus-dir needs a directory")?;
+                opts.config.corpus_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--index-cache" => {
+                let dir = it.next().ok_or("--index-cache needs a directory")?;
+                opts.config.index_cache = Some(std::path::PathBuf::from(dir));
+            }
             "--max-frame-bytes" => {
                 opts.config.max_frame_bytes = num("--max-frame-bytes")?.max(64) as usize
             }
@@ -154,6 +184,11 @@ fn parse_inner<I: IntoIterator<Item = String>>(args: I) -> Result<ServeOptions, 
             "-h" | "--help" => return Err("\u{1}help".to_string()),
             other => return Err(format!("unknown serve option: {other}\n\n{SERVE_USAGE}")),
         }
+    }
+    if opts.config.index_cache.is_some() && opts.config.corpus_dir.is_none() {
+        return Err(format!(
+            "--index-cache requires --corpus-dir\n\n{SERVE_USAGE}"
+        ));
     }
     opts.config.engine_config = EngineConfig::builder()
         .limits(limits)
@@ -246,6 +281,14 @@ mod tests {
             "100",
             "--stall-budget",
             "2",
+            "--write-timeout-ms",
+            "150",
+            "--write-stall-budget",
+            "3",
+            "--corpus-dir",
+            "/tmp/corpora",
+            "--index-cache",
+            "/tmp/indexes",
             "--max-frame-bytes",
             "1048576",
             "--cache",
@@ -265,6 +308,16 @@ mod tests {
         assert_eq!(opts.config.max_deadline, Duration::from_millis(1000));
         assert_eq!(opts.config.read_timeout, Duration::from_millis(100));
         assert_eq!(opts.config.stall_budget, 2);
+        assert_eq!(opts.config.write_timeout, Duration::from_millis(150));
+        assert_eq!(opts.config.write_stall_budget, 3);
+        assert_eq!(
+            opts.config.corpus_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/corpora"))
+        );
+        assert_eq!(
+            opts.config.index_cache.as_deref(),
+            Some(std::path::Path::new("/tmp/indexes"))
+        );
         assert_eq!(opts.config.max_frame_bytes, 1_048_576);
         assert_eq!(opts.config.cache_capacity, 16);
         assert!(opts.config.metrics_endpoint);
@@ -284,6 +337,12 @@ mod tests {
         assert!(matches!(parse(&["--help"]), Err(CliError::Help)));
         assert!(matches!(
             parse(&["--kernel", "quantum"]),
+            Err(CliError::Usage(_))
+        ));
+        // The index cache is keyed to stored corpora; alone it is a
+        // configuration mistake, not a silent no-op.
+        assert!(matches!(
+            parse(&["--index-cache", "/tmp/idx"]),
             Err(CliError::Usage(_))
         ));
     }

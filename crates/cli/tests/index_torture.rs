@@ -1,0 +1,162 @@
+//! SIGKILL torture for the persistent index cache against the real
+//! `jsonski serve` binary: kill -9 the daemon at staggered points while
+//! a background index build/persist is in flight, restart, and require
+//! that every served response stays byte-identical to a serial run. The
+//! crash-safety contract under test: at any kill point the on-disk index
+//! is old-valid-or-absent — a fresh process either loads a fully valid
+//! index or silently rebuilds, never serves from a torn one.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use jsonski::JsonSki;
+use jsonski_serve::Client;
+
+const QUERY: &str = "$.items[*].price";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_jsonski")
+}
+
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(bin())
+        .arg("serve")
+        .args(["--listen", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn jsonski serve");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read listen banner");
+    let addr = line
+        .trim()
+        .strip_prefix("jsonski: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn sigkill(child: &mut Child) {
+    let status = Command::new("kill")
+        .args(["-KILL", &child.id().to_string()])
+        .status()
+        .expect("send SIGKILL");
+    assert!(status.success());
+    let _ = child.wait();
+}
+
+fn ndjson(n: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend_from_slice(
+            format!(
+                "{{\"id\": {i}, \"items\": [{{\"price\": {}}}, {{\"price\": {}}}]}}\n",
+                i * 2,
+                i * 2 + 1
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+fn serial_reference(query: &str, body: &[u8]) -> Vec<u8> {
+    let engine = JsonSki::compile(query).unwrap();
+    let mut out = Vec::new();
+    for record in body.split(|&b| b == b'\n').filter(|r| !r.is_empty()) {
+        for m in engine.matches(record).unwrap() {
+            out.extend_from_slice(m.as_raw());
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+fn scrape_counter(client: &mut Client, name: &str) -> u64 {
+    let scrape = String::from_utf8(client.metrics(false).unwrap().body).unwrap();
+    scrape
+        .lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_during_index_persist_never_corrupts_results() {
+    let dir = std::env::temp_dir().join(format!("jsonski-idx-torture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus_dir = dir.join("corpora");
+    let index_dir = dir.join("indexes");
+    std::fs::create_dir_all(&corpus_dir).unwrap();
+    let body = ndjson(20_000);
+    let reference = serial_reference(QUERY, &body);
+    std::fs::write(corpus_dir.join("c.ndjson"), &body).unwrap();
+    let flags: Vec<String> = vec![
+        "--corpus-dir".into(),
+        corpus_dir.display().to_string(),
+        "--index-cache".into(),
+        index_dir.display().to_string(),
+        "--metrics-endpoint".into(),
+    ];
+    let flag_refs: Vec<&str> = flags.iter().map(String::as_str).collect();
+
+    // Staggered kill points: the corpus query schedules a background
+    // index build + atomic persist; killing 0..N ms later lands the
+    // SIGKILL before, during, and after the write across rounds.
+    for round in 0..8u64 {
+        let (mut child, addr) = spawn_serve(&flag_refs);
+        let mut c = Client::connect_tcp(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let resp = c.query_corpus("k", "t", QUERY, "c.ndjson", None).unwrap();
+        assert_eq!(resp.code, 200, "round {round}: {:?}", resp.reason);
+        assert_eq!(
+            resp.body, reference,
+            "round {round}: response after crash-restart diverged from serial run"
+        );
+        std::thread::sleep(Duration::from_millis(round * 3));
+        sigkill(&mut child);
+        // Whatever the kill left behind must be old-valid-or-absent: a
+        // file at the final path, if present, parses and verifies in
+        // full or is rejected wholesale — spot-checked by the next
+        // round's byte-exact assertion above.
+    }
+
+    // Convergence: a final daemon must reach a verified index hit and
+    // still answer byte-identically.
+    let (mut child, addr) = spawn_serve(&flag_refs);
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let before = scrape_counter(&mut c, "index_hit");
+        let resp = c.query_corpus("z", "t", QUERY, "c.ndjson", None).unwrap();
+        assert_eq!(resp.code, 200, "{:?}", resp.reason);
+        assert_eq!(
+            resp.body, reference,
+            "indexed response diverged after torture"
+        );
+        if scrape_counter(&mut c, "index_hit") > before {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "index never converged to a verified hit after SIGKILL torture"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Torn staging files may remain (the crash model allows them), but
+    // the final index path itself must now hold a fully valid index.
+    let path = jsonski::index::index_path_for(&index_dir, "c.ndjson");
+    let digest = jsonski::index::config_digest(&jsonski::EngineConfig::default());
+    jsonski::StructuralIndex::load(&path, &body, digest)
+        .expect("final index path must be old-valid-or-absent, and by now: valid");
+    sigkill(&mut child);
+    let _ = std::fs::remove_dir_all(&dir);
+}

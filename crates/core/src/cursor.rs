@@ -30,6 +30,13 @@ pub struct Cursor<'a> {
     /// fast-forwarded spans are checked without a second pass. `None` in
     /// Permissive mode (zero cost on the hot path).
     validator: Option<Validator>,
+    /// Pre-built bitmaps covering every word of `input` (one entry per
+    /// 64-byte word, from a persistent structural index). When set,
+    /// [`Cursor::word`] serves bitmaps from this slice instead of running
+    /// the classifier; the strict-mode validator still consumes the actual
+    /// input bytes in classification order, so validation verdicts are
+    /// byte-identical with or without the prebuilt path.
+    prebuilt: Option<&'a [BlockBitmaps]>,
     /// Word requests answered from the cached current word; maintained
     /// only when time-resolved instrumentation is compiled in, so the
     /// default build's hot loop carries no extra work.
@@ -70,11 +77,44 @@ impl<'a> Cursor<'a> {
             cur: BlockBitmaps::default(),
             classified: 0,
             validator,
+            prebuilt: None,
             #[cfg(feature = "metrics")]
             cache_hits: 0,
             #[cfg(feature = "metrics")]
             classify_ns: 0,
         }
+    }
+
+    /// Creates a cursor whose word bitmaps come from `prebuilt` (one
+    /// [`BlockBitmaps`] per 64-byte word of `input`, as produced by a
+    /// persistent structural index) instead of the classifier.
+    ///
+    /// Defensive rather than panicking: when `prebuilt` does not cover
+    /// `input` exactly (`prebuilt.len() != input.len().div_ceil(64)`), the
+    /// slice is ignored and the cursor classifies normally — a mis-sized
+    /// index degrades to the full-classification path, never to a mixed
+    /// (and therefore string-state-corrupted) bitmap stream.
+    ///
+    /// In Strict mode the validator still reads every input byte in word
+    /// order (only the metacharacter classification is skipped), so strict
+    /// verdicts cannot diverge between the prebuilt and classified paths.
+    pub fn with_prebuilt(
+        input: &'a [u8],
+        prebuilt: &'a [BlockBitmaps],
+        kernel: Option<Kernel>,
+        validation: ValidationMode,
+    ) -> Self {
+        let mut cur = Self::with_options(input, kernel, validation);
+        if prebuilt.len() == input.len().div_ceil(BLOCK) {
+            cur.prebuilt = Some(prebuilt);
+        }
+        cur
+    }
+
+    /// Whether this cursor serves word bitmaps from a prebuilt index.
+    #[inline]
+    pub fn uses_prebuilt(&self) -> bool {
+        self.prebuilt.is_some()
     }
 
     /// The first strict-validation violation discovered so far, as a typed
@@ -272,7 +312,11 @@ impl<'a> Cursor<'a> {
                 let block: &[u8; BLOCK] = self.input[start..start + BLOCK]
                     .try_into()
                     .expect("exact block");
-                self.cur = self.cls.classify(block);
+                self.cur = match self.prebuilt {
+                    // `with_prebuilt` guaranteed coverage of every word.
+                    Some(pre) => pre[self.classified],
+                    None => self.cls.classify(block),
+                };
                 if let Some(v) = self.validator.as_mut() {
                     v.feed_block(block, BLOCK);
                 }
@@ -283,7 +327,10 @@ impl<'a> Cursor<'a> {
                 let tail = &self.input[start..];
                 let mut block = [0u8; BLOCK];
                 block[..tail.len()].copy_from_slice(tail);
-                self.cur = self.cls.classify(&block);
+                self.cur = match self.prebuilt {
+                    Some(pre) => pre[self.classified],
+                    None => self.cls.classify(&block),
+                };
                 if let Some(v) = self.validator.as_mut() {
                     v.feed_block(&block, tail.len());
                 }

@@ -269,8 +269,44 @@ impl JsonSki {
     where
         F: FnMut(Match<'a>) -> ControlFlow<()>,
     {
+        self.stream_cursor(
+            Cursor::with_options(input, self.config.kernel, self.config.validation),
+            sink,
+        )
+    }
+
+    /// Streams one JSON record like [`JsonSki::stream`], but serves word
+    /// bitmaps from `prebuilt` (one [`simdbits::BlockBitmaps`] per 64-byte
+    /// word of `input`, e.g. from a persistent structural index) instead of
+    /// classifying. Matches, errors, and strict-validation verdicts are
+    /// byte-identical to [`JsonSki::stream`] given a faithful `prebuilt`;
+    /// a mis-sized slice is ignored and the record is classified normally
+    /// (see [`Cursor::with_prebuilt`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] exactly as [`JsonSki::stream`] reports it.
+    pub fn stream_prebuilt<'a, F>(
+        &self,
+        input: &'a [u8],
+        prebuilt: &'a [simdbits::BlockBitmaps],
+        sink: F,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        F: FnMut(Match<'a>) -> ControlFlow<()>,
+    {
+        self.stream_cursor(
+            Cursor::with_prebuilt(input, prebuilt, self.config.kernel, self.config.validation),
+            sink,
+        )
+    }
+
+    fn stream_cursor<'a, F>(&self, cur: Cursor<'a>, sink: F) -> Result<StreamOutcome, StreamError>
+    where
+        F: FnMut(Match<'a>) -> ControlFlow<()>,
+    {
         let mut eval = Eval {
-            cur: Cursor::with_options(input, self.config.kernel, self.config.validation),
+            cur,
             rt: Runtime::new(&self.path),
             stats: FastForwardStats::new(),
             sink,

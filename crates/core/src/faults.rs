@@ -13,6 +13,12 @@
 //!   and additionally injects *write-side* faults — short writes,
 //!   mid-frame stalls, and hard disconnects — for torture-testing
 //!   framed-protocol servers from the client side.
+//! * [`FaultyFile`] stages a file write through the same tmp-then-rename
+//!   discipline the durable formats use, while injecting *storage-level*
+//!   faults — silent truncation (a torn write), bit corruption on the way
+//!   to disk, short/interrupted writes, and rename failure — for
+//!   torture-testing loaders of persistent artifacts (checkpoints, the
+//!   structural-index cache).
 //! * [`mutate`] applies one seeded structural mutation to a record, for
 //!   building malformed-input corpora.
 //! * [`SplitMix64`] is the tiny PRNG underneath both (no external
@@ -21,6 +27,7 @@
 //! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
 
 use std::io::{Error, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// SplitMix64: a tiny, high-quality, seedable PRNG (public-domain
@@ -67,6 +74,7 @@ pub struct FaultPlan {
     short_write_max: Option<usize>,
     write_stall_every: Option<(u64, Duration)>,
     disconnect_after_writes: Option<u64>,
+    rename_fails: bool,
 }
 
 impl FaultPlan {
@@ -83,6 +91,7 @@ impl FaultPlan {
             short_write_max: None,
             write_stall_every: None,
             disconnect_after_writes: None,
+            rename_fails: false,
         }
     }
 
@@ -155,6 +164,15 @@ impl FaultPlan {
     /// Ignored by [`FaultyReader`].
     pub fn disconnect_after_writes(mut self, bytes: u64) -> Self {
         self.disconnect_after_writes = Some(bytes);
+        self
+    }
+
+    /// Makes [`FaultyFile::persist`] fail instead of renaming the staged
+    /// file over the destination — the commit step dying between write
+    /// and rename. The staged tmp file is left behind, exactly as a real
+    /// crash would leave it. Ignored by the stream adapters.
+    pub fn fail_rename(mut self) -> Self {
+        self.rename_fails = true;
         self
     }
 }
@@ -371,6 +389,160 @@ impl<T: Read + Write> Write for FaultyConn<T> {
     }
 }
 
+/// A [`Write`] adapter over a staged file that injects *storage-level*
+/// faults per a [`FaultPlan`], for torture-testing loaders of durable
+/// artifacts (checkpoints, the structural-index cache).
+///
+/// The faults model a lying disk rather than a failing syscall: with
+/// [`FaultPlan::truncate_at`] every byte past the threshold is silently
+/// discarded while the writer is told it was accepted (a torn write the
+/// final `fsync` never saw), and [`FaultPlan::corrupt_every`] flips bytes
+/// on their way to the platters. [`FaultPlan::short_writes`] and
+/// [`FaultPlan::interrupt_every`] exercise the caller's `write_all`
+/// retry loop, and [`FaultPlan::fail_rename`] kills the commit step.
+///
+/// The lifecycle mirrors the crates' atomic-save discipline: bytes go to
+/// a staged sibling (`<dest>.ff-tmp`), then [`persist`](Self::persist)
+/// syncs and renames over the destination. Dropping the value without
+/// persisting — or calling [`abandon`](Self::abandon) — models a crash
+/// before commit: the destination is never touched.
+#[derive(Debug)]
+pub struct FaultyFile {
+    file: Option<std::fs::File>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    write_attempts: u64,
+    /// Bytes the caller believes were accepted.
+    accepted: u64,
+    /// Bytes actually on disk (differs from `accepted` under truncation).
+    durable: u64,
+}
+
+impl FaultyFile {
+    /// Opens a staged sibling of `dest` for writing, injecting faults per
+    /// `plan`. The destination itself is untouched until
+    /// [`persist`](Self::persist) succeeds.
+    pub fn create(dest: impl Into<PathBuf>, plan: FaultPlan) -> std::io::Result<Self> {
+        let dest = dest.into();
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "faulty".into());
+        name.push(".ff-tmp");
+        let tmp = dest.with_file_name(name);
+        let rng = SplitMix64::new(plan.seed ^ 0xF11E_5EED_0DD5_C0DE);
+        Ok(FaultyFile {
+            file: Some(std::fs::File::create(&tmp)?),
+            tmp,
+            dest,
+            plan,
+            rng,
+            write_attempts: 0,
+            accepted: 0,
+            durable: 0,
+        })
+    }
+
+    /// Bytes the caller was told were written (truncated bytes included).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Bytes actually persisted to the staged file.
+    pub fn durable(&self) -> u64 {
+        self.durable
+    }
+
+    /// The staged tmp path (useful for asserting crash leftovers).
+    pub fn tmp_path(&self) -> &Path {
+        &self.tmp
+    }
+
+    /// Commits the staged file: flush, sync, rename over the destination.
+    /// Fails without renaming when the plan says
+    /// [`fail_rename`](FaultPlan::fail_rename), leaving the tmp behind.
+    pub fn persist(mut self) -> std::io::Result<PathBuf> {
+        let file = self.file.take().expect("persist called once");
+        file.sync_all()?;
+        drop(file);
+        if self.plan.rename_fails {
+            return Err(Error::other("injected rename failure"));
+        }
+        std::fs::rename(&self.tmp, &self.dest)?;
+        Ok(std::mem::take(&mut self.dest))
+    }
+
+    /// Abandons the write, deleting the staged file and leaving the
+    /// destination exactly as it was — a clean model of "the process died
+    /// before commit and someone swept the tmp".
+    pub fn abandon(mut self) {
+        self.file.take();
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+}
+
+impl Drop for FaultyFile {
+    fn drop(&mut self) {
+        // An unpersisted drop models a crash: the staged file is left
+        // exactly as written (torn, corrupt, or incomplete) for the
+        // loader under test to trip over.
+        self.file.take();
+    }
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write_attempts += 1;
+        if let Some(n) = self.plan.interrupt_every {
+            if self.write_attempts.is_multiple_of(n) {
+                return Err(Error::new(ErrorKind::Interrupted, "injected interrupt"));
+            }
+        }
+        let mut cap = buf.len();
+        if let Some(max) = self.plan.short_write_max {
+            cap = cap.min(1 + self.rng.below(max as u64) as usize);
+        }
+        if cap == 0 {
+            return Ok(0);
+        }
+        // The lying-disk window: bytes past `truncate_at` are reported as
+        // accepted but never reach the file.
+        let keep = match self.plan.truncate_at {
+            Some(cut) => {
+                let left = cut.saturating_sub(self.accepted);
+                cap.min(usize::try_from(left).unwrap_or(usize::MAX))
+            }
+            None => cap,
+        };
+        if keep > 0 {
+            let file = self.file.as_mut().expect("file open until persist");
+            if let Some(every) = self.plan.corrupt_every {
+                let mut staged = buf[..keep].to_vec();
+                for (i, byte) in staged.iter_mut().enumerate() {
+                    if (self.durable + i as u64 + 1).is_multiple_of(every) {
+                        *byte ^= 1 + (self.rng.next_u64() % 255) as u8;
+                    }
+                }
+                file.write_all(&staged)?;
+            } else {
+                file.write_all(&buf[..keep])?;
+            }
+            self.durable += keep as u64;
+        }
+        self.accepted += cap as u64;
+        Ok(cap)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self.file.as_mut() {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Applies one seeded mutation to `record`, returning the mutated copy.
 /// Mutations are the classic malformed-input moves: truncate, delete a
 /// byte, duplicate a byte, flip a byte, or clobber a structural character
@@ -570,6 +742,75 @@ mod tests {
         fc.write_all(&[1u8; 4]).unwrap(); // attempt 1: no stall
         fc.write_all(&[2u8; 4]).unwrap(); // attempt 2: stalls
         assert!(start.elapsed() >= stall, "second write must have stalled");
+    }
+
+    fn faulty_file_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jsonski-ffile-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn faulty_file_truncation_is_silent() {
+        let dir = faulty_file_dir("trunc");
+        let dest = dir.join("artifact.bin");
+        let mut f = FaultyFile::create(&dest, FaultPlan::new(3).truncate_at(100)).unwrap();
+        f.write_all(&[0xAB; 1000]).unwrap();
+        assert_eq!(f.accepted(), 1000, "writer must believe the write landed");
+        assert_eq!(f.durable(), 100);
+        f.persist().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap().len(), 100, "torn write");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_file_corruption_is_deterministic() {
+        let dir = faulty_file_dir("corrupt");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let run = |name: &str| {
+            let dest = dir.join(name);
+            let plan = FaultPlan::new(11).corrupt_every(53).short_writes(17);
+            let mut f = FaultyFile::create(&dest, plan).unwrap();
+            f.write_all(&payload).unwrap();
+            f.persist().unwrap();
+            std::fs::read(&dest).unwrap()
+        };
+        let a = run("a.bin");
+        assert_eq!(a, run("b.bin"), "same seed, same damage");
+        assert_eq!(a.len(), payload.len());
+        assert_ne!(a, payload, "corruption must have changed something");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_file_rename_failure_preserves_old_destination() {
+        let dir = faulty_file_dir("rename");
+        let dest = dir.join("artifact.bin");
+        std::fs::write(&dest, b"old-and-valid").unwrap();
+        let mut f = FaultyFile::create(&dest, FaultPlan::new(0).fail_rename()).unwrap();
+        let tmp = f.tmp_path().to_path_buf();
+        f.write_all(b"new-but-doomed").unwrap();
+        let err = f.persist().unwrap_err();
+        assert!(err.to_string().contains("injected rename failure"));
+        assert_eq!(std::fs::read(&dest).unwrap(), b"old-and-valid");
+        assert!(tmp.exists(), "crash leftovers stay for the sweeper");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_file_abandon_and_interrupts() {
+        let dir = faulty_file_dir("abandon");
+        let dest = dir.join("artifact.bin");
+        let plan = FaultPlan::new(4).short_writes(8).interrupt_every(2);
+        let mut f = FaultyFile::create(&dest, plan).unwrap();
+        // write_all retries through injected Interrupted errors.
+        f.write_all(&[7u8; 64]).unwrap();
+        assert!(f.write_attempts > 8, "interrupts must have fired");
+        assert_eq!(f.durable(), 64);
+        let tmp = f.tmp_path().to_path_buf();
+        f.abandon();
+        assert!(!dest.exists() && !tmp.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

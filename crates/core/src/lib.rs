@@ -54,6 +54,7 @@ pub mod fastforward;
 pub mod faults;
 #[cfg(any(test, feature = "faults"))]
 pub mod fuzz;
+pub mod index;
 pub mod interval;
 mod lazy;
 mod limits;
@@ -75,6 +76,7 @@ pub use evaluate::ByteFnSink;
 pub use evaluate::{
     CountSink, EngineError, ErrorPolicy, Evaluate, FnSink, Match, MatchSink, RecordOutcome,
 };
+pub use index::{IndexError, IndexStats, IndexedJsonSki, IndexedRecords, StructuralIndex};
 pub use lazy::{ArrayIter, DecodeError, LazyValue, ObjectIter, ValueKind};
 pub use limits::{LimitExceeded, ResourceLimits, DEFAULT_MAX_BUFFER_BYTES};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, Stopwatch, MAX_TRACKED_WORKERS};

@@ -204,9 +204,7 @@ mod tests {
     #[test]
     fn parse_errors_propagate_and_are_not_cached() {
         let cache = QueryCache::new(4);
-        assert!(cache
-            .get_or_compile("$.[", 0, JsonSki::compile)
-            .is_err());
+        assert!(cache.get_or_compile("$.[", 0, JsonSki::compile).is_err());
         assert!(cache.is_empty());
     }
 }

@@ -133,6 +133,26 @@ impl Client {
         self.request_raw(&payload)
     }
 
+    /// Evaluates `query` over a *server-stored* corpus named `corpus`
+    /// (requires the server to run with `--corpus-dir`; repeat queries
+    /// are accelerated by its structural-index cache).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn query_corpus(
+        &mut self,
+        id: &str,
+        tenant: &str,
+        query: &str,
+        corpus: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ProtocolError> {
+        let payload =
+            crate::protocol::encode_corpus_request(id, tenant, query, corpus, deadline_ms);
+        self.request_raw(&payload)
+    }
+
     /// Liveness probe.
     ///
     /// # Errors

@@ -1,0 +1,348 @@
+//! Server-stored corpora and their persistent structural-index cache.
+//!
+//! A request that names a `"corpus"` is evaluated over a file under the
+//! server's `--corpus-dir` instead of over the request body. Those are
+//! the requests where re-classifying the same bytes on every query is
+//! pure waste, so this module fronts them with the engine's
+//! [`StructuralIndex`]: record spans plus per-record structural bitmaps,
+//! persisted under `--index-cache` in the checksummed `JSKIDX1` format
+//! and mapped straight into [`IndexedJsonSki`](jsonski::IndexedJsonSki)
+//! on a hit.
+//!
+//! # Robustness contract
+//!
+//! The cache can only ever make a request *faster*, never wrong and
+//! never failed:
+//!
+//! * Every load re-verifies the index against the corpus bytes actually
+//!   read for this request (length + head/tail fingerprints) and against
+//!   the engine-config digest, on top of the file format's per-section
+//!   checksums. Torn, truncated, bit-flipped, version-skewed, and stale
+//!   files all classify into a typed [`IndexError`] counter.
+//! * Any index failure silently falls back to full classification and
+//!   schedules a background rebuild; the request itself never observes
+//!   the failure.
+//! * Rebuilds write through the same atomic tmp + fsync + rename
+//!   discipline as checkpoints, so a crash mid-write leaves the previous
+//!   valid file (or no file) — never a half-written one.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use jsonski::index::{config_digest, index_path_for};
+use jsonski::{EngineConfig, IndexError, IndexStats, StructuralIndex};
+
+/// Why a stored-corpus request could not be served.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The server was started without `--corpus-dir`.
+    NotConfigured,
+    /// The name is empty or tries to escape the corpus directory.
+    BadName,
+    /// No corpus file of that name exists (or it is unreadable).
+    NotFound(std::io::Error),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::NotConfigured => {
+                write!(
+                    f,
+                    "no corpus directory configured (start with --corpus-dir)"
+                )
+            }
+            CorpusError::BadName => write!(f, "corpus names must be plain file names"),
+            CorpusError::NotFound(e) => write!(f, "corpus not found: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// The server's view of its stored corpora: reads corpus files, serves
+/// their structural indexes (memory first, then disk), and owns the
+/// background rebuild threads. One instance per [`Server`](crate::Server),
+/// shared across connection and worker threads.
+pub struct CorpusStore {
+    corpus_dir: PathBuf,
+    index_dir: Option<PathBuf>,
+    digest: u64,
+    stats: Arc<IndexStats>,
+    /// Verified indexes resident in memory, by corpus name. Still
+    /// re-verified against the bytes read for each request, so a corpus
+    /// file mutated underneath the server degrades to a rebuild instead
+    /// of serving bitmaps for bytes that no longer exist.
+    resident: Mutex<HashMap<String, Arc<StructuralIndex>>>,
+    /// Corpus names with a rebuild in flight (dedupes rebuild storms).
+    building: Mutex<HashSet<String>>,
+    /// Rebuild threads, joined by [`drain`](CorpusStore::drain).
+    builders: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl CorpusStore {
+    /// Creates a store over `corpus_dir`, persisting indexes under
+    /// `index_dir` when given (created if absent; `None` keeps the cache
+    /// memory-only). `config` must be the engine configuration requests
+    /// will run under — its digest keys every index.
+    ///
+    /// # Errors
+    ///
+    /// Failure to create `index_dir`.
+    pub fn new(
+        corpus_dir: PathBuf,
+        index_dir: Option<PathBuf>,
+        config: &EngineConfig,
+    ) -> std::io::Result<CorpusStore> {
+        if let Some(dir) = &index_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(CorpusStore {
+            corpus_dir,
+            index_dir,
+            digest: config_digest(config),
+            stats: Arc::new(IndexStats::new()),
+            resident: Mutex::new(HashMap::new()),
+            building: Mutex::new(HashSet::new()),
+            builders: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The index-outcome counters, shared with the metrics scrape.
+    pub fn stats(&self) -> &Arc<IndexStats> {
+        &self.stats
+    }
+
+    /// Reads the named corpus file.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::BadName`] for names that are empty or not plain
+    /// file names; [`CorpusError::NotFound`] when the read fails.
+    pub fn read_corpus(&self, name: &str) -> Result<Vec<u8>, CorpusError> {
+        if name.is_empty()
+            || name == "."
+            || name == ".."
+            || name.contains('/')
+            || name.contains('\\')
+        {
+            return Err(CorpusError::BadName);
+        }
+        std::fs::read(self.corpus_dir.join(name)).map_err(CorpusError::NotFound)
+    }
+
+    /// The verified structural index for `corpus` (the bytes just read
+    /// for this request), or `None` when the request must fall back to
+    /// full classification. Never fails: every non-hit outcome is counted
+    /// in [`stats`](CorpusStore::stats) and — unless a rebuild is already
+    /// in flight — schedules a background rebuild.
+    pub fn index_for(self: &Arc<Self>, name: &str, corpus: &[u8]) -> Option<Arc<StructuralIndex>> {
+        use std::sync::atomic::Ordering;
+        // Bind before the `if let`: the guard must not live into the body,
+        // which re-locks the map to evict a stale entry.
+        let resident = self.resident.lock().unwrap().get(name).cloned();
+        if let Some(idx) = resident {
+            if idx.verify(corpus, self.digest).is_ok() {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+            // The corpus changed under a resident index: drop it and fall
+            // through to the disk path, which counts the staleness.
+            self.resident.lock().unwrap().remove(name);
+        }
+        let err = match &self.index_dir {
+            Some(dir) => {
+                match StructuralIndex::load(&index_path_for(dir, name), corpus, self.digest) {
+                    Ok(idx) => {
+                        let idx = Arc::new(idx);
+                        self.resident
+                            .lock()
+                            .unwrap()
+                            .insert(name.to_string(), Arc::clone(&idx));
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(idx);
+                    }
+                    Err(e) => e,
+                }
+            }
+            None => IndexError::Missing,
+        };
+        self.stats.record_error(&err);
+        self.schedule_rebuild(name, corpus.to_vec());
+        None
+    }
+
+    /// Spawns a background build of `name`'s index over `corpus` unless
+    /// one is already in flight. The build classifies off the request
+    /// path, persists atomically (when an index dir is configured), and
+    /// installs the result in memory; build failures are silently dropped
+    /// (the next request just falls back again).
+    fn schedule_rebuild(self: &Arc<Self>, name: &str, corpus: Vec<u8>) {
+        use std::sync::atomic::Ordering;
+        {
+            let mut building = self.building.lock().unwrap();
+            if !building.insert(name.to_string()) {
+                return;
+            }
+        }
+        self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let store = Arc::clone(self);
+        let name = name.to_string();
+        let handle = std::thread::spawn(move || {
+            if let Ok(idx) = StructuralIndex::build(&corpus, store.digest) {
+                let persisted = match &store.index_dir {
+                    Some(dir) => idx.save(&index_path_for(dir, &name)).is_ok(),
+                    None => true, // memory-only cache: nothing to persist
+                };
+                if persisted {
+                    store
+                        .resident
+                        .lock()
+                        .unwrap()
+                        .insert(name.clone(), Arc::new(idx));
+                }
+            }
+            store.building.lock().unwrap().remove(&name);
+        });
+        let mut builders = self.builders.lock().unwrap();
+        builders.retain(|h| !h.is_finished());
+        builders.push(handle);
+    }
+
+    /// Joins every in-flight rebuild (called during server drain, after
+    /// the last request has finished).
+    pub fn drain(&self) {
+        let handles: Vec<_> = std::mem::take(&mut *self.builders.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jsonski-corpus-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wait_built(store: &Arc<CorpusStore>, name: &str, corpus: &[u8]) -> Arc<StructuralIndex> {
+        for _ in 0..200 {
+            store.drain();
+            if let Some(idx) = store.index_for(name, corpus) {
+                return idx;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("index for {name} never became available");
+    }
+
+    #[test]
+    fn miss_then_background_build_then_hit() {
+        let dir = tmp("hit");
+        let corpus = b"{\"a\": 1}\n{\"a\": 2}\n".to_vec();
+        std::fs::write(dir.join("c.ndjson"), &corpus).unwrap();
+        let store = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        let bytes = store.read_corpus("c.ndjson").unwrap();
+        assert!(store.index_for("c.ndjson", &bytes).is_none(), "cold miss");
+        let idx = wait_built(&store, "c.ndjson", &bytes);
+        assert_eq!(idx.record_count(), 2);
+        use std::sync::atomic::Ordering;
+        assert_eq!(store.stats().misses.load(Ordering::Relaxed), 1);
+        assert!(store.stats().hits.load(Ordering::Relaxed) >= 1);
+        assert_eq!(store.stats().rebuilds.load(Ordering::Relaxed), 1);
+        // The persisted file survives a fresh store (a server restart).
+        let fresh = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        assert!(fresh.index_for("c.ndjson", &bytes).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mutated_corpus_degrades_to_stale_and_rebuilds() {
+        let dir = tmp("stale");
+        let corpus = b"{\"a\": 1}\n".to_vec();
+        std::fs::write(dir.join("c.ndjson"), &corpus).unwrap();
+        let store = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        let bytes = store.read_corpus("c.ndjson").unwrap();
+        store.index_for("c.ndjson", &bytes);
+        wait_built(&store, "c.ndjson", &bytes);
+        // Mutate the corpus: the resident and on-disk indexes are now
+        // for bytes that no longer exist.
+        let mutated = b"{\"a\": 99}\n".to_vec();
+        std::fs::write(dir.join("c.ndjson"), &mutated).unwrap();
+        let bytes = store.read_corpus("c.ndjson").unwrap();
+        assert!(
+            store.index_for("c.ndjson", &bytes).is_none(),
+            "must go stale"
+        );
+        use std::sync::atomic::Ordering;
+        assert!(store.stats().stale.load(Ordering::Relaxed) >= 1);
+        let idx = wait_built(&store, "c.ndjson", &bytes);
+        assert!(idx
+            .verify(
+                &mutated,
+                jsonski::index::config_digest(&EngineConfig::default())
+            )
+            .is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_file_degrades_and_heals() {
+        let dir = tmp("corrupt");
+        let corpus = b"{\"a\": [1, 2, 3]}\n".to_vec();
+        std::fs::write(dir.join("c.ndjson"), &corpus).unwrap();
+        let store = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        let bytes = store.read_corpus("c.ndjson").unwrap();
+        store.index_for("c.ndjson", &bytes);
+        wait_built(&store, "c.ndjson", &bytes);
+        // Flip a byte in the persisted index; a fresh store (no resident
+        // copy) must detect it, fall back, and heal.
+        let path = index_path_for(&dir.join("idx"), "c.ndjson");
+        let mut blob = std::fs::read(&path).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x41;
+        std::fs::write(&path, &blob).unwrap();
+        let fresh = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        assert!(fresh.index_for("c.ndjson", &bytes).is_none());
+        use std::sync::atomic::Ordering;
+        assert_eq!(fresh.stats().corrupt_fallback.load(Ordering::Relaxed), 1);
+        wait_built(&fresh, "c.ndjson", &bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_corpus_names_are_rejected() {
+        let dir = tmp("names");
+        let store = CorpusStore::new(dir.clone(), None, &EngineConfig::default()).unwrap();
+        for name in ["", ".", "..", "../etc/passwd", "a/b", "a\\b"] {
+            assert!(
+                matches!(
+                    store.read_corpus(name),
+                    Err(CorpusError::BadName | CorpusError::NotFound(_))
+                ),
+                "{name:?} must not resolve"
+            );
+        }
+        assert!(matches!(
+            store.read_corpus("absent.ndjson"),
+            Err(CorpusError::NotFound(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`cache`] — an LRU cache of compiled queries keyed by
 //!   `(query, config digest)`, so repeat queries skip JSONPath parsing and
 //!   automaton construction entirely.
+//! * [`corpus`] — server-stored corpora and their crash-safe persistent
+//!   structural-index cache: repeat queries over a stored corpus skip
+//!   classification entirely, and any damaged/stale index file degrades
+//!   silently to full classification plus a background rebuild.
 //! * [`server`] — the daemon itself: per-request deadlines enforced by the
 //!   connection thread as watchdog and threaded through
 //!   [`ResourceLimits::deadline`](jsonski::ResourceLimits) +
@@ -55,14 +59,17 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+pub mod corpus;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{Dispatcher, TenantPermit};
 pub use cache::QueryCache;
 pub use client::Client;
+pub use corpus::{CorpusError, CorpusStore};
 pub use protocol::{
-    encode_frame, encode_request, encode_response, parse_request, parse_response, read_frame,
-    write_frame, Op, ProtocolError, Request, Response, ShedReason, Status, DEFAULT_MAX_FRAME_BYTES,
+    encode_corpus_request, encode_frame, encode_request, encode_response, parse_request,
+    parse_response, read_frame, write_frame, Op, ProtocolError, Request, Response, ShedReason,
+    Status, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use server::{ServeConfig, ServeStats, ServeSummary, Server};

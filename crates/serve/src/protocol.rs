@@ -49,6 +49,8 @@ pub enum Status {
     Ok,
     /// 400 — the frame or header could not be understood.
     BadRequest,
+    /// 404 — the request named a stored corpus the server does not have.
+    NotFound,
     /// 408 — the request exceeded its deadline; evaluation was cancelled
     /// at a record boundary and any partial output discarded.
     Timeout,
@@ -70,6 +72,7 @@ impl Status {
         match self {
             Status::Ok => 200,
             Status::BadRequest => 400,
+            Status::NotFound => 404,
             Status::Timeout => 408,
             Status::EvalFailed => 422,
             Status::Shed => 429,
@@ -83,6 +86,7 @@ impl Status {
         match self {
             Status::Ok => "ok",
             Status::BadRequest => "bad_request",
+            Status::NotFound => "not_found",
             Status::Timeout => "timeout",
             Status::EvalFailed => "eval_failed",
             Status::Shed => "shed",
@@ -124,6 +128,10 @@ pub struct Request {
     pub tenant: String,
     /// JSONPath expression (required when `op` is [`Op::Query`]).
     pub query: String,
+    /// Name of a server-stored corpus to evaluate over instead of the
+    /// request body (empty when the body carries the records). Stored
+    /// corpora are where the persistent structural-index cache applies.
+    pub corpus: String,
     /// Optional per-request deadline in milliseconds; the server clamps it
     /// to its own maximum.
     pub deadline_ms: Option<u64>,
@@ -237,6 +245,30 @@ pub fn encode_request(
     payload
 }
 
+/// Builds a query-request payload that evaluates over a *server-stored*
+/// corpus: the `"corpus"` header field names the file, the body is empty.
+/// Helper for clients; the server only decodes.
+pub fn encode_corpus_request(
+    id: &str,
+    tenant: &str,
+    query: &str,
+    corpus: &str,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
+    let mut header = String::from("{\"op\": \"query\"");
+    header.push_str(&format!(", \"id\": \"{}\"", json_escape(id)));
+    header.push_str(&format!(", \"tenant\": \"{}\"", json_escape(tenant)));
+    header.push_str(&format!(", \"query\": \"{}\"", json_escape(query)));
+    header.push_str(&format!(", \"corpus\": \"{}\"", json_escape(corpus)));
+    if let Some(ms) = deadline_ms {
+        header.push_str(&format!(", \"deadline_ms\": {ms}"));
+    }
+    header.push('}');
+    let mut payload = header.into_bytes();
+    payload.push(b'\n');
+    payload
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -301,6 +333,13 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             .into_owned(),
         None => String::new(),
     };
+    let corpus = match field("/corpus")? {
+        Some(v) => v
+            .as_str()
+            .map_err(|_| ProtocolError::BadHeader("corpus must be a string".into()))?
+            .into_owned(),
+        None => String::new(),
+    };
     if op == Op::Query && query.is_empty() {
         return Err(ProtocolError::BadHeader(
             "op \"query\" requires a \"query\" field".into(),
@@ -321,6 +360,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         id,
         tenant,
         query,
+        corpus,
         deadline_ms,
         metrics_json,
         body: body.to_vec(),
@@ -526,6 +566,18 @@ mod tests {
         let resp = parse_response(&shed).unwrap();
         assert_eq!(resp.code, 429);
         assert_eq!(resp.reason.as_deref(), Some("queue_full"));
+    }
+
+    #[test]
+    fn corpus_requests_roundtrip() {
+        let payload = encode_corpus_request("req-2", "tenant-a", "$.a[*]", "events.ndjson", None);
+        let req = parse_request(&payload).unwrap();
+        assert_eq!(req.op, Op::Query);
+        assert_eq!(req.corpus, "events.ndjson");
+        assert!(req.body.is_empty());
+        // A body-borne query has no corpus.
+        let plain = encode_request(Op::Query, "x", "t", "$.a", None, false, b"{}\n");
+        assert!(parse_request(&plain).unwrap().corpus.is_empty());
     }
 
     #[test]

@@ -38,16 +38,17 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use jsonski::{
-    digest_parts, CancellationToken, EngineConfig, EngineError, ErrorPolicy, JsonSki,
-    LimitExceeded, Match, MatchSink, Metrics, Pipeline, ResourceLimits, SliceRecords,
-    ValidationMode,
+    digest_parts, CancellationToken, EngineConfig, EngineError, ErrorPolicy, IndexedJsonSki,
+    IndexedRecords, JsonSki, LimitExceeded, Match, MatchSink, Metrics, Pipeline, ResourceLimits,
+    SliceRecords, StructuralIndex, ValidationMode,
 };
 
 use crate::admission::{Dispatcher, TenantPermit};
 use crate::cache::QueryCache;
+use crate::corpus::{CorpusError, CorpusStore};
 use crate::protocol::{
-    encode_response, parse_request, read_frame, write_frame, Op, ProtocolError, Request,
-    ShedReason, Status, DEFAULT_MAX_FRAME_BYTES,
+    encode_response, parse_request, read_frame, Op, ProtocolError, Request, ShedReason, Status,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 
 /// Server tuning knobs. Construct with [`ServeConfig::default`] and adjust
@@ -68,6 +69,13 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Mid-frame read timeouts tolerated before the connection is closed.
     pub stall_budget: u32,
+    /// OS-level socket write timeout (one tick of the response-write
+    /// stall clock).
+    pub write_timeout: Duration,
+    /// Mid-response write timeouts tolerated before the connection is
+    /// closed — the write-side twin of `stall_budget`, so a client that
+    /// stops draining its receive buffer cannot pin a connection thread.
+    pub write_stall_budget: u32,
     /// Maximum frame payload size.
     pub max_frame_bytes: usize,
     /// Compiled-query cache capacity (0 disables).
@@ -82,6 +90,12 @@ pub struct ServeConfig {
     pub limits: ResourceLimits,
     /// Per-record failure policy for request bodies.
     pub error_policy: ErrorPolicy,
+    /// Directory of server-stored corpora that requests may name via the
+    /// `"corpus"` header field (`None` disables stored-corpus requests).
+    pub corpus_dir: Option<std::path::PathBuf>,
+    /// Directory for the persistent structural-index cache over stored
+    /// corpora (`None` keeps the index cache memory-only).
+    pub index_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -94,12 +108,16 @@ impl Default for ServeConfig {
             max_deadline: Duration::from_millis(30_000),
             read_timeout: Duration::from_millis(250),
             stall_budget: 4,
+            write_timeout: Duration::from_millis(250),
+            write_stall_budget: 8,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             cache_capacity: 128,
             metrics_endpoint: false,
             engine_config: EngineConfig::default(),
             limits: ResourceLimits::default(),
             error_policy: ErrorPolicy::FailFast,
+            corpus_dir: None,
+            index_cache: None,
         }
     }
 }
@@ -163,6 +181,11 @@ pub struct ServeStats {
     pub protocol_errors: AtomicU64,
     /// Connections closed for stalling mid-frame past the budget.
     pub stalled_conns: AtomicU64,
+    /// Connections closed because the peer stopped draining its receive
+    /// buffer past the response-write stall budget.
+    pub stalled_writes: AtomicU64,
+    /// Stored-corpus requests answered `404 not_found`.
+    pub corpus_not_found: AtomicU64,
 }
 
 impl ServeStats {
@@ -215,6 +238,14 @@ impl ServeStats {
                 self.protocol_errors.load(Ordering::Relaxed),
             ),
             ("stalled_conns", self.stalled_conns.load(Ordering::Relaxed)),
+            (
+                "stalled_writes",
+                self.stalled_writes.load(Ordering::Relaxed),
+            ),
+            (
+                "corpus_not_found",
+                self.corpus_not_found.load(Ordering::Relaxed),
+            ),
         ]
     }
 }
@@ -256,6 +287,14 @@ impl Conn {
             Conn::Unix(s) => s.set_read_timeout(t),
         }
     }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(t),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(t),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -292,6 +331,7 @@ struct Shared {
     cache_digest: u64,
     dispatcher: Arc<Dispatcher>,
     cache: QueryCache,
+    corpus: Option<Arc<CorpusStore>>,
     stats: ServeStats,
     metrics: Arc<Metrics>,
     shutdown: CancellationToken,
@@ -347,7 +387,7 @@ impl Server {
     pub fn bind_tcp(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?.to_string();
-        Ok(Server::assemble(Listener::Tcp(listener), local, config))
+        Server::assemble(Listener::Tcp(listener), local, config)
     }
 
     /// Binds a unix-domain listener at `path` (removed first if stale).
@@ -359,34 +399,39 @@ impl Server {
     pub fn bind_unix(path: &str, config: ServeConfig) -> std::io::Result<Server> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
-        Ok(Server::assemble(
-            Listener::Unix(listener),
-            path.to_string(),
-            config,
-        ))
+        Server::assemble(Listener::Unix(listener), path.to_string(), config)
     }
 
-    fn assemble(listener: Listener, addr: String, config: ServeConfig) -> Server {
+    fn assemble(listener: Listener, addr: String, config: ServeConfig) -> std::io::Result<Server> {
         let metrics = Arc::new(Metrics::new());
         let dispatcher =
             Dispatcher::new(config.max_queue, config.tenant_quota, Arc::clone(&metrics));
         let cache_digest = config.cache_digest();
         let cache = QueryCache::new(config.cache_capacity);
+        let corpus = match &config.corpus_dir {
+            Some(dir) => Some(Arc::new(CorpusStore::new(
+                dir.clone(),
+                config.index_cache.clone(),
+                &config.engine_config,
+            )?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache_digest,
             dispatcher,
             cache,
+            corpus,
             stats: ServeStats::default(),
             metrics,
             shutdown: CancellationToken::new(),
             draining: AtomicBool::new(false),
             config,
         });
-        Server {
+        Ok(Server {
             listener,
             shared,
             addr,
-        }
+        })
     }
 
     /// The bound address (`ip:port` for TCP — useful after binding port 0 —
@@ -474,6 +519,11 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Index rebuilds are fire-and-forget for requests, not for drain:
+        // join them so shutdown never leaks a half-written tmp writer.
+        if let Some(corpus) = &shared.corpus {
+            corpus.drain();
+        }
         let s = &shared.stats;
         Ok(ServeSummary {
             requests: s.requests.load(Ordering::Relaxed),
@@ -553,6 +603,48 @@ fn read_frame_guarded(conn: &mut Conn, shared: &Shared) -> Result<Option<Vec<u8>
     }
 }
 
+/// Why [`write_frame_guarded`] gave up on a connection.
+enum WriteClose {
+    /// The peer stopped draining its receive buffer past the stall
+    /// budget; counted in `stalled_writes`.
+    Stalled,
+    /// The transport failed outright (peer gone).
+    Io,
+}
+
+/// Writes one response frame under the write-side stall clock: OS write
+/// timeouts burn the budget, then the connection is closed with a typed
+/// reason instead of pinning the thread behind a peer that reads nothing.
+/// The frame is still a single logical write — the peer observes a prefix
+/// of it or all of it, never interleaving.
+fn write_frame_guarded(conn: &mut Conn, shared: &Shared, payload: &[u8]) -> Result<(), WriteClose> {
+    conn.set_write_timeout(Some(shared.config.write_timeout))
+        .ok();
+    let frame = crate::protocol::encode_frame(payload);
+    let mut off = 0usize;
+    let mut stalls_left = shared.config.write_stall_budget;
+    while off < frame.len() {
+        match conn.write(&frame[off..]) {
+            Ok(0) => return Err(WriteClose::Io),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stalls_left == 0 {
+                    return Err(WriteClose::Stalled);
+                }
+                stalls_left -= 1;
+            }
+            Err(_) => return Err(WriteClose::Io),
+        }
+    }
+    conn.flush().map_err(|_| WriteClose::Io)
+}
+
 /// One connection's lifetime: frames in, frames out, until EOF, a
 /// protocol violation, or drain.
 fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
@@ -579,17 +671,27 @@ fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
             Ok(Some(payload)) => {
                 ServeStats::bump(&shared.stats.requests);
                 let (response, permit) = handle_frame(&payload, shared);
-                let write = write_frame(&mut conn, &response);
+                let write = write_frame_guarded(&mut conn, shared, &response);
                 // The tenant's in-flight slot covers the whole request
                 // lifetime, response write included: a slow-reading
                 // client occupies its own quota, not the fleet's.
                 drop(permit);
-                if write.is_err() {
-                    // Peer gone mid-write: drop the connection. The frame
-                    // was a single write_all, so the peer saw either
-                    // nothing or everything the transport delivered —
-                    // never a reordered or interleaved frame.
-                    return;
+                match write {
+                    Ok(()) => {}
+                    Err(WriteClose::Stalled) => {
+                        // The peer stopped draining its receive buffer:
+                        // the write stall budget bounds how long it can
+                        // hold this thread, mirroring the read side.
+                        ServeStats::bump(&shared.stats.stalled_writes);
+                        return;
+                    }
+                    Err(WriteClose::Io) => {
+                        // Peer gone mid-write: drop the connection. The
+                        // frame was a single logical write, so the peer
+                        // saw a prefix or everything — never a reordered
+                        // or interleaved frame.
+                        return;
+                    }
                 }
             }
             Err(ProtocolError::Stalled) => {
@@ -675,22 +777,43 @@ fn scrape_metrics(req: &Request, shared: &Arc<Shared>) -> Vec<u8> {
     }
     ServeStats::bump(&shared.stats.scrapes);
     let snapshot = shared.metrics.snapshot();
+    // Index-cache counters render even without a corpus store (all
+    // zeros), so scrapers see a stable schema.
+    let zero = jsonski::IndexStats::new();
+    let index_pairs = match &shared.corpus {
+        Some(c) => c.stats().pairs(),
+        None => zero.pairs(),
+    };
     let body = if req.metrics_json {
+        let mut index_json = String::from("{");
+        for (i, (name, v)) in index_pairs.iter().enumerate() {
+            if i > 0 {
+                index_json.push_str(", ");
+            }
+            index_json.push_str(&format!("\"{name}\": {v}"));
+        }
+        index_json.push('}');
         format!(
-            "{{\"serve\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}, \"engine\": {}}}\n",
+            "{{\"serve\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}, \"index\": {}, \"engine\": {}}}\n",
             shared.stats.render_json(),
             shared.cache.hits(),
             shared.cache.misses(),
             shared.cache.len(),
+            index_json,
             snapshot.to_json(),
         )
     } else {
+        let mut index_text = String::new();
+        for (name, v) in &index_pairs {
+            index_text.push_str(&format!("{name} {v}\n"));
+        }
         format!(
-            "{}cache_hits {}\ncache_misses {}\ncache_entries {}\n# engine metrics\n{}",
+            "{}cache_hits {}\ncache_misses {}\ncache_entries {}\n{}# engine metrics\n{}",
             shared.stats.render_text(),
             shared.cache.hits(),
             shared.cache.misses(),
             shared.cache.len(),
+            index_text,
             snapshot,
         )
     };
@@ -733,6 +856,41 @@ fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPe
             );
         }
     };
+    // Resolve a stored corpus on the connection thread (inside the
+    // permit, so corpus reads count against the tenant's quota). The
+    // index lookup can only produce `Some` for a fully verified index;
+    // every failure mode falls back to `None` = full classification.
+    let (body, index) = if req.corpus.is_empty() {
+        (req.body, None)
+    } else {
+        let resolved = match &shared.corpus {
+            Some(store) => store
+                .read_corpus(&req.corpus)
+                .map(|bytes| (Arc::clone(store), bytes)),
+            None => Err(CorpusError::NotConfigured),
+        };
+        match resolved {
+            Ok((store, bytes)) => {
+                let index = store.index_for(&req.corpus, &bytes);
+                (bytes, index)
+            }
+            Err(e) => {
+                ServeStats::bump(&shared.stats.corpus_not_found);
+                return (
+                    encode_response(
+                        Status::NotFound,
+                        &req.id,
+                        0,
+                        0,
+                        0,
+                        Some(&e.to_string()),
+                        b"",
+                    ),
+                    Some(permit),
+                );
+            }
+        }
+    };
     let deadline = req
         .deadline_ms
         .map(Duration::from_millis)
@@ -744,11 +902,11 @@ fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPe
         let shared = Arc::clone(shared);
         let token = req_token.clone();
         let query = req.query.clone();
-        let body = req.body;
         shared.dispatcher.enqueue(Box::new({
             let shared = Arc::clone(&shared);
             move || {
-                let result = evaluate_request(&shared, &query, &body, deadline, &token);
+                let result =
+                    evaluate_request(&shared, &query, &body, index.as_deref(), deadline, &token);
                 // The watchdog may have given up and gone; a full or
                 // dropped channel is fine either way.
                 let _ = tx.try_send(result);
@@ -819,6 +977,7 @@ fn evaluate_request(
     shared: &Shared,
     query: &str,
     body: &[u8],
+    index: Option<&StructuralIndex>,
     deadline: Duration,
     token: &CancellationToken,
 ) -> WorkResult {
@@ -846,14 +1005,29 @@ fn evaluate_request(
         let limits = shared.config.limits.deadline(deadline);
         let engine = (*engine).clone().with_limits(limits);
         let mut sink = StageSink::default();
-        let mut source = SliceRecords::new(body);
-        let run = Pipeline::new()
+        let pipe = Pipeline::new()
             .workers(1)
             .error_policy(shared.config.error_policy)
             .limits(limits)
             .metrics(Arc::clone(&shared.metrics))
-            .cancel_token(token.clone())
-            .run(&engine, &mut source, &mut sink);
+            .cancel_token(token.clone());
+        let run = match index {
+            // A verified index: records come from its spans and the
+            // engine consumes its pre-built bitmaps instead of
+            // re-classifying. Results are byte-identical to the uncached
+            // path by construction (strict validation still sees every
+            // input byte).
+            Some(idx) => {
+                let stats = shared.corpus.as_ref().map(|c| c.stats().as_ref());
+                let indexed = IndexedJsonSki::new(&engine, idx, stats);
+                let mut source = IndexedRecords::new(body, idx);
+                pipe.run(&indexed, &mut source, &mut sink)
+            }
+            None => {
+                let mut source = SliceRecords::new(body);
+                pipe.run(&engine, &mut source, &mut sink)
+            }
+        };
         match run {
             Ok(summary) if summary.cancelled => WorkResult {
                 // The only canceller of a request token is its deadline

@@ -332,3 +332,57 @@ fn saturation_with_faults_sheds_typed_and_completes_exact() {
     let summary = handle.join().unwrap().unwrap();
     assert_eq!(summary.shed, sheds.load(Ordering::SeqCst) as u64);
 }
+
+/// The write-side mirror of the slow loris: a client that uploads its
+/// query and then never drains the response. The server's guarded write
+/// loop burns its bounded stall budget, closes the connection with the
+/// typed `stalled_writes` reason, and frees the worker — it never pins
+/// on the dead reader, and other connections keep getting exact answers.
+#[test]
+fn non_reading_client_exhausts_write_budget_and_is_cut_off() {
+    let config = ServeConfig {
+        write_timeout: Duration::from_millis(40),
+        write_stall_budget: 2,
+        metrics_endpoint: true,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, token, handle) = start(config);
+    // A response far larger than the loopback socket buffers, so the
+    // server's writes genuinely block on the non-reading peer.
+    let blob = {
+        let filler = "x".repeat(4096);
+        let mut out = Vec::new();
+        for i in 0..3400 {
+            out.extend_from_slice(format!("{{\"a\": \"{filler}{i}\"}}\n").as_bytes());
+        }
+        out
+    };
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let payload = encode_request(Op::Query, "dead", "t", "$.a", Some(30_000), false, &blob);
+    stream.write_all(&encode_frame(&payload)).unwrap();
+    stream.flush().unwrap();
+    // Never read. The server must cut this connection off once the
+    // stall budget is spent, and say so in the scrape.
+    let scrape = wait_for_scrape(&addr, |s| s.contains("serve_stalled_writes 1"));
+    assert!(
+        scrape.contains("serve_stalled_writes 1"),
+        "write-stall close must be visible in the scrape:\n{scrape}"
+    );
+    // The worker is free again: a well-behaved client still gets exact
+    // answers immediately.
+    let body = ndjson(100);
+    let reference = serial_reference("$.id", &body);
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    for i in 0..5 {
+        let resp = c
+            .query(&format!("ok{i}"), "t", "$.id", None, &body)
+            .unwrap();
+        assert_eq!(resp.code, 200);
+        assert_eq!(resp.body, reference);
+    }
+    drop(stream);
+    token.cancel();
+    handle.join().unwrap().unwrap();
+}

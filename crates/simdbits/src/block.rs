@@ -27,6 +27,58 @@ pub struct BlockBitmaps {
 }
 
 impl BlockBitmaps {
+    /// Size of one serialized block: eight little-endian `u64` lanes.
+    pub const WIRE_BYTES: usize = 64;
+
+    /// Serializes the bitmaps to their on-disk wire form: the eight lanes
+    /// as little-endian `u64`s, in declaration order (`lbrace`, `rbrace`,
+    /// `lbracket`, `rbracket`, `colon`, `comma`, `quote`, `string_mask`).
+    /// The layout is versioned by the containing file format (a persistent
+    /// index bumps its magic when this changes), not self-describing.
+    #[inline]
+    pub fn to_wire(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        for (i, lane) in self.lanes().into_iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes bitmaps previously produced by [`to_wire`]. Total — any
+    /// 64 bytes decode to *some* bitmaps, so integrity must come from the
+    /// containing format's checksums.
+    ///
+    /// [`to_wire`]: Self::to_wire
+    #[inline]
+    pub fn from_wire(wire: &[u8; Self::WIRE_BYTES]) -> Self {
+        let lane =
+            |i: usize| u64::from_le_bytes(wire[i * 8..i * 8 + 8].try_into().expect("8-byte lane"));
+        BlockBitmaps {
+            lbrace: lane(0),
+            rbrace: lane(1),
+            lbracket: lane(2),
+            rbracket: lane(3),
+            colon: lane(4),
+            comma: lane(5),
+            quote: lane(6),
+            string_mask: lane(7),
+        }
+    }
+
+    #[inline]
+    fn lanes(&self) -> [u64; 8] {
+        [
+            self.lbrace,
+            self.rbrace,
+            self.lbracket,
+            self.rbracket,
+            self.colon,
+            self.comma,
+            self.quote,
+            self.string_mask,
+        ]
+    }
+
     /// Returns the structural bitmap for metacharacter `c`.
     ///
     /// # Panics
@@ -286,6 +338,35 @@ mod tests {
     #[should_panic(expected = "not a JSON metacharacter")]
     fn structural_rejects_non_metachar() {
         BlockBitmaps::default().structural(b'x');
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_lane() {
+        let bm = BlockBitmaps {
+            lbrace: 0x0123_4567_89ab_cdef,
+            rbrace: u64::MAX,
+            lbracket: 1,
+            rbracket: 1 << 63,
+            colon: 0xdead_beef,
+            comma: 0,
+            quote: 0xaaaa_5555_aaaa_5555,
+            string_mask: 0x00ff_00ff_00ff_00ff,
+        };
+        assert_eq!(BlockBitmaps::from_wire(&bm.to_wire()), bm);
+    }
+
+    #[test]
+    fn wire_format_is_little_endian_in_lane_order() {
+        let bm = BlockBitmaps {
+            lbrace: 0x0102_0304_0506_0708,
+            string_mask: 0x1112_1314_1516_1718,
+            ..Default::default()
+        };
+        let wire = bm.to_wire();
+        assert_eq!(wire[0], 0x08); // lbrace, least-significant byte first
+        assert_eq!(wire[7], 0x01);
+        assert_eq!(wire[56], 0x18); // string_mask is the final lane
+        assert_eq!(&wire[8..56], &[0u8; 48]); // untouched lanes serialize as zero
     }
 
     #[test]
