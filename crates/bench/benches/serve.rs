@@ -10,6 +10,12 @@
 //!   the shed rate. The guardrail: under overload the daemon keeps
 //!   answering — every request gets a typed response (200 or 429), none
 //!   hang, and throughput holds near the worker pool's capacity.
+//! * `serve_stream` — the same large wildcard query answered
+//!   materialized (one frame) vs streamed (chunked frames), reporting
+//!   per-mode QPS, p50/p99 latency, and the server's peak tracked
+//!   response buffering (`mem_peak_bytes`). The guardrail: both modes
+//!   return byte-identical bodies, and streaming's high-water buffer
+//!   stays bounded by the chunk size instead of the response size.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -185,5 +191,96 @@ fn bench_serve_guard(_c: &mut Criterion) {
     assert_eq!(other, 0, "unexpected non-200/429 responses: {other}");
 }
 
-criterion_group!(benches, bench_serve_latency, bench_serve_guard);
+/// Scrape one `mem_*` gauge from the daemon's text metrics.
+fn scrape_gauge(addr: &str, name: &str) -> u64 {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let resp = client.metrics(false).expect("metrics");
+    let scrape = String::from_utf8(resp.body).expect("utf8");
+    scrape
+        .lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            panic!(
+                "gauge {name} missing from scrape (code {} reason {:?}):\n{scrape}",
+                resp.code, resp.reason
+            )
+        })
+}
+
+fn bench_serve_stream(_c: &mut Criterion) {
+    const CHUNK: usize = 64 * 1024;
+    const ROUNDS: usize = 30;
+
+    let body = ndjson(20_000);
+    let query = "$.items[*]";
+    let mut reference: Option<Vec<u8>> = None;
+    println!(
+        "serve_stream: {ROUNDS} rounds of `{query}` over a {} KiB body",
+        body.len() / 1024
+    );
+    // One server per mode so `mem_peak_bytes` isolates that mode's
+    // high-water response buffering.
+    for streamed in [false, true] {
+        let (handle, addr, token) = start(ServeConfig {
+            workers: 2,
+            chunk_bytes: CHUNK,
+            metrics_endpoint: true,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        client.stream = streamed;
+        let mut lat = Vec::with_capacity(ROUNDS);
+        let started = Instant::now();
+        let mut last_body = Vec::new();
+        for _ in 0..ROUNDS {
+            let t0 = Instant::now();
+            let resp = client
+                .query("bench", "bench", query, None, &body)
+                .expect("query");
+            assert!(resp.is_ok(), "{:?}", resp.reason);
+            assert_eq!(resp.stream, streamed, "mode not honored by server");
+            lat.push(t0.elapsed());
+            last_body = resp.body;
+        }
+        let elapsed = started.elapsed();
+        let peak = scrape_gauge(&addr, "mem_peak_bytes");
+        token.cancel();
+        handle.join().unwrap();
+
+        lat.sort_unstable();
+        let mode = if streamed { "streamed" } else { "materialized" };
+        let qps = ROUNDS as f64 / elapsed.as_secs_f64();
+        println!(
+            "serve_stream/{mode:<13} qps {qps:>7.1}  p50 {:>10?}  p99 {:>10?}  peak_buffer {} KiB",
+            percentile(&lat, 50.0),
+            percentile(&lat, 99.0),
+            peak / 1024,
+        );
+        // Byte-identical bodies across modes, and streaming must buffer
+        // less than materializing the full response.
+        match &reference {
+            None => {
+                assert!(!last_body.is_empty(), "query produced no matches");
+                reference = Some(last_body);
+            }
+            Some(r) => {
+                assert_eq!(r, &last_body, "streamed body diverged from materialized");
+                let materialized_peak = r.len() as u64 + body.len() as u64;
+                assert!(
+                    peak < materialized_peak,
+                    "streaming peak {peak} not below materialized floor {materialized_peak}"
+                );
+            }
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_serve_latency,
+    bench_serve_guard,
+    bench_serve_stream
+);
 criterion_main!(benches);

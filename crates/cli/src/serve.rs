@@ -59,6 +59,25 @@ options:
                      classification entirely, and a damaged or stale index
                      file silently falls back to full classification and
                      rebuilds in the background (requires --corpus-dir)
+  --index-warm       build (or load) the structural index for every stored
+                     corpus at startup, before the listener accepts
+                     traffic, so the first query of each corpus is already
+                     fast; per-corpus progress is logged to stderr
+                     (requires --corpus-dir)
+  --memory-budget BYTES
+                     global tracked-memory budget for resident request
+                     bodies, corpora, indexes, compiled queries, and
+                     response buffers. Under pressure the server degrades
+                     in order: evict caches, force chunked streaming,
+                     then shed with 429 memory (default 0 = unlimited,
+                     usage still tracked in mem_* gauges)
+  --tenant-memory-budget BYTES
+                     per-tenant share of the memory budget; a tenant at
+                     its cap sheds with 429 memory while others proceed
+                     (default 0 = no per-tenant cap)
+  --chunk-bytes N    chunk size for streamed responses — the server's
+                     high-water response buffer per stream-opted request
+                     (default 262144)
   --max-frame-bytes N
                      largest accepted request frame (default 16 MiB)
   --cache N          compiled-query LRU cache capacity (default 128;
@@ -159,6 +178,14 @@ fn parse_inner<I: IntoIterator<Item = String>>(args: I) -> Result<ServeOptions, 
                 let dir = it.next().ok_or("--index-cache needs a directory")?;
                 opts.config.index_cache = Some(std::path::PathBuf::from(dir));
             }
+            "--index-warm" => opts.config.index_warm = true,
+            "--memory-budget" => {
+                opts.config.memory_budget = num("--memory-budget")? as usize;
+            }
+            "--tenant-memory-budget" => {
+                opts.config.tenant_memory_budget = num("--tenant-memory-budget")? as usize;
+            }
+            "--chunk-bytes" => opts.config.chunk_bytes = num("--chunk-bytes")?.max(16) as usize,
             "--max-frame-bytes" => {
                 opts.config.max_frame_bytes = num("--max-frame-bytes")?.max(64) as usize
             }
@@ -188,6 +215,11 @@ fn parse_inner<I: IntoIterator<Item = String>>(args: I) -> Result<ServeOptions, 
     if opts.config.index_cache.is_some() && opts.config.corpus_dir.is_none() {
         return Err(format!(
             "--index-cache requires --corpus-dir\n\n{SERVE_USAGE}"
+        ));
+    }
+    if opts.config.index_warm && opts.config.corpus_dir.is_none() {
+        return Err(format!(
+            "--index-warm requires --corpus-dir\n\n{SERVE_USAGE}"
         ));
     }
     opts.config.engine_config = EngineConfig::builder()
@@ -289,6 +321,13 @@ mod tests {
             "/tmp/corpora",
             "--index-cache",
             "/tmp/indexes",
+            "--index-warm",
+            "--memory-budget",
+            "8388608",
+            "--tenant-memory-budget",
+            "1048576",
+            "--chunk-bytes",
+            "4096",
             "--max-frame-bytes",
             "1048576",
             "--cache",
@@ -319,6 +358,10 @@ mod tests {
             Some(std::path::Path::new("/tmp/indexes"))
         );
         assert_eq!(opts.config.max_frame_bytes, 1_048_576);
+        assert!(opts.config.index_warm);
+        assert_eq!(opts.config.memory_budget, 8_388_608);
+        assert_eq!(opts.config.tenant_memory_budget, 1_048_576);
+        assert_eq!(opts.config.chunk_bytes, 4096);
         assert_eq!(opts.config.cache_capacity, 16);
         assert!(opts.config.metrics_endpoint);
         assert_eq!(opts.config.error_policy, ErrorPolicy::SkipMalformed);
@@ -345,5 +388,7 @@ mod tests {
             parse(&["--index-cache", "/tmp/idx"]),
             Err(CliError::Usage(_))
         ));
+        // Same reasoning for startup index warming.
+        assert!(matches!(parse(&["--index-warm"]), Err(CliError::Usage(_))));
     }
 }

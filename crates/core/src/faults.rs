@@ -292,8 +292,9 @@ impl<R: Read> Read for FaultyReader<R> {
 /// [`FaultPlan`]: short writes ([`FaultPlan::short_writes`]), mid-frame
 /// stalls ([`FaultPlan::write_stall_every`]), and hard disconnects
 /// ([`FaultPlan::disconnect_after_writes`]) on the write side; short reads
-/// ([`FaultPlan::short_reads`]) and injected [`ErrorKind::Interrupted`]
-/// ([`FaultPlan::interrupt_every`]) on the read side.
+/// ([`FaultPlan::short_reads`]), injected [`ErrorKind::Interrupted`]
+/// ([`FaultPlan::interrupt_every`]), and byte corruption
+/// ([`FaultPlan::corrupt_every`]) on the read side.
 ///
 /// Wrap a *client's* connection in it to torture a framed-protocol
 /// server: fragmented frames must still reassemble, a death mid-frame
@@ -308,6 +309,8 @@ pub struct FaultyConn<T> {
     write_attempts: u64,
     written: u64,
     read_attempts: u64,
+    /// Bytes delivered to the reader so far (drives read-side corruption).
+    read_delivered: u64,
 }
 
 impl<T: Read + Write> FaultyConn<T> {
@@ -321,6 +324,7 @@ impl<T: Read + Write> FaultyConn<T> {
             write_attempts: 0,
             written: 0,
             read_attempts: 0,
+            read_delivered: 0,
         }
     }
 
@@ -353,7 +357,16 @@ impl<T: Read + Write> Read for FaultyConn<T> {
         if let Some(max) = self.plan.short_read_max {
             cap = cap.min(1 + self.rng.below(max as u64) as usize);
         }
-        self.inner.read(&mut buf[..cap])
+        let n = self.inner.read(&mut buf[..cap])?;
+        if let Some(every) = self.plan.corrupt_every {
+            for (i, byte) in buf.iter_mut().enumerate().take(n) {
+                if (self.read_delivered + i as u64 + 1).is_multiple_of(every) {
+                    *byte ^= 1 + (self.rng.next_u64() % 255) as u8;
+                }
+            }
+        }
+        self.read_delivered += n as u64;
+        Ok(n)
     }
 }
 

@@ -321,6 +321,14 @@ impl StructuralIndex {
         self.spans.len()
     }
 
+    /// Approximate resident footprint of this index in bytes (span,
+    /// word-offset, and bitmap storage), for memory-budget accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.spans.len() * std::mem::size_of::<(u64, u64)>()
+            + self.word_offsets.len() * std::mem::size_of::<usize>()
+            + self.bitmaps.len() * std::mem::size_of::<BlockBitmaps>()
+    }
+
     /// Record `idx`'s bitmaps: one [`BlockBitmaps`] per 64-byte word of
     /// the record's span. `None` when `idx` is out of range.
     pub fn bitmaps_for(&self, idx: usize) -> Option<&[BlockBitmaps]> {

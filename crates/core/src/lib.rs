@@ -58,6 +58,7 @@ pub mod index;
 pub mod interval;
 mod lazy;
 mod limits;
+pub mod membudget;
 pub mod metrics;
 mod multi;
 mod pipeline;
@@ -79,6 +80,7 @@ pub use evaluate::{
 pub use index::{IndexError, IndexStats, IndexedJsonSki, IndexedRecords, StructuralIndex};
 pub use lazy::{ArrayIter, DecodeError, LazyValue, ObjectIter, ValueKind};
 pub use limits::{LimitExceeded, ResourceLimits, DEFAULT_MAX_BUFFER_BYTES};
+pub use membudget::{MemBudget, MemDenied, MemPermit};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, Stopwatch, MAX_TRACKED_WORKERS};
 pub use multi::MultiQuery;
 pub use pipeline::{Pipeline, PipelineSummary, RecordSource, SliceRecords};

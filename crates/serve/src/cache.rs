@@ -13,13 +13,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use jsonski::{JsonSki, ParsePathError};
+use jsonski::{JsonSki, MemBudget, MemPermit, ParsePathError};
 
 struct Entry {
     engine: Arc<JsonSki>,
     /// Monotonic last-use stamp; the entry with the smallest stamp is the
     /// least recently used.
     stamp: u64,
+    /// Tracked-memory charge for this entry; released when the entry is
+    /// evicted or the cache cleared. `None` when the cache is unbudgeted.
+    _permit: Option<MemPermit>,
 }
 
 /// A bounded least-recently-used cache of compiled [`JsonSki`] engines.
@@ -34,6 +37,10 @@ pub struct QueryCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When set, every resident entry carries a tracked-memory charge;
+    /// an entry the budget refuses is served uncached instead of evicting
+    /// request buffers to make room for itself.
+    budget: Option<Arc<MemBudget>>,
 }
 
 impl QueryCache {
@@ -46,7 +53,20 @@ impl QueryCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            budget: None,
         }
+    }
+
+    /// Charges resident entries against `budget`.
+    pub fn with_budget(mut self, budget: Arc<MemBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Approximate resident cost of a compiled query: the key text plus a
+    /// flat allowance for the automaton and legality tables.
+    fn entry_cost(query: &str) -> usize {
+        query.len() + 1024
     }
 
     /// Returns the compiled engine for `query` under the configuration
@@ -76,6 +96,16 @@ impl QueryCache {
         // whole worker pool behind the cache mutex.
         let engine = Arc::new(compile(query)?);
         if self.capacity > 0 {
+            // A budgeted cache only keeps entries the ledger admits; a
+            // refused entry is served uncached (the caller's request is
+            // never failed on behalf of the cache).
+            let permit = match &self.budget {
+                Some(b) => match b.try_reserve(None, Self::entry_cost(query)) {
+                    Ok(p) => Some(p),
+                    Err(_) => return Ok(engine),
+                },
+                None => None,
+            };
             let mut entries = self.entries.lock().unwrap();
             if entries.len() >= self.capacity
                 && !entries.contains_key(&(query.to_string(), config_digest))
@@ -93,10 +123,20 @@ impl QueryCache {
                 Entry {
                     engine: Arc::clone(&engine),
                     stamp,
+                    _permit: permit,
                 },
             );
         }
         Ok(engine)
+    }
+
+    /// Evicts every resident entry (releasing its memory charge),
+    /// returning how many were dropped. The memory-pressure relief hook.
+    pub fn clear(&self) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let n = entries.len();
+        entries.clear();
+        n
     }
 
     /// Cache hits since construction.
@@ -199,6 +239,27 @@ mod tests {
         }
         assert_eq!(compiles.load(Ordering::Relaxed), 3);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn budgeted_cache_charges_and_releases() {
+        let budget = MemBudget::new(4096);
+        let cache = QueryCache::new(8).with_budget(Arc::clone(&budget));
+        cache.get_or_compile("$.a", 0, JsonSki::compile).unwrap();
+        cache.get_or_compile("$.b", 0, JsonSki::compile).unwrap();
+        assert!(budget.used() > 0);
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(budget.used(), 0, "clear releases every charge");
+    }
+
+    #[test]
+    fn exhausted_budget_serves_uncached() {
+        let budget = MemBudget::new(64); // smaller than one entry's cost
+        let cache = QueryCache::new(8).with_budget(Arc::clone(&budget));
+        // Compilation still succeeds; the entry just isn't kept.
+        cache.get_or_compile("$.a", 0, JsonSki::compile).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(budget.used(), 0);
     }
 
     #[test]

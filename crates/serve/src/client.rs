@@ -1,8 +1,14 @@
 //! A minimal blocking client for the serve protocol.
 //!
 //! Shared by the test suites, the CLI drain smoke test, and the
-//! `serve_guard` bench — one frame out, one frame in, fully typed. Not a
-//! connection pool; open one [`Client`] per thread.
+//! `serve_guard` bench — one request out, one (possibly chunked)
+//! response in, fully typed. Not a connection pool; open one [`Client`]
+//! per thread.
+//!
+//! Connections carry a default read timeout (see
+//! [`DEFAULT_READ_TIMEOUT`]) so a wedged or partitioned server surfaces
+//! as [`ClientError::Timeout`] instead of hanging the caller forever;
+//! pass `None` to [`Client::set_read_timeout`] to opt out.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -11,9 +17,66 @@ use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 use crate::protocol::{
-    encode_frame, encode_request, parse_response, read_frame, Op, ProtocolError, Response,
-    DEFAULT_MAX_FRAME_BYTES,
+    encode_frame, parse_response, parse_stream_frame, read_frame, BodyChecksum, Op, ProtocolError,
+    Response, StreamFrame, DEFAULT_MAX_FRAME_BYTES,
 };
+
+/// Read timeout applied by [`Client::connect_tcp`] /
+/// [`Client::connect_unix`]. Generous next to any sane request deadline,
+/// tight enough that a dead server is a bounded wait.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A client-side failure: the read timeout elapsed, or anything else.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No response byte arrived within the configured read timeout. The
+    /// connection is in an unknown state; drop it and reconnect.
+    Timeout,
+    /// A transport or framing failure (see [`ProtocolError`]).
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => write!(f, "read timed out waiting for a response"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Timeout => None,
+            ClientError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        // Both timeout kinds: unix sockets report `WouldBlock`, TCP
+        // reports `TimedOut` (platform-dependent).
+        match e {
+            ProtocolError::Io(ref io)
+                if matches!(
+                    io.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                ClientError::Timeout
+            }
+            other => ClientError::Protocol(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::from(ProtocolError::Io(e))
+    }
+}
 
 enum Transport {
     Tcp(TcpStream),
@@ -54,37 +117,49 @@ pub struct Client {
     transport: Transport,
     /// Client-side cap on response payloads.
     pub max_frame_bytes: usize,
+    /// When true, query requests opt into chunked streaming delivery;
+    /// [`Client::request_raw`] reassembles the chunk frames and verifies
+    /// the trailer checksum, so callers see one [`Response`] either way
+    /// (with [`Response::stream`] reporting which path it took).
+    pub stream: bool,
 }
 
 impl Client {
-    /// Connects over TCP.
+    /// Connects over TCP (with [`DEFAULT_READ_TIMEOUT`] applied).
     ///
     /// # Errors
     ///
-    /// The socket `connect` failure.
+    /// The socket `connect` or option failure.
     pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         Ok(Client {
             transport: Transport::Tcp(stream),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            stream: false,
         })
     }
 
-    /// Connects over a unix-domain socket.
+    /// Connects over a unix-domain socket (with [`DEFAULT_READ_TIMEOUT`]
+    /// applied).
     ///
     /// # Errors
     ///
-    /// The socket `connect` failure.
+    /// The socket `connect` or option failure.
     #[cfg(unix)]
     pub fn connect_unix(path: &str) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         Ok(Client {
-            transport: Transport::Unix(UnixStream::connect(path)?),
+            transport: Transport::Unix(stream),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            stream: false,
         })
     }
 
-    /// Sets an OS-level read timeout for responses.
+    /// Sets an OS-level read timeout for responses; `None` removes the
+    /// default and waits forever.
     ///
     /// # Errors
     ///
@@ -97,26 +172,77 @@ impl Client {
         }
     }
 
-    /// Sends a raw request payload and reads one response frame.
+    /// Reads exactly one frame, mapping EOF-before-a-frame to
+    /// [`ProtocolError::TruncatedFrame`].
+    fn read_one(&mut self) -> Result<Vec<u8>, ClientError> {
+        Ok(
+            read_frame(&mut self.transport, self.max_frame_bytes)?.ok_or(
+                ProtocolError::TruncatedFrame {
+                    got: 0,
+                    expected: crate::protocol::LEN_PREFIX,
+                },
+            )?,
+        )
+    }
+
+    /// Sends a raw request payload and reads one complete response —
+    /// reassembling chunk frames and verifying the trailer checksum when
+    /// the server streams.
     ///
     /// # Errors
     ///
-    /// Transport failures or a malformed response frame; a server that
-    /// closes the connection mid-response surfaces as
-    /// [`ProtocolError::TruncatedFrame`].
-    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Response, ProtocolError> {
+    /// [`ClientError::Timeout`] when the read timeout elapses; otherwise
+    /// transport failures or a malformed response. A server that closes
+    /// the connection mid-response surfaces as
+    /// [`ProtocolError::TruncatedFrame`] (single-frame or header) or
+    /// [`ProtocolError::BadStream`]/`TruncatedFrame` (mid-stream); a
+    /// body that does not match its declared trailer checksum as
+    /// [`ProtocolError::ChecksumMismatch`].
+    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
         self.transport.write_all(&encode_frame(payload))?;
         self.transport.flush()?;
-        let frame = read_frame(&mut self.transport, self.max_frame_bytes)?.ok_or(
-            ProtocolError::TruncatedFrame {
-                got: 0,
-                expected: crate::protocol::LEN_PREFIX,
-            },
-        )?;
-        parse_response(&frame)
+        let first = self.read_one()?;
+        let resp = parse_response(&first).map_err(ClientError::from)?;
+        if !resp.stream {
+            return Ok(resp);
+        }
+        // Stream header: the body arrives as chunk frames, then a
+        // trailer with the authoritative status and checksum.
+        let mut body = Vec::new();
+        let mut checksum = BodyChecksum::new();
+        loop {
+            let frame = self.read_one()?;
+            match parse_stream_frame(&frame).map_err(ClientError::from)? {
+                StreamFrame::Chunk(bytes) => {
+                    checksum.update(&bytes);
+                    body.extend_from_slice(&bytes);
+                }
+                StreamFrame::Trailer {
+                    mut response,
+                    checksum: declared,
+                } => {
+                    response.stream = true;
+                    if response.is_ok() {
+                        let got = checksum.finish();
+                        if got != declared {
+                            return Err(ProtocolError::ChecksumMismatch {
+                                expected: declared,
+                                got,
+                            }
+                            .into());
+                        }
+                        response.body = body;
+                    }
+                    // A non-200 trailer voids the chunks already
+                    // received: the body is discarded, not verified.
+                    return Ok(response);
+                }
+            }
+        }
     }
 
-    /// Evaluates `query` over an NDJSON `body`.
+    /// Evaluates `query` over an NDJSON `body` (streamed delivery when
+    /// [`Client::stream`] is set).
     ///
     /// # Errors
     ///
@@ -128,8 +254,17 @@ impl Client {
         query: &str,
         deadline_ms: Option<u64>,
         body: &[u8],
-    ) -> Result<Response, ProtocolError> {
-        let payload = encode_request(Op::Query, id, tenant, query, deadline_ms, false, body);
+    ) -> Result<Response, ClientError> {
+        let payload = crate::protocol::encode_request_opts(
+            Op::Query,
+            id,
+            tenant,
+            query,
+            deadline_ms,
+            false,
+            self.stream,
+            body,
+        );
         self.request_raw(&payload)
     }
 
@@ -147,9 +282,15 @@ impl Client {
         query: &str,
         corpus: &str,
         deadline_ms: Option<u64>,
-    ) -> Result<Response, ProtocolError> {
-        let payload =
-            crate::protocol::encode_corpus_request(id, tenant, query, corpus, deadline_ms);
+    ) -> Result<Response, ClientError> {
+        let payload = crate::protocol::encode_corpus_request_opts(
+            id,
+            tenant,
+            query,
+            corpus,
+            deadline_ms,
+            self.stream,
+        );
         self.request_raw(&payload)
     }
 
@@ -158,8 +299,9 @@ impl Client {
     /// # Errors
     ///
     /// See [`Client::request_raw`].
-    pub fn ping(&mut self) -> Result<Response, ProtocolError> {
-        let payload = encode_request(Op::Ping, "ping", "anon", "", None, false, b"");
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        let payload =
+            crate::protocol::encode_request(Op::Ping, "ping", "anon", "", None, false, b"");
         self.request_raw(&payload)
     }
 
@@ -168,8 +310,9 @@ impl Client {
     /// # Errors
     ///
     /// See [`Client::request_raw`].
-    pub fn metrics(&mut self, json: bool) -> Result<Response, ProtocolError> {
-        let payload = encode_request(Op::Metrics, "metrics", "anon", "", None, json, b"");
+    pub fn metrics(&mut self, json: bool) -> Result<Response, ClientError> {
+        let payload =
+            crate::protocol::encode_request(Op::Metrics, "metrics", "anon", "", None, json, b"");
         self.request_raw(&payload)
     }
 }

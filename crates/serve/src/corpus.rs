@@ -31,7 +31,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use jsonski::index::{config_digest, index_path_for};
-use jsonski::{EngineConfig, IndexError, IndexStats, StructuralIndex};
+use jsonski::{EngineConfig, IndexError, IndexStats, MemBudget, MemPermit, StructuralIndex};
 
 /// Why a stored-corpus request could not be served.
 #[derive(Debug)]
@@ -61,6 +61,12 @@ impl std::fmt::Display for CorpusError {
 
 impl std::error::Error for CorpusError {}
 
+/// A resident index plus the tracked-memory charge keeping it honest.
+struct Resident {
+    idx: Arc<StructuralIndex>,
+    _permit: Option<MemPermit>,
+}
+
 /// The server's view of its stored corpora: reads corpus files, serves
 /// their structural indexes (memory first, then disk), and owns the
 /// background rebuild threads. One instance per [`Server`](crate::Server),
@@ -74,7 +80,11 @@ pub struct CorpusStore {
     /// re-verified against the bytes read for each request, so a corpus
     /// file mutated underneath the server degrades to a rebuild instead
     /// of serving bitmaps for bytes that no longer exist.
-    resident: Mutex<HashMap<String, Arc<StructuralIndex>>>,
+    resident: Mutex<HashMap<String, Resident>>,
+    /// When set, resident indexes carry a tracked-memory charge; an index
+    /// the budget refuses is still returned to its requester but not kept
+    /// resident (the next request reloads it from disk).
+    budget: Option<Arc<MemBudget>>,
     /// Corpus names with a rebuild in flight (dedupes rebuild storms).
     building: Mutex<HashSet<String>>,
     /// Rebuild threads, joined by [`drain`](CorpusStore::drain).
@@ -104,14 +114,33 @@ impl CorpusStore {
             digest: config_digest(config),
             stats: Arc::new(IndexStats::new()),
             resident: Mutex::new(HashMap::new()),
+            budget: None,
             building: Mutex::new(HashSet::new()),
             builders: Mutex::new(Vec::new()),
         })
     }
 
+    /// Charges resident indexes against `budget`.
+    pub fn with_budget(mut self, budget: Arc<MemBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// The index-outcome counters, shared with the metrics scrape.
     pub fn stats(&self) -> &Arc<IndexStats> {
         &self.stats
+    }
+
+    fn validate_name(name: &str) -> Result<(), CorpusError> {
+        if name.is_empty()
+            || name == "."
+            || name == ".."
+            || name.contains('/')
+            || name.contains('\\')
+        {
+            return Err(CorpusError::BadName);
+        }
+        Ok(())
     }
 
     /// Reads the named corpus file.
@@ -121,15 +150,25 @@ impl CorpusStore {
     /// [`CorpusError::BadName`] for names that are empty or not plain
     /// file names; [`CorpusError::NotFound`] when the read fails.
     pub fn read_corpus(&self, name: &str) -> Result<Vec<u8>, CorpusError> {
-        if name.is_empty()
-            || name == "."
-            || name == ".."
-            || name.contains('/')
-            || name.contains('\\')
-        {
+        Self::validate_name(name)?;
+        std::fs::read(self.corpus_dir.join(name)).map_err(CorpusError::NotFound)
+    }
+
+    /// Resolves the named corpus to its validated path and current size
+    /// without reading it — the handle the memory-budget ladder needs to
+    /// decide between a resident read and streaming from disk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`read_corpus`](CorpusStore::read_corpus).
+    pub fn corpus_len(&self, name: &str) -> Result<(PathBuf, u64), CorpusError> {
+        Self::validate_name(name)?;
+        let path = self.corpus_dir.join(name);
+        let meta = std::fs::metadata(&path).map_err(CorpusError::NotFound)?;
+        if !meta.is_file() {
             return Err(CorpusError::BadName);
         }
-        std::fs::read(self.corpus_dir.join(name)).map_err(CorpusError::NotFound)
+        Ok((path, meta.len()))
     }
 
     /// The verified structural index for `corpus` (the bytes just read
@@ -141,7 +180,12 @@ impl CorpusStore {
         use std::sync::atomic::Ordering;
         // Bind before the `if let`: the guard must not live into the body,
         // which re-locks the map to evict a stale entry.
-        let resident = self.resident.lock().unwrap().get(name).cloned();
+        let resident = self
+            .resident
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|r| Arc::clone(&r.idx));
         if let Some(idx) = resident {
             if idx.verify(corpus, self.digest).is_ok() {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -156,10 +200,7 @@ impl CorpusStore {
                 match StructuralIndex::load(&index_path_for(dir, name), corpus, self.digest) {
                     Ok(idx) => {
                         let idx = Arc::new(idx);
-                        self.resident
-                            .lock()
-                            .unwrap()
-                            .insert(name.to_string(), Arc::clone(&idx));
+                        self.install(name, Arc::clone(&idx));
                         self.stats.hits.fetch_add(1, Ordering::Relaxed);
                         return Some(idx);
                     }
@@ -171,6 +212,82 @@ impl CorpusStore {
         self.stats.record_error(&err);
         self.schedule_rebuild(name, corpus.to_vec());
         None
+    }
+
+    /// Installs a verified index in the resident map, charging it to the
+    /// memory budget when one is configured. A refused charge drops the
+    /// resident copy (the caller keeps its own `Arc`; the next request
+    /// reloads from disk) rather than blowing the budget.
+    fn install(&self, name: &str, idx: Arc<StructuralIndex>) {
+        let permit = match &self.budget {
+            Some(b) => match b.try_reserve(None, idx.size_bytes()) {
+                Ok(p) => Some(p),
+                Err(_) => return,
+            },
+            None => None,
+        };
+        self.resident.lock().unwrap().insert(
+            name.to_string(),
+            Resident {
+                idx,
+                _permit: permit,
+            },
+        );
+    }
+
+    /// Evicts every resident index (releasing its memory charge),
+    /// returning how many were dropped. The memory-pressure relief hook;
+    /// persisted index files are untouched, so the next request reloads
+    /// instead of rebuilding.
+    pub fn evict_residents(&self) -> usize {
+        let mut resident = self.resident.lock().unwrap();
+        let n = resident.len();
+        resident.clear();
+        n
+    }
+
+    /// Warms the index cache for every file in the corpus directory:
+    /// loads each persisted index (or builds and persists one) and
+    /// installs it resident, so the first request pays a lookup instead
+    /// of a classification. Returns per-corpus results — `Ok(records)`
+    /// for a warmed index, `Err(why)` for a corpus that could not be
+    /// warmed (the corpus itself still serves, via full classification).
+    /// Outcomes flow through the usual [`stats`](CorpusStore::stats)
+    /// counters.
+    pub fn warm(self: &Arc<Self>) -> Vec<(String, Result<usize, String>)> {
+        let mut results = Vec::new();
+        let entries = match std::fs::read_dir(&self.corpus_dir) {
+            Ok(rd) => rd,
+            Err(e) => {
+                results.push(("<corpus-dir>".to_string(), Err(e.to_string())));
+                return results;
+            }
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names {
+            let outcome = match self.read_corpus(&name) {
+                Ok(bytes) => match self.index_for(&name, &bytes) {
+                    Some(idx) => Ok(idx.record_count()),
+                    None => {
+                        // Miss: `index_for` scheduled a rebuild. Join it
+                        // and retry once — warm is startup-synchronous.
+                        self.drain();
+                        match self.index_for(&name, &bytes) {
+                            Some(idx) => Ok(idx.record_count()),
+                            None => Err("index build failed".to_string()),
+                        }
+                    }
+                },
+                Err(e) => Err(e.to_string()),
+            };
+            results.push((name, outcome));
+        }
+        results
     }
 
     /// Spawns a background build of `name`'s index over `corpus` unless
@@ -196,11 +313,7 @@ impl CorpusStore {
                     None => true, // memory-only cache: nothing to persist
                 };
                 if persisted {
-                    store
-                        .resident
-                        .lock()
-                        .unwrap()
-                        .insert(name.clone(), Arc::new(idx));
+                    store.install(&name, Arc::new(idx));
                 }
             }
             store.building.lock().unwrap().remove(&name);
@@ -323,6 +436,73 @@ mod tests {
         use std::sync::atomic::Ordering;
         assert_eq!(fresh.stats().corrupt_fallback.load(Ordering::Relaxed), 1);
         wait_built(&fresh, "c.ndjson", &bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_builds_every_index_up_front() {
+        let dir = tmp("warm");
+        std::fs::write(dir.join("a.ndjson"), b"{\"a\": 1}\n{\"a\": 2}\n").unwrap();
+        std::fs::write(dir.join("b.ndjson"), b"{\"b\": 1}\n").unwrap();
+        let store = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default()).unwrap(),
+        );
+        let results = store.warm();
+        // The idx/ subdirectory is skipped (files only), so exactly the
+        // two corpora warm, in name order.
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], ("a.ndjson".to_string(), Ok(2)));
+        assert_eq!(results[1], ("b.ndjson".to_string(), Ok(1)));
+        // Warmed: the next lookup is a pure hit, no rebuild scheduled.
+        use std::sync::atomic::Ordering;
+        let rebuilds = store.stats().rebuilds.load(Ordering::Relaxed);
+        let bytes = store.read_corpus("a.ndjson").unwrap();
+        assert!(store.index_for("a.ndjson", &bytes).is_some());
+        assert_eq!(store.stats().rebuilds.load(Ordering::Relaxed), rebuilds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_releases_budget_and_disk_reload_heals() {
+        let dir = tmp("evict");
+        let corpus = b"{\"a\": 1}\n{\"a\": 2}\n".to_vec();
+        std::fs::write(dir.join("c.ndjson"), &corpus).unwrap();
+        let budget = MemBudget::new(1 << 20);
+        let store = Arc::new(
+            CorpusStore::new(dir.clone(), Some(dir.join("idx")), &EngineConfig::default())
+                .unwrap()
+                .with_budget(Arc::clone(&budget)),
+        );
+        let bytes = store.read_corpus("c.ndjson").unwrap();
+        store.index_for("c.ndjson", &bytes);
+        wait_built(&store, "c.ndjson", &bytes);
+        assert!(budget.used() > 0, "resident index is charged");
+        assert_eq!(store.evict_residents(), 1);
+        assert_eq!(budget.used(), 0, "eviction releases the charge");
+        // The persisted file survives eviction: reload, not rebuild.
+        use std::sync::atomic::Ordering;
+        let rebuilds = store.stats().rebuilds.load(Ordering::Relaxed);
+        assert!(store.index_for("c.ndjson", &bytes).is_some());
+        assert_eq!(store.stats().rebuilds.load(Ordering::Relaxed), rebuilds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_len_resolves_without_reading() {
+        let dir = tmp("len");
+        std::fs::write(dir.join("c.ndjson"), b"{\"a\": 1}\n").unwrap();
+        let store = CorpusStore::new(dir.clone(), None, &EngineConfig::default()).unwrap();
+        let (path, len) = store.corpus_len("c.ndjson").unwrap();
+        assert_eq!(len, 9);
+        assert!(path.ends_with("c.ndjson"));
+        assert!(matches!(
+            store.corpus_len("../etc/passwd"),
+            Err(CorpusError::BadName)
+        ));
+        assert!(matches!(
+            store.corpus_len("absent"),
+            Err(CorpusError::NotFound(_))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -7,16 +7,26 @@
 //! robustness-first and — like the rest of the workspace — with zero
 //! external dependencies.
 //!
-//! The design splits into four layers:
+//! The design splits into five layers (plus the tracked-memory ledger,
+//! [`jsonski::membudget`], which lives in the core crate):
 //!
 //! * [`protocol`] — length-prefixed JSONL frames: a 4-byte big-endian
-//!   length, a JSON header line, and a raw NDJSON body. Responses are
+//!   length, a JSON header line, and a raw NDJSON body. Every frame is
 //!   written with a single `write_all`, so a client can never observe a
-//!   truncated or interleaved frame.
+//!   truncated or interleaved frame. A response is either one frame (the
+//!   wire default) or — when the client opts in with `"stream": true` —
+//!   a chunked sequence: a stream header, body-chunk frames flushed every
+//!   [`ServeConfig::chunk_bytes`](server::ServeConfig::chunk_bytes), and
+//!   a trailer carrying the final status plus an FNV-1a checksum that
+//!   [`Client`] verifies on reassembly.
 //! * [`admission`] — the bounded request queue and per-tenant quotas.
 //!   Overload produces an immediate, typed `429 shed` response instead of
 //!   queue collapse; occupancy feeds the engine's pipeline-health
-//!   histograms.
+//!   histograms. Memory pressure sheds the same way (`429 memory`), but
+//!   only after eviction and forced streaming have been tried — every
+//!   resident byte (request bodies, cached queries, resident corpora,
+//!   in-flight response buffers) is charged to the budget's RAII permits
+//!   and surfaced as `mem_*` gauges in the metrics scrape.
 //! * [`cache`] — an LRU cache of compiled queries keyed by
 //!   `(query, config digest)`, so repeat queries skip JSONPath parsing and
 //!   automaton construction entirely.
@@ -65,11 +75,12 @@ pub mod server;
 
 pub use admission::{Dispatcher, TenantPermit};
 pub use cache::QueryCache;
-pub use client::Client;
+pub use client::{Client, ClientError, DEFAULT_READ_TIMEOUT};
 pub use corpus::{CorpusError, CorpusStore};
 pub use protocol::{
-    encode_corpus_request, encode_frame, encode_request, encode_response, parse_request,
-    parse_response, read_frame, write_frame, Op, ProtocolError, Request, Response, ShedReason,
-    Status, DEFAULT_MAX_FRAME_BYTES,
+    encode_corpus_request, encode_corpus_request_opts, encode_frame, encode_request,
+    encode_request_opts, encode_response, parse_request, parse_response, parse_stream_frame,
+    read_frame, write_frame, BodyChecksum, Op, ProtocolError, Request, Response, ShedReason,
+    Status, StreamFrame, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use server::{ServeConfig, ServeStats, ServeSummary, Server};

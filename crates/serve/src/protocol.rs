@@ -17,9 +17,31 @@
 //!
 //! Responses use the same shape: a JSON header line carrying an HTTP-style
 //! status code, then the body (match lines for `ok`, scrape text for
-//! `metrics`). A response frame is always written with a single buffered
-//! `write_all`, so a client never observes a truncated or interleaved
-//! frame: either the whole frame arrives or the connection drops.
+//! `metrics`). Every frame is written with a single buffered `write_all`,
+//! so a client never observes a truncated or interleaved frame: either the
+//! whole frame arrives or the connection drops.
+//!
+//! # Chunked streaming responses
+//!
+//! A single-frame response is the wire default; a client that sets
+//! `"stream": true` in its request header opts into *chunked* delivery,
+//! which bounds the server's response buffer by `--chunk-bytes` instead of
+//! the full match set. A streamed 200 is a sequence of frames:
+//!
+//! ```text
+//! response        = single-frame | stream-header chunk* trailer
+//! stream-header   = frame( {"code":200,"status":"ok","stream":true,...}\n )
+//! chunk           = frame( 'C' raw-body-bytes )
+//! trailer         = frame( 'T' {"code":...,"status":...,"matches":...,
+//!                               "checksum":...}\n )
+//! ```
+//!
+//! The trailer carries the *final* status (a mid-stream deadline or
+//! evaluation failure surfaces there, exactly as it would in a single
+//! frame) and an FNV-1a checksum over the concatenated chunk bytes; the
+//! client verifies it on reassembly, so truncation or corruption is a
+//! typed error, never a silently short body. Error and empty responses
+//! stay single-frame even for streaming clients.
 
 use std::io::{Read, Write};
 
@@ -29,6 +51,47 @@ pub const LEN_PREFIX: usize = 4;
 /// Default cap on one frame's payload (16 MiB). A frame is buffered in full
 /// before evaluation, so the cap bounds per-connection memory.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// First payload byte of a stream body-chunk frame.
+pub const CHUNK_TAG: u8 = b'C';
+
+/// First payload byte of a stream trailer frame.
+pub const TRAILER_TAG: u8 = b'T';
+
+/// Incremental FNV-1a 64 checksum over a streamed response body. Matches
+/// [`jsonski::fingerprint`] over the concatenated bytes, so a trailer
+/// checksum can be verified chunk-by-chunk on either side of the wire
+/// without buffering the body twice.
+#[derive(Clone, Copy, Debug)]
+pub struct BodyChecksum(u64);
+
+impl Default for BodyChecksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BodyChecksum {
+    /// A checksum over zero bytes so far.
+    pub fn new() -> Self {
+        BodyChecksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Operation requested by a frame header's `"op"` field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +167,9 @@ pub enum ShedReason {
     QueueFull,
     /// The tenant already has its quota of requests in flight.
     TenantQuota,
+    /// The request's buffers would exceed the memory budget even after
+    /// eviction and (where eligible) forced streaming.
+    Memory,
 }
 
 impl ShedReason {
@@ -112,6 +178,7 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue_full",
             ShedReason::TenantQuota => "tenant_quota",
+            ShedReason::Memory => "memory",
         }
     }
 }
@@ -137,6 +204,9 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// `"format"` for [`Op::Metrics`]: `true` renders JSON, `false` text.
     pub metrics_json: bool,
+    /// Whether the client opted into chunked streaming delivery for this
+    /// response (the `"stream"` header field; single-frame is the default).
+    pub stream: bool,
     /// The raw NDJSON body (bytes after the header line).
     pub body: Vec<u8>,
 }
@@ -166,6 +236,18 @@ pub enum ProtocolError {
     /// The peer stalled mid-frame past the read-timeout retry budget
     /// (slow-loris defense).
     Stalled,
+    /// A streamed response's trailer checksum did not match the
+    /// reassembled chunk bytes: the body was corrupted or truncated in
+    /// flight and must not be trusted.
+    ChecksumMismatch {
+        /// Checksum the trailer declared.
+        expected: u64,
+        /// Checksum of the bytes that actually arrived.
+        got: u64,
+    },
+    /// A frame arrived that is not valid at this point in the stream
+    /// grammar (e.g. a second stream header, or EOF between chunks).
+    BadStream(String),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -182,6 +264,11 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Stalled => {
                 write!(f, "peer stalled mid-frame past the read-timeout budget")
             }
+            ProtocolError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "stream checksum mismatch: trailer declared {expected:#018x}, body hashed to {got:#018x}"
+            ),
+            ProtocolError::BadStream(m) => write!(f, "bad stream frame: {m}"),
         }
     }
 }
@@ -210,7 +297,8 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
 }
 
 /// Builds a request payload (header line + body) from its parts. Helper
-/// for clients; the server only decodes.
+/// for clients; the server only decodes. Requests single-frame delivery;
+/// see [`encode_request_opts`] for the streaming opt-in.
 pub fn encode_request(
     op: Op,
     id: &str,
@@ -218,6 +306,31 @@ pub fn encode_request(
     query: &str,
     deadline_ms: Option<u64>,
     metrics_json: bool,
+    body: &[u8],
+) -> Vec<u8> {
+    encode_request_opts(
+        op,
+        id,
+        tenant,
+        query,
+        deadline_ms,
+        metrics_json,
+        false,
+        body,
+    )
+}
+
+/// [`encode_request`] plus the `"stream"` header field: when `stream` is
+/// true the server may deliver a 200 body as chunk frames + trailer.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_request_opts(
+    op: Op,
+    id: &str,
+    tenant: &str,
+    query: &str,
+    deadline_ms: Option<u64>,
+    metrics_json: bool,
+    stream: bool,
     body: &[u8],
 ) -> Vec<u8> {
     let mut header = String::from("{");
@@ -238,6 +351,9 @@ pub fn encode_request(
     if metrics_json {
         header.push_str(", \"format\": \"json\"");
     }
+    if stream {
+        header.push_str(", \"stream\": true");
+    }
     header.push('}');
     let mut payload = header.into_bytes();
     payload.push(b'\n');
@@ -255,6 +371,18 @@ pub fn encode_corpus_request(
     corpus: &str,
     deadline_ms: Option<u64>,
 ) -> Vec<u8> {
+    encode_corpus_request_opts(id, tenant, query, corpus, deadline_ms, false)
+}
+
+/// [`encode_corpus_request`] plus the `"stream"` header field.
+pub fn encode_corpus_request_opts(
+    id: &str,
+    tenant: &str,
+    query: &str,
+    corpus: &str,
+    deadline_ms: Option<u64>,
+    stream: bool,
+) -> Vec<u8> {
     let mut header = String::from("{\"op\": \"query\"");
     header.push_str(&format!(", \"id\": \"{}\"", json_escape(id)));
     header.push_str(&format!(", \"tenant\": \"{}\"", json_escape(tenant)));
@@ -262,6 +390,9 @@ pub fn encode_corpus_request(
     header.push_str(&format!(", \"corpus\": \"{}\"", json_escape(corpus)));
     if let Some(ms) = deadline_ms {
         header.push_str(&format!(", \"deadline_ms\": {ms}"));
+    }
+    if stream {
+        header.push_str(", \"stream\": true");
     }
     header.push('}');
     let mut payload = header.into_bytes();
@@ -355,6 +486,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         field("/format")?.and_then(|v| v.as_str().ok().map(|s| s.into_owned())),
         Some(ref s) if s == "json"
     );
+    let stream = field("/stream")?.and_then(|v| v.as_bool()).unwrap_or(false);
     Ok(Request {
         op,
         id,
@@ -363,6 +495,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         corpus,
         deadline_ms,
         metrics_json,
+        stream,
         body: body.to_vec(),
     })
 }
@@ -384,6 +517,10 @@ pub struct Response {
     pub skipped: u64,
     /// Shed/error reason, when present.
     pub reason: Option<String>,
+    /// True on a stream *header* frame (more frames follow), and kept
+    /// true on the client's reassembled response so callers can tell the
+    /// delivery mode apart.
+    pub stream: bool,
     /// Response body (match lines, scrape text, or empty).
     pub body: Vec<u8>,
 }
@@ -455,6 +592,7 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         Ok(field(ptr)?.and_then(|v| v.as_u64()).unwrap_or(0))
     };
     let reason = field("/reason")?.and_then(|v| v.as_str().ok().map(|s| s.into_owned()));
+    let stream = field("/stream")?.and_then(|v| v.as_bool()).unwrap_or(false);
     Ok(Response {
         code,
         status,
@@ -463,8 +601,119 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         records: num("/records")?,
         skipped: num("/skipped")?,
         reason,
+        stream,
         body: body.to_vec(),
     })
+}
+
+/// Builds a stream *header* payload: a 200 header line with
+/// `"stream": true` and no body, announcing that chunk frames follow.
+pub fn encode_stream_header(id: &[u8]) -> Vec<u8> {
+    let mut header = String::from("{\"code\": 200, \"status\": \"ok\", \"stream\": true");
+    if !id.is_empty() {
+        header.push_str(", \"id\": ");
+        header.push_str(&String::from_utf8_lossy(id));
+    }
+    header.push('}');
+    let mut payload = header.into_bytes();
+    payload.push(b'\n');
+    payload
+}
+
+/// Builds a stream body-chunk payload: the [`CHUNK_TAG`] byte followed by
+/// raw body bytes.
+pub fn encode_stream_chunk(bytes: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + bytes.len());
+    payload.push(CHUNK_TAG);
+    payload.extend_from_slice(bytes);
+    payload
+}
+
+/// Builds a stream *trailer* payload: the [`TRAILER_TAG`] byte followed
+/// by a header line carrying the final status, counters, and the FNV-1a
+/// checksum over all chunk bytes.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_stream_trailer(
+    status: Status,
+    id: &[u8],
+    matches: u64,
+    records: u64,
+    skipped: u64,
+    reason: Option<&str>,
+    checksum: u64,
+) -> Vec<u8> {
+    let mut header = format!(
+        "{{\"code\": {}, \"status\": \"{}\"",
+        status.code(),
+        status.name()
+    );
+    if !id.is_empty() {
+        header.push_str(", \"id\": ");
+        header.push_str(&String::from_utf8_lossy(id));
+    }
+    header.push_str(&format!(
+        ", \"matches\": {matches}, \"records\": {records}, \"skipped\": {skipped}"
+    ));
+    if let Some(r) = reason {
+        header.push_str(&format!(", \"reason\": \"{}\"", json_escape(r)));
+    }
+    header.push_str(&format!(", \"checksum\": {checksum}}}"));
+    let mut payload = Vec::with_capacity(1 + header.len() + 1);
+    payload.push(TRAILER_TAG);
+    payload.extend_from_slice(header.as_bytes());
+    payload.push(b'\n');
+    payload
+}
+
+/// A frame decoded while a stream is in progress: either a body chunk or
+/// the trailer that ends the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamFrame {
+    /// Raw body bytes to append.
+    Chunk(Vec<u8>),
+    /// The final status plus the declared body checksum. The embedded
+    /// [`Response`] carries empty `body` and `stream: false`; the client
+    /// fills both in on reassembly.
+    Trailer {
+        /// Final response header fields.
+        response: Response,
+        /// Declared FNV-1a checksum over all chunk bytes.
+        checksum: u64,
+    },
+}
+
+/// Decodes a frame received *after* a stream header: a chunk or the
+/// trailer, per the stream grammar.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadStream`] when the payload is empty or tagged with
+/// neither [`CHUNK_TAG`] nor [`TRAILER_TAG`];
+/// [`ProtocolError::BadHeader`] when a trailer's header line is
+/// malformed.
+pub fn parse_stream_frame(payload: &[u8]) -> Result<StreamFrame, ProtocolError> {
+    match payload.first() {
+        Some(&CHUNK_TAG) => Ok(StreamFrame::Chunk(payload[1..].to_vec())),
+        Some(&TRAILER_TAG) => {
+            let rest = &payload[1..];
+            let response = parse_response(rest)?;
+            if !response.body.is_empty() {
+                return Err(ProtocolError::BadStream(
+                    "trailer frame carries a body".into(),
+                ));
+            }
+            let nl = rest.iter().position(|&b| b == b'\n').unwrap_or(rest.len());
+            let checksum = jsonski::get(&rest[..nl], "/checksum")
+                .map_err(|e| ProtocolError::BadHeader(e.to_string()))?
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| ProtocolError::BadStream("trailer missing checksum".into()))?;
+            Ok(StreamFrame::Trailer { response, checksum })
+        }
+        Some(tag) => Err(ProtocolError::BadStream(format!(
+            "unknown stream frame tag {tag:#04x}"
+        ))),
+        None => Err(ProtocolError::BadStream("empty stream frame".into())),
+    }
 }
 
 /// Writes one frame with a single `write_all`: the peer sees the whole
@@ -495,7 +744,10 @@ pub fn read_frame<R: Read>(
     let mut prefix = [0u8; LEN_PREFIX];
     let mut got = 0usize;
     while got < LEN_PREFIX {
-        let n = r.read(&mut prefix[got..])?;
+        let n = match r.read(&mut prefix[got..]) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            other => other?,
+        };
         if n == 0 {
             if got == 0 {
                 return Ok(None);
@@ -517,7 +769,10 @@ pub fn read_frame<R: Read>(
     let mut payload = vec![0u8; len];
     let mut got = 0usize;
     while got < len {
-        let n = r.read(&mut payload[got..])?;
+        let n = match r.read(&mut payload[got..]) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            other => other?,
+        };
         if n == 0 {
             return Err(ProtocolError::TruncatedFrame {
                 got: LEN_PREFIX + got,
@@ -640,6 +895,78 @@ mod tests {
         assert!(matches!(
             parse_request(b"{}\n"),
             Err(ProtocolError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn stream_opt_in_roundtrips() {
+        let payload = encode_request_opts(Op::Query, "r", "t", "$.a", None, false, true, b"{}\n");
+        assert!(parse_request(&payload).unwrap().stream);
+        let payload = encode_corpus_request_opts("r", "t", "$.a", "c.ndjson", Some(50), true);
+        let req = parse_request(&payload).unwrap();
+        assert!(req.stream);
+        assert_eq!(req.corpus, "c.ndjson");
+        // Default stays single-frame.
+        let plain = encode_request(Op::Query, "r", "t", "$.a", None, false, b"{}\n");
+        assert!(!parse_request(&plain).unwrap().stream);
+    }
+
+    #[test]
+    fn stream_frames_roundtrip() {
+        let header = encode_stream_header(b"\"id9\"");
+        let resp = parse_response(&header).unwrap();
+        assert!(resp.stream && resp.is_ok());
+        assert_eq!(resp.id, b"\"id9\"");
+
+        let chunk = encode_stream_chunk(b"1\n2\n");
+        match parse_stream_frame(&chunk).unwrap() {
+            StreamFrame::Chunk(bytes) => assert_eq!(bytes, b"1\n2\n"),
+            other => panic!("expected chunk, got {other:?}"),
+        }
+
+        let mut sum = BodyChecksum::new();
+        sum.update(b"1\n");
+        sum.update(b"2\n");
+        // Incremental checksum equals the one-shot fingerprint.
+        assert_eq!(sum.finish(), jsonski::fingerprint(b"1\n2\n"));
+
+        let trailer = encode_stream_trailer(Status::Ok, b"\"id9\"", 2, 1, 0, None, sum.finish());
+        match parse_stream_frame(&trailer).unwrap() {
+            StreamFrame::Trailer { response, checksum } => {
+                assert!(response.is_ok());
+                assert_eq!((response.matches, response.records), (2, 1));
+                assert_eq!(checksum, sum.finish());
+            }
+            other => panic!("expected trailer, got {other:?}"),
+        }
+
+        // A mid-stream failure surfaces in the trailer's status.
+        let failed = encode_stream_trailer(Status::Timeout, b"", 0, 0, 0, Some("deadline"), 0);
+        match parse_stream_frame(&failed).unwrap() {
+            StreamFrame::Trailer { response, .. } => {
+                assert_eq!(response.code, 408);
+                assert_eq!(response.reason.as_deref(), Some("deadline"));
+            }
+            other => panic!("expected trailer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_stream_frames_are_typed_errors() {
+        assert!(matches!(
+            parse_stream_frame(b""),
+            Err(ProtocolError::BadStream(_))
+        ));
+        assert!(matches!(
+            parse_stream_frame(b"X..."),
+            Err(ProtocolError::BadStream(_))
+        ));
+        // A trailer with a mangled header line fails as a header error.
+        assert!(parse_stream_frame(b"Tnot-json\n").is_err());
+        // A trailer without a checksum is a stream violation.
+        assert!(matches!(
+            parse_stream_frame(b"T{\"code\": 200, \"status\": \"ok\"}\n"),
+            Err(ProtocolError::BadStream(_))
         ));
     }
 

@@ -13,9 +13,11 @@
 //!
 //! # Robustness invariants
 //!
-//! * **No truncated frames.** A response is assembled fully in memory and
-//!   written by its connection thread with a single `write_all`. The peer
-//!   sees the whole frame or a dropped connection — never a prefix.
+//! * **No truncated frames.** Every frame — a whole single-frame
+//!   response, or each header/chunk/trailer of a streamed one — is
+//!   assembled fully in memory and written by its connection thread with
+//!   a single `write_all`. The peer sees whole frames or a dropped
+//!   connection — never a prefix, never an interleave.
 //! * **No pinned workers.** Deadlines cancel through the engine's
 //!   [`CancellationToken`], checked at record boundaries; socket reads
 //!   carry an OS-level timeout with a budgeted stall allowance
@@ -38,16 +40,17 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use jsonski::{
-    digest_parts, CancellationToken, EngineConfig, EngineError, ErrorPolicy, IndexedJsonSki,
-    IndexedRecords, JsonSki, LimitExceeded, Match, MatchSink, Metrics, Pipeline, ResourceLimits,
-    SliceRecords, StructuralIndex, ValidationMode,
+    digest_parts, CancellationToken, ChunkedRecords, EngineConfig, EngineError, ErrorPolicy,
+    IndexedJsonSki, IndexedRecords, JsonSki, LimitExceeded, Match, MatchSink, MemBudget, MemDenied,
+    MemPermit, Metrics, Pipeline, ResourceLimits, SliceRecords, StructuralIndex, ValidationMode,
 };
 
-use crate::admission::{Dispatcher, TenantPermit};
+use crate::admission::Dispatcher;
 use crate::cache::QueryCache;
 use crate::corpus::{CorpusError, CorpusStore};
 use crate::protocol::{
-    encode_response, parse_request, read_frame, Op, ProtocolError, Request, ShedReason, Status,
+    encode_response, encode_stream_chunk, encode_stream_header, encode_stream_trailer,
+    parse_request, read_frame, BodyChecksum, Op, ProtocolError, Request, ShedReason, Status,
     DEFAULT_MAX_FRAME_BYTES,
 };
 
@@ -96,6 +99,19 @@ pub struct ServeConfig {
     /// Directory for the persistent structural-index cache over stored
     /// corpora (`None` keeps the index cache memory-only).
     pub index_cache: Option<std::path::PathBuf>,
+    /// Global tracked-memory budget in bytes across request bodies,
+    /// response buffers, the compiled-query cache, and resident corpus
+    /// indexes (0 = unlimited, gauges still track).
+    pub memory_budget: usize,
+    /// Per-tenant share of the memory budget in bytes (0 = uncapped).
+    pub tenant_memory_budget: usize,
+    /// High-water response buffer for chunked streaming responses, and
+    /// the read-buffer size when a corpus is streamed from disk under
+    /// memory pressure.
+    pub chunk_bytes: usize,
+    /// Warm the stored-corpus index cache at startup instead of on first
+    /// request (requires `corpus_dir`).
+    pub index_warm: bool,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +134,10 @@ impl Default for ServeConfig {
             error_policy: ErrorPolicy::FailFast,
             corpus_dir: None,
             index_cache: None,
+            memory_budget: 0,
+            tenant_memory_budget: 0,
+            chunk_bytes: 256 * 1024,
+            index_warm: false,
         }
     }
 }
@@ -168,6 +188,12 @@ pub struct ServeStats {
     pub shed_queue: AtomicU64,
     /// Requests shed for tenant quota (`429`, reason `tenant_quota`).
     pub shed_tenant: AtomicU64,
+    /// Requests shed because their buffers would exceed the memory
+    /// budget even after eviction (`429`, reason `memory`).
+    pub shed_memory: AtomicU64,
+    /// `200 ok` responses delivered as chunked streams (header + chunk
+    /// frames + checksummed trailer).
+    pub streamed: AtomicU64,
     /// Requests that panicked in evaluation (`500 panic`).
     pub panics: AtomicU64,
     /// Requests rejected because the server is draining (`503`).
@@ -226,6 +252,8 @@ impl ServeStats {
             ("eval_failed", self.eval_failed.load(Ordering::Relaxed)),
             ("shed_queue", self.shed_queue.load(Ordering::Relaxed)),
             ("shed_tenant", self.shed_tenant.load(Ordering::Relaxed)),
+            ("shed_memory", self.shed_memory.load(Ordering::Relaxed)),
+            ("streamed", self.streamed.load(Ordering::Relaxed)),
             ("panics", self.panics.load(Ordering::Relaxed)),
             (
                 "draining_rejects",
@@ -334,6 +362,8 @@ struct Shared {
     corpus: Option<Arc<CorpusStore>>,
     stats: ServeStats,
     metrics: Arc<Metrics>,
+    /// The tracked-memory ledger every resident byte is charged to.
+    budget: Arc<MemBudget>,
     shutdown: CancellationToken,
     /// Set the moment drain begins: new requests get `503`, idle
     /// connections close at their next read tick.
@@ -347,24 +377,206 @@ struct WorkResult {
     records: u64,
     skipped: u64,
     reason: Option<String>,
+    /// Response body for single-frame delivery; empty for streamed
+    /// responses (the body already went out as chunk frames).
     body: Vec<u8>,
+    /// FNV-1a checksum over the chunk bytes of a streamed response
+    /// (carried in the trailer; 0 for single-frame responses).
+    checksum: u64,
+    /// Tracked-memory charge covering `body` while it sits in the
+    /// worker→connection channel and on the write path; released when
+    /// the result is dropped after the response frame is written.
+    permit: Option<MemPermit>,
 }
 
-/// Staging sink: accumulates match bytes as NDJSON lines. Mirrors the
-/// pipeline's discard-on-failure staging — under `FailFast` an error
-/// aborts the run and the whole buffer is thrown away, so a non-`ok`
-/// response never carries partial output.
-#[derive(Default)]
-struct StageSink {
+/// A worker→connection message while a request is in flight: zero or
+/// more body chunks (streamed requests only), then exactly one `Done`.
+enum StreamMsg {
+    /// A body chunk plus the memory charge covering it; the connection
+    /// thread drops the permit after the chunk frame is written.
+    Chunk(Vec<u8>, Option<MemPermit>),
+    /// The request's final outcome.
+    Done(WorkResult),
+}
+
+/// Evaluation input: request/corpus bytes resident in memory (with their
+/// memory charge), or a corpus streamed from disk because its bytes
+/// could not be reserved — the degradation ladder's bounded-input rung.
+enum EvalInput {
+    Slice(Vec<u8>, #[allow(dead_code)] Option<MemPermit>),
+    File(std::path::PathBuf, #[allow(dead_code)] Option<MemPermit>),
+}
+
+/// Why the response sink broke off a run early.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SinkFail {
+    /// The response buffer could not be charged even after eviction.
+    Memory,
+    /// The connection thread stopped receiving (peer gone).
+    Receiver,
+}
+
+/// Response-buffer charge granularity: small enough to keep tracked
+/// usage honest, large enough that a match-per-grow never happens.
+const CHARGE_STEP: usize = 64 * 1024;
+
+/// The degradation ladder's first rung: evict every evictable resident
+/// (compiled queries, corpus indexes), counting the evictions.
+fn relieve_memory(shared: &Shared) -> usize {
+    let mut n = shared.cache.clear();
+    if let Some(c) = &shared.corpus {
+        n += c.evict_residents();
+    }
+    shared
+        .budget
+        .evictions
+        .fetch_add(n as u64, Ordering::Relaxed);
+    n
+}
+
+/// Reserves `bytes`, retrying once after eviction on denial.
+fn reserve_with_relief(
+    shared: &Shared,
+    tenant: Option<&str>,
+    bytes: usize,
+) -> Result<MemPermit, MemDenied> {
+    match shared.budget.try_reserve(tenant, bytes) {
+        Ok(p) => Ok(p),
+        Err(_) => {
+            relieve_memory(shared);
+            shared.budget.try_reserve(tenant, bytes)
+        }
+    }
+}
+
+/// Staging sink: accumulates match bytes as NDJSON lines, charged to the
+/// memory budget as it grows. Mirrors the pipeline's discard-on-failure
+/// staging — under `FailFast` an error aborts the run and the buffer is
+/// thrown away, so a non-`ok` response never carries partial output.
+///
+/// For a stream-opted request (`tx` set) the sink flushes the buffer as
+/// a chunk frame whenever it reaches `chunk_bytes`, so the server's
+/// high-water response buffer is the chunk size, not the match set. A
+/// denied buffer charge flushes early (shrinking the effective chunk)
+/// before giving up; only a charge that fails with an *empty* buffer
+/// sheds the request.
+struct ChunkSink<'a> {
+    shared: &'a Shared,
+    tenant: &'a str,
     buf: Vec<u8>,
     matches: u64,
+    /// Charge currently held for `buf`.
+    permit: Option<MemPermit>,
+    charged: usize,
+    /// Chunk channel for stream-opted requests; `None` materializes the
+    /// whole body in `buf`.
+    tx: Option<&'a mpsc::SyncSender<StreamMsg>>,
+    chunk_bytes: usize,
+    checksum: BodyChecksum,
+    fail: Option<SinkFail>,
 }
 
-impl MatchSink for StageSink {
+impl<'a> ChunkSink<'a> {
+    fn new(
+        shared: &'a Shared,
+        tenant: &'a str,
+        tx: Option<&'a mpsc::SyncSender<StreamMsg>>,
+    ) -> Self {
+        ChunkSink {
+            shared,
+            tenant,
+            buf: Vec::new(),
+            matches: 0,
+            permit: None,
+            charged: 0,
+            tx,
+            chunk_bytes: shared.config.chunk_bytes.max(1),
+            checksum: BodyChecksum::new(),
+            fail: None,
+        }
+    }
+
+    /// Grows the buffer charge to cover `buf`, evicting residents on
+    /// denial. Prefers reserving a whole [`CHARGE_STEP`] ahead (so a
+    /// match-per-reserve never happens) but falls back to the exact
+    /// shortfall — a small response must fit under a small tenant cap.
+    /// Returns false when the budget refuses even after relief.
+    fn ensure_charged(&mut self) -> bool {
+        if self.buf.len() <= self.charged {
+            return true;
+        }
+        let need = self.buf.len() - self.charged;
+        let want = need.max(CHARGE_STEP);
+        for (attempt, extra) in [want, need, need].into_iter().enumerate() {
+            if attempt == 2 {
+                relieve_memory(self.shared);
+            }
+            let grown = match &mut self.permit {
+                Some(p) => p.grow(extra).is_ok(),
+                None => match self.shared.budget.try_reserve(Some(self.tenant), extra) {
+                    Ok(p) => {
+                        self.permit = Some(p);
+                        true
+                    }
+                    Err(_) => false,
+                },
+            };
+            if grown {
+                self.charged += extra;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sends the buffered bytes as one chunk, transferring their memory
+    /// charge to the message (released by the connection thread after
+    /// the frame is written). Returns false when the receiver is gone.
+    fn flush_chunk(&mut self) -> bool {
+        let Some(tx) = self.tx else { return true };
+        if self.buf.is_empty() {
+            return true;
+        }
+        let bytes = std::mem::take(&mut self.buf);
+        let permit = self.permit.take();
+        self.charged = 0;
+        if tx.send(StreamMsg::Chunk(bytes, permit)).is_err() {
+            self.fail = Some(SinkFail::Receiver);
+            return false;
+        }
+        true
+    }
+}
+
+impl MatchSink for ChunkSink<'_> {
     fn on_match(&mut self, m: Match<'_>) -> std::ops::ControlFlow<()> {
         self.buf.extend_from_slice(m.bytes());
         self.buf.push(b'\n');
         self.matches += 1;
+        if self.tx.is_some() {
+            self.checksum.update(m.bytes());
+            self.checksum.update(b"\n");
+        }
+        if !self.ensure_charged() {
+            if self.tx.is_some() {
+                // Streaming: shed memory by shipping what we have now
+                // (an undersized chunk), then retry the charge for a
+                // fresh buffer on the next match.
+                self.shared
+                    .budget
+                    .forced_streams
+                    .fetch_add(1, Ordering::Relaxed);
+                if !self.flush_chunk() {
+                    return std::ops::ControlFlow::Break(());
+                }
+                return std::ops::ControlFlow::Continue(());
+            }
+            self.fail = Some(SinkFail::Memory);
+            return std::ops::ControlFlow::Break(());
+        }
+        if self.tx.is_some() && self.buf.len() >= self.chunk_bytes && !self.flush_chunk() {
+            return std::ops::ControlFlow::Break(());
+        }
         std::ops::ControlFlow::Continue(())
     }
 }
@@ -407,13 +619,17 @@ impl Server {
         let dispatcher =
             Dispatcher::new(config.max_queue, config.tenant_quota, Arc::clone(&metrics));
         let cache_digest = config.cache_digest();
-        let cache = QueryCache::new(config.cache_capacity);
+        let budget = MemBudget::with_tenant_cap(config.memory_budget, config.tenant_memory_budget);
+        let cache = QueryCache::new(config.cache_capacity).with_budget(Arc::clone(&budget));
         let corpus = match &config.corpus_dir {
-            Some(dir) => Some(Arc::new(CorpusStore::new(
-                dir.clone(),
-                config.index_cache.clone(),
-                &config.engine_config,
-            )?)),
+            Some(dir) => Some(Arc::new(
+                CorpusStore::new(
+                    dir.clone(),
+                    config.index_cache.clone(),
+                    &config.engine_config,
+                )?
+                .with_budget(Arc::clone(&budget)),
+            )),
             None => None,
         };
         let shared = Arc::new(Shared {
@@ -423,6 +639,7 @@ impl Server {
             corpus,
             stats: ServeStats::default(),
             metrics,
+            budget,
             shutdown: CancellationToken::new(),
             draining: AtomicBool::new(false),
             config,
@@ -462,6 +679,22 @@ impl Server {
     /// contained in their connection threads.
     pub fn run(self) -> std::io::Result<ServeSummary> {
         let shared = self.shared;
+        // Startup index warm: pay the classification cost before the
+        // first request instead of on it.
+        if shared.config.index_warm {
+            if let Some(corpus) = &shared.corpus {
+                for (name, outcome) in corpus.warm() {
+                    match outcome {
+                        Ok(records) => {
+                            eprintln!("jsonski serve: warmed index for {name} ({records} records)")
+                        }
+                        Err(why) => {
+                            eprintln!("jsonski serve: index warm failed for {name}: {why}")
+                        }
+                    }
+                }
+            }
+        }
         // Worker pool.
         let mut workers = Vec::with_capacity(shared.config.workers.max(1));
         for _ in 0..shared.config.workers.max(1) {
@@ -484,7 +717,14 @@ impl Server {
         while !shared.shutdown.is_cancelled() {
             let accepted = match &self.listener {
                 Listener::Tcp(l) => match l.accept() {
-                    Ok((s, _)) => Some(Conn::Tcp(s)),
+                    Ok((s, _)) => {
+                        // Streamed responses are several back-to-back
+                        // writes (header, chunks, trailer); Nagle holding
+                        // the short tail segments behind delayed ACKs adds
+                        // ~40ms per response, so turn it off.
+                        s.set_nodelay(true).ok();
+                        Some(Conn::Tcp(s))
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
                     Err(_) => None,
                 },
@@ -528,7 +768,9 @@ impl Server {
         Ok(ServeSummary {
             requests: s.requests.load(Ordering::Relaxed),
             ok: s.ok.load(Ordering::Relaxed),
-            shed: s.shed_queue.load(Ordering::Relaxed) + s.shed_tenant.load(Ordering::Relaxed),
+            shed: s.shed_queue.load(Ordering::Relaxed)
+                + s.shed_tenant.load(Ordering::Relaxed)
+                + s.shed_memory.load(Ordering::Relaxed),
             timeouts: s.timeouts.load(Ordering::Relaxed),
             panics: s.panics.load(Ordering::Relaxed),
         })
@@ -670,13 +912,7 @@ fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
             }
             Ok(Some(payload)) => {
                 ServeStats::bump(&shared.stats.requests);
-                let (response, permit) = handle_frame(&payload, shared);
-                let write = write_frame_guarded(&mut conn, shared, &response);
-                // The tenant's in-flight slot covers the whole request
-                // lifetime, response write included: a slow-reading
-                // client occupies its own quota, not the fleet's.
-                drop(permit);
-                match write {
+                match handle_frame(&payload, &mut conn, shared) {
                     Ok(()) => {}
                     Err(WriteClose::Stalled) => {
                         // The peer stopped draining its receive buffer:
@@ -686,10 +922,10 @@ fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
                         return;
                     }
                     Err(WriteClose::Io) => {
-                        // Peer gone mid-write: drop the connection. The
+                        // Peer gone mid-write: drop the connection. Each
                         // frame was a single logical write, so the peer
-                        // saw a prefix or everything — never a reordered
-                        // or interleaved frame.
+                        // saw a prefix of the frame sequence — never a
+                        // reordered or interleaved frame.
                         return;
                     }
                 }
@@ -732,31 +968,29 @@ fn is_eof(conn: &mut Conn) -> bool {
     }
 }
 
-/// Parses and dispatches one request frame, returning the response
-/// payload (header line + body) ready for framing, plus — for admitted
-/// query requests — the tenant permit the caller must hold until the
-/// response write finishes.
-fn handle_frame(payload: &[u8], shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPermit>) {
+/// Parses and dispatches one request frame, writing the response frame
+/// (or frame sequence, for streamed responses) to the connection.
+fn handle_frame(payload: &[u8], conn: &mut Conn, shared: &Arc<Shared>) -> Result<(), WriteClose> {
     let req = match parse_request(payload) {
         Ok(r) => r,
         Err(e) => {
             ServeStats::bump(&shared.stats.bad_request);
-            return (
-                encode_response(Status::BadRequest, b"", 0, 0, 0, Some(&e.to_string()), b""),
-                None,
-            );
+            let frame =
+                encode_response(Status::BadRequest, b"", 0, 0, 0, Some(&e.to_string()), b"");
+            return write_frame_guarded(conn, shared, &frame);
         }
     };
     match req.op {
         Op::Ping => {
             ServeStats::bump(&shared.stats.pings);
-            (
-                encode_response(Status::Ok, &req.id, 0, 0, 0, Some("pong"), b""),
-                None,
-            )
+            let frame = encode_response(Status::Ok, &req.id, 0, 0, 0, Some("pong"), b"");
+            write_frame_guarded(conn, shared, &frame)
         }
-        Op::Metrics => (scrape_metrics(&req, shared), None),
-        Op::Query => handle_query(req, shared),
+        Op::Metrics => {
+            let frame = scrape_metrics(&req, shared);
+            write_frame_guarded(conn, shared, &frame)
+        }
+        Op::Query => handle_query(req, conn, shared),
     }
 }
 
@@ -784,6 +1018,7 @@ fn scrape_metrics(req: &Request, shared: &Arc<Shared>) -> Vec<u8> {
         Some(c) => c.stats().pairs(),
         None => zero.pairs(),
     };
+    let mem_pairs = shared.budget.pairs();
     let body = if req.metrics_json {
         let mut index_json = String::from("{");
         for (i, (name, v)) in index_pairs.iter().enumerate() {
@@ -793,13 +1028,22 @@ fn scrape_metrics(req: &Request, shared: &Arc<Shared>) -> Vec<u8> {
             index_json.push_str(&format!("\"{name}\": {v}"));
         }
         index_json.push('}');
+        let mut mem_json = String::from("{");
+        for (i, (name, v)) in mem_pairs.iter().enumerate() {
+            if i > 0 {
+                mem_json.push_str(", ");
+            }
+            mem_json.push_str(&format!("\"{name}\": {v}"));
+        }
+        mem_json.push('}');
         format!(
-            "{{\"serve\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}, \"index\": {}, \"engine\": {}}}\n",
+            "{{\"serve\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}, \"index\": {}, \"memory\": {}, \"engine\": {}}}\n",
             shared.stats.render_json(),
             shared.cache.hits(),
             shared.cache.misses(),
             shared.cache.len(),
             index_json,
+            mem_json,
             snapshot.to_json(),
         )
     } else {
@@ -807,38 +1051,69 @@ fn scrape_metrics(req: &Request, shared: &Arc<Shared>) -> Vec<u8> {
         for (name, v) in &index_pairs {
             index_text.push_str(&format!("{name} {v}\n"));
         }
+        let mut mem_text = String::new();
+        for (name, v) in &mem_pairs {
+            mem_text.push_str(&format!("{name} {v}\n"));
+        }
         format!(
-            "{}cache_hits {}\ncache_misses {}\ncache_entries {}\n{}# engine metrics\n{}",
+            "{}cache_hits {}\ncache_misses {}\ncache_entries {}\n{}{}# engine metrics\n{}",
             shared.stats.render_text(),
             shared.cache.hits(),
             shared.cache.misses(),
             shared.cache.len(),
             index_text,
+            mem_text,
             snapshot,
         )
     };
     encode_response(Status::Ok, &req.id, 0, 0, 0, None, body.as_bytes())
 }
 
-/// The full query path: drain gate → admission → enqueue → deadline
-/// watchdog → response. The returned [`TenantPermit`] (for admitted
-/// requests) keeps the tenant's slot occupied until the caller has
-/// written the response.
-fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPermit>) {
+/// A zero-counter [`WorkResult`] for watchdog-fabricated outcomes.
+fn synthetic_result(status: Status, reason: &str) -> WorkResult {
+    WorkResult {
+        status,
+        matches: 0,
+        records: 0,
+        skipped: 0,
+        reason: Some(reason.to_string()),
+        body: Vec::new(),
+        checksum: 0,
+        permit: None,
+    }
+}
+
+/// Receives until the worker's `Done`, discarding chunks (their permits
+/// release as they drop). Called after cancellation or a failed write,
+/// so the worker — possibly blocked on a full chunk channel — always
+/// unblocks and the permit lifetime covers the whole evaluation.
+fn drain_until_done(rx: &mpsc::Receiver<StreamMsg>) -> Option<WorkResult> {
+    loop {
+        match rx.recv() {
+            Ok(StreamMsg::Chunk(..)) => continue,
+            Ok(StreamMsg::Done(r)) => return Some(r),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// The full query path: drain gate → admission → memory charge → enqueue
+/// → deadline watchdog → response write(s). The tenant permit (for
+/// admitted requests) is held until every response frame is written, so
+/// a slow-reading client occupies its own quota, not the fleet's.
+fn handle_query(req: Request, conn: &mut Conn, shared: &Arc<Shared>) -> Result<(), WriteClose> {
     if shared.draining.load(Ordering::SeqCst) {
         ServeStats::bump(&shared.stats.draining_rejects);
-        return (
-            encode_response(
-                Status::Draining,
-                &req.id,
-                0,
-                0,
-                0,
-                Some("server is draining"),
-                b"",
-            ),
-            None,
+        let frame = encode_response(
+            Status::Draining,
+            &req.id,
+            0,
+            0,
+            0,
+            Some("server is draining"),
+            b"",
         );
+        return write_frame_guarded(conn, shared, &frame);
     }
     let permit = match shared.dispatcher.admit(&req.tenant) {
         Ok(p) => {
@@ -849,45 +1124,117 @@ fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPe
             match reason {
                 ShedReason::QueueFull => ServeStats::bump(&shared.stats.shed_queue),
                 ShedReason::TenantQuota => ServeStats::bump(&shared.stats.shed_tenant),
+                ShedReason::Memory => ServeStats::bump(&shared.stats.shed_memory),
             }
-            return (
-                encode_response(Status::Shed, &req.id, 0, 0, 0, Some(reason.name()), b""),
-                None,
-            );
+            let frame = encode_response(Status::Shed, &req.id, 0, 0, 0, Some(reason.name()), b"");
+            return write_frame_guarded(conn, shared, &frame);
         }
     };
-    // Resolve a stored corpus on the connection thread (inside the
-    // permit, so corpus reads count against the tenant's quota). The
-    // index lookup can only produce `Some` for a fully verified index;
-    // every failure mode falls back to `None` = full classification.
-    let (body, index) = if req.corpus.is_empty() {
-        (req.body, None)
+    let shed_memory = |conn: &mut Conn, denied: &MemDenied| -> Result<(), WriteClose> {
+        ServeStats::bump(&shared.stats.shed_memory);
+        let frame = encode_response(
+            Status::Shed,
+            &req.id,
+            0,
+            0,
+            0,
+            Some(ShedReason::Memory.name()),
+            denied.to_string().as_bytes(),
+        );
+        write_frame_guarded(conn, shared, &frame)
+    };
+    // Resolve the evaluation input on the connection thread (inside the
+    // tenant permit, so corpus reads count against the tenant's quota),
+    // charging resident bytes to the memory budget. A corpus whose bytes
+    // the budget refuses even after eviction is *streamed from disk*
+    // with a bounded read buffer instead of shed — the ladder's
+    // bounded-input rung. The index lookup can only produce `Some` for a
+    // fully verified index; every failure mode falls back to `None` =
+    // full classification.
+    let (input, index) = if req.corpus.is_empty() {
+        let body_permit = if req.body.is_empty() {
+            None
+        } else {
+            match reserve_with_relief(shared, Some(&req.tenant), req.body.len()) {
+                Ok(p) => Some(p),
+                Err(denied) => {
+                    let write = shed_memory(conn, &denied);
+                    drop(permit);
+                    return write;
+                }
+            }
+        };
+        (EvalInput::Slice(req.body.clone(), body_permit), None)
     } else {
         let resolved = match &shared.corpus {
             Some(store) => store
-                .read_corpus(&req.corpus)
-                .map(|bytes| (Arc::clone(store), bytes)),
+                .corpus_len(&req.corpus)
+                .map(|(path, len)| (Arc::clone(store), path, len)),
             None => Err(CorpusError::NotConfigured),
         };
         match resolved {
-            Ok((store, bytes)) => {
-                let index = store.index_for(&req.corpus, &bytes);
-                (bytes, index)
+            Ok((store, path, len)) => {
+                match reserve_with_relief(shared, Some(&req.tenant), len as usize) {
+                    Ok(corpus_permit) => match store.read_corpus(&req.corpus) {
+                        Ok(bytes) => {
+                            let index = store.index_for(&req.corpus, &bytes);
+                            (EvalInput::Slice(bytes, Some(corpus_permit)), index)
+                        }
+                        Err(e) => {
+                            ServeStats::bump(&shared.stats.corpus_not_found);
+                            let frame = encode_response(
+                                Status::NotFound,
+                                &req.id,
+                                0,
+                                0,
+                                0,
+                                Some(&e.to_string()),
+                                b"",
+                            );
+                            let write = write_frame_guarded(conn, shared, &frame);
+                            drop(permit);
+                            return write;
+                        }
+                    },
+                    Err(_) => {
+                        // Bounded-input fallback: evaluate straight off
+                        // the file with a chunk-sized read buffer. Only
+                        // that buffer is charged; a refusal of even the
+                        // buffer sheds.
+                        shared
+                            .budget
+                            .stream_fallbacks
+                            .fetch_add(1, Ordering::Relaxed);
+                        let buf_permit = match reserve_with_relief(
+                            shared,
+                            Some(&req.tenant),
+                            shared.config.chunk_bytes.max(1),
+                        ) {
+                            Ok(p) => Some(p),
+                            Err(denied) => {
+                                let write = shed_memory(conn, &denied);
+                                drop(permit);
+                                return write;
+                            }
+                        };
+                        (EvalInput::File(path, buf_permit), None)
+                    }
+                }
             }
             Err(e) => {
                 ServeStats::bump(&shared.stats.corpus_not_found);
-                return (
-                    encode_response(
-                        Status::NotFound,
-                        &req.id,
-                        0,
-                        0,
-                        0,
-                        Some(&e.to_string()),
-                        b"",
-                    ),
-                    Some(permit),
+                let frame = encode_response(
+                    Status::NotFound,
+                    &req.id,
+                    0,
+                    0,
+                    0,
+                    Some(&e.to_string()),
+                    b"",
                 );
+                let write = write_frame_guarded(conn, shared, &frame);
+                drop(permit);
+                return write;
             }
         }
     };
@@ -897,58 +1244,90 @@ fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPe
         .unwrap_or(shared.config.default_deadline)
         .min(shared.config.max_deadline);
     let req_token = CancellationToken::new();
-    let (tx, rx) = mpsc::sync_channel::<WorkResult>(1);
+    // Capacity 2: the worker runs at most two chunks ahead of the socket
+    // (blocking-send backpressure), so a streamed response holds at most
+    // ~3 chunk buffers regardless of the match set.
+    let (tx, rx) = mpsc::sync_channel::<StreamMsg>(2);
+    let streaming = req.stream;
     {
-        let shared = Arc::clone(shared);
         let token = req_token.clone();
         let query = req.query.clone();
+        let tenant = req.tenant.clone();
         shared.dispatcher.enqueue(Box::new({
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             move || {
-                let result =
-                    evaluate_request(&shared, &query, &body, index.as_deref(), deadline, &token);
-                // The watchdog may have given up and gone; a full or
-                // dropped channel is fine either way.
-                let _ = tx.try_send(result);
+                let tx_chunks = if streaming { Some(&tx) } else { None };
+                let result = evaluate_request(
+                    &shared, &query, &tenant, input, index, deadline, &token, tx_chunks,
+                );
+                // The watchdog drains to `Done` before giving up, so a
+                // blocking send cannot wedge; a dropped channel means
+                // the connection is gone, which is fine.
+                let _ = tx.send(StreamMsg::Done(result));
             }
         }));
     }
     // Deadline watchdog: the connection thread itself. The clock covers
-    // queue wait AND evaluation.
-    let result = match rx.recv_timeout(deadline + Duration::from_millis(50)) {
-        Ok(r) => r,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
+    // queue wait AND evaluation; chunk frames are written as they
+    // arrive, each under the write-stall guard.
+    let started = std::time::Instant::now();
+    let grace = deadline + Duration::from_millis(50);
+    let mut streamed = false;
+    // On a failed write the worker may still be running (and blocked on
+    // the chunk channel): cancel and drain so its buffers release.
+    macro_rules! abort_write {
+        ($w:expr) => {{
             req_token.cancel();
-            // The worker observes the token at its next record boundary
-            // and replies promptly; block for that reply so the permit
-            // lifetime covers the whole evaluation.
-            match rx.recv() {
-                Ok(mut r) => {
-                    // Whatever the worker managed, the request missed its
-                    // deadline: discard partial output, report 408.
-                    r.status = Status::Timeout;
-                    r.reason = Some("deadline exceeded".to_string());
-                    r.body = Vec::new();
-                    r
+            let _ = drain_until_done(&rx);
+            drop(permit);
+            return Err($w);
+        }};
+    }
+    let result = loop {
+        let left = grace.saturating_sub(started.elapsed());
+        match rx.recv_timeout(left) {
+            Ok(StreamMsg::Chunk(bytes, chunk_permit)) => {
+                if !streamed {
+                    let header = encode_stream_header(&req.id);
+                    if let Err(w) = write_frame_guarded(conn, shared, &header) {
+                        drop(chunk_permit);
+                        abort_write!(w);
+                    }
+                    streamed = true;
                 }
-                Err(_) => WorkResult {
-                    status: Status::Timeout,
-                    matches: 0,
-                    records: 0,
-                    skipped: 0,
-                    reason: Some("deadline exceeded".to_string()),
-                    body: Vec::new(),
-                },
+                let frame = encode_stream_chunk(&bytes);
+                drop(bytes);
+                if let Err(w) = write_frame_guarded(conn, shared, &frame) {
+                    drop(chunk_permit);
+                    abort_write!(w);
+                }
+                drop(chunk_permit);
+            }
+            Ok(StreamMsg::Done(r)) => break r,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                req_token.cancel();
+                // The worker observes the token at its next record
+                // boundary and replies promptly; block for that reply so
+                // the permit lifetime covers the whole evaluation.
+                break match drain_until_done(&rx) {
+                    Some(mut r) => {
+                        // Whatever the worker managed, the request missed
+                        // its deadline: discard partial output, report
+                        // 408. (Chunks already on the wire are voided by
+                        // the trailer's status.)
+                        r.status = Status::Timeout;
+                        r.reason = Some("deadline exceeded".to_string());
+                        r.body = Vec::new();
+                        r.permit = None;
+                        r
+                    }
+                    None => synthetic_result(Status::Timeout, "deadline exceeded"),
+                };
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break synthetic_result(Status::Panic, "worker vanished")
             }
         }
-        Err(mpsc::RecvTimeoutError::Disconnected) => WorkResult {
-            status: Status::Panic,
-            matches: 0,
-            records: 0,
-            skipped: 0,
-            reason: Some("worker vanished".to_string()),
-            body: Vec::new(),
-        },
     };
     match result.status {
         Status::Ok => ServeStats::bump(&shared.stats.ok),
@@ -956,30 +1335,57 @@ fn handle_query(req: Request, shared: &Arc<Shared>) -> (Vec<u8>, Option<TenantPe
         Status::EvalFailed => ServeStats::bump(&shared.stats.eval_failed),
         Status::Panic => ServeStats::bump(&shared.stats.panics),
         Status::BadRequest => ServeStats::bump(&shared.stats.bad_request),
+        Status::Shed => ServeStats::bump(&shared.stats.shed_memory),
         _ => {}
     }
-    let frame = encode_response(
-        result.status,
-        &req.id,
-        result.matches,
-        result.records,
-        result.skipped,
-        result.reason.as_deref(),
-        &result.body,
-    );
-    (frame, Some(permit))
+    let frame = if streamed {
+        ServeStats::bump(&shared.stats.streamed);
+        encode_stream_trailer(
+            result.status,
+            &req.id,
+            result.matches,
+            result.records,
+            result.skipped,
+            result.reason.as_deref(),
+            result.checksum,
+        )
+    } else {
+        // No chunks went out (non-stream client, empty body, or an error
+        // before the first flush): single-frame response, the wire
+        // default.
+        encode_response(
+            result.status,
+            &req.id,
+            result.matches,
+            result.records,
+            result.skipped,
+            result.reason.as_deref(),
+            &result.body,
+        )
+    };
+    let write = write_frame_guarded(conn, shared, &frame);
+    drop(permit);
+    write
 }
 
 /// Worker-side evaluation: compiled-query cache → serial pipeline over the
-/// request body → typed result. Runs under a whole-request unwind guard on
-/// top of the pipeline's per-record `catch_unwind`.
+/// evaluation input → typed result. Runs under a whole-request unwind
+/// guard on top of the pipeline's per-record `catch_unwind`.
+///
+/// For a stream-opted request (`tx` set) the sink ships body chunks
+/// through the channel as they fill and the returned result carries the
+/// trailer checksum instead of a body. For single-frame delivery the
+/// body travels in the result together with its memory charge.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_request(
     shared: &Shared,
     query: &str,
-    body: &[u8],
-    index: Option<&StructuralIndex>,
+    tenant: &str,
+    input: EvalInput,
+    index: Option<Arc<StructuralIndex>>,
     deadline: Duration,
     token: &CancellationToken,
+    tx: Option<&mpsc::SyncSender<StreamMsg>>,
 ) -> WorkResult {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let engine = match shared
@@ -989,14 +1395,7 @@ fn evaluate_request(
             }) {
             Ok(e) => e,
             Err(e) => {
-                return WorkResult {
-                    status: Status::BadRequest,
-                    matches: 0,
-                    records: 0,
-                    skipped: 0,
-                    reason: Some(format!("query parse error: {e}")),
-                    body: Vec::new(),
-                }
+                return synthetic_result(Status::BadRequest, &format!("query parse error: {e}"))
             }
         };
         // Layer the per-request deadline onto the configured limits; the
@@ -1004,27 +1403,50 @@ fn evaluate_request(
         // record cannot overstay), the pipeline at record boundaries.
         let limits = shared.config.limits.deadline(deadline);
         let engine = (*engine).clone().with_limits(limits);
-        let mut sink = StageSink::default();
+        let mut sink = ChunkSink::new(shared, tenant, tx);
         let pipe = Pipeline::new()
             .workers(1)
             .error_policy(shared.config.error_policy)
             .limits(limits)
             .metrics(Arc::clone(&shared.metrics))
             .cancel_token(token.clone());
-        let run = match index {
+        let run = match &input {
             // A verified index: records come from its spans and the
             // engine consumes its pre-built bitmaps instead of
             // re-classifying. Results are byte-identical to the uncached
             // path by construction (strict validation still sees every
             // input byte).
-            Some(idx) => {
-                let stats = shared.corpus.as_ref().map(|c| c.stats().as_ref());
-                let indexed = IndexedJsonSki::new(&engine, idx, stats);
-                let mut source = IndexedRecords::new(body, idx);
-                pipe.run(&indexed, &mut source, &mut sink)
-            }
-            None => {
-                let mut source = SliceRecords::new(body);
+            EvalInput::Slice(body, _) => match index.as_deref() {
+                Some(idx) => {
+                    let stats = shared.corpus.as_ref().map(|c| c.stats().as_ref());
+                    let indexed = IndexedJsonSki::new(&engine, idx, stats);
+                    let mut source = IndexedRecords::new(body, idx);
+                    pipe.run(&indexed, &mut source, &mut sink)
+                }
+                None => {
+                    let mut source = SliceRecords::new(body);
+                    pipe.run(&engine, &mut source, &mut sink)
+                }
+            },
+            // Budget-refused corpus: stream it straight off disk with a
+            // bounded read buffer (no index; classification runs per
+            // record). Byte-identical to the resident path because the
+            // pipeline sees the same record sequence.
+            EvalInput::File(path, _) => {
+                let file = match std::fs::File::open(path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        return synthetic_result(
+                            Status::EvalFailed,
+                            &format!("corpus open failed: {e}"),
+                        )
+                    }
+                };
+                let mut source =
+                    ChunkedRecords::with_buffer_size(file, shared.config.chunk_bytes.max(16))
+                        .limits(limits)
+                        .metrics(Arc::clone(&shared.metrics))
+                        .cancel_token(token.clone());
                 pipe.run(&engine, &mut source, &mut sink)
             }
         };
@@ -1038,47 +1460,51 @@ fn evaluate_request(
                 skipped: summary.failed + summary.resyncs,
                 reason: Some("deadline exceeded".to_string()),
                 body: Vec::new(),
+                checksum: 0,
+                permit: None,
             },
-            Ok(summary) => WorkResult {
-                status: Status::Ok,
-                matches: sink.matches,
-                records: summary.records,
-                skipped: summary.failed + summary.resyncs,
-                reason: None,
-                body: sink.buf,
+            Ok(summary) => match sink.fail {
+                // Materialized response the budget refused even after
+                // eviction: typed memory shed, partial output discarded.
+                Some(SinkFail::Memory) => synthetic_result(Status::Shed, ShedReason::Memory.name()),
+                // The connection thread is gone; nothing will be
+                // written, the status is for the log only.
+                Some(SinkFail::Receiver) => {
+                    synthetic_result(Status::EvalFailed, "client disconnected mid-stream")
+                }
+                None => {
+                    if tx.is_some() && !sink.flush_chunk() {
+                        return synthetic_result(
+                            Status::EvalFailed,
+                            "client disconnected mid-stream",
+                        );
+                    }
+                    let body = std::mem::take(&mut sink.buf);
+                    let permit = sink.permit.take();
+                    WorkResult {
+                        status: Status::Ok,
+                        matches: sink.matches,
+                        records: summary.records,
+                        skipped: summary.failed + summary.resyncs,
+                        reason: None,
+                        checksum: if tx.is_some() {
+                            sink.checksum.finish()
+                        } else {
+                            0
+                        },
+                        body,
+                        permit,
+                    }
+                }
             },
-            Err(EngineError::Limit(LimitExceeded::Deadline { .. })) => WorkResult {
-                status: Status::Timeout,
-                matches: 0,
-                records: 0,
-                skipped: 0,
-                reason: Some("deadline exceeded".to_string()),
-                body: Vec::new(),
-            },
-            Err(EngineError::Panic { payload, .. }) => WorkResult {
-                status: Status::Panic,
-                matches: 0,
-                records: 0,
-                skipped: 0,
-                reason: Some(format!("evaluation panicked: {payload}")),
-                body: Vec::new(),
-            },
-            Err(e) => WorkResult {
-                status: Status::EvalFailed,
-                matches: 0,
-                records: 0,
-                skipped: 0,
-                reason: Some(e.to_string()),
-                body: Vec::new(),
-            },
+            Err(EngineError::Limit(LimitExceeded::Deadline { .. })) => {
+                synthetic_result(Status::Timeout, "deadline exceeded")
+            }
+            Err(EngineError::Panic { payload, .. }) => {
+                synthetic_result(Status::Panic, &format!("evaluation panicked: {payload}"))
+            }
+            Err(e) => synthetic_result(Status::EvalFailed, &e.to_string()),
         }
     }));
-    outcome.unwrap_or_else(|_| WorkResult {
-        status: Status::Panic,
-        matches: 0,
-        records: 0,
-        skipped: 0,
-        reason: Some("request evaluation panicked".to_string()),
-        body: Vec::new(),
-    })
+    outcome.unwrap_or_else(|_| synthetic_result(Status::Panic, "request evaluation panicked"))
 }

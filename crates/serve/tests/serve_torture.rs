@@ -139,12 +139,13 @@ fn mid_frame_disconnects_do_not_corrupt_other_connections() {
     let (addr, token, handle) = start(config);
     let body = Arc::new(ndjson(500));
     let stop = Arc::new(AtomicUsize::new(0));
+    let rounds = Arc::new(AtomicUsize::new(0));
     // Healthy clients hammer the server while saboteurs die mid-frame.
     let mut healthy = Vec::new();
     for t in 0..4 {
         let addr = addr.clone();
         let body = Arc::clone(&body);
-        let stop = Arc::clone(&stop);
+        let (stop, rounds) = (Arc::clone(&stop), Arc::clone(&rounds));
         healthy.push(std::thread::spawn(move || {
             let reference = serial_reference("$.items[*].price", &body);
             let mut n = 0u64;
@@ -163,6 +164,7 @@ fn mid_frame_disconnects_do_not_corrupt_other_connections() {
                 assert_eq!(resp.code, 200, "{:?}", resp.reason);
                 assert_eq!(resp.body, reference, "healthy connection corrupted");
                 n += 1;
+                rounds.fetch_add(1, Ordering::SeqCst);
             }
             n
         }));
@@ -187,6 +189,13 @@ fn mid_frame_disconnects_do_not_corrupt_other_connections() {
         scrape.contains("serve_protocol_errors 5"),
         "expected 5 protocol errors in scrape:\n{scrape}"
     );
+    // Don't call time before the healthy clients have had a chance to
+    // prove the saboteurs harmed nobody: wait for at least one exact
+    // round-trip *after* all the broken frames were counted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while rounds.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     stop.store(1, Ordering::SeqCst);
     let mut completed = 0;
     for h in healthy {
